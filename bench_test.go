@@ -1,0 +1,348 @@
+package fepia_test
+
+// The benchmark harness: one testing.B target per reproduction experiment
+// (E1–E8 of DESIGN.md — every figure/derivation of the paper), plus
+// micro-benchmarks of the radius computations themselves. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the full experiment in quick mode and
+// fails the run if any reproduction check regresses, so `-bench` doubles as
+// a reproduction gate.
+
+import (
+	"fmt"
+	"testing"
+
+	"fepia"
+	"fepia/internal/exper"
+	"fepia/internal/sched"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	cfg := exper.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			for _, c := range res.Checks {
+				if !c.Pass {
+					b.Fatalf("%s reproduction check failed: %s (%s)", id, c.Name, c.Detail)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig1BoundaryCurve regenerates Figure 1 (E1): boundary tracing,
+// nearest boundary point, robustness radius.
+func BenchmarkFig1BoundaryCurve(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkSingleParamRadius verifies the Section 3.1 Step-1 closed form
+// (E2) across randomized sweeps.
+func BenchmarkSingleParamRadius(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkSensitivityDegeneracy reproduces the 1/sqrt(n) degeneracy (E3).
+func BenchmarkSensitivityDegeneracy(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkNormalizedRadius verifies the Section 3.2 closed form and its
+// input dependence (E4).
+func BenchmarkNormalizedRadius(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkOperatingPointCheck validates the recipe's soundness (E5).
+func BenchmarkOperatingPointCheck(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkHiPerDMixed runs the mixed-kind HiPer-D analysis with DES
+// cross-validation (E6).
+func BenchmarkHiPerDMixed(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkHeuristicRanking ranks allocations by makespan vs robustness (E7).
+func BenchmarkHeuristicRanking(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkWeightingAblation contrasts the two weighting schemes on system
+// pairs (E8).
+func BenchmarkWeightingAblation(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkThreeKindAnalysis adds the sensor load as a third perturbation
+// kind with bilinear utilization features (E9).
+func BenchmarkThreeKindAnalysis(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkNormAblation compares l1/l2/l-inf robustness radii (E10).
+func BenchmarkNormAblation(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkMonteCarloVsRadius contrasts worst-case and probabilistic
+// robustness (E11).
+func BenchmarkMonteCarloVsRadius(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkFailureRecovery injects machine failures and compares recovery
+// strategies (E12).
+func BenchmarkFailureRecovery(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkMixedMakespan runs the two-kind staging+execution makespan
+// analysis with DES cross-validation (E13).
+func BenchmarkMixedMakespan(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkHeterogeneitySweep sweeps requirement tightness and workload
+// heterogeneity (E14).
+func BenchmarkHeterogeneitySweep(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkQueueingTier validates the numeric tier against M/M/1 closed
+// forms and runs the capacity-planning sweep (E15).
+func BenchmarkQueueingTier(b *testing.B) { benchExperiment(b, "E15") }
+
+// --- micro-benchmarks of the core engine -----------------------------------
+
+// BenchmarkRadiusAnalytic measures the exact hyperplane tier at growing
+// dimension.
+func BenchmarkRadiusAnalytic(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			k := make(fepia.Vector, n)
+			orig := make(fepia.Vector, n)
+			src := stats.NewSource(1)
+			for i := range k {
+				k[i] = src.Uniform(0.1, 10)
+				orig[i] = src.Uniform(0.1, 10)
+			}
+			a, err := fepia.LinearOneElemAnalysis(k, orig, 1.3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRadiusNumeric measures the numeric level-set tier on a nonlinear
+// impact function.
+func BenchmarkRadiusNumeric(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			params := make([]fepia.Perturbation, n)
+			for j := range params {
+				params[j] = fepia.Perturbation{Name: fmt.Sprintf("p%d", j), Orig: fepia.Vector{1}}
+			}
+			a, err := fepia.NewAnalysis([]fepia.Feature{{
+				Name:   "product",
+				Bounds: fepia.MaxOnly(4),
+				Impact: func(vs []fepia.Vector) float64 {
+					p := 1.0
+					for _, v := range vs {
+						p *= v[0]
+					}
+					return p
+				},
+			}}, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSensitivityScales measures the sensitivity weighting, which
+// recomputes every single-parameter radius.
+func BenchmarkSensitivityScales(b *testing.B) {
+	k := make(fepia.Vector, 32)
+	orig := make(fepia.Vector, 32)
+	src := stats.NewSource(2)
+	for i := range k {
+		k[i] = src.Uniform(0.1, 10)
+		orig[i] = src.Uniform(0.1, 10)
+	}
+	a, err := fepia.LinearOneElemAnalysis(k, orig, 1.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.CombinedRadius(0, fepia.Sensitivity{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHiPerDSimulation measures the discrete-event simulator on the
+// default scenario.
+func BenchmarkHiPerDSimulation(b *testing.B) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sys.OrigExecTimes()
+	m := sys.OrigMsgSizes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Simulate(e, m, 100, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRadiusQuadratic measures the exact ellipsoid tier at growing
+// dimension (compare against BenchmarkRadiusNumeric: the analytic solve is
+// orders of magnitude cheaper than the level-set search it replaces).
+func BenchmarkRadiusQuadratic(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := stats.NewSource(3)
+			av := make(fepia.Vector, n)
+			cv := make(fepia.Vector, n)
+			orig := make(fepia.Vector, n)
+			for i := range av {
+				av[i] = src.Uniform(0.5, 2)
+				cv[i] = src.Uniform(-1, 1)
+				orig[i] = cv[i] + src.Uniform(0.1, 0.5)
+			}
+			quad := &fepia.QuadImpact{A: []fepia.Vector{av}, C: []fepia.Vector{cv}}
+			bound := quad.Eval([]fepia.Vector{orig}) + 10
+			a, err := fepia.NewAnalysis([]fepia.Feature{{
+				Name: "q", Bounds: fepia.MaxOnly(bound), Quad: quad,
+			}}, []fepia.Perturbation{{Name: "x", Orig: orig}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.RadiusSingle(0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarlo measures the probabilistic estimator.
+func BenchmarkMonteCarlo(b *testing.B) {
+	a, err := fepia.LinearOneElemAnalysis(fepia.Vector{2, 3, 5}, fepia.Vector{1, 2, 4}, 1.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.MonteCarlo(fepia.MCOptions{
+			Model: fepia.MCUniformBall, Spread: 0.2, Samples: 1000, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnealMapper measures the simulated-annealing robust mapper.
+func BenchmarkAnnealMapper(b *testing.B) {
+	m, err := workload.Makespan(workload.DefaultMakespan(), stats.NewSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := sched.Anneal(sched.AnnealOptions{Tau: 1.3, Steps: 2000, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTolerable measures the operating-point recipe end to end.
+func BenchmarkTolerable(b *testing.B) {
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	point := []fepia.Vector{{1.1, 2.1}, {4.2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Tolerable(point, fepia.Normalized{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCertifier measures the precompiled admission-control check
+// against the uncompiled Tolerable path on the HiPer-D analysis.
+func BenchmarkCertifier(b *testing.B) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := sys.Analysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert, err := a.NewCertifier(fepia.Normalized{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := []fepia.Vector{sys.OrigExecTimes().Scale(1.02), sys.OrigMsgSizes().Scale(1.02)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cert.Check(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRobustnessConcurrent measures the worker-pool robustness
+// evaluation on an analysis dominated by numeric-tier features. The
+// speedup tracks available cores (workers beyond GOMAXPROCS add nothing;
+// on a single-core host the two sub-benchmarks coincide).
+func BenchmarkRobustnessConcurrent(b *testing.B) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := sys.AnalysisWithLoad()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.RobustnessConcurrent(fepia.Normalized{}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,230 @@
+// Command fepia runs a FePIA robustness analysis over a JSON scenario file
+// and prints the per-kind robustness radii (Eq. 1), the combined robustness
+// (Eq. 2) under the chosen weighting, and an optional operating-point check.
+//
+// Usage:
+//
+//	fepia -scenario system.json [-weighting normalized|sensitivity] \
+//	      [-check "1.1,2.2;4000"]
+//	fepia -example            # print a documented example scenario and exit
+//
+// The scenario format (see -example) describes perturbation parameters with
+// their units and original values, and linear features with coefficient
+// blocks and bounds. -check takes parameter values (elements comma-
+// separated, parameters semicolon-separated) and reports whether the system
+// is guaranteed to stay within bounds at that operating point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"fepia"
+	"fepia/internal/report"
+)
+
+// scenario is the JSON schema of an analysis.
+type scenario struct {
+	Params   []scenarioParam   `json:"params"`
+	Features []scenarioFeature `json:"features"`
+}
+
+type scenarioParam struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit"`
+	Orig []float64 `json:"orig"`
+}
+
+type scenarioFeature struct {
+	Name string `json:"name"`
+	// Min/Max bounds; omit (null) for one-sided requirements.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Coeffs holds one coefficient block per parameter, aligned with
+	// params; Const is the affine offset.
+	Coeffs [][]float64 `json:"coeffs"`
+	Const  float64     `json:"const,omitempty"`
+}
+
+const exampleScenario = `{
+  "params": [
+    {"name": "exec-times", "unit": "s", "orig": [1.0, 2.0]},
+    {"name": "msg-lengths", "unit": "bytes", "orig": [4000]}
+  ],
+  "features": [
+    {"name": "latency",  "max": 42.0, "coeffs": [[2, 3], [0.005]]},
+    {"name": "util",     "max": 0.9,  "coeffs": [[0.2, 0.1], [0]], "const": 0.1}
+  ]
+}`
+
+func main() {
+	file := flag.String("scenario", "", "path to the JSON scenario")
+	weighting := flag.String("weighting", "normalized", "P-space weighting: normalized or sensitivity")
+	check := flag.String("check", "", "operating point to check: elements comma-separated, parameters semicolon-separated")
+	mcSigma := flag.Float64("mc", 0, "also run Monte-Carlo: relative-normal drift with this sigma per element")
+	mcSamples := flag.Int("mc-samples", 10000, "Monte-Carlo sample count")
+	example := flag.Bool("example", false, "print an example scenario and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleScenario)
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "fepia: -scenario is required (see -example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	var sc scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *file, err))
+	}
+	a, err := buildAnalysis(sc)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w fepia.Weighting
+	switch *weighting {
+	case "normalized":
+		w = fepia.Normalized{}
+	case "sensitivity":
+		w = fepia.Sensitivity{}
+	default:
+		fatal(fmt.Errorf("unknown weighting %q", *weighting))
+	}
+
+	// Per-kind robustness.
+	tb := report.NewTable("Per-kind robustness rho(Phi, pi_j) — Eq. 1",
+		"parameter", "unit", "rho", "critical feature", "boundary")
+	for j, p := range a.Params {
+		r, err := a.RobustnessSingle(j)
+		if err != nil {
+			fatal(err)
+		}
+		crit := "-"
+		if r.Feature >= 0 {
+			crit = a.Features[r.Feature].Name
+		}
+		tb.AddRow(p.Name, p.Unit, fmtRadius(r.Value), crit, r.Side.String())
+	}
+	tb.WriteText(os.Stdout)
+	fmt.Println()
+
+	// Combined robustness.
+	rho, err := a.Robustness(w)
+	if err != nil {
+		fatal(err)
+	}
+	tb2 := report.NewTable(fmt.Sprintf("Combined robustness rho(Phi, P) — Eq. 2, %s weighting", w.Name()),
+		"feature", "r(phi_i, P)", "boundary")
+	for i, r := range rho.PerFeature {
+		tb2.AddRow(a.Features[i].Name, fmtRadius(r.Value), r.Side.String())
+	}
+	tb2.WriteText(os.Stdout)
+	fmt.Printf("\nrho_mu(Phi, P) = %s  (critical feature: %s)\n",
+		fmtRadius(rho.Value), a.Features[rho.Critical].Name)
+
+	if *mcSigma > 0 {
+		mc, err := a.MonteCarlo(fepia.MCOptions{
+			Model:   fepia.MCRelativeNormal,
+			Spread:  *mcSigma,
+			Samples: *mcSamples,
+			Seed:    1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nMonte-Carlo (relative-normal drift, sigma = %g, %d samples):\n", *mcSigma, mc.Samples)
+		fmt.Printf("  violation probability: %.4f\n", mc.ViolationRate)
+		if mc.CriticalFeature >= 0 {
+			fmt.Printf("  most-violated feature: %s\n", a.Features[mc.CriticalFeature].Name)
+		}
+	}
+
+	if *check != "" {
+		vals, err := parsePoint(*check, a)
+		if err != nil {
+			fatal(err)
+		}
+		ok, err := a.Tolerable(vals, w)
+		if err != nil {
+			fatal(err)
+		}
+		violates := a.Violates(vals)
+		fmt.Printf("\noperating point %s:\n", *check)
+		fmt.Printf("  guaranteed tolerable (recipe): %v\n", ok)
+		fmt.Printf("  violates bounds (direct):      %v\n", violates)
+	}
+}
+
+func buildAnalysis(sc scenario) (*fepia.Analysis, error) {
+	params := make([]fepia.Perturbation, len(sc.Params))
+	for j, p := range sc.Params {
+		params[j] = fepia.Perturbation{Name: p.Name, Unit: p.Unit, Orig: fepia.Vector(p.Orig)}
+	}
+	features := make([]fepia.Feature, len(sc.Features))
+	for i, f := range sc.Features {
+		if len(f.Coeffs) != len(params) {
+			return nil, fmt.Errorf("feature %q has %d coefficient blocks, want %d", f.Name, len(f.Coeffs), len(params))
+		}
+		coeffs := make([]fepia.Vector, len(f.Coeffs))
+		for j, c := range f.Coeffs {
+			coeffs[j] = fepia.Vector(c)
+		}
+		bounds := fepia.Bounds{Min: math.Inf(-1), Max: math.Inf(1)}
+		if f.Min != nil {
+			bounds.Min = *f.Min
+		}
+		if f.Max != nil {
+			bounds.Max = *f.Max
+		}
+		features[i] = fepia.Feature{
+			Name:   f.Name,
+			Bounds: bounds,
+			Linear: &fepia.LinearImpact{Coeffs: coeffs, Const: f.Const},
+		}
+	}
+	return fepia.NewAnalysis(features, params)
+}
+
+func parsePoint(s string, a *fepia.Analysis) ([]fepia.Vector, error) {
+	blocks := strings.Split(s, ";")
+	if len(blocks) != len(a.Params) {
+		return nil, fmt.Errorf("check point has %d parameter blocks, want %d", len(blocks), len(a.Params))
+	}
+	out := make([]fepia.Vector, len(blocks))
+	for j, b := range blocks {
+		parts := strings.Split(b, ",")
+		v := make(fepia.Vector, len(parts))
+		for i, p := range parts {
+			x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("check point block %d element %d: %w", j, i, err)
+			}
+			v[i] = x
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+func fmtRadius(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf (unreachable boundary)"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fepia: %v\n", err)
+	os.Exit(1)
+}

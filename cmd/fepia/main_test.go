@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"fepia"
+)
+
+func parseScenario(t *testing.T, raw string) scenario {
+	t.Helper()
+	var sc scenario
+	if err := json.Unmarshal([]byte(raw), &sc); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestExampleScenarioBuilds(t *testing.T) {
+	sc := parseScenario(t, exampleScenario)
+	a, err := buildAnalysis(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Params) != 2 || len(a.Features) != 2 {
+		t.Fatalf("analysis shape %d/%d", len(a.Params), len(a.Features))
+	}
+	rho, err := a.Robustness(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) {
+		t.Errorf("rho = %v", rho.Value)
+	}
+}
+
+func TestBuildAnalysisOneSidedBounds(t *testing.T) {
+	sc := parseScenario(t, `{
+		"params": [{"name": "x", "unit": "s", "orig": [1]}],
+		"features": [
+			{"name": "hi", "max": 5, "coeffs": [[1]]},
+			{"name": "lo", "min": 0.1, "coeffs": [[1]]},
+			{"name": "band", "min": 0.1, "max": 5, "coeffs": [[1]]}
+		]
+	}`)
+	a, err := buildAnalysis(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.Features[0].Bounds.Min, -1) {
+		t.Error("omitted min must be -Inf")
+	}
+	if !math.IsInf(a.Features[1].Bounds.Max, 1) {
+		t.Error("omitted max must be +Inf")
+	}
+	if a.Features[2].Bounds.Min != 0.1 || a.Features[2].Bounds.Max != 5 {
+		t.Error("band bounds wrong")
+	}
+}
+
+func TestBuildAnalysisCoeffBlockMismatch(t *testing.T) {
+	sc := parseScenario(t, `{
+		"params": [{"name": "x", "orig": [1]}, {"name": "y", "orig": [1]}],
+		"features": [{"name": "f", "max": 5, "coeffs": [[1]]}]
+	}`)
+	if _, err := buildAnalysis(sc); err == nil {
+		t.Error("coefficient block mismatch must error")
+	}
+}
+
+func TestBuildAnalysisViolatingOrigRejected(t *testing.T) {
+	sc := parseScenario(t, `{
+		"params": [{"name": "x", "orig": [10]}],
+		"features": [{"name": "f", "max": 5, "coeffs": [[1]]}]
+	}`)
+	if _, err := buildAnalysis(sc); err == nil {
+		t.Error("original point outside bounds must be rejected")
+	}
+}
+
+func TestParsePoint(t *testing.T) {
+	sc := parseScenario(t, exampleScenario)
+	a, err := buildAnalysis(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := parsePoint("1.5, 2.5; 4100", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0][0] != 1.5 || vals[0][1] != 2.5 || vals[1][0] != 4100 {
+		t.Errorf("parsed %v", vals)
+	}
+	if _, err := parsePoint("1,2", a); err == nil {
+		t.Error("wrong block count must error")
+	}
+	if _, err := parsePoint("1,x;3", a); err == nil {
+		t.Error("non-numeric element must error")
+	}
+}
+
+func TestFmtRadius(t *testing.T) {
+	if got := fmtRadius(math.Inf(1)); got != "inf (unreachable boundary)" {
+		t.Errorf("inf rendering = %q", got)
+	}
+	if got := fmtRadius(1.5); got != "1.5" {
+		t.Errorf("finite rendering = %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Command hiperdsim generates a synthetic HiPer-D streaming scenario,
+// prints its FePIA robustness analysis (mixed execution-time and
+// message-length perturbations), and cross-validates the analytic model with
+// a discrete-event simulation — optionally at a perturbed operating point.
+//
+// Usage:
+//
+//	hiperdsim [-seed 1] [-sensors 2] [-layers 2] [-width 3] [-actuators 2]
+//	          [-rate 4] [-datasets 500] [-scale-exec 1.0] [-scale-msg 1.0]
+//	          [-save system.json | -load system.json] [-fail N]
+//
+// -scale-exec and -scale-msg multiply every execution time / message length
+// before the simulation to explore robustness: try pushing them until the
+// QoS breaks and compare against the printed robustness radius. -save writes
+// the generated scenario as JSON; -load replays a saved one instead of
+// generating. -fail N removes machine N (robustness-aware recovery) before
+// the analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fepia"
+	"fepia/internal/hiperd"
+	"fepia/internal/report"
+	"fepia/internal/scenario"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "scenario seed")
+	sensors := flag.Int("sensors", 2, "number of sensor applications")
+	layers := flag.Int("layers", 2, "processing layers")
+	width := flag.Int("width", 3, "applications per layer")
+	actuators := flag.Int("actuators", 2, "number of actuator applications")
+	rate := flag.Float64("rate", 4, "sensor data-set rate (per second)")
+	dataSets := flag.Int("datasets", 500, "data sets to simulate")
+	scaleExec := flag.Float64("scale-exec", 1.0, "multiply every execution time")
+	scaleMsg := flag.Float64("scale-msg", 1.0, "multiply every message length")
+	savePath := flag.String("save", "", "write the scenario as JSON and continue")
+	loadPath := flag.String("load", "", "replay a saved scenario instead of generating")
+	failIdx := flag.Int("fail", -1, "fail machine N (robust remap) before the analysis")
+	flag.Parse()
+
+	var sys *hiperd.System
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = scenario.LoadHiPerD(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		p := workload.DefaultHiPerD()
+		p.Sensors, p.Layers, p.Width, p.Actuators = *sensors, *layers, *width, *actuators
+		p.Rate = *rate
+		var err error
+		sys, err = workload.HiPerD(p, stats.NewSource(*seed))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := scenario.SaveHiPerD(f, sys); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("scenario written to %s\n\n", *savePath)
+	}
+	if *failIdx >= 0 {
+		failed, err := sys.FailMachine(*failIdx, hiperd.RobustRemap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("machine %d failed; %d survivors after robustness-aware recovery\n\n", *failIdx, len(failed.Machines))
+		sys = failed
+	}
+
+	fmt.Printf("HiPer-D scenario: %d apps, %d machines, %d edges, rate %.3g/s, latency bound %.4gs\n\n",
+		len(sys.Apps), len(sys.Machines), len(sys.MsgSizes), sys.Rate, sys.LatencyMax)
+
+	a, err := sys.Analysis()
+	if err != nil {
+		fatal(err)
+	}
+	tb := report.NewTable("Robustness analysis", "quantity", "value")
+	for j, pp := range a.Params {
+		r, err := a.RobustnessSingle(j)
+		if err != nil {
+			fatal(err)
+		}
+		tb.AddRow(fmt.Sprintf("rho vs %s (%s)", pp.Name, pp.Unit), r.Value)
+	}
+	rho, err := a.Robustness(fepia.Normalized{})
+	if err != nil {
+		fatal(err)
+	}
+	tb.AddRow("combined rho (normalized P-space)", rho.Value)
+	tb.AddRow("critical feature", a.Features[rho.Critical].Name)
+	tb.WriteText(os.Stdout)
+	fmt.Println()
+
+	// Simulate at the (possibly scaled) operating point.
+	e := sys.OrigExecTimes().Scale(*scaleExec)
+	m := sys.OrigMsgSizes().Scale(*scaleMsg)
+	okAna, err := sys.QoSOK(e, m)
+	if err != nil {
+		fatal(err)
+	}
+	anaLat, err := sys.WorstLatency(e, m)
+	if err != nil {
+		fatal(err)
+	}
+	warmup := *dataSets / 10
+	res, err := sys.Simulate(e, m, *dataSets, warmup)
+	if err != nil {
+		fatal(err)
+	}
+	tb2 := report.NewTable(fmt.Sprintf("Simulation at scale-exec=%.3g scale-msg=%.3g (%d data sets)",
+		*scaleExec, *scaleMsg, *dataSets),
+		"quantity", "value")
+	tb2.AddRow("analytic worst latency (s)", anaLat)
+	tb2.AddRow("simulated mean latency (s)", res.MeanLatency)
+	tb2.AddRow("simulated max latency (s)", res.MaxLatency)
+	tb2.AddRow("QoS satisfied (analytic)", okAna)
+	tb2.AddRow("QoS satisfied (simulated)", res.MaxLatency <= sys.LatencyMax)
+	tb2.AddRow("data sets completed", res.DataSets)
+	tb2.AddRow("simulator events", res.Events)
+	tb2.WriteText(os.Stdout)
+
+	// Where does this operating point sit relative to the radius?
+	vals := []fepia.Vector{e, m}
+	pVec, err := fepia.ToP(a, fepia.Normalized{}, 0, vals)
+	if err != nil {
+		fatal(err)
+	}
+	pOrig, err := fepia.POrig(a, fepia.Normalized{}, 0)
+	if err != nil {
+		fatal(err)
+	}
+	dist := pVec.Dist2(pOrig)
+	fmt.Printf("\n||P - P_orig|| = %.4g vs rho = %.4g: ", dist, rho.Value)
+	switch {
+	case dist < rho.Value:
+		fmt.Println("inside the robustness radius — QoS guaranteed.")
+	default:
+		fmt.Println("outside the radius — no guarantee (may or may not violate).")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hiperdsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// Command rank runs the full mapping-heuristic line-up on one independent-
+// task instance and prints each allocation's estimated makespan, its FePIA
+// robustness under its own requirement τ·M^orig, and its robustness under a
+// shared requirement τ·M(min-min) — the two readings of "which mapping is
+// most robust" that experiment E7 contrasts.
+//
+// Usage:
+//
+//	rank [-tasks 64] [-machines 8] [-cv 0.35] [-class inconsistent|partial|consistent]
+//	     [-tau 1.3] [-seed 1] [-load etc.json] [-save etc.json]
+//
+// -save writes the generated ETC matrix as JSON; -load replays a saved one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fepia"
+	"fepia/internal/etc"
+	"fepia/internal/makespan"
+	"fepia/internal/report"
+	"fepia/internal/scenario"
+	"fepia/internal/sched"
+	"fepia/internal/stats"
+)
+
+func main() {
+	tasks := flag.Int("tasks", 64, "number of tasks")
+	machines := flag.Int("machines", 8, "number of machines")
+	cv := flag.Float64("cv", 0.35, "task and machine heterogeneity (CVB coefficient of variation)")
+	class := flag.String("class", "inconsistent", "ETC consistency class: inconsistent, partial, or consistent")
+	tau := flag.Float64("tau", 1.3, "robustness requirement multiplier (> 1)")
+	meta := flag.Bool("meta", false, "also run the metaheuristic mappers (annealing, genetic) — slower")
+	staging := flag.Bool("staging", false, "add input-data staging (bytes) as a second perturbation kind and report the combined dimensionless rho")
+	seed := flag.Int64("seed", 1, "instance seed")
+	loadPath := flag.String("load", "", "replay a saved ETC matrix instead of generating")
+	savePath := flag.String("save", "", "write the ETC matrix as JSON")
+	flag.Parse()
+
+	var m *etc.Matrix
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		var err2 error
+		m, _, err2 = scenario.LoadMakespan(f)
+		f.Close()
+		if err2 != nil {
+			fatal(err2)
+		}
+	} else {
+		src := stats.NewSource(*seed)
+		p := etc.CVBParams{Tasks: *tasks, Machines: *machines, MeanTask: 10, TaskCV: *cv, MachineCV: *cv}
+		var err error
+		switch *class {
+		case "consistent":
+			p.Consistent = true
+			m, err = etc.CVB(p, src)
+		case "partial":
+			m, err = etc.PartiallyConsistent(p, src)
+		case "inconsistent":
+			m, err = etc.CVB(p, src)
+		default:
+			fatal(fmt.Errorf("unknown class %q", *class))
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := scenario.SaveMakespan(f, m, nil); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("ETC matrix written to %s\n\n", *savePath)
+	}
+
+	fmt.Printf("instance: %d tasks x %d machines (%s), achieved task CV %.3f, machine CV %.3f\n\n",
+		m.Tasks, m.Machines, m.Classify(), m.TaskCV(), m.MachineCV())
+
+	mmAlloc, err := sched.MinMin(m)
+	if err != nil {
+		fatal(err)
+	}
+	mmSys, err := makespan.New(m, mmAlloc)
+	if err != nil {
+		fatal(err)
+	}
+	commonBound := *tau * mmSys.OrigMakespan()
+
+	// Optional mixed-kind extension: per-task input sizes staged over each
+	// machine's ingest link (the E13 model).
+	var sizes, bws []float64
+	if *staging {
+		ssrc := stats.NewSource(*seed ^ 0x57a61)
+		sizes = ssrc.UniformVec(m.Tasks, 1000, 50000)
+		bws = ssrc.UniformVec(m.Machines, 5000, 20000)
+	}
+
+	type row struct {
+		name                  string
+		ms, rhoOwn, rhoCommon float64
+		rhoMixed              float64
+	}
+	lineup := sched.Registry(*tau, stats.NewSource(*seed^0x5eed))
+	if *meta {
+		lineup = append(lineup,
+			sched.Named{Name: "anneal-robust", Fn: sched.Anneal(sched.AnnealOptions{Tau: *tau, Seed: *seed})},
+			sched.Named{Name: "genetic-robust", Fn: sched.Genetic(sched.GAOptions{Tau: *tau, Seed: *seed})},
+		)
+	}
+	var rows []row
+	for _, h := range lineup {
+		alloc, err := h.Fn(m)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := makespan.New(m, alloc)
+		if err != nil {
+			fatal(err)
+		}
+		_, own, err := s.ClosedFormRadii(*tau)
+		if err != nil {
+			fatal(err)
+		}
+		_, common, err := s.RadiiWithBound(commonBound)
+		if err != nil {
+			fatal(err)
+		}
+		r := row{name: h.Name, ms: s.OrigMakespan(), rhoOwn: own, rhoCommon: common}
+		if *staging {
+			ms, err := makespan.NewMixed(m, alloc, sizes, bws)
+			if err != nil {
+				fatal(err)
+			}
+			a, err := ms.MixedAnalysis(*tau)
+			if err != nil {
+				fatal(err)
+			}
+			rho, err := a.Robustness(fepia.Normalized{})
+			if err != nil {
+				fatal(err)
+			}
+			r.rhoMixed = rho.Value
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ms < rows[b].ms })
+
+	cols := []string{"heuristic", "est. makespan", "rho (own req.)", "rho (common req.)"}
+	if *staging {
+		cols = append(cols, "mixed rho (exec+bytes, dimensionless)")
+	}
+	tb := report.NewTable(fmt.Sprintf("heuristic ranking (tau = %.2f; common bound = %.4g)", *tau, commonBound), cols...)
+	for _, r := range rows {
+		cells := []interface{}{r.name, r.ms, r.rhoOwn, r.rhoCommon}
+		if *staging {
+			cells = append(cells, r.rhoMixed)
+		}
+		tb.AddRow(cells...)
+	}
+	tb.WriteText(os.Stdout)
+	fmt.Println("\nrho own-req.: tolerance to execution-time drift against the allocation's")
+	fmt.Println("own promise (tau x its estimate). rho common-req.: against one shared QoS")
+	fmt.Println("contract; negative means the allocation misses the contract outright.")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rank: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command robustbench regenerates every reproduction artifact (experiments
+// E1–E8 of DESIGN.md): the Figure-1 geometry, the Section 3.1 closed forms
+// and degeneracy, the Section 3.2 normalized metric, the operating-point
+// recipe validation, the HiPer-D mixed-kind analysis with DES
+// cross-validation, the heuristic ranking, and the weighting ablation.
+//
+// Usage:
+//
+//	robustbench [-run E3] [-seed 1] [-quick] [-csv dir]
+//
+// Without -run, all experiments execute in order. -csv writes each table as
+// a CSV file into the given directory. The process exits non-zero if any
+// reproduction check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fepia/internal/exper"
+)
+
+func main() {
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E3); default all")
+	seed := flag.Int64("seed", 1, "base seed for every random stream")
+	quick := flag.Bool("quick", false, "shrink sweep sizes for a fast smoke run")
+	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	mdDir := flag.String("md", "", "also write every table as Markdown into this directory")
+	flag.Parse()
+
+	cfg := exper.Config{Seed: *seed, Quick: *quick}
+	var exps []exper.Experiment
+	if *run != "" {
+		e, ok := exper.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "robustbench: unknown experiment %q; known:", *run)
+			for _, e := range exper.All() {
+				fmt.Fprintf(os.Stderr, " %s", e.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		exps = []exper.Experiment{e}
+	} else {
+		exps = exper.All()
+	}
+
+	for _, dir := range []string{*csvDir, *mdDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, e := range exps {
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    regenerates: %s\n\n", e.Artifact)
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		for ti, tb := range res.Tables {
+			if err := tb.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s-table%d.csv", strings.ToLower(e.ID), ti+1))
+				if err := writeFile(name, tb.WriteCSV); err != nil {
+					fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+				}
+			}
+			if *mdDir != "" {
+				name := filepath.Join(*mdDir, fmt.Sprintf("%s-table%d.md", strings.ToLower(e.ID), ti+1))
+				if err := writeFile(name, tb.WriteMarkdown); err != nil {
+					fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+				}
+			}
+		}
+		for _, p := range res.Plots {
+			if err := p.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			}
+			fmt.Println()
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		for _, c := range res.Checks {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+				failed = true
+			}
+			fmt.Printf("check [%s] %s — %s\n", mark, c.Name, c.Detail)
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeFile creates name and streams one table rendering into it.
+func writeFile(name string, render func(io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
+}

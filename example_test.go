@@ -1,0 +1,230 @@
+package fepia_test
+
+import (
+	"fmt"
+	"math"
+
+	"fepia"
+)
+
+// Example demonstrates the complete FePIA workflow on the paper's central
+// scenario: one feature over two perturbation parameters of different kinds.
+func Example() {
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec-times", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg-length", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	rho, err := a.Robustness(fepia.Normalized{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rho = %.4f (%s)\n", rho.Value, rho.Weighting)
+	// Output:
+	// rho = 0.6674 (normalized)
+}
+
+// ExampleSensitivityRadiusLinear shows the paper's Section 3.1 degeneracy:
+// two completely different systems score identically under sensitivity
+// weighting.
+func ExampleSensitivityRadiusLinear() {
+	sysA, _ := fepia.LinearOneElemAnalysis(fepia.Vector{1, 1}, fepia.Vector{1, 1}, 1.1)
+	sysB, _ := fepia.LinearOneElemAnalysis(fepia.Vector{10, 0.1}, fepia.Vector{5, 500}, 3.0)
+	rA, _ := sysA.CombinedRadius(0, fepia.Sensitivity{})
+	rB, _ := sysB.CombinedRadius(0, fepia.Sensitivity{})
+	fmt.Printf("A: %.6f  B: %.6f  1/sqrt(2): %.6f\n",
+		rA.Value, rB.Value, fepia.SensitivityRadiusLinear(2))
+	// Output:
+	// A: 0.707107  B: 0.707107  1/sqrt(2): 0.707107
+}
+
+// ExampleNormalizedRadiusLinear shows the paper's Section 3.2 repair: the
+// same two systems are now distinguishable.
+func ExampleNormalizedRadiusLinear() {
+	rA, _ := fepia.NormalizedRadiusLinear(fepia.Vector{1, 1}, fepia.Vector{1, 1}, 1.1)
+	rB, _ := fepia.NormalizedRadiusLinear(fepia.Vector{10, 0.1}, fepia.Vector{5, 500}, 3.0)
+	fmt.Printf("A: %.4f  B: %.4f\n", rA, rB)
+	// Output:
+	// A: 0.1414  B: 2.8284
+}
+
+// ExampleAnalysis_Tolerable applies the paper's operating-point recipe.
+func ExampleAnalysis_Tolerable() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec-times", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg-length", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	small, _ := a.Tolerable([]fepia.Vector{{1.05, 2.05}, {4.1}}, fepia.Normalized{})
+	large, _ := a.Tolerable([]fepia.Vector{{2.5, 4.0}, {9.0}}, fepia.Normalized{})
+	fmt.Printf("small drift tolerable: %v, large drift tolerable: %v\n", small, large)
+	// Output:
+	// small drift tolerable: true, large drift tolerable: false
+}
+
+// ExampleAnalysis_RadiusSingle computes Eq. 1 per perturbation kind; the
+// values carry the kinds' own units and are not mutually comparable — the
+// problem the combined P-space solves.
+func ExampleAnalysis_RadiusSingle() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec-times", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg-length", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	rExec, _ := a.RadiusSingle(0, 0)
+	rMsg, _ := a.RadiusSingle(0, 1)
+	fmt.Printf("exec: %.4f s, msg: %.4f bytes\n", rExec.Value, rMsg.Value)
+	// Output:
+	// exec: 3.8829 s, msg: 2.8000 bytes
+}
+
+// ExampleAnalysis_MonteCarlo contrasts the worst-case radius with the
+// probability of violation under random drift.
+func ExampleAnalysis_MonteCarlo() {
+	a, _ := fepia.LinearOneElemAnalysis(fepia.Vector{2, 3}, fepia.Vector{1, 2}, 1.5)
+	rho, _ := a.Robustness(fepia.Normalized{})
+	inside, _ := a.MonteCarlo(fepia.MCOptions{
+		Model: fepia.MCUniformBall, Spread: rho.Value * 0.99, Samples: 2000, Seed: 1,
+	})
+	outside, _ := a.MonteCarlo(fepia.MCOptions{
+		Model: fepia.MCUniformBall, Spread: rho.Value * 3, Samples: 2000, Seed: 1,
+	})
+	fmt.Printf("violations inside the certified ball: %d\n", inside.Violations)
+	fmt.Printf("violations at 3x the radius: > 0: %v\n", outside.Violations > 0)
+	// Output:
+	// violations inside the certified ball: 0
+	// violations at 3x the radius: > 0: true
+}
+
+// ExampleAnalysis_RadiusSingleNorm computes the radius under the three
+// supported norms; the dual-norm ordering r_l1 >= r_l2 >= r_linf always
+// holds.
+func ExampleAnalysis_RadiusSingleNorm() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "load",
+			Bounds: fepia.MaxOnly(22),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}}},
+		}},
+		[]fepia.Perturbation{{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}}},
+	)
+	r1, _ := a.RadiusSingleNorm(0, 0, fepia.L1)
+	r2, _ := a.RadiusSingleNorm(0, 0, fepia.L2)
+	rInf, _ := a.RadiusSingleNorm(0, 0, fepia.LInf)
+	fmt.Printf("l1: %.4f >= l2: %.4f >= linf: %.4f\n", r1.Value, r2.Value, rInf.Value)
+	ordered := r1.Value >= r2.Value && r2.Value >= rInf.Value
+	fmt.Println("ordered:", ordered)
+	// Output:
+	// l1: 4.6667 >= l2: 3.8829 >= linf: 2.8000
+	// ordered: true
+}
+
+// ExampleQuadImpact uses the exact ellipsoid tier for a quadratic feature
+// (e.g. dynamic power ~ frequency^2).
+func ExampleQuadImpact() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "power",
+			Bounds: fepia.MaxOnly(9), // watts budget
+			Quad: &fepia.QuadImpact{
+				A: []fepia.Vector{{1, 1}}, // watts per GHz^2, two cores
+				C: []fepia.Vector{{0, 0}},
+			},
+		}},
+		[]fepia.Perturbation{{Name: "freqs", Unit: "GHz", Orig: fepia.Vector{1, 1}}},
+	)
+	r, _ := a.RadiusSingle(0, 0)
+	fmt.Printf("radius: %.6f (analytic: %v)\n", r.Value, r.Analytic)
+	fmt.Printf("equals 3 - sqrt(2): %v\n", math.Abs(r.Value-(3-math.Sqrt2)) < 1e-9)
+	// Output:
+	// radius: 1.585786 (analytic: true)
+	// equals 3 - sqrt(2): true
+}
+
+// ExampleAnalysis_NewCertifier compiles the operating-point recipe once and
+// reuses it — the admission-control fast path.
+func ExampleAnalysis_NewCertifier() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	cert, _ := a.NewCertifier(fepia.Normalized{})
+	ok1, _ := cert.Check([]fepia.Vector{{1.1, 2.1}, {4.2}})
+	ok2, _ := cert.Check([]fepia.Vector{{3, 6}, {12}})
+	fmt.Printf("small drift: %v, tripled everything: %v\n", ok1, ok2)
+	// Output:
+	// small drift: true, tripled everything: false
+}
+
+// ExampleAnalysis_DirectionalRadius measures the slack along a known drift
+// direction — e.g. "execution times only ever grow, together".
+func ExampleAnalysis_DirectionalRadius() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "load",
+			Bounds: fepia.MaxOnly(22),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}}},
+		}},
+		[]fepia.Perturbation{{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}}},
+	)
+	worst, _ := a.RadiusSingle(0, 0)
+	along, _ := a.DirectionalRadius(0, 0, fepia.Vector{1, 1})
+	dir, _ := a.CriticalDirection(0, 0)
+	fmt.Printf("worst-case radius: %.4f\n", worst.Value)
+	fmt.Printf("slack along (1,1): %.4f (>= worst case)\n", along)
+	fmt.Printf("critical direction: [%.4f %.4f]\n", dir[0], dir[1])
+	// Output:
+	// worst-case radius: 3.8829
+	// slack along (1,1): 3.9598 (>= worst case)
+	// critical direction: [0.5547 0.8321]
+}
+
+// ExampleCustom uses the paper's general weighted concatenation with
+// caller-chosen unit-conversion constants.
+func ExampleCustom() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg", Unit: "KB", Orig: fepia.Vector{4}},
+		},
+	)
+	// "One second of drift counts like one kilobyte of drift."
+	w := fepia.Custom{Alphas: fepia.Vector{1, 1}, Label: "seconds-equal-KB"}
+	rho, _ := a.Robustness(w)
+	fmt.Printf("rho = %.4f under %s\n", rho.Value, rho.Weighting)
+	// Output:
+	// rho = 2.2711 under seconds-equal-KB
+}

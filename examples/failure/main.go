@@ -1,0 +1,71 @@
+// Failure recovery: the paper names "sudden machine or link failures" among
+// the uncertainties a robust allocation must face. This example fails each
+// machine of a shared-machine HiPer-D system in turn, remaps the orphaned
+// applications twice — once with classical load balancing, once maximizing
+// the FePIA robustness — and compares the robustness of the survivors.
+//
+// Run with:
+//
+//	go run ./examples/failure
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"fepia"
+	"fepia/internal/hiperd"
+	"fepia/internal/report"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+func main() {
+	p := workload.DefaultHiPerD()
+	p.DedicatedMachines = false
+	p.Machines = 5
+	p.Rate = 2
+	sys, err := workload.HiPerD(p, stats.NewSource(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rhoOf := func(s *hiperd.System) float64 {
+		a, err := s.Analysis()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho, err := a.Robustness(fepia.Normalized{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rho.Value
+	}
+	rho0 := rhoOf(sys)
+	fmt.Printf("system: %d apps on %d machines, combined robustness rho = %.4f\n\n",
+		len(sys.Apps), len(sys.Machines), rho0)
+
+	tb := report.NewTable("Single-machine failures with two recovery strategies",
+		"failed machine", "rho after greedy remap", "rho after robust remap", "recoverable")
+	for j := 0; j < len(sys.Machines); j++ {
+		greedy, errG := sys.FailMachine(j, hiperd.GreedyUtilRemap)
+		robust, errR := sys.FailMachine(j, hiperd.RobustRemap)
+		if errG != nil || errR != nil {
+			if errG != nil && !errors.Is(errG, hiperd.ErrNoCapacity) {
+				log.Fatal(errG)
+			}
+			tb.AddRow(j, "-", "-", false)
+			continue
+		}
+		tb.AddRow(j, rhoOf(greedy), rhoOf(robust), true)
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println("\nWhere the orphaned applications land decides how close the")
+	fmt.Println("surviving machines sit to their throughput and latency boundaries;")
+	fmt.Println("the robustness-aware remapper places them to keep the combined")
+	fmt.Println("radius as large as possible. Co-locating applications can even")
+	fmt.Println("RAISE robustness by eliminating cross-machine messages — losing a")
+	fmt.Println("machine sometimes relaxes the constraint set.")
+}

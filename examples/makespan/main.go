@@ -1,0 +1,104 @@
+// Makespan ranking: use the robustness metric to choose between resource
+// allocations — the scenario that motivated the FePIA line of work.
+//
+// A CVB-generated ETC matrix is mapped by several classical heuristics; for
+// every resulting allocation we print the estimated makespan and the FePIA
+// robustness radius under the allocation's own requirement
+// makespan ≤ τ·M^orig. The minimum-makespan mapping is usually NOT the most
+// robust one: the metric gives a resource manager a second axis to optimize.
+//
+// Run with:
+//
+//	go run ./examples/makespan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fepia/internal/makespan"
+	"fepia/internal/report"
+	"fepia/internal/sched"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+func main() {
+	const tau = 1.3
+	src := stats.NewSource(7)
+
+	m, err := workload.Makespan(workload.MakespanParams{
+		Tasks: 48, Machines: 6, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4,
+	}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("48 tasks on 6 machines (CVB), requirement: makespan <= %.1f x own estimate", tau),
+		"heuristic", "est. makespan", "rho (FePIA)", "critical machine")
+	for _, h := range sched.Registry(tau, stats.NewSource(99)) {
+		alloc, err := h.Fn(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := makespan.New(m, alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		radii, rho, err := sys.ClosedFormRadii(tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(h.Name, sys.OrigMakespan(), rho, radii.ArgMin())
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println("\nInterpretation: rho is the largest Euclidean perturbation of the")
+	fmt.Println("actual execution-time vector (seconds) that every machine is")
+	fmt.Println("guaranteed to absorb before the allocation breaks its own promise.")
+	fmt.Println("Compare the rho column against the makespan ranking: tight packing")
+	fmt.Println("buys estimated speed at the cost of tolerance to uncertainty.")
+
+	// Verify the metric empirically for the Min-Min allocation: perturb
+	// at 99% of rho in many random directions — the bound must hold.
+	alloc, err := sched.MinMin(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := makespan.New(m, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, rho, err := sys.ClosedFormRadii(tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := tau * sys.OrigMakespan()
+	orig := sys.OrigTimes()
+	violations := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		d := make([]float64, len(orig))
+		var norm float64
+		for j := range d {
+			d[j] = src.Normal(0, 1)
+			norm += d[j] * d[j]
+		}
+		scale := rho * 0.99 / math.Sqrt(norm)
+		c := orig.Clone()
+		for j := range c {
+			c[j] += d[j] * scale
+		}
+		ms, err := sys.Makespan(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ms > bound {
+			violations++
+		}
+	}
+	fmt.Printf("\nempirical check (min-min): %d/%d random perturbations at 0.99·rho violated the bound (expected 0)\n",
+		violations, trials)
+}

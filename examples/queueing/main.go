@@ -1,0 +1,91 @@
+// Queueing capacity planning: the FePIA metric applied where most service
+// owners first meet robustness questions — an M/M/1 tier with uncertain
+// demand (arrival rates) and uncertain capacity (service rates).
+//
+// The steady-state latency 1/(μ−λ) is nonlinear, so the engine's numeric
+// boundary search does the work; the example cross-checks it against the
+// exact line-distance closed forms and then sweeps demand toward capacity
+// to show how the robustness radius — unlike the nominal latency — exposes
+// the approaching cliff.
+//
+// Run with:
+//
+//	go run ./examples/queueing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fepia"
+	"fepia/internal/mm1"
+	"fepia/internal/report"
+)
+
+func main() {
+	tier := &mm1.Tier{
+		Stations: []mm1.Station{
+			{Name: "api", Lambda: 50, Mu: 100},
+			{Name: "db", Lambda: 30, Mu: 80},
+		},
+		MaxLatency: 0.1, // 100 ms SLO
+		MaxUtil:    0.9,
+	}
+	if err := tier.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	a, err := tier.Analysis()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Engine (numeric tier) vs exact closed forms, per station.
+	identity := fepia.Custom{Alphas: fepia.Vector{1, 1}, Label: "req/s"}
+	tb := report.NewTable("Per-station joint (lambda, mu) robustness — engine vs closed form",
+		"station", "engine rho (req/s)", "exact rho (req/s)")
+	for i, st := range tier.Stations {
+		rL, err := a.CombinedRadius(2*i, identity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rU, err := a.CombinedRadius(2*i+1, identity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := rL.Value
+		if rU.Value < engine {
+			engine = rU.Value
+		}
+		exact, err := tier.JointRadius(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(st.Name, engine, exact)
+	}
+	fmt.Print(tb.String())
+
+	// Demand sweep: nominal latency vs robustness radius.
+	fmt.Println()
+	tb2 := report.NewTable("Demand sweep at mu=100 req/s (SLO: W <= 100ms, util <= 0.9)",
+		"lambda", "nominal W (ms)", "rho (req/s)")
+	for _, lam := range []float64{20, 40, 60, 75, 85} {
+		t2 := &mm1.Tier{
+			Stations:   []mm1.Station{{Name: "svc", Lambda: lam, Mu: 100}},
+			MaxLatency: 0.1,
+			MaxUtil:    0.9,
+		}
+		if err := t2.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		j, err := t2.JointRadius(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb2.AddRow(lam, 1000*mm1.Latency(lam, 100), j)
+	}
+	fmt.Print(tb2.String())
+	fmt.Println("\nAt lambda=85 the nominal latency (67ms) still meets the 100ms SLO,")
+	fmt.Println("but the robustness radius has collapsed to ~3.5 req/s: any modest")
+	fmt.Println("joint drift of demand and capacity breaks the tier. The radius sees")
+	fmt.Println("the cliff; the nominal number does not.")
+}

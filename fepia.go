@@ -1,0 +1,197 @@
+// Package fepia is the public API of this repository: a production-oriented
+// implementation of the FePIA robustness analysis for resource allocations
+// in parallel and distributed systems, reproducing
+//
+//	B. Eslamnour and S. Ali, "A Measure of Robustness Against Multiple
+//	Kinds of Perturbations", Proc. 19th IEEE IPDPS, 2005,
+//
+// which extends Ali, Maciejewski, Siegel, and Kim, "Measuring the
+// Robustness of a Resource Allocation" (IEEE TPDS 15(7), 2004) to
+// perturbation parameters of different kinds (different physical units).
+//
+// # Concepts
+//
+// A robustness analysis consists of:
+//
+//   - Perturbation parameters π_j — vectors of uncertain quantities, one
+//     vector per *kind* (task execution times in seconds, message lengths
+//     in bytes, sensor loads in objects per data set, …), each with its
+//     assumed original value π_j^orig.
+//   - Performance features φ_i — the QoS quantities that must stay within
+//     tolerable bounds ⟨β_i^min, β_i^max⟩ (makespan, utilization, latency).
+//   - Impact functions f_i mapping parameter values to feature values.
+//
+// The robustness radius r_μ(φ_i, π_j) is the smallest Euclidean distance
+// from π_j^orig to a parameter value at which φ_i leaves its bounds; the
+// robustness metric ρ is the minimum radius over all features. For multiple
+// kinds of perturbations the parameters are merged into one dimensionless
+// vector P; this package implements both merge schemes the paper analyzes —
+// the degenerate sensitivity weighting and the normalized weighting the
+// paper proposes — plus the operating-point check built on them.
+//
+// # Quick start
+//
+//	a, err := fepia.NewAnalysis(
+//		[]fepia.Feature{{
+//			Name:   "latency",
+//			Bounds: fepia.MaxOnly(42),
+//			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+//		}},
+//		[]fepia.Perturbation{
+//			{Name: "exec-times", Unit: "s", Orig: fepia.Vector{1, 2}},
+//			{Name: "msg-lengths", Unit: "bytes", Orig: fepia.Vector{4}},
+//		},
+//	)
+//	if err != nil { ... }
+//	rho, err := a.Robustness(fepia.Normalized{})  // ρ_μ(Φ, P), Eq. 2
+//
+// The examples/ directory contains complete programs: a quick start, the
+// makespan ranking scenario, the HiPer-D streaming scenario with DES
+// validation, and an interactive demonstration of the 1/√n degeneracy.
+package fepia
+
+import (
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// Vector is a dense real vector; the element order of a perturbation
+// parameter or coefficient block.
+type Vector = vec.V
+
+// Perturbation is one perturbation parameter π_j (one kind of uncertainty).
+type Perturbation = core.Perturbation
+
+// Bounds is the tolerable variation ⟨β^min, β^max⟩ of a feature.
+type Bounds = core.Bounds
+
+// Feature is a QoS performance feature φ_i with bounds and impact function.
+type Feature = core.Feature
+
+// ImpactFunc maps perturbation values to a feature value.
+type ImpactFunc = core.ImpactFunc
+
+// LinearImpact declares an affine impact function, unlocking exact
+// closed-form radii.
+type LinearImpact = core.LinearImpact
+
+// QuadImpact declares a separable quadratic impact function, unlocking the
+// exact ellipsoid tier.
+type QuadImpact = core.QuadImpact
+
+// Analysis is a complete FePIA robustness analysis.
+type Analysis = core.Analysis
+
+// Radius is the outcome of a robustness-radius computation.
+type Radius = core.Radius
+
+// Robustness is the system-level metric ρ with per-feature breakdown.
+type Robustness = core.Robustness
+
+// Certifier is the operating-point recipe precompiled for repeated checks
+// (admission-control loops). Build one with Analysis.NewCertifier.
+type Certifier = core.Certifier
+
+// Weighting merges parameters of different kinds into the dimensionless
+// P-space.
+type Weighting = core.Weighting
+
+// Normalized is the paper's proposed weighting: P_jk = π_jk/π_jk^orig
+// (Section 3.2). This is the scheme to use.
+type Normalized = core.Normalized
+
+// Sensitivity is the earlier weighting α_j = 1/r_μ(φ_i, π_j), which the
+// paper proves degenerate for linear features (Section 3.1). Provided for
+// comparison and reproduction.
+type Sensitivity = core.Sensitivity
+
+// Custom is the paper's general weighted concatenation with caller-chosen
+// weighting constants α_j (one per perturbation parameter).
+type Custom = core.Custom
+
+// BoundarySide identifies which bound a nearest boundary point lies on.
+type BoundarySide = core.BoundarySide
+
+// Boundary sides.
+const (
+	SideNone = core.SideNone
+	SideMax  = core.SideMax
+	SideMin  = core.SideMin
+)
+
+// Norm selects the distance notion for norm-generalized radii of linear
+// features (RadiusSingleNorm / RobustnessSingleNorm).
+type Norm = core.Norm
+
+// Norm choices: the paper's Euclidean radius plus the total-budget (ℓ1) and
+// uniform-drift (ℓ∞) variants.
+const (
+	L2   = core.L2
+	L1   = core.L1
+	LInf = core.LInf
+)
+
+// MCModel selects the Monte-Carlo perturbation model.
+type MCModel = core.MCModel
+
+// Monte-Carlo perturbation models.
+const (
+	MCRelativeNormal = core.MCRelativeNormal
+	MCUniformBall    = core.MCUniformBall
+)
+
+// MCOptions configure Analysis.MonteCarlo.
+type MCOptions = core.MCOptions
+
+// MCResult summarizes a Monte-Carlo robustness estimation.
+type MCResult = core.MCResult
+
+// NewAnalysis assembles and validates an analysis.
+func NewAnalysis(features []Feature, params []Perturbation) (*Analysis, error) {
+	return core.NewAnalysis(features, params)
+}
+
+// MaxOnly is the one-sided requirement φ ≤ max.
+func MaxOnly(max float64) Bounds { return core.MaxOnly(max) }
+
+// MinOnly is the one-sided requirement φ ≥ min.
+func MinOnly(min float64) Bounds { return core.MinOnly(min) }
+
+// Band is the two-sided requirement min ≤ φ ≤ max.
+func Band(min, max float64) Bounds { return core.Band(min, max) }
+
+// SingleParamRadiusLinear is the paper's Section 3.1 closed form for
+// r_μ(φ, π_j) of a linear feature over one-element parameters.
+func SingleParamRadiusLinear(k, orig Vector, j int, beta float64) (float64, error) {
+	return core.SingleParamRadiusLinear(k, orig, j, beta)
+}
+
+// SensitivityRadiusLinear is the paper's degeneracy value 1/√n.
+func SensitivityRadiusLinear(n int) float64 { return core.SensitivityRadiusLinear(n) }
+
+// NormalizedRadiusLinear is the paper's Section 3.2 closed form for the
+// normalized combined radius of a linear feature.
+func NormalizedRadiusLinear(k, orig Vector, beta float64) (float64, error) {
+	return core.NormalizedRadiusLinear(k, orig, beta)
+}
+
+// LinearOneElemAnalysis builds the linear one-element-parameter system of
+// Section 3.1: φ = Σ k_j·π_j with bound β·φ^orig.
+func LinearOneElemAnalysis(k, orig Vector, beta float64) (*Analysis, error) {
+	return core.LinearOneElemAnalysis(k, orig, beta)
+}
+
+// ToP converts native parameter values to P-space under w for feature i.
+func ToP(a *Analysis, w Weighting, featIdx int, values []Vector) (Vector, error) {
+	return core.ToP(a, w, featIdx, values)
+}
+
+// FromP converts a P-space vector back to native parameter values.
+func FromP(a *Analysis, w Weighting, featIdx int, p Vector) ([]Vector, error) {
+	return core.FromP(a, w, featIdx, p)
+}
+
+// POrig returns P^orig for feature featIdx under w.
+func POrig(a *Analysis, w Weighting, featIdx int) (Vector, error) {
+	return core.POrig(a, w, featIdx)
+}

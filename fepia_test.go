@@ -1,0 +1,143 @@
+package fepia_test
+
+import (
+	"math"
+	"testing"
+
+	"fepia"
+)
+
+// TestPublicAPIQuickstart exercises the doc-comment example end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec-times", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg-lengths", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-kind radii (Eq. 1).
+	r0, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 14 / math.Sqrt(13); math.Abs(r0.Value-want) > 1e-12 {
+		t.Errorf("exec-time radius = %v, want %v", r0.Value, want)
+	}
+	// Combined metric (Eq. 2, normalized).
+	rho, err := a.Robustness(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) {
+		t.Errorf("rho = %v", rho.Value)
+	}
+	if rho.Weighting != "normalized" {
+		t.Errorf("weighting = %q", rho.Weighting)
+	}
+	// Operating-point recipe.
+	ok, err := a.Tolerable([]fepia.Vector{{1.01, 2.01}, {4.01}}, fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("slightly perturbed point must be tolerable")
+	}
+}
+
+func TestPublicBounds(t *testing.T) {
+	if b := fepia.MaxOnly(5); !b.Contains(4) || b.Contains(6) {
+		t.Error("MaxOnly wrong")
+	}
+	if b := fepia.MinOnly(5); b.Contains(4) || !b.Contains(6) {
+		t.Error("MinOnly wrong")
+	}
+	if b := fepia.Band(1, 2); !b.Contains(1.5) || b.Contains(0) {
+		t.Error("Band wrong")
+	}
+}
+
+func TestPublicPaperFormulas(t *testing.T) {
+	k := fepia.Vector{2, 3}
+	orig := fepia.Vector{1, 2}
+	const beta = 1.5
+	a, err := fepia.LinearOneElemAnalysis(k, orig, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degeneracy.
+	rs, err := a.CombinedRadius(0, fepia.Sensitivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs.Value-fepia.SensitivityRadiusLinear(2)) > 1e-10 {
+		t.Errorf("sensitivity radius %v != 1/sqrt(2)", rs.Value)
+	}
+	// Normalized closed form.
+	rn, err := a.CombinedRadius(0, fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fepia.NormalizedRadiusLinear(k, orig, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rn.Value-want) > 1e-10 {
+		t.Errorf("normalized radius %v != %v", rn.Value, want)
+	}
+	// Single-parameter formula.
+	sp, err := fepia.SingleParamRadiusLinear(k, orig, 0, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-r0.Value) > 1e-10 {
+		t.Errorf("formula %v vs engine %v", sp, r0.Value)
+	}
+}
+
+func TestPublicPSpaceRoundTrip(t *testing.T) {
+	a, err := fepia.LinearOneElemAnalysis(fepia.Vector{1, 2}, fepia.Vector{3, 4}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []fepia.Vector{{3.3}, {4.4}}
+	p, err := fepia.ToP(a, fepia.Normalized{}, 0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fepia.FromP(a, fepia.Normalized{}, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vals {
+		if math.Abs(back[j][0]-vals[j][0]) > 1e-12 {
+			t.Errorf("round trip block %d: %v -> %v", j, vals[j], back[j])
+		}
+	}
+	pOrig, err := fepia.POrig(a, fepia.Normalized{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range pOrig {
+		if math.Abs(x-1) > 1e-12 {
+			t.Errorf("P^orig = %v, want ones", pOrig)
+		}
+	}
+}
+
+func TestPublicSideConstants(t *testing.T) {
+	if fepia.SideMax.String() != "beta-max" || fepia.SideMin.String() != "beta-min" || fepia.SideNone.String() != "none" {
+		t.Error("side constants mis-exported")
+	}
+}

@@ -1,0 +1,235 @@
+package fepia_test
+
+// End-to-end integration tests: each walks a complete operator story across
+// package boundaries — generate a system, analyze it, certify operating
+// points, validate with the discrete-event simulator, break the system,
+// recover, and re-analyze. These are the flows the README promises; the
+// unit suites cover the parts, these cover the joints.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fepia"
+	"fepia/internal/core"
+	"fepia/internal/hiperd"
+	"fepia/internal/makespan"
+	"fepia/internal/scenario"
+	"fepia/internal/sched"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+// TestEndToEndStreamingLifecycle: workload → analysis → certifier → DES →
+// failure → robust recovery → re-analysis → serialization round trip.
+func TestEndToEndStreamingLifecycle(t *testing.T) {
+	p := workload.DefaultHiPerD()
+	p.DedicatedMachines = false
+	p.Machines = 5
+	p.Rate = 2
+	sys, err := workload.HiPerD(p, stats.NewSource(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analyze and certify.
+	a, err := sys.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) {
+		t.Fatalf("rho = %v", rho.Value)
+	}
+	cert, err := a.NewCertifier(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cert.Rho()-rho.Value) > 1e-12 {
+		t.Fatalf("certifier rho %v != analysis rho %v", cert.Rho(), rho.Value)
+	}
+
+	// Certified operating point runs clean in the simulator.
+	e := sys.OrigExecTimes().Scale(1.02)
+	m := sys.OrigMsgSizes().Scale(1.02)
+	ok, err := cert.Check([]fepia.Vector{e, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("2% uniform drift should be certified on this system")
+	}
+	sim, err := sys.Simulate(e, m, 150, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.MaxLatency > sys.LatencyMax {
+		t.Fatalf("certified point violated QoS in simulation: %v > %v", sim.MaxLatency, sys.LatencyMax)
+	}
+
+	// Fail a machine, recover robustly, and the survivors still run.
+	failed, err := sys.FailMachine(1, hiperd.RobustRemap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := failed.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho2, err := a2.RobustnessConcurrent(fepia.Normalized{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho2.Value > 0) {
+		t.Fatalf("post-failure rho = %v", rho2.Value)
+	}
+	sim2, err := failed.Simulate(failed.OrigExecTimes(), failed.OrigMsgSizes(), 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2.DataSets != 100 {
+		t.Fatalf("post-failure system completed %d/100 data sets", sim2.DataSets)
+	}
+
+	// Serialization survives the whole object, including the failure state.
+	var buf bytes.Buffer
+	if err := scenario.SaveHiPerD(&buf, failed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.LoadHiPerD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := back.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho3, err := a3.Robustness(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho3.Value-rho2.Value) > 1e-12 {
+		t.Fatalf("serialized system changed robustness: %v vs %v", rho3.Value, rho2.Value)
+	}
+}
+
+// TestEndToEndMakespanLifecycle: ETC generation → heuristic mapping →
+// FePIA analysis → metric agreement with the closed form → Monte-Carlo and
+// certified-ball consistency.
+func TestEndToEndMakespanLifecycle(t *testing.T) {
+	m, err := workload.Makespan(workload.DefaultMakespan(), stats.NewSource(88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := sched.Sufferage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := makespan.New(m, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tau = 1.25
+	a, err := sys.Analysis(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rhoCF, err := sys.ClosedFormRadii(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.RobustnessSingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho.Value-rhoCF) > 1e-9*(1+rhoCF) {
+		t.Fatalf("engine %v vs closed form %v", rho.Value, rhoCF)
+	}
+
+	// The normalized certified ball is violation-free under Monte-Carlo.
+	rhoN, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := a.MonteCarlo(core.MCOptions{
+		Model:   core.MCUniformBall,
+		Spread:  rhoN.Value * 0.999,
+		Samples: 3000,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Violations != 0 {
+		t.Fatalf("%d violations inside the certified ball", mc.Violations)
+	}
+}
+
+// TestEndToEndMixedKinds: the paper's headline flow — two incompatible
+// units, per-kind radii, combined dimensionless metric, recipe soundness —
+// exercised through the public facade only.
+func TestEndToEndMixedKinds(t *testing.T) {
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{
+			{
+				Name:   "latency",
+				Bounds: fepia.MaxOnly(50),
+				Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{3, 1}, {0.004}}},
+			},
+			{
+				Name:   "power",
+				Bounds: fepia.MaxOnly(30),
+				Quad: &fepia.QuadImpact{
+					A: []fepia.Vector{{2, 2}, {0}},
+					C: []fepia.Vector{{0, 0}, {0}},
+				},
+			},
+		},
+		[]fepia.Perturbation{
+			{Name: "exec", Unit: "s", Orig: fepia.Vector{2, 3}},
+			{Name: "msg", Unit: "bytes", Orig: fepia.Vector{2500}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-kind and combined metrics exist and are finite.
+	for j := 0; j < 2; j++ {
+		r, err := a.RobustnessSingle(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(r.Value > 0) || math.IsInf(r.Value, 1) {
+			t.Fatalf("param %d rho = %v", j, r.Value)
+		}
+	}
+	rho, err := a.Robustness(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed linear+quadratic feature set: both tiers must be analytic.
+	for _, r := range rho.PerFeature {
+		if !r.Analytic {
+			t.Fatalf("feature %d fell back to the numeric tier", r.Feature)
+		}
+	}
+	// Recipe soundness sweep via the facade.
+	src := stats.NewSource(4)
+	for trial := 0; trial < 300; trial++ {
+		vals := []fepia.Vector{
+			{2 * src.Uniform(0.5, 1.6), 3 * src.Uniform(0.5, 1.6)},
+			{2500 * src.Uniform(0.5, 1.6)},
+		}
+		ok, err := a.Tolerable(vals, fepia.Normalized{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && a.Violates(vals) {
+			t.Fatalf("unsound verdict at %v", vals)
+		}
+	}
+}

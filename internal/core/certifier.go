@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/vec"
+)
+
+// Certifier is the operating-point recipe compiled for repeated use: all
+// combined radii, weighting scales, and P^orig vectors are computed once at
+// construction, so each Check is a handful of vector operations. This is the
+// form an online resource manager runs in its admission loop — the paper's
+// recipe ((a) convert to P, (b) measure distance, (c) compare with the
+// radius) evaluated thousands of times per second against a fixed
+// allocation.
+type Certifier struct {
+	analysis *Analysis
+	wname    string
+	dims     []int
+	// Per feature with a finite radius:
+	radii  []float64
+	scales []vec.V
+	porigs []vec.V
+	feats  []int // feature indices retained
+	// rho is the minimum retained radius (+Inf when none).
+	rho float64
+}
+
+// NewCertifier precomputes the recipe for the analysis under w. Features
+// whose combined radius is infinite (unviolable) are dropped from the fast
+// path. Construction cost equals one Robustness call; Check cost is O(total
+// dimension) per retained feature.
+func (a *Analysis) NewCertifier(w Weighting) (*Certifier, error) {
+	c := &Certifier{
+		analysis: a,
+		wname:    w.Name(),
+		dims:     a.Dims(),
+		rho:      math.Inf(1),
+	}
+	for i := range a.Features {
+		r, err := a.CombinedRadius(i, w)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsInf(r.Value, 1) {
+			continue
+		}
+		scales, err := w.Scales(a, i)
+		if err != nil {
+			return nil, err
+		}
+		porig, err := POrig(a, w, i)
+		if err != nil {
+			return nil, err
+		}
+		c.radii = append(c.radii, r.Value)
+		c.scales = append(c.scales, scales)
+		c.porigs = append(c.porigs, porig)
+		c.feats = append(c.feats, i)
+		if r.Value < c.rho {
+			c.rho = r.Value
+		}
+	}
+	return c, nil
+}
+
+// Rho returns the combined robustness ρ_μ(Φ, P) the certifier was built
+// with.
+func (c *Certifier) Rho() float64 { return c.rho }
+
+// Weighting names the scheme the certifier compiled.
+func (c *Certifier) Weighting() string { return c.wname }
+
+// Check applies the recipe to one operating point: true means every
+// feature's P-space distance is strictly inside its radius, so no constraint
+// can be violated. Like Analysis.Tolerable, false means "not guaranteed",
+// not "violating".
+func (c *Certifier) Check(values []vec.V) (bool, error) {
+	if len(values) != len(c.dims) {
+		return false, fmt.Errorf("core: Certifier.Check: %d parameter values, want %d", len(values), len(c.dims))
+	}
+	for j, v := range values {
+		if len(v) != c.dims[j] {
+			return false, fmt.Errorf("core: Certifier.Check: parameter %d has dim %d, want %d: %w",
+				j, len(v), c.dims[j], vec.ErrDimMismatch)
+		}
+	}
+	flat := concat(values)
+	for k := range c.feats {
+		p := flat.Mul(c.scales[k])
+		if p.Dist2(c.porigs[k]) >= c.radii[k] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CriticalMargin returns, for one operating point, the smallest slack
+// radius − ‖P − P^orig‖₂ over all retained features and the index of the
+// feature attaining it (−1 when no feature is retained). Negative margins
+// mean the point is outside that feature's certified ball.
+func (c *Certifier) CriticalMargin(values []vec.V) (float64, int, error) {
+	if len(values) != len(c.dims) {
+		return 0, -1, fmt.Errorf("core: CriticalMargin: %d parameter values, want %d", len(values), len(c.dims))
+	}
+	flat := concat(values)
+	margin := math.Inf(1)
+	feat := -1
+	for k := range c.feats {
+		p := flat.Mul(c.scales[k])
+		m := c.radii[k] - p.Dist2(c.porigs[k])
+		if m < margin {
+			margin, feat = m, c.feats[k]
+		}
+	}
+	return margin, feat, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+func TestCertifierAgreesWithTolerable(t *testing.T) {
+	a := twoParamLinear(t)
+	c, err := a.NewCertifier(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stats.NewSource(5)
+	for trial := 0; trial < 500; trial++ {
+		vals := []vec.V{
+			vec.Of(1*src.Uniform(0.3, 1.8), 2*src.Uniform(0.3, 1.8)),
+			vec.Of(4 * src.Uniform(0.3, 1.8)),
+		}
+		slow, err := a.Tolerable(vals, Normalized{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := c.Check(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow != fast {
+			t.Fatalf("trial %d: Tolerable=%v Certifier=%v at %v", trial, slow, fast, vals)
+		}
+	}
+}
+
+func TestCertifierRho(t *testing.T) {
+	a := twoParamLinear(t)
+	c, err := a.NewCertifier(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Rho()-rho.Value) > 1e-12 {
+		t.Errorf("certifier rho %v vs analysis rho %v", c.Rho(), rho.Value)
+	}
+	if c.Weighting() != "normalized" {
+		t.Errorf("weighting = %q", c.Weighting())
+	}
+}
+
+func TestCertifierDropsUnviolableFeatures(t *testing.T) {
+	// Second feature ignores everything except an unbounded direction —
+	// actually make it truly unviolable: infinite bound.
+	a, err := NewAnalysis([]Feature{
+		{Name: "real", Bounds: MaxOnly(10), Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}}},
+		{Name: "free", Bounds: Bounds{Min: math.Inf(-1), Max: math.Inf(1)},
+			Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}}},
+	}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.NewCertifier(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.feats) != 1 || c.feats[0] != 0 {
+		t.Errorf("retained features = %v, want [0]", c.feats)
+	}
+	ok, err := c.Check([]vec.V{vec.Of(1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("point inside the only real constraint must pass")
+	}
+}
+
+func TestCertifierShapeErrors(t *testing.T) {
+	a := twoParamLinear(t)
+	c, err := a.NewCertifier(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Check([]vec.V{vec.Of(1, 2)}); err == nil {
+		t.Error("wrong parameter count must error")
+	}
+	if _, err := c.Check([]vec.V{vec.Of(1), vec.Of(4)}); err == nil {
+		t.Error("wrong parameter dim must error")
+	}
+	if _, _, err := c.CriticalMargin([]vec.V{vec.Of(1)}); err == nil {
+		t.Error("CriticalMargin shape error expected")
+	}
+}
+
+func TestCertifierCriticalMargin(t *testing.T) {
+	a := twoParamLinear(t)
+	c, err := a.NewCertifier(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the original point the margin equals rho.
+	m, feat, err := c.CriticalMargin(a.OrigValues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-c.Rho()) > 1e-12 || feat != 0 {
+		t.Errorf("margin at orig = %v (feature %d), want rho = %v", m, feat, c.Rho())
+	}
+	// Far away the margin is negative.
+	m, _, err = c.CriticalMargin([]vec.V{vec.Of(50, 50), vec.Of(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m >= 0 {
+		t.Errorf("far point margin = %v, want negative", m)
+	}
+}
+
+func TestCertifierSensitivityWeighting(t *testing.T) {
+	// The certifier must also compile the per-feature sensitivity scales.
+	a, err := LinearOneElemAnalysis(vec.Of(2, 3), vec.Of(1, 2), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.NewCertifier(Sensitivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Check([]vec.V{vec.Of(1.001), vec.Of(2.001)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("tiny drift must pass under sensitivity weighting too")
+	}
+}

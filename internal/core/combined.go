@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/geom"
+	"fepia/internal/optimize"
+	"fepia/internal/vec"
+)
+
+// CombinedRadius computes r_μ(φ_i, P) — Eq. 2 of the paper: the smallest
+// Euclidean distance in the combined dimensionless P-space from P^orig to a
+// point where φ_i meets β^min or β^max, with *all* perturbation parameters
+// free to move simultaneously.
+//
+// Because both weightings are diagonal, a linear impact function stays
+// linear in P-space and the radius is an exact hyperplane distance (the
+// closed forms of Sections 3.1 and 3.2). Nonlinear impacts fall back to the
+// numeric level-set search in P-space.
+func (a *Analysis) CombinedRadius(i int, w Weighting) (Radius, error) {
+	if i < 0 || i >= len(a.Features) {
+		return Radius{}, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
+	}
+	d, err := w.Scales(a, i)
+	if err != nil {
+		return Radius{}, err
+	}
+	pOrig, err := POrig(a, w, i)
+	if err != nil {
+		return Radius{}, err
+	}
+	f := a.Features[i]
+	if f.Linear != nil {
+		return a.combinedLinear(i, d, pOrig)
+	}
+	if f.Quad != nil {
+		return a.combinedQuad(i, d, pOrig)
+	}
+	return a.combinedNumeric(i, d, pOrig)
+}
+
+// combinedLinear: in P-space, φ = Const + Σ (k_e / d_e)·P_e over flattened
+// elements e — a hyperplane per bound.
+func (a *Analysis) combinedLinear(i int, d, pOrig vec.V) (Radius, error) {
+	f := a.Features[i]
+	kFlat := concat(f.Linear.Coeffs)
+	kP := make(vec.V, len(kFlat))
+	for e := range kFlat {
+		if d[e] == 0 {
+			return Radius{}, fmt.Errorf("%w: zero scale for element %d", ErrDegenerateWeighting, e)
+		}
+		kP[e] = kFlat[e] / d[e]
+	}
+	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1, Analytic: true}
+	for _, side := range []struct {
+		beta float64
+		side BoundarySide
+	}{{f.Bounds.Max, SideMax}, {f.Bounds.Min, SideMin}} {
+		if math.IsInf(side.beta, 0) {
+			continue
+		}
+		h := geom.Hyperplane{K: kP, B: side.beta - f.Linear.Const}
+		pt, dist, err := h.Nearest(pOrig)
+		if err != nil {
+			if errors.Is(err, geom.ErrDegenerate) {
+				continue
+			}
+			return Radius{}, fmt.Errorf("core: combined radius of %q: %w", f.Name, err)
+		}
+		if dist < best.Value {
+			best.Value, best.Point, best.Side = dist, pt, side.side
+		}
+	}
+	return best, nil
+}
+
+// combinedNumeric runs the level-set search over P-space: the impact is
+// evaluated at native values recovered via the inverse scaling.
+func (a *Analysis) combinedNumeric(i int, d, pOrig vec.V) (Radius, error) {
+	f := a.Features[i]
+	impact := f.impact()
+	dims := a.Dims()
+	inP := func(x []float64) float64 {
+		native := vec.V(x).Div(d)
+		vals, err := vec.Split(native, dims...)
+		if err != nil {
+			return math.NaN()
+		}
+		return impact(vals)
+	}
+	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
+	for _, side := range []struct {
+		beta float64
+		side BoundarySide
+	}{{f.Bounds.Max, SideMax}, {f.Bounds.Min, SideMin}} {
+		if math.IsInf(side.beta, 0) {
+			continue
+		}
+		res, err := optimize.NearestOnLevelSet(inP, side.beta, pOrig, a.NumOpts)
+		if err != nil {
+			if errors.Is(err, optimize.ErrNoBoundary) {
+				continue
+			}
+			return Radius{}, fmt.Errorf("core: combined radius of %q: %w", f.Name, err)
+		}
+		if res.Dist < best.Value {
+			best.Value, best.Point, best.Side = res.Dist, vec.V(res.Point), side.side
+		}
+	}
+	return best, nil
+}
+
+// Robustness is the system-level result ρ_μ(Φ, P) = min_i r_μ(φ_i, P),
+// together with the per-feature breakdown.
+type Robustness struct {
+	// Value is ρ_μ(Φ, P).
+	Value float64
+	// Critical is the index of the feature attaining the minimum (−1 when
+	// every radius is infinite).
+	Critical int
+	// PerFeature holds each feature's combined radius.
+	PerFeature []Radius
+	// Weighting names the scheme that produced the P-space.
+	Weighting string
+}
+
+// Robustness computes the paper's headline metric: the robustness of the
+// resource allocation with respect to the whole feature set Φ against the
+// whole perturbation set Π, in the P-space induced by w.
+func (a *Analysis) Robustness(w Weighting) (Robustness, error) {
+	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: w.Name()}
+	out.PerFeature = make([]Radius, len(a.Features))
+	for i := range a.Features {
+		r, err := a.CombinedRadius(i, w)
+		if err != nil {
+			return Robustness{}, err
+		}
+		out.PerFeature[i] = r
+		if r.Value < out.Value {
+			out.Value, out.Critical = r.Value, i
+		}
+	}
+	return out, nil
+}
+
+// Tolerable implements the paper's operating-point recipe: to decide whether
+// the system can run at the given parameter values without violating a
+// constraint, (a) convert the values into P-space, (b) measure
+// ‖P − P^orig‖₂, and (c) compare against the robustness radius. The check is
+// performed per feature with that feature's own radius (and, for the
+// sensitivity weighting, that feature's own scales); it returns true only
+// when every feature's test passes.
+//
+// The test is sufficient, not necessary: points beyond the radius may still
+// be feasible (the radius is the *nearest* boundary distance over all
+// directions), so a false return means "not guaranteed", not "violating".
+// Experiment E5 quantifies this conservatism.
+func (a *Analysis) Tolerable(values []vec.V, w Weighting) (bool, error) {
+	if len(values) != len(a.Params) {
+		return false, fmt.Errorf("core: Tolerable: %d parameter values, want %d", len(values), len(a.Params))
+	}
+	for j, v := range values {
+		if len(v) != a.Params[j].Dim() {
+			return false, fmt.Errorf("core: Tolerable: parameter %d has dim %d, want %d: %w",
+				j, len(v), a.Params[j].Dim(), vec.ErrDimMismatch)
+		}
+	}
+	for i := range a.Features {
+		r, err := a.CombinedRadius(i, w)
+		if err != nil {
+			return false, err
+		}
+		if math.IsInf(r.Value, 1) {
+			continue // this feature can never be violated
+		}
+		p, err := ToP(a, w, i, values)
+		if err != nil {
+			return false, err
+		}
+		pOrig, err := POrig(a, w, i)
+		if err != nil {
+			return false, err
+		}
+		if p.Dist2(pOrig) >= r.Value {
+			return false, nil
+		}
+	}
+	return true, nil
+}

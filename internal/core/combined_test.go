@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/vec"
+)
+
+func TestSensitivityDegeneracyExact(t *testing.T) {
+	// The paper's Section 3.1 result: for linear one-element systems the
+	// sensitivity-weighted combined radius is 1/√n regardless of k, β, orig.
+	cases := []struct {
+		k, orig vec.V
+		beta    float64
+	}{
+		{vec.Of(1, 1), vec.Of(1, 1), 1.2},
+		{vec.Of(2, 3, 5), vec.Of(1, 2, 4), 1.5},
+		{vec.Of(10, 0.1), vec.Of(0.5, 100), 3},
+		{vec.Of(1, 2, 3, 4, 5), vec.Of(5, 4, 3, 2, 1), 1.01},
+	}
+	for _, c := range cases {
+		a, err := LinearOneElemAnalysis(c.k, c.orig, c.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.CombinedRadius(0, Sensitivity{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SensitivityRadiusLinear(len(c.k))
+		if math.Abs(r.Value-want) > 1e-10 {
+			t.Errorf("k=%v beta=%v: sensitivity radius = %v, want 1/sqrt(n) = %v",
+				c.k, c.beta, r.Value, want)
+		}
+	}
+}
+
+func TestPropSensitivityDegeneracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		k := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := range k {
+			k[i] = 0.1 + rng.Float64()*10
+			orig[i] = 0.1 + rng.Float64()*10
+		}
+		beta := 1.01 + rng.Float64()*3
+		a, err := LinearOneElemAnalysis(k, orig, beta)
+		if err != nil {
+			return false
+		}
+		r, err := a.CombinedRadius(0, Sensitivity{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Value-1/math.Sqrt(float64(n))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedRadiusMatchesClosedForm(t *testing.T) {
+	cases := []struct {
+		k, orig vec.V
+		beta    float64
+	}{
+		{vec.Of(1, 1), vec.Of(1, 1), 1.2},
+		{vec.Of(2, 3, 5), vec.Of(1, 2, 4), 1.5},
+		{vec.Of(10, 0.1), vec.Of(0.5, 100), 3},
+	}
+	for _, c := range cases {
+		a, err := LinearOneElemAnalysis(c.k, c.orig, c.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.CombinedRadius(0, Normalized{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NormalizedRadiusLinear(c.k, c.orig, c.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Value-want) > 1e-10*(1+want) {
+			t.Errorf("k=%v: normalized radius = %v, want %v", c.k, r.Value, want)
+		}
+	}
+}
+
+func TestPropNormalizedDependsOnInputsSensitivityDoesNot(t *testing.T) {
+	// The paper's comparison: scaling β up must increase the normalized
+	// radius but leave the sensitivity radius at 1/√n.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2
+		k := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := range k {
+			k[i] = 0.1 + rng.Float64()*5
+			orig[i] = 0.1 + rng.Float64()*5
+		}
+		b1 := 1.1 + rng.Float64()
+		b2 := b1 + 0.5 + rng.Float64()
+		a1, err := LinearOneElemAnalysis(k, orig, b1)
+		if err != nil {
+			return false
+		}
+		a2, err := LinearOneElemAnalysis(k, orig, b2)
+		if err != nil {
+			return false
+		}
+		n1, err := a1.CombinedRadius(0, Normalized{})
+		if err != nil {
+			return false
+		}
+		n2, err := a2.CombinedRadius(0, Normalized{})
+		if err != nil {
+			return false
+		}
+		s1, err := a1.CombinedRadius(0, Sensitivity{})
+		if err != nil {
+			return false
+		}
+		s2, err := a2.CombinedRadius(0, Sensitivity{})
+		if err != nil {
+			return false
+		}
+		return n2.Value > n1.Value+1e-12 && math.Abs(s1.Value-s2.Value) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinedNumericMatchesAnalytic(t *testing.T) {
+	// Multi-element blocks, normalized weighting: the numeric P-space search
+	// must reproduce the hyperplane distance.
+	params := []Perturbation{
+		{Name: "exec", Unit: "s", Orig: vec.Of(1, 2)},
+		{Name: "msg", Unit: "bytes", Orig: vec.Of(4)},
+	}
+	impact := func(vs []vec.V) float64 { return 2*vs[0][0] + 3*vs[0][1] + 5*vs[1][0] }
+	lin := &LinearImpact{Coeffs: []vec.V{vec.Of(2, 3), vec.Of(5)}}
+
+	aLin, err := NewAnalysis([]Feature{{Name: "phi", Bounds: MaxOnly(42), Linear: lin}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNum, err := NewAnalysis([]Feature{{Name: "phi", Bounds: MaxOnly(42), Impact: impact}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLin, err := aLin.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNum, err := aNum.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rLin.Analytic || rNum.Analytic {
+		t.Errorf("tier flags wrong: lin=%v num=%v", rLin.Analytic, rNum.Analytic)
+	}
+	if math.Abs(rLin.Value-rNum.Value) > 1e-4*(1+rLin.Value) {
+		t.Errorf("numeric %v vs analytic %v", rNum.Value, rLin.Value)
+	}
+}
+
+func TestCombinedRadiusBoundaryPointFeasible(t *testing.T) {
+	a := twoParamLinear(t)
+	r, err := a.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned P-space point must lie on the β^max boundary when mapped
+	// back to native values.
+	vals, err := FromP(a, Normalized{}, 0, r.Point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := a.FeatureValue(0, vals)
+	if math.Abs(phi-42) > 1e-8 {
+		t.Errorf("boundary point maps to phi = %v, want 42", phi)
+	}
+}
+
+func TestRobustnessMinOverFeatures(t *testing.T) {
+	params := []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	}
+	tight := Feature{Name: "tight", Bounds: MaxOnly(2.2),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(1)}}}
+	loose := Feature{Name: "loose", Bounds: MaxOnly(20),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(1)}}}
+	a, err := NewAnalysis([]Feature{loose, tight}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho.Critical != 1 {
+		t.Errorf("critical feature = %d, want 1 (the tight one)", rho.Critical)
+	}
+	if len(rho.PerFeature) != 2 || rho.PerFeature[1].Value != rho.Value {
+		t.Errorf("per-feature breakdown inconsistent: %+v", rho)
+	}
+	if rho.Weighting != "normalized" {
+		t.Errorf("weighting label = %q", rho.Weighting)
+	}
+}
+
+func TestTolerableRecipe(t *testing.T) {
+	a := twoParamLinear(t)
+	// The original point is trivially tolerable.
+	ok, err := a.Tolerable(a.OrigValues(), Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("original operating point must be tolerable")
+	}
+	// Soundness: any point declared tolerable must not violate the bounds.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		vals := []vec.V{
+			vec.Of(1+rng.NormFloat64(), 2+rng.NormFloat64()),
+			vec.Of(4 + rng.NormFloat64()*2),
+		}
+		ok, err := a.Tolerable(vals, Normalized{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && a.Violates(vals) {
+			t.Fatalf("unsound verdict: %v declared tolerable but violates", vals)
+		}
+	}
+	// A grossly violating point must be rejected.
+	ok, err = a.Tolerable([]vec.V{vec.Of(100, 100), vec.Of(100)}, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("violating point declared tolerable")
+	}
+}
+
+func TestTolerableShapeErrors(t *testing.T) {
+	a := twoParamLinear(t)
+	if _, err := a.Tolerable([]vec.V{vec.Of(1, 2)}, Normalized{}); err == nil {
+		t.Error("wrong parameter count must error")
+	}
+	if _, err := a.Tolerable([]vec.V{vec.Of(1), vec.Of(4)}, Normalized{}); err == nil {
+		t.Error("wrong parameter dim must error")
+	}
+}
+
+func TestNormalizedRejectsZeroOrig(t *testing.T) {
+	a, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CombinedRadius(0, Normalized{}); err == nil {
+		t.Error("zero original value must make normalized weighting error")
+	}
+}
+
+func TestSensitivityRejectsInfiniteSingleRadius(t *testing.T) {
+	// Second parameter cannot affect the feature → r single = +Inf → no α.
+	a, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(0)}},
+	}}, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CombinedRadius(0, Sensitivity{}); err == nil {
+		t.Error("infinite single-parameter radius must make sensitivity weighting error")
+	}
+}
+
+func TestToPFromPRoundTrip(t *testing.T) {
+	a := twoParamLinear(t)
+	vals := []vec.V{vec.Of(1.5, 2.5), vec.Of(5)}
+	p, err := ToP(a, Normalized{}, 0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromP(a, Normalized{}, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vals {
+		if !back[j].EqualApprox(vals[j], 1e-12) {
+			t.Errorf("round trip block %d: %v -> %v", j, vals[j], back[j])
+		}
+	}
+	// P^orig under normalization is all ones.
+	pOrig, err := POrig(a, Normalized{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pOrig.EqualApprox(vec.Ones(3), 1e-12) {
+		t.Errorf("P^orig = %v, want ones", pOrig)
+	}
+}
+
+func TestPaperFormulaErrors(t *testing.T) {
+	if _, err := SingleParamRadiusLinear(vec.Of(1), vec.Of(1, 2), 0, 1.5); err == nil {
+		t.Error("dim mismatch must error")
+	}
+	if _, err := SingleParamRadiusLinear(vec.Of(1, 2), vec.Of(1, 2), 5, 1.5); err == nil {
+		t.Error("bad index must error")
+	}
+	if _, err := SingleParamRadiusLinear(vec.Of(0, 2), vec.Of(1, 2), 0, 1.5); err == nil {
+		t.Error("zero coefficient must error")
+	}
+	if _, err := NormalizedRadiusLinear(vec.Of(1), vec.Of(1, 2), 1.5); err == nil {
+		t.Error("dim mismatch must error")
+	}
+	if _, err := NormalizedRadiusLinear(vec.Of(0, 0), vec.Of(1, 1), 1.5); err == nil {
+		t.Error("all-zero products must error")
+	}
+	if _, err := LinearOneElemAnalysis(vec.Of(1), vec.Of(1), 0.9); err == nil {
+		t.Error("beta <= 1 must error")
+	}
+	if _, err := LinearOneElemAnalysis(vec.Of(1, 2), vec.Of(1), 1.5); err == nil {
+		t.Error("dim mismatch must error")
+	}
+}
+
+func TestSingleParamRadiusLinearMatchesEngine(t *testing.T) {
+	k := vec.Of(2, 3, 5)
+	orig := vec.Of(1, 2, 4)
+	const beta = 1.5
+	a, err := LinearOneElemAnalysis(k, orig, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		want, err := SingleParamRadiusLinear(k, orig, j, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.RadiusSingle(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Value-want) > 1e-10*(1+want) {
+			t.Errorf("j=%d: engine %v vs paper formula %v", j, got.Value, want)
+		}
+	}
+}
+
+func TestBoundarySideString(t *testing.T) {
+	if SideMax.String() != "beta-max" || SideMin.String() != "beta-min" || SideNone.String() != "none" {
+		t.Error("BoundarySide strings wrong")
+	}
+}

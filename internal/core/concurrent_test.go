@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+// manyFeatures builds an analysis with numFeatures nonlinear (numeric-tier)
+// features over two parameters.
+func manyFeatures(t *testing.T, numFeatures int) *Analysis {
+	t.Helper()
+	features := make([]Feature, numFeatures)
+	for i := range features {
+		scale := 1 + float64(i)*0.25
+		features[i] = Feature{
+			Name:   fmt.Sprintf("f%d", i),
+			Bounds: MaxOnly(4 * scale),
+			Impact: func(vs []vec.V) float64 { return scale * vs[0][0] * vs[1][0] },
+		}
+	}
+	a, err := NewAnalysis(features, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRobustnessConcurrentMatchesSerial(t *testing.T) {
+	a := manyFeatures(t, 12)
+	serial, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		conc, err := a.RobustnessConcurrent(Normalized{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(conc.Value-serial.Value) > 1e-12 {
+			t.Errorf("workers=%d: %v vs serial %v", workers, conc.Value, serial.Value)
+		}
+		if conc.Critical != serial.Critical {
+			t.Errorf("workers=%d: critical %d vs %d", workers, conc.Critical, serial.Critical)
+		}
+		if len(conc.PerFeature) != len(serial.PerFeature) {
+			t.Fatalf("workers=%d: per-feature breakdown missing", workers)
+		}
+		for i := range conc.PerFeature {
+			if math.Abs(conc.PerFeature[i].Value-serial.PerFeature[i].Value) > 1e-12 {
+				t.Errorf("workers=%d feature %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestRobustnessConcurrentLinear(t *testing.T) {
+	// All-linear analyses route identically (and correctly).
+	a := twoParamLinear(t)
+	serial, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := a.RobustnessConcurrent(Normalized{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Value != serial.Value {
+		t.Errorf("linear: %v vs %v", conc.Value, serial.Value)
+	}
+}
+
+func TestRobustnessConcurrentPropagatesErrors(t *testing.T) {
+	// Zero original value makes the normalized weighting fail; the error
+	// must surface, not hang or be dropped.
+	a, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RobustnessConcurrent(Normalized{}, 4); err == nil {
+		t.Error("expected weighting error to propagate")
+	}
+}

@@ -1,0 +1,289 @@
+// Package core implements the FePIA robustness analysis of Ali et al. (TPDS
+// 2004) and its extension to multiple kinds of perturbation parameters from
+// Eslamnour & Ali (IPDPS 2005) — the paper this repository reproduces.
+//
+// The four FePIA steps map onto the types here:
+//
+//  1. Performance features φ_i with tolerable bounds ⟨β_i^min, β_i^max⟩
+//     → Feature, Bounds.
+//  2. Perturbation parameters π_j (vectors, one per *kind* of uncertainty)
+//     → Perturbation.
+//  3. Impact functions φ_i = f_i(π_1, …, π_|Π|) → ImpactFunc / LinearImpact.
+//  4. The analysis: robustness radii (Eq. 1 per single parameter, Eq. 2 in
+//     combined P-space) and the robustness metric ρ = min_i r_i
+//     → Analysis.RadiusSingle, Analysis.CombinedRadius, Analysis.Robustness.
+//
+// Radii are computed through three tiers: exact hyperplane geometry for
+// linear impact functions (the case the paper derives in closed form), exact
+// KKT solves for axis-aligned quadratic impacts, and a numeric
+// nearest-point-on-level-set search for everything else. Tests cross-check
+// the tiers against each other and against the paper's formulas.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/optimize"
+	"fepia/internal/vec"
+)
+
+// Perturbation is one perturbation parameter π_j: a named vector of system
+// or environment values of a single kind (all elements share a unit). The
+// paper's examples: a vector of task execution times (seconds), a vector of
+// message lengths (bytes), a vector of sensor loads (objects per data set).
+type Perturbation struct {
+	// Name identifies the parameter in reports, e.g. "exec-times".
+	Name string
+	// Unit is the common unit of every element, e.g. "s" or "bytes". Units
+	// are what make naive concatenation of different π_j meaningless and
+	// motivate the paper's dimensionless P-space.
+	Unit string
+	// Orig is π_j^orig — the assumed (estimated) value the system was
+	// configured for. Its length fixes the dimension n_{π_j}.
+	Orig vec.V
+}
+
+// Dim returns n_{π_j}, the number of elements of the parameter.
+func (p Perturbation) Dim() int { return len(p.Orig) }
+
+// Bounds is the tolerable variation ⟨β^min, β^max⟩ of a feature. Use
+// math.Inf(-1) / math.Inf(1) for one-sided requirements.
+type Bounds struct {
+	Min, Max float64
+}
+
+// MaxOnly is the common one-sided requirement φ ≤ max (e.g. "makespan must
+// not exceed 1.2× its original value").
+func MaxOnly(max float64) Bounds { return Bounds{Min: math.Inf(-1), Max: max} }
+
+// MinOnly is the one-sided requirement φ ≥ min (e.g. "throughput must not
+// drop below 80% of nominal").
+func MinOnly(min float64) Bounds { return Bounds{Min: min, Max: math.Inf(1)} }
+
+// Band is the two-sided requirement min ≤ φ ≤ max.
+func Band(min, max float64) Bounds { return Bounds{Min: min, Max: max} }
+
+// Contains reports whether v satisfies the bounds.
+func (b Bounds) Contains(v float64) bool { return v >= b.Min && v <= b.Max }
+
+// ImpactFunc is an impact function f_i: it maps the values of all
+// perturbation parameters (in analysis order, block j having the dimension
+// of π_j) to the feature value φ_i.
+type ImpactFunc func(params []vec.V) float64
+
+// LinearImpact is the analytically tractable impact form the paper derives
+// closed forms for:
+//
+//	φ = Const + Σ_j Coeffs[j]·π_j.
+//
+// When a Feature carries a LinearImpact, radii are computed by exact
+// hyperplane projection instead of numeric search.
+type LinearImpact struct {
+	// Coeffs holds one coefficient vector per perturbation parameter,
+	// Coeffs[j] matching the dimension of π_j.
+	Coeffs []vec.V
+	// Const is the affine offset.
+	Const float64
+}
+
+// Eval computes the linear impact at the given parameter values.
+func (l LinearImpact) Eval(params []vec.V) float64 {
+	s := l.Const
+	for j, k := range l.Coeffs {
+		s += k.Dot(params[j])
+	}
+	return s
+}
+
+// Func adapts the linear impact to an ImpactFunc.
+func (l LinearImpact) Func() ImpactFunc { return l.Eval }
+
+// Feature is one QoS performance feature φ_i that must stay within Bounds
+// despite perturbations.
+type Feature struct {
+	// Name identifies the feature in reports, e.g. "makespan" or
+	// "latency(path-3)".
+	Name string
+	// Bounds is the tolerable variation ⟨β^min, β^max⟩.
+	Bounds Bounds
+	// Impact is the general impact function f_i. It may be nil when Linear
+	// is set.
+	Impact ImpactFunc
+	// Linear, when non-nil, declares the impact to be affine and unlocks
+	// the exact closed-form tier. If both Linear and Impact are set, they
+	// must agree; Validate spot-checks this at π^orig.
+	Linear *LinearImpact
+	// Quad, when non-nil, declares a separable quadratic impact (see
+	// QuadImpact) and unlocks the exact ellipsoid tier. At most one of
+	// Linear and Quad may be set.
+	Quad *QuadImpact
+}
+
+// impact returns the callable impact function, preferring the explicit one.
+func (f Feature) impact() ImpactFunc {
+	if f.Impact != nil {
+		return f.Impact
+	}
+	if f.Linear != nil {
+		return f.Linear.Eval
+	}
+	if f.Quad != nil {
+		return f.Quad.Eval
+	}
+	return nil
+}
+
+// Analysis is a complete FePIA robustness analysis: the feature set Φ, the
+// perturbation parameter set Π, and numeric settings. Construct it with
+// NewAnalysis and query radii and metrics through its methods.
+type Analysis struct {
+	Features []Feature
+	Params   []Perturbation
+
+	// NumOpts tunes the numeric nearest-point searches used for nonlinear
+	// impact functions. The zero value is sensible.
+	NumOpts optimize.LevelSetOptions
+}
+
+// NewAnalysis assembles and validates an analysis.
+func NewAnalysis(features []Feature, params []Perturbation) (*Analysis, error) {
+	a := &Analysis{Features: features, Params: params}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Validation errors.
+var (
+	ErrNoFeatures = errors.New("core: analysis has no performance features")
+	ErrNoParams   = errors.New("core: analysis has no perturbation parameters")
+)
+
+// Validate checks structural consistency: non-empty feature and parameter
+// sets, impact functions present, linear declarations dimensionally
+// consistent and agreeing with the general impact at π^orig, and bounds that
+// admit the original operating point.
+func (a *Analysis) Validate() error {
+	if len(a.Features) == 0 {
+		return ErrNoFeatures
+	}
+	if len(a.Params) == 0 {
+		return ErrNoParams
+	}
+	for j, p := range a.Params {
+		if p.Dim() == 0 {
+			return fmt.Errorf("core: perturbation %d (%q) has no elements", j, p.Name)
+		}
+		if !p.Orig.AllFinite() {
+			return fmt.Errorf("core: perturbation %q has non-finite original values %v", p.Name, p.Orig)
+		}
+	}
+	orig := a.OrigValues()
+	for i, f := range a.Features {
+		if f.impact() == nil {
+			return fmt.Errorf("core: feature %d (%q) has no impact function", i, f.Name)
+		}
+		if f.Bounds.Min > f.Bounds.Max {
+			return fmt.Errorf("core: feature %q has inverted bounds [%g, %g]", f.Name, f.Bounds.Min, f.Bounds.Max)
+		}
+		if f.Linear != nil && f.Quad != nil {
+			return fmt.Errorf("core: feature %q declares both Linear and Quad impacts", f.Name)
+		}
+		if f.Quad != nil {
+			if err := a.validateQuad(i); err != nil {
+				return err
+			}
+			if f.Impact != nil {
+				got, want := f.Impact(orig), f.Quad.Eval(orig)
+				if !vec.ScalarEqualApprox(got, want, 1e-6) {
+					return fmt.Errorf("core: feature %q: Impact(pi_orig)=%g disagrees with Quad(pi_orig)=%g",
+						f.Name, got, want)
+				}
+			}
+		}
+		if f.Linear != nil {
+			if len(f.Linear.Coeffs) != len(a.Params) {
+				return fmt.Errorf("core: feature %q linear impact has %d coefficient blocks, want %d",
+					f.Name, len(f.Linear.Coeffs), len(a.Params))
+			}
+			for j, k := range f.Linear.Coeffs {
+				if len(k) != a.Params[j].Dim() {
+					return fmt.Errorf("core: feature %q linear block %d has dim %d, want %d",
+						f.Name, j, len(k), a.Params[j].Dim())
+				}
+			}
+			if f.Impact != nil {
+				got, want := f.Impact(orig), f.Linear.Eval(orig)
+				if !vec.ScalarEqualApprox(got, want, 1e-6) {
+					return fmt.Errorf("core: feature %q: Impact(π^orig)=%g disagrees with Linear(π^orig)=%g",
+						f.Name, got, want)
+				}
+			}
+		}
+		v := a.FeatureValue(i, orig)
+		if math.IsNaN(v) {
+			return fmt.Errorf("core: feature %q is NaN at the original operating point", f.Name)
+		}
+		if !f.Bounds.Contains(v) {
+			return fmt.Errorf("core: feature %q = %g already violates bounds [%g, %g] at π^orig",
+				f.Name, v, f.Bounds.Min, f.Bounds.Max)
+		}
+	}
+	return nil
+}
+
+// OrigValues returns a copy of the original parameter values π_j^orig in
+// analysis order.
+func (a *Analysis) OrigValues() []vec.V {
+	out := make([]vec.V, len(a.Params))
+	for j, p := range a.Params {
+		out[j] = p.Orig.Clone()
+	}
+	return out
+}
+
+// Dims returns the per-parameter dimensions n_{π_j}.
+func (a *Analysis) Dims() []int {
+	out := make([]int, len(a.Params))
+	for j, p := range a.Params {
+		out[j] = p.Dim()
+	}
+	return out
+}
+
+// TotalDim returns Σ_j n_{π_j}, the dimension of the combined P-space.
+func (a *Analysis) TotalDim() int {
+	var n int
+	for _, p := range a.Params {
+		n += p.Dim()
+	}
+	return n
+}
+
+// FeatureValue evaluates φ_i at the given parameter values.
+func (a *Analysis) FeatureValue(i int, values []vec.V) float64 {
+	return a.Features[i].impact()(values)
+}
+
+// Violates reports whether any feature violates its bounds at the given
+// parameter values — the ground-truth check the operating-point recipe is
+// validated against in the experiments.
+func (a *Analysis) Violates(values []vec.V) bool {
+	for i, f := range a.Features {
+		if !f.Bounds.Contains(a.FeatureValue(i, values)) {
+			return true
+		}
+	}
+	return false
+}
+
+// concat flattens parameter values into one vector in block order.
+func concat(values []vec.V) vec.V { return vec.Concat(values...) }
+
+// split reverses concat for this analysis' dimensions.
+func (a *Analysis) split(x vec.V) ([]vec.V, error) {
+	return vec.Split(x, a.Dims()...)
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+// twoParamLinear builds a small mixed-kind analysis used across tests:
+// φ1 = 2·e1 + 3·e2 + 5·m1 (exec times in seconds, message length in bytes).
+func twoParamLinear(t *testing.T) *Analysis {
+	t.Helper()
+	params := []Perturbation{
+		{Name: "exec-times", Unit: "s", Orig: vec.Of(1, 2)},
+		{Name: "msg-len", Unit: "bytes", Orig: vec.Of(4)},
+	}
+	lin := &LinearImpact{Coeffs: []vec.V{vec.Of(2, 3), vec.Of(5)}}
+	phiOrig := lin.Eval([]vec.V{vec.Of(1, 2), vec.Of(4)}) // 2+6+20 = 28
+	if phiOrig != 28 {
+		t.Fatalf("fixture: phiOrig = %v", phiOrig)
+	}
+	a, err := NewAnalysis([]Feature{{
+		Name:   "phi1",
+		Bounds: MaxOnly(1.5 * phiOrig), // 42
+		Linear: lin,
+	}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestValidateErrors(t *testing.T) {
+	lin := &LinearImpact{Coeffs: []vec.V{vec.Of(1)}}
+	okFeat := Feature{Name: "f", Bounds: MaxOnly(10), Linear: lin}
+	okParam := Perturbation{Name: "p", Orig: vec.Of(1)}
+
+	cases := []struct {
+		name     string
+		features []Feature
+		params   []Perturbation
+	}{
+		{"no features", nil, []Perturbation{okParam}},
+		{"no params", []Feature{okFeat}, nil},
+		{"empty param", []Feature{okFeat}, []Perturbation{{Name: "p"}}},
+		{"non-finite orig", []Feature{okFeat}, []Perturbation{{Name: "p", Orig: vec.Of(math.NaN())}}},
+		{"no impact", []Feature{{Name: "f", Bounds: MaxOnly(10)}}, []Perturbation{okParam}},
+		{"inverted bounds", []Feature{{Name: "f", Bounds: Band(5, 1), Linear: lin}}, []Perturbation{okParam}},
+		{"linear block count", []Feature{{Name: "f", Bounds: MaxOnly(10),
+			Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(1)}}}}, []Perturbation{okParam}},
+		{"linear block dim", []Feature{{Name: "f", Bounds: MaxOnly(10),
+			Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1, 2)}}}}, []Perturbation{okParam}},
+		{"orig violates bounds", []Feature{{Name: "f", Bounds: MaxOnly(0.5), Linear: lin}}, []Perturbation{okParam}},
+		{"impact disagrees with linear", []Feature{{Name: "f", Bounds: MaxOnly(10), Linear: lin,
+			Impact: func(vs []vec.V) float64 { return 99 }}}, []Perturbation{okParam}},
+	}
+	for _, c := range cases {
+		if _, err := NewAnalysis(c.features, c.params); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestValidateAcceptsConsistent(t *testing.T) {
+	a := twoParamLinear(t)
+	if a.TotalDim() != 3 {
+		t.Errorf("TotalDim = %d", a.TotalDim())
+	}
+	dims := a.Dims()
+	if dims[0] != 2 || dims[1] != 1 {
+		t.Errorf("Dims = %v", dims)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	b := MaxOnly(5)
+	if !b.Contains(4.9) || b.Contains(5.1) || !b.Contains(-1e300) {
+		t.Error("MaxOnly semantics wrong")
+	}
+	b = MinOnly(2)
+	if b.Contains(1.9) || !b.Contains(1e300) {
+		t.Error("MinOnly semantics wrong")
+	}
+	b = Band(1, 3)
+	if b.Contains(0.5) || !b.Contains(2) || b.Contains(3.5) {
+		t.Error("Band semantics wrong")
+	}
+}
+
+func TestFeatureValueAndViolates(t *testing.T) {
+	a := twoParamLinear(t)
+	orig := a.OrigValues()
+	if got := a.FeatureValue(0, orig); got != 28 {
+		t.Errorf("FeatureValue at orig = %v, want 28", got)
+	}
+	if a.Violates(orig) {
+		t.Error("original point must not violate")
+	}
+	// Push exec times far up: 2·10 + 3·20 + 5·4 = 100 > 42.
+	if !a.Violates([]vec.V{vec.Of(10, 20), vec.Of(4)}) {
+		t.Error("clearly violating point not flagged")
+	}
+}
+
+func TestOrigValuesIsCopy(t *testing.T) {
+	a := twoParamLinear(t)
+	vs := a.OrigValues()
+	vs[0][0] = 999
+	if a.Params[0].Orig[0] == 999 {
+		t.Error("OrigValues must deep-copy")
+	}
+}
+
+func TestRadiusSingleLinearMatchesHandComputation(t *testing.T) {
+	a := twoParamLinear(t)
+	// Param 0 (exec-times): boundary 2e1 + 3e2 = 42 − 20 = 22 from (1, 2);
+	// distance |2 + 6 − 22|/√13 = 14/√13.
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 14 / math.Sqrt(13)
+	if math.Abs(r.Value-want) > 1e-12 {
+		t.Errorf("r(phi, exec) = %v, want %v", r.Value, want)
+	}
+	if !r.Analytic || r.Side != SideMax {
+		t.Errorf("radius metadata wrong: %+v", r)
+	}
+	// Param 1 (msg-len): boundary 5m = 42 − 8 = 34 from 4: |20 − 34|/5 = 2.8.
+	r, err = a.RadiusSingle(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-2.8) > 1e-12 {
+		t.Errorf("r(phi, msg) = %v, want 2.8", r.Value)
+	}
+}
+
+func TestRadiusSingleNumericMatchesLinear(t *testing.T) {
+	// Same system expressed only as a general Impact: numeric tier must
+	// agree with the analytic tier.
+	params := []Perturbation{
+		{Name: "exec-times", Unit: "s", Orig: vec.Of(1, 2)},
+		{Name: "msg-len", Unit: "bytes", Orig: vec.Of(4)},
+	}
+	a, err := NewAnalysis([]Feature{{
+		Name:   "phi1",
+		Bounds: MaxOnly(42),
+		Impact: func(vs []vec.V) float64 { return 2*vs[0][0] + 3*vs[0][1] + 5*vs[1][0] },
+	}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 14 / math.Sqrt(13)
+	if math.Abs(r.Value-want) > 1e-5 {
+		t.Errorf("numeric r = %v, want %v", r.Value, want)
+	}
+	if r.Analytic {
+		t.Error("numeric tier must not be marked analytic")
+	}
+}
+
+func TestRadiusSingleBothBounds(t *testing.T) {
+	// Feature with a band: φ = x with 0.5 ≤ φ ≤ 4, orig x = 1. The min
+	// boundary (distance 0.5) is nearer than the max (distance 3).
+	a, err := NewAnalysis([]Feature{{
+		Name:   "phi",
+		Bounds: Band(0.5, 4),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-0.5) > 1e-12 || r.Side != SideMin {
+		t.Errorf("band radius = %v side %v, want 0.5 on beta-min", r.Value, r.Side)
+	}
+}
+
+func TestRadiusSingleUnreachable(t *testing.T) {
+	// Feature ignores the parameter entirely: infinitely robust.
+	a, err := NewAnalysis([]Feature{{
+		Name:   "phi",
+		Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(0)}},
+	}}, []Perturbation{
+		{Name: "used", Orig: vec.Of(1)},
+		{Name: "ignored", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RadiusSingle(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.Value, 1) || r.Side != SideNone {
+		t.Errorf("unreachable radius = %+v, want +Inf/none", r)
+	}
+}
+
+func TestRadiusSingleBadIndex(t *testing.T) {
+	a := twoParamLinear(t)
+	if _, err := a.RadiusSingle(5, 0); err == nil {
+		t.Error("bad feature index must error")
+	}
+	if _, err := a.RadiusSingle(0, 5); err == nil {
+		t.Error("bad param index must error")
+	}
+	if _, err := a.RobustnessSingle(-1); err == nil {
+		t.Error("bad param index must error")
+	}
+}
+
+func TestRobustnessSingleTakesMinOverFeatures(t *testing.T) {
+	params := []Perturbation{{Name: "x", Orig: vec.Of(1)}}
+	mk := func(maxVal float64) Feature {
+		return Feature{
+			Name:   "phi",
+			Bounds: MaxOnly(maxVal),
+			Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}},
+		}
+	}
+	a, err := NewAnalysis([]Feature{mk(10), mk(3), mk(7)}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RobustnessSingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-2) > 1e-12 || r.Feature != 1 {
+		t.Errorf("rho = %v via feature %d, want 2 via feature 1", r.Value, r.Feature)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"fepia/internal/vec"
+)
+
+// Custom is the paper's general weighted concatenation
+// P = (α_1×π_1) ⋆ (α_2×π_2) ⋆ … with caller-chosen weighting constants α_j
+// (one per perturbation parameter). The paper introduces this form before
+// specializing it to the sensitivity and normalized schemes; exposing it
+// lets users encode domain unit conversions directly (e.g. "one second of
+// execution time matters as much as 100 KB of message traffic").
+//
+// The α_j must be nonzero and finite. Note the caveat the paper attaches to
+// any such scheme: the combined radius is only meaningful relative to the
+// chosen α's — two analyses are comparable only under the same weighting.
+type Custom struct {
+	// Alphas holds α_j per perturbation parameter, in analysis order.
+	Alphas vec.V
+	// Label optionally names the weighting in reports (default "custom").
+	Label string
+}
+
+// Name implements Weighting.
+func (c Custom) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "custom"
+}
+
+// Scales implements Weighting: block j of the diagonal is α_j repeated over
+// the block's elements. The feature index is ignored (the weighting is
+// feature-independent, like Normalized).
+func (c Custom) Scales(a *Analysis, _ int) (vec.V, error) {
+	if len(c.Alphas) != len(a.Params) {
+		return nil, fmt.Errorf("%w: %d alphas for %d parameters",
+			ErrDegenerateWeighting, len(c.Alphas), len(a.Params))
+	}
+	d := make(vec.V, 0, a.TotalDim())
+	for j, p := range a.Params {
+		alpha := c.Alphas[j]
+		if alpha == 0 || !vec.Of(alpha).AllFinite() {
+			return nil, fmt.Errorf("%w: alpha[%d] = %g", ErrDegenerateWeighting, j, alpha)
+		}
+		for k := 0; k < p.Dim(); k++ {
+			d = append(d, alpha)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+func TestCustomName(t *testing.T) {
+	if (Custom{}).Name() != "custom" {
+		t.Error("default name wrong")
+	}
+	if (Custom{Label: "unit-adjusted"}).Name() != "unit-adjusted" {
+		t.Error("label not used")
+	}
+}
+
+func TestCustomScalesShape(t *testing.T) {
+	a := twoParamLinear(t) // dims 2 + 1
+	d, err := Custom{Alphas: vec.Of(2, 0.5)}.Scales(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.EqualApprox(vec.Of(2, 2, 0.5), 0) {
+		t.Errorf("scales = %v", d)
+	}
+}
+
+func TestCustomErrors(t *testing.T) {
+	a := twoParamLinear(t)
+	if _, err := (Custom{Alphas: vec.Of(1)}).Scales(a, 0); err == nil {
+		t.Error("alpha count mismatch must error")
+	}
+	if _, err := (Custom{Alphas: vec.Of(1, 0)}).Scales(a, 0); err == nil {
+		t.Error("zero alpha must error")
+	}
+	if _, err := (Custom{Alphas: vec.Of(1, math.NaN())}).Scales(a, 0); err == nil {
+		t.Error("NaN alpha must error")
+	}
+}
+
+func TestCustomMatchesSensitivityWhenAlphasAreReciprocalRadii(t *testing.T) {
+	// Setting α_j = 1/r_μ(φ, π_j) by hand must reproduce the sensitivity
+	// weighting's combined radius exactly — the two paths implement the
+	// same P construction.
+	a, err := LinearOneElemAnalysis(vec.Of(2, 3, 5), vec.Of(1, 2, 4), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := make(vec.V, 3)
+	for j := 0; j < 3; j++ {
+		r, err := a.RadiusSingle(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphas[j] = 1 / r.Value
+	}
+	rc, err := a.CombinedRadius(0, Custom{Alphas: alphas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := a.CombinedRadius(0, Sensitivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rc.Value-rs.Value) > 1e-12 {
+		t.Errorf("custom %v vs sensitivity %v", rc.Value, rs.Value)
+	}
+}
+
+func TestCustomRadiusScaleBehavior(t *testing.T) {
+	// Up-weighting a parameter (larger alpha) stretches its axis in
+	// P-space, so boundary points that move along it get FARTHER and the
+	// radius vs that direction grows; the minimum radius shifts to the
+	// other kind. Verify the qualitative direction on the fixture.
+	a := twoParamLinear(t)
+	base, err := a.CombinedRadius(0, Custom{Alphas: vec.Of(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := a.CombinedRadius(0, Custom{Alphas: vec.Of(100, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Value <= base.Value {
+		t.Errorf("up-weighting exec-times should raise the radius: %v -> %v", base.Value, heavy.Value)
+	}
+}
+
+func TestCustomTolerableRoundTrip(t *testing.T) {
+	a := twoParamLinear(t)
+	w := Custom{Alphas: vec.Of(1, 1e-3), Label: "bytes-to-kb"}
+	ok, err := a.Tolerable(a.OrigValues(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("orig point must be tolerable under any valid weighting")
+	}
+	vals := []vec.V{vec.Of(1.01, 2.01), vec.Of(4.01)}
+	p, err := ToP(a, w, 0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromP(a, w, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vals {
+		if !back[j].EqualApprox(vals[j], 1e-12) {
+			t.Errorf("round trip block %d: %v -> %v", j, vals[j], back[j])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/optimize"
+	"fepia/internal/vec"
+)
+
+// This file adds directional diagnostics to the radius machinery. Figure 1
+// of the paper shows "some possible directions of increase of the
+// perturbation parameter" — the radius is the minimum over all of them, but
+// operators frequently know the likely drift direction (e.g. "sensor loads
+// only ever grow") and want the slack along it.
+
+// ErrBadDirection reports an unusable direction vector.
+var ErrBadDirection = errors.New("core: invalid direction")
+
+// DirectionalRadius computes how far the single parameter π_j can move from
+// π_j^orig along the given direction before feature φ_i leaves its bounds:
+//
+//	sup{ t ≥ 0 : f(π^orig + t·d̂) within bounds },  d̂ = dir/‖dir‖₂.
+//
+// It returns +Inf when the feature never leaves its bounds along the ray
+// (within a large search span). By definition the result is ≥ the
+// (direction-free) robustness radius r_μ(φ_i, π_j).
+func (a *Analysis) DirectionalRadius(i, j int, dir vec.V) (float64, error) {
+	if i < 0 || i >= len(a.Features) {
+		return 0, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
+	}
+	if j < 0 || j >= len(a.Params) {
+		return 0, fmt.Errorf("%w: parameter %d of %d", ErrBadIndex, j, len(a.Params))
+	}
+	if len(dir) != a.Params[j].Dim() {
+		return 0, fmt.Errorf("%w: dim %d, want %d", ErrBadDirection, len(dir), a.Params[j].Dim())
+	}
+	n := dir.Norm2()
+	if n == 0 || !dir.AllFinite() {
+		return 0, fmt.Errorf("%w: zero or non-finite direction", ErrBadDirection)
+	}
+	unit := dir.Scale(1 / n)
+
+	f := a.Features[i]
+	impact := f.impact()
+	orig := a.OrigValues()
+	value := func(t float64) float64 {
+		vals := make([]vec.V, len(orig))
+		copy(vals, orig)
+		vals[j] = a.Params[j].Orig.AddScaled(t, unit)
+		return impact(vals)
+	}
+	// The feature satisfies its bounds at t = 0 (Validate enforces this).
+	// March outward to bracket the first bound crossing of either side.
+	inBounds := func(t float64) bool { return f.Bounds.Contains(value(t)) }
+	span := 1e6 * (1 + a.Params[j].Orig.NormInf())
+	g := func(t float64) float64 {
+		if inBounds(t) {
+			return -1
+		}
+		return 1
+	}
+	lo, hi, err := optimize.BracketRoot(g, 0, 1e-3*(1+a.Params[j].Orig.NormInf()), span)
+	if err != nil {
+		return math.Inf(1), nil // never leaves bounds along this ray
+	}
+	// Refine the step boundary by bisection on the indicator.
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := 0.5 * (lo + hi)
+		if inBounds(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// CriticalDirection returns, for feature i and parameter j, the unit
+// direction from π_j^orig to the nearest boundary point π_j*(φ_i) — the
+// "direction of the smallest increase" highlighted in Figure 1. It returns
+// an error when the radius is zero or unreachable.
+func (a *Analysis) CriticalDirection(i, j int) (vec.V, error) {
+	r, err := a.RadiusSingle(i, j)
+	if err != nil {
+		return nil, err
+	}
+	if r.Side == SideNone || r.Point == nil {
+		return nil, fmt.Errorf("%w: no reachable boundary for feature %d / param %d", ErrBadDirection, i, j)
+	}
+	d := r.Point.Sub(a.Params[j].Orig)
+	n := d.Norm2()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: already on the boundary", ErrBadDirection)
+	}
+	return d.Scale(1 / n), nil
+}

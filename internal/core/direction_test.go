@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+func TestDirectionalRadiusAxisAligned(t *testing.T) {
+	// φ = 2e1 + 3e2 + 5m, bound 42, orig (1,2),(4) → φ^orig = 28.
+	a := twoParamLinear(t)
+	// Along +e1 only: 2(1+t) + 6 + 20 = 42 → t = 7.
+	d, err := a.DirectionalRadius(0, 0, vec.Of(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-7) > 1e-9 {
+		t.Errorf("directional radius = %v, want 7", d)
+	}
+	// Along +e2 only: 3t = 14 → t = 14/3.
+	d, err = a.DirectionalRadius(0, 0, vec.Of(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-14.0/3) > 1e-9 {
+		t.Errorf("directional radius = %v, want 14/3", d)
+	}
+	// Along the message-length parameter: 5t = 14 → 2.8.
+	d, err = a.DirectionalRadius(0, 1, vec.Of(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2.8) > 1e-9 {
+		t.Errorf("msg directional radius = %v, want 2.8", d)
+	}
+}
+
+func TestDirectionalRadiusScaleInvariant(t *testing.T) {
+	a := twoParamLinear(t)
+	d1, err := a.DirectionalRadius(0, 0, vec.Of(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.DirectionalRadius(0, 0, vec.Of(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("direction scaling changed the radius: %v vs %v", d1, d2)
+	}
+}
+
+func TestDirectionalRadiusDecreasingDirectionIsInf(t *testing.T) {
+	// Moving in the direction that decreases φ never violates a MaxOnly
+	// bound: infinite slack.
+	a := twoParamLinear(t)
+	d, err := a.DirectionalRadius(0, 0, vec.Of(-1, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Errorf("decreasing direction should be infinitely tolerable, got %v", d)
+	}
+}
+
+func TestDirectionalAtLeastRadius(t *testing.T) {
+	// Property: every directional radius ≥ the direction-free radius.
+	a := twoParamLinear(t)
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		dir := vec.Of(src.Normal(0, 1), src.Normal(0, 1))
+		if dir.Norm2() < 1e-6 {
+			return true
+		}
+		d, err := a.DirectionalRadius(0, 0, dir)
+		if err != nil {
+			return false
+		}
+		return d >= r.Value-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionalRadiusErrors(t *testing.T) {
+	a := twoParamLinear(t)
+	if _, err := a.DirectionalRadius(9, 0, vec.Of(1, 0)); err == nil {
+		t.Error("bad feature index must error")
+	}
+	if _, err := a.DirectionalRadius(0, 9, vec.Of(1, 0)); err == nil {
+		t.Error("bad param index must error")
+	}
+	if _, err := a.DirectionalRadius(0, 0, vec.Of(1)); err == nil {
+		t.Error("dim mismatch must error")
+	}
+	if _, err := a.DirectionalRadius(0, 0, vec.Of(0, 0)); err == nil {
+		t.Error("zero direction must error")
+	}
+	if _, err := a.DirectionalRadius(0, 0, vec.Of(math.NaN(), 1)); err == nil {
+		t.Error("NaN direction must error")
+	}
+}
+
+func TestCriticalDirection(t *testing.T) {
+	a := twoParamLinear(t)
+	dir, err := a.CriticalDirection(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the hyperplane 2x + 3y = 22 the critical direction is the unit
+	// normal (2, 3)/√13.
+	want := vec.Of(2, 3).Normalize()
+	if !dir.EqualApprox(want, 1e-9) {
+		t.Errorf("critical direction = %v, want %v", dir, want)
+	}
+	// The directional radius along the critical direction equals the
+	// direction-free radius.
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.DirectionalRadius(0, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-r.Value) > 1e-6 {
+		t.Errorf("critical-direction slack %v != radius %v", d, r.Value)
+	}
+}
+
+func TestCriticalDirectionUnreachable(t *testing.T) {
+	a, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(0)}},
+	}}, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CriticalDirection(0, 1); err == nil {
+		t.Error("unreachable boundary must error")
+	}
+}

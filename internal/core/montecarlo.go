@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// This file implements a Monte-Carlo complement to the worst-case radius.
+// The robustness radius answers "how far can the parameters move in the
+// WORST direction before a violation?"; operators often also want "if the
+// parameters drift randomly with a given spread, how likely is a
+// violation?" Comparing the two on the same system quantifies how
+// conservative the radius is for a given uncertainty model — experiment E11.
+
+// MCModel selects the random perturbation model for Monte-Carlo estimation.
+type MCModel int
+
+const (
+	// MCRelativeNormal perturbs every element multiplicatively:
+	// π_e = π_e^orig · (1 + σ·Z), truncated at a small positive floor.
+	// This matches the normalized P-space geometry (spread is relative).
+	MCRelativeNormal MCModel = iota
+	// MCUniformBall draws uniformly from the normalized-P-space ball of
+	// radius σ around P^orig (direction uniform on the sphere, radius
+	// ∝ U^{1/d}); with σ equal to the robustness radius the violation
+	// probability must be exactly zero.
+	MCUniformBall
+)
+
+// String names the model.
+func (m MCModel) String() string {
+	switch m {
+	case MCRelativeNormal:
+		return "relative-normal"
+	case MCUniformBall:
+		return "uniform-P-ball"
+	default:
+		return fmt.Sprintf("MCModel(%d)", int(m))
+	}
+}
+
+// MCOptions configure MonteCarlo.
+type MCOptions struct {
+	// Model selects the perturbation distribution.
+	Model MCModel
+	// Spread is the model's scale: σ of the relative-normal model, or the
+	// P-space ball radius of the uniform-ball model. Must be positive.
+	Spread float64
+	// Samples is the number of random operating points (default 10000).
+	Samples int
+	// Seed drives the deterministic sample stream.
+	Seed int64
+}
+
+// MCResult summarizes a Monte-Carlo robustness estimation.
+type MCResult struct {
+	// Samples actually evaluated.
+	Samples int
+	// Violations counts samples at which some feature left its bounds.
+	Violations int
+	// ViolationRate is Violations/Samples.
+	ViolationRate float64
+	// MeanPDist and MaxPDist describe the sampled ‖P − P^orig‖₂ (normalized
+	// weighting) for cross-reading against the robustness radius.
+	MeanPDist, MaxPDist float64
+	// CriticalFeature is the feature index that violated most often (−1 if
+	// no violations).
+	CriticalFeature int
+}
+
+// ErrBadMC reports invalid Monte-Carlo options.
+var ErrBadMC = errors.New("core: invalid Monte-Carlo options")
+
+// MonteCarlo estimates the violation probability of the allocation under
+// random parameter drift. It requires strictly positive original values
+// (the perturbation models are relative). The returned statistics are
+// deterministic for a fixed seed.
+func (a *Analysis) MonteCarlo(opt MCOptions) (MCResult, error) {
+	if opt.Spread <= 0 || math.IsNaN(opt.Spread) {
+		return MCResult{}, fmt.Errorf("%w: spread %g", ErrBadMC, opt.Spread)
+	}
+	if opt.Samples <= 0 {
+		opt.Samples = 10000
+	}
+	origFlat := concat(a.OrigValues())
+	if !origFlat.AllPositive() {
+		return MCResult{}, fmt.Errorf("%w: relative models need positive originals", ErrBadMC)
+	}
+	d := len(origFlat)
+	src := stats.NewSource(opt.Seed ^ 0x6dc5a7)
+	dims := a.Dims()
+
+	var res MCResult
+	violBy := make([]int, len(a.Features))
+	var sumDist float64
+	for s := 0; s < opt.Samples; s++ {
+		// Draw the relative factor vector p (P-space point).
+		p := make(vec.V, d)
+		switch opt.Model {
+		case MCRelativeNormal:
+			for e := range p {
+				f := 1 + opt.Spread*src.Normal(0, 1)
+				if f < 1e-9 {
+					f = 1e-9
+				}
+				p[e] = f
+			}
+		case MCUniformBall:
+			dir := make(vec.V, d)
+			for e := range dir {
+				dir[e] = src.Normal(0, 1)
+			}
+			dir = dir.Normalize()
+			r := opt.Spread * math.Pow(src.Float64(), 1/float64(d))
+			for e := range p {
+				p[e] = 1 + r*dir[e]
+				if p[e] < 1e-9 {
+					p[e] = 1e-9
+				}
+			}
+		default:
+			return MCResult{}, fmt.Errorf("%w: unknown model %d", ErrBadMC, int(opt.Model))
+		}
+		dist := p.Dist2(vec.Ones(d))
+		sumDist += dist
+		if dist > res.MaxPDist {
+			res.MaxPDist = dist
+		}
+		native := origFlat.Mul(p)
+		vals, err := vec.Split(native, dims...)
+		if err != nil {
+			return MCResult{}, err
+		}
+		violated := false
+		for i, f := range a.Features {
+			if !f.Bounds.Contains(a.FeatureValue(i, vals)) {
+				violBy[i]++
+				violated = true
+			}
+		}
+		if violated {
+			res.Violations++
+		}
+	}
+	res.Samples = opt.Samples
+	res.ViolationRate = float64(res.Violations) / float64(opt.Samples)
+	res.MeanPDist = sumDist / float64(opt.Samples)
+	res.CriticalFeature = -1
+	worst := 0
+	for i, v := range violBy {
+		if v > worst {
+			worst, res.CriticalFeature = v, i
+		}
+	}
+	return res, nil
+}

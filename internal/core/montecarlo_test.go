@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+func TestMonteCarloUniformBallInsideRadiusIsSafe(t *testing.T) {
+	// The defining relationship: sampling uniformly from the P-ball of
+	// radius rho (the normalized combined radius) must produce ZERO
+	// violations — the ball is the certified region.
+	a := twoParamLinear(t)
+	rho, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.MonteCarlo(MCOptions{
+		Model:   MCUniformBall,
+		Spread:  rho.Value * 0.999,
+		Samples: 5000,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations inside the certified ball: %d", res.Violations)
+	}
+	if res.MaxPDist >= rho.Value {
+		t.Errorf("sampled distance %v exceeded requested ball %v", res.MaxPDist, rho.Value*0.999)
+	}
+	if res.CriticalFeature != -1 {
+		t.Errorf("critical feature should be -1 with no violations, got %d", res.CriticalFeature)
+	}
+}
+
+func TestMonteCarloBeyondRadiusFindsViolations(t *testing.T) {
+	a := twoParamLinear(t)
+	rho, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.MonteCarlo(MCOptions{
+		Model:   MCUniformBall,
+		Spread:  rho.Value * 3,
+		Samples: 5000,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Error("a ball 3x the radius must contain violating points")
+	}
+	if res.CriticalFeature != 0 {
+		t.Errorf("critical feature = %d, want 0 (the only feature)", res.CriticalFeature)
+	}
+	if res.ViolationRate != float64(res.Violations)/float64(res.Samples) {
+		t.Error("rate inconsistent with counts")
+	}
+}
+
+func TestMonteCarloRelativeNormalRateGrowsWithSpread(t *testing.T) {
+	a := twoParamLinear(t)
+	var prev float64
+	for _, sigma := range []float64{0.05, 0.2, 0.5} {
+		res, err := a.MonteCarlo(MCOptions{Model: MCRelativeNormal, Spread: sigma, Samples: 4000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ViolationRate < prev {
+			t.Errorf("violation rate not monotone in spread: %v after %v", res.ViolationRate, prev)
+		}
+		prev = res.ViolationRate
+	}
+	if prev == 0 {
+		t.Error("sigma=0.5 should produce some violations on this system")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	a := twoParamLinear(t)
+	opt := MCOptions{Model: MCRelativeNormal, Spread: 0.3, Samples: 1000, Seed: 42}
+	r1, err := a.MonteCarlo(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.MonteCarlo(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("Monte-Carlo must be deterministic for a fixed seed")
+	}
+}
+
+func TestMonteCarloOptionErrors(t *testing.T) {
+	a := twoParamLinear(t)
+	if _, err := a.MonteCarlo(MCOptions{Spread: 0}); err == nil {
+		t.Error("zero spread must error")
+	}
+	if _, err := a.MonteCarlo(MCOptions{Spread: math.NaN()}); err == nil {
+		t.Error("NaN spread must error")
+	}
+	if _, err := a.MonteCarlo(MCOptions{Spread: 0.1, Model: MCModel(99)}); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestMonteCarloNeedsPositiveOriginals(t *testing.T) {
+	aNeg, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(-1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aNeg.MonteCarlo(MCOptions{Spread: 0.1}); err == nil {
+		t.Error("negative originals must be rejected")
+	}
+}
+
+func TestMonteCarloDefaultSamples(t *testing.T) {
+	a := twoParamLinear(t)
+	res, err := a.MonteCarlo(MCOptions{Model: MCRelativeNormal, Spread: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 10000 {
+		t.Errorf("default samples = %d, want 10000", res.Samples)
+	}
+}
+
+func TestMCModelString(t *testing.T) {
+	if MCRelativeNormal.String() != "relative-normal" || MCUniformBall.String() != "uniform-P-ball" {
+		t.Error("model names wrong")
+	}
+	if MCModel(9).String() == "" {
+		t.Error("unknown model must still render")
+	}
+}

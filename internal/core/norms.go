@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/vec"
+)
+
+// The paper defines the robustness radius with the Euclidean (ℓ2) norm; the
+// choice encodes an assumption about how perturbations combine. This file
+// adds the two other standard choices for linear impact functions, enabling
+// the norm-ablation experiment (E10):
+//
+//   - ℓ1 radius — "total budget": the smallest total absolute drift, spent
+//     however adversarially, that violates a bound. The nearest boundary
+//     point moves a single coordinate (the most effective one).
+//   - ℓ∞ radius — "uniform drift": the smallest per-element drift, applied
+//     to every element at once in the worst signs, that violates a bound.
+//
+// For a hyperplane {x : k·x = b}, min ‖x − x0‖_p subject to k·x = b equals
+// |k·x0 − b| / ‖k‖_q with 1/p + 1/q = 1 (dual norm), so every variant stays
+// closed-form.
+
+// Norm selects the distance notion for the robustness radius.
+type Norm int
+
+const (
+	// L2 is the paper's Euclidean radius.
+	L2 Norm = iota
+	// L1 is the total-absolute-drift radius (dual ℓ∞).
+	L1
+	// LInf is the uniform-per-element radius (dual ℓ1).
+	LInf
+)
+
+// String names the norm.
+func (n Norm) String() string {
+	switch n {
+	case L2:
+		return "l2"
+	case L1:
+		return "l1"
+	case LInf:
+		return "linf"
+	default:
+		return fmt.Sprintf("Norm(%d)", int(n))
+	}
+}
+
+// ErrNeedLinear is returned when a norm-generalized radius is requested for
+// a feature without a declared linear impact.
+var ErrNeedLinear = errors.New("core: norm-generalized radii require a linear impact function")
+
+// RadiusSingleNorm computes r_μ(φ_i, π_j) under the given norm for a
+// linear feature. With Norm == L2 it agrees with RadiusSingle.
+func (a *Analysis) RadiusSingleNorm(i, j int, norm Norm) (Radius, error) {
+	if i < 0 || i >= len(a.Features) {
+		return Radius{}, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
+	}
+	if j < 0 || j >= len(a.Params) {
+		return Radius{}, fmt.Errorf("%w: parameter %d of %d", ErrBadIndex, j, len(a.Params))
+	}
+	switch norm {
+	case L1, L2, LInf:
+	default:
+		return Radius{}, fmt.Errorf("core: unknown norm %v", norm)
+	}
+	f := a.Features[i]
+	if f.Linear == nil {
+		return Radius{}, fmt.Errorf("%w: feature %q", ErrNeedLinear, f.Name)
+	}
+	orig := a.OrigValues()
+	rest := f.Linear.Const
+	for m, k := range f.Linear.Coeffs {
+		if m != j {
+			rest += k.Dot(orig[m])
+		}
+	}
+	kj := f.Linear.Coeffs[j]
+	x0 := a.Params[j].Orig
+	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: j, Analytic: true}
+	for _, side := range []struct {
+		beta float64
+		side BoundarySide
+	}{{f.Bounds.Max, SideMax}, {f.Bounds.Min, SideMin}} {
+		if math.IsInf(side.beta, 0) {
+			continue
+		}
+		pt, d, err := nearestLp(kj, side.beta-rest, x0, norm)
+		if err != nil {
+			continue // degenerate (zero coefficients): bound unreachable
+		}
+		if d < best.Value {
+			best.Value, best.Point, best.Side = d, pt, side.side
+		}
+	}
+	return best, nil
+}
+
+// RobustnessSingleNorm is min over features of RadiusSingleNorm.
+func (a *Analysis) RobustnessSingleNorm(j int, norm Norm) (Radius, error) {
+	if j < 0 || j >= len(a.Params) {
+		return Radius{}, fmt.Errorf("%w: parameter %d of %d", ErrBadIndex, j, len(a.Params))
+	}
+	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: -1, Param: j}
+	for i := range a.Features {
+		r, err := a.RadiusSingleNorm(i, j, norm)
+		if err != nil {
+			return Radius{}, err
+		}
+		if r.Value < best.Value {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// nearestLp solves min ‖x − x0‖_p s.t. k·x = b for p ∈ {1, 2, ∞}.
+func nearestLp(k vec.V, b float64, x0 vec.V, norm Norm) (vec.V, float64, error) {
+	if len(k) != len(x0) {
+		return nil, 0, fmt.Errorf("core: nearestLp: %w", vec.ErrDimMismatch)
+	}
+	gap := b - k.Dot(x0)
+	switch norm {
+	case L2:
+		n2 := k.Dot(k)
+		if n2 == 0 {
+			return nil, 0, ErrNeedLinear
+		}
+		pt := x0.AddScaled(gap/n2, k)
+		return pt, math.Abs(gap) / math.Sqrt(n2), nil
+	case L1:
+		// Spend the whole budget on the most effective coordinate.
+		e, mag := -1, 0.0
+		for idx, ke := range k {
+			if a := math.Abs(ke); a > mag {
+				e, mag = idx, a
+			}
+		}
+		if e < 0 {
+			return nil, 0, ErrNeedLinear
+		}
+		pt := x0.Clone()
+		pt[e] += gap / k[e]
+		return pt, math.Abs(gap) / mag, nil
+	case LInf:
+		n1 := k.Norm1()
+		if n1 == 0 {
+			return nil, 0, ErrNeedLinear
+		}
+		t := gap / n1
+		pt := x0.Clone()
+		for idx, ke := range k {
+			if ke > 0 {
+				pt[idx] += t
+			} else if ke < 0 {
+				pt[idx] -= t
+			}
+		}
+		return pt, math.Abs(t), nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown norm %v", norm)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+func TestRadiusSingleNormL2AgreesWithRadiusSingle(t *testing.T) {
+	a := twoParamLinear(t)
+	for j := 0; j < 2; j++ {
+		r2, err := a.RadiusSingle(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := a.RadiusSingleNorm(0, j, L2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r2.Value-rn.Value) > 1e-12 {
+			t.Errorf("param %d: L2 norm radius %v != RadiusSingle %v", j, rn.Value, r2.Value)
+		}
+	}
+}
+
+func TestRadiusSingleNormKnownValues(t *testing.T) {
+	// Boundary for param 0 of the fixture: 2x + 3y = 22 from (1, 2).
+	// gap = 22 − 8 = 14.
+	a := twoParamLinear(t)
+	cases := []struct {
+		norm Norm
+		want float64
+	}{
+		{L2, 14 / math.Sqrt(13)}, // dual l2
+		{L1, 14.0 / 3},           // dual l-inf: max|k| = 3
+		{LInf, 14.0 / 5},         // dual l1: |2|+|3| = 5
+	}
+	for _, c := range cases {
+		r, err := a.RadiusSingleNorm(0, 0, c.norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Value-c.want) > 1e-12 {
+			t.Errorf("%v radius = %v, want %v", c.norm, r.Value, c.want)
+		}
+		if !r.Analytic || r.Side != SideMax {
+			t.Errorf("%v metadata wrong: %+v", c.norm, r)
+		}
+		// The returned point must lie on the boundary.
+		vals := []vec.V{r.Point, a.Params[1].Orig}
+		if got := a.FeatureValue(0, vals); math.Abs(got-42) > 1e-9 {
+			t.Errorf("%v boundary point maps to %v, want 42", c.norm, got)
+		}
+	}
+}
+
+func TestNormOrderingProperty(t *testing.T) {
+	// ‖·‖∞ ≤ ‖·‖₂ ≤ ‖·‖₁ implies r_l1 ≥ r_l2 ≥ r_linf for the same
+	// boundary (bigger norm → smaller distances → smaller radius... and
+	// inversely for the radius as a minimum of the norm). Verify on random
+	// linear systems.
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		n := src.Intn(5) + 2
+		k := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := range k {
+			k[i] = src.Uniform(0.1, 10)
+			orig[i] = src.Uniform(0.1, 10)
+		}
+		a, err := LinearOneElemAnalysis(k, orig, 1.1+src.Float64())
+		if err != nil {
+			return false
+		}
+		// The Section 3.1 system has one-element parameters; use a single
+		// multi-element system instead for a meaningful norm comparison.
+		multi, err := NewAnalysis([]Feature{{
+			Name:   "phi",
+			Bounds: a.Features[0].Bounds,
+			Linear: &LinearImpact{Coeffs: []vec.V{k}},
+		}}, []Perturbation{{Name: "pi", Orig: orig}})
+		if err != nil {
+			return false
+		}
+		r1, err := multi.RadiusSingleNorm(0, 0, L1)
+		if err != nil {
+			return false
+		}
+		r2, err := multi.RadiusSingleNorm(0, 0, L2)
+		if err != nil {
+			return false
+		}
+		rInf, err := multi.RadiusSingleNorm(0, 0, LInf)
+		if err != nil {
+			return false
+		}
+		return r1.Value >= r2.Value-1e-12 && r2.Value >= rInf.Value-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobustnessSingleNorm(t *testing.T) {
+	params := []Perturbation{{Name: "x", Orig: vec.Of(1, 1)}}
+	mk := func(maxVal float64, k vec.V) Feature {
+		return Feature{Name: "phi", Bounds: MaxOnly(maxVal),
+			Linear: &LinearImpact{Coeffs: []vec.V{k}}}
+	}
+	a, err := NewAnalysis([]Feature{
+		mk(10, vec.Of(1, 1)), // gap 8, l1 radius 8
+		mk(4, vec.Of(1, 0)),  // gap 3, l1 radius 3
+	}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RobustnessSingleNorm(0, L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-3) > 1e-12 || r.Feature != 1 {
+		t.Errorf("rho_l1 = %v via feature %d, want 3 via 1", r.Value, r.Feature)
+	}
+}
+
+func TestRadiusSingleNormErrors(t *testing.T) {
+	a := twoParamLinear(t)
+	if _, err := a.RadiusSingleNorm(9, 0, L2); err == nil {
+		t.Error("bad feature index must error")
+	}
+	if _, err := a.RadiusSingleNorm(0, 9, L2); err == nil {
+		t.Error("bad param index must error")
+	}
+	if _, err := a.RobustnessSingleNorm(-1, L2); err == nil {
+		t.Error("bad param index must error")
+	}
+	// Non-linear features are rejected.
+	aNum, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Impact: func(vs []vec.V) float64 { return vs[0][0] },
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aNum.RadiusSingleNorm(0, 0, L1); err == nil {
+		t.Error("non-linear feature must be rejected")
+	}
+	if _, err := a.RadiusSingleNorm(0, 0, Norm(9)); err == nil {
+		t.Error("unknown norm must error")
+	}
+}
+
+func TestNormUnreachableBoundary(t *testing.T) {
+	a, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(10),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1), vec.Of(0)}},
+	}}, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, norm := range []Norm{L1, L2, LInf} {
+		r, err := a.RadiusSingleNorm(0, 1, norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(r.Value, 1) {
+			t.Errorf("%v: unreachable boundary should give +Inf, got %v", norm, r.Value)
+		}
+	}
+}
+
+func TestNormString(t *testing.T) {
+	if L2.String() != "l2" || L1.String() != "l1" || LInf.String() != "linf" {
+		t.Error("norm names wrong")
+	}
+	if Norm(7).String() == "" {
+		t.Error("unknown norm must render")
+	}
+}

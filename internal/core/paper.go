@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/vec"
+)
+
+// This file carries the paper's closed-form results as standalone formulas.
+// The experiments compare the analysis engine's output against these
+// expressions; they are the "expected" column of EXPERIMENTS.md.
+
+// SingleParamRadiusLinear is the paper's Step-1 closed form (Section 3.1):
+// for a linear feature φ = Σ_m k_m·π_m over n one-element parameters with
+// original values π^orig and requirement β^max = β·φ^orig (β > 1), the
+// single-parameter robustness radius with respect to π_j is
+//
+//	r_μ(φ, π_j) = (β − 1)/k_j · Σ_m k_m·π_m^orig.
+//
+// k_j must be nonzero.
+func SingleParamRadiusLinear(k, orig vec.V, j int, beta float64) (float64, error) {
+	if len(k) != len(orig) {
+		return 0, fmt.Errorf("core: SingleParamRadiusLinear: %w", vec.ErrDimMismatch)
+	}
+	if j < 0 || j >= len(k) {
+		return 0, fmt.Errorf("%w: j=%d of %d", ErrBadIndex, j, len(k))
+	}
+	if k[j] == 0 {
+		return 0, fmt.Errorf("%w: k[%d] = 0", ErrDegenerateWeighting, j)
+	}
+	return (beta - 1) / k[j] * k.Dot(orig), nil
+}
+
+// SensitivityRadiusLinear is the paper's Section 3.1 degeneracy result: with
+// sensitivity-based weighting α_j = 1/r_μ(φ, π_j), the combined-space radius
+// for the same linear setting is
+//
+//	r_μ(φ, P) = 1/√n
+//
+// for *every* choice of k, β, and original values — the flaw that motivates
+// the paper. n is the number of (one-element) perturbation parameters.
+func SensitivityRadiusLinear(n int) float64 {
+	return 1 / math.Sqrt(float64(n))
+}
+
+// NormalizedRadiusLinear is the paper's Section 3.2 closed form: with the
+// proposed normalization P_j = π_j/π_j^orig, the combined-space radius for
+// the linear setting is
+//
+//	r_μ(φ, P) = (β − 1) · |Σ_j k_j·π_j^orig| / √(Σ_m (k_m·π_m^orig)²),
+//
+// which depends — as a usable metric must — on the coefficients, the
+// requirement, and the original values.
+func NormalizedRadiusLinear(k, orig vec.V, beta float64) (float64, error) {
+	if len(k) != len(orig) {
+		return 0, fmt.Errorf("core: NormalizedRadiusLinear: %w", vec.ErrDimMismatch)
+	}
+	prod := k.Mul(orig)
+	den := prod.Norm2()
+	if den == 0 {
+		return 0, fmt.Errorf("%w: all k_m·π_m^orig are zero", ErrDegenerateWeighting)
+	}
+	return (beta - 1) * math.Abs(prod.Sum()) / den, nil
+}
+
+// LinearOneElemAnalysis builds the exact system Section 3.1 analyzes: a
+// single feature φ = Σ k_j·π_j over n one-element perturbation parameters
+// (each of a different "kind"), with bound β^max = β·φ^orig. It is the
+// shared fixture of experiments E2, E3, E4, and E8.
+func LinearOneElemAnalysis(k, orig vec.V, beta float64) (*Analysis, error) {
+	if len(k) != len(orig) {
+		return nil, fmt.Errorf("core: LinearOneElemAnalysis: %w", vec.ErrDimMismatch)
+	}
+	if beta <= 1 {
+		return nil, fmt.Errorf("core: LinearOneElemAnalysis: beta = %g, want > 1", beta)
+	}
+	n := len(k)
+	params := make([]Perturbation, n)
+	coeffs := make([]vec.V, n)
+	for j := 0; j < n; j++ {
+		params[j] = Perturbation{
+			Name: fmt.Sprintf("pi_%d", j+1),
+			Unit: fmt.Sprintf("kind-%d", j+1),
+			Orig: vec.Of(orig[j]),
+		}
+		coeffs[j] = vec.Of(k[j])
+	}
+	lin := &LinearImpact{Coeffs: coeffs}
+	phiOrig := lin.Eval(paramsOrig(params))
+	feature := Feature{
+		Name:   "phi",
+		Bounds: MaxOnly(beta * phiOrig),
+		Linear: lin,
+	}
+	return NewAnalysis([]Feature{feature}, params)
+}
+
+func paramsOrig(ps []Perturbation) []vec.V {
+	out := make([]vec.V, len(ps))
+	for i, p := range ps {
+		out[i] = p.Orig
+	}
+	return out
+}

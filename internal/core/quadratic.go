@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/geom"
+	"fepia/internal/vec"
+)
+
+// QuadImpact declares a separable quadratic impact function:
+//
+//	φ = Const + Σ_j Σ_e A[j][e]·(π_j[e] − C[j][e])²,  A[j][e] ≥ 0.
+//
+// Quadratic features appear whenever a cost grows with the square of a
+// drift — dynamic power versus frequency, variance-style penalty terms,
+// quadratic queueing approximations near an operating point. Like the
+// linear case, the boundary {φ = β} is analytically tractable: it is an
+// axis-aligned ellipsoid, and the nearest-point problem is an exact
+// single-multiplier KKT solve (geom.AxisEllipsoid). Both weightings keep
+// the form (a diagonal rescaling of an axis-aligned quadratic is an
+// axis-aligned quadratic), so combined P-space radii stay exact too.
+type QuadImpact struct {
+	// A holds non-negative curvature blocks aligned with the parameters.
+	A []vec.V
+	// C holds the center blocks aligned with the parameters.
+	C []vec.V
+	// Const is the additive offset.
+	Const float64
+}
+
+// Eval computes the quadratic impact at the given parameter values.
+func (q QuadImpact) Eval(params []vec.V) float64 {
+	s := q.Const
+	for j := range q.A {
+		for e := range q.A[j] {
+			d := params[j][e] - q.C[j][e]
+			s += q.A[j][e] * d * d
+		}
+	}
+	return s
+}
+
+// Func adapts the quadratic impact to an ImpactFunc.
+func (q QuadImpact) Func() ImpactFunc { return q.Eval }
+
+// ErrQuadShape reports a malformed quadratic declaration.
+var ErrQuadShape = errors.New("core: malformed quadratic impact")
+
+// validateQuad checks block shapes and curvature signs against the
+// analysis' parameters.
+func (a *Analysis) validateQuad(fi int) error {
+	f := a.Features[fi]
+	q := f.Quad
+	if len(q.A) != len(a.Params) || len(q.C) != len(a.Params) {
+		return fmt.Errorf("%w: feature %q has %d/%d blocks, want %d",
+			ErrQuadShape, f.Name, len(q.A), len(q.C), len(a.Params))
+	}
+	for j := range q.A {
+		if len(q.A[j]) != a.Params[j].Dim() || len(q.C[j]) != a.Params[j].Dim() {
+			return fmt.Errorf("%w: feature %q block %d dims A=%d C=%d, want %d",
+				ErrQuadShape, f.Name, j, len(q.A[j]), len(q.C[j]), a.Params[j].Dim())
+		}
+		for e, av := range q.A[j] {
+			if av < 0 || math.IsNaN(av) {
+				return fmt.Errorf("%w: feature %q curvature A[%d][%d] = %g",
+					ErrQuadShape, f.Name, j, e, av)
+			}
+		}
+	}
+	return nil
+}
+
+// radiusSingleQuad solves Eq. 1 exactly for a quadratic feature: with other
+// parameters frozen at their originals, the boundary in π_j-space is the
+// axis-aligned ellipsoid Σ_e A[j][e]·(x_e − C[j][e])² = β − rest. Elements
+// with zero curvature cannot influence the feature and are held fixed.
+func (a *Analysis) radiusSingleQuad(i, j int) (Radius, error) {
+	f := a.Features[i]
+	q := f.Quad
+	orig := a.OrigValues()
+	rest := q.Const
+	for m := range q.A {
+		if m == j {
+			continue
+		}
+		for e := range q.A[m] {
+			d := orig[m][e] - q.C[m][e]
+			rest += q.A[m][e] * d * d
+		}
+	}
+	// Active sub-dimensions of block j.
+	var act []int
+	for e, av := range q.A[j] {
+		if av > 0 {
+			act = append(act, e)
+		}
+	}
+	x0 := a.Params[j].Orig
+	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: j, Analytic: true}
+	if len(act) == 0 {
+		return best, nil // feature insensitive to this parameter
+	}
+	subA := make(vec.V, len(act))
+	subC := make(vec.V, len(act))
+	subX := make(vec.V, len(act))
+	for s, e := range act {
+		subA[s] = q.A[j][e]
+		subC[s] = q.C[j][e]
+		subX[s] = x0[e]
+	}
+	for _, side := range []struct {
+		beta float64
+		side BoundarySide
+	}{{f.Bounds.Max, SideMax}, {f.Bounds.Min, SideMin}} {
+		if math.IsInf(side.beta, 0) {
+			continue
+		}
+		level := side.beta - rest
+		if level <= 0 {
+			// The quadratic part is non-negative: a non-positive level is
+			// reachable only at level == 0 (the center itself).
+			if level == 0 {
+				d := subX.Sub(subC)
+				// Distance to the center point in the active subspace.
+				pt := x0.Clone()
+				for _, e := range act {
+					pt[e] = q.C[j][e]
+				}
+				if dist := d.Norm2(); dist < best.Value {
+					best.Value, best.Point, best.Side = dist, pt, side.side
+				}
+			}
+			continue
+		}
+		ell := geom.AxisEllipsoid{A: subA, C: subC, R: level}
+		sub, dist, err := ell.Nearest(subX)
+		if err != nil {
+			return Radius{}, fmt.Errorf("core: quadratic radius of %q: %w", f.Name, err)
+		}
+		if dist < best.Value {
+			pt := x0.Clone()
+			for s, e := range act {
+				pt[e] = sub[s]
+			}
+			best.Value, best.Point, best.Side = dist, pt, side.side
+		}
+	}
+	return best, nil
+}
+
+// combinedQuad solves Eq. 2 exactly: under a diagonal weighting with scales
+// d (P = d ∘ x element-wise), the boundary in P-space is
+// Σ_e (A_e/d_e²)·(P_e − d_e·C_e)² = β − Const — still an axis-aligned
+// ellipsoid.
+func (a *Analysis) combinedQuad(i int, d, pOrig vec.V) (Radius, error) {
+	f := a.Features[i]
+	q := f.Quad
+	aFlat := concat(q.A)
+	cFlat := concat(q.C)
+	var act []int
+	for e, av := range aFlat {
+		if av > 0 {
+			act = append(act, e)
+		}
+	}
+	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1, Analytic: true}
+	if len(act) == 0 {
+		return best, nil
+	}
+	subA := make(vec.V, len(act))
+	subC := make(vec.V, len(act))
+	subP := make(vec.V, len(act))
+	for s, e := range act {
+		if d[e] == 0 {
+			return Radius{}, fmt.Errorf("%w: zero scale for element %d", ErrDegenerateWeighting, e)
+		}
+		subA[s] = aFlat[e] / (d[e] * d[e])
+		subC[s] = d[e] * cFlat[e]
+		subP[s] = pOrig[e]
+	}
+	for _, side := range []struct {
+		beta float64
+		side BoundarySide
+	}{{f.Bounds.Max, SideMax}, {f.Bounds.Min, SideMin}} {
+		if math.IsInf(side.beta, 0) {
+			continue
+		}
+		level := side.beta - q.Const
+		if level <= 0 {
+			if level == 0 {
+				pt := pOrig.Clone()
+				for s, e := range act {
+					pt[e] = subC[s]
+				}
+				if dist := subP.Dist2(subC); dist < best.Value {
+					best.Value, best.Point, best.Side = dist, pt, side.side
+				}
+			}
+			continue
+		}
+		ell := geom.AxisEllipsoid{A: subA, C: subC, R: level}
+		sub, dist, err := ell.Nearest(subP)
+		if err != nil {
+			return Radius{}, fmt.Errorf("core: combined quadratic radius of %q: %w", f.Name, err)
+		}
+		if dist < best.Value {
+			pt := pOrig.Clone()
+			for s, e := range act {
+				pt[e] = sub[s]
+			}
+			best.Value, best.Point, best.Side = dist, pt, side.side
+		}
+	}
+	return best, nil
+}

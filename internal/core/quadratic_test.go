@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// quadFixture: φ = (x−0)² + (y−0)² over one 2-element parameter with
+// orig (1, 1) and bound 9 → boundary is the circle of radius 3, radius
+// 3 − √2.
+func quadFixture(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := NewAnalysis([]Feature{{
+		Name:   "energy",
+		Bounds: MaxOnly(9),
+		Quad: &QuadImpact{
+			A: []vec.V{vec.Of(1, 1)},
+			C: []vec.V{vec.Of(0, 0)},
+		},
+	}}, []Perturbation{{Name: "freq", Unit: "GHz", Orig: vec.Of(1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestQuadEval(t *testing.T) {
+	q := QuadImpact{
+		A:     []vec.V{vec.Of(2), vec.Of(3)},
+		C:     []vec.V{vec.Of(1), vec.Of(-1)},
+		Const: 5,
+	}
+	got := q.Eval([]vec.V{vec.Of(3), vec.Of(0)})
+	// 5 + 2·(3−1)² + 3·(0+1)² = 5 + 8 + 3 = 16.
+	if got != 16 {
+		t.Errorf("Eval = %v, want 16", got)
+	}
+	if q.Func()([]vec.V{vec.Of(1), vec.Of(-1)}) != 5 {
+		t.Error("Func at centers must return Const")
+	}
+}
+
+func TestQuadRadiusSingleCircle(t *testing.T) {
+	a := quadFixture(t)
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 - math.Sqrt2
+	if math.Abs(r.Value-want) > 1e-10 {
+		t.Errorf("radius = %v, want 3−√2 = %v", r.Value, want)
+	}
+	if !r.Analytic || r.Side != SideMax {
+		t.Errorf("metadata: %+v", r)
+	}
+	// The boundary point is on the circle along (1,1): (3/√2, 3/√2).
+	want2 := 3 / math.Sqrt2
+	if math.Abs(r.Point[0]-want2) > 1e-8 || math.Abs(r.Point[1]-want2) > 1e-8 {
+		t.Errorf("boundary point = %v", r.Point)
+	}
+}
+
+func TestQuadBandBothSides(t *testing.T) {
+	// Band(0.5, 9) from (1,1): distance to inner circle √0.5 is
+	// √2 − √0.5 ≈ 0.707; to the outer 3 − √2 ≈ 1.586. Min is the inner.
+	a, err := NewAnalysis([]Feature{{
+		Name:   "energy",
+		Bounds: Band(0.5, 9),
+		Quad: &QuadImpact{
+			A: []vec.V{vec.Of(1, 1)},
+			C: []vec.V{vec.Of(0, 0)},
+		},
+	}}, []Perturbation{{Name: "freq", Orig: vec.Of(1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt2 - math.Sqrt(0.5)
+	if math.Abs(r.Value-want) > 1e-10 || r.Side != SideMin {
+		t.Errorf("band radius = %v side %v, want %v on beta-min", r.Value, r.Side, want)
+	}
+}
+
+func TestQuadMatchesNumericTier(t *testing.T) {
+	// Same quadratic expressed as an opaque Impact: the numeric tier must
+	// agree with the analytic ellipsoid solve, both single and combined.
+	quad := QuadImpact{
+		A:     []vec.V{vec.Of(2, 0.5), vec.Of(1)},
+		C:     []vec.V{vec.Of(0.5, 1), vec.Of(2)},
+		Const: 1,
+	}
+	params := []Perturbation{
+		{Name: "a", Orig: vec.Of(1, 2)},
+		{Name: "b", Orig: vec.Of(3)},
+	}
+	bound := quad.Eval([]vec.V{vec.Of(1, 2), vec.Of(3)}) * 2.5
+	aQuad, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(bound), Quad: &quad,
+	}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNum, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(bound), Impact: quad.Eval,
+	}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		rq, err := aQuad.RadiusSingle(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := aNum.RadiusSingle(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rq.Value-rn.Value) > 1e-4*(1+rq.Value) {
+			t.Errorf("param %d: quad %v vs numeric %v", j, rq.Value, rn.Value)
+		}
+		if !rq.Analytic || rn.Analytic {
+			t.Error("tier flags wrong")
+		}
+	}
+	cq, err := aQuad.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := aNum.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cq.Value-cn.Value) > 1e-4*(1+cq.Value) {
+		t.Errorf("combined: quad %v vs numeric %v", cq.Value, cn.Value)
+	}
+}
+
+func TestQuadCombinedBoundaryFeasible(t *testing.T) {
+	a := quadFixture(t)
+	r, err := a.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := FromP(a, Normalized{}, 0, r.Point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FeatureValue(0, vals); math.Abs(got-9) > 1e-8 {
+		t.Errorf("combined boundary point maps to %v, want 9", got)
+	}
+}
+
+func TestQuadZeroCurvatureElementsIgnored(t *testing.T) {
+	// Second element has zero curvature: it cannot cause a violation, and
+	// the nearest boundary point must keep it at its original value.
+	a, err := NewAnalysis([]Feature{{
+		Name:   "phi",
+		Bounds: MaxOnly(4),
+		Quad: &QuadImpact{
+			A: []vec.V{vec.Of(1, 0)},
+			C: []vec.V{vec.Of(0, 0)},
+		},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1, 7)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-1) > 1e-10 {
+		t.Errorf("radius = %v, want 1 (x from 1 to 2)", r.Value)
+	}
+	if r.Point[1] != 7 {
+		t.Errorf("inactive element moved: %v", r.Point)
+	}
+}
+
+func TestQuadInsensitiveParameterInfinite(t *testing.T) {
+	a, err := NewAnalysis([]Feature{{
+		Name:   "phi",
+		Bounds: MaxOnly(4),
+		Quad: &QuadImpact{
+			A: []vec.V{vec.Of(1), vec.Of(0)},
+			C: []vec.V{vec.Of(0), vec.Of(0)},
+		},
+	}}, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RadiusSingle(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.Value, 1) || r.Side != SideNone {
+		t.Errorf("insensitive parameter radius = %+v", r)
+	}
+}
+
+func TestQuadValidateErrors(t *testing.T) {
+	param := Perturbation{Name: "x", Orig: vec.Of(1)}
+	cases := []struct {
+		name string
+		q    *QuadImpact
+	}{
+		{"block count", &QuadImpact{A: []vec.V{vec.Of(1), vec.Of(1)}, C: []vec.V{vec.Of(0), vec.Of(0)}}},
+		{"dim mismatch", &QuadImpact{A: []vec.V{vec.Of(1, 2)}, C: []vec.V{vec.Of(0, 0)}}},
+		{"negative curvature", &QuadImpact{A: []vec.V{vec.Of(-1)}, C: []vec.V{vec.Of(0)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewAnalysis([]Feature{{Name: "phi", Bounds: MaxOnly(100), Quad: c.q}},
+			[]Perturbation{param}); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	// Linear and Quad together are rejected.
+	if _, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(100),
+		Linear: &LinearImpact{Coeffs: []vec.V{vec.Of(1)}},
+		Quad:   &QuadImpact{A: []vec.V{vec.Of(1)}, C: []vec.V{vec.Of(0)}},
+	}}, []Perturbation{param}); err == nil {
+		t.Error("Linear+Quad must be rejected")
+	}
+	// Impact disagreeing with Quad is rejected.
+	if _, err := NewAnalysis([]Feature{{
+		Name: "phi", Bounds: MaxOnly(100),
+		Quad:   &QuadImpact{A: []vec.V{vec.Of(1)}, C: []vec.V{vec.Of(0)}},
+		Impact: func(vs []vec.V) float64 { return 99 },
+	}}, []Perturbation{param}); err == nil {
+		t.Error("disagreeing Impact must be rejected")
+	}
+}
+
+func TestPropQuadRadiusGuarantee(t *testing.T) {
+	// Any perturbation with norm strictly below the quadratic radius keeps
+	// the feature within bounds.
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		n := src.Intn(3) + 1
+		av := make(vec.V, n)
+		cv := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := range av {
+			av[i] = src.Uniform(0.2, 3)
+			cv[i] = src.Uniform(-1, 1)
+			orig[i] = cv[i] + src.Uniform(-0.5, 0.5)
+		}
+		q := &QuadImpact{A: []vec.V{av}, C: []vec.V{cv}}
+		bound := q.Eval([]vec.V{orig}) + src.Uniform(0.5, 5)
+		a, err := NewAnalysis([]Feature{{Name: "phi", Bounds: MaxOnly(bound), Quad: q}},
+			[]Perturbation{{Name: "x", Orig: orig}})
+		if err != nil {
+			return false
+		}
+		r, err := a.RadiusSingle(0, 0)
+		if err != nil {
+			return false
+		}
+		if math.IsInf(r.Value, 1) {
+			return true
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := make(vec.V, n)
+			for i := range d {
+				d[i] = src.Normal(0, 1)
+			}
+			d = d.Normalize().Scale(r.Value * 0.999 * src.Float64())
+			if q.Eval([]vec.V{orig.Add(d)}) > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropQuadCombinedMatchesNumeric(t *testing.T) {
+	// Random multi-block quadratic systems: the exact ellipsoid tier in
+	// P-space must agree with the generic level-set search.
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		n1 := src.Intn(2) + 1
+		n2 := src.Intn(2) + 1
+		mkBlock := func(n int) (a, c, orig vec.V) {
+			a = make(vec.V, n)
+			c = make(vec.V, n)
+			orig = make(vec.V, n)
+			for i := 0; i < n; i++ {
+				a[i] = src.Uniform(0.3, 3)
+				c[i] = src.Uniform(-1, 1)
+				orig[i] = c[i] + src.Uniform(0.2, 1)
+			}
+			return
+		}
+		a1, c1, o1 := mkBlock(n1)
+		a2, c2, o2 := mkBlock(n2)
+		quad := &QuadImpact{A: []vec.V{a1, a2}, C: []vec.V{c1, c2}, Const: src.Uniform(0, 2)}
+		params := []Perturbation{
+			{Name: "p1", Orig: o1},
+			{Name: "p2", Orig: o2},
+		}
+		bound := quad.Eval([]vec.V{o1, o2}) + src.Uniform(1, 6)
+		aQ, err := NewAnalysis([]Feature{{Name: "q", Bounds: MaxOnly(bound), Quad: quad}}, params)
+		if err != nil {
+			return false
+		}
+		aN, err := NewAnalysis([]Feature{{Name: "q", Bounds: MaxOnly(bound), Impact: quad.Eval}}, params)
+		if err != nil {
+			return false
+		}
+		rQ, err := aQ.CombinedRadius(0, Normalized{})
+		if err != nil {
+			return false
+		}
+		rN, err := aN.CombinedRadius(0, Normalized{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(rQ.Value-rN.Value) <= 2e-4*(1+rQ.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/vec"
+)
+
+// Weighting converts between native perturbation values π_1, …, π_|Π| and the
+// combined dimensionless vector P of Section 3 of the paper. Both weightings
+// the paper analyzes are diagonal: P = D·(π_1 ⋆ … ⋆ π_|Π|) element-wise, so a
+// weighting is fully described by its scale vector.
+//
+// The scale may depend on the feature (sensitivity weighting uses
+// α_j = 1/r_μ(φ_i, π_j), which varies with φ_i), hence the featIdx argument.
+type Weighting interface {
+	// Name identifies the weighting in reports.
+	Name() string
+	// Scales returns the element-wise factors D (length TotalDim) applied
+	// to the concatenated native values for feature featIdx.
+	Scales(a *Analysis, featIdx int) (vec.V, error)
+}
+
+// weighting errors.
+var (
+	// ErrDegenerateWeighting is returned when a weighting cannot be formed,
+	// e.g. a sensitivity weight 1/r with r zero or infinite, or a normalized
+	// weight with a zero original value.
+	ErrDegenerateWeighting = errors.New("core: degenerate weighting")
+)
+
+// ToP converts native parameter values to P-space under w for feature i.
+func ToP(a *Analysis, w Weighting, featIdx int, values []vec.V) (vec.V, error) {
+	d, err := w.Scales(a, featIdx)
+	if err != nil {
+		return nil, err
+	}
+	x := concat(values)
+	if len(x) != len(d) {
+		return nil, fmt.Errorf("core: ToP: values dim %d vs scales dim %d: %w", len(x), len(d), vec.ErrDimMismatch)
+	}
+	return x.Mul(d), nil
+}
+
+// FromP converts a P-space vector back to native parameter values.
+func FromP(a *Analysis, w Weighting, featIdx int, p vec.V) ([]vec.V, error) {
+	d, err := w.Scales(a, featIdx)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) != len(d) {
+		return nil, fmt.Errorf("core: FromP: P dim %d vs scales dim %d: %w", len(p), len(d), vec.ErrDimMismatch)
+	}
+	return a.split(p.Div(d))
+}
+
+// POrig returns P^orig = scales ∘ concat(π^orig) for feature featIdx.
+func POrig(a *Analysis, w Weighting, featIdx int) (vec.V, error) {
+	return ToP(a, w, featIdx, a.OrigValues())
+}
+
+// ---------------------------------------------------------------------------
+// Normalized weighting (Section 3.2 — the paper's proposal)
+// ---------------------------------------------------------------------------
+
+// Normalized is the paper's proposed weighting: every element is divided by
+// its own original value, P_jk = π_jk / π_jk^orig (Eq. 5), so P^orig is the
+// all-ones vector, P is dimensionless, and — unlike the sensitivity
+// weighting — the resulting radius depends on the coefficients, the
+// requirement β, and the original values. Original values must be nonzero.
+type Normalized struct{}
+
+// Name implements Weighting.
+func (Normalized) Name() string { return "normalized" }
+
+// Scales implements Weighting: D = 1 / concat(π^orig). The feature index is
+// ignored — the normalization is feature-independent, which is what lets a
+// single P-space serve the whole feature set.
+func (Normalized) Scales(a *Analysis, _ int) (vec.V, error) {
+	x := concat(a.OrigValues())
+	d := make(vec.V, len(x))
+	for i, v := range x {
+		if v == 0 {
+			return nil, fmt.Errorf("%w: normalized weighting needs nonzero original values (element %d is 0)",
+				ErrDegenerateWeighting, i)
+		}
+		d[i] = 1 / v
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sensitivity weighting (Section 3.1 — the scheme shown to degenerate)
+// ---------------------------------------------------------------------------
+
+// Sensitivity is the preliminary weighting proposed in the TPDS 2004 paper
+// and analyzed (negatively) in Section 3.1: each parameter block is scaled by
+// α_j = 1/r_μ(φ_i, π_j), the reciprocal of its single-parameter robustness
+// radius against the feature under study. The scale is per-feature.
+//
+// The paper proves that for linear features over one-element parameters the
+// resulting combined radius is always 1/√n — the weighting erases exactly
+// the information a robustness metric must preserve. It is implemented here
+// both for completeness and because reproducing that degeneracy is
+// experiment E3.
+type Sensitivity struct{}
+
+// Name implements Weighting.
+func (Sensitivity) Name() string { return "sensitivity" }
+
+// Scales implements Weighting: block j of D is α_j = 1/r_μ(φ_i, π_j)
+// repeated across the block. A zero or infinite single-parameter radius
+// makes the weighting degenerate and is reported as an error.
+func (Sensitivity) Scales(a *Analysis, featIdx int) (vec.V, error) {
+	if featIdx < 0 || featIdx >= len(a.Features) {
+		return nil, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, featIdx, len(a.Features))
+	}
+	d := make(vec.V, 0, a.TotalDim())
+	for j, p := range a.Params {
+		r, err := a.RadiusSingle(featIdx, j)
+		if err != nil {
+			return nil, err
+		}
+		if r.Value == 0 || math.IsInf(r.Value, 0) || math.IsNaN(r.Value) {
+			return nil, fmt.Errorf("%w: r_mu(phi_%d, pi_%d) = %g gives no usable alpha",
+				ErrDegenerateWeighting, featIdx, j, r.Value)
+		}
+		alpha := 1 / r.Value
+		for k := 0; k < p.Dim(); k++ {
+			d = append(d, alpha)
+		}
+	}
+	return d, nil
+}

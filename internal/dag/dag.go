@@ -1,0 +1,230 @@
+// Package dag provides the directed-acyclic-graph substrate used by the
+// HiPer-D application model: sensors feed chains of continuously-running
+// applications that end in actuators, and the end-to-end latency feature is
+// a maximum over source→sink paths. The package supplies construction,
+// cycle detection, topological ordering, reachability, and path enumeration.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed graph over nodes 0…N−1. Use New and AddEdge to build
+// it; most queries require the graph to be acyclic and report an error
+// otherwise.
+type Graph struct {
+	n   int
+	adj [][]int // adjacency lists, edges i -> adj[i][k]
+	rev [][]int // reverse adjacency
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dag: negative node count %d", n)
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+		rev: make([][]int, n),
+	}, nil
+}
+
+// Errors returned by graph operations.
+var (
+	ErrCycle    = errors.New("dag: graph contains a cycle")
+	ErrNodeOOB  = errors.New("dag: node index out of range")
+	ErrDupEdge  = errors.New("dag: duplicate edge")
+	ErrSelfLoop = errors.New("dag: self loop")
+)
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the directed edge u → v. Self loops and duplicates are
+// rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge (%d, %d) in graph of %d nodes", ErrNodeOOB, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: (%d, %d)", ErrSelfLoop, u, v)
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return fmt.Errorf("%w: (%d, %d)", ErrDupEdge, u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.rev[v] = append(g.rev[v], u)
+	return nil
+}
+
+// Succ returns the successors of u (the slice aliases internal storage; do
+// not modify).
+func (g *Graph) Succ(u int) []int { return g.adj[u] }
+
+// Pred returns the predecessors of u (alias; do not modify).
+func (g *Graph) Pred(u int) []int { return g.rev[u] }
+
+// Edges returns all edges in deterministic (source, insertion) order.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u, vs := range g.adj {
+		for _, v := range vs {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Sources returns nodes with no incoming edges, ascending.
+func (g *Graph) Sources() []int {
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if len(g.rev[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with no outgoing edges, ascending.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a topological ordering (Kahn's algorithm, smallest-index
+// first for determinism) or ErrCycle.
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.rev[v])
+	}
+	// Min-heap behavior via sorted frontier keeps output deterministic.
+	frontier := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycles.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable returns the set of nodes reachable from u (including u) as a
+// boolean mask.
+func (g *Graph) Reachable(u int) ([]bool, error) {
+	if u < 0 || u >= g.n {
+		return nil, fmt.Errorf("%w: %d", ErrNodeOOB, u)
+	}
+	seen := make([]bool, g.n)
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[x] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen, nil
+}
+
+// AllPaths enumerates every directed path from src to dst (inclusive). The
+// graph must be acyclic. maxPaths caps the enumeration (0 means no cap); the
+// HiPer-D latency feature needs all sensor→actuator paths, which for its
+// graph sizes is small.
+func (g *Graph) AllPaths(src, dst, maxPaths int) ([][]int, error) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil, fmt.Errorf("%w: path (%d, %d)", ErrNodeOOB, src, dst)
+	}
+	if !g.IsAcyclic() {
+		return nil, ErrCycle
+	}
+	var out [][]int
+	path := []int{src}
+	var walk func(u int) bool
+	walk = func(u int) bool {
+		if u == dst {
+			cp := make([]int, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return maxPaths > 0 && len(out) >= maxPaths
+		}
+		for _, v := range g.adj[u] {
+			path = append(path, v)
+			stop := walk(v)
+			path = path[:len(path)-1]
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	walk(src)
+	return out, nil
+}
+
+// LongestPath computes, for a DAG with non-negative node weights, the
+// maximum total weight over all paths ending at each node (weights given per
+// node). It returns the per-node longest-path value and the overall maximum.
+// This is the critical-path computation used for latency-style features.
+func (g *Graph) LongestPath(weight []float64) ([]float64, float64, error) {
+	if len(weight) != g.n {
+		return nil, 0, fmt.Errorf("dag: LongestPath got %d weights for %d nodes", len(weight), g.n)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make([]float64, g.n)
+	for _, u := range order {
+		best := 0.0
+		for _, p := range g.rev[u] {
+			if dist[p] > best {
+				best = dist[p]
+			}
+		}
+		dist[u] = best + weight[u]
+	}
+	var overall float64
+	for _, d := range dist {
+		if d > overall {
+			overall = d
+		}
+	}
+	return dist, overall, nil
+}

@@ -1,0 +1,250 @@
+package dag
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds 0→1, 0→2, 1→3, 2→3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewNegative(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative node count must error")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g, _ := New(3)
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge must error")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative node must error")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self loop must error")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge must error")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if got := g.Sources(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := g.Sinks(); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("Sinks = %v", got)
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topological order %v", e, order)
+		}
+	}
+	// Deterministic: smallest index first gives exactly 0,1,2,3 here.
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Errorf("order = %v, want [0 1 2 3]", order)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g, _ := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("cycle must be detected")
+	}
+	if g.IsAcyclic() {
+		t.Error("IsAcyclic wrong on a cycle")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := diamond(t)
+	seen, err := g.Reachable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true}
+	if !reflect.DeepEqual(seen, want) {
+		t.Errorf("Reachable(1) = %v, want %v", seen, want)
+	}
+	if _, err := g.Reachable(9); err == nil {
+		t.Error("out-of-range Reachable must error")
+	}
+}
+
+func TestAllPathsDiamond(t *testing.T) {
+	g := diamond(t)
+	paths, err := g.AllPaths(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 3}, {0, 2, 3}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("paths = %v, want %v", paths, want)
+	}
+}
+
+func TestAllPathsCap(t *testing.T) {
+	g := diamond(t)
+	paths, err := g.AllPaths(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("cap ignored: %d paths", len(paths))
+	}
+}
+
+func TestAllPathsNoPath(t *testing.T) {
+	g := diamond(t)
+	paths, err := g.AllPaths(3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Errorf("expected no paths, got %v", paths)
+	}
+}
+
+func TestAllPathsErrors(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.AllPaths(0, 9, 0); err == nil {
+		t.Error("out-of-range must error")
+	}
+	c, _ := New(2)
+	c.AddEdge(0, 1)
+	c.AddEdge(1, 0)
+	if _, err := c.AllPaths(0, 1, 0); err == nil {
+		t.Error("cyclic AllPaths must error")
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	g := diamond(t)
+	// Node weights: 1, 5, 2, 1 → critical path 0→1→3 with weight 7.
+	dist, overall, err := g.LongestPath([]float64{1, 5, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall != 7 {
+		t.Errorf("overall = %v, want 7", overall)
+	}
+	if dist[3] != 7 || dist[1] != 6 || dist[2] != 3 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestLongestPathErrors(t *testing.T) {
+	g := diamond(t)
+	if _, _, err := g.LongestPath([]float64{1, 2}); err == nil {
+		t.Error("wrong weight count must error")
+	}
+	c, _ := New(2)
+	c.AddEdge(0, 1)
+	c.AddEdge(1, 0)
+	if _, _, err := c.LongestPath([]float64{1, 1}); err == nil {
+		t.Error("cyclic LongestPath must error")
+	}
+}
+
+// randomDAG builds a random DAG by only adding forward edges under a random
+// permutation — always acyclic by construction.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g, _ := New(n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(perm[i], perm[j])
+			}
+		}
+	}
+	return g
+}
+
+func TestPropTopoSortValidOnRandomDAGs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 2
+		g := randomDAG(rng, n, 0.3)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		if len(order) != n {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLongestPathAtLeastNodeWeight(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%15) + 2
+		g := randomDAG(rng, n, 0.25)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		dist, overall, err := g.LongestPath(w)
+		if err != nil {
+			return false
+		}
+		for i := range w {
+			if dist[i] < w[i]-1e-12 || dist[i] > overall+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

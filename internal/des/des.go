@@ -1,0 +1,121 @@
+// Package des is a compact discrete-event simulation kernel: a priority
+// queue of timestamped events with deterministic tie-breaking, a simulation
+// clock, and run controls. The HiPer-D substrate uses it to validate its
+// analytic computation/communication models against an actually running
+// system — the cross-check behind experiment E6.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the action executed when an event fires. It may schedule
+// further events on the simulator.
+type Handler func(sim *Simulator)
+
+// event is a scheduled occurrence. seq breaks time ties FIFO so that runs
+// are deterministic regardless of heap internals.
+type event struct {
+	at      float64
+	seq     uint64
+	handler Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the event queue and the clock. The zero value is not ready;
+// use NewSimulator.
+type Simulator struct {
+	now     float64
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	events  uint64 // processed-event counter
+}
+
+// NewSimulator returns a simulator with the clock at zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Simulation errors.
+var (
+	ErrPastEvent = errors.New("des: event scheduled in the past")
+)
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.events }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule enqueues h to fire at absolute time at. Events scheduled for the
+// current instant are allowed and fire after already-queued events at that
+// instant (FIFO).
+func (s *Simulator) Schedule(at float64, h Handler) error {
+	if math.IsNaN(at) || at < s.now {
+		return fmt.Errorf("%w: at=%g, now=%g", ErrPastEvent, at, s.now)
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, handler: h})
+	return nil
+}
+
+// ScheduleIn enqueues h to fire delay time units from now.
+func (s *Simulator) ScheduleIn(delay float64, h Handler) error {
+	return s.Schedule(s.now+delay, h)
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events until the queue drains, the clock passes until, or
+// Stop is called, whichever comes first. It returns the number of events
+// processed by this call. Events scheduled exactly at the horizon still fire.
+func (s *Simulator) Run(until float64) uint64 {
+	s.stopped = false
+	var processed uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.handler(s)
+		processed++
+		s.events++
+	}
+	// Advance the clock to the horizon when it was reached without events.
+	if !s.stopped && (len(s.queue) == 0 || s.queue[0].at > until) && until > s.now && !math.IsInf(until, 1) {
+		s.now = until
+	}
+	return processed
+}
+
+// RunAll processes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() uint64 { return s.Run(math.Inf(1)) }

@@ -1,0 +1,230 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	sim := NewSimulator()
+	var fired []int
+	sim.Schedule(2, func(*Simulator) { fired = append(fired, 2) })
+	sim.Schedule(1, func(*Simulator) { fired = append(fired, 1) })
+	sim.Schedule(3, func(*Simulator) { fired = append(fired, 3) })
+	n := sim.RunAll()
+	if n != 3 {
+		t.Fatalf("processed %d events", n)
+	}
+	if fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("firing order %v", fired)
+	}
+	if sim.Now() != 3 {
+		t.Errorf("clock = %v, want 3", sim.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	sim := NewSimulator()
+	var fired []string
+	sim.Schedule(1, func(*Simulator) { fired = append(fired, "a") })
+	sim.Schedule(1, func(*Simulator) { fired = append(fired, "b") })
+	sim.Schedule(1, func(*Simulator) { fired = append(fired, "c") })
+	sim.RunAll()
+	if fired[0] != "a" || fired[1] != "b" || fired[2] != "c" {
+		t.Errorf("tie order %v, want FIFO", fired)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	sim := NewSimulator()
+	sim.Schedule(5, func(*Simulator) {})
+	sim.RunAll()
+	if err := sim.Schedule(1, func(*Simulator) {}); err == nil {
+		t.Error("scheduling in the past must error")
+	}
+	if err := sim.Schedule(math.NaN(), func(*Simulator) {}); err == nil {
+		t.Error("NaN time must error")
+	}
+}
+
+func TestScheduleInCascade(t *testing.T) {
+	sim := NewSimulator()
+	depth := 0
+	var step Handler
+	step = func(s *Simulator) {
+		depth++
+		if depth < 5 {
+			s.ScheduleIn(1, step)
+		}
+	}
+	sim.ScheduleIn(1, step)
+	sim.RunAll()
+	if depth != 5 {
+		t.Errorf("cascade depth = %d, want 5", depth)
+	}
+	if sim.Now() != 5 {
+		t.Errorf("clock = %v, want 5", sim.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	sim := NewSimulator()
+	var fired int
+	for i := 1; i <= 10; i++ {
+		sim.Schedule(float64(i), func(*Simulator) { fired++ })
+	}
+	n := sim.Run(5)
+	if n != 5 || fired != 5 {
+		t.Errorf("processed %d fired %d, want 5", n, fired)
+	}
+	if sim.Now() != 5 {
+		t.Errorf("clock = %v, want horizon 5", sim.Now())
+	}
+	if sim.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", sim.Pending())
+	}
+	// Resume to completion.
+	sim.RunAll()
+	if fired != 10 {
+		t.Errorf("after resume fired = %d", fired)
+	}
+}
+
+func TestRunHorizonAdvancesIdleClock(t *testing.T) {
+	sim := NewSimulator()
+	sim.Run(42)
+	if sim.Now() != 42 {
+		t.Errorf("idle clock = %v, want 42", sim.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	sim := NewSimulator()
+	var fired int
+	for i := 1; i <= 10; i++ {
+		sim.Schedule(float64(i), func(s *Simulator) {
+			fired++
+			if fired == 3 {
+				s.Stop()
+			}
+		})
+	}
+	sim.RunAll()
+	if fired != 3 {
+		t.Errorf("fired = %d after Stop, want 3", fired)
+	}
+	if sim.Pending() != 7 {
+		t.Errorf("pending = %d", sim.Pending())
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	sim := NewSimulator()
+	sim.Schedule(1, func(*Simulator) {})
+	sim.Schedule(2, func(*Simulator) {})
+	sim.RunAll()
+	if sim.Processed() != 2 {
+		t.Errorf("Processed = %d", sim.Processed())
+	}
+}
+
+func TestStationSequentialService(t *testing.T) {
+	sim := NewSimulator()
+	st := NewStation(sim, "m1")
+	var finishTimes []float64
+	done := func(s *Simulator) { finishTimes = append(finishTimes, s.Now()) }
+	// Three jobs submitted at t=0 with service 2 each: finish 2, 4, 6.
+	st.Submit(2, done)
+	st.Submit(2, done)
+	st.Submit(2, done)
+	sim.RunAll()
+	want := []float64{2, 4, 6}
+	for i, w := range want {
+		if finishTimes[i] != w {
+			t.Errorf("finish[%d] = %v, want %v", i, finishTimes[i], w)
+		}
+	}
+	if st.Completed() != 3 {
+		t.Errorf("completed = %d", st.Completed())
+	}
+	// Waits: 0, 2, 4 → mean 2. System: 2, 4, 6 → mean 4.
+	if st.MeanWait() != 2 {
+		t.Errorf("mean wait = %v, want 2", st.MeanWait())
+	}
+	if st.MeanSystemTime() != 4 {
+		t.Errorf("mean system = %v, want 4", st.MeanSystemTime())
+	}
+	if st.Utilization() != 1 {
+		t.Errorf("utilization = %v, want 1 (always busy)", st.Utilization())
+	}
+}
+
+func TestStationIdleGaps(t *testing.T) {
+	sim := NewSimulator()
+	st := NewStation(sim, "m1")
+	sim.Schedule(0, func(*Simulator) { st.Submit(1, nil) })
+	sim.Schedule(5, func(*Simulator) { st.Submit(1, nil) })
+	sim.RunAll()
+	// Busy 2 of 6 time units.
+	if got := st.Utilization(); math.Abs(got-2.0/6.0) > 1e-12 {
+		t.Errorf("utilization = %v, want 1/3", got)
+	}
+	if st.MeanWait() != 0 {
+		t.Errorf("no queueing expected, wait = %v", st.MeanWait())
+	}
+}
+
+func TestStationRejectsBadService(t *testing.T) {
+	sim := NewSimulator()
+	st := NewStation(sim, "m1")
+	if err := st.Submit(-1, nil); err == nil {
+		t.Error("negative service must error")
+	}
+	if err := st.Submit(math.NaN(), nil); err == nil {
+		t.Error("NaN service must error")
+	}
+}
+
+func TestStationQueueLenAndBusy(t *testing.T) {
+	sim := NewSimulator()
+	st := NewStation(sim, "m1")
+	st.Submit(10, nil)
+	st.Submit(10, nil)
+	st.Submit(10, nil)
+	if !st.Busy() || st.QueueLen() != 2 {
+		t.Errorf("busy=%v queue=%d, want busy with 2 queued", st.Busy(), st.QueueLen())
+	}
+	sim.RunAll()
+	if st.Busy() || st.QueueLen() != 0 {
+		t.Error("station should drain")
+	}
+}
+
+func TestStationZeroService(t *testing.T) {
+	sim := NewSimulator()
+	st := NewStation(sim, "m1")
+	fired := false
+	st.Submit(0, func(*Simulator) { fired = true })
+	sim.RunAll()
+	if !fired || st.Completed() != 1 {
+		t.Error("zero-service job must complete")
+	}
+}
+
+func TestMMQueueSanity(t *testing.T) {
+	// Deterministic arrivals every 2, service 1: utilization 0.5 and no
+	// queueing in steady state.
+	sim := NewSimulator()
+	st := NewStation(sim, "m1")
+	const n = 1000
+	for i := 0; i < n; i++ {
+		sim.Schedule(float64(i)*2, func(*Simulator) { st.Submit(1, nil) })
+	}
+	sim.RunAll()
+	if math.Abs(st.Utilization()-0.5) > 0.01 {
+		t.Errorf("utilization = %v, want ≈0.5", st.Utilization())
+	}
+	if st.MeanWait() != 0 {
+		t.Errorf("wait = %v, want 0", st.MeanWait())
+	}
+}

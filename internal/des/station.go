@@ -1,0 +1,117 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Station is a single-server FIFO queueing resource: jobs are served one at
+// a time in arrival order, each occupying the server for its service time.
+// The HiPer-D simulator models every machine and every communication link as
+// a Station — data-set computations and message transmissions are its jobs.
+type Station struct {
+	// Name identifies the station in reports.
+	Name string
+
+	sim   *Simulator
+	busy  bool
+	queue []job
+
+	// Accumulated statistics.
+	completed   uint64
+	busyUntil   float64 // time the in-service job finishes
+	busyTime    float64 // total server-occupied time
+	totalWait   float64 // total time jobs spent queued (excludes service)
+	totalSystem float64 // total time jobs spent in the station (wait+service)
+}
+
+type job struct {
+	service float64
+	arrived float64
+	done    Handler
+}
+
+// NewStation attaches a station to a simulator.
+func NewStation(sim *Simulator, name string) *Station {
+	return &Station{Name: name, sim: sim}
+}
+
+// ErrBadService reports a negative or NaN service time.
+var ErrBadService = errors.New("des: invalid service time")
+
+// Submit enqueues a job with the given service time; done (optional) fires
+// when the job completes.
+func (st *Station) Submit(service float64, done Handler) error {
+	if service < 0 || service != service {
+		return fmt.Errorf("%w: %g at %q", ErrBadService, service, st.Name)
+	}
+	j := job{service: service, arrived: st.sim.Now(), done: done}
+	if st.busy {
+		st.queue = append(st.queue, j)
+		return nil
+	}
+	return st.start(j)
+}
+
+func (st *Station) start(j job) error {
+	st.busy = true
+	start := st.sim.Now()
+	finish := start + j.service
+	st.busyUntil = finish
+	return st.sim.Schedule(finish, func(sim *Simulator) {
+		st.completed++
+		st.busyTime += j.service
+		st.totalWait += start - j.arrived
+		st.totalSystem += sim.Now() - j.arrived
+		if j.done != nil {
+			j.done(sim)
+		}
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			// start cannot fail here: service was validated at Submit.
+			_ = st.start(next)
+		} else {
+			st.busy = false
+		}
+	})
+}
+
+// Completed returns the number of jobs fully served.
+func (st *Station) Completed() uint64 { return st.completed }
+
+// QueueLen returns the number of jobs waiting (excluding the one in
+// service).
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// Busy reports whether the server is occupied right now.
+func (st *Station) Busy() bool { return st.busy }
+
+// Utilization returns completed busy time divided by elapsed time (0 before
+// time advances). The in-service job contributes only once it completes, so
+// read utilization at job boundaries or after the run drains.
+func (st *Station) Utilization() float64 {
+	now := st.sim.Now()
+	if now <= 0 {
+		return 0
+	}
+	return st.busyTime / now
+}
+
+// MeanWait returns the average queueing delay of completed jobs.
+func (st *Station) MeanWait() float64 {
+	if st.completed == 0 {
+		return 0
+	}
+	return st.totalWait / float64(st.completed)
+}
+
+// MeanSystemTime returns the average total (wait + service) time of
+// completed jobs — the per-stage latency the HiPer-D model compares against
+// its analytic prediction.
+func (st *Station) MeanSystemTime() float64 {
+	if st.completed == 0 {
+		return 0
+	}
+	return st.totalSystem / float64(st.completed)
+}

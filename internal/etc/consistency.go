@@ -1,0 +1,105 @@
+package etc
+
+import (
+	"fmt"
+	"sort"
+
+	"fepia/internal/stats"
+)
+
+// The heterogeneous-computing evaluation methodology distinguishes three
+// consistency classes of ETC matrices: consistent (machine ordering
+// identical for every task), inconsistent (no structure), and partially
+// consistent (a subset of machine columns is mutually ordered, the rest is
+// free). This file adds the third class and a classifier, so ranking
+// experiments can sweep all three.
+
+// MakePartiallyConsistent sorts, within every row, the values at the given
+// column subset ascending by column index, leaving other columns untouched.
+// The resulting matrix is consistent when restricted to those columns. The
+// column list must be non-empty, strictly ascending, and in range. The
+// matrix is modified in place and also returned for chaining.
+func (m *Matrix) MakePartiallyConsistent(cols []int) (*Matrix, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("etc: MakePartiallyConsistent needs at least one column")
+	}
+	prev := -1
+	for _, c := range cols {
+		if c <= prev || c >= m.Machines {
+			return nil, fmt.Errorf("etc: bad column list %v (machines=%d)", cols, m.Machines)
+		}
+		prev = c
+	}
+	vals := make([]float64, len(cols))
+	for t := range m.Data {
+		for i, c := range cols {
+			vals[i] = m.Data[t][c]
+		}
+		sort.Float64s(vals)
+		for i, c := range cols {
+			m.Data[t][c] = vals[i]
+		}
+	}
+	return m, nil
+}
+
+// PartiallyConsistent draws a CVB matrix and makes every even-indexed column
+// mutually consistent — the standard "partially consistent" class with half
+// the machines ordered.
+func PartiallyConsistent(p CVBParams, src *stats.Source) (*Matrix, error) {
+	p.Consistent = false
+	m, err := CVB(p, src)
+	if err != nil {
+		return nil, err
+	}
+	var cols []int
+	for c := 0; c < m.Machines; c += 2 {
+		cols = append(cols, c)
+	}
+	return m.MakePartiallyConsistent(cols)
+}
+
+// ConsistencyClass labels a matrix's structure.
+type ConsistencyClass int
+
+const (
+	// Inconsistent: no common machine ordering.
+	Inconsistent ConsistencyClass = iota
+	// PartiallyConsistentClass: the even-indexed columns are mutually
+	// ordered but the whole matrix is not.
+	PartiallyConsistentClass
+	// Consistent: every row is ascending.
+	Consistent
+)
+
+// String names the class.
+func (c ConsistencyClass) String() string {
+	switch c {
+	case Consistent:
+		return "consistent"
+	case PartiallyConsistentClass:
+		return "partially-consistent"
+	default:
+		return "inconsistent"
+	}
+}
+
+// Classify reports the matrix's consistency class (checking the conventional
+// even-column subset for partial consistency).
+func (m *Matrix) Classify() ConsistencyClass {
+	if m.IsConsistent() {
+		return Consistent
+	}
+	for t := range m.Data {
+		prev := -1.0
+		first := true
+		for c := 0; c < m.Machines; c += 2 {
+			v := m.Data[t][c]
+			if !first && v < prev {
+				return Inconsistent
+			}
+			prev, first = v, false
+		}
+	}
+	return PartiallyConsistentClass
+}

@@ -1,0 +1,88 @@
+package etc
+
+import (
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func TestMakePartiallyConsistent(t *testing.T) {
+	m := &Matrix{Tasks: 2, Machines: 4, Data: [][]float64{
+		{9, 1, 3, 2},
+		{5, 8, 1, 7},
+	}}
+	if _, err := m.MakePartiallyConsistent([]int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: cols {0,2} were (9,3) → sorted (3,9); others untouched.
+	if m.Data[0][0] != 3 || m.Data[0][2] != 9 || m.Data[0][1] != 1 || m.Data[0][3] != 2 {
+		t.Errorf("row 0 = %v", m.Data[0])
+	}
+	if m.Data[1][0] != 1 || m.Data[1][2] != 5 {
+		t.Errorf("row 1 = %v", m.Data[1])
+	}
+}
+
+func TestMakePartiallyConsistentErrors(t *testing.T) {
+	m := &Matrix{Tasks: 1, Machines: 3, Data: [][]float64{{1, 2, 3}}}
+	if _, err := m.MakePartiallyConsistent(nil); err == nil {
+		t.Error("empty column list must error")
+	}
+	if _, err := m.MakePartiallyConsistent([]int{2, 1}); err == nil {
+		t.Error("non-ascending columns must error")
+	}
+	if _, err := m.MakePartiallyConsistent([]int{0, 5}); err == nil {
+		t.Error("out-of-range column must error")
+	}
+	if _, err := m.MakePartiallyConsistent([]int{0, 0}); err == nil {
+		t.Error("duplicate column must error")
+	}
+}
+
+func TestPartiallyConsistentGenerator(t *testing.T) {
+	m, err := PartiallyConsistent(CVBParams{Tasks: 100, Machines: 8, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5},
+		stats.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even columns ascending per row.
+	for t2, row := range m.Data {
+		prev := -1.0
+		for c := 0; c < m.Machines; c += 2 {
+			if row[c] < prev {
+				t.Fatalf("row %d even columns not ordered: %v", t2, row)
+			}
+			prev = row[c]
+		}
+	}
+	if got := m.Classify(); got != PartiallyConsistentClass {
+		t.Errorf("Classify = %v, want partially-consistent", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	consistent, err := CVB(CVBParams{Tasks: 60, Machines: 6, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5, Consistent: true},
+		stats.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := consistent.Classify(); got != Consistent {
+		t.Errorf("consistent matrix classified %v", got)
+	}
+	inconsistent, err := CVB(CVBParams{Tasks: 60, Machines: 6, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5},
+		stats.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inconsistent.Classify(); got != Inconsistent {
+		t.Errorf("inconsistent matrix classified %v", got)
+	}
+}
+
+func TestConsistencyClassString(t *testing.T) {
+	if Consistent.String() != "consistent" ||
+		PartiallyConsistentClass.String() != "partially-consistent" ||
+		Inconsistent.String() != "inconsistent" {
+		t.Error("class names wrong")
+	}
+}

@@ -1,0 +1,165 @@
+// Package etc generates Expected-Time-to-Compute matrices — the standard
+// workload model of the heterogeneous-computing literature that the FePIA
+// papers draw their makespan examples from. ETC[t][m] is the estimated
+// execution time of task t on machine m. Two classical generation methods
+// are provided: the coefficient-of-variation-based (CVB) method (gamma
+// distributions parameterized by task and machine CVs) and the range-based
+// method (nested uniform draws). Both support "consistent" matrices, where
+// a machine faster on one task is faster on all.
+package etc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fepia/internal/stats"
+)
+
+// Matrix is an ETC matrix: Rows = tasks, Cols = machines.
+type Matrix struct {
+	Tasks    int
+	Machines int
+	Data     [][]float64 // Data[t][m]
+}
+
+// At returns ETC of task t on machine m.
+func (m *Matrix) At(t, mach int) float64 { return m.Data[t][mach] }
+
+// Row returns the per-machine times of one task (alias; do not modify).
+func (m *Matrix) Row(t int) []float64 { return m.Data[t] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{Tasks: m.Tasks, Machines: m.Machines, Data: make([][]float64, m.Tasks)}
+	for t := range m.Data {
+		out.Data[t] = append([]float64(nil), m.Data[t]...)
+	}
+	return out
+}
+
+// Validation errors.
+var ErrBadShape = errors.New("etc: tasks and machines must be positive")
+
+// CVBParams parameterize the coefficient-of-variation-based method of Ali et
+// al. (Tamkang J. Sci. Eng. 2000): task heterogeneity is the CV of a task's
+// mean execution time across tasks, machine heterogeneity the CV across
+// machines for a fixed task.
+type CVBParams struct {
+	Tasks    int
+	Machines int
+	// MeanTask is μ_task, the overall mean execution time.
+	MeanTask float64
+	// TaskCV (V_task) controls task heterogeneity, e.g. 0.1 low, 0.6 high.
+	TaskCV float64
+	// MachineCV (V_machine) controls machine heterogeneity.
+	MachineCV float64
+	// Consistent orders each row so machine 0 is fastest everywhere —
+	// the "consistent heterogeneity" class of the HC literature.
+	Consistent bool
+}
+
+// CVB generates an ETC matrix with the coefficient-of-variation method:
+//
+//	q[t]    ~ Gamma(shape=1/V_task²,    scale=μ_task·V_task²)
+//	e[t][m] ~ Gamma(shape=1/V_mach²,    scale=q[t]·V_mach²)
+//
+// so that E[e[t][·]] = q[t] and the CVs match the requested heterogeneity.
+func CVB(p CVBParams, src *stats.Source) (*Matrix, error) {
+	if p.Tasks <= 0 || p.Machines <= 0 {
+		return nil, fmt.Errorf("%w: %d tasks, %d machines", ErrBadShape, p.Tasks, p.Machines)
+	}
+	if p.MeanTask <= 0 {
+		return nil, fmt.Errorf("etc: CVB mean task time %g must be positive", p.MeanTask)
+	}
+	if p.TaskCV <= 0 || p.MachineCV <= 0 {
+		return nil, fmt.Errorf("etc: CVB CVs must be positive (got task %g, machine %g)", p.TaskCV, p.MachineCV)
+	}
+	alphaTask := 1 / (p.TaskCV * p.TaskCV)
+	betaTask := p.MeanTask / alphaTask
+	alphaMach := 1 / (p.MachineCV * p.MachineCV)
+
+	m := &Matrix{Tasks: p.Tasks, Machines: p.Machines, Data: make([][]float64, p.Tasks)}
+	for t := 0; t < p.Tasks; t++ {
+		q := src.Gamma(alphaTask, betaTask)
+		row := make([]float64, p.Machines)
+		for j := 0; j < p.Machines; j++ {
+			row[j] = src.Gamma(alphaMach, q/alphaMach)
+		}
+		if p.Consistent {
+			sort.Float64s(row)
+		}
+		m.Data[t] = row
+	}
+	return m, nil
+}
+
+// RangeParams parameterize the range-based method: per-task baselines drawn
+// from U[1, Rtask), scaled per machine by U[1, Rmach).
+type RangeParams struct {
+	Tasks    int
+	Machines int
+	// Rtask bounds the task baseline range (task heterogeneity), > 1.
+	Rtask float64
+	// Rmach bounds the per-machine multiplier range (machine
+	// heterogeneity), > 1.
+	Rmach float64
+	// Consistent sorts rows ascending as in CVBParams.
+	Consistent bool
+}
+
+// RangeBased generates an ETC matrix with the range-based method.
+func RangeBased(p RangeParams, src *stats.Source) (*Matrix, error) {
+	if p.Tasks <= 0 || p.Machines <= 0 {
+		return nil, fmt.Errorf("%w: %d tasks, %d machines", ErrBadShape, p.Tasks, p.Machines)
+	}
+	if p.Rtask <= 1 || p.Rmach <= 1 {
+		return nil, fmt.Errorf("etc: range parameters must exceed 1 (got %g, %g)", p.Rtask, p.Rmach)
+	}
+	m := &Matrix{Tasks: p.Tasks, Machines: p.Machines, Data: make([][]float64, p.Tasks)}
+	for t := 0; t < p.Tasks; t++ {
+		base := src.Uniform(1, p.Rtask)
+		row := make([]float64, p.Machines)
+		for j := 0; j < p.Machines; j++ {
+			row[j] = base * src.Uniform(1, p.Rmach)
+		}
+		if p.Consistent {
+			sort.Float64s(row)
+		}
+		m.Data[t] = row
+	}
+	return m, nil
+}
+
+// IsConsistent reports whether machine ordering is identical across all
+// tasks (ascending in every row).
+func (m *Matrix) IsConsistent() bool {
+	for _, row := range m.Data {
+		for j := 1; j < len(row); j++ {
+			if row[j] < row[j-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TaskCV estimates the achieved task heterogeneity: the CV of per-task mean
+// times.
+func (m *Matrix) TaskCV() float64 {
+	means := make([]float64, m.Tasks)
+	for t, row := range m.Data {
+		means[t] = stats.Mean(row)
+	}
+	return stats.CV(means)
+}
+
+// MachineCV estimates the achieved machine heterogeneity: the mean over
+// tasks of the per-row CV.
+func (m *Matrix) MachineCV() float64 {
+	cvs := make([]float64, m.Tasks)
+	for t, row := range m.Data {
+		cvs[t] = stats.CV(row)
+	}
+	return stats.Mean(cvs)
+}

@@ -1,0 +1,156 @@
+package etc
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func TestCVBShapeAndPositivity(t *testing.T) {
+	src := stats.NewSource(1)
+	m, err := CVB(CVBParams{Tasks: 50, Machines: 8, MeanTask: 100, TaskCV: 0.3, MachineCV: 0.3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 50 || m.Machines != 8 || len(m.Data) != 50 || len(m.Data[0]) != 8 {
+		t.Fatalf("shape wrong: %dx%d", m.Tasks, m.Machines)
+	}
+	for t2, row := range m.Data {
+		for j, v := range row {
+			if v <= 0 {
+				t.Fatalf("non-positive ETC[%d][%d] = %v", t2, j, v)
+			}
+		}
+	}
+}
+
+func TestCVBHeterogeneityKnobs(t *testing.T) {
+	// Achieved CVs should track requested CVs (loosely — finite sample).
+	src := stats.NewSource(7)
+	m, err := CVB(CVBParams{Tasks: 2000, Machines: 16, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.2}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TaskCV(); math.Abs(got-0.5) > 0.1 {
+		t.Errorf("task CV = %v, want ≈0.5", got)
+	}
+	if got := m.MachineCV(); math.Abs(got-0.2) > 0.05 {
+		t.Errorf("machine CV = %v, want ≈0.2", got)
+	}
+}
+
+func TestCVBLowVsHighHeterogeneity(t *testing.T) {
+	lo, err := CVB(CVBParams{Tasks: 500, Machines: 8, MeanTask: 10, TaskCV: 0.1, MachineCV: 0.1}, stats.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := CVB(CVBParams{Tasks: 500, Machines: 8, MeanTask: 10, TaskCV: 0.6, MachineCV: 0.6}, stats.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.TaskCV() >= hi.TaskCV() {
+		t.Errorf("low-het task CV %v should be below high-het %v", lo.TaskCV(), hi.TaskCV())
+	}
+	if lo.MachineCV() >= hi.MachineCV() {
+		t.Errorf("low-het machine CV %v should be below high-het %v", lo.MachineCV(), hi.MachineCV())
+	}
+}
+
+func TestCVBConsistent(t *testing.T) {
+	m, err := CVB(CVBParams{Tasks: 100, Machines: 6, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4, Consistent: true}, stats.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConsistent() {
+		t.Error("Consistent=true must produce a consistent matrix")
+	}
+}
+
+func TestCVBInconsistentUsually(t *testing.T) {
+	m, err := CVB(CVBParams{Tasks: 100, Machines: 6, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, stats.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsConsistent() {
+		t.Error("unsorted CVB matrix of this size should not be consistent")
+	}
+}
+
+func TestCVBErrors(t *testing.T) {
+	src := stats.NewSource(1)
+	bad := []CVBParams{
+		{Tasks: 0, Machines: 4, MeanTask: 10, TaskCV: 0.3, MachineCV: 0.3},
+		{Tasks: 4, Machines: 0, MeanTask: 10, TaskCV: 0.3, MachineCV: 0.3},
+		{Tasks: 4, Machines: 4, MeanTask: 0, TaskCV: 0.3, MachineCV: 0.3},
+		{Tasks: 4, Machines: 4, MeanTask: 10, TaskCV: 0, MachineCV: 0.3},
+		{Tasks: 4, Machines: 4, MeanTask: 10, TaskCV: 0.3, MachineCV: -1},
+	}
+	for i, p := range bad {
+		if _, err := CVB(p, src); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRangeBasedShapeAndBounds(t *testing.T) {
+	m, err := RangeBased(RangeParams{Tasks: 200, Machines: 10, Rtask: 100, Rmach: 10}, stats.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Data {
+		for _, v := range row {
+			if v < 1 || v >= 1000 {
+				t.Fatalf("value %v outside [1, Rtask·Rmach)", v)
+			}
+		}
+	}
+}
+
+func TestRangeBasedConsistent(t *testing.T) {
+	m, err := RangeBased(RangeParams{Tasks: 50, Machines: 5, Rtask: 10, Rmach: 10, Consistent: true}, stats.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConsistent() {
+		t.Error("consistent range-based matrix expected")
+	}
+}
+
+func TestRangeBasedErrors(t *testing.T) {
+	src := stats.NewSource(1)
+	if _, err := RangeBased(RangeParams{Tasks: 0, Machines: 1, Rtask: 2, Rmach: 2}, src); err == nil {
+		t.Error("bad shape must error")
+	}
+	if _, err := RangeBased(RangeParams{Tasks: 1, Machines: 1, Rtask: 1, Rmach: 2}, src); err == nil {
+		t.Error("Rtask <= 1 must error")
+	}
+	if _, err := RangeBased(RangeParams{Tasks: 1, Machines: 1, Rtask: 2, Rmach: 0.5}, src); err == nil {
+		t.Error("Rmach <= 1 must error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, err := RangeBased(RangeParams{Tasks: 3, Machines: 3, Rtask: 5, Rmach: 5}, stats.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Data[0][0] = -99
+	if m.Data[0][0] == -99 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := CVBParams{Tasks: 20, Machines: 4, MeanTask: 10, TaskCV: 0.3, MachineCV: 0.3}
+	a, _ := CVB(p, stats.NewSource(9))
+	b, _ := CVB(p, stats.NewSource(9))
+	for t2 := range a.Data {
+		for j := range a.Data[t2] {
+			if a.Data[t2][j] != b.Data[t2][j] {
+				t.Fatal("same seed must reproduce the matrix exactly")
+			}
+		}
+	}
+}

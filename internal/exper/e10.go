@@ -1,0 +1,144 @@
+package exper
+
+import (
+	"fmt"
+
+	"fepia/internal/core"
+	"fepia/internal/makespan"
+	"fepia/internal/report"
+	"fepia/internal/sched"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+// RunE10 is the norm ablation: the paper defines the robustness radius with
+// the Euclidean norm, which encodes one specific model of how perturbations
+// combine. The ℓ1 radius ("total drift budget, spent adversarially") and the
+// ℓ∞ radius ("uniform per-element drift") answer different operational
+// questions. The experiment computes all three on makespan allocations and
+// verifies the dual-norm ordering r_ℓ1 ≥ r_ℓ2 ≥ r_ℓ∞, plus the practical
+// observation that the choice changes which machine is critical — i.e. the
+// norm is a modelling decision, not a cosmetic one.
+func RunE10(cfg Config) (*Result, error) {
+	res := &Result{ID: "E10", Title: "Norm ablation (l1 / l2 / l-inf radii)"}
+	const tau = 1.3
+	instances := cfg.size(20, 4)
+
+	type row struct {
+		r1, r2, rInf          float64
+		crit1, crit2, critInf int
+		err                   error
+	}
+	rows := make([]row, instances)
+	parallelFor(instances, func(inst int) {
+		src := stats.Named(cfg.Seed, fmt.Sprintf("e10-%d", inst))
+		m, err := workload.Makespan(workload.DefaultMakespan(), src)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		alloc, err := sched.MinMin(m)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		s, err := makespan.New(m, alloc)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		a, err := s.Analysis(tau)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		get := func(norm core.Norm) (float64, int, error) {
+			r, err := a.RobustnessSingleNorm(0, norm)
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.Value, r.Feature, nil
+		}
+		r1, c1, err := get(core.L1)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		r2, c2, err := get(core.L2)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		rInf, cInf, err := get(core.LInf)
+		if err != nil {
+			rows[inst] = row{err: err}
+			return
+		}
+		rows[inst] = row{r1: r1, r2: r2, rInf: rInf, crit1: c1, crit2: c2, critInf: cInf}
+	})
+
+	tb := report.NewTable("E10: robustness of min-min allocations under three norms (tau=1.3)",
+		"instance", "rho_l1", "rho_l2", "rho_linf", "critical feature (l1/l2/linf)")
+	ordered := true
+	critChanged := false
+	for i, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !(r.r1 >= r.r2-1e-12 && r.r2 >= r.rInf-1e-12) {
+			ordered = false
+		}
+		// Different norms may nominate different critical features across
+		// the sweep (not necessarily within one instance).
+		if r.crit1 != r.crit2 || r.crit2 != r.critInf {
+			critChanged = true
+		}
+		if i < 10 {
+			tb.AddRow(i, r.r1, r.r2, r.rInf,
+				fmt.Sprintf("%d/%d/%d", r.crit1, r.crit2, r.critInf))
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+
+	res.check("dual-norm ordering r_l1 >= r_l2 >= r_linf holds on every instance",
+		ordered, "%d instances checked", instances)
+	// The engine-level duality facts are verified in unit tests; here check
+	// the interpretive claim on at least one instance.
+	res.check("the l2 radius is reproduced by the default engine",
+		func() bool {
+			src := stats.Named(cfg.Seed, "e10-0")
+			m, err := workload.Makespan(workload.DefaultMakespan(), src)
+			if err != nil {
+				return false
+			}
+			alloc, err := sched.MinMin(m)
+			if err != nil {
+				return false
+			}
+			s, err := makespan.New(m, alloc)
+			if err != nil {
+				return false
+			}
+			a, err := s.Analysis(tau)
+			if err != nil {
+				return false
+			}
+			rDefault, err := a.RobustnessSingle(0)
+			if err != nil {
+				return false
+			}
+			rL2, err := a.RobustnessSingleNorm(0, core.L2)
+			if err != nil {
+				return false
+			}
+			diff := rDefault.Value - rL2.Value
+			return diff < 1e-9 && diff > -1e-9
+		}(), "RadiusSingle and RadiusSingleNorm(L2) agree")
+	if critChanged {
+		res.note("On some instances different norms nominate different critical machines: the norm choice changes not just the number but the diagnosis.")
+	} else {
+		res.note("On this sweep the three norms agreed on the critical machine; the radii still differ by the dual-norm factors.")
+	}
+	res.note("Interpretation: rho_l1 bounds the total absolute drift (one bad estimate), rho_l2 the Euclidean drift (the paper's model), rho_linf the uniform per-task drift (systematic bias). All are exact closed forms for linear features.")
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"fepia/internal/core"
+	"fepia/internal/report"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+// RunE11 contrasts the paper's worst-case robustness radius with a
+// probabilistic view: if the parameters drift randomly rather than
+// adversarially, how likely is a violation at a given drift magnitude? The
+// experiment runs Monte-Carlo estimation on the HiPer-D analysis at spreads
+// below, at, and above the radius, verifying the defining relationship
+// (zero violations inside the certified ball) and quantifying how much
+// random-drift headroom the worst-case number leaves on the table.
+func RunE11(cfg Config) (*Result, error) {
+	res := &Result{ID: "E11", Title: "Worst-case radius vs Monte-Carlo violation probability"}
+
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.Named(cfg.Seed, "e11-system"))
+	if err != nil {
+		return nil, err
+	}
+	a, err := sys.Analysis()
+	if err != nil {
+		return nil, err
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		return nil, err
+	}
+
+	samples := cfg.size(20000, 2000)
+	tb := report.NewTable("E11: violation probability under uniform drift in the P-ball of radius c*rho",
+		"c (ball radius / rho)", "violation rate", "mean ||P-P_orig||", "max ||P-P_orig||")
+	var atRadius, far float64
+	insideViol := 0
+	for _, c := range []float64{0.5, 0.9, 0.999, 1.5, 2.5, 4.0} {
+		mc, err := a.MonteCarlo(core.MCOptions{
+			Model:   core.MCUniformBall,
+			Spread:  c * rho.Value,
+			Samples: samples,
+			Seed:    cfg.Seed + int64(c*1000),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(c, mc.ViolationRate, mc.MeanPDist, mc.MaxPDist)
+		if c <= 1 {
+			insideViol += mc.Violations
+		}
+		if c == 1.5 {
+			atRadius = mc.ViolationRate
+		}
+		if c == 4.0 {
+			far = mc.ViolationRate
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+
+	res.check("zero violations inside the certified ball (c <= 1)",
+		insideViol == 0, "%d violations across the c = 0.5/0.9/0.999 sweeps", insideViol)
+	res.check("violation probability grows with drift beyond the radius",
+		far >= atRadius && far > 0,
+		"rate %.4g at c=1.5 vs %.4g at c=4.0", atRadius, far)
+
+	// Gaussian relative drift: report the sigma at which violations first
+	// appear, relative to rho (per-dimension scale).
+	tb2 := report.NewTable("E11: violation rate under relative-normal drift (sigma per element)",
+		"sigma", "violation rate", "critical feature")
+	for _, sigma := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+		mc, err := a.MonteCarlo(core.MCOptions{
+			Model:   core.MCRelativeNormal,
+			Spread:  sigma,
+			Samples: samples,
+			Seed:    cfg.Seed + int64(sigma*10000),
+		})
+		if err != nil {
+			return nil, err
+		}
+		crit := "-"
+		if mc.CriticalFeature >= 0 {
+			crit = a.Features[mc.CriticalFeature].Name
+		}
+		tb2.AddRow(sigma, mc.ViolationRate, crit)
+	}
+	res.Tables = append(res.Tables, tb2)
+
+	res.note("The radius is a guarantee, not a forecast: random drift of substantial magnitude usually misses the worst-case direction, so violation rates just beyond rho stay small and climb smoothly. Use rho for promises, Monte-Carlo for expectations.")
+	return res, nil
+}

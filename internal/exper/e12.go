@@ -1,0 +1,135 @@
+package exper
+
+import (
+	"errors"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/hiperd"
+	"fepia/internal/report"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+// RunE12 injects the remaining uncertainty the paper's introduction names —
+// "sudden machine or link failures" — into the HiPer-D substrate: every
+// machine of a shared-machine system is failed in turn, the orphaned
+// applications are remapped by (a) classical load-balancing and (b) the
+// robustness-aware remapper, and the combined normalized robustness before
+// and after quantifies both the cost of the failure and the value of
+// robustness-aware recovery.
+func RunE12(cfg Config) (*Result, error) {
+	res := &Result{ID: "E12", Title: "Machine-failure injection and robust recovery"}
+
+	p := workload.DefaultHiPerD()
+	p.DedicatedMachines = false
+	p.Machines = 5
+	p.Rate = 2
+	sys, err := workload.HiPerD(p, stats.Named(cfg.Seed, "e12-system"))
+	if err != nil {
+		return nil, err
+	}
+	a0, err := sys.Analysis()
+	if err != nil {
+		return nil, err
+	}
+	rho0, err := a0.Robustness(core.Normalized{})
+	if err != nil {
+		return nil, err
+	}
+
+	rhoOf := func(s *hiperd.System) (float64, error) {
+		a, err := s.Analysis()
+		if err != nil {
+			return 0, err
+		}
+		rho, err := a.Robustness(core.Normalized{})
+		if err != nil {
+			return 0, err
+		}
+		return rho.Value, nil
+	}
+
+	tb := report.NewTable("E12: robustness before/after each single-machine failure (rho_0 = pre-failure)",
+		"failed machine", "apps orphaned", "rho greedy remap", "rho robust remap", "robust/greedy", "recoverable")
+	tb.AddRow("(none)", 0, rho0.Value, rho0.Value, 1.0, true)
+
+	neverWorse := true
+	increased := 0
+	recovered := 0
+	improvedCases := 0
+	for j := 0; j < len(sys.Machines); j++ {
+		orphans := 0
+		for _, m := range sys.Alloc {
+			if m == j {
+				orphans++
+			}
+		}
+		greedy, errG := sys.FailMachine(j, hiperd.GreedyUtilRemap)
+		robust, errR := sys.FailMachine(j, hiperd.RobustRemap)
+		if errG != nil || errR != nil {
+			if !errors.Is(errG, hiperd.ErrNoCapacity) && errG != nil {
+				return nil, errG
+			}
+			tb.AddRow(j, orphans, "-", "-", "-", false)
+			continue
+		}
+		recovered++
+		rg, err := rhoOf(greedy)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := rhoOf(robust)
+		if err != nil {
+			return nil, err
+		}
+		ratio := math.Inf(1)
+		if rg > 0 {
+			ratio = rr / rg
+		}
+		tb.AddRow(j, orphans, rg, rr, ratio, true)
+		if rr < rg-1e-9 {
+			neverWorse = false
+		}
+		if rr > rg+1e-9 {
+			improvedCases++
+		}
+		if rr > rho0.Value+1e-9 {
+			increased++
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+
+	res.check("at least one failure is recoverable", recovered > 0,
+		"%d of %d failures recovered", recovered, len(sys.Machines))
+	res.check("robust remap never loses to greedy remap", neverWorse,
+		"compared across %d recoverable failures", recovered)
+	if increased > 0 {
+		res.note("Counter-intuitive but correct: %d failures INCREASED the combined robustness. Consolidating orphans onto survivors removes cross-machine edges, and with them the link-utilization constraints and communication latency terms that were the robustness bottleneck. Losing hardware can relax the constraint set even as it concentrates load.", increased)
+	}
+
+	// DES sanity on one recovered configuration: it must still run.
+	if recovered > 0 {
+		for j := 0; j < len(sys.Machines); j++ {
+			failed, err := sys.FailMachine(j, hiperd.RobustRemap)
+			if err != nil {
+				continue
+			}
+			sim, err := failed.Simulate(failed.OrigExecTimes(), failed.OrigMsgSizes(),
+				cfg.size(200, 40), cfg.size(20, 4))
+			if err != nil {
+				return nil, err
+			}
+			res.check("remapped system completes all data sets in simulation",
+				sim.DataSets == cfg.size(200, 40),
+				"machine %d failed: %d data sets completed", j, sim.DataSets)
+			break
+		}
+	}
+	if improvedCases > 0 {
+		res.note("Robustness-aware recovery strictly improved on load balancing in %d of %d recoverable failures: where the orphan lands determines how close the surviving machines sit to their throughput boundaries.", improvedCases, recovered)
+	} else {
+		res.note("On this draw greedy and robust recovery coincide; the robust remapper's value shows on tighter systems (see the hiperd package tests).")
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package exper
+
+import (
+	"fmt"
+
+	"fepia/internal/core"
+	"fepia/internal/report"
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// RunE5 validates the paper's operating-point recipe: to decide whether the
+// system tolerates a given set of π_j values, (a) convert them to P-space,
+// (b) measure ‖P − P^orig‖₂, (c) compare with the robustness radius. The
+// check must be *sound* (never declares a violating point tolerable) and its
+// conservatism (feasible points it declines to certify) is quantified — the
+// radius is a worst-case-direction guarantee, so some slack is inherent.
+func RunE5(cfg Config) (*Result, error) {
+	res := &Result{ID: "E5", Title: "Operating-point recipe"}
+
+	// Mixed-kind linear system: two execution times (seconds) and two
+	// message lengths (bytes) feeding two features with different bounds.
+	params := []core.Perturbation{
+		{Name: "exec-times", Unit: "s", Orig: vec.Of(1, 2)},
+		{Name: "msg-lengths", Unit: "bytes", Orig: vec.Of(1000, 3000)},
+	}
+	f1 := &core.LinearImpact{Coeffs: []vec.V{vec.Of(2, 3), vec.Of(0.001, 0.002)}}
+	f2 := &core.LinearImpact{Coeffs: []vec.V{vec.Of(1, 0), vec.Of(0.004, 0)}}
+	origVals := []vec.V{vec.Of(1, 2), vec.Of(1000, 3000)}
+	a, err := core.NewAnalysis([]core.Feature{
+		{Name: "latency", Bounds: core.MaxOnly(1.4 * f1.Eval(origVals)), Linear: f1},
+		{Name: "util", Bounds: core.MaxOnly(1.6 * f2.Eval(origVals)), Linear: f2},
+	}, params)
+	if err != nil {
+		return nil, err
+	}
+
+	trials := cfg.size(4000, 400)
+	type verdict struct {
+		tolerable, violates bool
+		err                 error
+	}
+	verdicts := make([]verdict, trials)
+	parallelFor(trials, func(i int) {
+		src := stats.Named(cfg.Seed, fmt.Sprintf("e5-%d", i))
+		// Sample relative perturbations up to ±60% per element.
+		vals := []vec.V{
+			vec.Of(1*src.Uniform(0.4, 1.6), 2*src.Uniform(0.4, 1.6)),
+			vec.Of(1000*src.Uniform(0.4, 1.6), 3000*src.Uniform(0.4, 1.6)),
+		}
+		tol, err := a.Tolerable(vals, core.Normalized{})
+		if err != nil {
+			verdicts[i] = verdict{err: err}
+			return
+		}
+		verdicts[i] = verdict{tolerable: tol, violates: a.Violates(vals)}
+	})
+
+	var certOK, certBad, declinedOK, declinedBad int
+	for _, v := range verdicts {
+		if v.err != nil {
+			return nil, v.err
+		}
+		switch {
+		case v.tolerable && !v.violates:
+			certOK++
+		case v.tolerable && v.violates:
+			certBad++ // unsound — must never happen
+		case !v.tolerable && !v.violates:
+			declinedOK++
+		default:
+			declinedBad++
+		}
+	}
+	tb := report.NewTable("E5: recipe verdict vs ground truth over random operating points",
+		"verdict", "feasible (ground truth)", "violating (ground truth)")
+	tb.AddRow("certified tolerable", certOK, certBad)
+	tb.AddRow("not certified", declinedOK, declinedBad)
+	res.Tables = append(res.Tables, tb)
+
+	res.check("soundness: no violating point is certified", certBad == 0,
+		"%d unsound certifications out of %d points", certBad, trials)
+	feasible := certOK + declinedOK
+	if feasible > 0 {
+		res.note("Conservatism: %d of %d feasible points (%.1f%%) were certified; the rest lie outside the worst-case radius but happen to be feasible in their particular direction.",
+			certOK, feasible, 100*float64(certOK)/float64(feasible))
+	}
+	res.check("recipe certifies a nontrivial region", certOK > 0,
+		"%d points certified", certOK)
+	res.check("recipe rejects all actual violations", declinedBad+certBad == declinedBad,
+		"all %d violating samples were declined", declinedBad)
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Quick: true} }
+
+func TestAllRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Error("E3 must exist")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 must not exist")
+	}
+}
+
+// runAndRequirePass runs one experiment in quick mode and demands that every
+// check passes — these are the reproduction claims of EXPERIMENTS.md.
+func runAndRequirePass(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %s", id)
+	}
+	res, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Errorf("result id %q", res.ID)
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("%s check failed: %s (%s)", id, c.Name, c.Detail)
+		}
+	}
+	if !res.Passed() {
+		t.Errorf("%s did not pass", id)
+	}
+	if len(res.Tables) == 0 {
+		t.Errorf("%s produced no tables", id)
+	}
+	return res
+}
+
+func TestE1(t *testing.T) {
+	res := runAndRequirePass(t, "E1")
+	if len(res.Plots) == 0 {
+		t.Error("E1 must render the figure")
+	}
+	out := res.Plots[0].String()
+	if !strings.Contains(out, "pi_orig") || !strings.Contains(out, "pi*") {
+		t.Error("figure must mark pi_orig and pi*")
+	}
+}
+
+func TestE2(t *testing.T)  { runAndRequirePass(t, "E2") }
+func TestE3(t *testing.T)  { runAndRequirePass(t, "E3") }
+func TestE4(t *testing.T)  { runAndRequirePass(t, "E4") }
+func TestE5(t *testing.T)  { runAndRequirePass(t, "E5") }
+func TestE6(t *testing.T)  { runAndRequirePass(t, "E6") }
+func TestE7(t *testing.T)  { runAndRequirePass(t, "E7") }
+func TestE8(t *testing.T)  { runAndRequirePass(t, "E8") }
+func TestE9(t *testing.T)  { runAndRequirePass(t, "E9") }
+func TestE10(t *testing.T) { runAndRequirePass(t, "E10") }
+func TestE11(t *testing.T) { runAndRequirePass(t, "E11") }
+func TestE12(t *testing.T) { runAndRequirePass(t, "E12") }
+func TestE13(t *testing.T) { runAndRequirePass(t, "E13") }
+func TestE14(t *testing.T) { runAndRequirePass(t, "E14") }
+func TestE15(t *testing.T) { runAndRequirePass(t, "E15") }
+
+func TestDeterministicResults(t *testing.T) {
+	// Same seed → identical tables (E3 exercises parallel sweeps).
+	e, _ := ByID("E3")
+	r1, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tables[0].String() != r2.Tables[0].String() {
+		t.Error("same seed must reproduce the table exactly")
+	}
+}
+
+func TestSeedChangesSweep(t *testing.T) {
+	e, _ := ByID("E8")
+	r1, err := e.Run(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(Config{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tables[0].String() == r2.Tables[0].String() {
+		t.Error("different seeds should draw different systems")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	out := make([]int, 100)
+	parallelFor(100, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+	// n smaller than worker count and n == 0 must not hang.
+	parallelFor(1, func(i int) {})
+	parallelFor(0, func(i int) { t.Fatal("must not be called") })
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "X"}
+	r.check("ok", true, "fine")
+	r.check("bad", false, "broken %d", 7)
+	r.note("note %s", "here")
+	if r.Passed() {
+		t.Error("result with failing check must not pass")
+	}
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "here") {
+		t.Error("note not recorded")
+	}
+	if r.Checks[1].Detail != "broken 7" {
+		t.Errorf("detail = %q", r.Checks[1].Detail)
+	}
+}

@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/optimize"
+	"fepia/internal/vec"
+)
+
+// CurvePoint is one sample of a traced 2-D boundary curve.
+type CurvePoint struct {
+	X, Y float64
+}
+
+// TraceOptions configure TraceCurve2D.
+type TraceOptions struct {
+	// Samples is the number of grid columns to probe. Zero selects 128.
+	Samples int
+	// YMin/YMax bound the vertical root search. YMax zero selects a span
+	// derived from the grid width.
+	YMin, YMax float64
+	// Tol is the root tolerance. Zero selects 1e-10.
+	Tol float64
+}
+
+// TraceCurve2D samples the boundary curve {(x, y) : f(x, y) = level} over
+// x ∈ [xMin, xMax] by solving for y at each grid column. Columns where the
+// curve does not cross the probed y-range are skipped, so the returned
+// polyline may have fewer points than Samples. This regenerates the curve of
+// the paper's Figure 1: the set of boundary points of a two-element
+// perturbation vector.
+func TraceCurve2D(f func(x, y float64) float64, level, xMin, xMax float64, opt TraceOptions) ([]CurvePoint, error) {
+	if xMax <= xMin {
+		return nil, fmt.Errorf("geom: TraceCurve2D range [%g, %g] is empty", xMin, xMax)
+	}
+	if opt.Samples <= 0 {
+		opt.Samples = 128
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	yMin, yMax := opt.YMin, opt.YMax
+	if yMax <= yMin {
+		span := xMax - xMin
+		yMin, yMax = 0, 10*span
+	}
+	pts := make([]CurvePoint, 0, opt.Samples)
+	for i := 0; i < opt.Samples; i++ {
+		x := xMin + (xMax-xMin)*float64(i)/float64(opt.Samples-1)
+		g := func(y float64) float64 { return f(x, y) - level }
+		a, b, ok := scanBracket(g, yMin, yMax, 64)
+		if !ok {
+			continue
+		}
+		y, err := optimize.Brent(g, a, b, opt.Tol)
+		if err != nil {
+			continue
+		}
+		pts = append(pts, CurvePoint{X: x, Y: y})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("geom: TraceCurve2D found no boundary crossings for level %g", level)
+	}
+	return pts, nil
+}
+
+// scanBracket scans [lo, hi] in steps looking for a sign change of g.
+func scanBracket(g optimize.Func1, lo, hi float64, steps int) (a, b float64, ok bool) {
+	prevX := lo
+	prevG := g(lo)
+	if prevG == 0 {
+		return lo, lo, true
+	}
+	for i := 1; i <= steps; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(steps)
+		gx := g(x)
+		if gx == 0 || (gx > 0) != (prevG > 0) {
+			return prevX, x, true
+		}
+		prevX, prevG = x, gx
+	}
+	return 0, 0, false
+}
+
+// NearestOnPolyline returns the point on the polyline nearest to p and its
+// distance — used to cross-check the analytic robustness radius against the
+// traced Figure-1 curve.
+func NearestOnPolyline(pts []CurvePoint, p vec.V) (CurvePoint, float64) {
+	if len(pts) == 0 {
+		return CurvePoint{}, math.Inf(1)
+	}
+	best := CurvePoint{}
+	bestD := math.Inf(1)
+	for i := 0; i < len(pts); i++ {
+		var cand CurvePoint
+		if i+1 < len(pts) {
+			cand = closestOnSegment(pts[i], pts[i+1], p)
+		} else {
+			cand = pts[i]
+		}
+		d := math.Hypot(cand.X-p[0], cand.Y-p[1])
+		if d < bestD {
+			best, bestD = cand, d
+		}
+	}
+	return best, bestD
+}
+
+// closestOnSegment projects p onto the segment ab, clamped to the endpoints.
+func closestOnSegment(a, b CurvePoint, p vec.V) CurvePoint {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	den := dx*dx + dy*dy
+	if den == 0 {
+		return a
+	}
+	t := ((p[0]-a.X)*dx + (p[1]-a.Y)*dy) / den
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return CurvePoint{X: a.X + t*dx, Y: a.Y + t*dy}
+}

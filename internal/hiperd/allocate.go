@@ -1,0 +1,127 @@
+package hiperd
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+)
+
+// The DARPA project that motivated the paper was "the design and analysis of
+// heuristics for robust resource allocation". This file provides initial
+// (from-scratch) allocation heuristics for the HiPer-D substrate, the
+// counterpart of internal/sched for the streaming system: given a system
+// with machines but no committed allocation, place every application.
+
+// AllocateGreedyUtil assigns applications to machines balancing utilization:
+// heaviest application first onto the machine with the lowest resulting
+// load (speed-aware). It overwrites s.Alloc and validates the result; an
+// error is returned when even balanced placement overloads a machine.
+func (s *System) AllocateGreedyUtil() error {
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("%w: no machines", ErrBadSystem)
+	}
+	if len(s.Alloc) != len(s.Apps) {
+		s.Alloc = make([]int, len(s.Apps))
+	}
+	for a := range s.Alloc {
+		s.Alloc[a] = -1
+	}
+	order := execOrder(s)
+	load := make([]float64, len(s.Machines))
+	for _, a := range order {
+		best, bestLoad := -1, math.Inf(1)
+		for m := range s.Machines {
+			t := load[m] + s.Apps[a].BaseExec/s.Machines[m].Speed
+			if t < bestLoad {
+				best, bestLoad = m, t
+			}
+		}
+		s.Alloc[a] = best
+		load[best] = bestLoad
+	}
+	for m, l := range load {
+		if s.Rate*l > 1 {
+			return fmt.Errorf("%w: machine %d utilization %.3f after balanced placement", ErrNoCapacity, m, s.Rate*l)
+		}
+	}
+	return s.Validate()
+}
+
+// AllocateRobust assigns applications to maximize the combined normalized
+// robustness ρ_μ(Φ, P): starting from the balanced placement, it hill-climbs
+// over single-application moves, accepting only strict improvements, until a
+// local optimum or maxSteps moves. It is the expensive-but-better initial
+// mapper the motivating project asked for; E12's remapping counterpart
+// handles the failure path.
+func (s *System) AllocateRobust(maxSteps int) error {
+	if err := s.AllocateGreedyUtil(); err != nil {
+		return err
+	}
+	if maxSteps <= 0 {
+		maxSteps = 4 * len(s.Apps)
+	}
+	cur, err := s.robustScore()
+	if err != nil {
+		return err
+	}
+	for step := 0; step < maxSteps; step++ {
+		improved := false
+		for a := 0; a < len(s.Apps) && !improved; a++ {
+			from := s.Alloc[a]
+			for m := range s.Machines {
+				if m == from {
+					continue
+				}
+				s.Alloc[a] = m
+				next, err := s.robustScore()
+				if err == nil && next > cur+1e-12 {
+					cur = next
+					improved = true
+					break
+				}
+				s.Alloc[a] = from
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return s.Validate()
+}
+
+// robustScore evaluates ρ under the normalized weighting, returning an error
+// for infeasible intermediate states (e.g. a move that overloads a machine
+// makes the analysis reject the operating point).
+func (s *System) robustScore() (float64, error) {
+	a, err := s.Analysis()
+	if err != nil {
+		return 0, err
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		return 0, err
+	}
+	return rho.Value, nil
+}
+
+// execOrder returns application indices sorted heaviest-first
+// (deterministic: ties by index).
+func execOrder(s *System) []int {
+	order := make([]int, len(s.Apps))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0; k-- {
+			x, y := order[k-1], order[k]
+			if s.Apps[y].BaseExec > s.Apps[x].BaseExec ||
+				(s.Apps[y].BaseExec == s.Apps[x].BaseExec && y < x) {
+				order[k-1], order[k] = y, x
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,142 @@
+package hiperd
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+func TestAllocateGreedyUtilBalances(t *testing.T) {
+	s := pipeline(t)
+	s.Machines = s.Machines[:2] // 3 apps on 2 machines
+	s.Alloc = nil
+	if err := s.AllocateGreedyUtil(); err != nil {
+		t.Fatal(err)
+	}
+	// Heaviest-first: 0.03 → m0, 0.02 → m1, 0.01 → m1 (0.02 < 0.03).
+	load, err := s.MachineUtil(s.OrigExecTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load[0]-0.3) > 1e-12 || math.Abs(load[1]-0.3) > 1e-12 {
+		t.Errorf("balanced utils = %v, want (0.3, 0.3)", load)
+	}
+}
+
+func TestAllocateGreedyUtilSpeedAware(t *testing.T) {
+	s := pipeline(t)
+	s.Machines = []Machine{{"slow", 0.5}, {"fast", 2}}
+	s.Alloc = nil
+	if err := s.AllocateGreedyUtil(); err != nil {
+		t.Fatal(err)
+	}
+	// The fast machine absorbs more work: its per-app times are 4x lower.
+	load, err := s.MachineUtil(s.OrigExecTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load[1] > load[0]+1e-9 && len(s.TasksOnMachine(1)) < 2 {
+		t.Errorf("fast machine underused: loads %v", load)
+	}
+}
+
+// TasksOnMachine mirrors makespan.TasksOn for this package's tests.
+func (s *System) TasksOnMachine(m int) []int {
+	var out []int
+	for a, mm := range s.Alloc {
+		if mm == m {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestAllocateGreedyUtilOverload(t *testing.T) {
+	s := pipeline(t)
+	s.Machines = s.Machines[:1]
+	s.Alloc = nil
+	s.Rate = 20 // 0.06 total exec × 20 = 1.2 > 1
+	if err := s.AllocateGreedyUtil(); err == nil {
+		t.Error("overloaded placement must error")
+	}
+}
+
+func TestAllocateGreedyUtilNoMachines(t *testing.T) {
+	s := pipeline(t)
+	s.Machines = nil
+	if err := s.AllocateGreedyUtil(); err == nil {
+		t.Error("no machines must error")
+	}
+}
+
+func TestAllocateRobustNeverWorse(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		s := randomShared(t, 300+seed)
+		base := *s
+		base.Alloc = append([]int(nil), s.Alloc...)
+		if err := base.AllocateGreedyUtil(); err != nil {
+			t.Fatal(err)
+		}
+		rhoGreedy, err := base.robustScore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := *s
+		opt.Alloc = append([]int(nil), s.Alloc...)
+		if err := opt.AllocateRobust(0); err != nil {
+			t.Fatal(err)
+		}
+		rhoOpt, err := opt.robustScore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rhoOpt < rhoGreedy-1e-9 {
+			t.Fatalf("seed %d: robust allocation %v below greedy %v", seed, rhoOpt, rhoGreedy)
+		}
+	}
+}
+
+func TestAllocateRobustProducesValidSystem(t *testing.T) {
+	s := randomShared(t, 500)
+	if err := s.AllocateRobust(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) {
+		t.Errorf("rho = %v", rho.Value)
+	}
+	ok, err := s.QoSOK(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("robust allocation must satisfy QoS at the nominal point")
+	}
+}
+
+func TestExecOrderHeaviestFirst(t *testing.T) {
+	s := pipeline(t) // base execs 0.02, 0.03, 0.01
+	order := execOrder(s)
+	if order[0] != 1 || order[1] != 0 || order[2] != 2 {
+		t.Errorf("order = %v, want [1 0 2]", order)
+	}
+	// Ties resolve by index.
+	s.Apps = []App{{"a", 0.02}, {"b", 0.02}, {"c", 0.02}}
+	s.MsgSizes = vec.Of(100, 100)
+	order = execOrder(s)
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("tie order = %v, want [0 1 2]", order)
+	}
+}

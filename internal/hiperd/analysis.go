@@ -1,0 +1,101 @@
+package hiperd
+
+import (
+	"fmt"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// Analysis adapts the system to a FePIA core.Analysis with two perturbation
+// parameters of different kinds — the paper's Section 3 scenario:
+//
+//	π_1 = actual application execution times e (seconds),
+//	π_2 = actual message lengths m (bytes),
+//
+// and three families of linear performance features:
+//
+//	machine utilization  U_j(e)   = λ·Σ_{a on j} e_a            ≤ 1
+//	link utilization     V_k(m)   = λ·m_k/BW   (cross edges)    ≤ 1
+//	path latency         L_p(e,m) = Σ_p e_a + Σ_p,cross m_k/BW  ≤ LatencyMax
+//
+// Every feature is affine in (e, m), so the engine's analytic tier applies;
+// the latency features couple both kinds, which is what makes the combined
+// P-space analysis non-trivial.
+func (s *System) Analysis() (*core.Analysis, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	params := []core.Perturbation{
+		{Name: "exec-times", Unit: "s", Orig: s.OrigExecTimes()},
+		{Name: "msg-lengths", Unit: "bytes", Orig: s.OrigMsgSizes()},
+	}
+	nA, nE := len(s.Apps), len(s.MsgSizes)
+	cross := s.CrossEdges()
+	var features []core.Feature
+
+	// Machine-utilization features (skip machines with no apps: their
+	// utilization is identically zero and unreachable).
+	for j := range s.Machines {
+		k := make(vec.V, nA)
+		used := false
+		for a, mj := range s.Alloc {
+			if mj == j {
+				k[a] = s.Rate
+				used = true
+			}
+		}
+		if !used {
+			continue
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("util(machine-%d)", j),
+			Bounds: core.MaxOnly(1),
+			Linear: &core.LinearImpact{Coeffs: []vec.V{k, make(vec.V, nE)}},
+		})
+	}
+
+	// Link-utilization features, one per cross-machine edge.
+	for kIdx, isCross := range cross {
+		if !isCross {
+			continue
+		}
+		km := make(vec.V, nE)
+		km[kIdx] = s.Rate / s.edgeBW(kIdx)
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("util(link-edge-%d)", kIdx),
+			Bounds: core.MaxOnly(1),
+			Linear: &core.LinearImpact{Coeffs: []vec.V{make(vec.V, nA), km}},
+		})
+	}
+
+	// Path-latency features — the genuinely mixed-kind ones.
+	paths, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	idx := s.edgeIndex()
+	for pi, p := range paths {
+		ke := make(vec.V, nA)
+		km := make(vec.V, nE)
+		for i, a := range p {
+			ke[a] = 1
+			if i+1 < len(p) {
+				k, ok := idx[[2]int{a, p[i+1]}]
+				if !ok {
+					return nil, fmt.Errorf("%w: path %d uses missing edge (%d,%d)", ErrBadSystem, pi, a, p[i+1])
+				}
+				if cross[k] {
+					km[k] = 1 / s.edgeBW(k)
+				}
+			}
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("latency(path-%d)", pi),
+			Bounds: core.MaxOnly(s.LatencyMax),
+			Linear: &core.LinearImpact{Coeffs: []vec.V{ke, km}},
+		})
+	}
+
+	return core.NewAnalysis(features, params)
+}

@@ -1,0 +1,317 @@
+// Package hiperd models the HiPer-D-like distributed streaming system that
+// motivates the paper: sensors emit a steady stream of data sets into a DAG
+// of continuously-running applications mapped onto dedicated machines and
+// interconnected by high-speed links, ending in actuators. The system must
+// satisfy throughput constraints (every machine and link keeps up with the
+// sensor rate) and latency constraints (every sensor→actuator path completes
+// within a deadline).
+//
+// The perturbation parameters are of two different kinds — exactly the
+// paper's Section 3 scenario: the vector of actual application execution
+// times (seconds) and the vector of actual message lengths (bytes). Both
+// throughput and latency features are linear in these, so the package can
+// hand the core engine an analysis with exact closed forms while remaining a
+// genuinely mixed-unit, multi-feature system. A discrete-event simulator
+// (sim.go) validates the analytic feature functions against a running
+// system.
+//
+// Substitution note (DESIGN.md): the original HiPer-D testbed is proprietary
+// naval hardware; this synthetic model preserves the structure the FePIA
+// analysis exercises — per-machine utilization, per-link utilization, and
+// per-path latency as functions of execution times and message lengths.
+package hiperd
+
+import (
+	"errors"
+	"fmt"
+
+	"fepia/internal/dag"
+	"fepia/internal/vec"
+)
+
+// Machine is a processing resource. Speed scales application base execution
+// times: actual time = BaseExec / Speed.
+type Machine struct {
+	Name  string
+	Speed float64
+}
+
+// App is a continuously-running application processing one data set per
+// sensor period. BaseExec is its execution time on a speed-1 machine.
+type App struct {
+	Name     string
+	BaseExec float64
+}
+
+// System is a complete HiPer-D scenario: application DAG, machines, message
+// sizes, an allocation, and the QoS requirements.
+type System struct {
+	// Apps, indexed as the nodes of Graph.
+	Apps []App
+	// Graph is the precedence DAG over applications. Sources are sensor-fed
+	// applications; sinks feed actuators.
+	Graph *dag.Graph
+	// MsgSizes holds the nominal message length in bytes of each edge, in
+	// the order of Graph.Edges().
+	MsgSizes vec.V
+	// Machines available to the allocation.
+	Machines []Machine
+	// Bandwidth of every inter-machine link, bytes per second. Messages
+	// between co-located applications cost nothing.
+	Bandwidth float64
+	// LinkBW optionally overrides the bandwidth of specific ordered
+	// machine pairs (from, to); pairs absent from the map use Bandwidth.
+	// Heterogeneous interconnects (a slow WAN hop between two clusters,
+	// a fast bus between co-racked machines) are modeled this way.
+	LinkBW map[[2]int]float64
+	// Alloc maps each application to a machine — the resource allocation μ.
+	Alloc []int
+	// Rate is the sensor data-set rate λ (data sets per second). Every
+	// source emits one data set per period 1/λ.
+	Rate float64
+	// LatencyMax is the end-to-end deadline for every sensor→actuator path.
+	LatencyMax float64
+}
+
+// Validation errors.
+var (
+	ErrBadSystem = errors.New("hiperd: invalid system")
+)
+
+// Validate checks structural and physical consistency.
+func (s *System) Validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("%w: nil graph", ErrBadSystem)
+	}
+	if len(s.Apps) != s.Graph.N() {
+		return fmt.Errorf("%w: %d apps for %d graph nodes", ErrBadSystem, len(s.Apps), s.Graph.N())
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("%w: no applications", ErrBadSystem)
+	}
+	if !s.Graph.IsAcyclic() {
+		return fmt.Errorf("%w: application graph has a cycle", ErrBadSystem)
+	}
+	if got, want := len(s.MsgSizes), len(s.Graph.Edges()); got != want {
+		return fmt.Errorf("%w: %d message sizes for %d edges", ErrBadSystem, got, want)
+	}
+	for k, m := range s.MsgSizes {
+		if m <= 0 {
+			return fmt.Errorf("%w: message size %d is %g, want > 0", ErrBadSystem, k, m)
+		}
+	}
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("%w: no machines", ErrBadSystem)
+	}
+	for i, m := range s.Machines {
+		if m.Speed <= 0 {
+			return fmt.Errorf("%w: machine %d speed %g, want > 0", ErrBadSystem, i, m.Speed)
+		}
+	}
+	if len(s.Alloc) != len(s.Apps) {
+		return fmt.Errorf("%w: %d assignments for %d apps", ErrBadSystem, len(s.Alloc), len(s.Apps))
+	}
+	for a, m := range s.Alloc {
+		if m < 0 || m >= len(s.Machines) {
+			return fmt.Errorf("%w: app %d on machine %d of %d", ErrBadSystem, a, m, len(s.Machines))
+		}
+	}
+	for a, app := range s.Apps {
+		if app.BaseExec <= 0 {
+			return fmt.Errorf("%w: app %d base exec %g, want > 0", ErrBadSystem, a, app.BaseExec)
+		}
+	}
+	if s.Bandwidth <= 0 {
+		return fmt.Errorf("%w: bandwidth %g, want > 0", ErrBadSystem, s.Bandwidth)
+	}
+	for pair, bw := range s.LinkBW {
+		if bw <= 0 {
+			return fmt.Errorf("%w: link bandwidth %v = %g, want > 0", ErrBadSystem, pair, bw)
+		}
+		for _, m := range pair {
+			if m < 0 || m >= len(s.Machines) {
+				return fmt.Errorf("%w: link bandwidth pair %v out of machine range", ErrBadSystem, pair)
+			}
+		}
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("%w: rate %g, want > 0", ErrBadSystem, s.Rate)
+	}
+	if s.LatencyMax <= 0 {
+		return fmt.Errorf("%w: latency bound %g, want > 0", ErrBadSystem, s.LatencyMax)
+	}
+	return nil
+}
+
+// OrigExecTimes returns e^orig: each app's nominal execution time on its
+// assigned machine (BaseExec / Speed). This is π_1^orig, in seconds.
+func (s *System) OrigExecTimes() vec.V {
+	e := make(vec.V, len(s.Apps))
+	for a, app := range s.Apps {
+		e[a] = app.BaseExec / s.Machines[s.Alloc[a]].Speed
+	}
+	return e
+}
+
+// OrigMsgSizes returns m^orig — π_2^orig, in bytes (a copy).
+func (s *System) OrigMsgSizes() vec.V { return s.MsgSizes.Clone() }
+
+// CrossEdges reports, per edge index, whether the edge crosses machines
+// under the current allocation (only those incur communication time).
+func (s *System) CrossEdges() []bool {
+	edges := s.Graph.Edges()
+	out := make([]bool, len(edges))
+	for k, e := range edges {
+		out[k] = s.Alloc[e[0]] != s.Alloc[e[1]]
+	}
+	return out
+}
+
+// LinkBandwidth returns the bandwidth of the ordered machine pair
+// (from, to): the LinkBW override when present, Bandwidth otherwise.
+func (s *System) LinkBandwidth(from, to int) float64 {
+	if bw, ok := s.LinkBW[[2]int{from, to}]; ok {
+		return bw
+	}
+	return s.Bandwidth
+}
+
+// edgeBW returns the bandwidth carrying edge k under the current
+// allocation.
+func (s *System) edgeBW(k int) float64 {
+	e := s.Graph.Edges()[k]
+	return s.LinkBandwidth(s.Alloc[e[0]], s.Alloc[e[1]])
+}
+
+// MachineUtil computes each machine's utilization λ·Σ_{a on j} e_a for the
+// given actual execution times. Utilization above 1 means the machine
+// cannot sustain the sensor rate — a throughput violation.
+func (s *System) MachineUtil(e vec.V) (vec.V, error) {
+	if len(e) != len(s.Apps) {
+		return nil, fmt.Errorf("%w: %d exec times for %d apps", ErrBadSystem, len(e), len(s.Apps))
+	}
+	u := make(vec.V, len(s.Machines))
+	for a, j := range s.Alloc {
+		u[j] += s.Rate * e[a]
+	}
+	return u, nil
+}
+
+// LinkUtil computes each cross-machine edge's utilization λ·m_k/BW for the
+// given actual message sizes (co-located edges report 0).
+func (s *System) LinkUtil(m vec.V) (vec.V, error) {
+	if len(m) != len(s.MsgSizes) {
+		return nil, fmt.Errorf("%w: %d message sizes for %d edges", ErrBadSystem, len(m), len(s.MsgSizes))
+	}
+	cross := s.CrossEdges()
+	u := make(vec.V, len(m))
+	for k := range m {
+		if cross[k] {
+			u[k] = s.Rate * m[k] / s.edgeBW(k)
+		}
+	}
+	return u, nil
+}
+
+// Paths enumerates all source→sink application paths (the latency-relevant
+// routes). The result is deterministic.
+func (s *System) Paths() ([][]int, error) {
+	var out [][]int
+	for _, src := range s.Graph.Sources() {
+		for _, snk := range s.Graph.Sinks() {
+			ps, err := s.Graph.AllPaths(src, snk, 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ps...)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no source→sink paths", ErrBadSystem)
+	}
+	return out, nil
+}
+
+// edgeIndex builds a lookup from (u, v) to edge position in Graph.Edges().
+func (s *System) edgeIndex() map[[2]int]int {
+	idx := make(map[[2]int]int)
+	for k, e := range s.Graph.Edges() {
+		idx[e] = k
+	}
+	return idx
+}
+
+// PathLatency computes the end-to-end latency of one path for actual
+// execution times e and message sizes m: the sum of execution times of the
+// path's applications plus transfer times m_k/BW of its cross-machine
+// edges. This is the analytic (contention-free) latency; the DES simulator
+// measures the same quantity on a running system.
+func (s *System) PathLatency(path []int, e, m vec.V) (float64, error) {
+	if len(e) != len(s.Apps) || len(m) != len(s.MsgSizes) {
+		return 0, fmt.Errorf("%w: PathLatency dims e=%d m=%d", ErrBadSystem, len(e), len(m))
+	}
+	idx := s.edgeIndex()
+	cross := s.CrossEdges()
+	var lat float64
+	for i, a := range path {
+		lat += e[a]
+		if i+1 < len(path) {
+			k, ok := idx[[2]int{a, path[i+1]}]
+			if !ok {
+				return 0, fmt.Errorf("%w: path uses missing edge (%d,%d)", ErrBadSystem, a, path[i+1])
+			}
+			if cross[k] {
+				lat += m[k] / s.edgeBW(k)
+			}
+		}
+	}
+	return lat, nil
+}
+
+// WorstLatency returns the maximum PathLatency over all source→sink paths.
+func (s *System) WorstLatency(e, m vec.V) (float64, error) {
+	paths, err := s.Paths()
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, p := range paths {
+		l, err := s.PathLatency(p, e, m)
+		if err != nil {
+			return 0, err
+		}
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst, nil
+}
+
+// QoSOK reports whether the system meets every constraint at the given
+// actual values: all machine utilizations ≤ 1, all link utilizations ≤ 1,
+// and every path latency ≤ LatencyMax.
+func (s *System) QoSOK(e, m vec.V) (bool, error) {
+	mu, err := s.MachineUtil(e)
+	if err != nil {
+		return false, err
+	}
+	for _, u := range mu {
+		if u > 1 {
+			return false, nil
+		}
+	}
+	lu, err := s.LinkUtil(m)
+	if err != nil {
+		return false, err
+	}
+	for _, u := range lu {
+		if u > 1 {
+			return false, nil
+		}
+	}
+	worst, err := s.WorstLatency(e, m)
+	if err != nil {
+		return false, err
+	}
+	return worst <= s.LatencyMax, nil
+}

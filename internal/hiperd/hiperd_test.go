@@ -1,0 +1,316 @@
+package hiperd
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/dag"
+	"fepia/internal/vec"
+)
+
+// pipeline builds a 3-stage chain 0→1→2, one app per machine:
+//
+//	exec (s):    0.02, 0.03, 0.01       rate λ = 10 /s
+//	msg (bytes): 1000, 2000             bandwidth 1e6 B/s
+//
+// Analytic worst latency = 0.02 + 0.001 + 0.03 + 0.002 + 0.01 = 0.063 s.
+func pipeline(t *testing.T) *System {
+	t.Helper()
+	g, err := dag.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	s := &System{
+		Apps:       []App{{"filter", 0.02}, {"track", 0.03}, {"display", 0.01}},
+		Graph:      g,
+		MsgSizes:   vec.Of(1000, 2000),
+		Machines:   []Machine{{"m0", 1}, {"m1", 1}, {"m2", 1}},
+		Bandwidth:  1e6,
+		Alloc:      []int{0, 1, 2},
+		Rate:       10,
+		LatencyMax: 0.1,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// diamond builds 0→{1,2}→3 with apps 0,1 on machine 0 and 2,3 on machine 1.
+func diamond(t *testing.T) *System {
+	t.Helper()
+	g, err := dag.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &System{
+		Apps:       []App{{"src", 0.01}, {"a", 0.02}, {"b", 0.02}, {"sink", 0.01}},
+		Graph:      g,
+		MsgSizes:   vec.Of(500, 500, 500, 500),
+		Machines:   []Machine{{"m0", 1}, {"m1", 1}},
+		Bandwidth:  1e6,
+		Alloc:      []int{0, 0, 1, 1},
+		Rate:       5,
+		LatencyMax: 0.2,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *System { return pipeline(t) }
+	mutations := []struct {
+		name string
+		mut  func(*System)
+	}{
+		{"nil graph", func(s *System) { s.Graph = nil }},
+		{"app count", func(s *System) { s.Apps = s.Apps[:2] }},
+		{"msg count", func(s *System) { s.MsgSizes = s.MsgSizes[:1] }},
+		{"non-positive msg", func(s *System) { s.MsgSizes[0] = 0 }},
+		{"no machines", func(s *System) { s.Machines = nil }},
+		{"bad speed", func(s *System) { s.Machines[0].Speed = 0 }},
+		{"alloc count", func(s *System) { s.Alloc = s.Alloc[:1] }},
+		{"alloc range", func(s *System) { s.Alloc[0] = 9 }},
+		{"bad exec", func(s *System) { s.Apps[0].BaseExec = -1 }},
+		{"bad bandwidth", func(s *System) { s.Bandwidth = 0 }},
+		{"bad rate", func(s *System) { s.Rate = 0 }},
+		{"bad latency bound", func(s *System) { s.LatencyMax = 0 }},
+	}
+	for _, m := range mutations {
+		s := base()
+		m.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestOrigExecTimesSpeedScaling(t *testing.T) {
+	s := pipeline(t)
+	s.Machines[1].Speed = 2 // app 1 halves
+	e := s.OrigExecTimes()
+	if !e.EqualApprox(vec.Of(0.02, 0.015, 0.01), 1e-12) {
+		t.Errorf("exec times = %v", e)
+	}
+}
+
+func TestMachineAndLinkUtil(t *testing.T) {
+	s := pipeline(t)
+	e := s.OrigExecTimes()
+	mu, err := s.MachineUtil(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mu.EqualApprox(vec.Of(0.2, 0.3, 0.1), 1e-12) {
+		t.Errorf("machine util = %v", mu)
+	}
+	lu, err := s.LinkUtil(s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lu.EqualApprox(vec.Of(0.01, 0.02), 1e-12) {
+		t.Errorf("link util = %v", lu)
+	}
+	if _, err := s.MachineUtil(vec.Of(1)); err == nil {
+		t.Error("bad exec dims must error")
+	}
+	if _, err := s.LinkUtil(vec.Of(1)); err == nil {
+		t.Error("bad msg dims must error")
+	}
+}
+
+func TestColocatedEdgesFree(t *testing.T) {
+	s := pipeline(t)
+	s.Alloc = []int{0, 0, 0} // all co-located
+	cross := s.CrossEdges()
+	for k, c := range cross {
+		if c {
+			t.Errorf("edge %d should be co-located", k)
+		}
+	}
+	lu, err := s.LinkUtil(s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Norm1() != 0 {
+		t.Errorf("co-located link util = %v, want zeros", lu)
+	}
+	lat, err := s.WorstLatency(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-0.06) > 1e-12 {
+		t.Errorf("co-located latency = %v, want 0.06 (no comm)", lat)
+	}
+}
+
+func TestPathLatencyPipeline(t *testing.T) {
+	s := pipeline(t)
+	paths, err := s.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	lat, err := s.PathLatency(paths[0], s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-0.063) > 1e-12 {
+		t.Errorf("latency = %v, want 0.063", lat)
+	}
+}
+
+func TestWorstLatencyDiamond(t *testing.T) {
+	s := diamond(t)
+	// Paths: 0-1-3 and 0-2-3. Cross edges under alloc {0,0,1,1}:
+	// (0,1) same, (0,2) cross, (1,3) cross, (2,3) same.
+	// L(0,1,3) = 0.01+0.02+0.0005+0.01 = 0.0405
+	// L(0,2,3) = 0.01+0.0005+0.02+0.01 = 0.0405
+	lat, err := s.WorstLatency(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-0.0405) > 1e-12 {
+		t.Errorf("worst latency = %v, want 0.0405", lat)
+	}
+}
+
+func TestQoSOK(t *testing.T) {
+	s := pipeline(t)
+	ok, err := s.QoSOK(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("nominal system must satisfy QoS")
+	}
+	// Machine overload: exec 0.2 at rate 10 → util 2.
+	ok, err = s.QoSOK(vec.Of(0.2, 0.03, 0.01), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("overloaded machine must fail QoS")
+	}
+	// Latency blowout via huge message.
+	ok, err = s.QoSOK(s.OrigExecTimes(), vec.Of(1000, 80000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("slow message must fail QoS (latency)")
+	}
+	// Link overload: rate 10 · m/BW > 1 ⇒ m > 1e5.
+	ok, err = s.QoSOK(s.OrigExecTimes(), vec.Of(150000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("saturated link must fail QoS")
+	}
+}
+
+func TestAnalysisStructure(t *testing.T) {
+	s := pipeline(t)
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 machine features + 2 link features + 1 path feature.
+	if len(a.Features) != 6 {
+		t.Fatalf("feature count = %d, want 6", len(a.Features))
+	}
+	if len(a.Params) != 2 {
+		t.Fatalf("param count = %d", len(a.Params))
+	}
+	if a.Params[0].Unit != "s" || a.Params[1].Unit != "bytes" {
+		t.Errorf("units = %q, %q", a.Params[0].Unit, a.Params[1].Unit)
+	}
+	if a.TotalDim() != 5 { // 3 exec + 2 msg
+		t.Errorf("total dim = %d, want 5", a.TotalDim())
+	}
+}
+
+func TestAnalysisFeatureValuesMatchModel(t *testing.T) {
+	s := pipeline(t)
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	vals := []vec.V{e, m}
+	mu, _ := s.MachineUtil(e)
+	// Features 0..2 are machine utils; 3..4 link utils; 5 path latency.
+	for j := 0; j < 3; j++ {
+		if got := a.FeatureValue(j, vals); math.Abs(got-mu[j]) > 1e-12 {
+			t.Errorf("feature %d = %v, want util %v", j, got, mu[j])
+		}
+	}
+	worst, _ := s.WorstLatency(e, m)
+	if got := a.FeatureValue(5, vals); math.Abs(got-worst) > 1e-12 {
+		t.Errorf("latency feature = %v, want %v", got, worst)
+	}
+}
+
+func TestAnalysisViolatesAgreesWithQoSOK(t *testing.T) {
+	s := diamond(t)
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]vec.V{
+		{s.OrigExecTimes(), s.OrigMsgSizes()},
+		{vec.Of(0.3, 0.02, 0.02, 0.01), s.OrigMsgSizes()},            // machine overload
+		{s.OrigExecTimes(), vec.Of(500, 250000, 500, 500)},           // link overload
+		{vec.Of(0.09, 0.09, 0.002, 0.002), s.OrigMsgSizes()},         // latency-ish
+		{vec.Of(0.01, 0.02, 0.02, 0.01), vec.Of(500, 500, 500, 500)}, // nominal again
+		{vec.Of(0.15, 0.15, 0.002, 0.002), vec.Of(10, 10, 10, 10)},   // util boundary region
+	}
+	for i, vals := range cases {
+		ok, err := s.QoSOK(vals[0], vals[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == a.Violates(vals) {
+			t.Errorf("case %d: QoSOK=%v but Violates=%v", i, ok, a.Violates(vals))
+		}
+	}
+}
+
+func TestRobustnessPositiveAndCriticalSensible(t *testing.T) {
+	s := pipeline(t)
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-kind robustness (Eq. 1): both must be positive and finite.
+	for j := 0; j < 2; j++ {
+		r, err := a.RobustnessSingle(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(r.Value > 0) || math.IsInf(r.Value, 1) {
+			t.Errorf("single robustness %d = %v", j, r.Value)
+		}
+	}
+	// Combined normalized robustness.
+	rho, err := a.Robustness(normalizedW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) || math.IsInf(rho.Value, 1) {
+		t.Errorf("combined rho = %v", rho.Value)
+	}
+}

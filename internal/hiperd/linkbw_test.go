@@ -1,0 +1,166 @@
+package hiperd
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+// slowLinkPipeline returns the standard pipeline with the 1→2 machine link
+// degraded to a tenth of the default bandwidth.
+func slowLinkPipeline(t *testing.T) *System {
+	t.Helper()
+	s := pipeline(t)
+	s.LinkBW = map[[2]int]float64{{1, 2}: 1e5}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLinkBandwidthLookup(t *testing.T) {
+	s := slowLinkPipeline(t)
+	if got := s.LinkBandwidth(0, 1); got != 1e6 {
+		t.Errorf("default link = %v", got)
+	}
+	if got := s.LinkBandwidth(1, 2); got != 1e5 {
+		t.Errorf("override link = %v", got)
+	}
+	// Direction matters: (2, 1) has no override.
+	if got := s.LinkBandwidth(2, 1); got != 1e6 {
+		t.Errorf("reverse link = %v", got)
+	}
+}
+
+func TestLinkBWValidate(t *testing.T) {
+	s := pipeline(t)
+	s.LinkBW = map[[2]int]float64{{0, 1}: 0}
+	if err := s.Validate(); err == nil {
+		t.Error("zero link bandwidth must error")
+	}
+	s.LinkBW = map[[2]int]float64{{0, 9}: 1e5}
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range link pair must error")
+	}
+}
+
+func TestSlowLinkChangesLatencyAndUtil(t *testing.T) {
+	s := slowLinkPipeline(t)
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	// Edge 1 (apps 1→2 = machines 1→2) now takes 2000/1e5 = 0.02 s instead
+	// of 0.002: latency = 0.02 + 0.001 + 0.03 + 0.02 + 0.01 = 0.081.
+	lat, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-0.081) > 1e-12 {
+		t.Errorf("latency = %v, want 0.081", lat)
+	}
+	lu, err := s.LinkUtil(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge 1 util: 10·2000/1e5 = 0.2; edge 0 unchanged at 0.01.
+	if !lu.EqualApprox(vec.Of(0.01, 0.2), 1e-12) {
+		t.Errorf("link util = %v", lu)
+	}
+}
+
+func TestSlowLinkAnalysisConsistent(t *testing.T) {
+	s := slowLinkPipeline(t)
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	vals := []vec.V{e, m}
+	worst, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency feature (last) must reflect the heterogeneous bandwidth.
+	if got := a.FeatureValue(len(a.Features)-1, vals); math.Abs(got-worst) > 1e-12 {
+		t.Errorf("analysis latency %v vs model %v", got, worst)
+	}
+	// The slow link shrinks the message-length robustness.
+	fast := pipeline(t)
+	aFast, err := fast.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := a.RobustnessSingle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast, err := aFast.RobustnessSingle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Value >= rFast.Value {
+		t.Errorf("slow link should reduce msg robustness: %v vs %v", rSlow.Value, rFast.Value)
+	}
+}
+
+func TestSlowLinkSimulationMatches(t *testing.T) {
+	s := slowLinkPipeline(t)
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	res, err := s.Simulate(e, m, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanLatency-worst) > 1e-9 {
+		t.Errorf("sim %v vs analytic %v with heterogeneous links", res.MeanLatency, worst)
+	}
+}
+
+func TestFailMachineRemapsLinkBW(t *testing.T) {
+	s := slowLinkPipeline(t) // override on (1, 2)
+	failed, err := s.FailMachine(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machines shift down: old (1,2) becomes (0,1); the override must move.
+	if got := failed.LinkBandwidth(0, 1); got != 1e5 {
+		t.Errorf("override not re-keyed: (0,1) = %v", got)
+	}
+	// Failing machine 2 drops the override entirely.
+	failed2, err := s.FailMachine(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed2.LinkBW) != 0 {
+		t.Errorf("override touching failed machine should vanish: %v", failed2.LinkBW)
+	}
+}
+
+func TestLinkBWScenarioRoundTrip(t *testing.T) {
+	s := slowLinkPipeline(t)
+	// Round-trip through the scenario package is covered there; here check
+	// the load-analysis path handles overrides too.
+	a, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Link feature for edge 1: λ·m/1e5 = 10·2000/1e5 = 0.2 at nominal.
+	vals := []vec.V{s.OrigExecTimes(), s.OrigMsgSizes(), vec.Of(s.Rate)}
+	found := false
+	for i, f := range a.Features {
+		if f.Name == "util(link-edge-1)" {
+			found = true
+			if got := a.FeatureValue(i, vals); math.Abs(got-0.2) > 1e-12 {
+				t.Errorf("link feature = %v, want 0.2", got)
+			}
+		}
+	}
+	if !found {
+		t.Error("link-edge-1 feature missing")
+	}
+}

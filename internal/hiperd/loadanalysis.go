@@ -1,0 +1,113 @@
+package hiperd
+
+import (
+	"fmt"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// AnalysisWithLoad extends Analysis with a THIRD kind of perturbation — the
+// sensor load λ (data sets per second), the uncertainty the paper's
+// introduction leads with ("the sensor loads are expected to change
+// unpredictably"). The three parameter kinds are
+//
+//	π_1 = execution times e (seconds),
+//	π_2 = message lengths m (bytes),
+//	π_3 = sensor load λ (data sets per second, one element).
+//
+// Utilization features become *bilinear* — U_j = λ·Σ e_a and V_k = λ·m_k/BW
+// are products of two different perturbation kinds — so their boundaries are
+// curved (exactly the convex shape of the paper's Figure 1) and the engine's
+// numeric level-set tier carries the radius computation. Latency features
+// remain affine (the contention-free path latency does not depend on λ) and
+// keep the exact tier, with a zero coefficient block for λ. The mixture
+// exercises every computation tier inside one analysis.
+func (s *System) AnalysisWithLoad() (*core.Analysis, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	params := []core.Perturbation{
+		{Name: "exec-times", Unit: "s", Orig: s.OrigExecTimes()},
+		{Name: "msg-lengths", Unit: "bytes", Orig: s.OrigMsgSizes()},
+		{Name: "sensor-load", Unit: "datasets/s", Orig: vec.Of(s.Rate)},
+	}
+	nA, nE := len(s.Apps), len(s.MsgSizes)
+	cross := s.CrossEdges()
+	var features []core.Feature
+
+	// Bilinear machine-utilization features: U_j(e, λ) = λ · Σ_{a on j} e_a.
+	for j := range s.Machines {
+		onJ := make([]bool, nA)
+		used := false
+		for a, mj := range s.Alloc {
+			if mj == j {
+				onJ[a] = true
+				used = true
+			}
+		}
+		if !used {
+			continue
+		}
+		mask := onJ
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("util(machine-%d)", j),
+			Bounds: core.MaxOnly(1),
+			Impact: func(vs []vec.V) float64 {
+				var sum float64
+				for a, in := range mask {
+					if in {
+						sum += vs[0][a]
+					}
+				}
+				return vs[2][0] * sum
+			},
+		})
+	}
+
+	// Bilinear link-utilization features: V_k(m, λ) = λ · m_k / BW_k.
+	for kIdx, isCross := range cross {
+		if !isCross {
+			continue
+		}
+		k := kIdx
+		bw := s.edgeBW(k)
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("util(link-edge-%d)", k),
+			Bounds: core.MaxOnly(1),
+			Impact: func(vs []vec.V) float64 {
+				return vs[2][0] * vs[1][k] / bw
+			},
+		})
+	}
+
+	// Affine latency features with a zero λ block.
+	paths, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	idx := s.edgeIndex()
+	for pi, p := range paths {
+		ke := make(vec.V, nA)
+		km := make(vec.V, nE)
+		for i, a := range p {
+			ke[a] = 1
+			if i+1 < len(p) {
+				k, ok := idx[[2]int{a, p[i+1]}]
+				if !ok {
+					return nil, fmt.Errorf("%w: path %d uses missing edge (%d,%d)", ErrBadSystem, pi, a, p[i+1])
+				}
+				if cross[k] {
+					km[k] = 1 / s.edgeBW(k)
+				}
+			}
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("latency(path-%d)", pi),
+			Bounds: core.MaxOnly(s.LatencyMax),
+			Linear: &core.LinearImpact{Coeffs: []vec.V{ke, km, vec.New(1)}},
+		})
+	}
+
+	return core.NewAnalysis(features, params)
+}

@@ -1,0 +1,162 @@
+package hiperd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+func TestAnalysisWithLoadStructure(t *testing.T) {
+	s := pipeline(t)
+	a, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Params) != 3 {
+		t.Fatalf("params = %d, want 3", len(a.Params))
+	}
+	if a.Params[2].Unit != "datasets/s" || a.Params[2].Dim() != 1 {
+		t.Errorf("load param wrong: %+v", a.Params[2])
+	}
+	if a.Params[2].Orig[0] != s.Rate {
+		t.Errorf("load orig = %v, want %v", a.Params[2].Orig[0], s.Rate)
+	}
+	// 3 machine + 2 link + 1 path features, as in the two-kind analysis.
+	if len(a.Features) != 6 {
+		t.Fatalf("features = %d, want 6", len(a.Features))
+	}
+	if a.TotalDim() != 6 { // 3 exec + 2 msg + 1 load
+		t.Errorf("total dim = %d", a.TotalDim())
+	}
+}
+
+func TestAnalysisWithLoadFeatureValues(t *testing.T) {
+	s := pipeline(t)
+	a, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	vals := []vec.V{e, m, vec.Of(s.Rate)}
+	mu, _ := s.MachineUtil(e)
+	for j := 0; j < 3; j++ {
+		if got := a.FeatureValue(j, vals); math.Abs(got-mu[j]) > 1e-12 {
+			t.Errorf("util feature %d = %v, want %v", j, got, mu[j])
+		}
+	}
+	// Doubling λ doubles every utilization feature.
+	vals2 := []vec.V{e, m, vec.Of(2 * s.Rate)}
+	for j := 0; j < 3; j++ {
+		if got := a.FeatureValue(j, vals2); math.Abs(got-2*mu[j]) > 1e-12 {
+			t.Errorf("doubled-load util %d = %v, want %v", j, got, 2*mu[j])
+		}
+	}
+	// Latency is λ-independent.
+	worst, _ := s.WorstLatency(e, m)
+	if got := a.FeatureValue(5, vals2); math.Abs(got-worst) > 1e-12 {
+		t.Errorf("latency must not depend on load: %v vs %v", got, worst)
+	}
+}
+
+func TestAnalysisWithLoadRadiiFiniteAndTighter(t *testing.T) {
+	// Adding a third perturbation kind can only bring the boundary closer
+	// in the shared subspace: rho(3 kinds) <= rho(2 kinds) + tolerance.
+	s := pipeline(t)
+	a2, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho2, err := a2.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho3, err := a3.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho3.Value > 0) || math.IsInf(rho3.Value, 1) {
+		t.Fatalf("rho3 = %v", rho3.Value)
+	}
+	if rho3.Value > rho2.Value+1e-3 {
+		t.Errorf("3-kind rho %v should not exceed 2-kind rho %v", rho3.Value, rho2.Value)
+	}
+}
+
+func TestAnalysisWithLoadSensorLoadRadius(t *testing.T) {
+	// Single-parameter radius vs the load: machine 1 is the busiest
+	// (util 0.3 at rate 10). Util hits 1 when λ·0.03 = 1 → λ = 33.3;
+	// radius = 23.3 datasets/s.
+	s := pipeline(t)
+	a, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RobustnessSingle(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1/0.03 - 10
+	if math.Abs(r.Value-want) > 1e-3*(1+want) {
+		t.Errorf("load radius = %v, want %v", r.Value, want)
+	}
+	if !strings.HasPrefix(a.Features[r.Feature].Name, "util(machine-1") {
+		t.Errorf("critical feature = %q, want machine-1 util", a.Features[r.Feature].Name)
+	}
+}
+
+func TestAnalysisWithLoadViolationConsistency(t *testing.T) {
+	// The analysis' Violates must agree with direct QoS evaluation at a
+	// changed load: scale the system's rate and compare.
+	s := diamond(t)
+	a, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	for _, lambda := range []float64{s.Rate, s.Rate * 2, s.Rate * 40} {
+		vals := []vec.V{e, m, vec.Of(lambda)}
+		// Ground truth: rebuild the system at the new rate.
+		sysAt := *s
+		sysAt.Rate = lambda
+		ok, err := sysAt.QoSOK(e, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == a.Violates(vals) {
+			t.Errorf("lambda=%v: QoSOK=%v but Violates=%v", lambda, ok, a.Violates(vals))
+		}
+	}
+}
+
+func TestAnalysisWithLoadBoundaryPointFeasible(t *testing.T) {
+	// The numeric combined radius must return a point on a real boundary.
+	s := pipeline(t)
+	a, err := s.AnalysisWithLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 0 is the bilinear util of machine 0.
+	r, err := a.CombinedRadius(0, core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := core.FromP(a, core.Normalized{}, 0, r.Point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FeatureValue(0, vals); math.Abs(got-1) > 1e-5 {
+		t.Errorf("boundary point maps to util %v, want 1", got)
+	}
+	if r.Analytic {
+		t.Error("bilinear feature must use the numeric tier")
+	}
+}

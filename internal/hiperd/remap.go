@@ -1,0 +1,221 @@
+package hiperd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+)
+
+// The paper lists "sudden machine or link failures" among the uncertainties
+// a robust resource allocation must face. This file implements failure
+// injection and recovery for the HiPer-D substrate: a machine is removed,
+// its applications are remapped onto the survivors, and the analysis
+// quantifies how much robustness the failure cost — experiment E12.
+
+// ErrNoCapacity is returned when no feasible remapping exists (some machine
+// would exceed its throughput capacity even at nominal values).
+var ErrNoCapacity = errors.New("hiperd: no feasible remapping after failure")
+
+// FailMachine returns a copy of the system with machine j removed and its
+// applications remapped onto the surviving machines by the given mapper.
+// Machine indices are compacted (machines after j shift down by one).
+func (s *System) FailMachine(j int, remap Remapper) (*System, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if j < 0 || j >= len(s.Machines) {
+		return nil, fmt.Errorf("hiperd: FailMachine(%d) of %d machines", j, len(s.Machines))
+	}
+	if len(s.Machines) == 1 {
+		return nil, fmt.Errorf("%w: last machine failed", ErrNoCapacity)
+	}
+	if remap == nil {
+		remap = GreedyUtilRemap
+	}
+
+	out := *s
+	out.Machines = make([]Machine, 0, len(s.Machines)-1)
+	for idx, m := range s.Machines {
+		if idx != j {
+			out.Machines = append(out.Machines, m)
+		}
+	}
+	// Re-key heterogeneous link bandwidths; pairs touching the failed
+	// machine disappear with it.
+	if len(s.LinkBW) > 0 {
+		out.LinkBW = make(map[[2]int]float64, len(s.LinkBW))
+		shift := func(m int) int {
+			if m > j {
+				return m - 1
+			}
+			return m
+		}
+		for pair, bw := range s.LinkBW {
+			if pair[0] == j || pair[1] == j {
+				continue
+			}
+			out.LinkBW[[2]int{shift(pair[0]), shift(pair[1])}] = bw
+		}
+	}
+	// Re-index surviving assignments; collect orphans.
+	out.Alloc = make([]int, len(s.Alloc))
+	var orphans []int
+	for a, m := range s.Alloc {
+		switch {
+		case m == j:
+			out.Alloc[a] = -1
+			orphans = append(orphans, a)
+		case m > j:
+			out.Alloc[a] = m - 1
+		default:
+			out.Alloc[a] = m
+		}
+	}
+	if err := remap(&out, orphans); err != nil {
+		return nil, err
+	}
+	for a, m := range out.Alloc {
+		if m < 0 || m >= len(out.Machines) {
+			return nil, fmt.Errorf("hiperd: remapper left app %d on machine %d", a, m)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("hiperd: remapped system invalid: %w", err)
+	}
+	return &out, nil
+}
+
+// Remapper assigns the orphaned applications (Alloc[a] == -1) of a
+// post-failure system to surviving machines, editing sys.Alloc in place.
+type Remapper func(sys *System, orphans []int) error
+
+// GreedyUtilRemap places each orphan, heaviest first, on the machine whose
+// utilization stays lowest — the classical load-balancing recovery.
+func GreedyUtilRemap(sys *System, orphans []int) error {
+	load := make([]float64, len(sys.Machines))
+	for a, m := range sys.Alloc {
+		if m >= 0 {
+			load[m] += sys.Apps[a].BaseExec / sys.Machines[m].Speed
+		}
+	}
+	// Heaviest orphans first (deterministic: ties by index).
+	sorted := append([]int(nil), orphans...)
+	for i := 1; i < len(sorted); i++ {
+		for k := i; k > 0; k-- {
+			a, b := sorted[k-1], sorted[k]
+			if sys.Apps[b].BaseExec > sys.Apps[a].BaseExec ||
+				(sys.Apps[b].BaseExec == sys.Apps[a].BaseExec && b < a) {
+				sorted[k-1], sorted[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	for _, a := range sorted {
+		best, bestLoad := -1, math.Inf(1)
+		for m := range sys.Machines {
+			t := load[m] + sys.Apps[a].BaseExec/sys.Machines[m].Speed
+			if t < bestLoad {
+				best, bestLoad = m, t
+			}
+		}
+		sys.Alloc[a] = best
+		load[best] = bestLoad
+	}
+	// Feasibility: every machine must sustain the rate.
+	for m, l := range load {
+		if sys.Rate*l > 1 {
+			return fmt.Errorf("%w: machine %d utilization %.3f", ErrNoCapacity, m, sys.Rate*l)
+		}
+	}
+	return nil
+}
+
+// RobustRemap places orphans to maximize the post-failure combined
+// normalized robustness: each orphan (heaviest first) tries every surviving
+// machine and keeps the placement with the largest ρ_μ(Φ, P). It is more
+// expensive than GreedyUtilRemap — one analysis per candidate — and
+// measurably better on robustness (E12 quantifies the gap).
+func RobustRemap(sys *System, orphans []int) error {
+	// Order as in GreedyUtilRemap for comparability.
+	sorted := append([]int(nil), orphans...)
+	for i := 1; i < len(sorted); i++ {
+		for k := i; k > 0; k-- {
+			a, b := sorted[k-1], sorted[k]
+			if sys.Apps[b].BaseExec > sys.Apps[a].BaseExec ||
+				(sys.Apps[b].BaseExec == sys.Apps[a].BaseExec && b < a) {
+				sorted[k-1], sorted[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	for _, a := range sorted {
+		best, bestRho := -1, math.Inf(-1)
+		for m := range sys.Machines {
+			sys.Alloc[a] = m
+			rho, ok := tryRho(sys, sorted, a)
+			if ok && rho > bestRho {
+				best, bestRho = m, rho
+			}
+		}
+		if best < 0 {
+			// No placement yields a valid analysis (e.g. any choice
+			// overloads): fall back to the least-utilized machine so the
+			// caller gets the capacity error with full context.
+			sys.Alloc[a] = -1
+			return GreedyUtilRemap(sys, remaining(sorted, a))
+		}
+		sys.Alloc[a] = best
+	}
+	return nil
+}
+
+// tryRho evaluates the combined robustness of a partially remapped system:
+// orphans not yet placed (those after app a in order) are parked on machine
+// 0 for the trial.
+func tryRho(sys *System, order []int, upto int) (float64, bool) {
+	parked := []int{}
+	seen := false
+	for _, o := range order {
+		if seen && sys.Alloc[o] == -1 {
+			parked = append(parked, o)
+			sys.Alloc[o] = 0
+		}
+		if o == upto {
+			seen = true
+		}
+	}
+	defer func() {
+		for _, o := range parked {
+			sys.Alloc[o] = -1
+		}
+	}()
+	// Unplaced orphans before upto should not exist; guard anyway.
+	for _, m := range sys.Alloc {
+		if m == -1 {
+			return 0, false
+		}
+	}
+	a, err := sys.Analysis()
+	if err != nil {
+		return 0, false
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		return 0, false
+	}
+	return rho.Value, true
+}
+
+// remaining returns the orphans from a (inclusive) onward in order.
+func remaining(order []int, from int) []int {
+	for i, o := range order {
+		if o == from {
+			return order[i:]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package hiperd
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/des"
+	"fepia/internal/vec"
+)
+
+// SimResult summarizes a discrete-event run of the system.
+type SimResult struct {
+	// DataSets is the number of data sets fully processed (reached every
+	// sink).
+	DataSets int
+	// MeanLatency and MaxLatency are end-to-end data-set latencies
+	// (emission at the sensors to completion of the last sink application),
+	// measured over completed data sets after the warm-up prefix.
+	MeanLatency, MaxLatency float64
+	// MachineUtil is each machine's busy fraction over the simulated span.
+	MachineUtil vec.V
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// Simulate runs the system under actual execution times e and message sizes
+// m for the given number of data sets, and measures what the analytic model
+// predicts: latency and utilization. warmup data sets are excluded from the
+// latency statistics (they are still simulated).
+//
+// The simulation realizes the full mechanics: every machine is a FIFO
+// station shared by its applications, every ordered machine pair is a FIFO
+// link station, applications join on all predecessor inputs per data set,
+// and sensors emit one data set every 1/λ. With all utilizations below 1 the
+// pipeline reaches steady state and the measured latency matches the
+// analytic Σe + Σm/BW along the critical path when applications do not
+// contend for a shared machine (the validation scenarios of experiment E6
+// allocate one application per machine; contention otherwise adds queueing
+// delay on top of the analytic value).
+func (s *System) Simulate(e, m vec.V, dataSets, warmup int) (SimResult, error) {
+	if err := s.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if len(e) != len(s.Apps) || len(m) != len(s.MsgSizes) {
+		return SimResult{}, fmt.Errorf("%w: Simulate dims e=%d m=%d", ErrBadSystem, len(e), len(m))
+	}
+	for a, t := range e {
+		if t < 0 || math.IsNaN(t) {
+			return SimResult{}, fmt.Errorf("%w: exec time %d = %g", ErrBadSystem, a, t)
+		}
+	}
+	for k, sz := range m {
+		if sz < 0 || math.IsNaN(sz) {
+			return SimResult{}, fmt.Errorf("%w: message size %d = %g", ErrBadSystem, k, sz)
+		}
+	}
+	if dataSets <= 0 {
+		return SimResult{}, fmt.Errorf("%w: dataSets = %d, want > 0", ErrBadSystem, dataSets)
+	}
+	if warmup < 0 || warmup >= dataSets {
+		warmup = 0
+	}
+
+	sim := des.NewSimulator()
+	machines := make([]*des.Station, len(s.Machines))
+	for j := range machines {
+		machines[j] = des.NewStation(sim, fmt.Sprintf("machine-%d", j))
+	}
+	links := make(map[[2]int]*des.Station)
+	edges := s.Graph.Edges()
+	cross := s.CrossEdges()
+	for k, ed := range edges {
+		if !cross[k] {
+			continue
+		}
+		pair := [2]int{s.Alloc[ed[0]], s.Alloc[ed[1]]}
+		if links[pair] == nil {
+			links[pair] = des.NewStation(sim, fmt.Sprintf("link-%d-%d", pair[0], pair[1]))
+		}
+	}
+
+	period := 1 / s.Rate
+	sources := s.Graph.Sources()
+	sinks := s.Graph.Sinks()
+	sinkSet := make(map[int]bool, len(sinks))
+	for _, sk := range sinks {
+		sinkSet[sk] = true
+	}
+
+	// Per-dataset join state.
+	type dsState struct {
+		arrived   map[int]int // app -> predecessor inputs received
+		sinksLeft int
+		emitted   float64
+	}
+	states := make([]*dsState, dataSets)
+	var completedLat []float64
+	completedCount := 0
+
+	var ready func(app, d int)
+	appDone := func(app, d int) {
+		st := states[d]
+		if sinkSet[app] {
+			st.sinksLeft--
+			if st.sinksLeft == 0 {
+				completedCount++
+				if d >= warmup {
+					completedLat = append(completedLat, sim.Now()-st.emitted)
+				}
+			}
+		}
+		for _, succ := range s.Graph.Succ(app) {
+			k := edgeOf(edges, app, succ)
+			deliver := func(*des.Simulator) {
+				st.arrived[succ]++
+				if st.arrived[succ] == len(s.Graph.Pred(succ)) {
+					ready(succ, d)
+				}
+			}
+			if cross[k] {
+				pair := [2]int{s.Alloc[app], s.Alloc[succ]}
+				if err := links[pair].Submit(m[k]/s.LinkBandwidth(pair[0], pair[1]), deliver); err != nil {
+					panic(err) // sizes validated above
+				}
+			} else {
+				deliver(sim)
+			}
+		}
+	}
+	ready = func(app, d int) {
+		if err := machines[s.Alloc[app]].Submit(e[app], func(*des.Simulator) {
+			appDone(app, d)
+		}); err != nil {
+			panic(err) // times validated above
+		}
+	}
+
+	// Emit data sets.
+	for d := 0; d < dataSets; d++ {
+		d := d
+		at := float64(d) * period
+		if err := sim.Schedule(at, func(*des.Simulator) {
+			states[d] = &dsState{
+				arrived:   make(map[int]int),
+				sinksLeft: len(sinks),
+				emitted:   at,
+			}
+			for _, src := range sources {
+				ready(src, d)
+			}
+		}); err != nil {
+			return SimResult{}, err
+		}
+	}
+
+	events := sim.RunAll()
+
+	res := SimResult{
+		DataSets:    completedCount,
+		Events:      events,
+		MachineUtil: make(vec.V, len(s.Machines)),
+	}
+	if len(completedLat) > 0 {
+		var sum, max float64
+		for _, l := range completedLat {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		res.MeanLatency = sum / float64(len(completedLat))
+		res.MaxLatency = max
+	}
+	for j, st := range machines {
+		res.MachineUtil[j] = st.Utilization()
+	}
+	return res, nil
+}
+
+func edgeOf(edges [][2]int, u, v int) int {
+	for k, e := range edges {
+		if e[0] == u && e[1] == v {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,216 @@
+package hiperd
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+func normalizedW() core.Weighting { return core.Normalized{} }
+
+func TestSimulateMatchesAnalyticPipeline(t *testing.T) {
+	s := pipeline(t)
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	res, err := s.Simulate(e, m, 200, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSets != 200 {
+		t.Fatalf("completed %d data sets, want 200", res.DataSets)
+	}
+	analytic, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One app per machine, all utilizations < 1: no contention, so the
+	// simulated latency equals the analytic sum exactly.
+	if math.Abs(res.MeanLatency-analytic) > 1e-9 {
+		t.Errorf("sim latency %v vs analytic %v", res.MeanLatency, analytic)
+	}
+	if math.Abs(res.MaxLatency-analytic) > 1e-9 {
+		t.Errorf("max latency %v vs analytic %v", res.MaxLatency, analytic)
+	}
+	// Utilization approaches λ·e per machine over a long run.
+	mu, _ := s.MachineUtil(e)
+	for j := range mu {
+		if math.Abs(res.MachineUtil[j]-mu[j]) > 0.02 {
+			t.Errorf("machine %d util sim %v vs analytic %v", j, res.MachineUtil[j], mu[j])
+		}
+	}
+}
+
+func TestSimulatePerturbedStillMatches(t *testing.T) {
+	s := pipeline(t)
+	// Perturb execution times and message sizes (still feasible).
+	e := vec.Of(0.03, 0.04, 0.02)
+	m := vec.Of(3000, 5000)
+	res, err := s.Simulate(e, m, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanLatency-analytic) > 1e-9 {
+		t.Errorf("perturbed sim latency %v vs analytic %v", res.MeanLatency, analytic)
+	}
+}
+
+func TestSimulateDiamondJoin(t *testing.T) {
+	s := diamond(t)
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	res, err := s.Simulate(e, m, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSets != 100 {
+		t.Fatalf("completed %d, want 100", res.DataSets)
+	}
+	// With co-location the machine serializes its two apps, so simulated
+	// latency is at least the analytic contention-free bound.
+	analytic, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency < analytic-1e-9 {
+		t.Errorf("sim latency %v below analytic lower bound %v", res.MeanLatency, analytic)
+	}
+}
+
+func TestSimulateOverloadQueuesGrow(t *testing.T) {
+	s := pipeline(t)
+	// Exec 0.15 s at period 0.1 s: machine 0 over capacity → latency grows
+	// with the data-set index; the mean must exceed the analytic value.
+	e := vec.Of(0.15, 0.03, 0.01)
+	m := s.OrigMsgSizes()
+	res, err := s.Simulate(e, m, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := s.WorstLatency(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency <= analytic {
+		t.Errorf("overload: sim %v should exceed analytic %v", res.MeanLatency, analytic)
+	}
+	if res.MaxLatency <= res.MeanLatency {
+		t.Errorf("overload: max %v should exceed mean %v (growing queue)", res.MaxLatency, res.MeanLatency)
+	}
+}
+
+func TestSimulateArgErrors(t *testing.T) {
+	s := pipeline(t)
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	if _, err := s.Simulate(vec.Of(1), m, 10, 0); err == nil {
+		t.Error("bad e dims must error")
+	}
+	if _, err := s.Simulate(e, vec.Of(1), 10, 0); err == nil {
+		t.Error("bad m dims must error")
+	}
+	if _, err := s.Simulate(vec.Of(-1, 0.03, 0.01), m, 10, 0); err == nil {
+		t.Error("negative exec must error")
+	}
+	if _, err := s.Simulate(e, vec.Of(math.NaN(), 2000), 10, 0); err == nil {
+		t.Error("NaN msg must error")
+	}
+	if _, err := s.Simulate(e, m, 0, 0); err == nil {
+		t.Error("zero data sets must error")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	s := diamond(t)
+	e := s.OrigExecTimes()
+	m := s.OrigMsgSizes()
+	r1, err := s.Simulate(e, m, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Simulate(e, m, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanLatency != r2.MeanLatency || r1.Events != r2.Events {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+func TestSimulationValidatesRobustnessRadius(t *testing.T) {
+	// The E6 cross-check in miniature: perturb (e, m) to a point strictly
+	// inside the normalized robustness radius and simulate — QoS must hold
+	// (simulated latency within bound, machines under capacity). Then step
+	// well outside along the critical direction and observe a violation.
+	s := pipeline(t)
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) {
+		t.Fatalf("rho = %v", rho.Value)
+	}
+	src := stats.NewSource(42)
+	e0 := s.OrigExecTimes()
+	m0 := s.OrigMsgSizes()
+	pOrig := vec.Ones(5)
+	for trial := 0; trial < 50; trial++ {
+		// Random direction in P-space, scaled strictly inside the radius.
+		d := make(vec.V, 5)
+		for i := range d {
+			d[i] = src.Normal(0, 1)
+		}
+		d = d.Normalize().Scale(rho.Value * 0.98 * src.Float64())
+		p := pOrig.Add(d)
+		// Back to native: elementwise multiply by originals; clamp at tiny
+		// positive to keep the simulator happy (radius < 1 normally
+		// prevents negatives anyway).
+		e := e0.Mul(p[:3])
+		m := m0.Mul(p[3:])
+		feasible := true
+		for _, x := range append(e.Clone(), m...) {
+			if x <= 0 {
+				feasible = false
+			}
+		}
+		if !feasible {
+			continue
+		}
+		ok, err := s.QoSOK(e, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: point inside rho=%v violates QoS analytically", trial, rho.Value)
+		}
+		res, err := s.Simulate(e, m, 60, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanLatency > s.LatencyMax+1e-9 {
+			t.Fatalf("trial %d: simulated latency %v exceeds bound inside radius", trial, res.MeanLatency)
+		}
+	}
+	// The critical boundary point, pushed 5% beyond, must violate.
+	crit := rho.PerFeature[rho.Critical]
+	pBeyond := pOrig.Add(crit.Point.Sub(pOrig).Scale(1.05))
+	e := e0.Mul(pBeyond[:3])
+	m := m0.Mul(pBeyond[3:])
+	ok, err := s.QoSOK(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("point beyond the critical boundary should violate QoS")
+	}
+}

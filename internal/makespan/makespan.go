@@ -1,0 +1,201 @@
+// Package makespan implements the independent-task resource-allocation
+// system that the FePIA papers use as their canonical example: t tasks
+// mapped onto m machines through an ETC matrix, with the makespan (latest
+// machine finish time) as the performance requirement.
+//
+// In FePIA terms: the perturbation parameter is the vector C of actual task
+// execution times (the estimates C^orig come from the ETC matrix); the
+// performance features are the per-machine finish times F_j(C); and the
+// robustness requirement is that the actual makespan not exceed τ times the
+// estimated one. Because each finish time is a sum of the execution times of
+// the tasks on that machine, every feature is linear and the analysis has
+// the closed form
+//
+//	r_μ(F_j, C) = (τ·M^orig − F_j(C^orig)) / √(n_j),
+//
+// with n_j the number of tasks on machine j — Eq. (3)-style geometry from
+// the TPDS 2004 paper. The package exposes both this closed form and an
+// adapter producing a core.Analysis, so the generic engine can be
+// cross-validated against it (experiment E7 and the Figure-1 regeneration).
+package makespan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/etc"
+	"fepia/internal/vec"
+)
+
+// System is an allocation of independent tasks to machines.
+type System struct {
+	// ETC holds the estimated execution times (tasks × machines).
+	ETC *etc.Matrix
+	// Alloc maps each task to its machine: the resource allocation μ.
+	Alloc []int
+}
+
+// Validation errors.
+var (
+	ErrNilETC   = errors.New("makespan: nil ETC matrix")
+	ErrBadAlloc = errors.New("makespan: allocation shape mismatch")
+)
+
+// New constructs and validates a system.
+func New(m *etc.Matrix, alloc []int) (*System, error) {
+	s := &System{ETC: m, Alloc: alloc}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks allocation consistency.
+func (s *System) Validate() error {
+	if s.ETC == nil {
+		return ErrNilETC
+	}
+	if len(s.Alloc) != s.ETC.Tasks {
+		return fmt.Errorf("%w: %d assignments for %d tasks", ErrBadAlloc, len(s.Alloc), s.ETC.Tasks)
+	}
+	for t, m := range s.Alloc {
+		if m < 0 || m >= s.ETC.Machines {
+			return fmt.Errorf("%w: task %d on machine %d of %d", ErrBadAlloc, t, m, s.ETC.Machines)
+		}
+	}
+	return nil
+}
+
+// Tasks returns the task count.
+func (s *System) Tasks() int { return s.ETC.Tasks }
+
+// Machines returns the machine count.
+func (s *System) Machines() int { return s.ETC.Machines }
+
+// TasksOn returns the tasks assigned to machine m, ascending.
+func (s *System) TasksOn(m int) []int {
+	var out []int
+	for t, mm := range s.Alloc {
+		if mm == m {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OrigTimes returns C^orig: each task's estimated execution time on its
+// assigned machine.
+func (s *System) OrigTimes() vec.V {
+	c := make(vec.V, s.ETC.Tasks)
+	for t, m := range s.Alloc {
+		c[t] = s.ETC.At(t, m)
+	}
+	return c
+}
+
+// FinishTimes computes the per-machine finish times F_j(C) for actual
+// execution times c (len = tasks).
+func (s *System) FinishTimes(c vec.V) (vec.V, error) {
+	if len(c) != s.ETC.Tasks {
+		return nil, fmt.Errorf("%w: %d times for %d tasks", ErrBadAlloc, len(c), s.ETC.Tasks)
+	}
+	f := make(vec.V, s.ETC.Machines)
+	for t, m := range s.Alloc {
+		f[m] += c[t]
+	}
+	return f, nil
+}
+
+// Makespan returns max_j F_j(C).
+func (s *System) Makespan(c vec.V) (float64, error) {
+	f, err := s.FinishTimes(c)
+	if err != nil {
+		return 0, err
+	}
+	return f.Max(), nil
+}
+
+// OrigMakespan returns M^orig, the estimated makespan of the allocation.
+func (s *System) OrigMakespan() float64 {
+	f, _ := s.FinishTimes(s.OrigTimes())
+	return f.Max()
+}
+
+// ClosedFormRadii evaluates the TPDS 2004 closed form: for requirement
+// makespan ≤ τ·M^orig, machine j's robustness radius is
+// (τ·M^orig − F_j^orig)/√n_j (infinite for empty machines), and the system
+// robustness ρ is their minimum. τ must exceed 1.
+func (s *System) ClosedFormRadii(tau float64) (radii vec.V, rho float64, err error) {
+	if tau <= 1 {
+		return nil, 0, fmt.Errorf("makespan: tau = %g, want > 1", tau)
+	}
+	return s.RadiiWithBound(tau * s.OrigMakespan())
+}
+
+// RadiiWithBound evaluates the same closed form against an explicit makespan
+// requirement (bound), independent of this allocation's own makespan. Use it
+// to compare different allocations of the same instance under one shared
+// requirement; a negative radius means the allocation already violates the
+// bound.
+func (s *System) RadiiWithBound(bound float64) (radii vec.V, rho float64, err error) {
+	if bound <= 0 {
+		return nil, 0, fmt.Errorf("makespan: bound = %g, want > 0", bound)
+	}
+	f, err := s.FinishTimes(s.OrigTimes())
+	if err != nil {
+		return nil, 0, err
+	}
+	radii = make(vec.V, s.ETC.Machines)
+	rho = math.Inf(1)
+	for j := 0; j < s.ETC.Machines; j++ {
+		n := len(s.TasksOn(j))
+		if n == 0 {
+			radii[j] = math.Inf(1)
+			continue
+		}
+		radii[j] = (bound - f[j]) / math.Sqrt(float64(n))
+		if radii[j] < rho {
+			rho = radii[j]
+		}
+	}
+	return radii, rho, nil
+}
+
+// Analysis adapts the system to a core.Analysis with a single perturbation
+// parameter (the actual execution times, one element per task) and one
+// linear feature per non-empty machine, each bounded by τ·M^orig. The
+// generic engine applied to this analysis must reproduce ClosedFormRadii —
+// the cross-check used in tests and experiment E1.
+func (s *System) Analysis(tau float64) (*core.Analysis, error) {
+	if tau <= 1 {
+		return nil, fmt.Errorf("makespan: tau = %g, want > 1", tau)
+	}
+	orig := s.OrigTimes()
+	f, err := s.FinishTimes(orig)
+	if err != nil {
+		return nil, err
+	}
+	bound := tau * f.Max()
+	param := core.Perturbation{Name: "exec-times", Unit: "s", Orig: orig}
+	var features []core.Feature
+	for j := 0; j < s.ETC.Machines; j++ {
+		if len(s.TasksOn(j)) == 0 {
+			continue
+		}
+		k := make(vec.V, s.ETC.Tasks)
+		for _, t := range s.TasksOn(j) {
+			k[t] = 1
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("finish(machine-%d)", j),
+			Bounds: core.MaxOnly(bound),
+			Linear: &core.LinearImpact{Coeffs: []vec.V{k}},
+		})
+	}
+	if len(features) == 0 {
+		return nil, errors.New("makespan: no machine has any task")
+	}
+	return core.NewAnalysis(features, []core.Perturbation{param})
+}

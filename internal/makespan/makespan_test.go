@@ -1,0 +1,267 @@
+package makespan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/etc"
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// fixture: 4 tasks, 2 machines.
+// ETC:
+//
+//	t0: [2, 9]   t1: [3, 9]   t2: [9, 4]   t3: [9, 1]
+//
+// Alloc t0,t1 → m0; t2,t3 → m1. Orig times (2, 3, 4, 1); finishes (5, 5);
+// makespan 5.
+func fixture(t *testing.T) *System {
+	t.Helper()
+	m := &etc.Matrix{Tasks: 4, Machines: 2, Data: [][]float64{
+		{2, 9}, {3, 9}, {9, 4}, {9, 1},
+	}}
+	s, err := New(m, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := &etc.Matrix{Tasks: 2, Machines: 2, Data: [][]float64{{1, 2}, {3, 4}}}
+	if _, err := New(nil, []int{0}); err == nil {
+		t.Error("nil ETC must error")
+	}
+	if _, err := New(m, []int{0}); err == nil {
+		t.Error("short alloc must error")
+	}
+	if _, err := New(m, []int{0, 5}); err == nil {
+		t.Error("machine index out of range must error")
+	}
+	if _, err := New(m, []int{0, -1}); err == nil {
+		t.Error("negative machine must error")
+	}
+}
+
+func TestBasics(t *testing.T) {
+	s := fixture(t)
+	if s.Tasks() != 4 || s.Machines() != 2 {
+		t.Fatalf("shape %d/%d", s.Tasks(), s.Machines())
+	}
+	if got := s.TasksOn(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("TasksOn(0) = %v", got)
+	}
+	orig := s.OrigTimes()
+	if !orig.EqualApprox(vec.Of(2, 3, 4, 1), 0) {
+		t.Errorf("OrigTimes = %v", orig)
+	}
+	f, err := s.FinishTimes(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.EqualApprox(vec.Of(5, 5), 0) {
+		t.Errorf("FinishTimes = %v", f)
+	}
+	if s.OrigMakespan() != 5 {
+		t.Errorf("OrigMakespan = %v", s.OrigMakespan())
+	}
+	ms, err := s.Makespan(vec.Of(2, 3, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 6 {
+		t.Errorf("Makespan = %v, want 6", ms)
+	}
+	if _, err := s.FinishTimes(vec.Of(1)); err == nil {
+		t.Error("short times must error")
+	}
+}
+
+func TestClosedFormRadii(t *testing.T) {
+	s := fixture(t)
+	// τ = 1.4: bound = 7. Each machine: (7 − 5)/√2 = √2.
+	radii, rho, err := s.ClosedFormRadii(1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt2
+	for j, r := range radii {
+		if math.Abs(r-want) > 1e-12 {
+			t.Errorf("radius[%d] = %v, want √2", j, r)
+		}
+	}
+	if math.Abs(rho-want) > 1e-12 {
+		t.Errorf("rho = %v, want √2", rho)
+	}
+}
+
+func TestClosedFormUnbalanced(t *testing.T) {
+	// Move t1 to machine 1: finishes (2, 8); makespan 8; τ=1.25 → bound 10.
+	m := &etc.Matrix{Tasks: 4, Machines: 2, Data: [][]float64{
+		{2, 9}, {3, 4}, {9, 4}, {9, 1},
+	}}
+	s, err := New(m, []int{0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orig times: 2, 4, 4, 1 → finishes (2, 9), makespan 9, bound 11.25.
+	radii, rho, err := s.ClosedFormRadii(1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := (11.25 - 2.0) / 1.0
+	want1 := (11.25 - 9.0) / math.Sqrt(3)
+	if math.Abs(radii[0]-want0) > 1e-12 || math.Abs(radii[1]-want1) > 1e-12 {
+		t.Errorf("radii = %v, want [%v %v]", radii, want0, want1)
+	}
+	if math.Abs(rho-want1) > 1e-12 {
+		t.Errorf("rho = %v, want %v (the loaded machine)", rho, want1)
+	}
+}
+
+func TestClosedFormEmptyMachine(t *testing.T) {
+	m := &etc.Matrix{Tasks: 2, Machines: 3, Data: [][]float64{{1, 2, 3}, {1, 2, 3}}}
+	s, err := New(m, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	radii, rho, err := s.ClosedFormRadii(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(radii[1], 1) || !math.IsInf(radii[2], 1) {
+		t.Errorf("empty machines must have infinite radius: %v", radii)
+	}
+	if math.IsInf(rho, 1) {
+		t.Error("rho must come from the loaded machine")
+	}
+}
+
+func TestClosedFormBadTau(t *testing.T) {
+	s := fixture(t)
+	if _, _, err := s.ClosedFormRadii(1); err == nil {
+		t.Error("tau <= 1 must error")
+	}
+	if _, err := s.Analysis(0.9); err == nil {
+		t.Error("Analysis with tau <= 1 must error")
+	}
+}
+
+func TestAnalysisMatchesClosedForm(t *testing.T) {
+	s := fixture(t)
+	const tau = 1.4
+	a, err := s.Analysis(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Features) != 2 || len(a.Params) != 1 {
+		t.Fatalf("analysis shape: %d features, %d params", len(a.Features), len(a.Params))
+	}
+	_, rhoCF, err := s.ClosedFormRadii(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.RobustnessSingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho.Value-rhoCF) > 1e-10 {
+		t.Errorf("engine rho = %v, closed form %v", rho.Value, rhoCF)
+	}
+}
+
+func TestPropEngineMatchesClosedFormOnRandomAllocations(t *testing.T) {
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		nt := src.Intn(8) + 2
+		nm := src.Intn(3) + 2
+		m, err := etc.RangeBased(etc.RangeParams{Tasks: nt, Machines: nm, Rtask: 10, Rmach: 5}, src)
+		if err != nil {
+			return false
+		}
+		alloc := make([]int, nt)
+		for t2 := range alloc {
+			alloc[t2] = src.Intn(nm)
+		}
+		s, err := New(m, alloc)
+		if err != nil {
+			return false
+		}
+		tau := 1.1 + src.Float64()
+		_, rhoCF, err := s.ClosedFormRadii(tau)
+		if err != nil {
+			return false
+		}
+		a, err := s.Analysis(tau)
+		if err != nil {
+			return false
+		}
+		rho, err := a.RobustnessSingle(0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rho.Value-rhoCF) <= 1e-9*(1+rhoCF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadiusGuaranteeEmpirically(t *testing.T) {
+	// Any perturbation of the execution times with ‖ΔC‖₂ < ρ must keep the
+	// makespan within τ·M^orig — the defining property of the metric.
+	s := fixture(t)
+	const tau = 1.4
+	_, rho, err := s.ClosedFormRadii(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := tau * s.OrigMakespan()
+	src := stats.NewSource(11)
+	orig := s.OrigTimes()
+	for trial := 0; trial < 500; trial++ {
+		// Random direction scaled to just under the radius.
+		d := make(vec.V, len(orig))
+		for i := range d {
+			d[i] = src.Normal(0, 1)
+		}
+		d = d.Normalize().Scale(rho * 0.999 * src.Float64())
+		c := orig.Add(d)
+		ms, err := s.Makespan(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms > bound+1e-9 {
+			t.Fatalf("trial %d: makespan %v exceeds bound %v inside radius", trial, ms, bound)
+		}
+	}
+}
+
+func TestRadiusTightEmpirically(t *testing.T) {
+	// There must exist a perturbation of norm exactly ρ that reaches the
+	// bound: push the critical machine's tasks uniformly.
+	s := fixture(t)
+	const tau = 1.4
+	radii, rho, err := s.ClosedFormRadii(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical machine: argmin radius.
+	crit := radii.ArgMin()
+	tasks := s.TasksOn(crit)
+	orig := s.OrigTimes()
+	c := orig.Clone()
+	for _, tk := range tasks {
+		c[tk] += rho / math.Sqrt(float64(len(tasks)))
+	}
+	ms, err := s.Makespan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := tau * s.OrigMakespan()
+	if math.Abs(ms-bound) > 1e-9 {
+		t.Errorf("boundary perturbation gives makespan %v, want exactly %v", ms, bound)
+	}
+}

@@ -1,0 +1,178 @@
+package makespan
+
+import (
+	"errors"
+	"fmt"
+
+	"fepia/internal/core"
+	"fepia/internal/des"
+	"fepia/internal/etc"
+	"fepia/internal/vec"
+)
+
+// MixedSystem is the independent-task substrate upgraded to the paper's
+// multiple-kinds scenario: before a task executes, its input data set must
+// be staged to the machine over that machine's ingest link, so the finish
+// time of machine j is
+//
+//	F_j = Σ_{t on j} ( s_t / BW_j + c_t ),
+//
+// with c_t the actual execution time (seconds — π_1) and s_t the actual
+// input size (bytes — π_2). Both kinds perturb simultaneously, exactly the
+// situation Section 3 of the paper formalizes, on the same system class the
+// TPDS 2004 paper evaluated.
+type MixedSystem struct {
+	// System is the underlying allocation (ETC estimates + Alloc).
+	System
+	// InSizes holds the estimated input size of each task in bytes
+	// (s^orig).
+	InSizes vec.V
+	// Bandwidth of each machine's ingest link, bytes per second.
+	Bandwidth vec.V
+}
+
+// ErrBadMixed reports malformed mixed-system inputs.
+var ErrBadMixed = errors.New("makespan: invalid mixed system")
+
+// NewMixed constructs and validates a mixed system.
+func NewMixed(m *etc.Matrix, alloc []int, inSizes, bandwidth vec.V) (*MixedSystem, error) {
+	base, err := New(m, alloc)
+	if err != nil {
+		return nil, err
+	}
+	s := &MixedSystem{System: *base, InSizes: inSizes, Bandwidth: bandwidth}
+	if err := s.ValidateMixed(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ValidateMixed checks the staging extension.
+func (s *MixedSystem) ValidateMixed() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(s.InSizes) != s.ETC.Tasks {
+		return fmt.Errorf("%w: %d input sizes for %d tasks", ErrBadMixed, len(s.InSizes), s.ETC.Tasks)
+	}
+	for t, sz := range s.InSizes {
+		if sz <= 0 {
+			return fmt.Errorf("%w: input size %d = %g", ErrBadMixed, t, sz)
+		}
+	}
+	if len(s.Bandwidth) != s.ETC.Machines {
+		return fmt.Errorf("%w: %d bandwidths for %d machines", ErrBadMixed, len(s.Bandwidth), s.ETC.Machines)
+	}
+	for j, bw := range s.Bandwidth {
+		if bw <= 0 {
+			return fmt.Errorf("%w: bandwidth %d = %g", ErrBadMixed, j, bw)
+		}
+	}
+	return nil
+}
+
+// MixedFinishTimes computes F_j for actual execution times c and input
+// sizes sz.
+func (s *MixedSystem) MixedFinishTimes(c, sz vec.V) (vec.V, error) {
+	if len(c) != s.ETC.Tasks || len(sz) != s.ETC.Tasks {
+		return nil, fmt.Errorf("%w: dims c=%d sz=%d for %d tasks", ErrBadMixed, len(c), len(sz), s.ETC.Tasks)
+	}
+	f := make(vec.V, s.ETC.Machines)
+	for t, j := range s.Alloc {
+		f[j] += sz[t]/s.Bandwidth[j] + c[t]
+	}
+	return f, nil
+}
+
+// MixedMakespan is max_j F_j(c, sz).
+func (s *MixedSystem) MixedMakespan(c, sz vec.V) (float64, error) {
+	f, err := s.MixedFinishTimes(c, sz)
+	if err != nil {
+		return 0, err
+	}
+	return f.Max(), nil
+}
+
+// OrigMixedMakespan evaluates the estimate at (C^orig, S^orig).
+func (s *MixedSystem) OrigMixedMakespan() float64 {
+	f, _ := s.MixedFinishTimes(s.OrigTimes(), s.InSizes)
+	return f.Max()
+}
+
+// MixedAnalysis adapts the system to a two-kind core.Analysis: π_1 = actual
+// execution times (seconds), π_2 = actual input sizes (bytes), one linear
+// finish-time feature per non-empty machine, each bounded by τ·M^orig
+// (mixed). Every closed form of the paper's Section 3 applies directly.
+func (s *MixedSystem) MixedAnalysis(tau float64) (*core.Analysis, error) {
+	if tau <= 1 {
+		return nil, fmt.Errorf("makespan: tau = %g, want > 1", tau)
+	}
+	if err := s.ValidateMixed(); err != nil {
+		return nil, err
+	}
+	bound := tau * s.OrigMixedMakespan()
+	params := []core.Perturbation{
+		{Name: "exec-times", Unit: "s", Orig: s.OrigTimes()},
+		{Name: "input-sizes", Unit: "bytes", Orig: s.InSizes.Clone()},
+	}
+	var features []core.Feature
+	for j := 0; j < s.ETC.Machines; j++ {
+		tasks := s.TasksOn(j)
+		if len(tasks) == 0 {
+			continue
+		}
+		kc := make(vec.V, s.ETC.Tasks)
+		ks := make(vec.V, s.ETC.Tasks)
+		for _, t := range tasks {
+			kc[t] = 1
+			ks[t] = 1 / s.Bandwidth[j]
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("finish(machine-%d)", j),
+			Bounds: core.MaxOnly(bound),
+			Linear: &core.LinearImpact{Coeffs: []vec.V{kc, ks}},
+		})
+	}
+	if len(features) == 0 {
+		return nil, errors.New("makespan: no machine has any task")
+	}
+	return core.NewAnalysis(features, params)
+}
+
+// SimulateMixed executes the allocation in the discrete-event kernel: every
+// machine is a FIFO station; each task occupies it for its staging plus
+// execution time, in task-index order. The returned per-machine finish
+// times must equal MixedFinishTimes exactly (work conservation), which the
+// tests assert — the DES cross-validation for this substrate.
+func (s *MixedSystem) SimulateMixed(c, sz vec.V) (vec.V, error) {
+	if err := s.ValidateMixed(); err != nil {
+		return nil, err
+	}
+	if len(c) != s.ETC.Tasks || len(sz) != s.ETC.Tasks {
+		return nil, fmt.Errorf("%w: dims c=%d sz=%d", ErrBadMixed, len(c), len(sz))
+	}
+	for t := range c {
+		if c[t] < 0 || sz[t] < 0 {
+			return nil, fmt.Errorf("%w: negative time or size at task %d", ErrBadMixed, t)
+		}
+	}
+	sim := des.NewSimulator()
+	stations := make([]*des.Station, s.ETC.Machines)
+	finish := make(vec.V, s.ETC.Machines)
+	for j := range stations {
+		stations[j] = des.NewStation(sim, fmt.Sprintf("machine-%d", j))
+	}
+	for t, j := range s.Alloc {
+		service := sz[t]/s.Bandwidth[j] + c[t]
+		mach := j
+		if err := stations[j].Submit(service, func(sm *des.Simulator) {
+			if sm.Now() > finish[mach] {
+				finish[mach] = sm.Now()
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	sim.RunAll()
+	return finish, nil
+}

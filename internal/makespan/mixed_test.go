@@ -1,0 +1,224 @@
+package makespan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/core"
+	"fepia/internal/etc"
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// mixedFixture: the 4-task, 2-machine fixture with staging added.
+//
+//	input sizes (bytes): 1000, 2000, 3000, 500
+//	bandwidths (B/s):    1000, 500
+//
+// Staging times on assigned machines: t0 1.0, t1 2.0 (m0); t2 6.0, t3 1.0
+// (m1). Finishes: m0 = (2+1)+(3+2) = 8; m1 = (4+6)+(1+1) = 12. M = 12.
+func mixedFixture(t *testing.T) *MixedSystem {
+	t.Helper()
+	m := &etc.Matrix{Tasks: 4, Machines: 2, Data: [][]float64{
+		{2, 9}, {3, 9}, {9, 4}, {9, 1},
+	}}
+	s, err := NewMixed(m, []int{0, 0, 1, 1}, vec.Of(1000, 2000, 3000, 500), vec.Of(1000, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewMixedErrors(t *testing.T) {
+	m := &etc.Matrix{Tasks: 2, Machines: 2, Data: [][]float64{{1, 2}, {3, 4}}}
+	alloc := []int{0, 1}
+	if _, err := NewMixed(m, alloc, vec.Of(1), vec.Of(1, 1)); err == nil {
+		t.Error("short input sizes must error")
+	}
+	if _, err := NewMixed(m, alloc, vec.Of(1, 0), vec.Of(1, 1)); err == nil {
+		t.Error("non-positive size must error")
+	}
+	if _, err := NewMixed(m, alloc, vec.Of(1, 1), vec.Of(1)); err == nil {
+		t.Error("short bandwidths must error")
+	}
+	if _, err := NewMixed(m, alloc, vec.Of(1, 1), vec.Of(1, -1)); err == nil {
+		t.Error("non-positive bandwidth must error")
+	}
+	if _, err := NewMixed(m, []int{0}, vec.Of(1, 1), vec.Of(1, 1)); err == nil {
+		t.Error("base validation must still run")
+	}
+}
+
+func TestMixedFinishTimes(t *testing.T) {
+	s := mixedFixture(t)
+	f, err := s.MixedFinishTimes(s.OrigTimes(), s.InSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.EqualApprox(vec.Of(8, 12), 1e-12) {
+		t.Errorf("finishes = %v, want (8, 12)", f)
+	}
+	if got := s.OrigMixedMakespan(); math.Abs(got-12) > 1e-12 {
+		t.Errorf("makespan = %v", got)
+	}
+	if _, err := s.MixedFinishTimes(vec.Of(1), s.InSizes); err == nil {
+		t.Error("bad dims must error")
+	}
+}
+
+func TestMixedAnalysisStructureAndRadii(t *testing.T) {
+	s := mixedFixture(t)
+	const tau = 1.5 // bound 18
+	a, err := s.MixedAnalysis(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Params) != 2 || a.Params[0].Unit != "s" || a.Params[1].Unit != "bytes" {
+		t.Fatalf("params wrong: %+v", a.Params)
+	}
+	if len(a.Features) != 2 {
+		t.Fatalf("features = %d", len(a.Features))
+	}
+	// Radius vs execution times only (machine 1 critical):
+	// boundary Σ_{t on 1} c_t = 18 − (staging 7) = 11 from c^orig (4, 1):
+	// dist = |5 − 11|/√2 = 6/√2.
+	r, err := a.RobustnessSingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6 / math.Sqrt2
+	if math.Abs(r.Value-want) > 1e-10 {
+		t.Errorf("exec radius = %v, want %v", r.Value, want)
+	}
+	// Radius vs input sizes only (machine 1):
+	// Σ s_t/500 = 18 − 5 = 13 → Σ s_t = 6500 from (3000, 500):
+	// hyperplane (1/500)(s2 + s3) = 13 → dist = |3500 − 6500|/(√2·... )
+	// = (6500−3500)/ (√(2)/500·500) → |7 − 13| / √(2·(1/500)²) = 6·500/√2.
+	rs, err := a.RobustnessSingle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS := 6 * 500 / math.Sqrt2
+	if math.Abs(rs.Value-wantS) > 1e-7*(1+wantS) {
+		t.Errorf("size radius = %v, want %v", rs.Value, wantS)
+	}
+	// Combined normalized radius exists and is positive.
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) || math.IsInf(rho.Value, 1) {
+		t.Errorf("rho = %v", rho.Value)
+	}
+}
+
+func TestMixedAnalysisBadTau(t *testing.T) {
+	s := mixedFixture(t)
+	if _, err := s.MixedAnalysis(1); err == nil {
+		t.Error("tau <= 1 must error")
+	}
+}
+
+func TestSimulateMixedMatchesAnalytic(t *testing.T) {
+	s := mixedFixture(t)
+	f, err := s.SimulateMixed(s.OrigTimes(), s.InSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.MixedFinishTimes(s.OrigTimes(), s.InSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.EqualApprox(want, 1e-9) {
+		t.Errorf("DES finishes %v vs analytic %v", f, want)
+	}
+}
+
+func TestSimulateMixedPerturbed(t *testing.T) {
+	s := mixedFixture(t)
+	c := vec.Of(2.5, 3.5, 4.5, 1.5)
+	sz := vec.Of(1500, 2500, 3500, 1000)
+	f, err := s.SimulateMixed(c, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.MixedFinishTimes(c, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.EqualApprox(want, 1e-9) {
+		t.Errorf("perturbed DES %v vs analytic %v", f, want)
+	}
+}
+
+func TestSimulateMixedErrors(t *testing.T) {
+	s := mixedFixture(t)
+	if _, err := s.SimulateMixed(vec.Of(1), s.InSizes); err == nil {
+		t.Error("bad dims must error")
+	}
+	if _, err := s.SimulateMixed(vec.Of(-1, 1, 1, 1), s.InSizes); err == nil {
+		t.Error("negative time must error")
+	}
+}
+
+func TestPropMixedRadiusGuarantee(t *testing.T) {
+	// Perturb both kinds jointly inside the normalized combined radius:
+	// the mixed makespan must stay within the bound.
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		nt := src.Intn(6) + 2
+		nm := src.Intn(2) + 2
+		m, err := etc.RangeBased(etc.RangeParams{Tasks: nt, Machines: nm, Rtask: 5, Rmach: 3}, src)
+		if err != nil {
+			return false
+		}
+		alloc := make([]int, nt)
+		for t2 := range alloc {
+			alloc[t2] = src.Intn(nm)
+		}
+		sizes := make(vec.V, nt)
+		for t2 := range sizes {
+			sizes[t2] = src.Uniform(100, 5000)
+		}
+		bws := make(vec.V, nm)
+		for j := range bws {
+			bws[j] = src.Uniform(500, 2000)
+		}
+		s, err := NewMixed(m, alloc, sizes, bws)
+		if err != nil {
+			return false
+		}
+		tau := 1.1 + src.Float64()
+		a, err := s.MixedAnalysis(tau)
+		if err != nil {
+			return false
+		}
+		rho, err := a.Robustness(core.Normalized{})
+		if err != nil {
+			return false
+		}
+		bound := tau * s.OrigMixedMakespan()
+		origC := s.OrigTimes()
+		d := make(vec.V, 2*nt)
+		for trial := 0; trial < 10; trial++ {
+			for i := range d {
+				d[i] = src.Normal(0, 1)
+			}
+			dd := d.Normalize().Scale(rho.Value * 0.999 * src.Float64())
+			c := origC.Mul(vec.Ones(nt).Add(dd[:nt]))
+			sz := sizes.Mul(vec.Ones(nt).Add(dd[nt:]))
+			ms, err := s.MixedMakespan(c, sz)
+			if err != nil {
+				return false
+			}
+			if ms > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package mm1 models a tier of M/M/1 queueing stations — the classical
+// analytic approximation for service latency under load — as a FePIA
+// subject. It exists for two reasons:
+//
+//   - Realism: steady-state latency W = 1/(μ − λ) is how capacity planners
+//     actually reason about service tiers, and both the offered load λ and
+//     the service capacity μ are uncertain (different kinds: demand vs
+//     infrastructure).
+//   - Validation: W is *nonlinear* in (λ, μ), so the engine routes it
+//     through the numeric level-set tier — yet its boundary
+//     {W = L} ⇔ {μ − λ = 1/L} is an exact hyperplane, and the stability
+//     boundary {λ/μ = c} is a line through the origin. Every numeric radius
+//     therefore has a hand-computable ground truth, which the tests and
+//     experiment E15 exploit.
+package mm1
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// Station is one M/M/1 service tier.
+type Station struct {
+	// Name identifies the tier in reports.
+	Name string
+	// Lambda is the nominal arrival rate (requests/second).
+	Lambda float64
+	// Mu is the nominal service rate (requests/second). Stability requires
+	// Lambda < Mu.
+	Mu float64
+}
+
+// Tier is a set of independent M/M/1 stations sharing QoS requirements.
+type Tier struct {
+	Stations []Station
+	// MaxLatency bounds each station's steady-state sojourn time W.
+	MaxLatency float64
+	// MaxUtil bounds each station's utilization ρ = λ/μ (staying strictly
+	// below 1 keeps queues finite with headroom).
+	MaxUtil float64
+}
+
+// ErrBadTier reports invalid tier parameters.
+var ErrBadTier = errors.New("mm1: invalid tier")
+
+// Validate checks stability and requirement consistency at the nominal
+// point.
+func (t *Tier) Validate() error {
+	if len(t.Stations) == 0 {
+		return fmt.Errorf("%w: no stations", ErrBadTier)
+	}
+	if t.MaxLatency <= 0 || t.MaxUtil <= 0 || t.MaxUtil >= 1 {
+		return fmt.Errorf("%w: MaxLatency=%g MaxUtil=%g", ErrBadTier, t.MaxLatency, t.MaxUtil)
+	}
+	for i, s := range t.Stations {
+		if s.Lambda <= 0 || s.Mu <= 0 {
+			return fmt.Errorf("%w: station %d rates lambda=%g mu=%g", ErrBadTier, i, s.Lambda, s.Mu)
+		}
+		if s.Lambda >= s.Mu {
+			return fmt.Errorf("%w: station %d unstable (lambda %g >= mu %g)", ErrBadTier, i, s.Lambda, s.Mu)
+		}
+		if Latency(s.Lambda, s.Mu) > t.MaxLatency {
+			return fmt.Errorf("%w: station %d nominal latency %g exceeds bound %g",
+				ErrBadTier, i, Latency(s.Lambda, s.Mu), t.MaxLatency)
+		}
+		if s.Lambda/s.Mu > t.MaxUtil {
+			return fmt.Errorf("%w: station %d nominal utilization %g exceeds bound %g",
+				ErrBadTier, i, s.Lambda/s.Mu, t.MaxUtil)
+		}
+	}
+	return nil
+}
+
+// Latency is the M/M/1 steady-state sojourn time W = 1/(μ − λ) for λ < μ
+// (+Inf at or beyond saturation).
+func Latency(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// Analysis adapts the tier to a two-kind FePIA analysis:
+//
+//	π_1 = arrival rates λ (demand uncertainty),
+//	π_2 = service rates μ (capacity uncertainty),
+//
+// with two nonlinear features per station: sojourn time W_i(λ, μ) ≤
+// MaxLatency and utilization λ_i/μ_i ≤ MaxUtil. Near saturation W blows up
+// smoothly, which exercises the numeric tier on a stiff boundary; the
+// closed forms below (LatencyRadius, UtilRadius) supply the ground truth.
+func (t *Tier) Analysis() (*core.Analysis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(t.Stations)
+	lams := make(vec.V, n)
+	mus := make(vec.V, n)
+	for i, s := range t.Stations {
+		lams[i] = s.Lambda
+		mus[i] = s.Mu
+	}
+	params := []core.Perturbation{
+		{Name: "arrival-rates", Unit: "req/s", Orig: lams},
+		{Name: "service-rates", Unit: "req/s", Orig: mus},
+	}
+	// Past saturation (λ ≥ μ) or at non-physical rates the true values are
+	// infinite; the numeric boundary search needs finite arithmetic, so the
+	// impacts clamp to a huge sentinel — every boundary of interest is
+	// crossed strictly before the clamp region along any probe ray.
+	const overload = 1e18
+	var features []core.Feature
+	for i := range t.Stations {
+		i := i
+		features = append(features,
+			core.Feature{
+				Name:   fmt.Sprintf("latency(%s)", t.Stations[i].Name),
+				Bounds: core.MaxOnly(t.MaxLatency),
+				Impact: func(vs []vec.V) float64 {
+					lam, mu := vs[0][i], vs[1][i]
+					if lam >= mu {
+						return overload
+					}
+					return 1 / (mu - lam)
+				},
+			},
+			core.Feature{
+				Name:   fmt.Sprintf("util(%s)", t.Stations[i].Name),
+				Bounds: core.MaxOnly(t.MaxUtil),
+				Impact: func(vs []vec.V) float64 {
+					lam, mu := vs[0][i], vs[1][i]
+					if mu <= 0 {
+						return overload
+					}
+					return lam / mu
+				},
+			},
+		)
+	}
+	return core.NewAnalysis(features, params)
+}
+
+// LatencyRadius is the exact joint (λ_i, μ_i) robustness radius of station
+// i's latency bound: the level set {1/(μ−λ) = L} is the line μ − λ = 1/L,
+// so the Euclidean distance from (λ0, μ0) is |(μ0 − λ0) − 1/L| / √2.
+func (t *Tier) LatencyRadius(i int) (float64, error) {
+	if i < 0 || i >= len(t.Stations) {
+		return 0, fmt.Errorf("%w: station %d of %d", ErrBadTier, i, len(t.Stations))
+	}
+	s := t.Stations[i]
+	return math.Abs((s.Mu-s.Lambda)-1/t.MaxLatency) / math.Sqrt2, nil
+}
+
+// UtilRadius is the exact joint robustness radius of station i's
+// utilization bound: {λ/μ = c} is the line λ − cμ = 0, so the distance from
+// (λ0, μ0) is |λ0 − c·μ0| / √(1 + c²).
+func (t *Tier) UtilRadius(i int) (float64, error) {
+	if i < 0 || i >= len(t.Stations) {
+		return 0, fmt.Errorf("%w: station %d of %d", ErrBadTier, i, len(t.Stations))
+	}
+	s := t.Stations[i]
+	c := t.MaxUtil
+	return math.Abs(s.Lambda-c*s.Mu) / math.Sqrt(1+c*c), nil
+}
+
+// JointRadius is min(LatencyRadius, UtilRadius) for station i — the exact
+// ground truth for the engine's combined radius restricted to one station's
+// (λ, μ) pair under identity weighting.
+func (t *Tier) JointRadius(i int) (float64, error) {
+	l, err := t.LatencyRadius(i)
+	if err != nil {
+		return 0, err
+	}
+	u, err := t.UtilRadius(i)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(l, u), nil
+}

@@ -1,0 +1,214 @@
+package mm1
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/core"
+	"fepia/internal/stats"
+)
+
+// webTier: two stations with comfortable headroom.
+func webTier(t *testing.T) *Tier {
+	t.Helper()
+	tier := &Tier{
+		Stations: []Station{
+			{Name: "api", Lambda: 50, Mu: 100},
+			{Name: "db", Lambda: 30, Mu: 80},
+		},
+		MaxLatency: 0.1, // 100 ms
+		MaxUtil:    0.9,
+	}
+	if err := tier.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tier
+}
+
+func TestLatencyFormula(t *testing.T) {
+	if got := Latency(50, 100); got != 0.02 {
+		t.Errorf("W(50,100) = %v, want 0.02", got)
+	}
+	if !math.IsInf(Latency(100, 100), 1) {
+		t.Error("saturated latency must be +Inf")
+	}
+	if !math.IsInf(Latency(120, 100), 1) {
+		t.Error("overloaded latency must be +Inf")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *Tier { return webTier(t) }
+	mutations := []func(*Tier){
+		func(x *Tier) { x.Stations = nil },
+		func(x *Tier) { x.MaxLatency = 0 },
+		func(x *Tier) { x.MaxUtil = 0 },
+		func(x *Tier) { x.MaxUtil = 1 },
+		func(x *Tier) { x.Stations[0].Lambda = 0 },
+		func(x *Tier) { x.Stations[0].Mu = 0 },
+		func(x *Tier) { x.Stations[0].Lambda = 200 },  // unstable
+		func(x *Tier) { x.MaxLatency = 0.001 },        // nominal latency too high
+		func(x *Tier) { x.Stations[0].Lambda = 99.5 }, // nominal util too high
+	}
+	for i, mut := range mutations {
+		tier := base()
+		mut(tier)
+		if err := tier.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestClosedFormRadii(t *testing.T) {
+	tier := webTier(t)
+	// Station 0: μ−λ = 50, 1/L = 10 → latency radius |50−10|/√2 = 40/√2.
+	l0, err := tier.LatencyRadius(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l0-40/math.Sqrt2) > 1e-12 {
+		t.Errorf("latency radius = %v", l0)
+	}
+	// Util radius: |50 − 0.9·100|/√(1+0.81) = 40/√1.81.
+	u0, err := tier.UtilRadius(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u0-40/math.Sqrt(1.81)) > 1e-12 {
+		t.Errorf("util radius = %v", u0)
+	}
+	j0, err := tier.JointRadius(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j0 != math.Min(l0, u0) {
+		t.Errorf("joint radius = %v", j0)
+	}
+	if _, err := tier.LatencyRadius(9); err == nil {
+		t.Error("bad index must error")
+	}
+	if _, err := tier.UtilRadius(-1); err == nil {
+		t.Error("bad index must error")
+	}
+}
+
+func TestAnalysisStructure(t *testing.T) {
+	tier := webTier(t)
+	a, err := tier.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Params) != 2 || len(a.Features) != 4 {
+		t.Fatalf("shape: %d params, %d features", len(a.Params), len(a.Features))
+	}
+	vals := a.OrigValues()
+	// latency(api) = 0.02, util(api) = 0.5, latency(db) = 0.02, util(db) = 0.375.
+	wants := []float64{0.02, 0.5, 0.02, 0.375}
+	for i, w := range wants {
+		if got := a.FeatureValue(i, vals); math.Abs(got-w) > 1e-12 {
+			t.Errorf("feature %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestNumericEngineMatchesClosedForms(t *testing.T) {
+	// The engine's combined radius under identity weighting must land on
+	// the exact line distances — a nonlinear impact with a linear level
+	// set is the sharpest test of the numeric tier.
+	tier := webTier(t)
+	a, err := tier.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := core.Custom{Alphas: []float64{1, 1}, Label: "identity"}
+	// Feature 0 (latency api) and 1 (util api): each depends only on the
+	// (λ_0, μ_0) pair, so the combined radius equals the 2-D line distance.
+	wantL, _ := tier.LatencyRadius(0)
+	wantU, _ := tier.UtilRadius(0)
+	rL, err := a.CombinedRadius(0, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rU, err := a.CombinedRadius(1, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rL.Value-wantL) > 1e-4*(1+wantL) {
+		t.Errorf("latency radius: engine %v vs exact %v", rL.Value, wantL)
+	}
+	if math.Abs(rU.Value-wantU) > 1e-4*(1+wantU) {
+		t.Errorf("util radius: engine %v vs exact %v", rU.Value, wantU)
+	}
+	// Whole-tier robustness = min over stations of the joint radius.
+	rho, err := a.Robustness(identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Inf(1)
+	for i := range tier.Stations {
+		j, _ := tier.JointRadius(i)
+		want = math.Min(want, j)
+	}
+	if math.Abs(rho.Value-want) > 1e-4*(1+want) {
+		t.Errorf("tier rho: engine %v vs exact %v", rho.Value, want)
+	}
+}
+
+func TestPropEngineMatchesClosedFormsRandomTiers(t *testing.T) {
+	f := func(seed int64) bool {
+		src := stats.NewSource(seed)
+		mu := src.Uniform(50, 200)
+		lam := mu * src.Uniform(0.2, 0.7)
+		maxUtil := src.Uniform(lam/mu+0.05, 0.97)
+		nominalW := Latency(lam, mu)
+		tier := &Tier{
+			Stations:   []Station{{Name: "s", Lambda: lam, Mu: mu}},
+			MaxLatency: nominalW * src.Uniform(1.5, 10),
+			MaxUtil:    maxUtil,
+		}
+		if tier.Validate() != nil {
+			return true // drew an inconsistent configuration; skip
+		}
+		a, err := tier.Analysis()
+		if err != nil {
+			return false
+		}
+		rho, err := a.Robustness(core.Custom{Alphas: []float64{1, 1}})
+		if err != nil {
+			return false
+		}
+		want, err := tier.JointRadius(0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rho.Value-want) <= 2e-4*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedRobustnessUsable(t *testing.T) {
+	// The dimensionless combined metric works across the tier too.
+	tier := webTier(t)
+	a, err := tier.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) || math.IsInf(rho.Value, 1) {
+		t.Errorf("rho = %v", rho.Value)
+	}
+	// Soundness spot check.
+	ok, err := a.Tolerable(a.OrigValues(), core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("nominal point must be tolerable")
+	}
+}

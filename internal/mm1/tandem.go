@@ -1,0 +1,141 @@
+package mm1
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// Tandem is a series of M/M/1 stations fed by one arrival stream — the
+// textbook model of a request passing through a chain of services (gateway →
+// application → database). By Burke's theorem the departure process of an
+// M/M/1 queue is Poisson at the arrival rate, so in steady state every stage
+// sees the same λ and the end-to-end latency is the sum of per-stage sojourn
+// times:
+//
+//	W_total(λ, μ) = Σ_i 1/(μ_i − λ).
+//
+// Unlike the independent Tier, the end-to-end feature couples every stage's
+// capacity with the shared demand — a genuinely multi-dimensional curved
+// boundary with no closed-form nearest point, carried entirely by the
+// numeric tier (the per-stage stability features keep their exact line
+// ground truths, which the tests still verify).
+type Tandem struct {
+	// Names labels the stages.
+	Names []string
+	// Lambda is the nominal shared arrival rate (requests/second).
+	Lambda float64
+	// Mu holds the nominal per-stage service rates (requests/second).
+	Mu vec.V
+	// MaxTotalLatency bounds W_total.
+	MaxTotalLatency float64
+	// MaxUtil bounds every stage's utilization λ/μ_i.
+	MaxUtil float64
+}
+
+// Validate checks stability and nominal feasibility.
+func (t *Tandem) Validate() error {
+	if len(t.Mu) == 0 {
+		return fmt.Errorf("%w: tandem has no stages", ErrBadTier)
+	}
+	if len(t.Names) != 0 && len(t.Names) != len(t.Mu) {
+		return fmt.Errorf("%w: %d names for %d stages", ErrBadTier, len(t.Names), len(t.Mu))
+	}
+	if t.Lambda <= 0 {
+		return fmt.Errorf("%w: lambda = %g", ErrBadTier, t.Lambda)
+	}
+	if t.MaxTotalLatency <= 0 || t.MaxUtil <= 0 || t.MaxUtil >= 1 {
+		return fmt.Errorf("%w: MaxTotalLatency=%g MaxUtil=%g", ErrBadTier, t.MaxTotalLatency, t.MaxUtil)
+	}
+	for i, mu := range t.Mu {
+		if mu <= 0 {
+			return fmt.Errorf("%w: stage %d mu = %g", ErrBadTier, i, mu)
+		}
+		if t.Lambda >= mu {
+			return fmt.Errorf("%w: stage %d unstable (lambda %g >= mu %g)", ErrBadTier, i, t.Lambda, mu)
+		}
+		if t.Lambda/mu > t.MaxUtil {
+			return fmt.Errorf("%w: stage %d nominal utilization %g exceeds %g",
+				ErrBadTier, i, t.Lambda/mu, t.MaxUtil)
+		}
+	}
+	if w := t.TotalLatency(t.Lambda, t.Mu); w > t.MaxTotalLatency {
+		return fmt.Errorf("%w: nominal end-to-end latency %g exceeds bound %g", ErrBadTier, w, t.MaxTotalLatency)
+	}
+	return nil
+}
+
+// TotalLatency evaluates W_total for given rates (+Inf when any stage is at
+// or beyond saturation).
+func (t *Tandem) TotalLatency(lambda float64, mu vec.V) float64 {
+	var w float64
+	for _, m := range mu {
+		w += Latency(lambda, m)
+	}
+	return w
+}
+
+// stageName returns the label of stage i.
+func (t *Tandem) stageName(i int) string {
+	if i < len(t.Names) {
+		return t.Names[i]
+	}
+	return fmt.Sprintf("stage-%d", i)
+}
+
+// Analysis adapts the tandem to a two-kind FePIA analysis: π_1 = the shared
+// arrival rate (one element), π_2 = per-stage service rates. Features: the
+// coupled end-to-end latency plus one utilization feature per stage.
+func (t *Tandem) Analysis() (*core.Analysis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	params := []core.Perturbation{
+		{Name: "arrival-rate", Unit: "req/s", Orig: vec.Of(t.Lambda)},
+		{Name: "service-rates", Unit: "req/s", Orig: t.Mu.Clone()},
+	}
+	const overload = 1e18
+	features := []core.Feature{{
+		Name:   "latency(end-to-end)",
+		Bounds: core.MaxOnly(t.MaxTotalLatency),
+		Impact: func(vs []vec.V) float64 {
+			lam := vs[0][0]
+			var w float64
+			for _, mu := range vs[1] {
+				if lam >= mu {
+					return overload
+				}
+				w += 1 / (mu - lam)
+			}
+			return w
+		},
+	}}
+	for i := range t.Mu {
+		i := i
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("util(%s)", t.stageName(i)),
+			Bounds: core.MaxOnly(t.MaxUtil),
+			Impact: func(vs []vec.V) float64 {
+				if vs[1][i] <= 0 {
+					return overload
+				}
+				return vs[0][0] / vs[1][i]
+			},
+		})
+	}
+	return core.NewAnalysis(features, params)
+}
+
+// StageUtilRadius is the exact joint (λ, μ_i) radius of one stage's
+// utilization bound — the same line geometry as Tier.UtilRadius, restricted
+// to the two coordinates that matter (the other stages' rates are free but
+// irrelevant to this feature).
+func (t *Tandem) StageUtilRadius(i int) (float64, error) {
+	if i < 0 || i >= len(t.Mu) {
+		return 0, fmt.Errorf("%w: stage %d of %d", ErrBadTier, i, len(t.Mu))
+	}
+	c := t.MaxUtil
+	return math.Abs(t.Lambda-c*t.Mu[i]) / math.Sqrt(1+c*c), nil
+}

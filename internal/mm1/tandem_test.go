@@ -1,0 +1,172 @@
+package mm1
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+func chain(t *testing.T) *Tandem {
+	t.Helper()
+	td := &Tandem{
+		Names:           []string{"gw", "app", "db"},
+		Lambda:          40,
+		Mu:              vec.Of(120, 90, 100),
+		MaxTotalLatency: 0.2,
+		MaxUtil:         0.9,
+	}
+	if err := td.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+func TestTandemValidateErrors(t *testing.T) {
+	mutations := []func(*Tandem){
+		func(x *Tandem) { x.Mu = nil },
+		func(x *Tandem) { x.Names = []string{"a"} },
+		func(x *Tandem) { x.Lambda = 0 },
+		func(x *Tandem) { x.MaxTotalLatency = 0 },
+		func(x *Tandem) { x.MaxUtil = 1 },
+		func(x *Tandem) { x.Mu[1] = 0 },
+		func(x *Tandem) { x.Lambda = 95 },               // unstable at stage 1
+		func(x *Tandem) { x.MaxTotalLatency = 0.01 },    // nominal W too high
+		func(x *Tandem) { x.Lambda = 85; x.Mu[1] = 92 }, // util too high
+	}
+	for i, mut := range mutations {
+		td := chain(t)
+		mut(td)
+		if err := td.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTotalLatency(t *testing.T) {
+	td := chain(t)
+	// 1/80 + 1/50 + 1/60 = 0.0125 + 0.02 + 0.016667 = 0.049167.
+	want := 1.0/80 + 1.0/50 + 1.0/60
+	if got := td.TotalLatency(td.Lambda, td.Mu); math.Abs(got-want) > 1e-12 {
+		t.Errorf("W_total = %v, want %v", got, want)
+	}
+	if !math.IsInf(td.TotalLatency(200, td.Mu), 1) {
+		t.Error("overloaded tandem must have infinite latency")
+	}
+}
+
+func TestTandemAnalysisStructure(t *testing.T) {
+	td := chain(t)
+	a, err := td.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Params) != 2 || a.TotalDim() != 4 {
+		t.Fatalf("shape: %d params, dim %d", len(a.Params), a.TotalDim())
+	}
+	if len(a.Features) != 4 { // 1 end-to-end + 3 utils
+		t.Fatalf("features = %d", len(a.Features))
+	}
+	vals := a.OrigValues()
+	if got := a.FeatureValue(0, vals); math.Abs(got-td.TotalLatency(td.Lambda, td.Mu)) > 1e-12 {
+		t.Errorf("end-to-end feature = %v", got)
+	}
+	if got := a.FeatureValue(2, vals); math.Abs(got-40.0/90) > 1e-12 {
+		t.Errorf("app util feature = %v, want %v", got, 40.0/90)
+	}
+}
+
+func TestTandemUtilRadiiMatchEngine(t *testing.T) {
+	td := chain(t)
+	a, err := td.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := core.Custom{Alphas: vec.Of(1, 1), Label: "identity"}
+	for i := range td.Mu {
+		want, err := td.StageUtilRadius(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.CombinedRadius(1+i, identity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Value-want) > 1e-3*(1+want) {
+			t.Errorf("stage %d util radius: engine %v vs exact %v", i, r.Value, want)
+		}
+	}
+	if _, err := td.StageUtilRadius(9); err == nil {
+		t.Error("bad index must error")
+	}
+}
+
+func TestTandemEndToEndRadiusProperties(t *testing.T) {
+	// No simple closed form for the coupled latency boundary; verify the
+	// defining properties instead: the boundary point is feasible (W_total
+	// at the bound), and the radius is a true lower bound on any boundary
+	// point distance found by ray probing.
+	td := chain(t)
+	a, err := td.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := core.Custom{Alphas: vec.Of(1, 1), Label: "identity"}
+	r, err := a.CombinedRadius(0, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Value > 0) || math.IsInf(r.Value, 1) {
+		t.Fatalf("end-to-end radius = %v", r.Value)
+	}
+	vals, err := core.FromP(a, identity, 0, r.Point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := td.TotalLatency(vals[0][0], vals[1]); math.Abs(got-td.MaxTotalLatency) > 1e-6 {
+		t.Errorf("boundary point W_total = %v, want %v", got, td.MaxTotalLatency)
+	}
+	// A cheap upper bound: push only λ up until W_total = bound; the true
+	// radius cannot exceed that single-axis distance.
+	lamHi := td.Lambda
+	for step := 0.5; step > 1e-9; step /= 2 {
+		for td.TotalLatency(lamHi+step, td.Mu) <= td.MaxTotalLatency {
+			lamHi += step
+		}
+	}
+	if r.Value > (lamHi-td.Lambda)+1e-6 {
+		t.Errorf("radius %v exceeds single-axis bound %v", r.Value, lamHi-td.Lambda)
+	}
+}
+
+func TestTandemRobustnessAndSoundness(t *testing.T) {
+	td := chain(t)
+	a, err := td.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) {
+		t.Fatalf("rho = %v", rho.Value)
+	}
+	ok, err := a.Tolerable(a.OrigValues(), core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("nominal point must be tolerable")
+	}
+	// A clearly saturating point is rejected and violates.
+	bad := []vec.V{vec.Of(89), td.Mu.Clone()}
+	ok, err = a.Tolerable(bad, core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !a.Violates(bad) {
+		t.Error("near-saturation demand must violate and be declined")
+	}
+}

@@ -1,0 +1,68 @@
+// Package optimize supplies the numerical routines the robustness analysis
+// needs: root finding along rays, derivative estimation, derivative-free
+// minimization (Nelder–Mead), and — the centerpiece — nearest-point-on-a-
+// level-set search, which is exactly the robustness radius of Eq. 1/Eq. 2
+// for impact functions with no closed form.
+//
+// Everything here is standard library only and deterministic.
+package optimize
+
+import "math"
+
+// Func is a scalar field f: R^n → R.
+type Func func(x []float64) float64
+
+// Func1 is a scalar function of one variable.
+type Func1 func(x float64) float64
+
+// Gradient estimates ∇f(x) by central differences with per-coordinate steps
+// scaled to the magnitude of x_i. The returned slice is freshly allocated.
+func Gradient(f Func, x []float64) []float64 {
+	g := make([]float64, len(x))
+	xx := make([]float64, len(x))
+	copy(xx, x)
+	for i := range x {
+		h := stepFor(x[i])
+		orig := xx[i]
+		xx[i] = orig + h
+		fp := f(xx)
+		xx[i] = orig - h
+		fm := f(xx)
+		xx[i] = orig
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// Directional estimates the derivative of f at x along the unit direction d
+// by central differences.
+func Directional(f Func, x, d []float64) float64 {
+	h := 1e-6
+	scale := 0.0
+	for _, xi := range x {
+		if a := math.Abs(xi); a > scale {
+			scale = a
+		}
+	}
+	if scale > 1 {
+		h *= scale
+	}
+	xp := make([]float64, len(x))
+	xm := make([]float64, len(x))
+	for i := range x {
+		xp[i] = x[i] + h*d[i]
+		xm[i] = x[i] - h*d[i]
+	}
+	return (f(xp) - f(xm)) / (2 * h)
+}
+
+// stepFor picks a central-difference step proportional to |x| with a floor,
+// balancing truncation against round-off (cube root of machine epsilon).
+func stepFor(x float64) float64 {
+	const base = 6.055454452393343e-06 // cbrt(2^-52)
+	a := math.Abs(x)
+	if a < 1 {
+		a = 1
+	}
+	return base * a
+}

@@ -1,0 +1,378 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrNoBoundary is returned when no boundary crossing of the level set can be
+// located from the starting point in any probed direction.
+var ErrNoBoundary = errors.New("optimize: no level-set boundary found")
+
+// LevelSetOptions configure NearestOnLevelSet.
+type LevelSetOptions struct {
+	// Directions is the number of additional random probe directions beyond
+	// the deterministic ones (±eᵢ and ±∇f). Zero selects 4·n.
+	Directions int
+	// MaxSpan bounds how far rays are shot from the origin point. Zero
+	// selects 1e6·(1 + ‖x0‖∞).
+	MaxSpan float64
+	// Tol is the boundary tolerance in f-units. Zero selects 1e-10.
+	Tol float64
+	// RefineIters bounds the tangential-descent refinement. Zero selects 200.
+	RefineIters int
+	// Seed seeds the random probe directions; the default (0) is fine —
+	// the stream is deterministic either way.
+	Seed int64
+	// SkipPolish disables the final Nelder–Mead penalty polish. The polish
+	// costs extra evaluations but rescues non-smooth boundaries (max-type
+	// impact functions) where tangential descent stalls.
+	SkipPolish bool
+}
+
+// Result is the outcome of a nearest-boundary-point search.
+type Result struct {
+	// Point is the boundary point nearest to the origin point.
+	Point []float64
+	// Dist is the Euclidean distance from the origin point to Point — the
+	// robustness radius when f is an impact function and level its bound.
+	Dist float64
+	// Evals counts objective evaluations spent.
+	Evals int
+}
+
+// NearestOnLevelSet finds (approximately) the point on {x : f(x) = level}
+// nearest to x0 in the Euclidean norm:
+//
+//	min ‖x − x0‖₂  subject to  f(x) = level.
+//
+// This is exactly the robustness radius of the paper's Eq. 1 and Eq. 2 for a
+// single constraint boundary. The search is derivative-free at its core and
+// proceeds in three phases:
+//
+//  1. Ray shooting — cast rays from x0 along ± coordinate axes, ± the
+//     numerical gradient, and a deterministic set of random directions;
+//     bracket and solve the 1-D crossing with Brent's method. Every crossing
+//     is a feasible boundary point and an upper bound on the radius.
+//  2. Tangential descent — from the best crossings, repeatedly remove the
+//     component of (x − x0) tangent to the boundary and re-project onto the
+//     boundary, shrinking the distance monotonically (first-order optimality
+//     on smooth boundaries).
+//  3. Penalty polish — a short Nelder–Mead run on ‖x − x0‖² + w·(f(x) −
+//     level)², which handles kinks in piecewise boundaries.
+//
+// The returned error is non-nil only when no boundary crossing exists within
+// MaxSpan in any probed direction (e.g. the constraint can never be violated;
+// the paper would call such a system infinitely robust in that direction).
+func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, errors.New("optimize: empty origin point")
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.Directions <= 0 {
+		opt.Directions = 4 * n
+	}
+	if opt.MaxSpan <= 0 {
+		span := 1.0
+		for _, x := range x0 {
+			if a := math.Abs(x); a > span {
+				span = a
+			}
+		}
+		opt.MaxSpan = 1e6 * span
+	}
+	if opt.RefineIters <= 0 {
+		opt.RefineIters = 200
+	}
+
+	evals := 0
+	g := func(x []float64) float64 {
+		evals++
+		return f(x) - level
+	}
+
+	g0 := g(x0)
+	fscale := 1 + math.Abs(level)
+	if math.Abs(g0) <= opt.Tol*fscale {
+		return Result{Point: append([]float64(nil), x0...), Dist: 0, Evals: evals}, nil
+	}
+
+	// --- Phase 1: ray shooting -----------------------------------------
+	dirs := probeDirections(f, x0, opt)
+	best := Result{Dist: math.Inf(1)}
+	var candidates [][]float64
+	for _, d := range dirs {
+		pt, ok := shootRay(g, x0, d, opt.MaxSpan, opt.Tol*fscale)
+		if !ok {
+			continue
+		}
+		dist := euclid(pt, x0)
+		candidates = append(candidates, pt)
+		if dist < best.Dist {
+			best = Result{Point: pt, Dist: dist}
+		}
+	}
+	if math.IsInf(best.Dist, 1) {
+		return Result{Evals: evals}, fmt.Errorf("%w within span %g of %v", ErrNoBoundary, opt.MaxSpan, x0)
+	}
+
+	// --- Phase 2: tangential descent from the few best crossings -------
+	refineFrom := topK(candidates, x0, 3)
+	for _, start := range refineFrom {
+		pt, dist := tangentialDescent(f, g, level, x0, start, opt)
+		if dist < best.Dist {
+			best = Result{Point: pt, Dist: dist}
+		}
+	}
+
+	// --- Phase 3: Nelder–Mead penalty polish ----------------------------
+	if !opt.SkipPolish {
+		w := 1e4 * (1 + best.Dist*best.Dist) / (fscale * fscale)
+		penalty := func(x []float64) float64 {
+			dx := euclid(x, x0)
+			gv := f(x) - level
+			return dx*dx + w*gv*gv
+		}
+		px, _ := NelderMead(penalty, best.Point, NMOptions{
+			InitialStep: 0.05 * (best.Dist + 1e-9),
+			MaxEvals:    400 * n,
+		})
+		// Re-project the polished point exactly onto the boundary along the
+		// line through x0, so feasibility is not sacrificed for distance.
+		if proj, ok := projectThroughOrigin(g, x0, px, opt.MaxSpan, opt.Tol*fscale); ok {
+			if d := euclid(proj, x0); d < best.Dist {
+				best = Result{Point: proj, Dist: d}
+			}
+		}
+	}
+
+	best.Evals = evals
+	return best, nil
+}
+
+// probeDirections builds the deterministic direction set: ± basis vectors,
+// ± the gradient direction, and pseudo-random unit vectors.
+func probeDirections(f Func, x0 []float64, opt LevelSetOptions) [][]float64 {
+	n := len(x0)
+	var dirs [][]float64
+	for i := 0; i < n; i++ {
+		dp := make([]float64, n)
+		dp[i] = 1
+		dm := make([]float64, n)
+		dm[i] = -1
+		dirs = append(dirs, dp, dm)
+	}
+	grad := Gradient(f, x0)
+	if nrm := norm2(grad); nrm > 0 {
+		gp := make([]float64, n)
+		gm := make([]float64, n)
+		for i := range grad {
+			gp[i] = grad[i] / nrm
+			gm[i] = -grad[i] / nrm
+		}
+		dirs = append(dirs, gp, gm)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed1e7))
+	for k := 0; k < opt.Directions; k++ {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		if nrm := norm2(d); nrm > 0 {
+			for i := range d {
+				d[i] /= nrm
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs
+}
+
+// shootRay locates the first crossing of g along x0 + t·d, t > 0.
+func shootRay(g Func, x0, d []float64, maxSpan, tol float64) ([]float64, bool) {
+	line := func(t float64) float64 {
+		x := make([]float64, len(x0))
+		for i := range x {
+			x[i] = x0[i] + t*d[i]
+		}
+		return g(x)
+	}
+	a, b, err := BracketRoot(line, 0, 1e-3*(1+maxAbs(x0)), maxSpan)
+	if err != nil {
+		return nil, false
+	}
+	t, err := Brent(line, a, b, tol*1e-3)
+	if err != nil {
+		return nil, false
+	}
+	pt := make([]float64, len(x0))
+	for i := range pt {
+		pt[i] = x0[i] + t*d[i]
+	}
+	return pt, true
+}
+
+// projectThroughOrigin re-projects x onto the boundary along the ray from x0
+// through x.
+func projectThroughOrigin(g Func, x0, x []float64, maxSpan, tol float64) ([]float64, bool) {
+	d := make([]float64, len(x0))
+	for i := range d {
+		d[i] = x[i] - x0[i]
+	}
+	nrm := norm2(d)
+	if nrm == 0 {
+		return nil, false
+	}
+	for i := range d {
+		d[i] /= nrm
+	}
+	return shootRay(g, x0, d, maxSpan, tol)
+}
+
+// tangentialDescent slides a boundary point along the level set toward x0.
+// At each step the tangential component of (x − x0) is removed and the point
+// is re-projected onto the boundary along the local normal (falling back to
+// the ray through x0).
+func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt LevelSetOptions) ([]float64, float64) {
+	n := len(x0)
+	x := append([]float64(nil), start...)
+	dist := euclid(x, x0)
+	eta := 1.0
+	fscale := 1 + math.Abs(level)
+	for iter := 0; iter < opt.RefineIters; iter++ {
+		grad := Gradient(f, x)
+		gn := norm2(grad)
+		if gn == 0 {
+			break
+		}
+		// r = x − x0; tangential residual r_t = r − (r·n̂)n̂.
+		r := make([]float64, n)
+		var rDotN float64
+		for i := range r {
+			r[i] = x[i] - x0[i]
+			rDotN += r[i] * grad[i] / gn
+		}
+		rt := make([]float64, n)
+		var rtNorm float64
+		for i := range rt {
+			rt[i] = r[i] - rDotN*grad[i]/gn
+			rtNorm += rt[i] * rt[i]
+		}
+		rtNorm = math.Sqrt(rtNorm)
+		if rtNorm <= 1e-12*(1+dist) {
+			break // first-order optimal: (x − x0) ∥ ∇f
+		}
+		// Trial step along −r_t, then re-project onto the boundary.
+		improved := false
+		for ; eta > 1e-10; eta *= 0.5 {
+			trial := make([]float64, n)
+			for i := range trial {
+				trial[i] = x[i] - eta*rt[i]
+			}
+			proj, ok := reprojectNormal(g, trial, grad, gn, opt.MaxSpan, opt.Tol*fscale)
+			if !ok {
+				proj, ok = projectThroughOrigin(g, x0, trial, opt.MaxSpan, opt.Tol*fscale)
+			}
+			if !ok {
+				continue
+			}
+			if d := euclid(proj, x0); d < dist-1e-15*(1+dist) {
+				x, dist = proj, d
+				improved = true
+				eta = math.Min(eta*2, 1)
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return x, dist
+}
+
+// reprojectNormal root-finds along ± the normal direction from a near-
+// boundary point to land exactly on the level set.
+func reprojectNormal(g Func, x, grad []float64, gradNorm, maxSpan, tol float64) ([]float64, bool) {
+	d := make([]float64, len(x))
+	for i := range d {
+		d[i] = grad[i] / gradNorm
+	}
+	line := func(t float64) float64 {
+		y := make([]float64, len(x))
+		for i := range y {
+			y[i] = x[i] + t*d[i]
+		}
+		return g(y)
+	}
+	g0 := line(0)
+	if math.Abs(g0) <= tol {
+		return append([]float64(nil), x...), true
+	}
+	// Search the side that reduces |g| first; the crossing is nearby, so
+	// keep the bracket expansion tight.
+	span := 0.1 * (1 + maxAbs(x))
+	for _, sign := range []float64{-1, 1} {
+		dir := func(t float64) float64 { return line(sign * t) }
+		a, b, err := BracketRoot(dir, 0, 1e-6*(1+maxAbs(x)), span)
+		if err != nil {
+			continue
+		}
+		t, err := Brent(dir, a, b, tol*1e-3)
+		if err != nil {
+			continue
+		}
+		y := make([]float64, len(x))
+		for i := range y {
+			y[i] = x[i] + sign*t*d[i]
+		}
+		return y, true
+	}
+	return nil, false
+}
+
+// topK returns up to k candidate points nearest to x0.
+func topK(cands [][]float64, x0 []float64, k int) [][]float64 {
+	type scored struct {
+		pt []float64
+		d  float64
+	}
+	ss := make([]scored, len(cands))
+	for i, c := range cands {
+		ss[i] = scored{c, euclid(c, x0)}
+	}
+	// Simple selection of the k smallest — candidate counts are tiny.
+	out := make([][]float64, 0, k)
+	for len(out) < k && len(ss) > 0 {
+		bi := 0
+		for i := range ss {
+			if ss[i].d < ss[bi].d {
+				bi = i
+			}
+		}
+		out = append(out, ss[bi].pt)
+		ss = append(ss[:bi], ss[bi+1:]...)
+	}
+	return out
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func norm2(a []float64) float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

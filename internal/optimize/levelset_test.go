@@ -1,0 +1,198 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// planeDist is the analytic distance from x0 to {x : k·x = c}.
+func planeDist(k, x0 []float64, c float64) float64 {
+	var dot, nrm float64
+	for i := range k {
+		dot += k[i] * x0[i]
+		nrm += k[i] * k[i]
+	}
+	return math.Abs(dot-c) / math.Sqrt(nrm)
+}
+
+func TestNearestOnLevelSetHyperplane2D(t *testing.T) {
+	k := []float64{3, 4}
+	f := func(x []float64) float64 { return k[0]*x[0] + k[1]*x[1] }
+	x0 := []float64{1, 1}
+	const level = 32
+	res, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planeDist(k, x0, level) // |3+4−32|/5 = 5
+	if math.Abs(res.Dist-want) > 1e-6 {
+		t.Errorf("dist = %v, want %v", res.Dist, want)
+	}
+	if got := f(res.Point); math.Abs(got-level) > 1e-6 {
+		t.Errorf("returned point is off the boundary: f=%v", got)
+	}
+}
+
+func TestNearestOnLevelSetHyperplane5D(t *testing.T) {
+	k := []float64{1, -2, 0.5, 3, -1}
+	f := func(x []float64) float64 {
+		var s float64
+		for i := range k {
+			s += k[i] * x[i]
+		}
+		return s
+	}
+	x0 := []float64{2, 1, -1, 0.5, 3}
+	const level = 40
+	res, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planeDist(k, x0, level)
+	if math.Abs(res.Dist-want)/want > 1e-5 {
+		t.Errorf("dist = %v, want %v", res.Dist, want)
+	}
+}
+
+func TestNearestOnLevelSetSphere(t *testing.T) {
+	// f(x) = ‖x‖², level R²: nearest boundary point from x0 is at distance
+	// |R − ‖x0‖|.
+	f := func(x []float64) float64 {
+		var s float64
+		for _, xi := range x {
+			s += xi * xi
+		}
+		return s
+	}
+	x0 := []float64{1, 2, 2} // ‖x0‖ = 3
+	const radius = 5.0
+	res, err := NearestOnLevelSet(f, radius*radius, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist-2) > 1e-5 {
+		t.Errorf("dist = %v, want 2", res.Dist)
+	}
+}
+
+func TestNearestOnLevelSetProductCurve(t *testing.T) {
+	// Figure-1-like convex boundary: f(x, y) = x·y, level 4, from (1, 1).
+	// By symmetry the nearest point is (2, 2), distance √2.
+	f := func(x []float64) float64 { return x[0] * x[1] }
+	res, err := NearestOnLevelSet(f, 4, []float64{1, 1}, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist-math.Sqrt2) > 1e-5 {
+		t.Errorf("dist = %v, want √2", res.Dist)
+	}
+	if math.Abs(res.Point[0]-2) > 1e-4 || math.Abs(res.Point[1]-2) > 1e-4 {
+		t.Errorf("point = %v, want (2, 2)", res.Point)
+	}
+}
+
+func TestNearestOnLevelSetMaxBoundary(t *testing.T) {
+	// f = max(x, y): the boundary {max = 5} from (1, 2) has nearest point
+	// (1, 5) at distance 3 — tests the non-smooth path.
+	f := func(x []float64) float64 { return math.Max(x[0], x[1]) }
+	res, err := NearestOnLevelSet(f, 5, []float64{1, 2}, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist-3) > 1e-4 {
+		t.Errorf("dist = %v, want 3", res.Dist)
+	}
+}
+
+func TestNearestOnLevelSetAlreadyOnBoundary(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] + x[1] }
+	res, err := NearestOnLevelSet(f, 3, []float64{1, 2}, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist != 0 {
+		t.Errorf("already on boundary: dist = %v", res.Dist)
+	}
+}
+
+func TestNearestOnLevelSetUnreachable(t *testing.T) {
+	// f ≡ 0 can never reach level 1: must report ErrNoBoundary.
+	f := func(x []float64) float64 { return 0 }
+	_, err := NearestOnLevelSet(f, 1, []float64{0, 0}, LevelSetOptions{MaxSpan: 100})
+	if err == nil {
+		t.Fatal("unreachable level must error")
+	}
+}
+
+func TestNearestOnLevelSetEmptyOrigin(t *testing.T) {
+	f := func(x []float64) float64 { return 0 }
+	if _, err := NearestOnLevelSet(f, 1, nil, LevelSetOptions{}); err == nil {
+		t.Error("empty origin must error")
+	}
+}
+
+func TestPropNearestHyperplaneMatchesClosedForm(t *testing.T) {
+	// Random hyperplanes in random dimensions: numeric vs. analytic distance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		k := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := range k {
+			k[i] = rng.Float64()*4 + 0.5 // positive, bounded away from 0
+			x0[i] = rng.Float64()*5 + 0.5
+		}
+		field := func(x []float64) float64 {
+			var s float64
+			for i := range k {
+				s += k[i] * x[i]
+			}
+			return s
+		}
+		orig := field(x0)
+		level := orig * (1.2 + rng.Float64()) // boundary strictly above
+		res, err := NearestOnLevelSet(field, level, x0, LevelSetOptions{Seed: seed})
+		if err != nil {
+			return false
+		}
+		want := planeDist(k, x0, level)
+		return math.Abs(res.Dist-want) <= 1e-4*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBoundaryFeasibility(t *testing.T) {
+	// Whatever point the solver returns must actually lie on the level set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*2 + 0.5
+		b := rng.Float64()*2 + 0.5
+		field := func(x []float64) float64 { return a*x[0]*x[0] + b*x[1]*x[1] }
+		x0 := []float64{rng.Float64(), rng.Float64()}
+		level := field(x0) + 1 + rng.Float64()*10
+		res, err := NearestOnLevelSet(field, level, x0, LevelSetOptions{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return math.Abs(field(res.Point)-level) < 1e-5*(1+math.Abs(level))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestOnLevelSetEllipse(t *testing.T) {
+	// f = x²/4 + y², level 1, from origin: nearest point (0, ±1), dist 1.
+	f := func(x []float64) float64 { return x[0]*x[0]/4 + x[1]*x[1] }
+	res, err := NearestOnLevelSet(f, 1, []float64{0, 0}, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist-1) > 1e-5 {
+		t.Errorf("dist = %v, want 1 (semi-minor axis)", res.Dist)
+	}
+}

@@ -1,0 +1,178 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// NMOptions configure the Nelder–Mead simplex search.
+type NMOptions struct {
+	// InitialStep sets the edge length of the starting simplex. Zero selects
+	// a step scaled to the starting point.
+	InitialStep float64
+	// TolF stops the search when the simplex function-value spread falls
+	// below this. Zero selects 1e-12.
+	TolF float64
+	// TolX stops the search when the simplex diameter falls below this.
+	// Zero selects 1e-10.
+	TolX float64
+	// MaxEvals bounds the number of function evaluations. Zero selects
+	// 2000·n.
+	MaxEvals int
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
+// simplex method with adaptive parameters (Gao & Han 2012) for robustness in
+// higher dimensions. It returns the best point found and its value. The
+// method is derivative-free, which matters because impact functions f_ij may
+// be piecewise (max over machines, max over paths) and hence non-smooth.
+func NelderMead(f Func, x0 []float64, opt NMOptions) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	if opt.TolF <= 0 {
+		opt.TolF = 1e-12
+	}
+	if opt.TolX <= 0 {
+		opt.TolX = 1e-10
+	}
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 2000 * n
+	}
+	step := opt.InitialStep
+	if step <= 0 {
+		scale := 0.0
+		for _, x := range x0 {
+			if a := math.Abs(x); a > scale {
+				scale = a
+			}
+		}
+		step = 0.1
+		if scale > 0 {
+			step = 0.1 * scale
+		}
+	}
+
+	// Adaptive coefficients.
+	nf := float64(n)
+	alpha := 1.0             // reflection
+	beta := 1 + 2/nf         // expansion
+	gamma := 0.75 - 1/(2*nf) // contraction
+	delta := 1 - 1/nf        // shrink
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: append([]float64(nil), x0...)}
+	simplex[0].f = eval(simplex[0].x)
+	for i := 1; i <= n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i-1] += step
+		simplex[i] = vertex{x: x, f: eval(x)}
+	}
+
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+
+	for evals < opt.MaxEvals {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		best, worst := simplex[0], simplex[n]
+
+		// Convergence: function spread and simplex diameter.
+		if math.Abs(worst.f-best.f) <= opt.TolF*(1+math.Abs(best.f)) {
+			diam := 0.0
+			for i := 1; i <= n; i++ {
+				for j := 0; j < n; j++ {
+					if d := math.Abs(simplex[i].x[j] - best.x[j]); d > diam {
+						diam = d
+					}
+				}
+			}
+			if diam <= opt.TolX*(1+maxAbs(best.x)) {
+				break
+			}
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += simplex[i].x[j]
+			}
+			centroid[j] = s / nf
+		}
+
+		// Reflect.
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < best.f:
+			// Expand.
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + beta*(xr[j]-centroid[j])
+			}
+			fe := eval(xe)
+			if fe < fr {
+				copy(simplex[n].x, xe)
+				simplex[n].f = fe
+			} else {
+				copy(simplex[n].x, xr)
+				simplex[n].f = fr
+			}
+		case fr < simplex[n-1].f:
+			copy(simplex[n].x, xr)
+			simplex[n].f = fr
+		default:
+			// Contract (outside if the reflected point improved on the
+			// worst, inside otherwise).
+			if fr < worst.f {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] - gamma*(centroid[j]-worst.x[j])
+				}
+			}
+			fc := eval(xc)
+			if fc < math.Min(fr, worst.f) {
+				copy(simplex[n].x, xc)
+				simplex[n].f = fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = best.x[j] + delta*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return simplex[0].x, simplex[0].f
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadSphere(t *testing.T) {
+	f := func(x []float64) float64 {
+		var s float64
+		for _, xi := range x {
+			s += xi * xi
+		}
+		return s
+	}
+	x, fv := NelderMead(f, []float64{3, -2, 1, 4, -5}, NMOptions{})
+	if fv > 1e-10 {
+		t.Errorf("sphere min value = %v at %v", fv, x)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fv := NelderMead(f, []float64{-1.2, 1}, NMOptions{MaxEvals: 20000})
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]-1) > 1e-4 {
+		t.Errorf("Rosenbrock min at %v (f=%v), want (1,1)", x, fv)
+	}
+}
+
+func TestNelderMeadShiftedQuadratic(t *testing.T) {
+	target := []float64{2, -3, 5}
+	f := func(x []float64) float64 {
+		var s float64
+		for i, xi := range x {
+			d := xi - target[i]
+			s += d * d
+		}
+		return s
+	}
+	x, _ := NelderMead(f, []float64{0, 0, 0}, NMOptions{})
+	for i := range target {
+		if math.Abs(x[i]-target[i]) > 1e-5 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], target[i])
+		}
+	}
+}
+
+func TestNelderMeadNonSmooth(t *testing.T) {
+	// f = max(|x−1|, |y+2|) is non-smooth; derivative-free search must
+	// still find the minimizer (1, −2).
+	f := func(x []float64) float64 {
+		return math.Max(math.Abs(x[0]-1), math.Abs(x[1]+2))
+	}
+	x, fv := NelderMead(f, []float64{10, 10}, NMOptions{MaxEvals: 20000})
+	if fv > 1e-5 {
+		t.Errorf("non-smooth min value = %v at %v", fv, x)
+	}
+}
+
+func TestNelderMeadRespectsMaxEvals(t *testing.T) {
+	evals := 0
+	f := func(x []float64) float64 {
+		evals++
+		return x[0] * x[0]
+	}
+	NelderMead(f, []float64{100}, NMOptions{MaxEvals: 50})
+	// The shrink step can add up to n evaluations beyond the check.
+	if evals > 60 {
+		t.Errorf("used %d evaluations with MaxEvals=50", evals)
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	called := false
+	f := func(x []float64) float64 { called = true; return 0 }
+	_, fv := NelderMead(f, nil, NMOptions{})
+	if !called || fv != 0 {
+		t.Error("empty input should evaluate f once and return it")
+	}
+}
+
+func TestNelderMeadInitialStepHonored(t *testing.T) {
+	// A minimum far from the start needs expansion; ensure a custom initial
+	// step still converges.
+	f := func(x []float64) float64 { d := x[0] - 1000; return d * d }
+	x, _ := NelderMead(f, []float64{0}, NMOptions{InitialStep: 1, MaxEvals: 10000})
+	if math.Abs(x[0]-1000) > 1e-3 {
+		t.Errorf("x = %v, want 1000", x[0])
+	}
+}

@@ -1,0 +1,154 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when a sign-changing interval cannot be found.
+var ErrNoBracket = errors.New("optimize: could not bracket a root")
+
+// ErrMaxIter is returned when an iterative method exhausts its budget
+// without meeting its tolerance.
+var ErrMaxIter = errors.New("optimize: iteration limit reached")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs (an endpoint that is exactly zero is returned immediately).
+// The result is within tol of a true root.
+func Bisect(f Func1, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, fmt.Errorf("%w: f(%g)=%g and f(%g)=%g have the same sign", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		if b-a < tol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). It converges superlinearly for
+// smooth f and never worse than bisection. f(a) and f(b) must bracket a root.
+func Brent(f Func1, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, fmt.Errorf("%w: Brent needs a sign change on [%g, %g]", ErrNoBracket, a, b)
+	}
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the best iterate.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if (fa > 0) != (fs > 0) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}
+
+// BracketRoot searches for a sign change of g on t ≥ t0, expanding the probed
+// span geometrically from the given initial step up to maxSpan. Each
+// expansion interval is subdivided so that narrow crossings (a level set
+// entered and left again within one interval, e.g. a ray grazing a small
+// ellipsoid) are not stepped over. It returns (a, b) with g(a)·g(b) ≤ 0.
+func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
+	if step <= 0 {
+		step = 1e-3
+	}
+	const subdiv = 4
+	ga := g(t0)
+	if ga == 0 {
+		return t0, t0, nil
+	}
+	prev, gprev := t0, ga
+	for span := step; ; span *= 1.8 {
+		if span > maxSpan {
+			span = maxSpan
+		}
+		next := t0 + span
+		for i := 1; i <= subdiv; i++ {
+			x := prev + (next-prev)*float64(i)/subdiv
+			gx := g(x)
+			if gx == 0 || (gprev > 0) != (gx > 0) {
+				return prev, x, nil
+			}
+			prev, gprev = x, gx
+		}
+		if span >= maxSpan {
+			break
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: no sign change within span %g from %g", ErrNoBracket, maxSpan, t0)
+}

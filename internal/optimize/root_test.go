@@ -1,0 +1,142 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectKnownRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x }, 0, 5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0 {
+		t.Errorf("root = %v, want exact endpoint 0", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); err == nil {
+		t.Error("no sign change must error")
+	}
+}
+
+func TestBrentKnownRoots(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cos", math.Cos, 0, 3, math.Pi / 2},
+		{"cubic", func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+	}
+	for _, c := range cases {
+		root, err := Brent(c.f, c.a, c.b, 1e-14)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(root-c.want) > 1e-9 {
+			t.Errorf("%s: root = %v, want %v", c.name, root, c.want)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-12); err == nil {
+		t.Error("Brent without sign change must error")
+	}
+}
+
+func TestBracketRoot(t *testing.T) {
+	g := func(tt float64) float64 { return tt - 7 }
+	a, b, err := BracketRoot(g, 0, 0.5, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(g(a) <= 0 && g(b) >= 0) {
+		t.Errorf("bracket [%v, %v] does not straddle the root", a, b)
+	}
+}
+
+func TestBracketRootGivesUp(t *testing.T) {
+	g := func(tt float64) float64 { return 1 + tt } // never crosses for t > 0
+	if _, _, err := BracketRoot(g, 0, 1, 100); err == nil {
+		t.Error("must report no bracket")
+	}
+}
+
+func TestBracketRootImmediate(t *testing.T) {
+	g := func(tt float64) float64 { return tt }
+	a, b, err := BracketRoot(g, 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 0 {
+		t.Errorf("exact zero at start should return (0,0), got (%v,%v)", a, b)
+	}
+}
+
+func TestPropBrentFindsLinearRoots(t *testing.T) {
+	f := func(slope, offset int8) bool {
+		m := float64(slope)
+		if m == 0 {
+			return true
+		}
+		c := float64(offset)
+		root := -c / m
+		lin := func(x float64) float64 { return m*x + c }
+		got, err := Brent(lin, root-10, root+10, 1e-13)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-root) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradientPolynomial(t *testing.T) {
+	// f(x, y) = x² + 3xy + y³ ⇒ ∇f = (2x+3y, 3x+3y²).
+	f := func(x []float64) float64 { return x[0]*x[0] + 3*x[0]*x[1] + x[1]*x[1]*x[1] }
+	g := Gradient(f, []float64{2, -1})
+	want := []float64{2*2 + 3*(-1), 3*2 + 3*1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-6 {
+			t.Errorf("grad[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestGradientLargeMagnitude(t *testing.T) {
+	// Step scaling must keep relative accuracy at large |x|.
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	g := Gradient(f, []float64{1e6})
+	if math.Abs(g[0]-2e6)/2e6 > 1e-6 {
+		t.Errorf("grad = %v, want 2e6", g[0])
+	}
+}
+
+func TestDirectional(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + x[1] }
+	d := []float64{1 / math.Sqrt2, 1 / math.Sqrt2}
+	got := Directional(f, []float64{1, 0}, d)
+	want := (2*1)*d[0] + 1*d[1]
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("directional = %v, want %v", got, want)
+	}
+}

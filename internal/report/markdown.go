@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the table as GitHub-flavored Markdown, with the
+// title as a bold caption line. Pipes inside cells are escaped.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, cell := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(cell, "|", `\|`))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	b.WriteByte('|')
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown renders the Markdown form as a string.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	t.WriteMarkdown(&b)
+	return b.String()
+}

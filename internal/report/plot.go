@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a named set of (x, y) points for the ASCII plot.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Mark is the rune plotted for this series ('*' default).
+	Mark rune
+}
+
+// Plot renders one or more series on a shared-axis ASCII canvas. It is used
+// to regenerate the paper's Figure 1 (the boundary curve, the original
+// operating point, and the nearest boundary point) in a terminal.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // canvas columns (default 64)
+	Height int // canvas rows (default 20)
+	Series []Series
+}
+
+// Add appends a series.
+func (p *Plot) Add(s Series) { p.Series = append(p.Series, s) }
+
+// WriteText renders the plot.
+func (p *Plot) WriteText(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	// Bounds over all series.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	var points int
+	for _, s := range p.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("report: plot %q has no points", p.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range p.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				canvas[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	legend := make([]string, 0, len(p.Series))
+	for _, s := range p.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	}
+	fmt.Fprintf(&b, "%s: [%.4g, %.4g]\n", labelOr(p.YLabel, "y"), ymin, ymax)
+	for _, row := range canvas {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s: [%.4g, %.4g]\n", labelOr(p.XLabel, "x"), xmin, xmax)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func labelOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// String renders the plot to a string (empty on error).
+func (p *Plot) String() string {
+	var b strings.Builder
+	if err := p.WriteText(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("long-name-here", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Error("missing cells")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("line count = %d: %q", len(lines), out)
+	}
+	// Alignment: both data rows start their second column at the same rune
+	// offset.
+	idx1 := strings.Index(lines[3], "1.5")
+	idx2 := strings.Index(lines[4], "42")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d", idx1, idx2)
+	}
+}
+
+func TestTableCellFormats(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow(int64(7))
+	tb.AddRow(uint64(8))
+	tb.AddRow(true)
+	tb.AddRow(float32(2.5))
+	tb.AddRow([]int{1, 2})
+	out := tb.String()
+	for _, want := range []string{"7", "8", "true", "2.5", "[1 2]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	tb.AddRow("plain", 3)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Error("comma cell must be quoted")
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Error("quote cell must be escaped")
+	}
+	if !strings.Contains(out, "plain,3\n") {
+		t.Error("plain row wrong")
+	}
+}
+
+func TestPlotBasic(t *testing.T) {
+	p := &Plot{Title: "curve", XLabel: "pi1", YLabel: "pi2", Width: 40, Height: 10}
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	p.Add(Series{Name: "boundary", X: xs, Y: ys, Mark: 'o'})
+	p.Add(Series{Name: "orig", X: []float64{5}, Y: []float64{100}, Mark: '+'})
+	out := p.String()
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "o=boundary") || !strings.Contains(out, "+=orig") {
+		t.Errorf("plot chrome missing: %q", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Error("marks missing from canvas")
+	}
+	if !strings.Contains(out, "pi1") || !strings.Contains(out, "pi2") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestPlotEmptyErrors(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var b strings.Builder
+	if err := p.WriteText(&b); err == nil {
+		t.Error("plot with no points must error")
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := &Plot{Width: 10, Height: 5}
+	p.Add(Series{Name: "pt", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if p.String() == "" {
+		t.Error("degenerate-range plot should still render")
+	}
+}
+
+func TestPlotSkipsNaN(t *testing.T) {
+	p := &Plot{Width: 10, Height: 5}
+	nan := 0.0
+	nan = nan / nan
+	p.Add(Series{Name: "s", X: []float64{nan, 1, 2}, Y: []float64{1, nan, 2}})
+	out := p.String()
+	if out == "" {
+		t.Error("plot with some NaNs should render the finite points")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("Cap", "a", "b|c")
+	tb.AddRow("x|y", 2)
+	out := tb.Markdown()
+	if !strings.Contains(out, "**Cap**") {
+		t.Error("caption missing")
+	}
+	if !strings.Contains(out, `| a | b\|c |`) {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(out, `| x\|y | 2 |`) {
+		t.Errorf("row wrong: %q", out)
+	}
+}
+
+func TestMarkdownNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	out := tb.Markdown()
+	if strings.Contains(out, "**") {
+		t.Error("empty title must not render a caption")
+	}
+}

@@ -1,0 +1,194 @@
+// Package scenario serializes the substrate systems to and from JSON so
+// experiments and command-line tools can persist, share, and replay exact
+// configurations. The formats are versioned and validated on load.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"fepia/internal/dag"
+	"fepia/internal/etc"
+	"fepia/internal/hiperd"
+	"fepia/internal/vec"
+)
+
+// Version is written into every document; Load rejects unknown versions.
+const Version = 1
+
+// ErrVersion reports an unsupported document version.
+var ErrVersion = errors.New("scenario: unsupported version")
+
+// hiperdDoc is the JSON shape of a hiperd.System.
+type hiperdDoc struct {
+	Version    int          `json:"version"`
+	Kind       string       `json:"kind"` // "hiperd"
+	Apps       []appDoc     `json:"apps"`
+	Edges      [][2]int     `json:"edges"`
+	MsgSizes   []float64    `json:"msgSizes"`
+	Machines   []machineDoc `json:"machines"`
+	Bandwidth  float64      `json:"bandwidth"`
+	LinkBW     []linkBWDoc  `json:"linkBW,omitempty"`
+	Alloc      []int        `json:"alloc"`
+	Rate       float64      `json:"rate"`
+	LatencyMax float64      `json:"latencyMax"`
+}
+
+type appDoc struct {
+	Name     string  `json:"name"`
+	BaseExec float64 `json:"baseExec"`
+}
+
+type machineDoc struct {
+	Name  string  `json:"name"`
+	Speed float64 `json:"speed"`
+}
+
+type linkBWDoc struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Bandwidth float64 `json:"bw"`
+}
+
+// SaveHiPerD writes the system as indented JSON.
+func SaveHiPerD(w io.Writer, s *hiperd.System) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("scenario: refusing to save invalid system: %w", err)
+	}
+	doc := hiperdDoc{
+		Version:    Version,
+		Kind:       "hiperd",
+		Edges:      s.Graph.Edges(),
+		MsgSizes:   append([]float64(nil), s.MsgSizes...),
+		Bandwidth:  s.Bandwidth,
+		Alloc:      append([]int(nil), s.Alloc...),
+		Rate:       s.Rate,
+		LatencyMax: s.LatencyMax,
+	}
+	for _, a := range s.Apps {
+		doc.Apps = append(doc.Apps, appDoc{Name: a.Name, BaseExec: a.BaseExec})
+	}
+	for _, m := range s.Machines {
+		doc.Machines = append(doc.Machines, machineDoc{Name: m.Name, Speed: m.Speed})
+	}
+	for pair, bw := range s.LinkBW {
+		doc.LinkBW = append(doc.LinkBW, linkBWDoc{From: pair[0], To: pair[1], Bandwidth: bw})
+	}
+	sort.Slice(doc.LinkBW, func(a, b int) bool {
+		if doc.LinkBW[a].From != doc.LinkBW[b].From {
+			return doc.LinkBW[a].From < doc.LinkBW[b].From
+		}
+		return doc.LinkBW[a].To < doc.LinkBW[b].To
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadHiPerD reads and validates a system saved by SaveHiPerD.
+func LoadHiPerD(r io.Reader) (*hiperd.System, error) {
+	var doc hiperdDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, doc.Version, Version)
+	}
+	if doc.Kind != "hiperd" {
+		return nil, fmt.Errorf("scenario: document kind %q, want %q", doc.Kind, "hiperd")
+	}
+	g, err := dag.New(len(doc.Apps))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	for _, e := range doc.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	s := &hiperd.System{
+		Graph:      g,
+		MsgSizes:   vec.V(doc.MsgSizes),
+		Bandwidth:  doc.Bandwidth,
+		Alloc:      doc.Alloc,
+		Rate:       doc.Rate,
+		LatencyMax: doc.LatencyMax,
+	}
+	for _, a := range doc.Apps {
+		s.Apps = append(s.Apps, hiperd.App{Name: a.Name, BaseExec: a.BaseExec})
+	}
+	for _, m := range doc.Machines {
+		s.Machines = append(s.Machines, hiperd.Machine{Name: m.Name, Speed: m.Speed})
+	}
+	if len(doc.LinkBW) > 0 {
+		s.LinkBW = make(map[[2]int]float64, len(doc.LinkBW))
+		for _, l := range doc.LinkBW {
+			s.LinkBW[[2]int{l.From, l.To}] = l.Bandwidth
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: loaded system invalid: %w", err)
+	}
+	return s, nil
+}
+
+// makespanDoc is the JSON shape of an ETC matrix plus allocation.
+type makespanDoc struct {
+	Version int         `json:"version"`
+	Kind    string      `json:"kind"` // "makespan"
+	ETC     [][]float64 `json:"etc"`
+	Alloc   []int       `json:"alloc,omitempty"`
+}
+
+// SaveMakespan writes an ETC matrix and optional allocation as JSON.
+func SaveMakespan(w io.Writer, m *etc.Matrix, alloc []int) error {
+	if m == nil || m.Tasks == 0 || m.Machines == 0 {
+		return errors.New("scenario: refusing to save empty ETC matrix")
+	}
+	if alloc != nil && len(alloc) != m.Tasks {
+		return fmt.Errorf("scenario: alloc has %d entries for %d tasks", len(alloc), m.Tasks)
+	}
+	doc := makespanDoc{Version: Version, Kind: "makespan", ETC: m.Data, Alloc: alloc}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadMakespan reads a matrix (and allocation, possibly nil) saved by
+// SaveMakespan.
+func LoadMakespan(r io.Reader) (*etc.Matrix, []int, error) {
+	var doc makespanDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, doc.Version, Version)
+	}
+	if doc.Kind != "makespan" {
+		return nil, nil, fmt.Errorf("scenario: document kind %q, want %q", doc.Kind, "makespan")
+	}
+	if len(doc.ETC) == 0 || len(doc.ETC[0]) == 0 {
+		return nil, nil, errors.New("scenario: empty ETC matrix")
+	}
+	cols := len(doc.ETC[0])
+	for t, row := range doc.ETC {
+		if len(row) != cols {
+			return nil, nil, fmt.Errorf("scenario: ragged ETC row %d", t)
+		}
+	}
+	m := &etc.Matrix{Tasks: len(doc.ETC), Machines: cols, Data: doc.ETC}
+	if doc.Alloc != nil {
+		if len(doc.Alloc) != m.Tasks {
+			return nil, nil, fmt.Errorf("scenario: alloc has %d entries for %d tasks", len(doc.Alloc), m.Tasks)
+		}
+		for t, j := range doc.Alloc {
+			if j < 0 || j >= m.Machines {
+				return nil, nil, fmt.Errorf("scenario: alloc[%d] = %d out of range", t, j)
+			}
+		}
+	}
+	return m, doc.Alloc, nil
+}

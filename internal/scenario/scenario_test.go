@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fepia/internal/etc"
+	"fepia/internal/stats"
+	"fepia/internal/workload"
+)
+
+func TestHiPerDRoundTrip(t *testing.T) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveHiPerD(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadHiPerD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Apps) != len(sys.Apps) || len(back.Machines) != len(sys.Machines) {
+		t.Fatalf("shape changed: %d/%d apps, %d/%d machines",
+			len(back.Apps), len(sys.Apps), len(back.Machines), len(sys.Machines))
+	}
+	if !back.MsgSizes.EqualApprox(sys.MsgSizes, 0) {
+		t.Error("message sizes changed")
+	}
+	if !back.OrigExecTimes().EqualApprox(sys.OrigExecTimes(), 0) {
+		t.Error("exec times changed")
+	}
+	if back.Rate != sys.Rate || back.LatencyMax != sys.LatencyMax || back.Bandwidth != sys.Bandwidth {
+		t.Error("scalars changed")
+	}
+	// The analyses must agree exactly.
+	a1, err := sys.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := back.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Features) != len(a2.Features) || a1.TotalDim() != a2.TotalDim() {
+		t.Error("round-tripped analysis differs")
+	}
+}
+
+func TestLoadHiPerDRejectsBadDocs(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "{"},
+		{"bad version", `{"version": 9, "kind": "hiperd"}`},
+		{"bad kind", `{"version": 1, "kind": "makespan"}`},
+		{"invalid system", `{"version": 1, "kind": "hiperd", "apps": [], "edges": [], "machines": []}`},
+		{"bad edge", `{"version": 1, "kind": "hiperd",
+			"apps": [{"name":"a","baseExec":0.1}],
+			"edges": [[0, 5]],
+			"machines": [{"name":"m","speed":1}],
+			"msgSizes": [100], "bandwidth": 1e6, "alloc": [0], "rate": 1, "latencyMax": 1}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadHiPerD(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSaveHiPerDRejectsInvalid(t *testing.T) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Rate = -1
+	var buf bytes.Buffer
+	if err := SaveHiPerD(&buf, sys); err == nil {
+		t.Error("invalid system must not serialize")
+	}
+}
+
+func TestMakespanRoundTrip(t *testing.T) {
+	m, err := etc.CVB(etc.CVBParams{Tasks: 10, Machines: 3, MeanTask: 5, TaskCV: 0.3, MachineCV: 0.3},
+		stats.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}
+	var buf bytes.Buffer
+	if err := SaveMakespan(&buf, m, alloc); err != nil {
+		t.Fatal(err)
+	}
+	m2, alloc2, err := LoadMakespan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Tasks != 10 || m2.Machines != 3 {
+		t.Fatalf("shape %dx%d", m2.Tasks, m2.Machines)
+	}
+	for t2 := range m.Data {
+		for j := range m.Data[t2] {
+			if m.Data[t2][j] != m2.Data[t2][j] {
+				t.Fatal("ETC values changed")
+			}
+		}
+	}
+	for i := range alloc {
+		if alloc[i] != alloc2[i] {
+			t.Fatal("alloc changed")
+		}
+	}
+}
+
+func TestMakespanNilAlloc(t *testing.T) {
+	m := &etc.Matrix{Tasks: 2, Machines: 2, Data: [][]float64{{1, 2}, {3, 4}}}
+	var buf bytes.Buffer
+	if err := SaveMakespan(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, alloc, err := LoadMakespan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc != nil {
+		t.Errorf("expected nil alloc, got %v", alloc)
+	}
+}
+
+func TestMakespanErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveMakespan(&buf, &etc.Matrix{}, nil); err == nil {
+		t.Error("empty matrix must not save")
+	}
+	m := &etc.Matrix{Tasks: 2, Machines: 2, Data: [][]float64{{1, 2}, {3, 4}}}
+	if err := SaveMakespan(&buf, m, []int{0}); err == nil {
+		t.Error("short alloc must not save")
+	}
+	bad := []string{
+		`{"version": 2, "kind": "makespan", "etc": [[1]]}`,
+		`{"version": 1, "kind": "hiperd", "etc": [[1]]}`,
+		`{"version": 1, "kind": "makespan", "etc": []}`,
+		`{"version": 1, "kind": "makespan", "etc": [[1, 2], [3]]}`,
+		`{"version": 1, "kind": "makespan", "etc": [[1, 2]], "alloc": [5]}`,
+		`{"version": 1, "kind": "makespan", "etc": [[1, 2]], "alloc": [0, 1]}`,
+	}
+	for i, doc := range bad {
+		if _, _, err := LoadMakespan(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHiPerDLinkBWRoundTrip(t *testing.T) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.LinkBW = map[[2]int]float64{{0, 1}: 12345, {2, 3}: 67890}
+	var buf bytes.Buffer
+	if err := SaveHiPerD(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadHiPerD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LinkBandwidth(0, 1) != 12345 || back.LinkBandwidth(2, 3) != 67890 {
+		t.Errorf("link overrides lost: %v", back.LinkBW)
+	}
+	if back.LinkBandwidth(1, 0) != sys.Bandwidth {
+		t.Error("non-overridden pair must fall back to default")
+	}
+}

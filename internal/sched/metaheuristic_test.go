@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"testing"
+
+	"fepia/internal/etc"
+	"fepia/internal/stats"
+)
+
+func TestObjectiveKnown(t *testing.T) {
+	m := tiny() // t0: [1,10], t1: [10,1], t2: [2,2]
+	// alloc {0,1,0}: loads (3, 1), counts (2, 1). bound 5:
+	// m0: (5-3)/sqrt(2) = 1.414, m1: (5-1)/1 = 4 → rho = 1.414.
+	got := objective(m, []int{0, 1, 0}, 5)
+	want := 2 / sqrt2
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("objective = %v, want %v", got, want)
+	}
+}
+
+const sqrt2 = 1.4142135623730951
+
+func TestAnnealImprovesOrMatchesMinMin(t *testing.T) {
+	src := stats.NewSource(31)
+	const tau = 1.3
+	for i := 0; i < 10; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 24, Machines: 4, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := tau * makespanOf(m, mm)
+		sa, err := Anneal(AnnealOptions{Tau: tau, Seed: int64(i), Steps: 2000})(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validAlloc(t, m, sa, nil)
+		if objective(m, sa, bound) < objective(m, mm, bound)-1e-9 {
+			t.Fatalf("instance %d: annealing below its own starting point", i)
+		}
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	m := tiny()
+	h := Anneal(AnnealOptions{Tau: 1.3, Seed: 5, Steps: 500})
+	a1, err := h(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := h(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("annealing must be deterministic per seed")
+		}
+	}
+}
+
+func TestAnnealBadTau(t *testing.T) {
+	if _, err := Anneal(AnnealOptions{Tau: 1})(tiny()); err == nil {
+		t.Error("tau <= 1 must error")
+	}
+}
+
+func TestGeneticImprovesOrMatchesMinMin(t *testing.T) {
+	src := stats.NewSource(41)
+	const tau = 1.3
+	for i := 0; i < 5; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 20, Machines: 4, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := tau * makespanOf(m, mm)
+		ga, err := Genetic(GAOptions{Tau: tau, Seed: int64(i), Generations: 40, Population: 24})(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validAlloc(t, m, ga, nil)
+		// Min-Min is in the seed population with elitism: the GA result can
+		// never be worse.
+		if objective(m, ga, bound) < objective(m, mm, bound)-1e-9 {
+			t.Fatalf("instance %d: GA lost to a seed individual", i)
+		}
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	m := tiny()
+	h := Genetic(GAOptions{Tau: 1.3, Seed: 9, Generations: 10, Population: 10})
+	a1, err := h(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := h(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("GA must be deterministic per seed")
+		}
+	}
+}
+
+func TestGeneticBadTau(t *testing.T) {
+	if _, err := Genetic(GAOptions{Tau: 0.5})(tiny()); err == nil {
+		t.Error("tau <= 1 must error")
+	}
+}
+
+func TestMetaheuristicsRejectEmpty(t *testing.T) {
+	if _, err := Anneal(AnnealOptions{Tau: 1.3})(&etc.Matrix{}); err == nil {
+		t.Error("empty matrix must error")
+	}
+	if _, err := Genetic(GAOptions{Tau: 1.3})(&etc.Matrix{}); err == nil {
+		t.Error("empty matrix must error")
+	}
+}
+
+func TestMetaheuristicsBeatGreedyOnAverage(t *testing.T) {
+	// On mid-size instances the annealer should usually reach at least the
+	// hill-climber's robustness (both optimize the same objective; SA has
+	// more moves available).
+	src := stats.NewSource(55)
+	const tau = 1.25
+	wins, trials := 0, 10
+	for i := 0; i < trials; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 24, Machines: 4, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := tau * makespanOf(m, mm)
+		hc, err := HillClimbRobust(MinMin, tau, 0)(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := Anneal(AnnealOptions{Tau: tau, Seed: int64(i), Steps: 5000})(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if objective(m, sa, bound) >= objective(m, hc, bound)-1e-9 {
+			wins++
+		}
+	}
+	if wins < trials/2 {
+		t.Errorf("annealing matched hill climbing only %d/%d times", wins, trials)
+	}
+}

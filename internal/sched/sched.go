@@ -1,0 +1,416 @@
+// Package sched implements the classical independent-task mapping heuristics
+// of the heterogeneous-computing literature (OLB, MET, MCT, Min-Min,
+// Max-Min, Sufferage, and friends) plus robustness-aware variants. The
+// experiments rank the allocations these heuristics produce by estimated
+// makespan and by the paper's robustness metric — demonstrating that the
+// minimum-makespan mapping is not the most robust one, which is the
+// motivation for a robustness metric in the first place.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fepia/internal/etc"
+	"fepia/internal/stats"
+)
+
+// Heuristic maps an ETC matrix to an allocation (task → machine).
+type Heuristic func(m *etc.Matrix) ([]int, error)
+
+// ErrEmpty is returned for matrices without tasks or machines.
+var ErrEmpty = errors.New("sched: empty ETC matrix")
+
+func check(m *etc.Matrix) error {
+	if m == nil || m.Tasks == 0 || m.Machines == 0 {
+		return ErrEmpty
+	}
+	return nil
+}
+
+// RoundRobin assigns task t to machine t mod M — the naive baseline.
+func RoundRobin(m *etc.Matrix) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	alloc := make([]int, m.Tasks)
+	for t := range alloc {
+		alloc[t] = t % m.Machines
+	}
+	return alloc, nil
+}
+
+// MET assigns every task to its minimum-execution-time machine, ignoring
+// load. Fast but collapses onto the fastest machine in consistent matrices.
+func MET(m *etc.Matrix) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	alloc := make([]int, m.Tasks)
+	for t := 0; t < m.Tasks; t++ {
+		best := 0
+		for j := 1; j < m.Machines; j++ {
+			if m.At(t, j) < m.At(t, best) {
+				best = j
+			}
+		}
+		alloc[t] = best
+	}
+	return alloc, nil
+}
+
+// OLB (opportunistic load balancing) assigns each task, in index order, to
+// the machine that becomes available earliest, ignoring execution times.
+func OLB(m *etc.Matrix) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	alloc := make([]int, m.Tasks)
+	avail := make([]float64, m.Machines)
+	for t := 0; t < m.Tasks; t++ {
+		best := 0
+		for j := 1; j < m.Machines; j++ {
+			if avail[j] < avail[best] {
+				best = j
+			}
+		}
+		alloc[t] = best
+		avail[best] += m.At(t, best)
+	}
+	return alloc, nil
+}
+
+// MCT assigns each task, in index order, to the machine with the minimum
+// completion time (availability + execution time).
+func MCT(m *etc.Matrix) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	alloc := make([]int, m.Tasks)
+	avail := make([]float64, m.Machines)
+	for t := 0; t < m.Tasks; t++ {
+		best, bestCT := 0, avail[0]+m.At(t, 0)
+		for j := 1; j < m.Machines; j++ {
+			if ct := avail[j] + m.At(t, j); ct < bestCT {
+				best, bestCT = j, ct
+			}
+		}
+		alloc[t] = best
+		avail[best] = bestCT
+	}
+	return alloc, nil
+}
+
+// minMinMaxMin implements the shared batch structure of Min-Min and Max-Min:
+// repeatedly compute each unmapped task's best completion time, then map the
+// task with the minimum (Min-Min) or maximum (Max-Min) of those bests.
+func minMinMaxMin(m *etc.Matrix, pickMax bool) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	alloc := make([]int, m.Tasks)
+	avail := make([]float64, m.Machines)
+	unmapped := make([]bool, m.Tasks)
+	for t := range unmapped {
+		unmapped[t] = true
+	}
+	for left := m.Tasks; left > 0; left-- {
+		pick, pickMach := -1, -1
+		pickCT := 0.0
+		for t := 0; t < m.Tasks; t++ {
+			if !unmapped[t] {
+				continue
+			}
+			best, bestCT := 0, avail[0]+m.At(t, 0)
+			for j := 1; j < m.Machines; j++ {
+				if ct := avail[j] + m.At(t, j); ct < bestCT {
+					best, bestCT = j, ct
+				}
+			}
+			take := pick == -1 ||
+				(pickMax && bestCT > pickCT) ||
+				(!pickMax && bestCT < pickCT)
+			if take {
+				pick, pickMach, pickCT = t, best, bestCT
+			}
+		}
+		alloc[pick] = pickMach
+		avail[pickMach] = pickCT
+		unmapped[pick] = false
+	}
+	return alloc, nil
+}
+
+// MinMin maps, at each step, the task whose best completion time is
+// smallest — the classic strong makespan heuristic.
+func MinMin(m *etc.Matrix) ([]int, error) { return minMinMaxMin(m, false) }
+
+// MaxMin maps, at each step, the task whose best completion time is largest,
+// front-loading long tasks.
+func MaxMin(m *etc.Matrix) ([]int, error) { return minMinMaxMin(m, true) }
+
+// Sufferage maps, at each step, the task that would "suffer" most if denied
+// its best machine (largest second-best − best completion-time gap).
+func Sufferage(m *etc.Matrix) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	if m.Machines == 1 {
+		return MCT(m) // sufferage undefined with a single machine
+	}
+	alloc := make([]int, m.Tasks)
+	avail := make([]float64, m.Machines)
+	unmapped := make([]bool, m.Tasks)
+	for t := range unmapped {
+		unmapped[t] = true
+	}
+	for left := m.Tasks; left > 0; left-- {
+		pick, pickMach := -1, -1
+		pickSuff, pickCT := -1.0, 0.0
+		for t := 0; t < m.Tasks; t++ {
+			if !unmapped[t] {
+				continue
+			}
+			best, second := -1, -1
+			var bestCT, secondCT float64
+			for j := 0; j < m.Machines; j++ {
+				ct := avail[j] + m.At(t, j)
+				switch {
+				case best == -1 || ct < bestCT:
+					second, secondCT = best, bestCT
+					best, bestCT = j, ct
+				case second == -1 || ct < secondCT:
+					second, secondCT = j, ct
+				}
+			}
+			_ = second
+			suff := secondCT - bestCT
+			if suff > pickSuff {
+				pick, pickMach, pickSuff, pickCT = t, best, suff, bestCT
+			}
+		}
+		alloc[pick] = pickMach
+		avail[pickMach] = pickCT
+		unmapped[pick] = false
+	}
+	return alloc, nil
+}
+
+// Duplex runs Min-Min and Max-Min and keeps whichever achieves the smaller
+// estimated makespan — the classical "duplex" heuristic that hedges between
+// the two batch strategies.
+func Duplex(m *etc.Matrix) ([]int, error) {
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	mn, err := MinMin(m)
+	if err != nil {
+		return nil, err
+	}
+	mx, err := MaxMin(m)
+	if err != nil {
+		return nil, err
+	}
+	if makespanOf(m, mx) < makespanOf(m, mn) {
+		return mx, nil
+	}
+	return mn, nil
+}
+
+// Random assigns tasks uniformly at random using the given stream; useful as
+// the unstructured baseline in ranking experiments.
+func Random(src *stats.Source) Heuristic {
+	return func(m *etc.Matrix) ([]int, error) {
+		if err := check(m); err != nil {
+			return nil, err
+		}
+		alloc := make([]int, m.Tasks)
+		for t := range alloc {
+			alloc[t] = src.Intn(m.Machines)
+		}
+		return alloc, nil
+	}
+}
+
+// GreedyRobust maps tasks longest-first, assigning each to the machine that
+// maximizes the allocation's incremental robustness radius
+// (bound − F_j)/√n_j under the fixed makespan bound τ·M_ref, where M_ref is
+// the Min-Min makespan of the same matrix. It trades a little makespan for
+// boundary slack on every machine — the robustness-aware contender in the
+// ranking experiment.
+func GreedyRobust(tau float64) Heuristic {
+	return func(m *etc.Matrix) ([]int, error) {
+		if err := check(m); err != nil {
+			return nil, err
+		}
+		if tau <= 1 {
+			return nil, fmt.Errorf("sched: GreedyRobust tau = %g, want > 1", tau)
+		}
+		ref, err := MinMin(m)
+		if err != nil {
+			return nil, err
+		}
+		bound := tau * makespanOf(m, ref)
+
+		// Longest-first by mean execution time.
+		order := make([]int, m.Tasks)
+		for t := range order {
+			order[t] = t
+		}
+		meanTime := func(t int) float64 { return stats.Mean(m.Row(t)) }
+		sort.Slice(order, func(a, b int) bool {
+			ta, tb := order[a], order[b]
+			if meanTime(ta) != meanTime(tb) {
+				return meanTime(ta) > meanTime(tb)
+			}
+			return ta < tb
+		})
+
+		alloc := make([]int, m.Tasks)
+		load := make([]float64, m.Machines)
+		count := make([]int, m.Machines)
+		for _, t := range order {
+			best, bestScore := -1, math.Inf(-1)
+			for j := 0; j < m.Machines; j++ {
+				// Radius of machine j if t lands there; other machines keep
+				// their current radius — the assignment's score is the
+				// resulting minimum.
+				score := math.Inf(1)
+				for jj := 0; jj < m.Machines; jj++ {
+					l, c := load[jj], count[jj]
+					if jj == j {
+						l += m.At(t, j)
+						c++
+					}
+					if c == 0 {
+						continue
+					}
+					r := (bound - l) / math.Sqrt(float64(c))
+					if r < score {
+						score = r
+					}
+				}
+				if score > bestScore {
+					best, bestScore = j, score
+				}
+			}
+			alloc[t] = best
+			load[best] += m.At(t, best)
+			count[best]++
+		}
+		return alloc, nil
+	}
+}
+
+// HillClimbRobust refines an allocation by single-task reassignments that
+// strictly improve the closed-form robustness radius under bound τ·M^orig
+// of the *initial* allocation, stopping at a local optimum or after
+// maxSteps moves.
+func HillClimbRobust(inner Heuristic, tau float64, maxSteps int) Heuristic {
+	return func(m *etc.Matrix) ([]int, error) {
+		if err := check(m); err != nil {
+			return nil, err
+		}
+		if tau <= 1 {
+			return nil, fmt.Errorf("sched: HillClimbRobust tau = %g, want > 1", tau)
+		}
+		alloc, err := inner(m)
+		if err != nil {
+			return nil, err
+		}
+		bound := tau * makespanOf(m, alloc)
+		load := make([]float64, m.Machines)
+		count := make([]int, m.Machines)
+		for t, j := range alloc {
+			load[j] += m.At(t, j)
+			count[j]++
+		}
+		rho := func() float64 {
+			r := math.Inf(1)
+			for j := 0; j < m.Machines; j++ {
+				if count[j] == 0 {
+					continue
+				}
+				if v := (bound - load[j]) / math.Sqrt(float64(count[j])); v < r {
+					r = v
+				}
+			}
+			return r
+		}
+		cur := rho()
+		if maxSteps <= 0 {
+			maxSteps = 10 * m.Tasks
+		}
+		for step := 0; step < maxSteps; step++ {
+			improved := false
+			for t := 0; t < m.Tasks && !improved; t++ {
+				from := alloc[t]
+				for j := 0; j < m.Machines; j++ {
+					if j == from {
+						continue
+					}
+					load[from] -= m.At(t, from)
+					count[from]--
+					load[j] += m.At(t, j)
+					count[j]++
+					if next := rho(); next > cur+1e-15 {
+						alloc[t] = j
+						cur = next
+						improved = true
+						break
+					}
+					// Revert.
+					load[j] -= m.At(t, j)
+					count[j]--
+					load[from] += m.At(t, from)
+					count[from]++
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		return alloc, nil
+	}
+}
+
+// makespanOf computes the estimated makespan of an allocation.
+func makespanOf(m *etc.Matrix, alloc []int) float64 {
+	load := make([]float64, m.Machines)
+	for t, j := range alloc {
+		load[j] += m.At(t, j)
+	}
+	var ms float64
+	for _, l := range load {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+// Named couples a heuristic with its display name for experiment tables.
+type Named struct {
+	Name string
+	Fn   Heuristic
+}
+
+// Registry returns the standard heuristic line-up used by the ranking
+// experiments, in report order. The random heuristic is seeded from src.
+func Registry(tau float64, src *stats.Source) []Named {
+	return []Named{
+		{"round-robin", RoundRobin},
+		{"random", Random(src)},
+		{"OLB", OLB},
+		{"MET", MET},
+		{"MCT", MCT},
+		{"min-min", MinMin},
+		{"max-min", MaxMin},
+		{"duplex", Duplex},
+		{"sufferage", Sufferage},
+		{"greedy-robust", GreedyRobust(tau)},
+		{"hillclimb-robust", HillClimbRobust(MinMin, tau, 0)},
+	}
+}

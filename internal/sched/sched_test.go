@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/etc"
+	"fepia/internal/makespan"
+	"fepia/internal/stats"
+)
+
+// tiny is a 3-task, 2-machine matrix with an obvious structure:
+//
+//	t0: [1, 10]  t1: [10, 1]  t2: [2, 2]
+func tiny() *etc.Matrix {
+	return &etc.Matrix{Tasks: 3, Machines: 2, Data: [][]float64{
+		{1, 10}, {10, 1}, {2, 2},
+	}}
+}
+
+func validAlloc(t *testing.T, m *etc.Matrix, alloc []int, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) != m.Tasks {
+		t.Fatalf("alloc len %d, want %d", len(alloc), m.Tasks)
+	}
+	for _, j := range alloc {
+		if j < 0 || j >= m.Machines {
+			t.Fatalf("machine %d out of range", j)
+		}
+	}
+}
+
+func TestEmptyMatrixRejected(t *testing.T) {
+	for _, h := range []Heuristic{RoundRobin, MET, OLB, MCT, MinMin, MaxMin, Sufferage,
+		Random(stats.NewSource(1)), GreedyRobust(1.3), HillClimbRobust(MinMin, 1.3, 0)} {
+		if _, err := h(nil); err == nil {
+			t.Fatal("nil matrix must error")
+		}
+		if _, err := h(&etc.Matrix{}); err == nil {
+			t.Fatal("empty matrix must error")
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	m := tiny()
+	alloc, err := RoundRobin(m)
+	validAlloc(t, m, alloc, err)
+	if alloc[0] != 0 || alloc[1] != 1 || alloc[2] != 0 {
+		t.Errorf("alloc = %v", alloc)
+	}
+}
+
+func TestMETPicksFastestMachine(t *testing.T) {
+	m := tiny()
+	alloc, err := MET(m)
+	validAlloc(t, m, alloc, err)
+	if alloc[0] != 0 || alloc[1] != 1 {
+		t.Errorf("MET alloc = %v", alloc)
+	}
+}
+
+func TestOLBBalancesAvailability(t *testing.T) {
+	m := tiny()
+	alloc, err := OLB(m)
+	validAlloc(t, m, alloc, err)
+	// t0 → m0 (both idle), t1 → m1 (m0 busy 1 > m1 0), t2 → whichever is
+	// earlier: m1 available at 1 vs m0 at 1 → tie goes to m0.
+	if alloc[0] != 0 || alloc[1] != 1 || alloc[2] != 0 {
+		t.Errorf("OLB alloc = %v", alloc)
+	}
+}
+
+func TestMCTTiny(t *testing.T) {
+	m := tiny()
+	alloc, err := MCT(m)
+	validAlloc(t, m, alloc, err)
+	// t0→m0 (1<10); t1→m1 (1<11); t2: m0 at 1+2=3, m1 at 1+2=3 → tie → m0.
+	if alloc[0] != 0 || alloc[1] != 1 || alloc[2] != 0 {
+		t.Errorf("MCT alloc = %v", alloc)
+	}
+}
+
+func TestMinMinBeatsNaiveOnAverage(t *testing.T) {
+	src := stats.NewSource(21)
+	var mmWins int
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 40, Machines: 6, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RoundRobin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if makespanOf(m, mm) <= makespanOf(m, rr) {
+			mmWins++
+		}
+	}
+	if mmWins < trials*8/10 {
+		t.Errorf("Min-Min beat round-robin only %d/%d times", mmWins, trials)
+	}
+}
+
+func TestMaxMinAndSufferageProduceValidAllocations(t *testing.T) {
+	src := stats.NewSource(5)
+	m, err := etc.CVB(etc.CVBParams{Tasks: 25, Machines: 5, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Named{{"max-min", MaxMin}, {"sufferage", Sufferage}} {
+		alloc, err := h.Fn(m)
+		validAlloc(t, m, alloc, err)
+	}
+}
+
+func TestSufferageSingleMachine(t *testing.T) {
+	m := &etc.Matrix{Tasks: 3, Machines: 1, Data: [][]float64{{1}, {2}, {3}}}
+	alloc, err := Sufferage(m)
+	validAlloc(t, m, alloc, err)
+	for _, j := range alloc {
+		if j != 0 {
+			t.Fatalf("single machine: alloc = %v", alloc)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	m := tiny()
+	a1, _ := Random(stats.NewSource(3))(m)
+	a2, _ := Random(stats.NewSource(3))(m)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed must give same allocation")
+		}
+	}
+}
+
+func TestGreedyRobustImprovesRho(t *testing.T) {
+	// Across random instances, greedy-robust should (usually) achieve a
+	// robustness radius at least as good as Min-Min's.
+	src := stats.NewSource(13)
+	const tau = 1.3
+	wins, trials := 0, 25
+	for i := 0; i < trials; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 30, Machines: 5, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhoOf := func(alloc []int) float64 {
+			s, err := makespan.New(m, alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rho, err := s.ClosedFormRadii(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rho
+		}
+		mm, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := GreedyRobust(tau)(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rhoOf(gr) >= rhoOf(mm)-1e-12 {
+			wins++
+		}
+	}
+	if wins < trials*7/10 {
+		t.Errorf("greedy-robust matched/beat Min-Min rho only %d/%d times", wins, trials)
+	}
+}
+
+func TestGreedyRobustBadTau(t *testing.T) {
+	if _, err := GreedyRobust(1.0)(tiny()); err == nil {
+		t.Error("tau <= 1 must error")
+	}
+}
+
+func TestHillClimbNeverWorsensRho(t *testing.T) {
+	src := stats.NewSource(17)
+	const tau = 1.25
+	for i := 0; i < 15; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 20, Machines: 4, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, err := HillClimbRobust(MinMin, tau, 0)(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both radii measured against the same bound (tau × Min-Min makespan).
+		bound := tau * makespanOf(m, base)
+		rho := func(alloc []int) float64 {
+			load := make([]float64, m.Machines)
+			count := make([]int, m.Machines)
+			for t2, j := range alloc {
+				load[j] += m.At(t2, j)
+				count[j]++
+			}
+			r := math.Inf(1)
+			for j := range load {
+				if count[j] == 0 {
+					continue
+				}
+				if v := (bound - load[j]) / math.Sqrt(float64(count[j])); v < r {
+					r = v
+				}
+			}
+			return r
+		}
+		if rho(improved) < rho(base)-1e-9 {
+			t.Fatalf("instance %d: hill climb worsened rho (%v -> %v)", i, rho(base), rho(improved))
+		}
+	}
+}
+
+func TestHillClimbBadTau(t *testing.T) {
+	if _, err := HillClimbRobust(MinMin, 0.5, 0)(tiny()); err == nil {
+		t.Error("tau <= 1 must error")
+	}
+}
+
+func TestRegistryRuns(t *testing.T) {
+	src := stats.NewSource(2)
+	m, err := etc.CVB(etc.CVBParams{Tasks: 15, Machines: 4, MeanTask: 10, TaskCV: 0.3, MachineCV: 0.3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := Registry(1.3, stats.NewSource(1))
+	if len(reg) < 8 {
+		t.Fatalf("registry too small: %d", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, h := range reg {
+		if seen[h.Name] {
+			t.Fatalf("duplicate heuristic name %q", h.Name)
+		}
+		seen[h.Name] = true
+		alloc, err := h.Fn(m)
+		validAlloc(t, m, alloc, err)
+	}
+}
+
+func TestMakespanOf(t *testing.T) {
+	m := tiny()
+	if got := makespanOf(m, []int{0, 1, 0}); got != 3 {
+		t.Errorf("makespanOf = %v, want 3", got)
+	}
+	if got := makespanOf(m, []int{0, 0, 0}); got != 13 {
+		t.Errorf("makespanOf = %v, want 13", got)
+	}
+}
+
+func TestDuplexPicksBetter(t *testing.T) {
+	src := stats.NewSource(77)
+	for i := 0; i < 20; i++ {
+		m, err := etc.CVB(etc.CVBParams{Tasks: 30, Machines: 5, MeanTask: 10, TaskCV: 0.5, MachineCV: 0.5}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, err := Duplex(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, err := MinMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := MaxMin(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := makespanOf(m, mn)
+		if other := makespanOf(m, mx); other < best {
+			best = other
+		}
+		if makespanOf(m, dx) != best {
+			t.Fatalf("instance %d: duplex %v, want min(minmin, maxmin) = %v", i, makespanOf(m, dx), best)
+		}
+	}
+}
+
+func TestDuplexEmpty(t *testing.T) {
+	if _, err := Duplex(&etc.Matrix{}); err == nil {
+		t.Error("empty matrix must error")
+	}
+}

@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestNamedStreamsDiffer(t *testing.T) {
+	a := Named(1, "etc")
+	b := Named(1, "hiperd")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("named streams look correlated: %d/50 equal draws", same)
+	}
+}
+
+func TestNamedDeterminism(t *testing.T) {
+	x := Named(7, "sweep").Float64()
+	y := Named(7, "sweep").Float64()
+	if x != y {
+		t.Error("Named must be deterministic for equal (seed, label)")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(1)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(3, 7)
+		if x < 3 || x >= 7 {
+			t.Fatalf("Uniform(3,7) out of range: %v", x)
+		}
+	}
+}
+
+func TestUniformVec(t *testing.T) {
+	s := NewSource(2)
+	v := s.UniformVec(64, -1, 1)
+	if len(v) != 64 {
+		t.Fatalf("len = %d", len(v))
+	}
+	for _, x := range v {
+		if x < -1 || x >= 1 {
+			t.Fatalf("out of range: %v", x)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewSource(3)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2) // mean 0.5
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) must panic")
+		}
+	}()
+	NewSource(1).Exp(0)
+}
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(shape k, scale θ): mean kθ, variance kθ².
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2.0}, // shape < 1 path
+		{1.0, 1.0},
+		{4.0, 0.5},
+		{9.0, 3.0},
+	}
+	for _, c := range cases {
+		s := NewSource(11)
+		const n = 40000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Gamma(c.shape, c.scale)
+			if xs[i] < 0 {
+				t.Fatalf("Gamma(%v,%v) produced negative sample", c.shape, c.scale)
+			}
+		}
+		wantMean := c.shape * c.scale
+		wantSD := math.Sqrt(c.shape) * c.scale
+		if m := Mean(xs); math.Abs(m-wantMean) > 0.05*wantMean+0.02 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ≈%v", c.shape, c.scale, m, wantMean)
+		}
+		if sd := StdDev(xs); math.Abs(sd-wantSD) > 0.08*wantSD+0.02 {
+			t.Errorf("Gamma(%v,%v) sd = %v, want ≈%v", c.shape, c.scale, sd, wantSD)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma with shape<=0 must panic")
+		}
+	}()
+	NewSource(1).Gamma(0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource(5)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, i := range p {
+		if i < 0 || i >= 20 || seen[i] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	sm := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if sm.N != 8 {
+		t.Fatalf("N = %d", sm.N)
+	}
+	if math.Abs(sm.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", sm.Mean)
+	}
+	// Sample SD of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(sm.SD-want) > 1e-12 {
+		t.Errorf("SD = %v, want %v", sm.SD, want)
+	}
+	if sm.Min != 2 || sm.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", sm.Min, sm.Max)
+	}
+	if math.Abs(sm.Median-4.5) > 1e-12 {
+		t.Errorf("Median = %v, want 4.5", sm.Median)
+	}
+	if sm.CI95Low >= sm.Mean || sm.CI95High <= sm.Mean {
+		t.Errorf("CI [%v, %v] does not bracket mean", sm.CI95Low, sm.CI95High)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	sm := Summarize(nil)
+	if sm.N != 0 || sm.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", sm)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	sm := Summarize([]float64{3})
+	if sm.Mean != 3 || sm.SD != 0 || sm.Median != 3 || sm.Min != 3 || sm.Max != 3 {
+		t.Errorf("singleton Summarize = %+v", sm)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(sorted, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(sorted, 0.5); q != 3 {
+		t.Errorf("q0.5 = %v", q)
+	}
+	if q := Quantile(sorted, 0.25); q != 2 {
+		t.Errorf("q0.25 = %v", q)
+	}
+	if q := Quantile(sorted, 0.125); q != 1.5 {
+		t.Errorf("q0.125 = %v (interpolation)", q)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty must panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestCV(t *testing.T) {
+	if cv := CV([]float64{5, 5, 5}); cv != 0 {
+		t.Errorf("CV of constants = %v", cv)
+	}
+	if cv := CV(nil); cv != 0 {
+		t.Errorf("CV of empty = %v", cv)
+	}
+	xs := []float64{1, 3}
+	want := StdDev(xs) / 2
+	if cv := CV(xs); math.Abs(cv-want) > 1e-15 {
+		t.Errorf("CV = %v, want %v", cv, want)
+	}
+}
+
+func TestMaxDiffs(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2.5, 3}
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+	if d := MaxRelDiff(a, b); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("MaxRelDiff = %v, want 0.2", d)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if len(h.Counts) != 2 || len(h.Edges) != 3 {
+		t.Fatalf("histogram shape: %+v", h)
+	}
+	if h.Counts[0]+h.Counts[1] != 5 {
+		t.Errorf("counts must sum to sample size: %v", h.Counts)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 3 {
+		t.Errorf("counts = %v, want [2 3] (0.5 falls in the second bin)", h.Counts)
+	}
+	// Max value lands in the last bin, not out of range.
+	if h.Edges[0] != 0 || h.Edges[2] != 1 {
+		t.Errorf("edges = %v", h.Edges)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{2, 2, 2}, 4)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("degenerate histogram lost samples: %v", h.Counts)
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		s := NewSource(seed)
+		n := int(nRaw%50) + 1
+		xs := s.UniformVec(n, -10, 10)
+		sm := Summarize(xs)
+		return sm.Min <= sm.P05 && sm.P05 <= sm.Median &&
+			sm.Median <= sm.P95 && sm.P95 <= sm.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMeanWithinRange(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		s := NewSource(seed)
+		n := int(nRaw%50) + 1
+		xs := s.UniformVec(n, 0, 100)
+		m := Mean(xs)
+		sm := Summarize(xs)
+		return m >= sm.Min-1e-12 && m <= sm.Max+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanRankPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if r := SpearmanRank(a, b); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect agreement = %v, want 1", r)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if r := SpearmanRank(a, rev); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect inversion = %v, want -1", r)
+	}
+}
+
+func TestSpearmanRankTiesAndEdges(t *testing.T) {
+	if r := SpearmanRank([]float64{1}, []float64{2}); r != 0 {
+		t.Errorf("singleton = %v", r)
+	}
+	if r := SpearmanRank([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Errorf("constant sample = %v, want 0", r)
+	}
+	// Known small case with a tie: monotone despite the tie keeps r high.
+	r := SpearmanRank([]float64{1, 2, 2, 4}, []float64{1, 3, 3, 9})
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("tied monotone = %v, want 1", r)
+	}
+}
+
+func TestSpearmanRankMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	SpearmanRank([]float64{1}, []float64{1, 2})
+}
+
+func TestSpearmanRankAntiCorrelated(t *testing.T) {
+	// Monotone transformation invariance: r depends only on order.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 8, 27, 64} // a^3: same order
+	if r := SpearmanRank(a, b); math.Abs(r-1) > 1e-12 {
+		t.Errorf("monotone transform = %v, want 1", r)
+	}
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample. Experiment tables report
+// sweeps through these rather than raw sample dumps.
+type Summary struct {
+	N                 int
+	Mean, SD          float64
+	Min, Max          float64
+	Median            float64
+	P05, P95          float64
+	CI95Low, CI95High float64 // normal-approximation 95% CI of the mean
+}
+
+// Summarize computes descriptive statistics for xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	sd := 0.0
+	if n > 1 {
+		sd = math.Sqrt(ss / float64(n-1))
+	}
+	half := 1.959964 * sd / math.Sqrt(float64(n))
+	return Summary{
+		N:        n,
+		Mean:     mean,
+		SD:       sd,
+		Min:      sorted[0],
+		Max:      sorted[n-1],
+		Median:   Quantile(sorted, 0.5),
+		P05:      Quantile(sorted, 0.05),
+		P95:      Quantile(sorted, 0.95),
+		CI95Low:  mean - half,
+		CI95High: mean + half,
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted sample
+// using linear interpolation between order statistics. It panics when the
+// sample is empty or q is outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%g outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CV returns the coefficient of variation sd/mean (0 when the mean is 0).
+// The CVB ETC-generation method is parameterized directly by task and machine
+// CVs, so experiments verify achieved CVs with this function.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// MaxAbsDiff returns max_i |a_i − b_i|; it panics on length mismatch. Used to
+// report the agreement between closed-form and numeric radii in sweeps.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxRelDiff returns max_i |a_i − b_i| / max(1, |a_i|, |b_i|).
+func MaxRelDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxRelDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		scale := 1.0
+		if v := math.Abs(a[i]); v > scale {
+			scale = v
+		}
+		if v := math.Abs(b[i]); v > scale {
+			scale = v
+		}
+		if d := math.Abs(a[i]-b[i]) / scale; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Histogram bins xs into nBins equal-width bins over [min, max] and returns
+// the bin counts plus the bin edges (nBins+1 edges). Values equal to max land
+// in the last bin. It panics when nBins < 1; an empty sample yields all-zero
+// counts over [0, 1].
+type Histogram struct {
+	Edges  []float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with nBins equal-width bins.
+func NewHistogram(xs []float64, nBins int) Histogram {
+	if nBins < 1 {
+		panic("stats: NewHistogram requires nBins >= 1")
+	}
+	lo, hi := 0.0, 1.0
+	if len(xs) > 0 {
+		lo, hi = xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	h := Histogram{
+		Edges:  make([]float64, nBins+1),
+		Counts: make([]int, nBins),
+	}
+	w := (hi - lo) / float64(nBins)
+	for i := range h.Edges {
+		h.Edges[i] = lo + w*float64(i)
+	}
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// SpearmanRank computes Spearman's rank correlation coefficient between two
+// paired samples (no tie correction beyond average ranks; ties get their
+// mean rank). It returns 0 for samples shorter than 2 and panics on length
+// mismatch. Experiment E7 uses it to quantify how far the robustness
+// ranking departs from the makespan ranking.
+func SpearmanRank(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: SpearmanRank length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	ra := averageRanks(a)
+	rb := averageRanks(b)
+	// Pearson correlation of the ranks (robust to ties).
+	ma, mb := Mean(ra), Mean(rb)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// averageRanks assigns 1-based ranks with ties sharing their mean rank.
+func averageRanks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mean := float64(i+j+2) / 2 // average of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j + 1
+	}
+	return ranks
+}

@@ -1,0 +1,195 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// M is a dense row-major matrix. It is deliberately small-scale: the
+// robustness computations operate on systems with at most a few hundred
+// perturbation dimensions, so a simple contiguous layout with O(n³) solvers
+// is both adequate and cache-friendly.
+type M struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewM returns a zero matrix of the given shape.
+func NewM(rows, cols int) *M {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: NewM(%d, %d): negative dimension", rows, cols))
+	}
+	return &M{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MOf builds a matrix from rows. All rows must have equal length.
+func MOf(rows ...[]float64) *M {
+	if len(rows) == 0 {
+		return &M{}
+	}
+	c := len(rows[0])
+	m := NewM(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic(fmt.Sprintf("vec: MOf: row %d has %d elements, want %d", i, len(r), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *M {
+	m := NewM(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *M) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *M) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a vector view (aliasing m's storage).
+func (m *M) Row(i int) V { return V(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Col returns column j as a fresh vector.
+func (m *M) Col(j int) V {
+	out := make(V, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *M) Clone() *M {
+	out := NewM(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m.
+func (m *M) T() *M {
+	out := NewM(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m *M) MulVec(v V) V {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("vec: MulVec: %dx%d by %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make(V, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mul returns the product m·b.
+func (m *M) Mul(b *M) *M {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("vec: Mul: %dx%d by %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewM(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j := range brow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// SolveLU solves m·x = rhs by Gaussian elimination with partial pivoting.
+// It returns an error when the matrix is singular to working precision.
+// Used by the Newton/KKT step of the nearest-boundary-point solver.
+func (m *M) SolveLU(rhs V) (V, error) {
+	n := m.Rows
+	if m.Cols != n {
+		return nil, fmt.Errorf("vec: SolveLU: matrix is %dx%d, want square", m.Rows, m.Cols)
+	}
+	if len(rhs) != n {
+		return nil, fmt.Errorf("%w: SolveLU rhs has dim %d, want %d", ErrDimMismatch, len(rhs), n)
+	}
+	a := m.Clone()
+	b := rhs.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the largest magnitude in this column.
+		piv, pmag := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := math.Abs(a.At(r, col)); mag > pmag {
+				piv, pmag = r, mag
+			}
+		}
+		if pmag < 1e-300 {
+			return nil, fmt.Errorf("vec: SolveLU: singular matrix (pivot %d)", col)
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				a.Data[col*n+j], a.Data[piv*n+j] = a.Data[piv*n+j], a.Data[col*n+j]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			a.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make(V, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// String renders the matrix row by row.
+func (m *M) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(m.Row(i).String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,180 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMOfAndAccessors(t *testing.T) {
+	m := MOf([]float64{1, 2}, []float64{3, 4}, []float64{5, 6})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Errorf("At wrong: %v", m)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Error("Set did not stick")
+	}
+	if !m.Row(2).EqualApprox(Of(5, 6), 0) {
+		t.Errorf("Row(2) = %v", m.Row(2))
+	}
+	if !m.Col(0).EqualApprox(Of(1, 3, 5), 0) {
+		t.Errorf("Col(0) = %v", m.Col(0))
+	}
+}
+
+func TestMOfRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged MOf must panic")
+		}
+	}()
+	MOf([]float64{1, 2}, []float64{3})
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(3)
+	v := Of(7, -2, 5)
+	if got := id.MulVec(v); !got.EqualApprox(v, 0) {
+		t.Errorf("I·v = %v", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MOf([]float64{1, 2, 3}, []float64{4, 5, 6})
+	got := m.MulVec(Of(1, 0, -1))
+	if !got.EqualApprox(Of(-2, -2), 0) {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MOf([]float64{1, 2}, []float64{3, 4})
+	b := MOf([]float64{5, 6}, []float64{7, 8})
+	got := a.Mul(b)
+	want := MOf([]float64{19, 22}, []float64{43, 50})
+	for i := 0; i < 2; i++ {
+		if !got.Row(i).EqualApprox(want.Row(i), 0) {
+			t.Errorf("row %d = %v, want %v", i, got.Row(i), want.Row(i))
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MOf([]float64{1, 2, 3}, []float64{4, 5, 6})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Errorf("T content wrong: %v", mt)
+	}
+}
+
+func TestSolveLUKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+	a := MOf([]float64{2, 1}, []float64{1, 3})
+	x, err := a.SolveLU(Of(5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.EqualApprox(Of(1, 3), 1e-12) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLUNeedsPivot(t *testing.T) {
+	// Zero on the first diagonal entry forces a row swap.
+	a := MOf([]float64{0, 1}, []float64{1, 0})
+	x, err := a.SolveLU(Of(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.EqualApprox(Of(3, 2), 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a := MOf([]float64{1, 2}, []float64{2, 4})
+	if _, err := a.SolveLU(Of(1, 2)); err == nil {
+		t.Error("singular solve must error")
+	}
+}
+
+func TestSolveLUShapeErrors(t *testing.T) {
+	if _, err := MOf([]float64{1, 2}).SolveLU(Of(1)); err == nil {
+		t.Error("non-square solve must error")
+	}
+	if _, err := Identity(2).SolveLU(Of(1, 2, 3)); err == nil {
+		t.Error("rhs dim mismatch must error")
+	}
+}
+
+func TestSolveLUDoesNotMutate(t *testing.T) {
+	a := MOf([]float64{2, 1}, []float64{1, 3})
+	rhs := Of(5, 10)
+	if _, err := a.SolveLU(rhs); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || rhs[1] != 10 {
+		t.Error("SolveLU mutated its inputs")
+	}
+}
+
+func TestPropSolveLURoundTrip(t *testing.T) {
+	// Build a diagonally dominant (hence nonsingular) matrix, solve, verify.
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 1
+		a := NewM(n, n)
+		for i := 0; i < n; i++ {
+			var rowAbs float64
+			for j := 0; j < n; j++ {
+				x := (r.Float64() - 0.5) * 2
+				a.Set(i, j, x)
+				if j != i {
+					rowAbs += 2 // loose upper bound on |x|
+				}
+			}
+			a.Set(i, i, rowAbs+1)
+		}
+		want := genVec(r, n)
+		rhs := a.MulVec(want)
+		got, err := a.SolveLU(rhs)
+		if err != nil {
+			return false
+		}
+		return got.EqualApprox(want, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := int(rRaw%6)+1, int(cRaw%6)+1
+		m := NewM(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

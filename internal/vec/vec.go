@@ -1,0 +1,367 @@
+// Package vec provides the dense vector and small-matrix kernel used by the
+// robustness analysis. The FePIA robustness radius (Eq. 1 and Eq. 2 of the
+// paper) is a nearest-point-to-level-set problem in R^n; this package supplies
+// the norms, distances, and elementary linear algebra those computations need,
+// with no dependencies outside the standard library.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// V is a dense real vector. The zero value is the empty vector.
+type V []float64
+
+// ErrDimMismatch is returned (or wrapped) by operations whose operands must
+// share a dimension.
+var ErrDimMismatch = errors.New("vec: dimension mismatch")
+
+// New returns a zero vector of dimension n.
+func New(n int) V { return make(V, n) }
+
+// Of returns a vector holding the given elements. The slice is copied.
+func Of(xs ...float64) V {
+	v := make(V, len(xs))
+	copy(v, xs)
+	return v
+}
+
+// Const returns an n-dimensional vector with every element set to c.
+func Const(n int, c float64) V {
+	v := make(V, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Ones returns the n-dimensional all-ones vector. In the paper's normalized
+// P-space (Section 3.2), P^orig is always Ones(n).
+func Ones(n int) V { return Const(n, 1) }
+
+// Basis returns the i-th standard basis vector of dimension n.
+func Basis(n, i int) V {
+	v := make(V, n)
+	v[i] = 1
+	return v
+}
+
+// Clone returns a copy of v.
+func (v V) Clone() V {
+	w := make(V, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dim returns the dimension of v.
+func (v V) Dim() int { return len(v) }
+
+// Add returns v + w.
+func (v V) Add(w V) V {
+	mustSameDim(v, w)
+	out := make(V, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v V) Sub(w V) V {
+	mustSameDim(v, w)
+	out := make(V, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns c*v.
+func (v V) Scale(c float64) V {
+	out := make(V, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// AddScaled returns v + c*w without allocating an intermediate.
+func (v V) AddScaled(c float64, w V) V {
+	mustSameDim(v, w)
+	out := make(V, len(v))
+	for i := range v {
+		out[i] = v[i] + c*w[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard (element-wise) product v∘w. The paper's weighted
+// concatenation P = (α₁×π₁) ⋆ (α₂×π₂) ⋆ … is built from element-wise scaling.
+func (v V) Mul(w V) V {
+	mustSameDim(v, w)
+	out := make(V, len(v))
+	for i := range v {
+		out[i] = v[i] * w[i]
+	}
+	return out
+}
+
+// Div returns the element-wise quotient v/w. Division by a zero element
+// yields ±Inf or NaN exactly as IEEE-754 prescribes; the caller is expected
+// to validate denominators (the normalized weighting requires nonzero
+// original values).
+func (v V) Div(w V) V {
+	mustSameDim(v, w)
+	out := make(V, len(v))
+	for i := range v {
+		out[i] = v[i] / w[i]
+	}
+	return out
+}
+
+// Dot returns the inner product <v, w>.
+func (v V) Dot(w V) float64 {
+	mustSameDim(v, w)
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (ℓ2) norm, computed with scaling to avoid
+// overflow and underflow for extreme magnitudes.
+func (v V) Norm2() float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Norm1 returns the ℓ1 norm Σ|v_i|.
+func (v V) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the ℓ∞ norm max|v_i|.
+func (v V) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist2 returns the Euclidean distance ‖v − w‖₂. This is the distance the
+// robustness radius minimizes.
+func (v V) Dist2(w V) float64 {
+	mustSameDim(v, w)
+	d := make(V, len(v))
+	for i := range v {
+		d[i] = v[i] - w[i]
+	}
+	return d.Norm2()
+}
+
+// Sum returns Σ v_i.
+func (v V) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Min returns the smallest element. It panics on an empty vector.
+func (v V) Min() float64 {
+	if len(v) == 0 {
+		panic("vec: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element. It panics on an empty vector.
+func (v V) Max() float64 {
+	if len(v) == 0 {
+		panic("vec: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element (first on ties).
+func (v V) ArgMin() int {
+	if len(v) == 0 {
+		panic("vec: ArgMin of empty vector")
+	}
+	k := 0
+	for i, x := range v {
+		if x < v[k] {
+			k = i
+		}
+	}
+	return k
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func (v V) ArgMax() int {
+	if len(v) == 0 {
+		panic("vec: ArgMax of empty vector")
+	}
+	k := 0
+	for i, x := range v {
+		if x > v[k] {
+			k = i
+		}
+	}
+	return k
+}
+
+// Normalize returns v / ‖v‖₂. It returns a zero vector when ‖v‖₂ == 0.
+func (v V) Normalize() V {
+	n := v.Norm2()
+	if n == 0 {
+		return New(len(v))
+	}
+	return v.Scale(1 / n)
+}
+
+// Concat returns the concatenation v ⋆ w — the paper's vector concatenation
+// operator used to assemble the combined perturbation vector P.
+func Concat(vs ...V) V {
+	var n int
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(V, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Split partitions v into consecutive blocks of the given sizes. It is the
+// inverse of Concat and is used to map a combined P vector back to the
+// individual perturbation parameters π_j. The returned slices alias v.
+func Split(v V, sizes ...int) ([]V, error) {
+	var total int
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("vec: Split: negative block size %d", s)
+		}
+		total += s
+	}
+	if total != len(v) {
+		return nil, fmt.Errorf("%w: Split blocks sum to %d, vector has %d", ErrDimMismatch, total, len(v))
+	}
+	out := make([]V, len(sizes))
+	at := 0
+	for i, s := range sizes {
+		out[i] = v[at : at+s]
+		at += s
+	}
+	return out, nil
+}
+
+// AllFinite reports whether every element of v is finite (no NaN, no ±Inf).
+func (v V) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllPositive reports whether every element of v is strictly positive.
+// Normalized weighting (Section 3.2) requires strictly positive original
+// values.
+func (v V) AllPositive() bool {
+	for _, x := range v {
+		if x <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether v and w agree element-wise within tol, using a
+// combined absolute/relative criterion: |v_i − w_i| ≤ tol·max(1, |v_i|, |w_i|).
+func (v V) EqualApprox(w V, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if !ScalarEqualApprox(v[i], w[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScalarEqualApprox reports |a − b| ≤ tol·max(1, |a|, |b|).
+func ScalarEqualApprox(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// String renders v as "[x1 x2 …]" with %g formatting.
+func (v V) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func mustSameDim(v, w V) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(v), len(w)))
+	}
+}

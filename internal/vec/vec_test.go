@@ -1,0 +1,302 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfCopies(t *testing.T) {
+	src := []float64{1, 2, 3}
+	v := Of(src...)
+	src[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Of must copy its input; got %v", v)
+	}
+}
+
+func TestConstOnesBasis(t *testing.T) {
+	if got := Const(3, 2.5); !got.EqualApprox(Of(2.5, 2.5, 2.5), 0) {
+		t.Errorf("Const(3, 2.5) = %v", got)
+	}
+	if got := Ones(4); !got.EqualApprox(Of(1, 1, 1, 1), 0) {
+		t.Errorf("Ones(4) = %v", got)
+	}
+	b := Basis(3, 1)
+	if !b.EqualApprox(Of(0, 1, 0), 0) {
+		t.Errorf("Basis(3,1) = %v", b)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	v := Of(1, 2, 3)
+	w := Of(4, 5, 6)
+	if got := v.Add(w); !got.EqualApprox(Of(5, 7, 9), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.EqualApprox(Of(3, 3, 3), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.EqualApprox(Of(2, 4, 6), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Mul(w); !got.EqualApprox(Of(4, 10, 18), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := w.Div(v); !got.EqualApprox(Of(4, 2.5, 2), 0) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := v.AddScaled(2, w); !got.EqualApprox(Of(9, 12, 15), 0) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims must panic")
+		}
+	}()
+	Of(1, 2).Add(Of(1, 2, 3))
+}
+
+func TestNorms(t *testing.T) {
+	v := Of(3, -4)
+	if got := v.Norm2(); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	if got := New(5).Norm2(); got != 0 {
+		t.Errorf("Norm2 of zero vector = %v", got)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Naive sum-of-squares would overflow; the scaled form must not.
+	v := Of(1e200, 1e200)
+	want := 1e200 * math.Sqrt2
+	if got := v.Norm2(); !ScalarEqualApprox(got, want, 1e-12) {
+		t.Errorf("Norm2 large = %g, want %g", got, want)
+	}
+	// And must not underflow to zero for tiny values.
+	tiny := Of(1e-200, 1e-200)
+	if got := tiny.Norm2(); got == 0 {
+		t.Error("Norm2 underflowed to 0 for tiny inputs")
+	}
+}
+
+func TestDist2(t *testing.T) {
+	a := Of(1, 1)
+	b := Of(4, 5)
+	if got := a.Dist2(b); got != 5 {
+		t.Errorf("Dist2 = %v, want 5", got)
+	}
+}
+
+func TestSumMinMaxArg(t *testing.T) {
+	v := Of(2, -1, 7, -1)
+	if got := v.Sum(); got != 7 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := v.Min(); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := v.ArgMin(); got != 1 {
+		t.Errorf("ArgMin = %v, want first tie index 1", got)
+	}
+	if got := v.ArgMax(); got != 2 {
+		t.Errorf("ArgMax = %v", got)
+	}
+}
+
+func TestEmptyMinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty vector must panic")
+		}
+	}()
+	V{}.Min()
+}
+
+func TestNormalize(t *testing.T) {
+	v := Of(3, 4)
+	n := v.Normalize()
+	if !ScalarEqualApprox(n.Norm2(), 1, 1e-14) {
+		t.Errorf("normalized norm = %v", n.Norm2())
+	}
+	z := New(3).Normalize()
+	if !z.EqualApprox(New(3), 0) {
+		t.Errorf("Normalize of zero = %v, want zero vector", z)
+	}
+}
+
+func TestConcatSplit(t *testing.T) {
+	a := Of(1, 2)
+	b := Of(3)
+	c := Of(4, 5, 6)
+	p := Concat(a, b, c)
+	if !p.EqualApprox(Of(1, 2, 3, 4, 5, 6), 0) {
+		t.Fatalf("Concat = %v", p)
+	}
+	parts, err := Split(p, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parts[0].EqualApprox(a, 0) || !parts[1].EqualApprox(b, 0) || !parts[2].EqualApprox(c, 0) {
+		t.Errorf("Split parts = %v", parts)
+	}
+	if _, err := Split(p, 2, 2); err == nil {
+		t.Error("Split with wrong total must error")
+	}
+	if _, err := Split(p, -1, 7); err == nil {
+		t.Error("Split with negative size must error")
+	}
+}
+
+func TestAllFinitePositive(t *testing.T) {
+	if !Of(1, 2).AllFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if Of(1, math.NaN()).AllFinite() {
+		t.Error("NaN not detected")
+	}
+	if Of(1, math.Inf(1)).AllFinite() {
+		t.Error("+Inf not detected")
+	}
+	if !Of(1, 0.5).AllPositive() {
+		t.Error("positive vector reported non-positive")
+	}
+	if Of(1, 0).AllPositive() {
+		t.Error("zero element must fail AllPositive")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	if !Of(1, 2).EqualApprox(Of(1+1e-12, 2), 1e-9) {
+		t.Error("near-equal vectors reported unequal")
+	}
+	if Of(1, 2).EqualApprox(Of(1, 2, 3), 1e-9) {
+		t.Error("different dims reported equal")
+	}
+	if ScalarEqualApprox(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN must never compare equal")
+	}
+	// Relative criterion: 1e6 vs 1e6+1 within 1e-5 relative.
+	if !ScalarEqualApprox(1e6, 1e6+1, 1e-5) {
+		t.Error("relative tolerance not applied")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(1, 2.5).String(); got != "[1 2.5]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (V{}).String(); got != "[]" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// genVec draws a bounded random vector so quick-generated magnitudes do not
+// hit overflow paths that make exact float identities fail.
+func genVec(r *rand.Rand, n int) V {
+	v := make(V, n)
+	for i := range v {
+		v[i] = (r.Float64() - 0.5) * 200
+	}
+	return v
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		a, b := genVec(r, n), genVec(r, n)
+		return a.Add(b).Norm2() <= a.Norm2()+b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCauchySchwarz(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		a, b := genVec(r, n), genVec(r, n)
+		return math.Abs(a.Dot(b)) <= a.Norm2()*b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNormOrdering(t *testing.T) {
+	// ‖v‖∞ ≤ ‖v‖₂ ≤ ‖v‖₁ for every vector.
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		v := genVec(r, n)
+		eps := 1e-9 * (1 + v.Norm1())
+		return v.NormInf() <= v.Norm2()+eps && v.Norm2() <= v.Norm1()+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropConcatSplitRoundTrip(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw, cRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		na, nb, nc := int(aRaw%8), int(bRaw%8), int(cRaw%8)
+		a, b, c := genVec(r, na), genVec(r, nb), genVec(r, nc)
+		p := Concat(a, b, c)
+		parts, err := Split(p, na, nb, nc)
+		if err != nil {
+			return false
+		}
+		return parts[0].EqualApprox(a, 0) && parts[1].EqualApprox(b, 0) && parts[2].EqualApprox(c, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistSymmetry(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		a, b := genVec(r, n), genVec(r, n)
+		return ScalarEqualApprox(a.Dist2(b), b.Dist2(a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropScaleHomogeneity(t *testing.T) {
+	// ‖c·v‖₂ == |c|·‖v‖₂.
+	f := func(seed int64, nRaw uint8, cRaw int16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		c := float64(cRaw) / 64
+		v := genVec(r, n)
+		return ScalarEqualApprox(v.Scale(c).Norm2(), math.Abs(c)*v.Norm2(), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

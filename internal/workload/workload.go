@@ -1,0 +1,240 @@
+// Package workload generates the randomized but reproducible scenarios the
+// experiments run on: layered HiPer-D application graphs with sensors,
+// processing stages and actuators, and makespan problem instances built on
+// ETC matrices. All randomness flows through named stats.Source streams, so
+// every experiment table is bit-reproducible.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"fepia/internal/dag"
+	"fepia/internal/etc"
+	"fepia/internal/hiperd"
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// HiPerDParams shape a random streaming scenario.
+type HiPerDParams struct {
+	// Sensors is the number of source applications.
+	Sensors int
+	// Layers is the number of intermediate processing layers.
+	Layers int
+	// Width is the number of applications per intermediate layer.
+	Width int
+	// Actuators is the number of sink applications.
+	Actuators int
+	// ExecLo/ExecHi bound base execution times (seconds).
+	ExecLo, ExecHi float64
+	// MsgLo/MsgHi bound message sizes (bytes).
+	MsgLo, MsgHi float64
+	// Bandwidth of inter-machine links (bytes/second).
+	Bandwidth float64
+	// Rate λ of the sensors (data sets per second).
+	Rate float64
+	// LatencySlack multiplies the nominal worst latency to produce the
+	// deadline (> 1 keeps the initial allocation feasible).
+	LatencySlack float64
+	// DedicatedMachines allocates one application per machine when true
+	// (the contention-free configuration the DES validation uses);
+	// otherwise Machines machines are used round-robin.
+	DedicatedMachines bool
+	// Machines is the machine count when DedicatedMachines is false.
+	Machines int
+}
+
+// DefaultHiPerD returns a mid-sized scenario: 2 sensors, 2×3 processing
+// apps, 2 actuators, dedicated machines.
+func DefaultHiPerD() HiPerDParams {
+	return HiPerDParams{
+		Sensors: 2, Layers: 2, Width: 3, Actuators: 2,
+		ExecLo: 0.01, ExecHi: 0.05,
+		MsgLo: 500, MsgHi: 5000,
+		Bandwidth: 1e6, Rate: 4, LatencySlack: 1.5,
+		DedicatedMachines: true,
+	}
+}
+
+// ErrBadParams reports inconsistent generator parameters.
+var ErrBadParams = errors.New("workload: invalid parameters")
+
+// HiPerD generates a random layered streaming system: every sensor feeds
+// every first-layer application, consecutive layers are connected with a
+// random bipartite pattern (each app gets at least one predecessor and each
+// feeds at least one successor), and the last layer feeds every actuator.
+// The returned system validates and satisfies its own QoS at the nominal
+// operating point.
+func HiPerD(p HiPerDParams, src *stats.Source) (*hiperd.System, error) {
+	if p.Sensors < 1 || p.Layers < 0 || p.Actuators < 1 || (p.Layers > 0 && p.Width < 1) {
+		return nil, fmt.Errorf("%w: sensors=%d layers=%d width=%d actuators=%d",
+			ErrBadParams, p.Sensors, p.Layers, p.Width, p.Actuators)
+	}
+	if p.ExecLo <= 0 || p.ExecHi < p.ExecLo || p.MsgLo <= 0 || p.MsgHi < p.MsgLo {
+		return nil, fmt.Errorf("%w: exec [%g,%g], msg [%g,%g]", ErrBadParams, p.ExecLo, p.ExecHi, p.MsgLo, p.MsgHi)
+	}
+	if p.Bandwidth <= 0 || p.Rate <= 0 || p.LatencySlack <= 1 {
+		return nil, fmt.Errorf("%w: bandwidth=%g rate=%g slack=%g", ErrBadParams, p.Bandwidth, p.Rate, p.LatencySlack)
+	}
+	if !p.DedicatedMachines && p.Machines < 1 {
+		return nil, fmt.Errorf("%w: need Machines >= 1 without dedicated machines", ErrBadParams)
+	}
+
+	// Node layout: [sensors][layer 0]…[layer L-1][actuators].
+	nApps := p.Sensors + p.Layers*p.Width + p.Actuators
+	g, err := dag.New(nApps)
+	if err != nil {
+		return nil, err
+	}
+	layerNodes := func(layer int) []int {
+		// layer −1 = sensors, 0…Layers−1 = processing, Layers = actuators.
+		switch {
+		case layer < 0:
+			return seq(0, p.Sensors)
+		case layer < p.Layers:
+			start := p.Sensors + layer*p.Width
+			return seq(start, p.Width)
+		default:
+			return seq(p.Sensors+p.Layers*p.Width, p.Actuators)
+		}
+	}
+	for layer := -1; layer < p.Layers; layer++ {
+		from := layerNodes(layer)
+		to := layerNodes(layer + 1)
+		if layer == -1 || layer == p.Layers-1 {
+			// Full bipartite at the boundaries: sensors feed the whole
+			// first layer; the last layer feeds every actuator.
+			for _, u := range from {
+				for _, v := range to {
+					if err := g.AddEdge(u, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
+		}
+		// Random interior wiring with coverage guarantees.
+		connectedTo := make(map[int]bool)
+		for _, u := range from {
+			v := to[src.Intn(len(to))]
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			connectedTo[v] = true
+			// Extra random edges.
+			for _, w := range to {
+				if w != v && src.Float64() < 0.3 {
+					if err := g.AddEdge(u, w); err != nil {
+						return nil, err
+					}
+					connectedTo[w] = true
+				}
+			}
+		}
+		for _, v := range to {
+			if !connectedTo[v] {
+				u := from[src.Intn(len(from))]
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	apps := make([]hiperd.App, nApps)
+	for i := range apps {
+		apps[i] = hiperd.App{
+			Name:     fmt.Sprintf("app-%d", i),
+			BaseExec: src.Uniform(p.ExecLo, p.ExecHi),
+		}
+	}
+	edges := g.Edges()
+	msgs := make(vec.V, len(edges))
+	for k := range msgs {
+		msgs[k] = src.Uniform(p.MsgLo, p.MsgHi)
+	}
+
+	var machines []hiperd.Machine
+	alloc := make([]int, nApps)
+	if p.DedicatedMachines {
+		machines = make([]hiperd.Machine, nApps)
+		for j := range machines {
+			machines[j] = hiperd.Machine{Name: fmt.Sprintf("m%d", j), Speed: 1}
+			alloc[j] = j
+		}
+	} else {
+		machines = make([]hiperd.Machine, p.Machines)
+		for j := range machines {
+			machines[j] = hiperd.Machine{Name: fmt.Sprintf("m%d", j), Speed: 1}
+		}
+		for i := range alloc {
+			alloc[i] = i % p.Machines
+		}
+	}
+
+	s := &hiperd.System{
+		Apps:      apps,
+		Graph:     g,
+		MsgSizes:  msgs,
+		Machines:  machines,
+		Bandwidth: p.Bandwidth,
+		Alloc:     alloc,
+		Rate:      p.Rate,
+		// Placeholder; set from the nominal latency below.
+		LatencyMax: 1,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	nominal, err := s.WorstLatency(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		return nil, err
+	}
+	s.LatencyMax = p.LatencySlack * nominal
+
+	// The QoS must hold at the nominal point; if the draw produced an
+	// overloaded machine, scale the rate down to 80% of capacity.
+	mu, err := s.MachineUtil(s.OrigExecTimes())
+	if err != nil {
+		return nil, err
+	}
+	if worst := mu.Max(); worst >= 1 {
+		s.Rate = s.Rate / worst * 0.8
+	}
+	if ok, err := s.QoSOK(s.OrigExecTimes(), s.OrigMsgSizes()); err != nil || !ok {
+		return nil, fmt.Errorf("workload: generated system violates its own QoS (err=%v)", err)
+	}
+	return s, nil
+}
+
+func seq(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// MakespanParams shape a random independent-task instance.
+type MakespanParams struct {
+	Tasks, Machines   int
+	MeanTask          float64
+	TaskCV, MachineCV float64
+	Consistent        bool
+}
+
+// DefaultMakespan returns the mid-heterogeneity instance family used by the
+// ranking experiment.
+func DefaultMakespan() MakespanParams {
+	return MakespanParams{Tasks: 64, Machines: 8, MeanTask: 10, TaskCV: 0.35, MachineCV: 0.35}
+}
+
+// Makespan draws an ETC matrix with the CVB method.
+func Makespan(p MakespanParams, src *stats.Source) (*etc.Matrix, error) {
+	return etc.CVB(etc.CVBParams{
+		Tasks: p.Tasks, Machines: p.Machines,
+		MeanTask: p.MeanTask, TaskCV: p.TaskCV, MachineCV: p.MachineCV,
+		Consistent: p.Consistent,
+	}, src)
+}

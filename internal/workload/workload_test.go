@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func TestHiPerDDefaultValidates(t *testing.T) {
+	s, err := HiPerD(DefaultHiPerD(), stats.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 sensors + 2×3 + 2 actuators = 10 apps.
+	if len(s.Apps) != 10 {
+		t.Errorf("apps = %d, want 10", len(s.Apps))
+	}
+	ok, err := s.QoSOK(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("generated system must satisfy its own QoS")
+	}
+}
+
+func TestHiPerDConnectivity(t *testing.T) {
+	p := DefaultHiPerD()
+	p.Layers, p.Width = 3, 4
+	s, err := HiPerD(p, stats.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every intermediate app must be on some sensor→actuator path: it has
+	// at least one predecessor and one successor by construction.
+	for v := 0; v < s.Graph.N(); v++ {
+		isSource := len(s.Graph.Pred(v)) == 0
+		isSink := len(s.Graph.Succ(v)) == 0
+		if isSource && v >= p.Sensors {
+			t.Errorf("non-sensor node %d has no predecessors", v)
+		}
+		if isSink && v < s.Graph.N()-p.Actuators {
+			t.Errorf("non-actuator node %d has no successors", v)
+		}
+	}
+	paths, err := s.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Error("no sensor→actuator paths")
+	}
+}
+
+func TestHiPerDNoLayers(t *testing.T) {
+	p := DefaultHiPerD()
+	p.Layers, p.Width = 0, 0
+	s, err := HiPerD(p, stats.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensors connect straight to actuators.
+	if len(s.Apps) != p.Sensors+p.Actuators {
+		t.Errorf("apps = %d", len(s.Apps))
+	}
+}
+
+func TestHiPerDSharedMachines(t *testing.T) {
+	p := DefaultHiPerD()
+	p.DedicatedMachines = false
+	p.Machines = 3
+	s, err := HiPerD(p, stats.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Machines) != 3 {
+		t.Errorf("machines = %d", len(s.Machines))
+	}
+	ok, err := s.QoSOK(s.OrigExecTimes(), s.OrigMsgSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("shared-machine system must still satisfy QoS (rate rescaled)")
+	}
+}
+
+func TestHiPerDDeterminism(t *testing.T) {
+	a, err := HiPerD(DefaultHiPerD(), stats.NewSource(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HiPerD(DefaultHiPerD(), stats.NewSource(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MsgSizes.EqualApprox(b.MsgSizes, 0) {
+		t.Error("same seed must reproduce message sizes")
+	}
+	ea, eb := a.OrigExecTimes(), b.OrigExecTimes()
+	if !ea.EqualApprox(eb, 0) {
+		t.Error("same seed must reproduce exec times")
+	}
+}
+
+func TestHiPerDAnalysisWorks(t *testing.T) {
+	s, err := HiPerD(DefaultHiPerD(), stats.NewSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Features) == 0 || a.TotalDim() == 0 {
+		t.Error("analysis must have features and dimensions")
+	}
+}
+
+func TestHiPerDParamErrors(t *testing.T) {
+	src := stats.NewSource(1)
+	bad := []func(*HiPerDParams){
+		func(p *HiPerDParams) { p.Sensors = 0 },
+		func(p *HiPerDParams) { p.Actuators = 0 },
+		func(p *HiPerDParams) { p.Layers = 2; p.Width = 0 },
+		func(p *HiPerDParams) { p.ExecLo = 0 },
+		func(p *HiPerDParams) { p.ExecHi = p.ExecLo / 2 },
+		func(p *HiPerDParams) { p.MsgLo = -1 },
+		func(p *HiPerDParams) { p.Bandwidth = 0 },
+		func(p *HiPerDParams) { p.Rate = 0 },
+		func(p *HiPerDParams) { p.LatencySlack = 1 },
+		func(p *HiPerDParams) { p.DedicatedMachines = false; p.Machines = 0 },
+	}
+	for i, mut := range bad {
+		p := DefaultHiPerD()
+		mut(&p)
+		if _, err := HiPerD(p, src); err == nil {
+			t.Errorf("case %d: expected parameter error", i)
+		}
+	}
+}
+
+func TestMakespanGenerator(t *testing.T) {
+	m, err := Makespan(DefaultMakespan(), stats.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 64 || m.Machines != 8 {
+		t.Errorf("shape %dx%d", m.Tasks, m.Machines)
+	}
+}
