@@ -1,0 +1,180 @@
+package fepia_test
+
+// Chaos suite over the public API: under every injectable fault class —
+// panicking impacts, NaN/Inf returns, slow impacts against deadlines,
+// dimension-corrupted vectors — the fepia API must never panic, must return
+// within its deadline, and must report the right typed error.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fepia"
+	"fepia/internal/chaos"
+	"fepia/internal/vec"
+)
+
+func prod(vs []fepia.Vector) float64 { return vs[0][0] * vs[1][0] }
+
+// faultyAnalysis builds a valid two-parameter numeric-tier analysis, then
+// swaps in the fault-injected impact (post-validation, like a fault that
+// develops at runtime).
+func faultyAnalysis(t *testing.T, in *chaos.Injector) *fepia.Analysis {
+	t.Helper()
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{{Name: "phi", Bounds: fepia.MaxOnly(4), Impact: prod}},
+		[]fepia.Perturbation{
+			{Name: "x", Unit: "s", Orig: fepia.Vector{1}},
+			{Name: "y", Unit: "b", Orig: fepia.Vector{1}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Features[0].Impact = in.Wrap(prod)
+	return a
+}
+
+// wantTyped maps each fault class to the sentinel the API must report.
+var faultMatrix = []struct {
+	fault chaos.Fault
+	want  error
+}{
+	{chaos.PanicFault, fepia.ErrImpactPanic},
+	{chaos.CorruptDimsFault, fepia.ErrImpactPanic},
+	{chaos.NaNFault, fepia.ErrNumeric},
+	{chaos.PosInfFault, fepia.ErrNumeric},
+	{chaos.NegInfFault, fepia.ErrNumeric},
+}
+
+func TestPublicAPISurvivesEveryFault(t *testing.T) {
+	for _, c := range faultMatrix {
+		t.Run(c.fault.String(), func(t *testing.T) {
+			calls := []struct {
+				name string
+				run  func(a *fepia.Analysis, ctx context.Context) error
+			}{
+				{"Robustness", func(a *fepia.Analysis, ctx context.Context) error {
+					_, err := a.RobustnessCtx(ctx, fepia.Normalized{})
+					return err
+				}},
+				{"RobustnessConcurrent", func(a *fepia.Analysis, ctx context.Context) error {
+					_, err := a.RobustnessConcurrentCtx(ctx, fepia.Normalized{}, 4)
+					return err
+				}},
+				{"RobustnessSingle", func(a *fepia.Analysis, ctx context.Context) error {
+					_, err := a.RobustnessSingleCtx(ctx, 0)
+					return err
+				}},
+				{"MonteCarlo", func(a *fepia.Analysis, ctx context.Context) error {
+					_, err := a.MonteCarloCtx(ctx, fepia.MCOptions{Spread: 0.1, Samples: 64})
+					return err
+				}},
+			}
+			for _, call := range calls {
+				in := &chaos.Injector{Fault: c.fault}
+				a := faultyAnalysis(t, in)
+				o := chaos.Probe(5*time.Second, time.Second, func(ctx context.Context) error {
+					return call.run(a, ctx)
+				})
+				if o.Panicked() {
+					t.Fatalf("%s under %s panicked: %v\n%s", call.name, c.fault, o.Panic, o.Stack)
+				}
+				if o.TimedOut {
+					t.Fatalf("%s under %s hung", call.name, c.fault)
+				}
+				if !errors.Is(o.Err, c.want) {
+					t.Fatalf("%s under %s: err = %v, want %v", call.name, c.fault, o.Err, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestPublicAPIDeadlineCompliance(t *testing.T) {
+	in := &chaos.Injector{Fault: chaos.SlowFault, Delay: 5 * time.Millisecond}
+	a := faultyAnalysis(t, in)
+	o := chaos.Probe(30*time.Millisecond, 100*time.Millisecond, func(ctx context.Context) error {
+		_, err := a.RobustnessCtx(ctx, fepia.Normalized{})
+		return err
+	})
+	if o.TimedOut {
+		t.Fatalf("RobustnessCtx overran a 30ms deadline by more than 100ms (elapsed %v)", o.Elapsed)
+	}
+	if !errors.Is(o.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", o.Err)
+	}
+}
+
+func TestDegradedFallbackThroughPublicAPI(t *testing.T) {
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{{Name: "phi", Bounds: fepia.MaxOnly(3), Impact: func(vs []fepia.Vector) float64 {
+			x := vs[0][0]
+			if x > 1.5 || x < -1.5 {
+				return math.NaN()
+			}
+			return 2 * x
+		}}},
+		[]fepia.Perturbation{{Name: "x", Unit: "s", Orig: fepia.Vector{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.RobustnessWith(context.Background(), fepia.Normalized{},
+		fepia.EvalOptions{DegradeOnNumeric: true, DegradeSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rho.Degraded {
+		t.Fatal("fallback result not flagged Degraded")
+	}
+	if rho.Value <= 0.3 || rho.Value > 0.55 {
+		t.Fatalf("degraded rho = %g, want an estimate near 0.5", rho.Value)
+	}
+}
+
+func TestCertifierSurvivesCorruptOperatingPoints(t *testing.T) {
+	a, err := fepia.NewAnalysis(
+		[]fepia.Feature{{Name: "lat", Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}}}},
+		[]fepia.Perturbation{
+			{Name: "t", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "m", Unit: "b", Orig: fepia.Vector{4}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.NewCertifier(fepia.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []fepia.Vector{{1, 2}, {4}}
+	corrupt := chaos.TruncateLastBlock([]vec.V{{1, 2}, {4}})
+	bad := make([]fepia.Vector, len(corrupt))
+	for i, v := range corrupt {
+		bad[i] = fepia.Vector(v)
+	}
+	o := chaos.Probe(time.Second, time.Second, func(context.Context) error {
+		if _, err := c.Check(bad); !errors.Is(err, fepia.ErrDimMismatch) {
+			return err
+		}
+		if _, _, err := c.CriticalMargin(bad); !errors.Is(err, fepia.ErrDimMismatch) {
+			return err
+		}
+		if _, err := a.Tolerable(bad, fepia.Normalized{}); !errors.Is(err, fepia.ErrDimMismatch) {
+			return err
+		}
+		return nil
+	})
+	if o.Panicked() {
+		t.Fatalf("corrupt operating point panicked the certifier: %v", o.Panic)
+	}
+	if o.Err != nil {
+		t.Fatalf("corrupt point not reported as ErrDimMismatch: %v", o.Err)
+	}
+	ok, err := c.Check(good)
+	if err != nil || !ok {
+		t.Fatalf("healthy Check = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+// FuzzScenarioJSON drives the scenario parser and analysis builder with
+// arbitrary byte strings: malformed JSON, mismatched coefficient-block
+// shapes, and non-finite floats must all surface as errors — never as a
+// panic, and never as an analysis that later divides by a zero dimension.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fepia"
+)
+
+func FuzzScenarioJSON(f *testing.F) {
+	f.Add([]byte(exampleScenario))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"params": [], "features": []}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"params": [{"name": "x", "orig": []}], "features": [{"name": "f", "coeffs": [[]]}]}`))
+	// Coefficient block count disagrees with the parameter count.
+	f.Add([]byte(`{"params": [{"name": "x", "orig": [1]}], "features": [{"name": "f", "max": 1, "coeffs": [[2], [3]]}]}`))
+	// Coefficient block length disagrees with the parameter dimension.
+	f.Add([]byte(`{"params": [{"name": "x", "orig": [1, 2]}], "features": [{"name": "f", "max": 1, "coeffs": [[2]]}]}`))
+	// Bounds that exclude the original operating point.
+	f.Add([]byte(`{"params": [{"name": "x", "orig": [1]}], "features": [{"name": "f", "max": -5, "coeffs": [[2]]}]}`))
+	// Inverted band.
+	f.Add([]byte(`{"params": [{"name": "x", "orig": [1]}], "features": [{"name": "f", "min": 9, "max": -9, "coeffs": [[1]]}]}`))
+	// A large float that overflows to +Inf when scaled.
+	f.Add([]byte(`{"params": [{"name": "x", "orig": [1e308]}], "features": [{"name": "f", "max": 1, "coeffs": [[1e308]]}]}`))
+	f.Add([]byte(`{"params": [{"name": "x", "orig": [0]}], "features": [{"name": "f", "max": 1, "coeffs": [[1]]}]}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var sc scenario
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return // malformed JSON is rejected upstream of buildAnalysis
+		}
+		a, err := buildAnalysis(sc)
+		if err != nil {
+			return // shape or validation errors are the expected outcome
+		}
+		// A scenario that builds must also evaluate without panicking.
+		_, _ = a.Robustness(fepia.Normalized{})
+	})
+}

@@ -16,7 +16,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -68,8 +70,16 @@ func main() {
 	check := flag.String("check", "", "operating point to check: elements comma-separated, parameters semicolon-separated")
 	mcSigma := flag.Float64("mc", 0, "also run Monte-Carlo: relative-normal drift with this sigma per element")
 	mcSamples := flag.Int("mc-samples", 10000, "Monte-Carlo sample count")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole analysis (0 = unlimited), e.g. 30s")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *example {
 		fmt.Println(exampleScenario)
@@ -106,7 +116,7 @@ func main() {
 	tb := report.NewTable("Per-kind robustness rho(Phi, pi_j) — Eq. 1",
 		"parameter", "unit", "rho", "critical feature", "boundary")
 	for j, p := range a.Params {
-		r, err := a.RobustnessSingle(j)
+		r, err := a.RobustnessSingleCtx(ctx, j)
 		if err != nil {
 			fatal(err)
 		}
@@ -120,7 +130,7 @@ func main() {
 	fmt.Println()
 
 	// Combined robustness.
-	rho, err := a.Robustness(w)
+	rho, err := a.RobustnessCtx(ctx, w)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,7 +144,7 @@ func main() {
 		fmtRadius(rho.Value), a.Features[rho.Critical].Name)
 
 	if *mcSigma > 0 {
-		mc, err := a.MonteCarlo(fepia.MCOptions{
+		mc, err := a.MonteCarloCtx(ctx, fepia.MCOptions{
 			Model:   fepia.MCRelativeNormal,
 			Spread:  *mcSigma,
 			Samples: *mcSamples,
@@ -226,5 +236,13 @@ func fmtRadius(v float64) string {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "fepia: %v\n", err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "fepia: the analysis exceeded -timeout; raise the budget or simplify the scenario")
+	case errors.Is(err, fepia.ErrImpactPanic):
+		fmt.Fprintln(os.Stderr, "fepia: an impact function panicked; the offending feature is identified above")
+	case errors.Is(err, fepia.ErrNumeric):
+		fmt.Fprintln(os.Stderr, "fepia: an impact function produced NaN/Inf; see docs/failure-semantics.md")
+	}
 	os.Exit(1)
 }

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,9 +32,17 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweep sizes for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
 	mdDir := flag.String("md", "", "also write every table as Markdown into this directory")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited), e.g. 5m")
 	flag.Parse()
 
-	cfg := exper.Config{Seed: *seed, Quick: *quick}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := exper.Config{Seed: *seed, Quick: *quick, Ctx: ctx}
 	var exps []exper.Experiment
 	if *run != "" {
 		e, ok := exper.ByID(*run)
@@ -61,10 +71,18 @@ func main() {
 
 	failed := false
 	for _, e := range exps {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: budget exhausted before %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    regenerates: %s\n\n", e.Artifact)
 		res, err := e.Run(cfg)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "robustbench: %s aborted, -timeout budget exhausted: %v\n", e.ID, err)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "robustbench: %s failed: %v\n", e.ID, err)
 			failed = true
 			continue

@@ -48,6 +48,21 @@
 // The examples/ directory contains complete programs: a quick start, the
 // makespan ranking scenario, the HiPer-D streaming scenario with DES
 // validation, and an interactive demonstration of the 1/√n degeneracy.
+//
+// # Failure semantics
+//
+// The evaluation runtime is hardened for service use. Context-aware
+// variants of the expensive entry points — Analysis.RobustnessCtx,
+// Analysis.RobustnessConcurrentCtx, Analysis.MonteCarloCtx,
+// Analysis.RadiusSingleCtx, Analysis.CombinedRadiusCtx — honor
+// cancellation and deadlines within one impact-function evaluation. A
+// panicking ImpactFunc is contained as a typed *ImpactPanicError (matched
+// by errors.Is(err, ErrImpactPanic)) carrying the feature index and stack;
+// NaN/Inf leaking out of an impact function or the numeric root-finding
+// becomes a typed *NumericError (ErrNumeric) instead of a silently wrong
+// radius; and Analysis.RobustnessWith with EvalOptions.DegradeOnNumeric
+// degrades numeric failures to a Monte-Carlo lower-bound estimate flagged
+// Degraded: true. See docs/failure-semantics.md for the full taxonomy.
 package fepia
 
 import (
@@ -145,6 +160,30 @@ type MCOptions = core.MCOptions
 
 // MCResult summarizes a Monte-Carlo robustness estimation.
 type MCResult = core.MCResult
+
+// EvalOptions tune the hardened evaluation engine (Analysis.RobustnessWith):
+// worker-pool size and the Monte-Carlo degradation of numeric failures.
+type EvalOptions = core.EvalOptions
+
+// ImpactPanicError reports a panic recovered from a caller-supplied impact
+// function; it carries the feature index and the captured stack.
+type ImpactPanicError = core.ImpactPanicError
+
+// NumericError reports a NaN/Inf observed during a robustness evaluation.
+type NumericError = core.NumericError
+
+// Containment sentinels for errors.Is; see docs/failure-semantics.md.
+var (
+	// ErrImpactPanic matches any error caused by a panic inside a
+	// caller-supplied impact function.
+	ErrImpactPanic = core.ErrImpactPanic
+	// ErrNumeric matches any error caused by a non-finite value observed
+	// while evaluating an impact function or a radius.
+	ErrNumeric = core.ErrNumeric
+	// ErrDimMismatch matches errors from wrong-shaped parameter values
+	// (Tolerable, Certifier.Check, Certifier.CriticalMargin, ToP/FromP).
+	ErrDimMismatch = vec.ErrDimMismatch
+)
 
 // NewAnalysis assembles and validates an analysis.
 func NewAnalysis(features []Feature, params []Perturbation) (*Analysis, error) {

@@ -1,0 +1,201 @@
+// Package chaos is a fault-injection harness for the hardened evaluation
+// runtime. It wraps caller-supplied impact functions with configurable
+// faults — panics, NaN/Inf returns, slow evaluations that blow deadlines,
+// dimension-corrupted parameter vectors — and runs analyses under a
+// watchdog that captures panics and hangs. The test suites of core, des and
+// cmd/fepia use it to assert that the public API never panics, always
+// returns within its deadline, and reports the right typed error for each
+// fault class.
+//
+// The package deliberately depends only on vec and the standard library, so
+// it can be imported by the very packages whose behavior it attacks
+// (including internal/core's own tests) without import cycles: it deals in
+// the raw impact-function shape func([]vec.V) float64, which is assignable
+// to core.ImpactFunc.
+package chaos
+
+import (
+	"context"
+	"math"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"fepia/internal/vec"
+)
+
+// Impact is the raw impact-function shape, assignable to core.ImpactFunc.
+type Impact = func(params []vec.V) float64
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+const (
+	// None passes every call through unchanged.
+	None Fault = iota
+	// PanicFault panics with a descriptive value.
+	PanicFault
+	// NaNFault returns math.NaN().
+	NaNFault
+	// PosInfFault returns math.Inf(1).
+	PosInfFault
+	// NegInfFault returns math.Inf(-1).
+	NegInfFault
+	// SlowFault sleeps Injector.Delay, then calls through. Use it to
+	// exercise deadline and cancellation paths.
+	SlowFault
+	// CorruptDimsFault calls through with a copy of the parameter vectors
+	// whose last non-empty block has lost its final element — the shape an
+	// upstream data corruption would produce. Impact functions that index
+	// their blocks will panic; the runtime must contain it.
+	CorruptDimsFault
+)
+
+// String names the fault for test labels.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case PanicFault:
+		return "panic"
+	case NaNFault:
+		return "nan"
+	case PosInfFault:
+		return "+inf"
+	case NegInfFault:
+		return "-inf"
+	case SlowFault:
+		return "slow"
+	case CorruptDimsFault:
+		return "corrupt-dims"
+	default:
+		return "unknown"
+	}
+}
+
+// Injector wraps impact functions with one configurable fault. The zero
+// value passes calls through unchanged. An Injector is safe for concurrent
+// use (the evaluation runtime may call the wrapped function from many
+// workers).
+type Injector struct {
+	// Fault selects the failure mode.
+	Fault Fault
+	// After delays the fault until the After-th call (0 = fault from the
+	// first call). Earlier calls pass through, letting analyses that probe
+	// the original operating point first get past validation.
+	After int64
+	// Delay is SlowFault's per-call sleep.
+	Delay time.Duration
+
+	calls atomic.Int64
+}
+
+// Calls reports how many times wrapped functions have been invoked.
+func (in *Injector) Calls() int64 { return in.calls.Load() }
+
+// Wrap returns f with the injector's fault applied.
+func (in *Injector) Wrap(f Impact) Impact {
+	return func(params []vec.V) float64 {
+		n := in.calls.Add(1)
+		if n <= in.After {
+			return f(params)
+		}
+		switch in.Fault {
+		case PanicFault:
+			panic("chaos: injected impact panic")
+		case NaNFault:
+			return math.NaN()
+		case PosInfFault:
+			return math.Inf(1)
+		case NegInfFault:
+			return math.Inf(-1)
+		case SlowFault:
+			time.Sleep(in.Delay)
+		case CorruptDimsFault:
+			params = TruncateLastBlock(params)
+		}
+		return f(params)
+	}
+}
+
+// TruncateLastBlock returns a copy of the parameter vectors whose last
+// non-empty block has lost its final element — a dimension corruption.
+func TruncateLastBlock(params []vec.V) []vec.V {
+	out := make([]vec.V, len(params))
+	copy(out, params)
+	for j := len(out) - 1; j >= 0; j-- {
+		if len(out[j]) > 0 {
+			out[j] = out[j][:len(out[j])-1]
+			break
+		}
+	}
+	return out
+}
+
+// Outcome describes one probed run of an API under fault injection.
+type Outcome struct {
+	// Err is the error the probed function returned (nil if it panicked,
+	// hung, or succeeded).
+	Err error
+	// Panic is the recovered panic value when the probed function let a
+	// panic escape — the one thing a hardened API must never do.
+	Panic any
+	// Stack is the goroutine stack captured when Panic is non-nil.
+	Stack []byte
+	// Elapsed is the wall-clock time until the function returned (or until
+	// the watchdog gave up).
+	Elapsed time.Duration
+	// TimedOut reports that the function failed to return within
+	// deadline+grace; its goroutine was abandoned.
+	TimedOut bool
+}
+
+// Panicked reports whether a panic escaped the probed function.
+func (o Outcome) Panicked() bool { return o.Panic != nil }
+
+// Probe runs fn with a deadline context and full containment: escaped
+// panics are captured into the Outcome instead of crashing the test
+// process, and if fn ignores cancellation and overruns the deadline by
+// grace, Probe abandons its goroutine and reports TimedOut. Probe always
+// returns.
+func Probe(deadline, grace time.Duration, fn func(ctx context.Context) error) Outcome {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	return watch(deadline+grace, func() error { return fn(ctx) })
+}
+
+// ProbeCancel runs fn with a context that is cancelled after the given
+// delay, measuring how long fn takes to come back once cancelled. The
+// returned Outcome.Elapsed is the total run time; subtract `after` for the
+// cancellation latency. Like Probe, it always returns.
+func ProbeCancel(after, grace time.Duration, fn func(ctx context.Context) error) Outcome {
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(after, cancel)
+	defer timer.Stop()
+	defer cancel()
+	return watch(after+grace, func() error { return fn(ctx) })
+}
+
+// watch runs fn on its own goroutine with panic capture and a hang
+// watchdog.
+func watch(limit time.Duration, fn func() error) Outcome {
+	done := make(chan Outcome, 1)
+	start := time.Now()
+	go func() {
+		var o Outcome
+		defer func() {
+			if r := recover(); r != nil {
+				o.Panic, o.Stack = r, debug.Stack()
+			}
+			o.Elapsed = time.Since(start)
+			done <- o
+		}()
+		o.Err = fn()
+	}()
+	select {
+	case o := <-done:
+		return o
+	case <-time.After(limit):
+		return Outcome{TimedOut: true, Elapsed: time.Since(start)}
+	}
+}

@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fepia/internal/vec"
+)
+
+func sum(params []vec.V) float64 {
+	var s float64
+	for _, p := range params {
+		for _, x := range p {
+			s += x
+		}
+	}
+	return s
+}
+
+func TestInjectorPassthrough(t *testing.T) {
+	var in Injector
+	f := in.Wrap(sum)
+	if got := f([]vec.V{{1, 2}, {3}}); got != 6 {
+		t.Fatalf("passthrough sum = %g, want 6", got)
+	}
+	if in.Calls() != 1 {
+		t.Fatalf("calls = %d, want 1", in.Calls())
+	}
+}
+
+func TestInjectorAfterDelaysFault(t *testing.T) {
+	in := Injector{Fault: NaNFault, After: 2}
+	f := in.Wrap(sum)
+	args := []vec.V{{1}}
+	if v := f(args); v != 1 {
+		t.Fatalf("call 1 = %g, want passthrough 1", v)
+	}
+	if v := f(args); v != 1 {
+		t.Fatalf("call 2 = %g, want passthrough 1", v)
+	}
+	if v := f(args); !math.IsNaN(v) {
+		t.Fatalf("call 3 = %g, want NaN", v)
+	}
+}
+
+func TestInjectorFaults(t *testing.T) {
+	args := []vec.V{{1, 2}}
+	cases := []struct {
+		fault Fault
+		check func(t *testing.T, f Impact)
+	}{
+		{NaNFault, func(t *testing.T, f Impact) {
+			if v := f(args); !math.IsNaN(v) {
+				t.Fatalf("got %g, want NaN", v)
+			}
+		}},
+		{PosInfFault, func(t *testing.T, f Impact) {
+			if v := f(args); !math.IsInf(v, 1) {
+				t.Fatalf("got %g, want +Inf", v)
+			}
+		}},
+		{NegInfFault, func(t *testing.T, f Impact) {
+			if v := f(args); !math.IsInf(v, -1) {
+				t.Fatalf("got %g, want -Inf", v)
+			}
+		}},
+		{PanicFault, func(t *testing.T, f Impact) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic injected")
+				}
+			}()
+			f(args)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.fault.String(), func(t *testing.T) {
+			in := Injector{Fault: c.fault}
+			c.check(t, in.Wrap(sum))
+		})
+	}
+}
+
+func TestCorruptDims(t *testing.T) {
+	in := Injector{Fault: CorruptDimsFault}
+	var gotDims []int
+	f := in.Wrap(func(params []vec.V) float64 {
+		gotDims = nil
+		for _, p := range params {
+			gotDims = append(gotDims, len(p))
+		}
+		return 0
+	})
+	orig := []vec.V{{1, 2}, {3, 4, 5}}
+	f(orig)
+	if len(gotDims) != 2 || gotDims[0] != 2 || gotDims[1] != 2 {
+		t.Fatalf("corrupted dims = %v, want [2 2]", gotDims)
+	}
+	// The caller's vectors must be untouched.
+	if len(orig[1]) != 3 {
+		t.Fatalf("original block mutated: %v", orig[1])
+	}
+}
+
+func TestProbeCapturesPanic(t *testing.T) {
+	o := Probe(time.Second, time.Second, func(ctx context.Context) error {
+		panic("boom")
+	})
+	if !o.Panicked() || o.Panic != "boom" {
+		t.Fatalf("outcome = %+v, want captured panic", o)
+	}
+	if len(o.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+func TestProbeReportsHang(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	o := Probe(10*time.Millisecond, 20*time.Millisecond, func(ctx context.Context) error {
+		<-block // ignores ctx entirely
+		return nil
+	})
+	if !o.TimedOut {
+		t.Fatalf("outcome = %+v, want TimedOut", o)
+	}
+}
+
+func TestProbeCancelPropagates(t *testing.T) {
+	o := ProbeCancel(5*time.Millisecond, time.Second, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if o.TimedOut || o.Panicked() {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", o.Err)
+	}
+}

@@ -104,6 +104,12 @@ func (c *Certifier) CriticalMargin(values []vec.V) (float64, int, error) {
 	if len(values) != len(c.dims) {
 		return 0, -1, fmt.Errorf("core: CriticalMargin: %d parameter values, want %d", len(values), len(c.dims))
 	}
+	for j, v := range values {
+		if len(v) != c.dims[j] {
+			return 0, -1, fmt.Errorf("core: CriticalMargin: parameter %d has dim %d, want %d: %w",
+				j, len(v), c.dims[j], vec.ErrDimMismatch)
+		}
+	}
 	flat := concat(values)
 	margin := math.Inf(1)
 	feat := -1

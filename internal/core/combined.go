@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,8 +21,19 @@ import (
 // closed forms of Sections 3.1 and 3.2). Nonlinear impacts fall back to the
 // numeric level-set search in P-space.
 func (a *Analysis) CombinedRadius(i int, w Weighting) (Radius, error) {
+	return a.CombinedRadiusCtx(context.Background(), i, w)
+}
+
+// CombinedRadiusCtx is CombinedRadius with cooperative cancellation: ctx is
+// checked before every impact-function evaluation of the numeric tier.
+// Panics and non-finite values from the impact function are contained as
+// *ImpactPanicError / *NumericError.
+func (a *Analysis) CombinedRadiusCtx(ctx context.Context, i int, w Weighting) (Radius, error) {
 	if i < 0 || i >= len(a.Features) {
 		return Radius{}, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
+	}
+	if err := ctxErr(ctx); err != nil {
+		return Radius{}, err
 	}
 	d, err := w.Scales(a, i)
 	if err != nil {
@@ -38,7 +50,7 @@ func (a *Analysis) CombinedRadius(i int, w Weighting) (Radius, error) {
 	if f.Quad != nil {
 		return a.combinedQuad(i, d, pOrig)
 	}
-	return a.combinedNumeric(i, d, pOrig)
+	return a.combinedNumeric(ctx, i, d, pOrig)
 }
 
 // combinedLinear: in P-space, φ = Const + Σ (k_e / d_e)·P_e over flattened
@@ -77,10 +89,12 @@ func (a *Analysis) combinedLinear(i int, d, pOrig vec.V) (Radius, error) {
 }
 
 // combinedNumeric runs the level-set search over P-space: the impact is
-// evaluated at native values recovered via the inverse scaling.
-func (a *Analysis) combinedNumeric(i int, d, pOrig vec.V) (Radius, error) {
+// evaluated at native values recovered via the inverse scaling. The
+// caller-supplied impact function runs behind a guard (see failure.go).
+func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V) (Radius, error) {
 	f := a.Features[i]
-	impact := f.impact()
+	g := &guard{feature: i, param: -1, op: "combined radius"}
+	impact := g.wrap(f.impact())
 	dims := a.Dims()
 	inP := func(x []float64) float64 {
 		native := vec.V(x).Div(d)
@@ -90,6 +104,7 @@ func (a *Analysis) combinedNumeric(i int, d, pOrig vec.V) (Radius, error) {
 		}
 		return impact(vals)
 	}
+	opts := a.searchOpts(ctx)
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
 	for _, side := range []struct {
 		beta float64
@@ -98,11 +113,12 @@ func (a *Analysis) combinedNumeric(i int, d, pOrig vec.V) (Radius, error) {
 		if math.IsInf(side.beta, 0) {
 			continue
 		}
-		res, err := optimize.NearestOnLevelSet(inP, side.beta, pOrig, a.NumOpts)
-		if err != nil {
-			if errors.Is(err, optimize.ErrNoBoundary) {
-				continue
-			}
+		res, err := optimize.NearestOnLevelSet(inP, side.beta, pOrig, opts)
+		if err != nil && errors.Is(err, optimize.ErrNoBoundary) {
+			err = nil // unreachable bound: not a failure
+			res.Dist = math.Inf(1)
+		}
+		if err = g.err(err); err != nil {
 			return Radius{}, fmt.Errorf("core: combined radius of %q: %w", f.Name, err)
 		}
 		if res.Dist < best.Value {
@@ -124,25 +140,26 @@ type Robustness struct {
 	PerFeature []Radius
 	// Weighting names the scheme that produced the P-space.
 	Weighting string
+	// Degraded reports that at least one per-feature radius could not be
+	// produced by the exact/numeric tiers and was estimated by the
+	// Monte-Carlo lower-bound fallback instead (its Radius carries
+	// Degraded: true). Only possible via EvalOptions.DegradeOnNumeric.
+	Degraded bool
 }
 
 // Robustness computes the paper's headline metric: the robustness of the
 // resource allocation with respect to the whole feature set Φ against the
 // whole perturbation set Π, in the P-space induced by w.
 func (a *Analysis) Robustness(w Weighting) (Robustness, error) {
-	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: w.Name()}
-	out.PerFeature = make([]Radius, len(a.Features))
-	for i := range a.Features {
-		r, err := a.CombinedRadius(i, w)
-		if err != nil {
-			return Robustness{}, err
-		}
-		out.PerFeature[i] = r
-		if r.Value < out.Value {
-			out.Value, out.Critical = r.Value, i
-		}
-	}
-	return out, nil
+	return a.RobustnessWith(context.Background(), w, EvalOptions{})
+}
+
+// RobustnessCtx is Robustness with cooperative cancellation: ctx is checked
+// between features and before every impact-function evaluation of the
+// numeric tier, so a cancelled or expired context aborts the analysis within
+// one evaluation of the slowest impact function.
+func (a *Analysis) RobustnessCtx(ctx context.Context, w Weighting) (Robustness, error) {
+	return a.RobustnessWith(ctx, w, EvalOptions{})
 }
 
 // Tolerable implements the paper's operating-point recipe: to decide whether

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"fmt"
-	"math"
+	"context"
 	"runtime"
-	"sync"
 )
 
 // RobustnessConcurrent computes the same result as Robustness but evaluates
@@ -16,46 +14,20 @@ import (
 //
 // workers ≤ 0 selects GOMAXPROCS. The result is identical to the serial
 // computation (each feature's radius is deterministic and features are
-// independent).
+// independent). A feature error stops the remaining work early — workers
+// share a cancel signal, so in-flight radii abort at their next impact
+// evaluation — and the lowest-index observed error is reported
+// deterministically.
 func (a *Analysis) RobustnessConcurrent(w Weighting, workers int) (Robustness, error) {
-	n := len(a.Features)
+	return a.RobustnessConcurrentCtx(context.Background(), w, workers)
+}
+
+// RobustnessConcurrentCtx is RobustnessConcurrent with cooperative
+// cancellation: ctx is checked between features and before every
+// impact-function evaluation of the numeric tier, on every worker.
+func (a *Analysis) RobustnessConcurrentCtx(ctx context.Context, w Weighting, workers int) (Robustness, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		return a.Robustness(w)
-	}
-
-	radii := make([]Radius, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				radii[i], errs[i] = a.CombinedRadius(i, w)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: w.Name(), PerFeature: radii}
-	for i := 0; i < n; i++ {
-		if errs[i] != nil {
-			return Robustness{}, fmt.Errorf("core: feature %d: %w", i, errs[i])
-		}
-		if radii[i].Value < out.Value {
-			out.Value, out.Critical = radii[i].Value, i
-		}
-	}
-	return out, nil
+	return a.RobustnessWith(ctx, w, EvalOptions{Workers: workers})
 }

@@ -197,7 +197,11 @@ func (a *Analysis) Validate() error {
 				return err
 			}
 			if f.Impact != nil {
-				got, want := f.Impact(orig), f.Quad.Eval(orig)
+				got, err := safeEval(i, f.Impact, orig)
+				if err != nil {
+					return fmt.Errorf("core: feature %q: %w", f.Name, err)
+				}
+				want := f.Quad.Eval(orig)
 				if !vec.ScalarEqualApprox(got, want, 1e-6) {
 					return fmt.Errorf("core: feature %q: Impact(pi_orig)=%g disagrees with Quad(pi_orig)=%g",
 						f.Name, got, want)
@@ -216,16 +220,24 @@ func (a *Analysis) Validate() error {
 				}
 			}
 			if f.Impact != nil {
-				got, want := f.Impact(orig), f.Linear.Eval(orig)
+				got, err := safeEval(i, f.Impact, orig)
+				if err != nil {
+					return fmt.Errorf("core: feature %q: %w", f.Name, err)
+				}
+				want := f.Linear.Eval(orig)
 				if !vec.ScalarEqualApprox(got, want, 1e-6) {
 					return fmt.Errorf("core: feature %q: Impact(π^orig)=%g disagrees with Linear(π^orig)=%g",
 						f.Name, got, want)
 				}
 			}
 		}
-		v := a.FeatureValue(i, orig)
-		if math.IsNaN(v) {
-			return fmt.Errorf("core: feature %q is NaN at the original operating point", f.Name)
+		v, err := safeEval(i, f.impact(), orig)
+		if err != nil {
+			return fmt.Errorf("core: feature %q: %w", f.Name, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: feature %q at the original operating point: %w",
+				f.Name, &NumericError{Feature: i, Op: "validation", Value: v})
 		}
 		if !f.Bounds.Contains(v) {
 			return fmt.Errorf("core: feature %q = %g already violates bounds [%g, %g] at π^orig",

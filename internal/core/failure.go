@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"fepia/internal/vec"
+)
+
+// This file is the failure-containment layer of the hardened evaluation
+// runtime. The analysis calls arbitrary caller-supplied impact functions in
+// tight loops (level-set searches, Monte-Carlo sampling); as a long-running
+// service component it must survive the faults it measures:
+//
+//   - a panicking ImpactFunc fails its own radius with a typed
+//     *ImpactPanicError instead of taking down the process;
+//   - NaN/Inf leaking out of an impact function (or produced by the numeric
+//     root-finding) becomes a typed *NumericError instead of silently
+//     corrupting a radius;
+//   - context cancellation and evaluation budgets propagate out of the
+//     numeric tier as wrapped ctx.Err() / optimize.ErrEvalBudget.
+//
+// docs/failure-semantics.md describes the full taxonomy.
+
+// Containment sentinels. Match them with errors.Is; retrieve the carried
+// detail (feature index, panic value, stack) with errors.As on the concrete
+// *ImpactPanicError / *NumericError types.
+var (
+	// ErrImpactPanic matches any error caused by a panic inside a
+	// caller-supplied impact function.
+	ErrImpactPanic = errors.New("core: impact function panicked")
+	// ErrNumeric matches any error caused by a non-finite (NaN/Inf) value
+	// observed while evaluating an impact function or a radius.
+	ErrNumeric = errors.New("core: non-finite value in robustness evaluation")
+)
+
+// ImpactPanicError reports a panic recovered from a caller-supplied impact
+// function. It satisfies errors.Is(err, ErrImpactPanic).
+type ImpactPanicError struct {
+	// Feature is the index of the feature whose impact function panicked.
+	Feature int
+	// Param is the perturbation-parameter index of the enclosing
+	// single-parameter radius, or −1 for combined-P-space and sampling
+	// evaluations.
+	Param int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *ImpactPanicError) Error() string {
+	return fmt.Sprintf("core: impact function of feature %d panicked: %v", e.Feature, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrImpactPanic) true.
+func (e *ImpactPanicError) Unwrap() error { return ErrImpactPanic }
+
+// NumericError reports a NaN or Inf observed during a robustness
+// evaluation. It satisfies errors.Is(err, ErrNumeric).
+type NumericError struct {
+	// Feature is the index of the affected feature (−1 when unknown).
+	Feature int
+	// Op names the computation that observed the value, e.g.
+	// "combined radius" or "Monte-Carlo sample".
+	Op string
+	// Value is the offending value (NaN, +Inf or −Inf).
+	Value float64
+}
+
+// Error implements error.
+func (e *NumericError) Error() string {
+	return fmt.Sprintf("core: %s of feature %d produced non-finite value %g", e.Op, e.Feature, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrNumeric) true.
+func (e *NumericError) Unwrap() error { return ErrNumeric }
+
+// guard wraps the evaluations of one feature's impact function during one
+// radius computation or sampling run. It converts panics into a recorded
+// *ImpactPanicError (the evaluation itself yields NaN so the enclosing
+// search degrades instead of crashing) and records any non-finite value the
+// impact produces. After the computation, err() reports the dominant typed
+// error. A guard is used by a single goroutine.
+type guard struct {
+	feature   int
+	param     int
+	op        string
+	panicErr  *ImpactPanicError
+	nonFinite float64 // first non-finite value observed (0 when none)
+	sawBad    bool
+}
+
+// wrap returns f with panic recovery and non-finite tracking.
+func (g *guard) wrap(f ImpactFunc) ImpactFunc {
+	return func(vals []vec.V) (out float64) {
+		defer func() {
+			if r := recover(); r != nil {
+				if g.panicErr == nil {
+					g.panicErr = &ImpactPanicError{
+						Feature: g.feature,
+						Param:   g.param,
+						Value:   r,
+						Stack:   debug.Stack(),
+					}
+				}
+				out = math.NaN()
+			}
+		}()
+		out = f(vals)
+		if !g.sawBad && (math.IsNaN(out) || math.IsInf(out, 0)) {
+			g.sawBad, g.nonFinite = true, out
+		}
+		return out
+	}
+}
+
+// err folds the guard's observations into the enclosing computation's
+// outcome. A recovered panic dominates; any observed non-finite value turns
+// an otherwise-successful search into a *NumericError, because a NaN/Inf
+// region can hide a nearer boundary and must never yield a silently wrong
+// radius. searchErr is the error (possibly nil) of the enclosing search.
+func (g *guard) err(searchErr error) error {
+	if g.panicErr != nil {
+		return g.panicErr
+	}
+	if g.sawBad {
+		return &NumericError{Feature: g.feature, Op: g.op, Value: g.nonFinite}
+	}
+	return searchErr
+}
+
+// safeEval evaluates one impact function with panic containment, for
+// call-once sites (validation, sampling) outside a search loop.
+func safeEval(feature int, f ImpactFunc, vals []vec.V) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ImpactPanicError{Feature: feature, Param: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(vals), nil
+}

@@ -1,0 +1,328 @@
+package core
+
+// Hardened-runtime tests: panic isolation, numeric-failure containment,
+// cooperative cancellation, evaluation budgets, graceful degradation, and
+// early termination of the concurrent pool — driven by the fault-injection
+// harness in internal/chaos.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fepia/internal/chaos"
+	"fepia/internal/optimize"
+	"fepia/internal/vec"
+)
+
+// prodXY is a benign nonlinear (numeric-tier) impact over two 1-D params.
+func prodXY(vs []vec.V) float64 { return vs[0][0] * vs[1][0] }
+
+// twoParamAnalysis builds a numeric-tier analysis with one feature whose
+// impact is replaced by `impact` after validation (so injected faults do
+// not trip NewAnalysis).
+func twoParamAnalysis(t *testing.T, impact ImpactFunc) *Analysis {
+	t.Helper()
+	a, err := NewAnalysis(
+		[]Feature{{Name: "phi", Bounds: MaxOnly(4), Impact: prodXY}},
+		[]Perturbation{
+			{Name: "x", Orig: vec.Of(1)},
+			{Name: "y", Orig: vec.Of(1)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact != nil {
+		a.Features[0].Impact = impact
+	}
+	return a
+}
+
+func TestPanickingImpactIsContained(t *testing.T) {
+	in := chaos.Injector{Fault: chaos.PanicFault}
+	a := twoParamAnalysis(t, in.Wrap(prodXY))
+
+	_, err := a.Robustness(Normalized{})
+	if !errors.Is(err, ErrImpactPanic) {
+		t.Fatalf("Robustness error = %v, want ErrImpactPanic", err)
+	}
+	var pe *ImpactPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not carry *ImpactPanicError", err)
+	}
+	if pe.Feature != 0 {
+		t.Fatalf("panic attributed to feature %d, want 0", pe.Feature)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+
+	if _, err := a.RadiusSingle(0, 0); !errors.Is(err, ErrImpactPanic) {
+		t.Fatalf("RadiusSingle error = %v, want ErrImpactPanic", err)
+	}
+	if _, err := a.MonteCarlo(MCOptions{Spread: 0.1, Samples: 16}); !errors.Is(err, ErrImpactPanic) {
+		t.Fatalf("MonteCarlo error = %v, want ErrImpactPanic", err)
+	}
+}
+
+func TestCorruptedDimsPanicIsContained(t *testing.T) {
+	// The corrupted vectors make prodXY index out of range; the runtime
+	// must convert that panic into ErrImpactPanic, not crash.
+	in := chaos.Injector{Fault: chaos.CorruptDimsFault}
+	a := twoParamAnalysis(t, in.Wrap(prodXY))
+	_, err := a.Robustness(Normalized{})
+	if !errors.Is(err, ErrImpactPanic) {
+		t.Fatalf("error = %v, want ErrImpactPanic", err)
+	}
+}
+
+func TestNonFiniteImpactYieldsErrNumeric(t *testing.T) {
+	for _, fault := range []chaos.Fault{chaos.NaNFault, chaos.PosInfFault, chaos.NegInfFault} {
+		t.Run(fault.String(), func(t *testing.T) {
+			in := chaos.Injector{Fault: fault}
+			a := twoParamAnalysis(t, in.Wrap(prodXY))
+			_, err := a.Robustness(Normalized{})
+			if !errors.Is(err, ErrNumeric) {
+				t.Fatalf("Robustness error = %v, want ErrNumeric", err)
+			}
+			var ne *NumericError
+			if !errors.As(err, &ne) {
+				t.Fatalf("error %v does not carry *NumericError", err)
+			}
+			if ne.Feature != 0 {
+				t.Fatalf("numeric failure attributed to feature %d, want 0", ne.Feature)
+			}
+		})
+	}
+}
+
+func TestMonteCarloNaNYieldsErrNumericNotSilentViolation(t *testing.T) {
+	in := chaos.Injector{Fault: chaos.NaNFault}
+	a := twoParamAnalysis(t, in.Wrap(prodXY))
+	_, err := a.MonteCarlo(MCOptions{Spread: 0.05, Samples: 64})
+	if !errors.Is(err, ErrNumeric) {
+		t.Fatalf("MonteCarlo error = %v, want ErrNumeric", err)
+	}
+}
+
+func TestRobustnessCtxCancellationIsPrompt(t *testing.T) {
+	in := chaos.Injector{Fault: chaos.SlowFault, Delay: 5 * time.Millisecond}
+	a := twoParamAnalysis(t, in.Wrap(prodXY))
+	o := chaos.ProbeCancel(30*time.Millisecond, 100*time.Millisecond, func(ctx context.Context) error {
+		_, err := a.RobustnessCtx(ctx, Normalized{})
+		return err
+	})
+	if o.TimedOut {
+		t.Fatalf("RobustnessCtx did not return within 100ms of cancellation (elapsed %v)", o.Elapsed)
+	}
+	if o.Panicked() {
+		t.Fatalf("RobustnessCtx panicked: %v", o.Panic)
+	}
+	if !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", o.Err)
+	}
+}
+
+func TestRobustnessCtxDeadline(t *testing.T) {
+	in := chaos.Injector{Fault: chaos.SlowFault, Delay: 5 * time.Millisecond}
+	a := twoParamAnalysis(t, in.Wrap(prodXY))
+	o := chaos.Probe(30*time.Millisecond, 100*time.Millisecond, func(ctx context.Context) error {
+		_, err := a.RobustnessConcurrentCtx(ctx, Normalized{}, 4)
+		return err
+	})
+	if o.TimedOut {
+		t.Fatalf("RobustnessConcurrentCtx overran its deadline (elapsed %v)", o.Elapsed)
+	}
+	if !errors.Is(o.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", o.Err)
+	}
+}
+
+func TestMonteCarloCtxCancellationIsPrompt(t *testing.T) {
+	in := chaos.Injector{Fault: chaos.SlowFault, Delay: 5 * time.Millisecond}
+	a := twoParamAnalysis(t, in.Wrap(prodXY))
+	o := chaos.ProbeCancel(30*time.Millisecond, 100*time.Millisecond, func(ctx context.Context) error {
+		_, err := a.MonteCarloCtx(ctx, MCOptions{Spread: 0.1, Samples: 1 << 20})
+		return err
+	})
+	if o.TimedOut {
+		t.Fatalf("MonteCarloCtx did not return within 100ms of cancellation (elapsed %v)", o.Elapsed)
+	}
+	if !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", o.Err)
+	}
+}
+
+func TestLevelSetEvalBudget(t *testing.T) {
+	a := twoParamAnalysis(t, nil)
+	a.NumOpts.MaxEvals = 10 // far too few to converge
+	_, err := a.Robustness(Normalized{})
+	if !errors.Is(err, optimize.ErrEvalBudget) {
+		t.Fatalf("error = %v, want optimize.ErrEvalBudget", err)
+	}
+}
+
+// nanBeyond is finite (2x) for x ≤ 1.5 and NaN past it: the numeric tier
+// must refuse to produce a radius (the NaN region could hide the boundary),
+// while the Monte-Carlo fallback treats NaN as a violation and recovers a
+// lower-bound estimate of 0.5.
+func nanBeyond(vs []vec.V) float64 {
+	x := vs[0][0]
+	if x > 1.5 || x < -1.5 {
+		return math.NaN()
+	}
+	return 2 * x
+}
+
+func nanAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := NewAnalysis(
+		[]Feature{{Name: "phi", Bounds: MaxOnly(3), Impact: nanBeyond}},
+		[]Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDegradedMonteCarloFallback(t *testing.T) {
+	a := nanAnalysis(t)
+
+	// Without degradation: a typed numeric error, never a silent radius.
+	if _, err := a.Robustness(Normalized{}); !errors.Is(err, ErrNumeric) {
+		t.Fatalf("exact tier error = %v, want ErrNumeric", err)
+	}
+
+	// With degradation: a flagged lower-bound estimate near the true 0.5.
+	rho, err := a.RobustnessWith(context.Background(), Normalized{},
+		EvalOptions{DegradeOnNumeric: true, DegradeSamples: 512, DegradeSeed: 7})
+	if err != nil {
+		t.Fatalf("degraded Robustness: %v", err)
+	}
+	if !rho.Degraded {
+		t.Fatal("result not flagged Degraded")
+	}
+	if !rho.PerFeature[0].Degraded {
+		t.Fatal("per-feature radius not flagged Degraded")
+	}
+	if rho.Value <= 0.3 || rho.Value > 0.55 {
+		t.Fatalf("degraded rho = %g, want an estimate near 0.5", rho.Value)
+	}
+}
+
+func TestDegradedFallbackConcurrent(t *testing.T) {
+	// Degradation must also hold on the worker-pool path, alongside
+	// healthy features.
+	feats := []Feature{
+		{Name: "bad", Bounds: MaxOnly(3), Impact: func(vs []vec.V) float64 { return nanBeyond(vs[:1]) }},
+		{Name: "good", Bounds: MaxOnly(9), Linear: &LinearImpact{Coeffs: []vec.V{{2}, {3}}}},
+	}
+	a, err := NewAnalysis(feats, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.RobustnessWith(context.Background(), Normalized{},
+		EvalOptions{Workers: 4, DegradeOnNumeric: true, DegradeSamples: 512, DegradeSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rho.Degraded || !rho.PerFeature[0].Degraded || rho.PerFeature[1].Degraded {
+		t.Fatalf("degradation flags wrong: %+v", rho)
+	}
+	if rho.PerFeature[1].Value <= 0 || rho.PerFeature[1].Degraded {
+		t.Fatalf("healthy feature corrupted: %+v", rho.PerFeature[1])
+	}
+}
+
+func TestConcurrentEarlyStopAndLowestIndexError(t *testing.T) {
+	// Feature 2 panics on its first evaluation; feature 5 is slow and only
+	// faults after several delayed calls; the rest are benign numeric-tier
+	// features. The pool must stop early and deterministically report
+	// feature 2's panic.
+	slowPanic := chaos.Injector{Fault: chaos.PanicFault, After: 5}
+	slow := chaos.Injector{Fault: chaos.SlowFault, Delay: 2 * time.Millisecond}
+	features := make([]Feature, 8)
+	for i := range features {
+		features[i] = Feature{Name: "f", Bounds: MaxOnly(4), Impact: prodXY}
+	}
+	a, err := NewAnalysis(features, []Perturbation{
+		{Name: "x", Orig: vec.Of(1)},
+		{Name: "y", Orig: vec.Of(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastPanic := chaos.Injector{Fault: chaos.PanicFault}
+	a.Features[2].Impact = fastPanic.Wrap(prodXY)
+	a.Features[5].Impact = slow.Wrap(slowPanic.Wrap(prodXY))
+
+	for run := 0; run < 3; run++ {
+		_, err = a.RobustnessConcurrent(Normalized{}, 4)
+		var pe *ImpactPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("run %d: error = %v, want *ImpactPanicError", run, err)
+		}
+		if pe.Feature != 2 {
+			t.Fatalf("run %d: reported feature %d, want lowest-index 2", run, pe.Feature)
+		}
+	}
+}
+
+func TestConcurrentCleanMatchesSerialWithCtx(t *testing.T) {
+	a := manyFeatures(t, 10)
+	serial, err := a.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := a.RobustnessConcurrentCtx(context.Background(), Normalized{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial.Value-conc.Value) > 1e-12 || serial.Critical != conc.Critical {
+		t.Fatalf("ctx pool rho = %g/%d, serial %g/%d",
+			conc.Value, conc.Critical, serial.Value, serial.Critical)
+	}
+	if conc.Degraded {
+		t.Fatal("clean run flagged Degraded")
+	}
+}
+
+func TestCriticalMarginDimValidation(t *testing.T) {
+	a, err := NewAnalysis(
+		[]Feature{{Name: "lat", Bounds: MaxOnly(42), Linear: &LinearImpact{Coeffs: []vec.V{{2, 3}, {5}}}}},
+		[]Perturbation{
+			{Name: "t", Orig: vec.Of(1, 2)},
+			{Name: "m", Orig: vec.Of(4)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.NewCertifier(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regression: a wrong-shaped block used to panic inside Mul/Dist2.
+	o := chaos.Probe(time.Second, time.Second, func(context.Context) error {
+		_, _, err := c.CriticalMargin([]vec.V{{1}, {4}}) // block 0 truncated
+		return err
+	})
+	if o.Panicked() {
+		t.Fatalf("CriticalMargin panicked: %v", o.Panic)
+	}
+	if !errors.Is(o.Err, vec.ErrDimMismatch) {
+		t.Fatalf("err = %v, want vec.ErrDimMismatch", o.Err)
+	}
+	// The happy path still works.
+	m, feat, err := c.CriticalMargin([]vec.V{{1, 2}, {4}})
+	if err != nil || feat != 0 {
+		t.Fatalf("CriticalMargin = %g, %d, %v", m, feat, err)
+	}
+	if m <= 0 {
+		t.Fatalf("margin at the original point = %g, want positive", m)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +81,15 @@ var ErrBadMC = errors.New("core: invalid Monte-Carlo options")
 // (the perturbation models are relative). The returned statistics are
 // deterministic for a fixed seed.
 func (a *Analysis) MonteCarlo(opt MCOptions) (MCResult, error) {
+	return a.MonteCarloCtx(context.Background(), opt)
+}
+
+// MonteCarloCtx is MonteCarlo with hardened evaluation: ctx is checked every
+// sample (a cancelled or expired context aborts within one impact-function
+// evaluation), a panicking impact function yields a typed *ImpactPanicError,
+// and a non-finite (NaN/Inf) feature value yields a typed *NumericError
+// instead of being silently counted as a violation.
+func (a *Analysis) MonteCarloCtx(ctx context.Context, opt MCOptions) (MCResult, error) {
 	if opt.Spread <= 0 || math.IsNaN(opt.Spread) {
 		return MCResult{}, fmt.Errorf("%w: spread %g", ErrBadMC, opt.Spread)
 	}
@@ -98,6 +108,9 @@ func (a *Analysis) MonteCarlo(opt MCOptions) (MCResult, error) {
 	violBy := make([]int, len(a.Features))
 	var sumDist float64
 	for s := 0; s < opt.Samples; s++ {
+		if err := ctxErr(ctx); err != nil {
+			return MCResult{}, fmt.Errorf("core: Monte-Carlo after %d samples: %w", s, err)
+		}
 		// Draw the relative factor vector p (P-space point).
 		p := make(vec.V, d)
 		switch opt.Model {
@@ -137,7 +150,15 @@ func (a *Analysis) MonteCarlo(opt MCOptions) (MCResult, error) {
 		}
 		violated := false
 		for i, f := range a.Features {
-			if !f.Bounds.Contains(a.FeatureValue(i, vals)) {
+			v, err := safeEval(i, f.impact(), vals)
+			if err != nil {
+				return MCResult{}, fmt.Errorf("core: Monte-Carlo sample %d: %w", s, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return MCResult{}, fmt.Errorf("core: Monte-Carlo sample %d: %w",
+					s, &NumericError{Feature: i, Op: "Monte-Carlo sample", Value: v})
+			}
+			if !f.Bounds.Contains(v) {
 				violBy[i]++
 				violated = true
 			}

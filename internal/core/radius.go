@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -54,6 +55,11 @@ type Radius struct {
 	// Analytic reports whether a closed-form tier produced the value (true)
 	// or the numeric search did (false).
 	Analytic bool
+	// Degraded marks a radius that the exact/numeric tiers could not
+	// produce and that was instead estimated by the Monte-Carlo
+	// lower-bound fallback (see EvalOptions.DegradeOnNumeric). A degraded
+	// value is an empirical estimate, not a certified radius.
+	Degraded bool
 }
 
 // ErrBadIndex reports an out-of-range feature or parameter index.
@@ -68,11 +74,23 @@ var ErrBadIndex = errors.New("core: index out of range")
 // Value = +Inf with Side = SideNone (not an error): the allocation is
 // infinitely robust with respect to that feature/parameter pair.
 func (a *Analysis) RadiusSingle(i, j int) (Radius, error) {
+	return a.RadiusSingleCtx(context.Background(), i, j)
+}
+
+// RadiusSingleCtx is RadiusSingle with cooperative cancellation: ctx is
+// checked before every impact-function evaluation of the numeric tier, so a
+// cancelled or expired context aborts the computation within one evaluation.
+// Panics and non-finite values from the impact function are contained as
+// *ImpactPanicError / *NumericError.
+func (a *Analysis) RadiusSingleCtx(ctx context.Context, i, j int) (Radius, error) {
 	if i < 0 || i >= len(a.Features) {
 		return Radius{}, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
 	}
 	if j < 0 || j >= len(a.Params) {
 		return Radius{}, fmt.Errorf("%w: parameter %d of %d", ErrBadIndex, j, len(a.Params))
+	}
+	if err := ctxErr(ctx); err != nil {
+		return Radius{}, err
 	}
 	f := a.Features[i]
 	if f.Linear != nil {
@@ -81,7 +99,28 @@ func (a *Analysis) RadiusSingle(i, j int) (Radius, error) {
 	if f.Quad != nil {
 		return a.radiusSingleQuad(i, j)
 	}
-	return a.radiusSingleNumeric(i, j)
+	return a.radiusSingleNumeric(ctx, i, j)
+}
+
+// ctxErr reports a cancelled context as a wrapped error; a nil context means
+// "no cancellation".
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: evaluation cancelled: %w", err)
+	}
+	return nil
+}
+
+// searchOpts threads the caller's context into the numeric tier's options.
+func (a *Analysis) searchOpts(ctx context.Context) optimize.LevelSetOptions {
+	opts := a.NumOpts
+	if ctx != nil {
+		opts.Ctx = ctx
+	}
+	return opts
 }
 
 // radiusSingleLinear solves Eq. 1 exactly: with other parameters frozen, the
@@ -121,10 +160,14 @@ func (a *Analysis) radiusSingleLinear(i, j int) (Radius, error) {
 }
 
 // radiusSingleNumeric solves Eq. 1 with the level-set search in the
-// n_{π_j}-dimensional space of the single parameter.
-func (a *Analysis) radiusSingleNumeric(i, j int) (Radius, error) {
+// n_{π_j}-dimensional space of the single parameter. The caller-supplied
+// impact function runs behind a guard: panics and non-finite values are
+// contained as typed errors instead of escaping or silently corrupting the
+// radius, and ctx cancels the search between evaluations.
+func (a *Analysis) radiusSingleNumeric(ctx context.Context, i, j int) (Radius, error) {
 	f := a.Features[i]
-	impact := f.impact()
+	g := &guard{feature: i, param: j, op: "single-parameter radius"}
+	impact := g.wrap(f.impact())
 	orig := a.OrigValues()
 	restrict := func(x []float64) float64 {
 		vals := make([]vec.V, len(orig))
@@ -132,6 +175,7 @@ func (a *Analysis) radiusSingleNumeric(i, j int) (Radius, error) {
 		vals[j] = vec.V(x)
 		return impact(vals)
 	}
+	opts := a.searchOpts(ctx)
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: j}
 	for _, side := range []struct {
 		beta float64
@@ -140,11 +184,12 @@ func (a *Analysis) radiusSingleNumeric(i, j int) (Radius, error) {
 		if math.IsInf(side.beta, 0) {
 			continue
 		}
-		res, err := optimize.NearestOnLevelSet(restrict, side.beta, a.Params[j].Orig, a.NumOpts)
-		if err != nil {
-			if errors.Is(err, optimize.ErrNoBoundary) {
-				continue
-			}
+		res, err := optimize.NearestOnLevelSet(restrict, side.beta, a.Params[j].Orig, opts)
+		if err != nil && errors.Is(err, optimize.ErrNoBoundary) {
+			err = nil // unreachable bound: not a failure
+			res.Dist = math.Inf(1)
+		}
+		if err = g.err(err); err != nil {
 			return Radius{}, fmt.Errorf("core: feature %q / param %q: %w", f.Name, a.Params[j].Name, err)
 		}
 		if res.Dist < best.Value {
@@ -158,12 +203,18 @@ func (a *Analysis) radiusSingleNumeric(i, j int) (Radius, error) {
 // robustness of the allocation against the single parameter π_j across the
 // whole feature set. The returned Radius identifies the critical feature.
 func (a *Analysis) RobustnessSingle(j int) (Radius, error) {
+	return a.RobustnessSingleCtx(context.Background(), j)
+}
+
+// RobustnessSingleCtx is RobustnessSingle with cooperative cancellation
+// (see RadiusSingleCtx).
+func (a *Analysis) RobustnessSingleCtx(ctx context.Context, j int) (Radius, error) {
 	if j < 0 || j >= len(a.Params) {
 		return Radius{}, fmt.Errorf("%w: parameter %d of %d", ErrBadIndex, j, len(a.Params))
 	}
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: -1, Param: j}
 	for i := range a.Features {
-		r, err := a.RadiusSingle(i, j)
+		r, err := a.RadiusSingleCtx(ctx, i, j)
 		if err != nil {
 			return Radius{}, err
 		}

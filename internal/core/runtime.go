@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// This file is the hardened evaluation engine behind Robustness,
+// RobustnessCtx, RobustnessConcurrent(Ctx) and RobustnessWith: one code
+// path that computes all per-feature combined radii serially or on a worker
+// pool, with cooperative cancellation, early termination on failure,
+// deterministic error reporting, and optional graceful degradation of
+// numeric failures to a Monte-Carlo lower-bound estimate.
+
+// EvalOptions tune the hardened robustness evaluation (RobustnessWith).
+// The zero value reproduces the plain serial exact computation.
+type EvalOptions struct {
+	// Workers sets the size of the per-feature worker pool; values ≤ 1
+	// select the serial path. Use RobustnessConcurrentCtx for the
+	// GOMAXPROCS default.
+	Workers int
+	// DegradeOnNumeric enables graceful degradation: a feature whose radius
+	// fails with ErrNumeric (NaN/Inf from its impact function or from the
+	// root-finding) falls back to a Monte-Carlo lower-bound estimate
+	// instead of failing the whole analysis. Degraded radii are flagged
+	// Radius.Degraded and the result Robustness.Degraded; they are
+	// empirical estimates, not certified radii. Panics (ErrImpactPanic)
+	// still fail the analysis with their typed error.
+	DegradeOnNumeric bool
+	// DegradeSamples is the number of random probes per bisection round of
+	// the fallback estimator (default 256).
+	DegradeSamples int
+	// DegradeSeed drives the fallback's deterministic sample stream.
+	DegradeSeed int64
+}
+
+// RobustnessWith computes the robustness metric through the hardened
+// evaluation engine: per-feature radii run serially or on opt.Workers
+// goroutines, ctx cancels the computation within one impact-function
+// evaluation, a failing feature stops the remaining work early, and — with
+// opt.DegradeOnNumeric — numeric failures degrade to Monte-Carlo
+// lower-bound estimates instead of failing the analysis.
+//
+// Error reporting is deterministic: among the features that failed before
+// the early stop, the lowest-index error is returned (cancellations induced
+// by the early stop itself are not reported as feature errors).
+func (a *Analysis) RobustnessWith(ctx context.Context, w Weighting, opt EvalOptions) (Robustness, error) {
+	n := len(a.Features)
+	radii := make([]Radius, n)
+	errs := make([]error, n)
+	tolerable := func(err error) bool {
+		return err != nil && opt.DegradeOnNumeric && errors.Is(err, ErrNumeric)
+	}
+
+	if opt.Workers <= 1 || n <= 1 {
+		for i := range a.Features {
+			radii[i], errs[i] = a.CombinedRadiusCtx(ctx, i, w)
+			if errs[i] != nil && !tolerable(errs[i]) {
+				return Robustness{}, fmt.Errorf("core: feature %d: %w", i, errs[i])
+			}
+		}
+	} else {
+		if err := a.radiiConcurrent(ctx, w, opt.Workers, radii, errs, tolerable); err != nil {
+			return Robustness{}, err
+		}
+	}
+
+	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: w.Name(), PerFeature: radii}
+	for i := range radii {
+		if errs[i] != nil {
+			lb, derr := a.mcRadiusLowerBound(ctx, i, w, opt.DegradeSamples, opt.DegradeSeed)
+			if derr != nil {
+				return Robustness{}, fmt.Errorf("core: feature %d: %w (Monte-Carlo fallback also failed: %v)", i, errs[i], derr)
+			}
+			radii[i] = Radius{Value: lb, Side: SideNone, Feature: i, Param: -1, Degraded: true}
+			out.Degraded = true
+		}
+		if radii[i].Value < out.Value {
+			out.Value, out.Critical = radii[i].Value, i
+		}
+	}
+	return out, nil
+}
+
+// radiiConcurrent fills radii/errs on a bounded worker pool. The first
+// non-tolerable feature error cancels the remaining work: in-flight
+// searches abort at their next impact evaluation and undispatched features
+// are skipped. After the join, the lowest-index non-tolerable error is
+// returned (deterministic regardless of which worker observed its failure
+// first); errors caused by the early-stop cancellation itself are ignored.
+func (a *Analysis) radiiConcurrent(ctx context.Context, w Weighting, workers int,
+	radii []Radius, errs []error, tolerable func(error) bool) error {
+	n := len(a.Features)
+	if workers > n {
+		workers = n
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := ctxErr(ictx); err != nil {
+					errs[i] = err
+					continue
+				}
+				radii[i], errs[i] = a.CombinedRadiusCtx(ictx, i, w)
+				if errs[i] != nil && !tolerable(errs[i]) {
+					cancel() // early stop: no point finishing the other radii
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// The caller's own cancellation dominates any per-feature fallout.
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	// Lowest-index genuine failure; induced cancellations are bycatch.
+	for i, err := range errs {
+		if err == nil || tolerable(err) || errors.Is(err, context.Canceled) {
+			continue
+		}
+		return fmt.Errorf("core: feature %d: %w", i, err)
+	}
+	// Defensive: a cancellation error without a triggering failure (should
+	// be unreachable) must not be silently dropped.
+	for i, err := range errs {
+		if err != nil && !tolerable(err) {
+			return fmt.Errorf("core: feature %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// mcRadiusLowerBound estimates a lower bound on feature i's combined radius
+// by Monte-Carlo probing when the exact/numeric tiers cannot produce one:
+// it bisects on the P-space ball radius, sampling `samples` points per
+// round, and returns the largest radius at which no sampled point violates
+// the feature. Panics and non-finite impact values count as violations
+// (conservative), so the estimate shrinks — never grows — under faults. The
+// result is an empirical estimate, not a certified radius; callers flag it
+// Degraded.
+func (a *Analysis) mcRadiusLowerBound(ctx context.Context, i int, w Weighting, samples int, seed int64) (float64, error) {
+	if samples <= 0 {
+		samples = 256
+	}
+	f := a.Features[i]
+	d, err := w.Scales(a, i)
+	if err != nil {
+		return 0, err
+	}
+	pOrig, err := POrig(a, w, i)
+	if err != nil {
+		return 0, err
+	}
+	g := &guard{feature: i, param: -1, op: "degraded radius probe"}
+	impact := g.wrap(f.impact())
+	dims := a.Dims()
+	dim := len(pOrig)
+	violated := func(p vec.V) bool {
+		native := p.Div(d)
+		vals, err := vec.Split(native, dims...)
+		if err != nil {
+			return true
+		}
+		v := impact(vals)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true // non-finite (or panicking) impact: assume the worst
+		}
+		return !f.Bounds.Contains(v)
+	}
+	src := stats.NewSource(seed ^ 0x0dd5eed)
+	anyViolation := func(r float64) (bool, error) {
+		for s := 0; s < samples; s++ {
+			if err := ctxErr(ctx); err != nil {
+				return false, err
+			}
+			dir := make(vec.V, dim)
+			for e := range dir {
+				dir[e] = src.Normal(0, 1)
+			}
+			dir = dir.Normalize()
+			rr := r * math.Pow(src.Float64(), 1/float64(dim))
+			if violated(pOrig.AddScaled(rr, dir)) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	// Bracket the first violating ball radius by doubling, then bisect.
+	lo, hi := 0.0, 0.0
+	for r := 1.0 / 1024; r <= 1e9; r *= 2 {
+		v, err := anyViolation(r)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			hi = r
+			break
+		}
+		lo = r
+	}
+	if hi == 0 {
+		return math.Inf(1), nil // no violation observed anywhere probed
+	}
+	for it := 0; it < 30 && hi-lo > 1e-9*(1+hi); it++ {
+		mid := 0.5 * (lo + hi)
+		v, err := anyViolation(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,110 @@
+package des
+
+// Fault-injection tests: the simulation kernel must survive the faults the
+// analyzer measures — corrupt numeric inputs, panicking user handlers, and
+// runs that must respect deadlines.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fepia/internal/chaos"
+)
+
+func TestSubmitRejectsCorruptServiceTimes(t *testing.T) {
+	sim := NewSimulator()
+	st := NewStation(sim, "cpu")
+	for _, bad := range []float64{math.NaN(), math.Inf(1), -1} {
+		o := chaos.Probe(time.Second, time.Second, func(context.Context) error {
+			return st.Submit(bad, nil)
+		})
+		if o.Panicked() {
+			t.Fatalf("Submit(%g) panicked: %v", bad, o.Panic)
+		}
+		if !errors.Is(o.Err, ErrBadService) {
+			t.Fatalf("Submit(%g) err = %v, want ErrBadService", bad, o.Err)
+		}
+	}
+}
+
+func TestScheduleRejectsCorruptTimes(t *testing.T) {
+	sim := NewSimulator()
+	if err := sim.Schedule(math.NaN(), func(*Simulator) {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("Schedule(NaN) err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestRunCtxContainsHandlerPanic(t *testing.T) {
+	sim := NewSimulator()
+	fired := 0
+	if err := sim.Schedule(1, func(*Simulator) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Schedule(2, func(*Simulator) { panic("bad handler") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Schedule(3, func(*Simulator) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	o := chaos.Probe(time.Second, time.Second, func(ctx context.Context) error {
+		_, err := sim.RunCtx(ctx, math.Inf(1))
+		return err
+	})
+	if o.Panicked() {
+		t.Fatalf("RunCtx let a handler panic escape: %v", o.Panic)
+	}
+	if !errors.Is(o.Err, ErrHandlerPanic) {
+		t.Fatalf("err = %v, want ErrHandlerPanic", o.Err)
+	}
+	if fired != 1 {
+		t.Fatalf("events after the panic ran anyway: fired = %d, want 1", fired)
+	}
+}
+
+func TestRunCtxCancellationIsPrompt(t *testing.T) {
+	// A self-perpetuating event stream (each event schedules the next and
+	// burns wall-clock time) never drains; only cancellation stops it.
+	sim := NewSimulator()
+	var tick func(s *Simulator)
+	tick = func(s *Simulator) {
+		time.Sleep(2 * time.Millisecond)
+		_ = s.ScheduleIn(1, tick)
+	}
+	if err := sim.Schedule(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	o := chaos.ProbeCancel(30*time.Millisecond, 100*time.Millisecond, func(ctx context.Context) error {
+		_, err := sim.RunCtx(ctx, math.Inf(1))
+		return err
+	})
+	if o.TimedOut {
+		t.Fatalf("RunCtx did not return within 100ms of cancellation (elapsed %v)", o.Elapsed)
+	}
+	if !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", o.Err)
+	}
+}
+
+func TestRunCtxMatchesRunOnCleanStream(t *testing.T) {
+	build := func() *Simulator {
+		sim := NewSimulator()
+		for i := 1; i <= 5; i++ {
+			at := float64(i)
+			_ = sim.Schedule(at, func(s *Simulator) { _ = s.ScheduleIn(10, func(*Simulator) {}) })
+		}
+		return sim
+	}
+	s1, s2 := build(), build()
+	n1 := s1.Run(7)
+	n2, err := s2.RunCtx(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || s1.Now() != s2.Now() || s1.Pending() != s2.Pending() {
+		t.Fatalf("RunCtx diverged from Run: (%d, %g, %d) vs (%d, %g, %d)",
+			n2, s2.Now(), s2.Pending(), n1, s1.Now(), s1.Pending())
+	}
+}

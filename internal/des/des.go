@@ -7,6 +7,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -119,3 +120,51 @@ func (s *Simulator) Run(until float64) uint64 {
 
 // RunAll processes events until the queue is empty or Stop is called.
 func (s *Simulator) RunAll() uint64 { return s.Run(math.Inf(1)) }
+
+// ErrHandlerPanic is returned (wrapped) by RunCtx when an event handler
+// panics; the simulation stops at the offending event instead of taking
+// down the process.
+var ErrHandlerPanic = errors.New("des: event handler panicked")
+
+// RunCtx is the hardened run loop: it processes events like Run, but ctx is
+// checked before every event (a cancelled or expired context stops the run
+// with a wrapped ctx.Err()) and a panicking Handler is contained as a typed
+// ErrHandlerPanic. Long-running or user-extended simulations should prefer
+// it over Run.
+func (s *Simulator) RunCtx(ctx context.Context, until float64) (uint64, error) {
+	s.stopped = false
+	var processed uint64
+	for len(s.queue) > 0 && !s.stopped {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return processed, fmt.Errorf("des: run cancelled at t=%g after %d events: %w", s.now, processed, err)
+			}
+		}
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		if err := s.fire(next.handler); err != nil {
+			return processed, err
+		}
+		processed++
+		s.events++
+	}
+	if !s.stopped && (len(s.queue) == 0 || s.queue[0].at > until) && until > s.now && !math.IsInf(until, 1) {
+		s.now = until
+	}
+	return processed, nil
+}
+
+// fire runs one handler with panic containment.
+func (s *Simulator) fire(h Handler) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w at t=%g: %v", ErrHandlerPanic, s.now, r)
+		}
+	}()
+	h(s)
+	return nil
+}

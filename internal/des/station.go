@@ -3,6 +3,7 @@ package des
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Station is a single-server FIFO queueing resource: jobs are served one at
@@ -36,13 +37,14 @@ func NewStation(sim *Simulator, name string) *Station {
 	return &Station{Name: name, sim: sim}
 }
 
-// ErrBadService reports a negative or NaN service time.
+// ErrBadService reports a negative or non-finite (NaN/Inf) service time.
 var ErrBadService = errors.New("des: invalid service time")
 
 // Submit enqueues a job with the given service time; done (optional) fires
-// when the job completes.
+// when the job completes. Non-finite service times are rejected — an Inf
+// service time would wedge the station (and the clock) forever.
 func (st *Station) Submit(service float64, done Handler) error {
-	if service < 0 || service != service {
+	if service < 0 || service != service || service > math.MaxFloat64 {
 		return fmt.Errorf("%w: %g at %q", ErrBadService, service, st.Name)
 	}
 	j := job{service: service, arrived: st.sim.Now(), done: done}

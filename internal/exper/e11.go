@@ -25,7 +25,8 @@ func RunE11(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rho, err := a.Robustness(core.Normalized{})
+	ctx := cfg.Context()
+	rho, err := a.RobustnessCtx(ctx, core.Normalized{})
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +37,7 @@ func RunE11(cfg Config) (*Result, error) {
 	var atRadius, far float64
 	insideViol := 0
 	for _, c := range []float64{0.5, 0.9, 0.999, 1.5, 2.5, 4.0} {
-		mc, err := a.MonteCarlo(core.MCOptions{
+		mc, err := a.MonteCarloCtx(ctx, core.MCOptions{
 			Model:   core.MCUniformBall,
 			Spread:  c * rho.Value,
 			Samples: samples,
@@ -69,7 +70,7 @@ func RunE11(cfg Config) (*Result, error) {
 	tb2 := report.NewTable("E11: violation rate under relative-normal drift (sigma per element)",
 		"sigma", "violation rate", "critical feature")
 	for _, sigma := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
-		mc, err := a.MonteCarlo(core.MCOptions{
+		mc, err := a.MonteCarloCtx(ctx, core.MCOptions{
 			Model:   core.MCRelativeNormal,
 			Spread:  sigma,
 			Samples: samples,

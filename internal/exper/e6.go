@@ -31,10 +31,12 @@ func RunE6(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	ctx := cfg.Context()
+
 	// Per-kind robustness.
 	tb := report.NewTable("E6: per-kind robustness (Eq. 1)", "perturbation", "unit", "rho", "critical feature")
 	for j, p := range a.Params {
-		r, err := a.RobustnessSingle(j)
+		r, err := a.RobustnessSingleCtx(ctx, j)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +45,7 @@ func RunE6(cfg Config) (*Result, error) {
 	res.Tables = append(res.Tables, tb)
 
 	// Combined dimensionless robustness.
-	rho, err := a.Robustness(core.Normalized{})
+	rho, err := a.RobustnessCtx(ctx, core.Normalized{})
 	if err != nil {
 		return nil, err
 	}

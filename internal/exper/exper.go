@@ -12,6 +12,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +27,18 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sweep sizes for unit tests and smoke runs.
 	Quick bool
+	// Ctx, if non-nil, bounds the experiment: long-running evaluations
+	// (robustness sweeps, Monte-Carlo estimation) abort once it is
+	// cancelled. Nil means no deadline.
+	Ctx context.Context
+}
+
+// Context returns cfg.Ctx, defaulting to context.Background().
+func (cfg Config) Context() context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
 }
 
 // Check is a named pass/fail assertion an experiment verified.

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,10 @@ import (
 // ErrNoBoundary is returned when no boundary crossing of the level set can be
 // located from the starting point in any probed direction.
 var ErrNoBoundary = errors.New("optimize: no level-set boundary found")
+
+// ErrEvalBudget is returned when the search exceeds LevelSetOptions.MaxEvals
+// objective evaluations before converging.
+var ErrEvalBudget = errors.New("optimize: evaluation budget exhausted")
 
 // LevelSetOptions configure NearestOnLevelSet.
 type LevelSetOptions struct {
@@ -30,7 +35,23 @@ type LevelSetOptions struct {
 	// costs extra evaluations but rescues non-smooth boundaries (max-type
 	// impact functions) where tangential descent stalls.
 	SkipPolish bool
+	// Ctx, when non-nil, makes the search cooperatively cancellable: it is
+	// checked before every objective evaluation, so a cancelled or expired
+	// context aborts the search within one evaluation of the impact
+	// function. The returned error wraps ctx.Err().
+	Ctx context.Context
+	// MaxEvals, when positive, bounds the total number of objective
+	// evaluations; exceeding it aborts the search with ErrEvalBudget. Zero
+	// means unlimited.
+	MaxEvals int
 }
+
+// searchAbort unwinds the search's deep call stacks (Brent brackets,
+// Nelder–Mead, tangential descent) when the context is cancelled or the
+// evaluation budget is exhausted. It is recovered at the NearestOnLevelSet
+// boundary and converted into an ordinary error — it never escapes the
+// package.
+type searchAbort struct{ err error }
 
 // Result is the outcome of a nearest-boundary-point search.
 type Result struct {
@@ -63,10 +84,12 @@ type Result struct {
 //  3. Penalty polish — a short Nelder–Mead run on ‖x − x0‖² + w·(f(x) −
 //     level)², which handles kinks in piecewise boundaries.
 //
-// The returned error is non-nil only when no boundary crossing exists within
+// The returned error is non-nil when no boundary crossing exists within
 // MaxSpan in any probed direction (e.g. the constraint can never be violated;
-// the paper would call such a system infinitely robust in that direction).
-func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions) (Result, error) {
+// the paper would call such a system infinitely robust in that direction),
+// when opt.Ctx is cancelled mid-search (the error wraps ctx.Err()), or when
+// opt.MaxEvals is exhausted (the error wraps ErrEvalBudget).
+func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions) (res Result, err error) {
 	n := len(x0)
 	if n == 0 {
 		return Result{}, errors.New("optimize: empty origin point")
@@ -91,8 +114,32 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 	}
 
 	evals := 0
-	g := func(x []float64) float64 {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(searchAbort)
+			if !ok {
+				panic(r)
+			}
+			res, err = Result{Evals: evals}, ab.err
+		}
+	}()
+	// Every objective evaluation — ray shooting, gradients, the polish —
+	// flows through this wrapper, so cancellation and the budget are
+	// enforced uniformly no matter which phase is running.
+	inner := f
+	f = func(x []float64) float64 {
+		if opt.Ctx != nil {
+			if cerr := opt.Ctx.Err(); cerr != nil {
+				panic(searchAbort{fmt.Errorf("optimize: level-set search cancelled after %d evaluations: %w", evals, cerr)})
+			}
+		}
+		if opt.MaxEvals > 0 && evals >= opt.MaxEvals {
+			panic(searchAbort{fmt.Errorf("%w: %d evaluations", ErrEvalBudget, opt.MaxEvals)})
+		}
 		evals++
+		return inner(x)
+	}
+	g := func(x []float64) float64 {
 		return f(x) - level
 	}
 
@@ -115,6 +162,27 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		candidates = append(candidates, pt)
 		if dist < best.Dist {
 			best = Result{Point: pt, Dist: dist}
+		}
+	}
+	if math.IsInf(best.Dist, 1) {
+		// Descent fallback: none of the probed rays crossed the level set.
+		// That happens when the sublevel region subtends a tiny solid angle
+		// from x0 (a small or eccentric ellipsoid far away). Descend g
+		// itself; any opposite-sign point found defines a ray from x0 that
+		// is guaranteed to cross.
+		sgn := 1.0
+		if g0 < 0 {
+			sgn = -1
+		}
+		xm, _ := NelderMead(func(x []float64) float64 { return sgn * g(x) }, x0, NMOptions{
+			InitialStep: 0.1 * (1 + maxAbs(x0)),
+			MaxEvals:    400 * n,
+		})
+		if sgn*g(xm) < 0 {
+			if pt, ok := projectThroughOrigin(g, x0, xm, opt.MaxSpan, opt.Tol*fscale); ok {
+				candidates = append(candidates, pt)
+				best = Result{Point: pt, Dist: euclid(pt, x0)}
+			}
 		}
 	}
 	if math.IsInf(best.Dist, 1) {

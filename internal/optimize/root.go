@@ -120,9 +120,11 @@ func Brent(f Func1, a, b, tol float64) (float64, error) {
 
 // BracketRoot searches for a sign change of g on t ≥ t0, expanding the probed
 // span geometrically from the given initial step up to maxSpan. Each
-// expansion interval is subdivided so that narrow crossings (a level set
-// entered and left again within one interval, e.g. a ray grazing a small
-// ellipsoid) are not stepped over. It returns (a, b) with g(a)·g(b) ≤ 0.
+// expansion interval is subdivided, and any local-minimum triple in the
+// scanned |g| values is refined by golden-section search, so narrow crossings
+// (a level set entered and left again between two probes, e.g. a ray crossing
+// a small or distant ellipsoid with a short chord) are not stepped over. It
+// returns (a, b) with g(a)·g(b) ≤ 0.
 func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 	if step <= 0 {
 		step = 1e-3
@@ -133,6 +135,7 @@ func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 		return t0, t0, nil
 	}
 	prev, gprev := t0, ga
+	prev2, gprev2 := math.NaN(), math.Inf(1)
 	for span := step; ; span *= 1.8 {
 		if span > maxSpan {
 			span = maxSpan
@@ -144,6 +147,14 @@ func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 			if gx == 0 || (gprev > 0) != (gx > 0) {
 				return prev, x, nil
 			}
+			// g dipped between prev2 and x without changing sign at the
+			// probes: a crossing may hide inside the dip.
+			if !math.IsNaN(prev2) && math.Abs(gprev) < math.Abs(gprev2) && math.Abs(gprev) < math.Abs(gx) {
+				if lo, hi, ok := refineDip(g, prev2, prev, x, gprev); ok {
+					return lo, hi, nil
+				}
+			}
+			prev2, gprev2 = prev, gprev
 			prev, gprev = x, gx
 		}
 		if span >= maxSpan {
@@ -151,4 +162,45 @@ func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 		}
 	}
 	return 0, 0, fmt.Errorf("%w: no sign change within span %g from %g", ErrNoBracket, maxSpan, t0)
+}
+
+// refineDip golden-sections the local minimum of |g| inside [a, c] (with
+// interior probe b, g(b) = gb, all three values of equal sign) hunting for a
+// sign change the expanding scan stepped over. It returns a bracket with
+// opposite-sign endpoints, or ok=false when the dip never reaches zero.
+func refineDip(g Func1, a, b, c, gb float64) (lo, hi float64, ok bool) {
+	const ratio = 0.381966 // 2 − φ
+	pos := gb > 0
+	for k := 0; k < 80 && c-a > 1e-13*(1+math.Abs(b)); k++ {
+		var m float64
+		if c-b > b-a {
+			m = b + ratio*(c-b)
+		} else {
+			m = b - ratio*(b-a)
+		}
+		gm := g(m)
+		if gm == 0 {
+			return m, m, true
+		}
+		if (gm > 0) != pos {
+			if m < b {
+				return m, b, true
+			}
+			return b, m, true
+		}
+		if math.Abs(gm) < math.Abs(gb) {
+			if m > b {
+				a, b, gb = b, m, gm
+			} else {
+				c, b, gb = b, m, gm
+			}
+		} else {
+			if m > b {
+				c = m
+			} else {
+				a = m
+			}
+		}
+	}
+	return 0, 0, false
 }

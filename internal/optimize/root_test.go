@@ -79,6 +79,41 @@ func TestBracketRootGivesUp(t *testing.T) {
 	}
 }
 
+func TestBracketRootNarrowDip(t *testing.T) {
+	// A parabola dipping just below zero on a short interval far from the
+	// start: the geometric expansion strides past it, so only the dip
+	// refinement can find the crossing. Regression for the distant-ellipsoid
+	// ErrNoBoundary flake in the level-set search.
+	for _, c := range []struct{ center, halfwidth float64 }{
+		{7, 0.4},
+		{42, 0.15},
+		{300, 0.05},
+	} {
+		g := func(tt float64) float64 {
+			d := (tt - c.center) / c.halfwidth
+			return d*d - 1 // negative only on (center−hw, center+hw)
+		}
+		a, b, err := BracketRoot(g, 0, 1e-3, 1e6)
+		if err != nil {
+			t.Fatalf("dip at %g (halfwidth %g) not found: %v", c.center, c.halfwidth, err)
+		}
+		if ga, gb := g(a), g(b); ga != 0 && gb != 0 && (ga > 0) == (gb > 0) {
+			t.Fatalf("bracket [%v, %v] does not straddle: g = %v, %v", a, b, ga, gb)
+		}
+	}
+}
+
+func TestBracketRootDipWithoutCrossing(t *testing.T) {
+	// A dip that bottoms out above zero must still be reported as no bracket.
+	g := func(tt float64) float64 {
+		d := tt - 9
+		return 0.5 + d*d
+	}
+	if _, _, err := BracketRoot(g, 0, 1e-3, 1e4); err == nil {
+		t.Error("positive dip must not produce a bracket")
+	}
+}
+
 func TestBracketRootImmediate(t *testing.T) {
 	g := func(tt float64) float64 { return tt }
 	a, b, err := BracketRoot(g, 0, 1, 10)
