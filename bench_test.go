@@ -11,6 +11,7 @@ package fepia_test
 // a reproduction gate.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -320,6 +321,100 @@ func BenchmarkCertifier(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// expensiveQuadAnalysis builds a numeric-tier analysis whose impact function
+// costs ~150 float iterations per call — an iterative solve standing in for
+// an expensive model evaluation (DES run, queueing recursion, …). This is
+// the regime the impact cache targets; see docs/performance.md.
+func expensiveQuadAnalysis(b *testing.B) *fepia.Analysis {
+	b.Helper()
+	a, err := fepia.NewAnalysis([]fepia.Feature{{
+		Name:   "sumsq",
+		Bounds: fepia.MaxOnly(4),
+		Impact: func(vs []fepia.Vector) float64 {
+			s := vs[0][0]*vs[0][0] + vs[0][1]*vs[0][1]
+			z := 1.0 + s
+			for k := 0; k < 150; k++ {
+				z = 0.5 * (z + s/z) // Newton sqrt, converges to sqrt(s)
+			}
+			return z * z // = s, the long way around
+		},
+	}}, []fepia.Perturbation{{Name: "x", Orig: fepia.Vector{1, 1}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkRadiusNumericCached contrasts the numeric level-set tier with and
+// without the memoizing impact cache on the expensive impact function. The
+// search is deterministic, so a repeated radius query revisits the same
+// quantized points and the cached run serves nearly every evaluation from
+// memory — this is the repeated-query regime of service loops and batch
+// sweeps (a one-shot query sees no benefit).
+func BenchmarkRadiusNumericCached(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			a := expensiveQuadAnalysis(b)
+			if cached {
+				a.EnableImpactCache(0)
+				if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+					b.Fatal(err) // warm outside the timer
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRobustnessBatch contrasts a serial loop over weightings with the
+// batch engine plus cache evaluating the same weightings together. The
+// weightings share the analysis's native boundary, so the cached batch
+// answers most of the later weightings' evaluations from the first one's
+// stores even on a single core.
+func BenchmarkRobustnessBatch(b *testing.B) {
+	ws := []fepia.Weighting{
+		fepia.Normalized{},
+		fepia.Custom{Alphas: fepia.Vector{0.5}},
+		fepia.Custom{Alphas: fepia.Vector{2}},
+	}
+	b.Run("serial-uncached", func(b *testing.B) {
+		a := expensiveQuadAnalysis(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ws {
+				if _, err := a.RobustnessWith(context.Background(), w, fepia.EvalOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-cached", func(b *testing.B) {
+		a := expensiveQuadAnalysis(b)
+		a.EnableImpactCache(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, errs := a.RobustnessBatchCtx(context.Background(), ws, fepia.EvalOptions{})
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkRobustnessConcurrent measures the worker-pool robustness

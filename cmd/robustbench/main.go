@@ -7,10 +7,16 @@
 // Usage:
 //
 //	robustbench [-run E3] [-seed 1] [-quick] [-csv dir]
+//	robustbench -bench-json BENCH_new.json [-bench-compare BENCH_baseline.json]
 //
 // Without -run, all experiments execute in order. -csv writes each table as
-// a CSV file into the given directory. The process exits non-zero if any
-// reproduction check fails.
+// a CSV file into the given directory. -bench-json additionally times every
+// experiment (wall clock plus heap-allocation deltas) and writes the
+// machine-readable benchmark artifact described in docs/performance.md;
+// -bench-compare checks those timings against a baseline file and reports
+// entries that slowed down by more than -bench-tolerance. The process exits
+// non-zero if any reproduction check fails, or with status 3 if the
+// benchmark comparison flags a regression.
 package main
 
 import (
@@ -21,9 +27,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"fepia/internal/exper"
+	"fepia/internal/stats"
 )
 
 func main() {
@@ -33,6 +42,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
 	mdDir := flag.String("md", "", "also write every table as Markdown into this directory")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited), e.g. 5m")
+	benchJSON := flag.String("bench-json", "", "write per-experiment timings and allocation counts to this JSON file")
+	benchCompare := flag.String("bench-compare", "", "compare the timings against this baseline JSON file and flag regressions")
+	benchTol := flag.Float64("bench-tolerance", 0.20, "fractional slowdown that counts as a regression for -bench-compare")
+	benchCount := flag.Int("bench-count", 1, "repetitions per experiment in bench mode; the minimum wall time is reported")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -69,6 +82,9 @@ func main() {
 		}
 	}
 
+	bench := *benchJSON != "" || *benchCompare != ""
+	var entries []stats.BenchEntry
+
 	failed := false
 	for _, e := range exps {
 		if err := ctx.Err(); err != nil {
@@ -77,7 +93,36 @@ func main() {
 		}
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    regenerates: %s\n\n", e.Artifact)
+		var before runtime.MemStats
+		var start time.Time
+		if bench {
+			runtime.ReadMemStats(&before)
+			start = time.Now()
+		}
 		res, err := e.Run(cfg)
+		if bench && err == nil {
+			wall := time.Since(start)
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			entry := stats.BenchEntry{
+				Name:       e.ID,
+				WallNanos:  wall.Nanoseconds(),
+				AllocBytes: after.TotalAlloc - before.TotalAlloc,
+				Allocs:     after.Mallocs - before.Mallocs,
+			}
+			// Extra repetitions damp scheduler jitter: the minimum wall
+			// time is the best estimate of the experiment's intrinsic cost.
+			for rep := 1; rep < *benchCount; rep++ {
+				start = time.Now()
+				if _, rerr := e.Run(cfg); rerr != nil {
+					break
+				}
+				if w := time.Since(start).Nanoseconds(); w < entry.WallNanos {
+					entry.WallNanos = w
+				}
+			}
+			entries = append(entries, entry)
+		}
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "robustbench: %s aborted, -timeout budget exhausted: %v\n", e.ID, err)
@@ -127,6 +172,62 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+
+	if bench {
+		if err := runBench(entries, *seed, *quick, *benchJSON, *benchCompare, *benchTol); err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runBench writes the timing artifact and/or compares it against a
+// baseline, printing every matched entry and flagging regressions. A flagged
+// regression exits with status 3, distinct from a reproduction failure.
+func runBench(entries []stats.BenchEntry, seed int64, quick bool, jsonPath, comparePath string, tol float64) error {
+	cur := stats.BenchFile{
+		Schema:    stats.BenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Seed:      seed,
+		Quick:     quick,
+		Entries:   entries,
+	}
+	if jsonPath != "" {
+		if err := stats.WriteBench(jsonPath, cur); err != nil {
+			return err
+		}
+		fmt.Printf("bench: wrote %d entries to %s\n", len(entries), jsonPath)
+	}
+	if comparePath == "" {
+		return nil
+	}
+	base, err := stats.LoadBench(comparePath)
+	if err != nil {
+		return err
+	}
+	if base.Quick != cur.Quick {
+		fmt.Fprintf(os.Stderr, "bench: warning: baseline quick=%v but this run quick=%v — timings are not comparable\n",
+			base.Quick, cur.Quick)
+	}
+	deltas := stats.CompareBench(base, cur, stats.CompareOpts{Tolerance: tol})
+	for _, d := range deltas {
+		mark := "ok  "
+		if d.Regression {
+			mark = "SLOW"
+		}
+		fmt.Printf("bench [%s] %-6s %12v -> %12v  (x%.2f)\n",
+			mark, d.Name, time.Duration(d.OldNanos), time.Duration(d.NewNanos), d.Ratio)
+	}
+	if reg := stats.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d entr%s regressed beyond %.0f%% vs %s\n",
+			len(reg), map[bool]string{true: "y", false: "ies"}[len(reg) == 1], tol*100, comparePath)
+		os.Exit(3)
+	}
+	fmt.Printf("bench: no regression beyond %.0f%% vs %s\n", tol*100, comparePath)
+	return nil
 }
 
 // writeFile creates name and streams one table rendering into it.

@@ -1,8 +1,10 @@
 package fepia_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"fepia"
 )
@@ -205,6 +207,86 @@ func ExampleAnalysis_DirectionalRadius() {
 	// worst-case radius: 3.8829
 	// slack along (1,1): 3.9598 (>= worst case)
 	// critical direction: [0.5547 0.8321]
+}
+
+// ExampleAnalysis_RobustnessConcurrentCtx evaluates the per-feature radii
+// on a GOMAXPROCS-independent worker pool under a deadline: the context is
+// checked before every impact evaluation, so a timeout aborts the analysis
+// within one evaluation of the slowest impact function.
+func ExampleAnalysis_RobustnessConcurrentCtx() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg", Unit: "bytes", Orig: fepia.Vector{4}},
+		},
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rho, err := a.RobustnessConcurrentCtx(ctx, fepia.Normalized{}, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rho = %.4f (%s)\n", rho.Value, rho.Weighting)
+	// Output:
+	// rho = 0.6674 (normalized)
+}
+
+// ExampleAnalysis_RobustnessBatch evaluates one analysis under several
+// weightings on the shared batch pool — with the impact cache enabled, the
+// weightings reuse each other's impact evaluations.
+func ExampleAnalysis_RobustnessBatch() {
+	a, _ := fepia.NewAnalysis(
+		[]fepia.Feature{{
+			Name:   "latency",
+			Bounds: fepia.MaxOnly(42),
+			Linear: &fepia.LinearImpact{Coeffs: []fepia.Vector{{2, 3}, {5}}},
+		}},
+		[]fepia.Perturbation{
+			{Name: "exec", Unit: "s", Orig: fepia.Vector{1, 2}},
+			{Name: "msg", Unit: "KB", Orig: fepia.Vector{4}},
+		},
+	)
+	a.EnableImpactCache(0) // memoize impact evaluations across the batch
+	ws := []fepia.Weighting{
+		fepia.Normalized{},
+		fepia.Custom{Alphas: fepia.Vector{1, 1}, Label: "seconds-equal-KB"},
+	}
+	results, errs := a.RobustnessBatch(ws, fepia.EvalOptions{})
+	for i, rho := range results {
+		if errs[i] != nil {
+			panic(errs[i])
+		}
+		fmt.Printf("%s: rho = %.4f\n", rho.Weighting, rho.Value)
+	}
+	// Output:
+	// normalized: rho = 0.6674
+	// seconds-equal-KB: rho = 2.2711
+}
+
+// ExampleRobustnessBatch ranks candidate resource allocations by evaluating
+// them together on one worker pool — the throughput path for optimization
+// sweeps, where each candidate is one BatchItem.
+func ExampleRobustnessBatch() {
+	sysA, _ := fepia.LinearOneElemAnalysis(fepia.Vector{1, 1}, fepia.Vector{1, 1}, 1.1)
+	sysB, _ := fepia.LinearOneElemAnalysis(fepia.Vector{10, 0.1}, fepia.Vector{5, 500}, 3.0)
+	results, errs := fepia.RobustnessBatch(context.Background(), []fepia.BatchItem{
+		{A: sysA, W: fepia.Normalized{}},
+		{A: sysB, W: fepia.Normalized{}},
+	}, fepia.EvalOptions{})
+	for i, rho := range results {
+		if errs[i] != nil {
+			panic(errs[i])
+		}
+		fmt.Printf("candidate %c: rho = %.4f\n", 'A'+i, rho.Value)
+	}
+	// Output:
+	// candidate A: rho = 0.1414
+	// candidate B: rho = 2.8284
 }
 
 // ExampleCustom uses the paper's general weighted concatenation with

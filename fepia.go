@@ -45,6 +45,14 @@
 //	if err != nil { ... }
 //	rho, err := a.Robustness(fepia.Normalized{})  // ρ_μ(Φ, P), Eq. 2
 //
+// Production callers should prefer the hardened entry point, which takes a
+// context, a worker-pool size, and a policy for numeric failures:
+//
+//	rho, err := a.RobustnessWith(ctx, fepia.Normalized{}, fepia.EvalOptions{
+//		Workers:          4,    // per-feature worker pool
+//		DegradeOnNumeric: true, // NaN/Inf ⇒ Monte-Carlo lower bound, flagged Degraded
+//	})
+//
 // The examples/ directory contains complete programs: a quick start, the
 // makespan ranking scenario, the HiPer-D streaming scenario with DES
 // validation, and an interactive demonstration of the 1/√n degeneracy.
@@ -63,9 +71,26 @@
 // radius; and Analysis.RobustnessWith with EvalOptions.DegradeOnNumeric
 // degrades numeric failures to a Monte-Carlo lower-bound estimate flagged
 // Degraded: true. See docs/failure-semantics.md for the full taxonomy.
+//
+// # Throughput
+//
+// For many evaluations — candidate ranking, sweeps, service loops — use the
+// batch engine and the impact cache instead of looping over Robustness:
+//
+//	a.EnableImpactCache(0) // memoize impact evaluations (numeric tier)
+//	results, errs := fepia.RobustnessBatch(ctx, items, fepia.EvalOptions{})
+//
+// RobustnessBatch schedules every boundary search of every item on one
+// shared worker pool; Analysis.RobustnessBatchCtx and
+// Analysis.CombinedRadiusBatchCtx are the single-analysis conveniences. The
+// cache never stores faulty (NaN/Inf/panicking) evaluations, so the failure
+// semantics above are unchanged. See docs/architecture.md for the engine
+// layout and docs/performance.md for measured numbers and tuning guidance.
 package fepia
 
 import (
+	"context"
+
 	"fepia/internal/core"
 	"fepia/internal/vec"
 )
@@ -165,6 +190,14 @@ type MCResult = core.MCResult
 // worker-pool size and the Monte-Carlo degradation of numeric failures.
 type EvalOptions = core.EvalOptions
 
+// BatchItem pairs one analysis (e.g. a candidate resource allocation) with
+// the weighting to evaluate it under; the unit of work of RobustnessBatch.
+type BatchItem = core.BatchItem
+
+// CacheStats is a snapshot of the impact cache's counters (see
+// Analysis.EnableImpactCache and Analysis.CacheStats).
+type CacheStats = core.CacheStats
+
 // ImpactPanicError reports a panic recovered from a caller-supplied impact
 // function; it carries the feature index and the captured stack.
 type ImpactPanicError = core.ImpactPanicError
@@ -233,4 +266,13 @@ func FromP(a *Analysis, w Weighting, featIdx int, p Vector) ([]Vector, error) {
 // POrig returns P^orig for feature featIdx under w.
 func POrig(a *Analysis, w Weighting, featIdx int) (Vector, error) {
 	return core.POrig(a, w, featIdx)
+}
+
+// RobustnessBatch evaluates every (analysis, weighting) candidate of items
+// over one shared worker pool, splitting numeric radii into independently
+// scheduled boundary-side searches. The returned slices are parallel to
+// items; per-item failure semantics match Analysis.RobustnessWith. See the
+// package documentation's Throughput section and docs/performance.md.
+func RobustnessBatch(ctx context.Context, items []BatchItem, opt EvalOptions) ([]Robustness, []error) {
+	return core.RobustnessBatch(ctx, items, opt)
 }

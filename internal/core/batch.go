@@ -1,0 +1,385 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fepia/internal/vec"
+)
+
+// This file is the batch evaluation engine: many robustness analyses (for
+// example the candidate allocations of an optimization sweep, or one
+// allocation under many weightings) evaluated over a single shared worker
+// pool. Instead of parallelizing per feature like RobustnessWith, the batch
+// scheduler splits every numeric combined radius into independent
+// (item, feature, boundary-side) work units, so workers steal across both
+// features and the two level-set searches of a feature. The two side units
+// of a feature share their weighting scales and P^orig through a sync.Once,
+// and all units of one Analysis share its impact cache when enabled.
+
+// BatchItem pairs one candidate analysis (e.g. a resource allocation under
+// study) with the weighting to evaluate it under.
+type BatchItem struct {
+	A *Analysis
+	W Weighting
+}
+
+// Work-unit kinds: analytic features run whole (the closed forms are too
+// cheap to split); numeric features run one unit per finite boundary side.
+const (
+	unitWhole = -1
+	unitMax   = 0 // the β^max level-set search
+	unitMin   = 1 // the β^min level-set search
+)
+
+type batchUnit struct {
+	item, feat, side int
+}
+
+// featureSlot holds the shared setup and per-side partial results of one
+// numeric feature of one item. Whichever side unit runs first computes the
+// weighting scales and P^orig for both (setup); each side then writes only
+// its own r/err element, so the two units never contend.
+type featureSlot struct {
+	setup    sync.Once
+	d, pOrig vec.V
+	setupErr error
+	has      [2]bool
+	r        [2]Radius
+	err      [2]error
+}
+
+// RobustnessBatch evaluates every (analysis, weighting) candidate of items
+// over one shared worker pool and returns per-item results and errors (both
+// slices are parallel to items; exactly one of out[k], errs[k] is set).
+//
+// opt.Workers sizes the pool; values ≤ 0 select runtime.GOMAXPROCS(0) —
+// unlike RobustnessWith, whose zero value is serial, a batch exists to keep
+// a pool busy. Failure semantics per item match RobustnessWith exactly: the
+// first non-tolerable feature error cancels that item's remaining units
+// (other items are unaffected), the reported error is the lowest-index
+// genuine failure, and with opt.DegradeOnNumeric numeric failures degrade
+// to Monte-Carlo lower bounds instead of failing the item. Cancelling ctx
+// aborts the whole batch.
+func RobustnessBatch(ctx context.Context, items []BatchItem, opt EvalOptions) ([]Robustness, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tolerable := func(err error) bool {
+		return err != nil && opt.DegradeOnNumeric && errors.Is(err, ErrNumeric)
+	}
+
+	out := make([]Robustness, len(items))
+	errsOut := make([]error, len(items))
+	radii := make([][]Radius, len(items))
+	ferrs := make([][]error, len(items))
+	slots := make([][]*featureSlot, len(items))
+	ictxs := make([]context.Context, len(items))
+	cancels := make([]context.CancelFunc, len(items))
+
+	var units []batchUnit
+	for k, it := range items {
+		switch {
+		case it.A == nil:
+			errsOut[k] = fmt.Errorf("core: batch item %d: nil Analysis", k)
+			continue
+		case it.W == nil:
+			errsOut[k] = fmt.Errorf("core: batch item %d: nil Weighting", k)
+			continue
+		}
+		n := len(it.A.Features)
+		radii[k] = make([]Radius, n)
+		ferrs[k] = make([]error, n)
+		slots[k] = make([]*featureSlot, n)
+		ictxs[k], cancels[k] = context.WithCancel(ctx)
+		for i, f := range it.A.Features {
+			if f.Linear != nil || f.Quad != nil {
+				units = append(units, batchUnit{k, i, unitWhole})
+				continue
+			}
+			s := &featureSlot{has: [2]bool{
+				!math.IsInf(f.Bounds.Max, 0),
+				!math.IsInf(f.Bounds.Min, 0),
+			}}
+			if !s.has[unitMax] && !s.has[unitMin] {
+				// No finite bound at all: infinitely robust, no search needed.
+				radii[k][i] = Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
+				continue
+			}
+			slots[k][i] = s
+			if s.has[unitMax] {
+				units = append(units, batchUnit{k, i, unitMax})
+			}
+			if s.has[unitMin] {
+				units = append(units, batchUnit{k, i, unitMin})
+			}
+		}
+	}
+	defer func() {
+		for _, cancel := range cancels {
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}()
+
+	exec := func(u batchUnit) {
+		it := items[u.item]
+		ictx := ictxs[u.item]
+		if u.side == unitWhole {
+			r, err := it.A.CombinedRadiusCtx(ictx, u.feat, it.W)
+			radii[u.item][u.feat], ferrs[u.item][u.feat] = r, err
+			if err != nil && !tolerable(err) {
+				cancels[u.item]() // early stop: this item already failed
+			}
+			return
+		}
+		s := slots[u.item][u.feat]
+		if err := ctxErr(ictx); err != nil {
+			s.err[u.side] = err
+			return
+		}
+		s.setup.Do(func() {
+			s.d, s.setupErr = it.A.scalesFor(it.W, u.feat)
+			if s.setupErr == nil {
+				s.pOrig, s.setupErr = POrig(it.A, it.W, u.feat)
+			}
+		})
+		if s.setupErr != nil {
+			s.err[u.side] = s.setupErr
+			cancels[u.item]()
+			return
+		}
+		f := it.A.Features[u.feat]
+		beta, bside := f.Bounds.Max, SideMax
+		if u.side == unitMin {
+			beta, bside = f.Bounds.Min, SideMin
+		}
+		r, err := it.A.combinedNumericSide(ictx, u.feat, s.d, s.pOrig, beta, bside)
+		s.r[u.side], s.err[u.side] = r, err
+		if err != nil && !tolerable(err) {
+			cancels[u.item]()
+		}
+	}
+	runPool(batchWorkers(opt.Workers, len(units)), len(units), func(q int) { exec(units[q]) })
+
+	for k, it := range items {
+		if errsOut[k] != nil {
+			continue // rejected during validation
+		}
+		if err := ctxErr(ctx); err != nil {
+			errsOut[k] = err // the caller's own cancellation dominates
+			continue
+		}
+		// Fold the per-side partial results back into per-feature radii,
+		// preferring the β^max side's error like the serial path (which
+		// searches β^max first and stops on its failure).
+		for i, s := range slots[k] {
+			if s == nil {
+				continue
+			}
+			if s.err[unitMax] != nil {
+				ferrs[k][i] = s.err[unitMax]
+			} else if s.err[unitMin] != nil {
+				ferrs[k][i] = s.err[unitMin]
+			} else {
+				best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
+				for sd := range s.r {
+					if s.has[sd] && s.r[sd].Value < best.Value {
+						best = s.r[sd]
+					}
+				}
+				radii[k][i] = best
+			}
+		}
+		// Deterministic error reporting, as in radiiConcurrent: the
+		// lowest-index genuine failure wins; cancellations induced by the
+		// item's own early stop are bycatch.
+		for i, err := range ferrs[k] {
+			if err == nil || tolerable(err) || errors.Is(err, context.Canceled) {
+				continue
+			}
+			errsOut[k] = fmt.Errorf("core: feature %d: %w", i, err)
+			break
+		}
+		if errsOut[k] == nil {
+			for i, err := range ferrs[k] {
+				if err != nil && !tolerable(err) {
+					errsOut[k] = fmt.Errorf("core: feature %d: %w", i, err)
+					break
+				}
+			}
+		}
+		if errsOut[k] != nil {
+			continue
+		}
+		out[k], errsOut[k] = it.A.foldRobustness(ctx, it.W, opt, radii[k], ferrs[k])
+	}
+	return out, errsOut
+}
+
+// RobustnessBatchCtx evaluates this analysis under every weighting of ws on
+// the shared batch pool. It is equivalent to calling RobustnessWith once per
+// weighting, but the level-set searches of all weightings interleave on one
+// pool and share the impact cache (when enabled), so repeated evaluations at
+// nearby operating points are answered from memory.
+func (a *Analysis) RobustnessBatchCtx(ctx context.Context, ws []Weighting, opt EvalOptions) ([]Robustness, []error) {
+	items := make([]BatchItem, len(ws))
+	for i, w := range ws {
+		items[i] = BatchItem{A: a, W: w}
+	}
+	return RobustnessBatch(ctx, items, opt)
+}
+
+// RobustnessBatch is RobustnessBatchCtx without cancellation.
+func (a *Analysis) RobustnessBatch(ws []Weighting, opt EvalOptions) ([]Robustness, []error) {
+	return a.RobustnessBatchCtx(context.Background(), ws, opt)
+}
+
+// CombinedRadiusBatchCtx computes the combined radius of each listed feature
+// under w on the shared batch pool, splitting each numeric feature into its
+// two boundary-side searches. A nil features slice means all features. The
+// returned slices are parallel to features; unlike RobustnessBatch there is
+// no early stop — every feature reports its own radius or error, which is
+// what an experiment sweep wants when it tabulates per-feature results.
+func (a *Analysis) CombinedRadiusBatchCtx(ctx context.Context, w Weighting, features []int, opt EvalOptions) ([]Radius, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if features == nil {
+		features = make([]int, len(a.Features))
+		for i := range features {
+			features[i] = i
+		}
+	}
+	radii := make([]Radius, len(features))
+	errs := make([]error, len(features))
+	slots := make([]*featureSlot, len(features))
+
+	var units []batchUnit
+	for q, i := range features {
+		if i < 0 || i >= len(a.Features) {
+			errs[q] = fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
+			continue
+		}
+		f := a.Features[i]
+		if f.Linear != nil || f.Quad != nil {
+			units = append(units, batchUnit{q, i, unitWhole})
+			continue
+		}
+		s := &featureSlot{has: [2]bool{
+			!math.IsInf(f.Bounds.Max, 0),
+			!math.IsInf(f.Bounds.Min, 0),
+		}}
+		if !s.has[unitMax] && !s.has[unitMin] {
+			radii[q] = Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
+			continue
+		}
+		slots[q] = s
+		if s.has[unitMax] {
+			units = append(units, batchUnit{q, i, unitMax})
+		}
+		if s.has[unitMin] {
+			units = append(units, batchUnit{q, i, unitMin})
+		}
+	}
+
+	exec := func(u batchUnit) {
+		if u.side == unitWhole {
+			radii[u.item], errs[u.item] = a.CombinedRadiusCtx(ctx, u.feat, w)
+			return
+		}
+		s := slots[u.item]
+		if err := ctxErr(ctx); err != nil {
+			s.err[u.side] = err
+			return
+		}
+		s.setup.Do(func() {
+			s.d, s.setupErr = a.scalesFor(w, u.feat)
+			if s.setupErr == nil {
+				s.pOrig, s.setupErr = POrig(a, w, u.feat)
+			}
+		})
+		if s.setupErr != nil {
+			s.err[u.side] = s.setupErr
+			return
+		}
+		f := a.Features[u.feat]
+		beta, bside := f.Bounds.Max, SideMax
+		if u.side == unitMin {
+			beta, bside = f.Bounds.Min, SideMin
+		}
+		s.r[u.side], s.err[u.side] = a.combinedNumericSide(ctx, u.feat, s.d, s.pOrig, beta, bside)
+	}
+	runPool(batchWorkers(opt.Workers, len(units)), len(units), func(q int) { exec(units[q]) })
+
+	for q, s := range slots {
+		if s == nil {
+			continue
+		}
+		if s.err[unitMax] != nil {
+			errs[q] = s.err[unitMax]
+		} else if s.err[unitMin] != nil {
+			errs[q] = s.err[unitMin]
+		} else {
+			best := Radius{Value: math.Inf(1), Side: SideNone, Feature: features[q], Param: -1}
+			for sd := range s.r {
+				if s.has[sd] && s.r[sd].Value < best.Value {
+					best = s.r[sd]
+				}
+			}
+			radii[q] = best
+		}
+	}
+	return radii, errs
+}
+
+// CombinedRadiusBatch is CombinedRadiusBatchCtx without cancellation.
+func (a *Analysis) CombinedRadiusBatch(w Weighting, features []int, opt EvalOptions) ([]Radius, []error) {
+	return a.CombinedRadiusBatchCtx(context.Background(), w, features, opt)
+}
+
+// batchWorkers resolves the pool size for n units: ≤ 0 means GOMAXPROCS,
+// and there is never a reason to run more workers than units.
+func batchWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// runPool executes exec(0) … exec(n−1) on `workers` goroutines pulling from
+// a shared channel (the work-stealing happens implicitly: whichever worker
+// is free takes the next unit). workers ≤ 1 runs serially on the caller's
+// goroutine — no pool overhead for tiny batches or single-core machines.
+func runPool(workers, n int, exec func(int)) {
+	if workers <= 1 {
+		for q := 0; q < n; q++ {
+			exec(q)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range next {
+				exec(q)
+			}
+		}()
+	}
+	for q := 0; q < n; q++ {
+		next <- q
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// mixedAnalysis builds an analysis exercising all three radius tiers: a
+// linear feature (hyperplane tier), a quadratic feature (ellipsoid tier),
+// and a nonlinear product feature (numeric level-set tier).
+func mixedAnalysis(t testing.TB) *Analysis {
+	t.Helper()
+	quad := &QuadImpact{A: []vec.V{{1, 0.5}, {2}}, C: []vec.V{{0, 0}, {0}}}
+	a, err := NewAnalysis(
+		[]Feature{
+			{
+				Name:   "lin",
+				Bounds: MaxOnly(20),
+				Linear: &LinearImpact{Coeffs: []vec.V{{2, 3}, {5}}},
+			},
+			{
+				Name:   "quad",
+				Bounds: MaxOnly(30),
+				Quad:   quad,
+			},
+			{
+				Name:   "prod",
+				Bounds: Band(0.05, 15),
+				Impact: func(vs []vec.V) float64 {
+					return vs[0][0] * vs[0][1] * vs[1][0]
+				},
+			},
+		},
+		[]Perturbation{
+			{Name: "exec", Unit: "s", Orig: vec.Of(1, 2)},
+			{Name: "msg", Unit: "bytes", Orig: vec.Of(1.5)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRobustnessBatchMatchesSerial(t *testing.T) {
+	a := mixedAnalysis(t)
+	ws := []Weighting{Normalized{}, Custom{Alphas: vec.Of(1, 2)}, Custom{Alphas: vec.Of(0.5, 3)}}
+	want := make([]Robustness, len(ws))
+	for i, w := range ws {
+		var err error
+		want[i], err = a.RobustnessWith(context.Background(), w, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got, errs := a.RobustnessBatchCtx(context.Background(), ws, EvalOptions{Workers: workers})
+		if len(got) != len(ws) || len(errs) != len(ws) {
+			t.Fatalf("workers=%d: got %d results, %d errors for %d items", workers, len(got), len(errs), len(ws))
+		}
+		for i := range ws {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, errs[i])
+			}
+			if !vec.ScalarEqualApprox(got[i].Value, want[i].Value, 1e-12) {
+				t.Fatalf("workers=%d item %d: batch %.15g vs serial %.15g", workers, i, got[i].Value, want[i].Value)
+			}
+			if got[i].Critical != want[i].Critical {
+				t.Fatalf("workers=%d item %d: critical %d vs %d", workers, i, got[i].Critical, want[i].Critical)
+			}
+			for f := range want[i].PerFeature {
+				if !vec.ScalarEqualApprox(got[i].PerFeature[f].Value, want[i].PerFeature[f].Value, 1e-12) {
+					t.Fatalf("workers=%d item %d feature %d: batch %.15g vs serial %.15g",
+						workers, i, f, got[i].PerFeature[f].Value, want[i].PerFeature[f].Value)
+				}
+			}
+		}
+	}
+}
+
+func TestRobustnessBatchValidation(t *testing.T) {
+	a := mixedAnalysis(t)
+	out, errs := RobustnessBatch(context.Background(), []BatchItem{
+		{A: nil, W: Normalized{}},
+		{A: a, W: nil},
+		{A: a, W: Normalized{}},
+	}, EvalOptions{})
+	if len(out) != 3 || len(errs) != 3 {
+		t.Fatalf("got %d results, %d errors", len(out), len(errs))
+	}
+	if errs[0] == nil || errs[1] == nil {
+		t.Fatalf("invalid items accepted: %v, %v", errs[0], errs[1])
+	}
+	if errs[2] != nil {
+		t.Fatalf("valid item rejected: %v", errs[2])
+	}
+	if out[2].Critical < 0 {
+		t.Fatalf("valid item produced no result: %+v", out[2])
+	}
+}
+
+// TestRobustnessBatchItemIsolation checks that one item failing (panicking
+// impact function) does not disturb its batch siblings.
+func TestRobustnessBatchItemIsolation(t *testing.T) {
+	bad, err := NewAnalysis([]Feature{{
+		Name:   "boom",
+		Bounds: MaxOnly(2),
+		Impact: func(vs []vec.V) float64 {
+			if vs[0][0] != 1 {
+				panic("injected") // fires on the first search step off-origin
+			}
+			return 1
+		},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := mixedAnalysis(t)
+	out, errs := RobustnessBatch(context.Background(), []BatchItem{
+		{A: bad, W: Normalized{}},
+		{A: good, W: Normalized{}},
+	}, EvalOptions{Workers: 4})
+	if !errors.Is(errs[0], ErrImpactPanic) {
+		t.Fatalf("errs[0] = %v, want ErrImpactPanic", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy sibling failed: %v", errs[1])
+	}
+	if math.IsInf(out[1].Value, 1) || out[1].Value <= 0 {
+		t.Fatalf("healthy sibling result: %+v", out[1])
+	}
+}
+
+// TestRobustnessBatchDegrade mirrors the serial DegradeOnNumeric semantics:
+// a numeric fault degrades the feature to a Monte-Carlo lower bound instead
+// of failing the item.
+func TestRobustnessBatchDegrade(t *testing.T) {
+	a, err := NewAnalysis([]Feature{{
+		Name:   "patchy",
+		Bounds: MaxOnly(4),
+		Impact: func(vs []vec.V) float64 {
+			x := vs[0][0]
+			if x > 1.6 {
+				return math.NaN() // numeric fault region before the boundary
+			}
+			return x * x
+		},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSamples: 64, DegradeSeed: 7}
+	want, err := a.RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	out, errs := a.RobustnessBatchCtx(context.Background(), []Weighting{Normalized{}}, opt)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if !out[0].Degraded {
+		t.Fatalf("batch result not degraded: %+v", out[0])
+	}
+	if !vec.ScalarEqualApprox(out[0].Value, want.Value, 1e-12) {
+		t.Fatalf("degraded batch %.15g vs serial %.15g", out[0].Value, want.Value)
+	}
+}
+
+func TestCombinedRadiusBatchMatchesSerial(t *testing.T) {
+	a := mixedAnalysis(t)
+	w := Normalized{}
+	radii, errs := a.CombinedRadiusBatchCtx(context.Background(), w, nil, EvalOptions{Workers: 4})
+	if len(radii) != len(a.Features) {
+		t.Fatalf("nil features gave %d radii, want %d", len(radii), len(a.Features))
+	}
+	for i := range a.Features {
+		if errs[i] != nil {
+			t.Fatalf("feature %d: %v", i, errs[i])
+		}
+		want, err := a.CombinedRadius(i, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vec.ScalarEqualApprox(radii[i].Value, want.Value, 1e-12) {
+			t.Fatalf("feature %d: batch %.15g vs serial %.15g", i, radii[i].Value, want.Value)
+		}
+		if radii[i].Side != want.Side || radii[i].Feature != want.Feature {
+			t.Fatalf("feature %d: batch %+v vs serial %+v", i, radii[i], want)
+		}
+	}
+	// Out-of-range features report per-entry errors without disturbing others.
+	radii, errs = a.CombinedRadiusBatch(w, []int{0, 99}, EvalOptions{})
+	if errs[0] != nil || !errors.Is(errs[1], ErrBadIndex) {
+		t.Fatalf("index validation: %v, %v", errs[0], errs[1])
+	}
+	if radii[0].Value <= 0 {
+		t.Fatalf("valid entry not computed: %+v", radii[0])
+	}
+}
+
+func TestRobustnessBatchCancellation(t *testing.T) {
+	a := mixedAnalysis(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := a.RobustnessBatchCtx(ctx, []Weighting{Normalized{}, Normalized{}}, EvalOptions{Workers: 2})
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("item %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestBatchCachedAgreesWithSerialUncached is the batch half of the
+// cached-vs-uncached property: randomized nonlinear analyses evaluated
+// through the cached batch path must agree with the uncached serial path to
+// 1e-9.
+func TestBatchCachedAgreesWithSerialUncached(t *testing.T) {
+	src := stats.NewSource(99)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + trial%2
+		av := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := 0; i < n; i++ {
+			av[i] = src.Uniform(0.5, 2)
+			orig[i] = src.Uniform(0.5, 1.5)
+		}
+		impact := func(vs []vec.V) float64 {
+			s := 0.0
+			for i, x := range vs[0] {
+				s += av[i] * x * x
+			}
+			return s
+		}
+		bound := impact([]vec.V{orig}) * src.Uniform(1.3, 2)
+		a, err := NewAnalysis([]Feature{{
+			Name: "quad", Bounds: MaxOnly(bound), Impact: impact,
+		}}, []Perturbation{{Name: "x", Orig: orig}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := []Weighting{Normalized{}, Custom{Alphas: vec.Of(src.Uniform(0.5, 2))}}
+		want := make([]Robustness, len(ws))
+		for i, w := range ws {
+			if want[i], err = a.RobustnessWith(context.Background(), w, EvalOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.EnableImpactCache(0)
+		got, errs := a.RobustnessBatchCtx(context.Background(), ws, EvalOptions{Workers: 4})
+		for i := range ws {
+			if errs[i] != nil {
+				t.Fatalf("trial %d item %d: %v", trial, i, errs[i])
+			}
+			if d := math.Abs(got[i].Value - want[i].Value); d > 1e-9 {
+				t.Fatalf("trial %d item %d: cached batch %.15g vs uncached serial %.15g differ by %g",
+					trial, i, got[i].Value, want[i].Value, d)
+			}
+		}
+	}
+}
+
+// TestBatchRaceHammer drives one cache-enabled Analysis through the batch
+// path from several goroutines at once. Its value is under `go test -race`:
+// the cache mutex, the per-feature sync.Once setups, and the per-side result
+// slots must all be data-race-free.
+func TestBatchRaceHammer(t *testing.T) {
+	a := mixedAnalysis(t)
+	a.EnableImpactCache(1 << 10)
+	ws := []Weighting{
+		Normalized{},
+		Custom{Alphas: vec.Of(1, 2)},
+		Custom{Alphas: vec.Of(2, 0.5)},
+	}
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				out, errs := a.RobustnessBatchCtx(context.Background(), ws, EvalOptions{Workers: 3})
+				for i, err := range errs {
+					if err != nil {
+						fail <- err
+						return
+					}
+					if out[i].Value <= 0 {
+						fail <- errors.New("non-positive robustness under race hammer")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+	if st := a.CacheStats(); st.Hits == 0 {
+		t.Fatalf("hammer produced no cache hits: %+v", st)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"sync"
+
+	"fepia/internal/vec"
+)
+
+// This file implements the memoizing impact-evaluation cache of the
+// high-throughput evaluation engine. The numeric radius tier evaluates the
+// impact function thousands of times per boundary search, and production
+// callers re-run searches near the same boundary continuously (admission
+// loops, candidate ranking, periodic re-analysis as workloads drift). The
+// cache memoizes impact values keyed on the *quantized native* parameter
+// vector, so repeated searches — same weighting, a different weighting that
+// visits the same native points, or a whole batch of evaluations — reuse
+// each evaluation instead of recomputing it.
+//
+// Safety rules (docs/architecture.md §cache):
+//
+//   - Keys quantize each coordinate by zeroing the low 12 mantissa bits
+//     (~4e-13 relative), far below the level-set search tolerance, so a hit
+//     returns a value whose input differs from the query by less than the
+//     search can resolve. Cached and uncached radii agree to well under
+//     1e-9 (property-tested in cache_test.go / batch_test.go).
+//   - A poisoned evaluation — NaN/Inf result, or the NaN substituted by the
+//     panic guard of failure.go — is NEVER stored. Faults must re-fire on
+//     every evaluation so the containment layer of PR 1 keeps reporting
+//     them; a cached NaN would also defeat DegradeOnNumeric retries.
+//   - The cache is bounded (LRU) and thread-safe: one mutex guards the map
+//     and recency list. Batch workers hammer it concurrently; the critical
+//     section is a map probe plus a list splice.
+//
+// The same structure memoizes Weighting.Scales vectors for comparable
+// weighting values (Normalized{}, Sensitivity{}, …). Sensitivity scales
+// recompute every single-parameter radius of the feature on each call, so
+// this memo alone removes an O(|Φ|·|Π|) radius recomputation from every
+// combined-radius query.
+
+// CacheStats is a snapshot of the impact cache's counters.
+type CacheStats struct {
+	// Hits and Misses count impact-evaluation lookups.
+	Hits, Misses uint64
+	// Stores counts insertions (finite values only).
+	Stores uint64
+	// Evictions counts LRU evictions after the cache filled.
+	Evictions uint64
+	// Entries is the current number of cached impact values.
+	Entries int
+	// ScaleHits and ScaleMisses count Weighting.Scales memo lookups.
+	ScaleHits, ScaleMisses uint64
+}
+
+// DefaultCacheSize is the entry capacity EnableImpactCache uses when given
+// a non-positive capacity. At 16 bytes of value plus ~64 bytes of key and
+// bookkeeping per entry, the default stays in the low tens of megabytes.
+const DefaultCacheSize = 1 << 16
+
+// impactCache is the bounded, thread-safe memo behind EnableImpactCache.
+type impactCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+
+	scales map[scalesKey]scalesVal
+
+	hits, misses, stores, evictions uint64
+	scaleHits, scaleMisses          uint64
+}
+
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+type scalesKey struct {
+	w    Weighting
+	feat int
+}
+
+type scalesVal struct {
+	d   vec.V
+	err error
+}
+
+func newImpactCache(capacity int) *impactCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &impactCache{
+		cap:    capacity,
+		m:      make(map[string]*list.Element, capacity/4),
+		ll:     list.New(),
+		scales: make(map[scalesKey]scalesVal),
+	}
+}
+
+// quantize zeroes the low 12 mantissa bits of x, collapsing points within
+// ~4.4e-13 relative distance onto one key. Quantization only widens the set
+// of queries that share a key — the stored value is always a genuinely
+// computed impact value, just at an input the search cannot distinguish
+// from the query.
+func quantize(x float64) uint64 {
+	return math.Float64bits(x) &^ 0xFFF
+}
+
+// appendKey encodes (feature, quantized x) into buf and returns it. The
+// caller reuses buf across evaluations; the encoded form only becomes a
+// persistent string on store.
+func appendKey(buf []byte, feature int, x vec.V) []byte {
+	buf = buf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(feature))
+	for _, v := range x {
+		buf = binary.LittleEndian.AppendUint64(buf, quantize(v))
+	}
+	return buf
+}
+
+// get looks up an impact value. key is the appendKey encoding; the lookup
+// does not retain or allocate from it.
+func (c *impactCache) get(key []byte) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[string(key)]; ok { // compiler-optimized: no string alloc
+		c.hits++
+		c.ll.MoveToFront(e)
+		return e.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return 0, false
+}
+
+// put stores a finite impact value, evicting the least-recently-used entry
+// at capacity. Non-finite values are dropped: a NaN/Inf (including the NaN
+// a recovered panic substitutes) is a fault, and faults must re-fire.
+func (c *impactCache) put(key []byte, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[string(key)]; ok {
+		e.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(e)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	k := string(key)
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	c.stores++
+}
+
+// stats snapshots the counters.
+func (c *impactCache) statsLocked() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Stores: c.stores,
+		Evictions: c.evictions, Entries: c.ll.Len(),
+		ScaleHits: c.scaleHits, ScaleMisses: c.scaleMisses,
+	}
+}
+
+// EnableImpactCache attaches a bounded memoizing cache to the analysis:
+// impact evaluations of the numeric radius tier are reused across repeated
+// and batched searches, and Weighting.Scales vectors of comparable
+// weighting values are memoized per feature. capacity ≤ 0 selects
+// DefaultCacheSize entries.
+//
+// Enable the cache when the same analysis is queried repeatedly — service
+// loops re-checking robustness as estimates drift, RobustnessBatch over
+// many weightings, Tolerable/Certifier traffic — and the impact function is
+// expensive (DES-backed, queueing models, anything beyond a few arithmetic
+// ops). For one-shot analyses of cheap linear impacts the lookup overhead
+// exceeds the evaluation cost; see docs/performance.md for measurements.
+//
+// The cache assumes the analysis is frozen: mutating Features, Params, or a
+// weighting's underlying data after enabling invalidates cached values
+// silently. Enable (or Disable) only from a single goroutine, before
+// concurrent use; the cache itself is safe for concurrent readers and
+// writers. Faulty evaluations are never cached — see docs/architecture.md
+// for how caching composes with the failure semantics of
+// docs/failure-semantics.md.
+func (a *Analysis) EnableImpactCache(capacity int) {
+	a.cache = newImpactCache(capacity)
+}
+
+// DisableImpactCache detaches (and drops) the cache.
+func (a *Analysis) DisableImpactCache() { a.cache = nil }
+
+// CacheStats reports the cache's counters; the zero CacheStats when no
+// cache is enabled.
+func (a *Analysis) CacheStats() CacheStats {
+	if a.cache == nil {
+		return CacheStats{}
+	}
+	return a.cache.statsLocked()
+}
+
+// scalesFor returns w.Scales(a, featIdx), memoized when the cache is
+// enabled and the weighting value is comparable (usable as a map key —
+// true for Normalized{}, Sensitivity{}, and other field-free or
+// scalar-field weightings; Custom carries a slice and is computed afresh).
+// The returned vector is shared: callers must not mutate it.
+func (a *Analysis) scalesFor(w Weighting, featIdx int) (vec.V, error) {
+	c := a.cache
+	if c == nil || w == nil || !reflect.TypeOf(w).Comparable() {
+		return w.Scales(a, featIdx)
+	}
+	k := scalesKey{w: w, feat: featIdx}
+	c.mu.Lock()
+	if v, ok := c.scales[k]; ok {
+		c.scaleHits++
+		c.mu.Unlock()
+		return v.d, v.err
+	}
+	c.scaleMisses++
+	c.mu.Unlock()
+	// Compute outside the lock: Sensitivity scales run whole radius
+	// computations. Concurrent first queries may duplicate the work; the
+	// last store wins and all results are identical for a frozen analysis.
+	d, err := w.Scales(a, featIdx)
+	c.mu.Lock()
+	c.scales[k] = scalesVal{d: d, err: err}
+	c.mu.Unlock()
+	return d, err
+}

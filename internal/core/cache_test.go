@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// prodAnalysis builds a one-feature analysis whose impact is the product of
+// n one-element parameters — nonlinear, so radii go through the numeric
+// level-set tier (the path the cache accelerates).
+func prodAnalysis(t testing.TB, n int, bound float64) *Analysis {
+	t.Helper()
+	params := make([]Perturbation, n)
+	for j := range params {
+		params[j] = Perturbation{Name: "p", Orig: vec.Of(1)}
+	}
+	a, err := NewAnalysis([]Feature{{
+		Name:   "product",
+		Bounds: MaxOnly(bound),
+		Impact: func(vs []vec.V) float64 {
+			p := 1.0
+			for _, v := range vs {
+				p *= v[0]
+			}
+			return p
+		},
+	}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestImpactCacheLRUEviction(t *testing.T) {
+	c := newImpactCache(4)
+	key := func(i int) []byte {
+		return binary.LittleEndian.AppendUint64(nil, uint64(i))
+	}
+	for i := 0; i < 5; i++ {
+		c.put(key(i), float64(i))
+	}
+	st := c.statsLocked()
+	if st.Entries != 4 || st.Evictions != 1 || st.Stores != 5 {
+		t.Fatalf("after 5 puts into cap-4 cache: %+v", st)
+	}
+	// Key 0 was the least recently used and must be gone; key 4 must hit.
+	if _, ok := c.get(key(0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if v, ok := c.get(key(4)); !ok || v != 4 {
+		t.Fatalf("get(4) = %v, %v", v, ok)
+	}
+	// Touching key 1 must protect it from the next eviction.
+	c.get(key(1))
+	c.put(key(5), 5)
+	if _, ok := c.get(key(1)); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.get(key(2)); ok {
+		t.Fatal("LRU entry 2 should have been evicted after touching 1")
+	}
+}
+
+func TestImpactCacheNeverStoresNonFinite(t *testing.T) {
+	c := newImpactCache(8)
+	key := []byte("k")
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c.put(key, v)
+	}
+	st := c.statsLocked()
+	if st.Stores != 0 || st.Entries != 0 {
+		t.Fatalf("non-finite values were stored: %+v", st)
+	}
+	if _, ok := c.get(key); ok {
+		t.Fatal("lookup of never-stored key succeeded")
+	}
+}
+
+// TestCacheNeverCachesFaultyEvaluations drives the integration path: an
+// impact function that is finite only near the original point fails every
+// numeric search with ErrNumeric. The fault must re-fire on a repeat run (a
+// cached NaN would turn a contained failure into a silent one), and no
+// non-finite value may ever appear among the cached entries.
+func TestCacheNeverCachesFaultyEvaluations(t *testing.T) {
+	a, err := NewAnalysis([]Feature{{
+		Name:   "poison",
+		Bounds: MaxOnly(2),
+		Impact: func(vs []vec.V) float64 {
+			x := vs[0][0]
+			if math.Abs(x-1) > 0.05 {
+				return math.NaN() // poisoned everywhere the search must go
+			}
+			return x * x
+		},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.EnableImpactCache(64)
+	for trial := 0; trial < 2; trial++ {
+		_, rerr := a.CombinedRadius(0, Normalized{})
+		if !errors.Is(rerr, ErrNumeric) {
+			t.Fatalf("trial %d: err = %v, want ErrNumeric", trial, rerr)
+		}
+	}
+	st := a.CacheStats()
+	if st.Misses == 0 {
+		t.Fatal("expected cache lookups to have happened")
+	}
+	// Whatever was cached (the finite evaluations near the origin) must be
+	// finite; the NaN region must never have been stored.
+	for e := a.cache.ll.Front(); e != nil; e = e.Next() {
+		if v := e.Value.(*cacheEntry).val; math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value %v found in cache", v)
+		}
+	}
+	if st.Entries != int(st.Stores)-int(st.Evictions) {
+		t.Fatalf("entry bookkeeping inconsistent: %+v", st)
+	}
+}
+
+func TestCachedRadiusMatchesUncachedAndHits(t *testing.T) {
+	a := prodAnalysis(t, 3, 4)
+	cold, err := a.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.EnableImpactCache(0)
+	warmup, err := a.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := a.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(cold.Value - warmup.Value); d > 1e-9 {
+		t.Fatalf("uncached %.15g vs first cached %.15g differ by %g", cold.Value, warmup.Value, d)
+	}
+	if d := math.Abs(cold.Value - cached.Value); d > 1e-9 {
+		t.Fatalf("uncached %.15g vs warm cached %.15g differ by %g", cold.Value, cached.Value, d)
+	}
+	st := a.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("repeat of an identical search produced no cache hits: %+v", st)
+	}
+	if st.Stores == 0 {
+		t.Fatalf("no evaluations were stored: %+v", st)
+	}
+}
+
+func TestScalesMemo(t *testing.T) {
+	k := vec.Of(2, 3, 5)
+	orig := vec.Of(1, 2, 4)
+	a, err := LinearOneElemAnalysis(k, orig, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.EnableImpactCache(0)
+
+	// Sensitivity{} is comparable: the second query must be a memo hit.
+	d1, err := a.scalesFor(Sensitivity{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.scalesFor(Sensitivity{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.V(d1).EqualApprox(d2, 0) {
+		t.Fatalf("memoized scales differ: %v vs %v", d1, d2)
+	}
+	st := a.CacheStats()
+	if st.ScaleHits != 1 || st.ScaleMisses != 1 {
+		t.Fatalf("scale memo counters: %+v", st)
+	}
+
+	// Custom carries a slice (not comparable): computed fresh each time, no
+	// memo traffic, and crucially no key collision between two different
+	// alpha vectors sharing the name "custom".
+	ca, err := a.scalesFor(Custom{Alphas: vec.Of(1, 1, 1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := a.scalesFor(Custom{Alphas: vec.Of(2, 2, 2)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca[0] == cb[0] {
+		t.Fatal("distinct Custom weightings returned identical scales (memo collision)")
+	}
+	if st := a.CacheStats(); st.ScaleHits != 1 {
+		t.Fatalf("Custom weighting went through the memo: %+v", st)
+	}
+}
+
+func TestQuantizeResolution(t *testing.T) {
+	// Values closer than ~4e-13 relative collapse onto one key…
+	if quantize(1.0) != quantize(1.0+1e-14) {
+		t.Fatal("quantize failed to collapse values 1e-14 apart")
+	}
+	// …while values the search can distinguish stay distinct.
+	if quantize(1.0) == quantize(1.0+1e-9) {
+		t.Fatal("quantize collapsed values 1e-9 apart")
+	}
+}
+
+func TestCacheDisabledStatsZero(t *testing.T) {
+	a := prodAnalysis(t, 2, 4)
+	if st := a.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("stats without a cache: %+v", st)
+	}
+	a.EnableImpactCache(16)
+	if _, err := a.CombinedRadius(0, Normalized{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.CacheStats(); st.Misses == 0 {
+		t.Fatalf("enabled cache saw no traffic: %+v", st)
+	}
+	a.DisableImpactCache()
+	if st := a.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("stats after disable: %+v", st)
+	}
+}
+
+// TestCacheSharedAcrossTiers verifies that single-parameter and combined
+// searches of the same feature share cache entries: both key on the full
+// quantized native vector.
+func TestCacheSharedAcrossTiers(t *testing.T) {
+	a := prodAnalysis(t, 2, 4)
+	a.EnableImpactCache(0)
+	if _, err := a.CombinedRadius(0, Normalized{}); err != nil {
+		t.Fatal(err)
+	}
+	afterCombined := a.CacheStats()
+	if _, err := a.RadiusSingle(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	afterSingle := a.CacheStats()
+	if afterSingle.Hits <= afterCombined.Hits {
+		t.Fatalf("single-parameter search reused no combined-search entries: %+v -> %+v",
+			afterCombined, afterSingle)
+	}
+}
+
+// TestCachedNumericAgreesOnRandomizedImpacts is the property test of the
+// acceptance criteria: on randomized quadratic impacts evaluated through
+// the *numeric* tier (the quadratic form is deliberately not declared Quad)
+// and under both Normalized and Custom weightings, cached and uncached
+// radii agree to 1e-9.
+func TestCachedNumericAgreesOnRandomizedImpacts(t *testing.T) {
+	src := stats.NewSource(42)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%3
+		av := make(vec.V, n)
+		cv := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := 0; i < n; i++ {
+			av[i] = src.Uniform(0.5, 2)
+			cv[i] = src.Uniform(-0.5, 0.5)
+			orig[i] = cv[i] + src.Uniform(0.3, 1)
+		}
+		impact := func(vs []vec.V) float64 {
+			s := 0.0
+			for i, x := range vs[0] {
+				d := x - cv[i]
+				s += av[i] * d * d
+			}
+			return s
+		}
+		bound := impact([]vec.V{orig}) * src.Uniform(1.2, 2)
+		a, err := NewAnalysis([]Feature{{
+			Name: "quad", Bounds: MaxOnly(bound), Impact: impact,
+		}}, []Perturbation{{Name: "x", Orig: orig}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := []Weighting{Normalized{}, Custom{Alphas: vec.Of(src.Uniform(0.5, 2))}}
+		for _, w := range ws {
+			cold, err := a.CombinedRadius(0, w)
+			if err != nil {
+				t.Fatalf("trial %d (%s) uncached: %v", trial, w.Name(), err)
+			}
+			a.EnableImpactCache(0)
+			for rep := 0; rep < 2; rep++ {
+				warm, err := a.CombinedRadius(0, w)
+				if err != nil {
+					t.Fatalf("trial %d (%s) cached rep %d: %v", trial, w.Name(), rep, err)
+				}
+				if d := math.Abs(cold.Value - warm.Value); d > 1e-9 {
+					t.Fatalf("trial %d (%s): uncached %.15g vs cached %.15g differ by %g",
+						trial, w.Name(), cold.Value, warm.Value, d)
+				}
+			}
+			a.DisableImpactCache()
+		}
+	}
+}

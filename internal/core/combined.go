@@ -35,7 +35,7 @@ func (a *Analysis) CombinedRadiusCtx(ctx context.Context, i int, w Weighting) (R
 	if err := ctxErr(ctx); err != nil {
 		return Radius{}, err
 	}
-	d, err := w.Scales(a, i)
+	d, err := a.scalesFor(w, i)
 	if err != nil {
 		return Radius{}, err
 	}
@@ -88,23 +88,11 @@ func (a *Analysis) combinedLinear(i int, d, pOrig vec.V) (Radius, error) {
 	return best, nil
 }
 
-// combinedNumeric runs the level-set search over P-space: the impact is
-// evaluated at native values recovered via the inverse scaling. The
-// caller-supplied impact function runs behind a guard (see failure.go).
+// combinedNumeric runs the level-set search over P-space, one boundary
+// side at a time (the batch engine dispatches the same per-side units
+// independently across its worker pool — see batch.go).
 func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V) (Radius, error) {
 	f := a.Features[i]
-	g := &guard{feature: i, param: -1, op: "combined radius"}
-	impact := g.wrap(f.impact())
-	dims := a.Dims()
-	inP := func(x []float64) float64 {
-		native := vec.V(x).Div(d)
-		vals, err := vec.Split(native, dims...)
-		if err != nil {
-			return math.NaN()
-		}
-		return impact(vals)
-	}
-	opts := a.searchOpts(ctx)
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
 	for _, side := range []struct {
 		beta float64
@@ -113,19 +101,62 @@ func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V) (
 		if math.IsInf(side.beta, 0) {
 			continue
 		}
-		res, err := optimize.NearestOnLevelSet(inP, side.beta, pOrig, opts)
-		if err != nil && errors.Is(err, optimize.ErrNoBoundary) {
-			err = nil // unreachable bound: not a failure
-			res.Dist = math.Inf(1)
+		r, err := a.combinedNumericSide(ctx, i, d, pOrig, side.beta, side.side)
+		if err != nil {
+			return Radius{}, err
 		}
-		if err = g.err(err); err != nil {
-			return Radius{}, fmt.Errorf("core: combined radius of %q: %w", f.Name, err)
-		}
-		if res.Dist < best.Value {
-			best.Value, best.Point, best.Side = res.Dist, vec.V(res.Point), side.side
+		if r.Value < best.Value {
+			best = r
 		}
 	}
 	return best, nil
+}
+
+// combinedNumericSide searches the single boundary {φ_i = beta} for the
+// nearest P-space point. The impact is evaluated at native values recovered
+// via the inverse scaling, through the panic/NaN guard of failure.go and —
+// when enabled — the impact cache. Scratch vectors (the native point and
+// its per-parameter views) are allocated once per search, not per
+// evaluation, and the native buffer itself comes from the shared pool.
+func (a *Analysis) combinedNumericSide(ctx context.Context, i int, d, pOrig vec.V, beta float64, side BoundarySide) (Radius, error) {
+	f := a.Features[i]
+	g := &guard{feature: i, param: -1, op: "combined radius"}
+	impact := g.wrap(f.impact())
+	native := vec.GetScratch(len(d))
+	defer vec.PutScratch(native)
+	vals := vec.Views(nil, native, a.Dims()...)
+	cache := a.cache
+	var keyBuf []byte
+	if cache != nil {
+		keyBuf = make([]byte, 0, 4+8*len(d))
+	}
+	inP := func(x []float64) float64 {
+		vec.DivInto(native, vec.V(x), d)
+		if cache != nil {
+			keyBuf = appendKey(keyBuf, i, native)
+			if v, ok := cache.get(keyBuf); ok {
+				return v
+			}
+		}
+		v := impact(vals)
+		if cache != nil {
+			cache.put(keyBuf, v) // refuses NaN/Inf: faults are never cached
+		}
+		return v
+	}
+	res, err := optimize.NearestOnLevelSet(inP, beta, pOrig, a.searchOpts(ctx))
+	if err != nil && errors.Is(err, optimize.ErrNoBoundary) {
+		err = nil // unreachable bound: not a failure
+		res.Dist = math.Inf(1)
+	}
+	if err = g.err(err); err != nil {
+		return Radius{}, fmt.Errorf("core: combined radius of %q: %w", f.Name, err)
+	}
+	r := Radius{Value: res.Dist, Side: SideNone, Feature: i, Param: -1}
+	if !math.IsInf(res.Dist, 1) {
+		r.Point, r.Side = vec.V(res.Point), side
+	}
+	return r, nil
 }
 
 // Robustness is the system-level result ρ_μ(Φ, P) = min_i r_μ(φ_i, P),

@@ -71,6 +71,11 @@ func (b Bounds) Contains(v float64) bool { return v >= b.Min && v <= b.Max }
 // ImpactFunc is an impact function f_i: it maps the values of all
 // perturbation parameters (in analysis order, block j having the dimension
 // of π_j) to the feature value φ_i.
+//
+// The engine calls impact functions in tight evaluation loops and reuses
+// the argument buffers between calls: an ImpactFunc must treat params (and
+// the vectors inside it) as read-only and must not retain them after
+// returning. Copy anything that needs to outlive the call.
 type ImpactFunc func(params []vec.V) float64
 
 // LinearImpact is the analytically tractable impact form the paper derives
@@ -145,6 +150,10 @@ type Analysis struct {
 	// NumOpts tunes the numeric nearest-point searches used for nonlinear
 	// impact functions. The zero value is sensible.
 	NumOpts optimize.LevelSetOptions
+
+	// cache, when non-nil, memoizes impact evaluations and weighting
+	// scales across searches. See EnableImpactCache (cache.go).
+	cache *impactCache
 }
 
 // NewAnalysis assembles and validates an analysis.

@@ -163,17 +163,37 @@ func (a *Analysis) radiusSingleLinear(i, j int) (Radius, error) {
 // n_{π_j}-dimensional space of the single parameter. The caller-supplied
 // impact function runs behind a guard: panics and non-finite values are
 // contained as typed errors instead of escaping or silently corrupting the
-// radius, and ctx cancels the search between evaluations.
+// radius, and ctx cancels the search between evaluations. The full native
+// point (frozen blocks + the moving block j) lives in one pooled scratch
+// vector, so evaluations share cache entries with the combined-space
+// searches of the same feature and allocate nothing per call.
 func (a *Analysis) radiusSingleNumeric(ctx context.Context, i, j int) (Radius, error) {
 	f := a.Features[i]
 	g := &guard{feature: i, param: j, op: "single-parameter radius"}
 	impact := g.wrap(f.impact())
-	orig := a.OrigValues()
+	native := vec.GetScratch(a.TotalDim())
+	defer vec.PutScratch(native)
+	vec.ConcatInto(native, a.OrigValues()...)
+	vals := vec.Views(nil, native, a.Dims()...)
+	blk := vals[j]
+	cache := a.cache
+	var keyBuf []byte
+	if cache != nil {
+		keyBuf = make([]byte, 0, 4+8*len(native))
+	}
 	restrict := func(x []float64) float64 {
-		vals := make([]vec.V, len(orig))
-		copy(vals, orig)
-		vals[j] = vec.V(x)
-		return impact(vals)
+		copy(blk, x)
+		if cache != nil {
+			keyBuf = appendKey(keyBuf, i, native)
+			if v, ok := cache.get(keyBuf); ok {
+				return v
+			}
+		}
+		v := impact(vals)
+		if cache != nil {
+			cache.put(keyBuf, v) // refuses NaN/Inf: faults are never cached
+		}
+		return v
 	}
 	opts := a.searchOpts(ctx)
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: j}

@@ -71,6 +71,15 @@ func (a *Analysis) RobustnessWith(ctx context.Context, w Weighting, opt EvalOpti
 		}
 	}
 
+	return a.foldRobustness(ctx, w, opt, radii, errs)
+}
+
+// foldRobustness assembles the final Robustness from per-feature radii and
+// errors. Every non-nil error must already be tolerable (numeric, with
+// degradation enabled): each such feature is re-estimated by the
+// Monte-Carlo lower bound and flagged Degraded. Shared by the serial,
+// concurrent, and batch evaluation paths.
+func (a *Analysis) foldRobustness(ctx context.Context, w Weighting, opt EvalOptions, radii []Radius, errs []error) (Robustness, error) {
 	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: w.Name(), PerFeature: radii}
 	for i := range radii {
 		if errs[i] != nil {
@@ -174,14 +183,19 @@ func (a *Analysis) mcRadiusLowerBound(ctx context.Context, i int, w Weighting, s
 	}
 	g := &guard{feature: i, param: -1, op: "degraded radius probe"}
 	impact := g.wrap(f.impact())
-	dims := a.Dims()
 	dim := len(pOrig)
+	// Scratch vectors are reused across all samples of the estimation; the
+	// random probe points never repeat, so the impact cache is deliberately
+	// bypassed here (random keys would only evict useful entries).
+	native := vec.GetScratch(len(d))
+	defer vec.PutScratch(native)
+	vals := vec.Views(nil, native, a.Dims()...)
+	probe := vec.GetScratch(dim)
+	defer vec.PutScratch(probe)
+	dir := vec.GetScratch(dim)
+	defer vec.PutScratch(dir)
 	violated := func(p vec.V) bool {
-		native := p.Div(d)
-		vals, err := vec.Split(native, dims...)
-		if err != nil {
-			return true
-		}
+		vec.DivInto(native, p, d)
 		v := impact(vals)
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return true // non-finite (or panicking) impact: assume the worst
@@ -194,13 +208,19 @@ func (a *Analysis) mcRadiusLowerBound(ctx context.Context, i int, w Weighting, s
 			if err := ctxErr(ctx); err != nil {
 				return false, err
 			}
-			dir := make(vec.V, dim)
+			var nrm float64
 			for e := range dir {
 				dir[e] = src.Normal(0, 1)
+				nrm += dir[e] * dir[e]
 			}
-			dir = dir.Normalize()
+			if nrm > 0 {
+				scale := 1 / math.Sqrt(nrm)
+				for e := range dir {
+					dir[e] *= scale
+				}
+			}
 			rr := r * math.Pow(src.Float64(), 1/float64(dim))
-			if violated(pOrig.AddScaled(rr, dir)) {
+			if violated(vec.AddScaledInto(probe, pOrig, rr, dir)) {
 				return true, nil
 			}
 		}

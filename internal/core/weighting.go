@@ -32,28 +32,36 @@ var (
 )
 
 // ToP converts native parameter values to P-space under w for feature i.
+// It performs a single allocation (the returned vector); the weighting
+// scales are memoized when the analysis has an impact cache enabled.
 func ToP(a *Analysis, w Weighting, featIdx int, values []vec.V) (vec.V, error) {
-	d, err := w.Scales(a, featIdx)
+	d, err := a.scalesFor(w, featIdx)
 	if err != nil {
 		return nil, err
 	}
-	x := concat(values)
-	if len(x) != len(d) {
-		return nil, fmt.Errorf("core: ToP: values dim %d vs scales dim %d: %w", len(x), len(d), vec.ErrDimMismatch)
+	var total int
+	for _, v := range values {
+		total += len(v)
 	}
-	return x.Mul(d), nil
+	if total != len(d) {
+		return nil, fmt.Errorf("core: ToP: values dim %d vs scales dim %d: %w", total, len(d), vec.ErrDimMismatch)
+	}
+	out := make(vec.V, total)
+	vec.ConcatInto(out, values...)
+	return vec.MulInto(out, out, d), nil
 }
 
 // FromP converts a P-space vector back to native parameter values.
 func FromP(a *Analysis, w Weighting, featIdx int, p vec.V) ([]vec.V, error) {
-	d, err := w.Scales(a, featIdx)
+	d, err := a.scalesFor(w, featIdx)
 	if err != nil {
 		return nil, err
 	}
 	if len(p) != len(d) {
 		return nil, fmt.Errorf("core: FromP: P dim %d vs scales dim %d: %w", len(p), len(d), vec.ErrDimMismatch)
 	}
-	return a.split(p.Div(d))
+	native := make(vec.V, len(p))
+	return a.split(vec.DivInto(native, p, d))
 }
 
 // POrig returns P^orig = scales ∘ concat(π^orig) for feature featIdx.

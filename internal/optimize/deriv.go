@@ -20,6 +20,16 @@ type Func1 func(x float64) float64
 func Gradient(f Func, x []float64) []float64 {
 	g := make([]float64, len(x))
 	xx := make([]float64, len(x))
+	GradientInto(g, xx, f, x)
+	return g
+}
+
+// GradientInto estimates ∇f(x) into g, using probe as the perturbed-point
+// scratch vector. g, probe, and x must share a length; probe must not alias
+// x. This is the allocation-free form the level-set search uses once per
+// tangential-descent iteration.
+func GradientInto(g, probe []float64, f Func, x []float64) {
+	xx := probe
 	copy(xx, x)
 	for i := range x {
 		h := stepFor(x[i])
@@ -31,7 +41,6 @@ func Gradient(f Func, x []float64) []float64 {
 		xx[i] = orig
 		g[i] = (fp - fm) / (2 * h)
 	}
-	return g
 }
 
 // Directional estimates the derivative of f at x along the unit direction d

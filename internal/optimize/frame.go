@@ -1,0 +1,39 @@
+package optimize
+
+import "sync"
+
+// searchFrame holds the scratch vectors one nearest-on-level-set search
+// reuses across its thousands of objective evaluations. Before this frame
+// existed, every 1-D line evaluation inside ray shooting, re-projection,
+// and tangential descent allocated a fresh point vector — roughly one
+// allocation per impact evaluation, which dominated the runtime of cheap
+// impact functions. A search is single-goroutine, so one frame serves all
+// of its phases; frames are pooled across searches.
+type searchFrame struct {
+	ray   []float64 // line-evaluation point (shootRay)
+	proj  []float64 // line-evaluation point (reprojectNormal)
+	dir   []float64 // direction scratch (projectThroughOrigin, reprojectNormal)
+	r     []float64 // radial residual (tangentialDescent)
+	rt    []float64 // tangential residual (tangentialDescent)
+	trial []float64 // trial step (tangentialDescent)
+	grad  []float64 // gradient (tangentialDescent)
+	gtmp  []float64 // gradient probe scratch (GradientInto)
+}
+
+var framePool = sync.Pool{New: func() any { return new(searchFrame) }}
+
+// getFrame returns a frame whose buffers all have length n.
+func getFrame(n int) *searchFrame {
+	fr := framePool.Get().(*searchFrame)
+	for _, b := range []*[]float64{&fr.ray, &fr.proj, &fr.dir, &fr.r, &fr.rt, &fr.trial, &fr.grad, &fr.gtmp} {
+		if cap(*b) < n {
+			*b = make([]float64, n)
+		} else {
+			*b = (*b)[:n]
+		}
+	}
+	return fr
+}
+
+// putFrame recycles a frame; the caller must not touch it afterwards.
+func putFrame(fr *searchFrame) { framePool.Put(fr) }

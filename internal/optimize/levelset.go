@@ -114,6 +114,8 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 	}
 
 	evals := 0
+	fr := getFrame(n)
+	defer putFrame(fr)
 	defer func() {
 		if r := recover(); r != nil {
 			ab, ok := r.(searchAbort)
@@ -154,7 +156,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 	best := Result{Dist: math.Inf(1)}
 	var candidates [][]float64
 	for _, d := range dirs {
-		pt, ok := shootRay(g, x0, d, opt.MaxSpan, opt.Tol*fscale)
+		pt, ok := shootRay(g, x0, d, opt.MaxSpan, opt.Tol*fscale, fr.ray)
 		if !ok {
 			continue
 		}
@@ -179,7 +181,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 			MaxEvals:    400 * n,
 		})
 		if sgn*g(xm) < 0 {
-			if pt, ok := projectThroughOrigin(g, x0, xm, opt.MaxSpan, opt.Tol*fscale); ok {
+			if pt, ok := projectThroughOrigin(g, x0, xm, opt.MaxSpan, opt.Tol*fscale, fr); ok {
 				candidates = append(candidates, pt)
 				best = Result{Point: pt, Dist: euclid(pt, x0)}
 			}
@@ -192,7 +194,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 	// --- Phase 2: tangential descent from the few best crossings -------
 	refineFrom := topK(candidates, x0, 3)
 	for _, start := range refineFrom {
-		pt, dist := tangentialDescent(f, g, level, x0, start, opt)
+		pt, dist := tangentialDescent(f, g, level, x0, start, opt, fr)
 		if dist < best.Dist {
 			best = Result{Point: pt, Dist: dist}
 		}
@@ -212,7 +214,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		})
 		// Re-project the polished point exactly onto the boundary along the
 		// line through x0, so feasibility is not sacrificed for distance.
-		if proj, ok := projectThroughOrigin(g, x0, px, opt.MaxSpan, opt.Tol*fscale); ok {
+		if proj, ok := projectThroughOrigin(g, x0, px, opt.MaxSpan, opt.Tol*fscale, fr); ok {
 			if d := euclid(proj, x0); d < best.Dist {
 				best = Result{Point: proj, Dist: d}
 			}
@@ -261,10 +263,12 @@ func probeDirections(f Func, x0 []float64, opt LevelSetOptions) [][]float64 {
 	return dirs
 }
 
-// shootRay locates the first crossing of g along x0 + t·d, t > 0.
-func shootRay(g Func, x0, d []float64, maxSpan, tol float64) ([]float64, bool) {
+// shootRay locates the first crossing of g along x0 + t·d, t > 0. scratch is
+// the reusable line-evaluation point (length len(x0)); the returned crossing
+// is freshly allocated.
+func shootRay(g Func, x0, d []float64, maxSpan, tol float64, scratch []float64) ([]float64, bool) {
 	line := func(t float64) float64 {
-		x := make([]float64, len(x0))
+		x := scratch
 		for i := range x {
 			x[i] = x0[i] + t*d[i]
 		}
@@ -287,8 +291,8 @@ func shootRay(g Func, x0, d []float64, maxSpan, tol float64) ([]float64, bool) {
 
 // projectThroughOrigin re-projects x onto the boundary along the ray from x0
 // through x.
-func projectThroughOrigin(g Func, x0, x []float64, maxSpan, tol float64) ([]float64, bool) {
-	d := make([]float64, len(x0))
+func projectThroughOrigin(g Func, x0, x []float64, maxSpan, tol float64, fr *searchFrame) ([]float64, bool) {
+	d := fr.dir
 	for i := range d {
 		d[i] = x[i] - x0[i]
 	}
@@ -299,33 +303,33 @@ func projectThroughOrigin(g Func, x0, x []float64, maxSpan, tol float64) ([]floa
 	for i := range d {
 		d[i] /= nrm
 	}
-	return shootRay(g, x0, d, maxSpan, tol)
+	return shootRay(g, x0, d, maxSpan, tol, fr.ray)
 }
 
 // tangentialDescent slides a boundary point along the level set toward x0.
 // At each step the tangential component of (x − x0) is removed and the point
 // is re-projected onto the boundary along the local normal (falling back to
 // the ray through x0).
-func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt LevelSetOptions) ([]float64, float64) {
-	n := len(x0)
+func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt LevelSetOptions, fr *searchFrame) ([]float64, float64) {
 	x := append([]float64(nil), start...)
 	dist := euclid(x, x0)
 	eta := 1.0
 	fscale := 1 + math.Abs(level)
 	for iter := 0; iter < opt.RefineIters; iter++ {
-		grad := Gradient(f, x)
+		grad := fr.grad
+		GradientInto(grad, fr.gtmp, f, x)
 		gn := norm2(grad)
 		if gn == 0 {
 			break
 		}
 		// r = x − x0; tangential residual r_t = r − (r·n̂)n̂.
-		r := make([]float64, n)
+		r := fr.r
 		var rDotN float64
 		for i := range r {
 			r[i] = x[i] - x0[i]
 			rDotN += r[i] * grad[i] / gn
 		}
-		rt := make([]float64, n)
+		rt := fr.rt
 		var rtNorm float64
 		for i := range rt {
 			rt[i] = r[i] - rDotN*grad[i]/gn
@@ -338,13 +342,13 @@ func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt L
 		// Trial step along −r_t, then re-project onto the boundary.
 		improved := false
 		for ; eta > 1e-10; eta *= 0.5 {
-			trial := make([]float64, n)
+			trial := fr.trial
 			for i := range trial {
 				trial[i] = x[i] - eta*rt[i]
 			}
-			proj, ok := reprojectNormal(g, trial, grad, gn, opt.MaxSpan, opt.Tol*fscale)
+			proj, ok := reprojectNormal(g, trial, grad, gn, opt.MaxSpan, opt.Tol*fscale, fr)
 			if !ok {
-				proj, ok = projectThroughOrigin(g, x0, trial, opt.MaxSpan, opt.Tol*fscale)
+				proj, ok = projectThroughOrigin(g, x0, trial, opt.MaxSpan, opt.Tol*fscale, fr)
 			}
 			if !ok {
 				continue
@@ -365,13 +369,13 @@ func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt L
 
 // reprojectNormal root-finds along ± the normal direction from a near-
 // boundary point to land exactly on the level set.
-func reprojectNormal(g Func, x, grad []float64, gradNorm, maxSpan, tol float64) ([]float64, bool) {
-	d := make([]float64, len(x))
+func reprojectNormal(g Func, x, grad []float64, gradNorm, maxSpan, tol float64, fr *searchFrame) ([]float64, bool) {
+	d := fr.dir
 	for i := range d {
 		d[i] = grad[i] / gradNorm
 	}
 	line := func(t float64) float64 {
-		y := make([]float64, len(x))
+		y := fr.proj
 		for i := range y {
 			y[i] = x[i] + t*d[i]
 		}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements the machine-readable benchmark format behind
+// `robustbench -bench-json` and the regression comparator CI runs against a
+// committed baseline (BENCH_baseline.json). The same comparator also
+// understands raw `go test -bench` output, so local before/after runs can be
+// diffed without writing JSON first.
+
+// BenchSchema identifies the JSON layout; bump it on incompatible changes.
+const BenchSchema = "fepia-bench/1"
+
+// BenchEntry is one timed unit of work: an experiment of the robustbench
+// sweep or one Go benchmark. Times are nanoseconds per operation (for an
+// experiment, per run); allocation figures come from runtime.MemStats
+// deltas or go test's -benchmem columns, whichever produced the entry.
+type BenchEntry struct {
+	// Name identifies the unit ("E5", "BenchmarkRadiusNumeric/n=4", …).
+	Name string `json:"name"`
+	// WallNanos is the wall-clock time of one operation in nanoseconds.
+	WallNanos int64 `json:"wall_ns"`
+	// AllocBytes is the total number of bytes allocated by the operation.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Allocs is the number of heap allocations of the operation.
+	Allocs uint64 `json:"allocs"`
+}
+
+// BenchFile is the on-disk benchmark artifact. Host fields record where the
+// numbers were measured — benchmark baselines are only comparable on the
+// same class of machine.
+type BenchFile struct {
+	Schema    string       `json:"schema"`
+	CreatedAt string       `json:"created_at,omitempty"`
+	GoVersion string       `json:"go_version,omitempty"`
+	GOOS      string       `json:"goos,omitempty"`
+	GOARCH    string       `json:"goarch,omitempty"`
+	MaxProcs  int          `json:"maxprocs,omitempty"`
+	Seed      int64        `json:"seed"`
+	Quick     bool         `json:"quick"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// WriteBench writes f to path as indented JSON, stamping the schema and the
+// creation time if unset.
+func WriteBench(path string, f BenchFile) error {
+	if f.Schema == "" {
+		f.Schema = BenchSchema
+	}
+	if f.CreatedAt == "" {
+		f.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stats: encoding bench file: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("stats: writing bench file: %w", err)
+	}
+	return nil
+}
+
+// LoadBench reads a BenchFile written by WriteBench.
+func LoadBench(path string) (BenchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, fmt.Errorf("stats: reading bench file: %w", err)
+	}
+	var f BenchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("stats: decoding bench file %s: %w", path, err)
+	}
+	if f.Schema != "" && f.Schema != BenchSchema {
+		return BenchFile{}, fmt.Errorf("stats: bench file %s has schema %q, want %q", path, f.Schema, BenchSchema)
+	}
+	return f, nil
+}
+
+// BenchDelta reports one entry's change between a baseline and a new run.
+// Ratio is new/old wall time (1.0 = unchanged; 1.25 = 25% slower).
+type BenchDelta struct {
+	Name     string
+	OldNanos int64
+	NewNanos int64
+	Ratio    float64
+	// Regression is true when the entry slowed down beyond the comparison
+	// tolerance and above the noise floor.
+	Regression bool
+}
+
+// CompareOpts tune the regression comparison.
+type CompareOpts struct {
+	// Tolerance is the fractional slowdown above which an entry counts as a
+	// regression; 0 selects the default 0.20 (a >20% slowdown fails).
+	Tolerance float64
+	// MinNanos is the noise floor: entries whose baseline AND new time are
+	// both below it are never flagged (micro-timings jitter too much to
+	// gate on). 0 selects the default 1ms.
+	MinNanos int64
+}
+
+func (o CompareOpts) withDefaults() CompareOpts {
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.20
+	}
+	if o.MinNanos == 0 {
+		o.MinNanos = int64(time.Millisecond)
+	}
+	return o
+}
+
+// CompareBench matches entries of old and new by name and reports the wall
+// time deltas, sorted by descending ratio (worst regression first). Entries
+// present in only one file are skipped: a renamed or added experiment is
+// not a regression.
+func CompareBench(old, new BenchFile, opts CompareOpts) []BenchDelta {
+	opts = opts.withDefaults()
+	base := make(map[string]BenchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		base[e.Name] = e
+	}
+	var out []BenchDelta
+	for _, e := range new.Entries {
+		b, ok := base[e.Name]
+		if !ok {
+			continue
+		}
+		d := BenchDelta{Name: e.Name, OldNanos: b.WallNanos, NewNanos: e.WallNanos}
+		if b.WallNanos > 0 {
+			d.Ratio = float64(e.WallNanos) / float64(b.WallNanos)
+		}
+		slow := d.Ratio > 1+opts.Tolerance
+		aboveFloor := b.WallNanos >= opts.MinNanos || e.WallNanos >= opts.MinNanos
+		d.Regression = slow && aboveFloor
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Regressions filters a CompareBench result down to the flagged entries.
+func Regressions(deltas []BenchDelta) []BenchDelta {
+	var out []BenchDelta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ParseGoBench extracts benchmark entries from `go test -bench` output.
+// Lines look like
+//
+//	BenchmarkRadiusNumeric/n=4-8   1275   924301 ns/op   1059724 B/op   18989 allocs/op
+//
+// The trailing "-8" GOMAXPROCS suffix is stripped from the name so runs from
+// machines with different core counts compare by benchmark identity. Lines
+// that are not benchmark results are ignored; allocation columns are
+// optional (absent without -benchmem).
+func ParseGoBench(r io.Reader) ([]BenchEntry, error) {
+	var out []BenchEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		nsop, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		e := BenchEntry{Name: trimProcSuffix(fields[0]), WallNanos: int64(nsop)}
+		for i := 3; i+1 < len(fields); i++ {
+			v, err := strconv.ParseUint(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				e.AllocBytes = v
+			case "allocs/op":
+				e.Allocs = v
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stats: scanning go bench output: %w", err)
+	}
+	return out, nil
+}
+
+// CompareGoBench parses two `go test -bench` outputs and compares them like
+// CompareBench. It is the helper CI (or a developer) uses to gate a change:
+//
+//	go test -bench=. -benchmem ./... > new.txt
+//	# …compare against the committed old.txt
+func CompareGoBench(old, new io.Reader, opts CompareOpts) ([]BenchDelta, error) {
+	oldE, err := ParseGoBench(old)
+	if err != nil {
+		return nil, err
+	}
+	newE, err := ParseGoBench(new)
+	if err != nil {
+		return nil, err
+	}
+	return CompareBench(BenchFile{Entries: oldE}, BenchFile{Entries: newE}, opts), nil
+}
+
+// trimProcSuffix removes go test's trailing "-N" GOMAXPROCS marker from a
+// benchmark name, keeping sub-benchmark paths ("Benchmark/n=4-8" → and
+// "Benchmark/n=4") intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

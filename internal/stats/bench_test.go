@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := BenchFile{
+		Seed:  7,
+		Quick: true,
+		Entries: []BenchEntry{
+			{Name: "E1", WallNanos: 1_000_000, AllocBytes: 4096, Allocs: 12},
+			{Name: "E2", WallNanos: 2_000_000},
+		},
+	}
+	if err := WriteBench(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != BenchSchema {
+		t.Fatalf("schema %q, want %q", out.Schema, BenchSchema)
+	}
+	if out.CreatedAt == "" {
+		t.Fatal("CreatedAt not stamped")
+	}
+	if out.Seed != 7 || !out.Quick || len(out.Entries) != 2 {
+		t.Fatalf("round trip mangled the file: %+v", out)
+	}
+	if out.Entries[0] != in.Entries[0] {
+		t.Fatalf("entry round trip: %+v vs %+v", out.Entries[0], in.Entries[0])
+	}
+}
+
+func TestLoadBenchRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteBench(path, BenchFile{Schema: BenchSchema}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite with a bogus schema via a fresh file.
+	bogus := filepath.Join(t.TempDir(), "bogus.json")
+	f := BenchFile{Schema: "fepia-bench/999"}
+	if err := WriteBench(bogus, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBench(bogus); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestCompareBenchFlagsRegressions(t *testing.T) {
+	ms := int64(time.Millisecond)
+	old := BenchFile{Entries: []BenchEntry{
+		{Name: "slow", WallNanos: 100 * ms},
+		{Name: "ok", WallNanos: 100 * ms},
+		{Name: "tiny", WallNanos: ms / 100}, // below the noise floor
+		{Name: "gone", WallNanos: 50 * ms},
+	}}
+	cur := BenchFile{Entries: []BenchEntry{
+		{Name: "slow", WallNanos: 150 * ms}, // +50%: regression
+		{Name: "ok", WallNanos: 110 * ms},   // +10%: inside tolerance
+		{Name: "tiny", WallNanos: ms / 10},  // 10x but still microscopic
+		{Name: "new", WallNanos: 999 * ms},  // unmatched: skipped
+	}}
+	deltas := CompareBench(old, cur, CompareOpts{Tolerance: 0.20})
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (matched entries only): %+v", len(deltas), deltas)
+	}
+	// Sorted worst-first: tiny (x10) leads, then slow, then ok.
+	if deltas[0].Name != "tiny" || deltas[1].Name != "slow" {
+		t.Fatalf("sort order: %+v", deltas)
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Name != "slow" {
+		t.Fatalf("regressions = %+v, want exactly [slow]", reg)
+	}
+	if reg[0].Ratio < 1.49 || reg[0].Ratio > 1.51 {
+		t.Fatalf("ratio = %g, want 1.5", reg[0].Ratio)
+	}
+}
+
+func TestCompareBenchNoiseFloorOneSided(t *testing.T) {
+	// An entry that *grows* past the floor is flagged even if its baseline
+	// was below it: a micro-benchmark blowing up into milliseconds is real.
+	ms := int64(time.Millisecond)
+	old := BenchFile{Entries: []BenchEntry{{Name: "x", WallNanos: ms / 10}}}
+	cur := BenchFile{Entries: []BenchEntry{{Name: "x", WallNanos: 40 * ms}}}
+	reg := Regressions(CompareBench(old, cur, CompareOpts{}))
+	if len(reg) != 1 {
+		t.Fatalf("blow-up past the floor not flagged: %+v", reg)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: fepia
+BenchmarkRadiusNumeric/n=4-8   	    1275	    924301 ns/op	 1059724 B/op	   18989 allocs/op
+BenchmarkTolerable-8           	 1000000	       976.0 ns/op	     864 B/op	      36 allocs/op
+BenchmarkNoAllocColumns        	     100	     12345 ns/op
+PASS
+ok  	fepia	12.3s
+`
+	entries, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %+v", len(entries), entries)
+	}
+	want0 := BenchEntry{Name: "BenchmarkRadiusNumeric/n=4", WallNanos: 924301, AllocBytes: 1059724, Allocs: 18989}
+	if entries[0] != want0 {
+		t.Fatalf("entry 0 = %+v, want %+v", entries[0], want0)
+	}
+	if entries[1].Name != "BenchmarkTolerable" || entries[1].WallNanos != 976 {
+		t.Fatalf("entry 1 = %+v", entries[1])
+	}
+	if entries[2].Name != "BenchmarkNoAllocColumns" || entries[2].AllocBytes != 0 {
+		t.Fatalf("entry 2 = %+v", entries[2])
+	}
+}
+
+func TestCompareGoBench(t *testing.T) {
+	oldOut := "BenchmarkX-8 100 10000000 ns/op\n"
+	newOut := "BenchmarkX-4 100 20000000 ns/op\n" // different -N suffix, matched anyway
+	deltas, err := CompareGoBench(strings.NewReader(oldOut), strings.NewReader(newOut), CompareOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || !deltas[0].Regression || deltas[0].Ratio != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo/n=4-16":   "BenchmarkFoo/n=4",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/sub-case": "BenchmarkFoo/sub-case",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package vec
+
+import "sync"
+
+// The scratch pool recycles intermediate vectors on the evaluation hot
+// path (P-space conversions, level-set search frames). The robustness
+// engine converts between native and P-space coordinates once per impact
+// evaluation; without reuse those intermediates dominate the allocation
+// profile of cheap impact functions (see docs/performance.md).
+
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// GetScratch returns a length-n scratch vector from the pool. The contents
+// are unspecified — callers must overwrite every element they read. Return
+// it with PutScratch when done; a scratch vector must not escape to the
+// caller of an exported API (hand out a Clone instead).
+func GetScratch(n int) V {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return V((*p)[:n])
+}
+
+// PutScratch recycles a vector obtained from GetScratch. The caller must
+// not use v afterwards.
+func PutScratch(v V) {
+	s := []float64(v)
+	scratchPool.Put(&s)
+}

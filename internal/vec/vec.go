@@ -173,15 +173,28 @@ func (v V) NormInf() float64 {
 	return m
 }
 
-// Dist2 returns the Euclidean distance ‖v − w‖₂. This is the distance the
-// robustness radius minimizes.
+// Dist2 returns the Euclidean distance ‖v − w‖₂ without allocating,
+// using the same overflow-safe scaling as Norm2. This is the distance the
+// robustness radius minimizes, evaluated on every operating-point check.
 func (v V) Dist2(w V) float64 {
 	mustSameDim(v, w)
-	d := make(V, len(v))
+	var scale, ssq float64 = 0, 1
 	for i := range v {
-		d[i] = v[i] - w[i]
+		x := v[i] - w[i]
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
 	}
-	return d.Norm2()
+	return scale * math.Sqrt(ssq)
 }
 
 // Sum returns Σ v_i.
@@ -293,6 +306,84 @@ func Split(v V, sizes ...int) ([]V, error) {
 		at += s
 	}
 	return out, nil
+}
+
+// SubInto writes v − w into dst and returns dst. All three must share a
+// dimension; dst may alias v or w. The in-place variants exist for the
+// evaluation hot path (level-set searches run the element-wise kernels once
+// per impact evaluation), where per-call allocation dominates the cost of
+// cheap impact functions.
+func SubInto(dst, v, w V) V {
+	mustSameDim(v, w)
+	mustSameDim(dst, v)
+	for i := range v {
+		dst[i] = v[i] - w[i]
+	}
+	return dst
+}
+
+// MulInto writes the Hadamard product v∘w into dst and returns dst. dst may
+// alias v or w.
+func MulInto(dst, v, w V) V {
+	mustSameDim(v, w)
+	mustSameDim(dst, v)
+	for i := range v {
+		dst[i] = v[i] * w[i]
+	}
+	return dst
+}
+
+// DivInto writes the element-wise quotient v/w into dst and returns dst.
+// dst may alias v or w. Division by zero follows IEEE-754, as in Div.
+func DivInto(dst, v, w V) V {
+	mustSameDim(v, w)
+	mustSameDim(dst, v)
+	for i := range v {
+		dst[i] = v[i] / w[i]
+	}
+	return dst
+}
+
+// AddScaledInto writes v + c·w into dst and returns dst. dst may alias v or
+// w.
+func AddScaledInto(dst V, v V, c float64, w V) V {
+	mustSameDim(v, w)
+	mustSameDim(dst, v)
+	for i := range v {
+		dst[i] = v[i] + c*w[i]
+	}
+	return dst
+}
+
+// ConcatInto writes the concatenation of vs into dst (whose length must
+// equal the summed lengths) and returns dst.
+func ConcatInto(dst V, vs ...V) V {
+	at := 0
+	for _, v := range vs {
+		if at+len(v) > len(dst) {
+			panic(fmt.Sprintf("vec: ConcatInto: destination dim %d too small", len(dst)))
+		}
+		copy(dst[at:], v)
+		at += len(v)
+	}
+	if at != len(dst) {
+		panic(fmt.Sprintf("vec: ConcatInto: blocks sum to %d, destination has %d", at, len(dst)))
+	}
+	return dst
+}
+
+// Views partitions v into consecutive aliasing blocks of the given sizes,
+// appending them to out (reusing its backing array when possible). It is
+// Split without the error return or per-call slice-header allocation, for
+// callers that have already validated the sizes.
+func Views(out []V, v V, sizes ...int) []V {
+	out = out[:0]
+	at := 0
+	for _, s := range sizes {
+		out = append(out, v[at:at+s])
+		at += s
+	}
+	return out
 }
 
 // AllFinite reports whether every element of v is finite (no NaN, no ±Inf).
