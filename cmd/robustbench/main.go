@@ -8,19 +8,32 @@
 //
 //	robustbench [-run E3] [-seed 1] [-quick] [-csv dir]
 //	robustbench -bench-json BENCH_new.json [-bench-compare BENCH_baseline.json]
+//	robustbench -oracle [-oracle-cases 500] [-oracle-seed 1] [-oracle-json out.json]
 //
 // Without -run, all experiments execute in order. -csv writes each table as
 // a CSV file into the given directory. -bench-json additionally times every
 // experiment (wall clock plus heap-allocation deltas) and writes the
 // machine-readable benchmark artifact described in docs/performance.md;
 // -bench-compare checks those timings against a baseline file and reports
-// entries that slowed down by more than -bench-tolerance. The process exits
-// non-zero if any reproduction check fails, or with status 3 if the
-// benchmark comparison flags a regression.
+// entries that slowed down by more than -bench-tolerance.
+//
+// -oracle runs the differential correctness oracle (internal/oracle): it
+// generates -oracle-cases randomized analysis instances, evaluates every
+// robustness radius through all evaluation tiers, and checks pairwise tier
+// agreement plus the paper's metamorphic invariants, minimizing a
+// counterexample for any failure. With no -run and no bench flags, -oracle
+// runs alone; otherwise it runs after the experiments and the benchmark
+// comparison, so one CI invocation can gate on both.
+//
+// Exit status: 1 if any reproduction check fails, 2 for an unknown
+// experiment, 3 if the benchmark comparison flags a regression, and 4 if
+// the correctness oracle found discrepancies (a bench regression takes
+// precedence over an oracle failure when both occur).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +45,7 @@ import (
 	"time"
 
 	"fepia/internal/exper"
+	"fepia/internal/oracle"
 	"fepia/internal/stats"
 )
 
@@ -46,6 +60,10 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "compare the timings against this baseline JSON file and flag regressions")
 	benchTol := flag.Float64("bench-tolerance", 0.20, "fractional slowdown that counts as a regression for -bench-compare")
 	benchCount := flag.Int("bench-count", 1, "repetitions per experiment in bench mode; the minimum wall time is reported")
+	oracleMode := flag.Bool("oracle", false, "run the differential correctness oracle across all evaluation tiers")
+	oracleCases := flag.Int("oracle-cases", 200, "number of generated instances the oracle checks")
+	oracleSeed := flag.Int64("oracle-seed", 1, "first oracle instance seed; case c uses seed+c")
+	oracleJSON := flag.String("oracle-json", "", "write the oracle discrepancy report as JSON to this file")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -55,9 +73,14 @@ func main() {
 		defer cancel()
 	}
 
+	bench := *benchJSON != "" || *benchCompare != ""
+
 	cfg := exper.Config{Seed: *seed, Quick: *quick, Ctx: ctx}
 	var exps []exper.Experiment
-	if *run != "" {
+	if *oracleMode && *run == "" && !bench {
+		// Oracle-only invocation: nothing selected the experiments, so skip
+		// them (CI runs the oracle as its own job).
+	} else if *run != "" {
 		e, ok := exper.ByID(*run)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "robustbench: unknown experiment %q; known:", *run)
@@ -82,7 +105,6 @@ func main() {
 		}
 	}
 
-	bench := *benchJSON != "" || *benchCompare != ""
 	var entries []stats.BenchEntry
 
 	failed := false
@@ -173,18 +195,58 @@ func main() {
 		os.Exit(1)
 	}
 
+	regressed := false
 	if bench {
-		if err := runBench(entries, *seed, *quick, *benchJSON, *benchCompare, *benchTol); err != nil {
+		var err error
+		regressed, err = runBench(entries, *seed, *quick, *benchJSON, *benchCompare, *benchTol)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+
+	dirty := false
+	if *oracleMode {
+		var err error
+		dirty, err = runOracle(ctx, *oracleCases, *oracleSeed, *oracleJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case regressed:
+		os.Exit(3)
+	case dirty:
+		os.Exit(4)
+	}
+}
+
+// runOracle runs the differential correctness oracle and reports whether it
+// found discrepancies (exit status 4). The JSON artifact carries the full
+// report including the minimized reproducer specs.
+func runOracle(ctx context.Context, cases int, seed int64, jsonPath string) (dirty bool, err error) {
+	rep := oracle.Fuzz(cases, seed, oracle.Options{Ctx: ctx})
+	rep.WriteText(os.Stdout)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return !rep.Clean(), err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return !rep.Clean(), err
+		}
+		fmt.Printf("oracle: wrote report to %s\n", jsonPath)
+	}
+	return !rep.Clean(), nil
 }
 
 // runBench writes the timing artifact and/or compares it against a
 // baseline, printing every matched entry and flagging regressions. A flagged
-// regression exits with status 3, distinct from a reproduction failure.
-func runBench(entries []stats.BenchEntry, seed int64, quick bool, jsonPath, comparePath string, tol float64) error {
+// regression makes the process exit with status 3, distinct from a
+// reproduction failure.
+func runBench(entries []stats.BenchEntry, seed int64, quick bool, jsonPath, comparePath string, tol float64) (regressed bool, err error) {
 	cur := stats.BenchFile{
 		Schema:    stats.BenchSchema,
 		GoVersion: runtime.Version(),
@@ -197,16 +259,16 @@ func runBench(entries []stats.BenchEntry, seed int64, quick bool, jsonPath, comp
 	}
 	if jsonPath != "" {
 		if err := stats.WriteBench(jsonPath, cur); err != nil {
-			return err
+			return false, err
 		}
 		fmt.Printf("bench: wrote %d entries to %s\n", len(entries), jsonPath)
 	}
 	if comparePath == "" {
-		return nil
+		return false, nil
 	}
 	base, err := stats.LoadBench(comparePath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if base.Quick != cur.Quick {
 		fmt.Fprintf(os.Stderr, "bench: warning: baseline quick=%v but this run quick=%v — timings are not comparable\n",
@@ -224,10 +286,10 @@ func runBench(entries []stats.BenchEntry, seed int64, quick bool, jsonPath, comp
 	if reg := stats.Regressions(deltas); len(reg) > 0 {
 		fmt.Fprintf(os.Stderr, "bench: %d entr%s regressed beyond %.0f%% vs %s\n",
 			len(reg), map[bool]string{true: "y", false: "ies"}[len(reg) == 1], tol*100, comparePath)
-		os.Exit(3)
+		return true, nil
 	}
 	fmt.Printf("bench: no regression beyond %.0f%% vs %s\n", tol*100, comparePath)
-	return nil
+	return false, nil
 }
 
 // writeFile creates name and streams one table rendering into it.

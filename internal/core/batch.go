@@ -343,9 +343,14 @@ func (a *Analysis) CombinedRadiusBatch(w Weighting, features []int, opt EvalOpti
 	return a.CombinedRadiusBatchCtx(context.Background(), w, features, opt)
 }
 
-// batchWorkers resolves the pool size for n units: ≤ 0 means GOMAXPROCS,
-// and there is never a reason to run more workers than units.
+// batchWorkers resolves the pool size for n units: ≤ 0 (the EvalOptions
+// zero value, or any negative setting) means GOMAXPROCS, and there is never
+// a reason to run more workers than units. An empty batch (n ≤ 0) resolves
+// to zero workers, which runPool treats as "nothing to do".
 func batchWorkers(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -359,7 +364,19 @@ func batchWorkers(workers, n int) int {
 // a shared channel (the work-stealing happens implicitly: whichever worker
 // is free takes the next unit). workers ≤ 1 runs serially on the caller's
 // goroutine — no pool overhead for tiny batches or single-core machines.
+//
+// The pool is defensive about its own sizing even though batchWorkers
+// already clamps: n ≤ 0 returns immediately without touching a channel, and
+// workers is re-clamped to n so a direct caller can never spawn goroutines
+// that have no unit to run (an idle worker would be harmless but shows up
+// in goroutine profiles and leak detectors as noise).
 func runPool(workers, n int, exec func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
 	if workers <= 1 {
 		for q := 0; q < n; q++ {
 			exec(q)

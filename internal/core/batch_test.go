@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -306,5 +307,218 @@ func TestBatchRaceHammer(t *testing.T) {
 	}
 	if st := a.CacheStats(); st.Hits == 0 {
 		t.Fatalf("hammer produced no cache hits: %+v", st)
+	}
+}
+
+// TestBatchWorkersResolution pins the pool-sizing rules the batch entry
+// points rely on: an empty unit list resolves to zero workers, negative and
+// zero option values select GOMAXPROCS, and the pool never exceeds the unit
+// count.
+func TestBatchWorkersResolution(t *testing.T) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 0, 0},
+		{8, 0, 0},
+		{-3, 0, 0},
+		{100, 3, 3},
+		{2, 3, 2},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := batchWorkers(c.workers, c.n); got != c.want {
+			t.Errorf("batchWorkers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+	// GOMAXPROCS defaults stay within [1, min(GOMAXPROCS, n)].
+	for _, w := range []int{0, -1, -100} {
+		got := batchWorkers(w, 64)
+		if got < 1 || got > maxProcs || got > 64 {
+			t.Errorf("batchWorkers(%d, 64) = %d out of range [1, %d]", w, got, maxProcs)
+		}
+	}
+}
+
+// TestRunPoolEdgeCases is the regression fixture for the pool edge cases:
+// zero units must return without touching a channel or calling exec, and a
+// worker request beyond the unit count must not spawn goroutines that have
+// no unit to run.
+func TestRunPoolEdgeCases(t *testing.T) {
+	// n = 0 with a large worker request: exec must never run, and no
+	// goroutines may be spawned (the count is exact because runPool is
+	// synchronous and the early return creates nothing).
+	before := runtime.NumGoroutine()
+	runPool(64, 0, func(int) { t.Error("exec called for empty pool") })
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("runPool(64, 0) grew goroutines: %d -> %d", before, after)
+	}
+
+	// workers > n: every unit still runs exactly once.
+	var mu sync.Mutex
+	seen := map[int]int{}
+	runPool(16, 3, func(q int) {
+		mu.Lock()
+		seen[q]++
+		mu.Unlock()
+	})
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 1 || seen[2] != 1 {
+		t.Errorf("runPool(16, 3) coverage: %v", seen)
+	}
+
+	// workers ≤ 0 runs serially and completely.
+	count := 0
+	runPool(-2, 5, func(int) { count++ })
+	if count != 5 {
+		t.Errorf("runPool(-2, 5) ran %d units, want 5", count)
+	}
+}
+
+// TestBatchEmptyAndDegenerateInputs drives the exported batch entry points
+// through their n = 0 / workers > n / workers ≤ 0 edge cases: every
+// combination must return empty (or fully populated) parallel slices and
+// never panic or deadlock.
+func TestBatchEmptyAndDegenerateInputs(t *testing.T) {
+	a := mixedAnalysis(t)
+	for _, workers := range []int{-4, 0, 1, 3, 100} {
+		opt := EvalOptions{Workers: workers}
+
+		out, errs := RobustnessBatch(context.Background(), nil, opt)
+		if len(out) != 0 || len(errs) != 0 {
+			t.Fatalf("workers=%d: nil items gave %d/%d results", workers, len(out), len(errs))
+		}
+		out, errs = RobustnessBatch(context.Background(), []BatchItem{}, opt)
+		if len(out) != 0 || len(errs) != 0 {
+			t.Fatalf("workers=%d: empty items gave %d/%d results", workers, len(out), len(errs))
+		}
+
+		out, errs = a.RobustnessBatchCtx(context.Background(), nil, opt)
+		if len(out) != 0 || len(errs) != 0 {
+			t.Fatalf("workers=%d: empty weightings gave %d/%d results", workers, len(out), len(errs))
+		}
+
+		radii, rerrs := a.CombinedRadiusBatch(Normalized{}, []int{}, opt)
+		if len(radii) != 0 || len(rerrs) != 0 {
+			t.Fatalf("workers=%d: empty features gave %d/%d results", workers, len(radii), len(rerrs))
+		}
+
+		// One real item across every worker setting must match the serial
+		// reference bit-for-bit.
+		ref, err := a.Robustness(Normalized{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, errs = RobustnessBatch(context.Background(), []BatchItem{{A: a, W: Normalized{}}}, opt)
+		if errs[0] != nil {
+			t.Fatalf("workers=%d: batch error %v", workers, errs[0])
+		}
+		if out[0].Value != ref.Value || out[0].Critical != ref.Critical {
+			t.Fatalf("workers=%d: batch %v vs serial %v", workers, out[0].Value, ref.Value)
+		}
+	}
+}
+
+// degradedPairAnalysis builds an analysis with two faulty numeric features
+// (NaN beyond |x| = 1.5, boundary at 1.5 of the respective block) and one
+// healthy linear feature, for exercising the Monte-Carlo degraded fallback
+// across evaluation paths.
+func degradedPairAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	nanBlock := func(j int) ImpactFunc {
+		return func(vs []vec.V) float64 {
+			x := vs[j][0]
+			if x > 1.5 || x < -1.5 {
+				return math.NaN()
+			}
+			return 2 * x
+		}
+	}
+	a, err := NewAnalysis(
+		[]Feature{
+			{Name: "bad-x", Bounds: MaxOnly(3), Impact: nanBlock(0)},
+			{Name: "bad-y", Bounds: MaxOnly(3), Impact: nanBlock(1)},
+			{Name: "good", Bounds: MaxOnly(9), Linear: &LinearImpact{Coeffs: []vec.V{{2}, {3}}}},
+		},
+		[]Perturbation{
+			{Name: "x", Orig: vec.Of(1)},
+			{Name: "y", Orig: vec.Of(1)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDegradedDeterministicAcrossPaths is the regression fixture for the
+// shared-stream degradation bug: the Monte-Carlo fallback must report
+// bit-identical lower bounds through the serial, concurrent, and batch
+// paths, for any worker count, because each degraded feature derives its
+// own seed from (DegradeSeed, feature index) rather than consuming a
+// stream whose position depends on scheduling.
+func TestDegradedDeterministicAcrossPaths(t *testing.T) {
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSamples: 256, DegradeSeed: 11}
+
+	ref, err := degradedPairAnalysis(t).RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Degraded || !ref.PerFeature[0].Degraded || !ref.PerFeature[1].Degraded {
+		t.Fatalf("reference run not degraded as expected: %+v", ref)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		o := opt
+		o.Workers = workers
+		got, err := degradedPairAnalysis(t).RobustnessWith(context.Background(), Normalized{}, o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref.PerFeature {
+			if got.PerFeature[i].Value != ref.PerFeature[i].Value {
+				t.Fatalf("workers=%d feature %d: %.17g != serial %.17g",
+					workers, i, got.PerFeature[i].Value, ref.PerFeature[i].Value)
+			}
+		}
+
+		items := []BatchItem{
+			{A: degradedPairAnalysis(t), W: Normalized{}},
+			{A: degradedPairAnalysis(t), W: Normalized{}},
+		}
+		outs, errs := RobustnessBatch(context.Background(), items, o)
+		for k := range items {
+			if errs[k] != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, k, errs[k])
+			}
+			for i := range ref.PerFeature {
+				if outs[k].PerFeature[i].Value != ref.PerFeature[i].Value {
+					t.Fatalf("workers=%d batch item %d feature %d: %.17g != serial %.17g",
+						workers, k, i, outs[k].PerFeature[i].Value, ref.PerFeature[i].Value)
+				}
+			}
+		}
+	}
+}
+
+// TestDegradedStreamsIndependentPerFeature is the second half of the same
+// regression: two geometrically identical faulty features must not share
+// one probe stream. Before the per-feature seed derivation, both consumed
+// the same stream from the same position and reported bit-identical
+// estimates — masking any bug that would swap or alias feature indices in
+// the fallback.
+func TestDegradedStreamsIndependentPerFeature(t *testing.T) {
+	rho, err := degradedPairAnalysis(t).RobustnessWith(context.Background(), Normalized{},
+		EvalOptions{DegradeOnNumeric: true, DegradeSamples: 256, DegradeSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, b1 := rho.PerFeature[0].Value, rho.PerFeature[1].Value
+	if b0 == b1 {
+		t.Fatalf("identical faulty features share one probe stream: both report %.17g", b0)
+	}
+	// Both streams must still land near the true boundary distance 0.5.
+	for i, b := range []float64{b0, b1} {
+		if b <= 0.3 || b > 0.55 {
+			t.Fatalf("feature %d degraded bound %.17g implausible (true radius 0.5)", i, b)
+		}
 	}
 }

@@ -105,8 +105,23 @@ func newImpactCache(capacity int) *impactCache {
 // of queries that share a key — the stored value is always a genuinely
 // computed impact value, just at an input the search cannot distinguish
 // from the query.
+//
+// Sign/zero canonicalization: plain mantissa masking maps +0.0 and −0.0 —
+// and any tiny value whose magnitude bits vanish under the mask — to two
+// distinct keys that both mean "zero as far as the search can resolve".
+// IEEE-754 arithmetic produces −0.0 routinely (a sign-flipping multiply, a
+// downward rounding at a sign boundary), so the split key made cache
+// behavior depend on which side of zero an evaluation approached from:
+// never a wrong value, but a spurious miss that defeated the memo exactly
+// where boundary searches oscillate. Both patterns canonicalize to the
+// +0.0 key. NaNs keep their (masked) payload but are never stored by put,
+// so a NaN key can only ever miss.
 func quantize(x float64) uint64 {
-	return math.Float64bits(x) &^ 0xFFF
+	b := math.Float64bits(x) &^ 0xFFF
+	if b == 1<<63 { // −0.0 after masking: same bucket as +0.0
+		b = 0
+	}
+	return b
 }
 
 // appendKey encodes (feature, quantized x) into buf and returns it. The

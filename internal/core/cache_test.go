@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"fepia/internal/stats"
@@ -207,6 +208,129 @@ func TestQuantizeResolution(t *testing.T) {
 	// …while values the search can distinguish stay distinct.
 	if quantize(1.0) == quantize(1.0+1e-9) {
 		t.Fatal("quantize collapsed values 1e-9 apart")
+	}
+}
+
+// TestQuantizeSignZeroCanonical is the regression fixture for the signed-
+// zero key split: mantissa-bit masking alone maps +0.0 and −0.0 (and any
+// tiny value whose magnitude bits vanish under the mask) to two distinct
+// keys even though the search cannot distinguish them, so cache behavior
+// depended on which side of zero an evaluation approached from.
+func TestQuantizeSignZeroCanonical(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if quantize(negZero) != quantize(0.0) {
+		t.Fatalf("quantize(−0.0)=%#x != quantize(+0.0)=%#x", quantize(negZero), quantize(0.0))
+	}
+	// Subnormals whose magnitude bits are entirely inside the masked low 12
+	// bits land in the zero bucket; their signed variants must share it.
+	tiny := math.Float64frombits(0x7FF) // smallest masked-away magnitude
+	if quantize(-tiny) != quantize(tiny) {
+		t.Fatalf("quantize(−tiny)=%#x != quantize(+tiny)=%#x", quantize(-tiny), quantize(tiny))
+	}
+	if quantize(tiny) != quantize(0.0) {
+		t.Fatalf("masked-away magnitude %#x should share the zero bucket", quantize(tiny))
+	}
+	// Ordinary nonzero values must keep their sign distinct: −1 and +1 are
+	// different inputs and must never share a key.
+	if quantize(-1.0) == quantize(1.0) {
+		t.Fatal("quantize collapsed −1.0 and +1.0")
+	}
+}
+
+// TestCachedRadiusAcrossSignBoundary is the satellite property test: on
+// impact functions whose level-set searches evaluate points on both sides
+// of zero (|·|-shaped impacts centered near the origin, which generate
+// −0.0 and sign-straddling coordinates inside the search), cached and
+// uncached radii agree to 1e-9.
+func TestCachedRadiusAcrossSignBoundary(t *testing.T) {
+	src := stats.NewSource(1234)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + trial%3
+		wv := make(vec.V, n)
+		orig := make(vec.V, n)
+		for i := 0; i < n; i++ {
+			wv[i] = src.Uniform(0.5, 2)
+			// Originals close to zero so boundary searches straddle it.
+			orig[i] = src.Uniform(0.02, 0.3)
+		}
+		impact := func(vs []vec.V) float64 {
+			s := 0.0
+			for i, x := range vs[0] {
+				s += wv[i] * math.Abs(x)
+			}
+			return s
+		}
+		bound := impact([]vec.V{orig}) * src.Uniform(1.5, 4)
+		a, err := NewAnalysis([]Feature{{
+			Name: "abs", Bounds: MaxOnly(bound), Impact: impact,
+		}}, []Perturbation{{Name: "x", Orig: orig}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := a.CombinedRadius(0, Normalized{})
+		if err != nil {
+			t.Fatalf("trial %d uncached: %v", trial, err)
+		}
+		a.EnableImpactCache(0)
+		warm, err := a.CombinedRadius(0, Normalized{})
+		if err != nil {
+			t.Fatalf("trial %d cached: %v", trial, err)
+		}
+		if d := math.Abs(cold.Value - warm.Value); d > 1e-9 {
+			t.Fatalf("trial %d: uncached %.15g vs cached %.15g differ by %g across sign boundary",
+				trial, cold.Value, warm.Value, d)
+		}
+	}
+}
+
+// TestCacheEvictionRaceHammer drives LRU eviction from concurrent batch
+// workers (run under -race in CI): a deliberately tiny cache forces
+// eviction on nearly every store while many goroutines search the same
+// analysis, then the documented mutation recipe (mutate the frozen
+// analysis, re-enable the cache) must produce radii and weighting scales
+// identical to a fresh uncached analysis — never a stale memo.
+func TestCacheEvictionRaceHammer(t *testing.T) {
+	a := prodAnalysis(t, 3, 6)
+	a.EnableImpactCache(8) // tiny: evicts on almost every store
+	ws := make([]Weighting, 8)
+	for i := range ws {
+		ws[i] = Custom{Alphas: vec.Of(1+float64(i)*0.1, 1, 1), Label: "w"}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs := a.RobustnessBatch(ws, EvalOptions{Workers: 4})
+			for _, err := range errs {
+				if err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := a.CacheStats(); st.Evictions == 0 {
+		t.Fatalf("hammer produced no evictions (cache too large for the test): %+v", st)
+	}
+
+	// Mutation recipe: change the analysis, re-enable the cache. Radii and
+	// sensitivity scales must match a fresh analysis with no cache at all.
+	a.Params[0].Orig = vec.Of(1.5)
+	a.EnableImpactCache(8)
+	got, err := a.Robustness(Sensitivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := prodAnalysis(t, 3, 6)
+	fresh.Params[0].Orig = vec.Of(1.5)
+	want, err := fresh.Robustness(Sensitivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got.Value - want.Value); d > 1e-9 {
+		t.Fatalf("stale memo after mutation + re-enable: got %.15g, fresh %.15g (Δ %g)",
+			got.Value, want.Value, d)
 	}
 }
 

@@ -36,7 +36,11 @@ type EvalOptions struct {
 	// DegradeSamples is the number of random probes per bisection round of
 	// the fallback estimator (default 256).
 	DegradeSamples int
-	// DegradeSeed drives the fallback's deterministic sample stream.
+	// DegradeSeed drives the fallback's deterministic sample streams. Each
+	// degraded feature derives its own independent stream from this base
+	// seed and its feature index (see deriveSeed), so the reported lower
+	// bound of a feature is identical across the serial, concurrent, and
+	// batch evaluation paths for any worker count or scheduling order.
 	DegradeSeed int64
 }
 
@@ -83,7 +87,7 @@ func (a *Analysis) foldRobustness(ctx context.Context, w Weighting, opt EvalOpti
 	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: w.Name(), PerFeature: radii}
 	for i := range radii {
 		if errs[i] != nil {
-			lb, derr := a.mcRadiusLowerBound(ctx, i, w, opt.DegradeSamples, opt.DegradeSeed)
+			lb, derr := a.mcRadiusLowerBound(ctx, i, w, opt.DegradeSamples, deriveSeed(opt.DegradeSeed, i))
 			if derr != nil {
 				return Robustness{}, fmt.Errorf("core: feature %d: %w (Monte-Carlo fallback also failed: %v)", i, errs[i], derr)
 			}
@@ -158,6 +162,21 @@ func (a *Analysis) radiiConcurrent(ctx context.Context, w Weighting, workers int
 		}
 	}
 	return nil
+}
+
+// deriveSeed expands the caller's base degradation seed into an independent
+// per-feature stream seed (a SplitMix64 round over base and the feature
+// index). Deriving — instead of sharing one stream across features, items,
+// and workers — pins the fallback estimate of every feature to a value that
+// depends only on (base seed, feature index): the serial, concurrent, and
+// batch evaluation paths report bit-identical degraded lower bounds
+// regardless of scheduling order or worker count, and distinct features no
+// longer probe along correlated directions.
+func deriveSeed(base int64, feature int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(feature+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // mcRadiusLowerBound estimates a lower bound on feature i's combined radius

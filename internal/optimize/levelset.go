@@ -282,6 +282,31 @@ func shootRay(g Func, x0, d []float64, maxSpan, tol float64, scratch []float64) 
 	if err != nil {
 		return nil, false
 	}
+	// Brent converges to *a* root of the bracket, not necessarily the one
+	// nearest x0: a wide (dip-refined) bracket can span a whole sublevel
+	// window, and landing on its far edge overestimates the radius. While a
+	// probe just below the current root still has the crossed sign, an
+	// earlier crossing exists — re-solve in the earlier sub-bracket.
+	ga := line(a)
+	for range make([]struct{}, 16) {
+		cut := t - 1e-6*(1+math.Abs(t))
+		if cut <= a {
+			break
+		}
+		gc := line(cut)
+		if gc == 0 {
+			t = cut
+			continue
+		}
+		if (gc > 0) == (ga > 0) {
+			break
+		}
+		t2, err2 := Brent(line, a, cut, tol)
+		if err2 != nil {
+			break
+		}
+		t = t2
+	}
 	pt := make([]float64, len(x0))
 	for i := range pt {
 		pt[i] = x0[i] + t*d[i]

@@ -196,3 +196,35 @@ func TestNearestOnLevelSetEllipse(t *testing.T) {
 		t.Errorf("dist = %v, want 1 (semi-minor axis)", res.Dist)
 	}
 }
+
+// TestNearestOnLevelSetSublevelWindowNearEdge is the regression fixture for
+// the far-edge defect surfaced by the oracle's composition-bound check
+// (oracle seed 382): φ(x) = c + k·√|x·s| dips below the level on a narrow
+// window around x = 0, and the expanding bracket scan steps over it. The
+// dip refinement used to hand Brent a bracket holding only the window's
+// FAR edge (x ≈ −0.0494, distance 1.0494 from x0 = 1), silently
+// overestimating the robustness radius; the nearest boundary point is the
+// near edge x ≈ +0.0494 at distance 0.9506.
+func TestNearestOnLevelSetSublevelWindowNearEdge(t *testing.T) {
+	const (
+		c     = 0.45524031932508985
+		k     = 0.8618950779178387
+		s     = 2.977759305648638
+		level = 0.7856693583552339
+	)
+	f := func(x []float64) float64 { return c + k*math.Sqrt(math.Abs(x[0]*s)) }
+	res, err := NearestOnLevelSet(f, level, []float64{1}, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact near edge: |x| = ((level−c)/k)²/s on the positive side.
+	wantX := ((level - c) / k) * ((level - c) / k) / s
+	wantDist := 1 - wantX
+	if math.Abs(res.Dist-wantDist) > 1e-6 {
+		t.Fatalf("Dist = %.12f (point %v), want near-edge %.12f — search landed on the far edge of the sublevel window",
+			res.Dist, res.Point, wantDist)
+	}
+	if res.Point[0] < 0 {
+		t.Fatalf("boundary point %v is on the far side of the window; want the near edge %.9f", res.Point, wantX)
+	}
+}

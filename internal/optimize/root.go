@@ -183,8 +183,13 @@ func refineDip(g Func1, a, b, c, gb float64) (lo, hi float64, ok bool) {
 			return m, m, true
 		}
 		if (gm > 0) != pos {
+			// Pair m with the same-sign endpoint on the t0 side, so the
+			// bracket holds the dip window's NEAR crossing. Pairing with the
+			// far side hands the caller the window's far edge — for a
+			// nearest-boundary search that silently overestimates the radius
+			// (surfaced by the oracle's composition-bound check, seed 382).
 			if m < b {
-				return m, b, true
+				return a, m, true
 			}
 			return b, m, true
 		}

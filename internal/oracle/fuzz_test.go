@@ -1,0 +1,30 @@
+package oracle
+
+import "testing"
+
+// FuzzOracle drives the differential oracle from the fuzzing engine: any
+// int64 becomes a generated instance, and every instance must pass the
+// full tier matrix and invariant set. CI runs this with a short -fuzztime
+// budget; `go test -run=FuzzOracle` executes just the seed corpus.
+//
+// A crasher here IS a minimized bug report: the seed reproduces the
+// instance via Generate, and `robustbench -oracle -oracle-seed <seed>
+// -oracle-cases 1` re-derives the full JSON discrepancy record.
+func FuzzOracle(f *testing.F) {
+	// 382 and 431 reproduced the level-set far-edge defect fixed in
+	// internal/optimize (composition-bound violations); keep them in the
+	// corpus forever.
+	for _, seed := range []int64{1, 7, 42, 1234, -99, 382, 431} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		spec := Generate(seed)
+		ds, err := Check(spec, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: infrastructure failure: %v", seed, err)
+		}
+		for _, d := range ds {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// Generator bounds. The generator aims for *well-conditioned* instances:
+// strictly positive originals (both weightings defined), bounds that
+// enclose the original operating point with a healthy margin, coefficient
+// magnitudes within two orders of magnitude of each other, and boundary
+// geometry whose nearest point sits within a fraction of the P-space unit
+// ball. Ill-conditioned instances don't sharpen the oracle — they blur the
+// line between a genuine tier mismatch and legitimate numeric-search
+// uncertainty.
+const (
+	maxParams      = 4
+	maxDimPerParam = 3
+	maxFeatures    = 8
+)
+
+// Generate derives a randomized analysis instance from the seed: 1–4
+// perturbation kinds of 1–3 elements each, 1–8 features drawn from the
+// four impact families, and one- or two-sided bounds placed 5–40% (in
+// feature units) away from the original operating point. The same seed
+// always yields the same instance.
+func Generate(seed int64) Spec {
+	src := stats.NewSource(seed ^ 0x0facc1e5)
+	s := Spec{Seed: seed}
+
+	nParams := 1 + src.Intn(maxParams)
+	for j := 0; j < nParams; j++ {
+		dim := 1 + src.Intn(maxDimPerParam)
+		orig := make([]float64, dim)
+		for e := range orig {
+			orig[e] = src.Uniform(0.5, 5)
+		}
+		s.Params = append(s.Params, ParamSpec{Name: fmt.Sprintf("pi_%d", j+1), Orig: orig})
+	}
+
+	kinds := []ImpactKind{KindLinear, KindQuadratic, KindMultiplicative, KindQueueing}
+	nFeatures := 1 + src.Intn(maxFeatures)
+	for i := 0; i < nFeatures; i++ {
+		kind := kinds[src.Intn(len(kinds))]
+		f := genFeature(src, s.Params, kind, i)
+		s.Features = append(s.Features, f)
+	}
+	return s
+}
+
+// genFeature draws one feature of the given kind and places its bounds
+// around the feature's value at π^orig.
+func genFeature(src *stats.Source, params []ParamSpec, kind ImpactKind, idx int) FeatureSpec {
+	f := FeatureSpec{Name: fmt.Sprintf("phi_%d_%s", idx+1, kind), Kind: kind}
+	switch kind {
+	case KindLinear:
+		f.Const = src.Uniform(-1, 1)
+		f.Coeffs = genBlocks(src, params, func() float64 {
+			k := src.Uniform(0.2, 2)
+			if src.Float64() < 0.3 {
+				k = -k
+			}
+			return k
+		})
+	case KindQuadratic:
+		f.Const = src.Uniform(0, 1)
+		f.Curv = genBlocks(src, params, func() float64 { return src.Uniform(0.1, 2) })
+		f.Center = make([][]float64, len(params))
+		for j, p := range params {
+			f.Center[j] = make([]float64, len(p.Orig))
+			for e := range p.Orig {
+				// Centers near (but not at) the originals keep the ellipsoid
+				// boundary within comfortable search range.
+				f.Center[j][e] = p.Orig[e] + src.Uniform(-0.5, 0.5)
+			}
+		}
+	case KindMultiplicative:
+		f.Const = src.Uniform(0, 0.5)
+		f.Scale = src.Uniform(0.5, 2)
+		f.Pows = genBlocks(src, params, func() float64 {
+			return []float64{0.5, 1, 2}[src.Intn(3)]
+		})
+	case KindQueueing:
+		f.Wgts = genBlocks(src, params, func() float64 { return src.Uniform(0.5, 2) })
+		f.Caps = make([][]float64, len(params))
+		minCap := math.Inf(1)
+		for j, p := range params {
+			f.Caps[j] = make([]float64, len(p.Orig))
+			for e, o := range p.Orig {
+				f.Caps[j][e] = o * src.Uniform(1.5, 3)
+				if f.Caps[j][e] < minCap {
+					minCap = f.Caps[j][e]
+				}
+			}
+		}
+		f.Eps = 1e-6 * minCap
+	}
+
+	// Place bounds relative to φ^orig. The margin is drawn per side so
+	// two-sided instances are asymmetric; 5–40% of the feature's own scale
+	// keeps the nearest boundary well inside the search's comfort zone while
+	// staying far enough from π^orig that radii are not degenerate.
+	orig := origVecs(params)
+	phi := f.impact()(orig)
+	scale := 1 + math.Abs(phi)
+	twoSided := src.Float64() < 0.5
+	f.HasMax = true
+	f.Max = phi + src.Uniform(0.05, 0.4)*scale
+	if twoSided {
+		f.HasMin = true
+		f.Min = phi - src.Uniform(0.05, 0.4)*scale
+	}
+	// Occasionally flip to a min-only requirement (throughput-style).
+	if !twoSided && src.Float64() < 0.3 {
+		f.HasMax = false
+		f.HasMin = true
+		f.Min = phi - src.Uniform(0.05, 0.4)*scale
+	}
+	return f
+}
+
+// genBlocks draws one value per (param, element) with the given sampler.
+func genBlocks(src *stats.Source, params []ParamSpec, draw func() float64) [][]float64 {
+	out := make([][]float64, len(params))
+	for j, p := range params {
+		out[j] = make([]float64, len(p.Orig))
+		for e := range p.Orig {
+			out[j][e] = draw()
+		}
+	}
+	return out
+}
+
+func origVecs(params []ParamSpec) []vec.V {
+	out := make([]vec.V, len(params))
+	for j, p := range params {
+		out[j] = vec.V(p.Orig)
+	}
+	return out
+}

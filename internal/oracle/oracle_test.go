@@ -1,0 +1,291 @@
+package oracle
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/stats"
+	"fepia/internal/vec"
+)
+
+// TestGenerateDeterministic: the generator is a pure function of the seed —
+// a discrepancy report citing a seed must reproduce forever.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+	}
+	if reflect.DeepEqual(Generate(1), Generate(2)) {
+		t.Fatal("distinct seeds produced identical instances")
+	}
+}
+
+// TestOraclePropertySweep is the main property suite: generated instances
+// must pass the full differential tier matrix, the paper invariants, and
+// the degraded-tier checks with zero discrepancies. robustbench -oracle
+// runs the same loop at 500 cases; CI runs this at -race.
+func TestOraclePropertySweep(t *testing.T) {
+	n := int64(16)
+	if testing.Short() {
+		n = 6
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		spec := Generate(seed)
+		ds, err := Check(spec, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: infrastructure failure: %v", seed, err)
+		}
+		for _, d := range ds {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	}
+}
+
+// mkTier assembles a synthetic tier result for comparator tests.
+func mkTier(name string, cached bool, vals ...float64) tierResult {
+	per := make([]core.Radius, len(vals))
+	min, crit := math.Inf(1), 0
+	for i, v := range vals {
+		per[i] = core.Radius{Value: v}
+		if v < min {
+			min, crit = v, i
+		}
+	}
+	return tierResult{
+		name: name, fam: famNumeric, cached: cached,
+		rho: core.Robustness{Value: min, Critical: crit, PerFeature: per},
+	}
+}
+
+// TestCompareTiersDetectsDefects proves the oracle's comparator actually
+// fires on each defect class it exists to catch — a silent comparator is
+// worse than none.
+func TestCompareTiersDetectsDefects(t *testing.T) {
+	spec := Spec{Seed: 7, Features: make([]FeatureSpec, 2), Params: make([]ParamSpec, 1)}
+	w := core.Normalized{}
+	opt := Options{}.withDefaults()
+
+	t.Run("agreement is silent", func(t *testing.T) {
+		tiers := []tierResult{
+			mkTier("numeric/serial", false, 0.5, 0.8),
+			mkTier("numeric/batch", false, 0.5, 0.8),
+		}
+		if ds := compareTiers(spec, w, tiers, opt); len(ds) != 0 {
+			t.Fatalf("agreeing tiers reported discrepancies: %v", ds)
+		}
+	})
+	t.Run("uncached tiers must agree bitwise", func(t *testing.T) {
+		tiers := []tierResult{
+			mkTier("numeric/serial", false, 0.5, 0.8),
+			mkTier("numeric/batch", false, 0.5+1e-12, 0.8),
+		}
+		ds := compareTiers(spec, w, tiers, opt)
+		if len(ds) != 1 || ds[0].Kind != "tier-mismatch" {
+			t.Fatalf("want one tier-mismatch for a 1e-12 scheduling drift, got %v", ds)
+		}
+	})
+	t.Run("cached tier gets quantization tolerance", func(t *testing.T) {
+		tiers := []tierResult{
+			mkTier("numeric/serial", false, 0.5, 0.8),
+			mkTier("numeric/serial+cache", true, 0.5+1e-12, 0.8),
+		}
+		if ds := compareTiers(spec, w, tiers, opt); len(ds) != 0 {
+			t.Fatalf("1e-12 cached drift must pass the 1e-9 budget, got %v", ds)
+		}
+		tiers[1] = mkTier("numeric/serial+cache", true, 0.5+1e-6, 0.8)
+		ds := compareTiers(spec, w, tiers, opt)
+		if len(ds) != 1 || ds[0].Kind != "tier-mismatch" {
+			t.Fatalf("1e-6 cached drift must fail the 1e-9 budget, got %v", ds)
+		}
+	})
+	t.Run("min-fold violation", func(t *testing.T) {
+		broken := mkTier("numeric/serial", false, 0.5, 0.8)
+		broken.rho.Value = 0.8 // not the min of {0.5, 0.8}
+		ds := compareTiers(spec, w, []tierResult{broken}, opt)
+		if len(ds) != 1 || ds[0].Kind != "min-fold" {
+			t.Fatalf("want one min-fold, got %v", ds)
+		}
+	})
+	t.Run("degraded flag mismatch", func(t *testing.T) {
+		a := mkTier("numeric/serial", false, 0.5, 0.8)
+		b := mkTier("numeric/batch", false, 0.5, 0.8)
+		b.rho.PerFeature[1].Degraded = true
+		ds := compareTiers(spec, w, []tierResult{a, b}, opt)
+		if len(ds) != 1 || ds[0].Kind != "degraded-flag-mismatch" {
+			t.Fatalf("want one degraded-flag-mismatch, got %v", ds)
+		}
+	})
+	t.Run("error class mismatch", func(t *testing.T) {
+		a := mkTier("numeric/serial", false, 0.5, 0.8)
+		b := mkTier("numeric/batch", false)
+		b.err = core.ErrNumeric
+		ds := compareTiers(spec, w, []tierResult{a, b}, opt)
+		if len(ds) != 1 || ds[0].Kind != "error-mismatch" {
+			t.Fatalf("want one error-mismatch, got %v", ds)
+		}
+	})
+}
+
+// TestRescaledPreservesImpact: the unit-rescaling transform must satisfy
+// φ'(u·π) = φ(π) pointwise for every impact family — this is the algebraic
+// ground truth behind the scale-invariance invariant.
+func TestRescaledPreservesImpact(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		spec := Generate(seed)
+		src := stats.NewSource(seed)
+		units := make([]float64, len(spec.Params))
+		for j := range units {
+			units[j] = src.Uniform(0.25, 4)
+		}
+		resc := spec.Rescaled(units)
+		for _, mul := range []float64{1, 1.07, 0.93} {
+			base := make([]vec.V, len(spec.Params))
+			scaled := make([]vec.V, len(spec.Params))
+			for j, p := range spec.Params {
+				base[j] = make(vec.V, len(p.Orig))
+				scaled[j] = make(vec.V, len(p.Orig))
+				for e, o := range p.Orig {
+					base[j][e] = o * mul
+					scaled[j][e] = o * mul * units[j]
+				}
+			}
+			for i, f := range spec.Features {
+				want := f.impact()(base)
+				got := resc.Features[i].impact()(scaled)
+				if !approxEq(want, got, 1e-9) {
+					t.Errorf("seed %d feature %d (%s) mul %.2f: φ=%g but rescaled φ'=%g",
+						seed, i, f.Kind, mul, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLoosenedWidensBounds: the bound-relaxation transform must strictly
+// widen every finite bound away from φ(π^orig).
+func TestLoosenedWidensBounds(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		spec := Generate(seed)
+		loose := spec.Loosened(2)
+		for i, f := range spec.Features {
+			g := loose.Features[i]
+			if f.HasMax != g.HasMax || f.HasMin != g.HasMin {
+				t.Fatalf("seed %d feature %d: loosening changed bound sidedness", seed, i)
+			}
+			if f.HasMax && g.Max <= f.Max {
+				t.Errorf("seed %d feature %d: max %g not widened (got %g)", seed, i, f.Max, g.Max)
+			}
+			if f.HasMin && g.Min >= f.Min {
+				t.Errorf("seed %d feature %d: min %g not widened (got %g)", seed, i, f.Min, g.Min)
+			}
+		}
+	}
+}
+
+// TestPoisonedGeometry: the poisoned twin must agree with the clean build
+// everywhere inside the overshoot envelope and return NaN exactly where the
+// clean value passes it — so the true radius is unchanged and only the
+// certification machinery is forced into the degraded tier.
+func TestPoisonedGeometry(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		spec := Generate(seed)
+		const overshoot = 0.75
+		p, err := spec.Poisoned(overshoot)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		clean, err := spec.BuildNumeric()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sawNaN := false
+		for _, mul := range []float64{1, 1.2, 2, 5, 50} {
+			vs := make([]vec.V, len(spec.Params))
+			for j, pp := range spec.Params {
+				vs[j] = make(vec.V, len(pp.Orig))
+				for e, o := range pp.Orig {
+					vs[j][e] = o * mul
+				}
+			}
+			for i, f := range spec.Features {
+				hi, lo := math.Inf(1), math.Inf(-1)
+				span := 1.0
+				if f.HasMin && f.HasMax {
+					span = f.Max - f.Min
+				}
+				if f.HasMax {
+					hi = f.Max + overshoot*span
+				}
+				if f.HasMin {
+					lo = f.Min - overshoot*span
+				}
+				v := clean.Features[i].Impact(vs)
+				got := p.Features[i].Impact(vs)
+				if v > hi || v < lo {
+					sawNaN = true
+					if !math.IsNaN(got) {
+						t.Errorf("seed %d feature %d mul %g: clean φ=%g beyond envelope [%g,%g] but poisoned returned %g",
+							seed, i, mul, v, lo, hi, got)
+					}
+				} else if got != v {
+					t.Errorf("seed %d feature %d mul %g: poisoned φ=%g differs from clean φ=%g inside envelope",
+						seed, i, mul, got, v)
+				}
+			}
+		}
+		_ = sawNaN // poisoning may be unreachable on min-only features; fine per instance
+	}
+}
+
+// TestMinimizeWithShrinks: with an always-failing predicate the shrinking
+// engine must reach the global minimum — one feature, one scalar parameter.
+func TestMinimizeWithShrinks(t *testing.T) {
+	spec := Generate(1) // 7 features, 4 params at this seed
+	if len(spec.Features) < 2 || len(spec.Params) < 2 {
+		t.Fatalf("seed 1 no longer produces a rich instance: %d features, %d params",
+			len(spec.Features), len(spec.Params))
+	}
+	min := minimizeWith(spec, func(Spec) bool { return true })
+	if len(min.Features) != 1 {
+		t.Errorf("want 1 feature after shrink, got %d", len(min.Features))
+	}
+	if len(min.Params) != 1 || len(min.Params[0].Orig) != 1 {
+		t.Errorf("want one scalar parameter after shrink, got %+v", min.Params)
+	}
+
+	// A predicate with a floor: shrinking must stop exactly at the floor.
+	atLeastTwo := minimizeWith(spec, func(s Spec) bool { return len(s.Features) >= 2 })
+	if len(atLeastTwo.Features) != 2 {
+		t.Errorf("want exactly 2 features when the failure needs 2, got %d", len(atLeastTwo.Features))
+	}
+}
+
+// TestMinimizeKeepsNonReproducing: when no candidate reproduces the target
+// kind, Minimize must hand back the instance unchanged rather than a
+// spec that no longer fails.
+func TestMinimizeKeepsNonReproducing(t *testing.T) {
+	spec := Generate(2) // small instance keeps the probe Checks cheap
+	out := Minimize(spec, "no-such-kind", Options{SkipMetamorphic: true, SkipDegraded: true})
+	if !reflect.DeepEqual(spec, out) {
+		t.Fatalf("Minimize mutated a non-reproducing instance:\n in=%+v\nout=%+v", spec, out)
+	}
+}
+
+// TestFuzzReportAggregation: a clean campaign reports Clean() and carries
+// the seed window it covered.
+func TestFuzzReportAggregation(t *testing.T) {
+	rep := Fuzz(4, 100, Options{SkipDegraded: testing.Short()})
+	if !rep.Clean() {
+		for _, d := range rep.Discrepancies {
+			t.Errorf("%s", d)
+		}
+		t.Fatalf("default seeds must be clean: %d failures", rep.Failures)
+	}
+	if rep.Cases != 4 || rep.BaseSeed != 100 {
+		t.Fatalf("report window wrong: %+v", rep)
+	}
+}

@@ -1,0 +1,94 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Report aggregates one fuzzing campaign: how many instances were checked,
+// how many failed, and every verified discrepancy with its minimized
+// reproducer attached.
+type Report struct {
+	// Cases is the number of generated instances.
+	Cases int `json:"cases"`
+	// BaseSeed is the first instance seed; instance c uses BaseSeed+c.
+	BaseSeed int64 `json:"baseSeed"`
+	// Failures counts instances with at least one discrepancy.
+	Failures int `json:"failures"`
+	// ByKind counts discrepancies per kind across the campaign.
+	ByKind map[string]int `json:"byKind,omitempty"`
+	// Discrepancies lists every recorded disagreement (at most
+	// maxPerCase per instance), each carrying a minimized Spec.
+	Discrepancies []Discrepancy `json:"discrepancies,omitempty"`
+	// Elapsed is the wall-clock duration of the campaign.
+	Elapsed time.Duration `json:"elapsedNs"`
+}
+
+// maxPerCase caps recorded discrepancies per instance: one defect usually
+// fails many tier pairs at once, and the reproducer matters more than the
+// enumeration.
+const maxPerCase = 8
+
+// Fuzz checks `cases` generated instances with consecutive seeds starting
+// at baseSeed, minimizing a reproducer for every failing instance. It is
+// the library entry behind both the property suite's long mode and
+// `robustbench -oracle`.
+func Fuzz(cases int, baseSeed int64, opt Options) Report {
+	start := time.Now()
+	rep := Report{Cases: cases, BaseSeed: baseSeed, ByKind: map[string]int{}}
+	for c := 0; c < cases; c++ {
+		seed := baseSeed + int64(c)
+		spec := Generate(seed)
+		ds, err := Check(spec, opt)
+		if err != nil {
+			rep.Failures++
+			rep.ByKind["infrastructure"]++
+			rep.Discrepancies = append(rep.Discrepancies, Discrepancy{
+				Seed: seed, Kind: "infrastructure", Feature: -1, Detail: err.Error(),
+			})
+			continue
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		rep.Failures++
+		min := Minimize(spec, ds[0].Kind, opt)
+		if len(ds) > maxPerCase {
+			ds = ds[:maxPerCase]
+		}
+		for i := range ds {
+			rep.ByKind[ds[i].Kind]++
+			ds[i].Spec = &min
+		}
+		rep.Discrepancies = append(rep.Discrepancies, ds...)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// Clean reports whether the campaign found no discrepancies.
+func (r Report) Clean() bool { return r.Failures == 0 }
+
+// WriteText renders a human-readable summary of the campaign.
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "oracle: %d cases (seeds %d..%d) in %s — ",
+		r.Cases, r.BaseSeed, r.BaseSeed+int64(r.Cases)-1, r.Elapsed.Round(time.Millisecond))
+	if r.Clean() {
+		fmt.Fprintf(w, "all tiers agree, all invariants hold\n")
+		return
+	}
+	fmt.Fprintf(w, "%d failing instance(s), %d discrepancy(ies)\n", r.Failures, len(r.Discrepancies))
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-24s %d\n", k, r.ByKind[k])
+	}
+	for i, d := range r.Discrepancies {
+		fmt.Fprintf(w, "  [%d] %s\n", i, d.String())
+	}
+}

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"math"
+	"strconv"
+)
+
+// shrinkBudget caps the number of Check evaluations one minimization may
+// spend. Each probe re-runs the full tier matrix, so the budget is the
+// dominant cost knob of Fuzz on a failing corpus.
+const shrinkBudget = 64
+
+// Minimize shrinks a failing instance to a (locally) minimal one that still
+// reproduces a discrepancy of the same kind: it greedily drops features,
+// perturbation parameters, and parameter elements, then rounds the surviving
+// numbers, re-running Check after every candidate reduction and keeping only
+// reductions that preserve the failure. The result is what a human debugs
+// instead of the original eight-feature instance.
+func Minimize(spec Spec, kind string, opt Options) Spec {
+	budget := shrinkBudget
+	fails := func(s Spec) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		ds, err := Check(s, opt)
+		if err != nil {
+			return false
+		}
+		for _, d := range ds {
+			if d.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	return minimizeWith(spec, fails)
+}
+
+// minimizeWith is the shrinking engine behind Minimize, parameterized on
+// the failure predicate so the strategy is testable without a real defect.
+// The predicate must be pure and must accept the input spec.
+func minimizeWith(spec Spec, fails func(Spec) bool) Spec {
+	cur := spec
+	for improved := true; improved; {
+		improved = false
+
+		// Drop whole features (keep at least one).
+		for i := 0; len(cur.Features) > 1 && i < len(cur.Features); i++ {
+			cand := cur.Clone()
+			cand.Features = append(cand.Features[:i:i], cand.Features[i+1:]...)
+			if fails(cand) {
+				cur, improved = cand, true
+				i--
+			}
+		}
+		// Drop whole perturbation parameters (keep at least one).
+		for j := 0; len(cur.Params) > 1 && j < len(cur.Params); j++ {
+			cand := dropParam(cur, j)
+			if fails(cand) {
+				cur, improved = cand, true
+				j--
+			}
+		}
+		// Drop parameter elements (keep each parameter at least scalar).
+		for j := 0; j < len(cur.Params); j++ {
+			for e := 0; len(cur.Params[j].Orig) > 1 && e < len(cur.Params[j].Orig); e++ {
+				cand := dropElem(cur, j, e)
+				if fails(cand) {
+					cur, improved = cand, true
+					e--
+				}
+			}
+		}
+	}
+	// Finally simplify the surviving numbers to 4 significant digits — one
+	// all-at-once attempt, kept only if the failure survives the rounding.
+	if cand := rounded(cur); fails(cand) {
+		cur = cand
+	}
+	return cur
+}
+
+// dropBlock removes block j from a per-parameter [][]float64, preserving nil.
+func dropBlock(b [][]float64, j int) [][]float64 {
+	if b == nil || j >= len(b) {
+		return b
+	}
+	return append(b[:j:j], b[j+1:]...)
+}
+
+// dropRowElem removes element e from row j of a per-parameter block.
+func dropRowElem(b [][]float64, j, e int) [][]float64 {
+	if b == nil || j >= len(b) || e >= len(b[j]) {
+		return b
+	}
+	b[j] = append(b[j][:e:e], b[j][e+1:]...)
+	return b
+}
+
+// dropParam removes perturbation parameter j from the spec and from every
+// feature's per-parameter blocks.
+func dropParam(spec Spec, j int) Spec {
+	out := spec.Clone()
+	out.Params = append(out.Params[:j:j], out.Params[j+1:]...)
+	for i := range out.Features {
+		f := &out.Features[i]
+		f.Coeffs = dropBlock(f.Coeffs, j)
+		f.Curv = dropBlock(f.Curv, j)
+		f.Center = dropBlock(f.Center, j)
+		f.Pows = dropBlock(f.Pows, j)
+		f.Wgts = dropBlock(f.Wgts, j)
+		f.Caps = dropBlock(f.Caps, j)
+	}
+	return out
+}
+
+// dropElem removes element e of parameter j everywhere.
+func dropElem(spec Spec, j, e int) Spec {
+	out := spec.Clone()
+	p := &out.Params[j]
+	p.Orig = append(p.Orig[:e:e], p.Orig[e+1:]...)
+	for i := range out.Features {
+		f := &out.Features[i]
+		f.Coeffs = dropRowElem(f.Coeffs, j, e)
+		f.Curv = dropRowElem(f.Curv, j, e)
+		f.Center = dropRowElem(f.Center, j, e)
+		f.Pows = dropRowElem(f.Pows, j, e)
+		f.Wgts = dropRowElem(f.Wgts, j, e)
+		f.Caps = dropRowElem(f.Caps, j, e)
+	}
+	return out
+}
+
+// rounded rewrites every number of the spec at 4 significant digits.
+func rounded(spec Spec) Spec {
+	out := spec.Clone()
+	r := func(x float64) float64 {
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return x
+		}
+		v, err := strconv.ParseFloat(strconv.FormatFloat(x, 'g', 4, 64), 64)
+		if err != nil {
+			return x
+		}
+		return v
+	}
+	rBlock := func(b [][]float64) {
+		for _, row := range b {
+			for e := range row {
+				row[e] = r(row[e])
+			}
+		}
+	}
+	for j := range out.Params {
+		for e := range out.Params[j].Orig {
+			out.Params[j].Orig[e] = r(out.Params[j].Orig[e])
+		}
+	}
+	for i := range out.Features {
+		f := &out.Features[i]
+		f.Min, f.Max = r(f.Min), r(f.Max)
+		f.Const, f.Scale, f.Eps = r(f.Const), r(f.Scale), r(f.Eps)
+		rBlock(f.Coeffs)
+		rBlock(f.Curv)
+		rBlock(f.Center)
+		rBlock(f.Pows)
+		rBlock(f.Wgts)
+		rBlock(f.Caps)
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+// Package oracle is the differential + metamorphic correctness subsystem of
+// the robustness engine. The repository computes the same robustness radius
+// through several independent tiers — analytic closed forms (hyperplane and
+// ellipsoid geometry), the numeric level-set search, the memoizing impact
+// cache, the per-feature worker pool, the (item, feature, side) batch
+// scheduler, and the Monte-Carlo degraded fallback — and the production
+// north star depends on the tiers never silently disagreeing.
+//
+// The oracle generates randomized analysis instances (Generate), evaluates
+// every radius through all tiers (Check), and asserts
+//
+//   - pairwise tier agreement within the tolerance model of Tolerances
+//     (docs/failure-semantics.md §oracle documents which tier is
+//     authoritative when they disagree), and
+//   - the paper's exact invariants: minimality of the combined radius
+//     against the per-parameter composition bound r_P ≤ dist_P(π_j*),
+//     scale-invariance of the normalized weighting under unit rescaling,
+//     monotonicity of the radius in the tolerable bounds β, and the 1/√n
+//     degeneracy of the sensitivity weighting on linear one-element
+//     instances (Eslamnour & Ali 2005, Sections 3.1–3.2).
+//
+// Fuzz drives Check over many seeds and minimizes any failing instance to a
+// small reproducible counterexample; cmd/robustbench -oracle wires the same
+// loop into CI with JSON discrepancy reports.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// ImpactKind names the impact-function families the generator draws from.
+type ImpactKind string
+
+// The generated impact families. Linear and quadratic instances carry their
+// analytic declarations when built with Build, so they exercise the
+// closed-form tiers; multiplicative and queueing instances are always
+// numeric.
+const (
+	// KindLinear is φ = Const + Σ_j K_j·π_j (the paper's closed-form case).
+	KindLinear ImpactKind = "linear"
+	// KindQuadratic is φ = Const + Σ_j Σ_e A_je·(π_je − C_je)² with A ≥ 0
+	// (the exact ellipsoid tier).
+	KindQuadratic ImpactKind = "quadratic"
+	// KindMultiplicative is φ = Const + Scale·Π_j Π_e |π_je|^{Pow_je} — a
+	// smooth monotone-in-|π| nonlinearity (throughput/makespan products).
+	KindMultiplicative ImpactKind = "multiplicative"
+	// KindQueueing is φ = Σ_j Σ_e W_je / max(Cap_je − π_je, Eps_je) — the
+	// M/M/1-latency shape with a softened pole, the hardest boundary
+	// geometry the numeric tier faces in the experiments.
+	KindQueueing ImpactKind = "queueing"
+)
+
+// ParamSpec describes one perturbation parameter π_j of a generated
+// instance.
+type ParamSpec struct {
+	Name string    `json:"name"`
+	Orig []float64 `json:"orig"`
+}
+
+// FeatureSpec describes one performance feature φ_i. Exactly the fields of
+// its Kind are populated; all block-shaped fields are indexed [param][elem]
+// and align with the instance's parameters. Bounds are carried as
+// (HasMin, Min) / (HasMax, Max) pairs so the spec stays JSON-serializable
+// (JSON has no ±Inf).
+type FeatureSpec struct {
+	Name string     `json:"name"`
+	Kind ImpactKind `json:"kind"`
+
+	HasMin bool    `json:"hasMin"`
+	Min    float64 `json:"min,omitempty"`
+	HasMax bool    `json:"hasMax"`
+	Max    float64 `json:"max,omitempty"`
+
+	// Linear.
+	Coeffs [][]float64 `json:"coeffs,omitempty"`
+	Const  float64     `json:"const,omitempty"`
+
+	// Quadratic.
+	Curv   [][]float64 `json:"curv,omitempty"`
+	Center [][]float64 `json:"center,omitempty"`
+
+	// Multiplicative.
+	Scale float64     `json:"scale,omitempty"`
+	Pows  [][]float64 `json:"pows,omitempty"`
+
+	// Queueing.
+	Wgts [][]float64 `json:"wgts,omitempty"`
+	Caps [][]float64 `json:"caps,omitempty"`
+	Eps  float64     `json:"eps,omitempty"`
+}
+
+// Spec is a complete generated analysis instance: the JSON-serializable
+// ground truth every oracle tier is built from. A Spec is immutable by
+// convention — transforms return deep copies.
+type Spec struct {
+	// Seed records the generator seed the instance came from (0 for
+	// hand-written fixtures).
+	Seed     int64         `json:"seed"`
+	Params   []ParamSpec   `json:"params"`
+	Features []FeatureSpec `json:"features"`
+}
+
+// bounds converts the serialized bound fields to core.Bounds.
+func (f FeatureSpec) bounds() core.Bounds {
+	b := core.Bounds{Min: math.Inf(-1), Max: math.Inf(1)}
+	if f.HasMin {
+		b.Min = f.Min
+	}
+	if f.HasMax {
+		b.Max = f.Max
+	}
+	return b
+}
+
+// impact builds the feature's general impact closure. The closure copies
+// the spec's blocks so later spec mutation (shrinking) cannot alias a
+// previously built analysis.
+func (f FeatureSpec) impact() core.ImpactFunc {
+	switch f.Kind {
+	case KindLinear:
+		coeffs := deepCopy(f.Coeffs)
+		c := f.Const
+		return func(vs []vec.V) float64 {
+			s := c
+			for j, k := range coeffs {
+				for e, ke := range k {
+					s += ke * vs[j][e]
+				}
+			}
+			return s
+		}
+	case KindQuadratic:
+		curv, center := deepCopy(f.Curv), deepCopy(f.Center)
+		c := f.Const
+		return func(vs []vec.V) float64 {
+			s := c
+			for j := range curv {
+				for e := range curv[j] {
+					d := vs[j][e] - center[j][e]
+					s += curv[j][e] * d * d
+				}
+			}
+			return s
+		}
+	case KindMultiplicative:
+		pows := deepCopy(f.Pows)
+		c, scale := f.Const, f.Scale
+		return func(vs []vec.V) float64 {
+			p := scale
+			for j := range pows {
+				for e, pw := range pows[j] {
+					p *= math.Pow(math.Abs(vs[j][e]), pw)
+				}
+			}
+			return c + p
+		}
+	case KindQueueing:
+		wgts, caps := deepCopy(f.Wgts), deepCopy(f.Caps)
+		eps := f.Eps
+		return func(vs []vec.V) float64 {
+			s := 0.0
+			for j := range wgts {
+				for e, w := range wgts[j] {
+					gap := caps[j][e] - vs[j][e]
+					if gap < eps {
+						gap = eps
+					}
+					s += w / gap
+				}
+			}
+			return s
+		}
+	default:
+		return nil
+	}
+}
+
+// feature assembles the core.Feature; analytic selects whether linear and
+// quadratic kinds carry their closed-form declarations (the analytic tier)
+// or only the general impact closure (forcing the numeric tier).
+func (f FeatureSpec) feature(analytic bool) (core.Feature, error) {
+	imp := f.impact()
+	if imp == nil {
+		return core.Feature{}, fmt.Errorf("oracle: feature %q has unknown kind %q", f.Name, f.Kind)
+	}
+	out := core.Feature{Name: f.Name, Bounds: f.bounds(), Impact: imp}
+	if !analytic {
+		return out, nil
+	}
+	switch f.Kind {
+	case KindLinear:
+		coeffs := make([]vec.V, len(f.Coeffs))
+		for j, k := range f.Coeffs {
+			coeffs[j] = vec.V(append([]float64(nil), k...))
+		}
+		out.Linear = &core.LinearImpact{Coeffs: coeffs, Const: f.Const}
+	case KindQuadratic:
+		q := &core.QuadImpact{Const: f.Const, A: make([]vec.V, len(f.Curv)), C: make([]vec.V, len(f.Center))}
+		for j := range f.Curv {
+			q.A[j] = vec.V(append([]float64(nil), f.Curv[j]...))
+			q.C[j] = vec.V(append([]float64(nil), f.Center[j]...))
+		}
+		out.Quad = q
+	}
+	return out, nil
+}
+
+// Build assembles the instance with analytic declarations where the kind
+// has them: linear and quadratic features go through the exact closed-form
+// tiers.
+func (s Spec) Build() (*core.Analysis, error) { return s.build(true) }
+
+// BuildNumeric assembles the instance with impact closures only, forcing
+// every feature through the numeric level-set tier — the differential
+// counterpart of Build.
+func (s Spec) BuildNumeric() (*core.Analysis, error) { return s.build(false) }
+
+func (s Spec) build(analytic bool) (*core.Analysis, error) {
+	params := make([]core.Perturbation, len(s.Params))
+	for j, p := range s.Params {
+		params[j] = core.Perturbation{
+			Name: p.Name,
+			Orig: vec.V(append([]float64(nil), p.Orig...)),
+		}
+	}
+	features := make([]core.Feature, len(s.Features))
+	for i, f := range s.Features {
+		cf, err := f.feature(analytic)
+		if err != nil {
+			return nil, err
+		}
+		features[i] = cf
+	}
+	return core.NewAnalysis(features, params)
+}
+
+// AnyAnalytic reports whether the instance has at least one feature with a
+// closed-form tier (so Build and BuildNumeric genuinely differ).
+func (s Spec) AnyAnalytic() bool {
+	for _, f := range s.Features {
+		if f.Kind == KindLinear || f.Kind == KindQuadratic {
+			return true
+		}
+	}
+	return false
+}
+
+// AllLinearOneElem reports whether the instance is exactly the Section 3.1
+// setting — every feature linear, every parameter one-element — where the
+// sensitivity weighting must degenerate to the 1/√n radius.
+func (s Spec) AllLinearOneElem() bool {
+	for _, p := range s.Params {
+		if len(p.Orig) != 1 {
+			return false
+		}
+	}
+	for _, f := range s.Features {
+		if f.Kind != KindLinear {
+			return false
+		}
+	}
+	return len(s.Features) > 0 && len(s.Params) > 0
+}
+
+// Clone deep-copies the spec.
+func (s Spec) Clone() Spec {
+	out := Spec{Seed: s.Seed}
+	out.Params = make([]ParamSpec, len(s.Params))
+	for j, p := range s.Params {
+		out.Params[j] = ParamSpec{Name: p.Name, Orig: append([]float64(nil), p.Orig...)}
+	}
+	out.Features = make([]FeatureSpec, len(s.Features))
+	for i, f := range s.Features {
+		g := f
+		g.Coeffs = deepCopy(f.Coeffs)
+		g.Curv = deepCopy(f.Curv)
+		g.Center = deepCopy(f.Center)
+		g.Pows = deepCopy(f.Pows)
+		g.Wgts = deepCopy(f.Wgts)
+		g.Caps = deepCopy(f.Caps)
+		out.Features[i] = g
+	}
+	return out
+}
+
+// Rescaled applies the metamorphic unit-rescaling transform: parameter j's
+// values are expressed in a new unit, π'_j = u_j·π_j, and every impact is
+// transformed so that φ'(π') = φ(π) pointwise. Under the normalized
+// weighting the P-space — and therefore every combined radius — must be
+// invariant under this transform (the paper's dimensionlessness argument,
+// Section 3.2). units must be positive and align with the parameters.
+func (s Spec) Rescaled(units []float64) Spec {
+	out := s.Clone()
+	for j, u := range units {
+		for e := range out.Params[j].Orig {
+			out.Params[j].Orig[e] *= u
+		}
+	}
+	for i := range out.Features {
+		f := &out.Features[i]
+		switch f.Kind {
+		case KindLinear:
+			for j, u := range units {
+				for e := range f.Coeffs[j] {
+					f.Coeffs[j][e] /= u
+				}
+			}
+		case KindQuadratic:
+			for j, u := range units {
+				for e := range f.Curv[j] {
+					f.Curv[j][e] /= u * u
+					f.Center[j][e] *= u
+				}
+			}
+		case KindMultiplicative:
+			for j, u := range units {
+				for _, pw := range f.Pows[j] {
+					f.Scale /= math.Pow(u, pw)
+				}
+			}
+		case KindQueueing:
+			// w/(cap − π) is invariant under (w, cap, π) → (u·w, u·cap, u·π);
+			// the pole softening floor scales with the unit too.
+			minU := math.Inf(1)
+			for j, u := range units {
+				for e := range f.Wgts[j] {
+					f.Wgts[j][e] *= u
+					f.Caps[j][e] *= u
+				}
+				if u < minU {
+					minU = u
+				}
+			}
+			if len(units) > 0 && !math.IsInf(minU, 1) {
+				f.Eps *= minU
+			}
+		}
+	}
+	return out
+}
+
+// Loosened applies the metamorphic bound-relaxation transform: every finite
+// bound of every feature is moved away from its current position by the
+// given factor ≥ 1 (the violation region shrinks), so every robustness
+// radius must be monotonically non-decreasing. The reference point the
+// bounds are widened around is each feature's value at π^orig.
+func (s Spec) Loosened(factor float64) Spec {
+	out := s.Clone()
+	orig := make([]vec.V, len(out.Params))
+	for j, p := range out.Params {
+		orig[j] = vec.V(p.Orig)
+	}
+	for i := range out.Features {
+		f := &out.Features[i]
+		phi := f.impact()(orig)
+		if f.HasMax {
+			f.Max = phi + factor*(f.Max-phi)
+		}
+		if f.HasMin {
+			f.Min = phi - factor*(phi-f.Min)
+		}
+	}
+	return out
+}
+
+// Poisoned applies the fault-injection transform used by the degraded-tier
+// checks: every feature's impact is wrapped (at build time, via the kind
+// marker) to return NaN once the clean value passes the given multiple of
+// its bound span beyond the bound. The NaN region lies strictly inside the
+// violation region, so the true radius is unchanged, but the numeric tier
+// must refuse to certify (ErrNumeric) whenever its search touches the
+// region, and with EvalOptions.DegradeOnNumeric the Monte-Carlo fallback
+// must report a deterministic lower bound instead.
+//
+// Poisoning is expressed as a derived analysis rather than a spec field:
+// the spec stays serializable and the clean/poisoned pair share identical
+// geometry by construction.
+func (s Spec) Poisoned(overshoot float64) (*core.Analysis, error) {
+	a, err := s.BuildNumeric()
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.Features {
+		f := &a.Features[i]
+		b := f.Bounds
+		span := 1.0
+		if !math.IsInf(b.Max, 0) && !math.IsInf(b.Min, 0) {
+			span = b.Max - b.Min
+		}
+		hi, lo := math.Inf(1), math.Inf(-1)
+		if !math.IsInf(b.Max, 0) {
+			hi = b.Max + overshoot*span
+		}
+		if !math.IsInf(b.Min, 0) {
+			lo = b.Min - overshoot*span
+		}
+		inner := f.Impact
+		f.Impact = func(vs []vec.V) float64 {
+			v := inner(vs)
+			if v > hi || v < lo {
+				return math.NaN()
+			}
+			return v
+		}
+	}
+	return a, nil
+}
+
+func deepCopy(blocks [][]float64) [][]float64 {
+	if blocks == nil {
+		return nil
+	}
+	out := make([][]float64, len(blocks))
+	for i, b := range blocks {
+		out[i] = append([]float64(nil), b...)
+	}
+	return out
+}
