@@ -108,6 +108,31 @@ func TestPublicAPIDeadlineCompliance(t *testing.T) {
 	}
 }
 
+func TestCancellableLatencyInjection(t *testing.T) {
+	// The injected latency (chaos.Sleep bound to the probe context) dwarfs
+	// both deadline and grace: the API can only come back in time because
+	// the slow impact itself unblocks on cancellation — the behavior of a
+	// production impact stuck on a cancellable downstream call. Contrast
+	// with TestPublicAPIDeadlineCompliance, where the sleep ignores
+	// cancellation and must be shorter than the grace.
+	in := &chaos.Injector{Fault: chaos.SlowFault, Delay: time.Hour}
+	a := faultyAnalysis(t, in)
+	o := chaos.Probe(30*time.Millisecond, 2*time.Second, func(ctx context.Context) error {
+		in.Ctx = ctx
+		_, err := a.RobustnessCtx(ctx, fepia.Normalized{})
+		return err
+	})
+	if o.Panicked() {
+		t.Fatalf("panicked: %v\n%s", o.Panic, o.Stack)
+	}
+	if o.TimedOut {
+		t.Fatalf("cancellable slow impact hung (elapsed %v)", o.Elapsed)
+	}
+	if !errors.Is(o.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", o.Err)
+	}
+}
+
 func TestDegradedFallbackThroughPublicAPI(t *testing.T) {
 	a, err := fepia.NewAnalysis(
 		[]fepia.Feature{{Name: "phi", Bounds: fepia.MaxOnly(3), Impact: func(vs []fepia.Vector) float64 {

@@ -1,0 +1,114 @@
+// Command fepiad is the resilient robustness-evaluation daemon: an HTTP
+// JSON service exposing the FePIA engine's single-kind, combined, and batch
+// evaluations with admission control, per-request deadlines, circuit-breaking
+// degradation, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	fepiad [-addr :8080] [-default-timeout 30s] [-max-timeout 2m]
+//	       [-max-concurrent N] [-queue-cost 1048576] [-workers 1]
+//	       [-cache 0] [-breaker-threshold 5] [-breaker-backoff 1s]
+//	       [-breaker-max-backoff 2m] [-drain-timeout 20s] [-chaos]
+//
+// Endpoints: GET /healthz, /readyz, /statz; POST /v1/robustness, /v1/radius,
+// /v1/batch. docs/operations.md documents the request/response schemas, the
+// shedding and breaker semantics, and the shutdown sequence;
+// docs/failure-semantics.md §server maps HTTP statuses to the engine's typed
+// errors.
+//
+// On SIGTERM (or SIGINT) the daemon stops accepting work, lets in-flight
+// requests finish — cancelling them at -drain-timeout so every accepted
+// request still gets a terminal response — and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fepia/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests that name no timeout")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "hard cap on any requested timeout")
+	maxConcurrent := flag.Int("max-concurrent", 0, "evaluation slots (0 = GOMAXPROCS)")
+	queueCost := flag.Int64("queue-cost", 1<<20, "admission queue bound in cost units (estimated impact evaluations)")
+	workers := flag.Int("workers", 1, "per-evaluation worker pool handed to the engine")
+	cacheCap := flag.Int("cache", 0, "impact cache entries per analysis (>0 capacity, 0 engine default, <0 disabled)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive numeric-tier failures that trip a scenario class")
+	breakerBackoff := flag.Duration("breaker-backoff", time.Second, "initial open interval of a tripped breaker")
+	breakerMaxBackoff := flag.Duration("breaker-max-backoff", 2*time.Minute, "cap on the doubled breaker backoff")
+	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "how long drain waits before cancelling in-flight work")
+	enableChaos := flag.Bool("chaos", false, "accept test-only fault-injection decorations on requests (never in production)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "fepiad: ", log.LstdFlags)
+
+	s := server.New(server.Config{
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueueCost:      *queueCost,
+		Workers:           *workers,
+		CacheCap:          *cacheCap,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerBackoff:    *breakerBackoff,
+		BreakerMaxBackoff: *breakerMaxBackoff,
+		EnableChaos:       *enableChaos,
+		Logf:              logger.Printf,
+	})
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: s.Handler(),
+		// Defense against slowloris clients; evaluation time is governed by
+		// the per-request deadlines, not these.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s (chaos=%v)", *addr, *enableChaos)
+
+	select {
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	case <-sigCtx.Done():
+	}
+	logger.Printf("signal received, draining (deadline %v)", *drainTimeout)
+
+	// Shutdown sequence: stop admission first so every new request gets an
+	// immediate 503, drain in-flight work, then close the listener. Drain
+	// cancels stragglers at the deadline, so accepted requests always reach
+	// a terminal response before the server goes away.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "fepiad: %v\n", drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drain complete, exiting")
+}

@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +45,15 @@ func main() {
 	savePath := flag.String("save", "", "write the scenario as JSON and continue")
 	loadPath := flag.String("load", "", "replay a saved scenario instead of generating")
 	failIdx := flag.Int("fail", -1, "fail machine N (robust remap) before the analysis")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the robustness analysis (0 = unlimited), e.g. 30s")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var sys *hiperd.System
 	if *loadPath != "" {
@@ -96,13 +106,13 @@ func main() {
 	}
 	tb := report.NewTable("Robustness analysis", "quantity", "value")
 	for j, pp := range a.Params {
-		r, err := a.RobustnessSingle(j)
+		r, err := a.RobustnessSingleCtx(ctx, j)
 		if err != nil {
 			fatal(err)
 		}
 		tb.AddRow(fmt.Sprintf("rho vs %s (%s)", pp.Name, pp.Unit), r.Value)
 	}
-	rho, err := a.Robustness(fepia.Normalized{})
+	rho, err := a.RobustnessCtx(ctx, fepia.Normalized{})
 	if err != nil {
 		fatal(err)
 	}
@@ -161,5 +171,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "hiperdsim: %v\n", err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "hiperdsim: the analysis exceeded -timeout; raise the budget or shrink the scenario")
+	}
 	os.Exit(1)
 }

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +40,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "instance seed")
 	loadPath := flag.String("load", "", "replay a saved ETC matrix instead of generating")
 	savePath := flag.String("save", "", "write the ETC matrix as JSON")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole ranking (0 = unlimited), e.g. 1m")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var m *etc.Matrix
 	if *loadPath != "" {
@@ -146,7 +156,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			rho, err := a.Robustness(fepia.Normalized{})
+			rho, err := a.RobustnessCtx(ctx, fepia.Normalized{})
 			if err != nil {
 				fatal(err)
 			}
@@ -176,5 +186,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "rank: %v\n", err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "rank: the ranking exceeded -timeout; raise the budget or drop -meta/-staging")
+	}
 	os.Exit(1)
 }

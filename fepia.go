@@ -86,6 +86,14 @@
 // cache never stores faulty (NaN/Inf/panicking) evaluations, so the failure
 // semantics above are unchanged. See docs/architecture.md for the engine
 // layout and docs/performance.md for measured numbers and tuning guidance.
+//
+// # Serving
+//
+// To run evaluations as a network service, use cmd/fepiad: an HTTP JSON
+// daemon over these entry points with admission control and load shedding,
+// per-request deadlines, a per-scenario-class circuit breaker that degrades
+// to the Monte-Carlo tier instead of failing, and graceful drain on
+// SIGTERM. See docs/operations.md.
 package fepia
 
 import (

@@ -86,6 +86,16 @@ type Injector struct {
 	After int64
 	// Delay is SlowFault's per-call sleep.
 	Delay time.Duration
+	// Ctx, when non-nil, makes SlowFault's latency cancellable: each
+	// injected delay is a Sleep against this context, so a wrapped impact
+	// stops occupying its worker the moment the context is cancelled —
+	// exactly how a production impact blocked on a cancellable downstream
+	// call behaves. A nil Ctx reproduces the legacy uninterruptible
+	// time.Sleep (an impact that ignores cancellation), which is the
+	// harder fault: the runtime can then only observe the cancellation
+	// between evaluations. Set Ctx before handing wrapped functions to a
+	// concurrent evaluation (it is read without synchronization).
+	Ctx context.Context
 
 	calls atomic.Int64
 }
@@ -110,11 +120,38 @@ func (in *Injector) Wrap(f Impact) Impact {
 		case NegInfFault:
 			return math.Inf(-1)
 		case SlowFault:
-			time.Sleep(in.Delay)
+			Sleep(in.Ctx, in.Delay)
 		case CorruptDimsFault:
 			params = TruncateLastBlock(params)
 		}
 		return f(params)
+	}
+}
+
+// Sleep is the context-aware latency probe: it blocks for d or until ctx is
+// done, whichever comes first, and reports whether the full delay elapsed
+// (false means the sleep was cut short by cancellation). A nil ctx means
+// "not cancellable" and degrades to a plain time.Sleep. Tests and fault
+// injectors should use it instead of ad-hoc time.Sleep so that injected
+// latency never outlives the request or probe that carries it.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx == nil || ctx.Err() == nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

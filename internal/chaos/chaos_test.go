@@ -141,3 +141,56 @@ func TestProbeCancelPropagates(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", o.Err)
 	}
 }
+
+func TestSleepFullDuration(t *testing.T) {
+	start := time.Now()
+	if !Sleep(context.Background(), 10*time.Millisecond) {
+		t.Fatal("uncancelled Sleep reported cancellation")
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 10ms", el)
+	}
+	if !Sleep(nil, time.Millisecond) {
+		t.Fatal("nil-ctx Sleep reported cancellation")
+	}
+}
+
+func TestSleepCancellable(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if Sleep(ctx, time.Hour) {
+		t.Fatal("cancelled Sleep reported a full delay")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled Sleep took %v, want prompt return", el)
+	}
+	// Already-cancelled context: no sleeping at all.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	start = time.Now()
+	if Sleep(done, time.Hour) {
+		t.Fatal("Sleep with dead context reported a full delay")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("dead-context Sleep took %v, want immediate return", el)
+	}
+}
+
+func TestSlowFaultCancellableViaInjectorCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := &Injector{Fault: SlowFault, Delay: time.Hour, Ctx: ctx}
+	f := in.Wrap(sum)
+	done := make(chan float64, 1)
+	go func() { done <- f([]vec.V{{1, 2}}) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case v := <-done:
+		if v != 3 {
+			t.Fatalf("slow impact returned %g, want 3", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SlowFault with Ctx did not return promptly after cancel")
+	}
+}

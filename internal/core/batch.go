@@ -69,6 +69,9 @@ func RobustnessBatch(ctx context.Context, items []BatchItem, opt EvalOptions) ([
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opt.ForceDegraded {
+		return batchForcedDegraded(ctx, items, opt)
+	}
 	tolerable := func(err error) bool {
 		return err != nil && opt.DegradeOnNumeric && errors.Is(err, ErrNumeric)
 	}
@@ -341,6 +344,30 @@ func (a *Analysis) CombinedRadiusBatchCtx(ctx context.Context, w Weighting, feat
 // CombinedRadiusBatch is CombinedRadiusBatchCtx without cancellation.
 func (a *Analysis) CombinedRadiusBatch(w Weighting, features []int, opt EvalOptions) ([]Radius, []error) {
 	return a.CombinedRadiusBatchCtx(context.Background(), w, features, opt)
+}
+
+// batchForcedDegraded is the ForceDegraded batch path: no boundary-search
+// units exist, so the unit of scheduling is the whole item — each item's
+// Monte-Carlo lower bounds run on one pool slot. Per-item results are
+// bit-identical to the same item evaluated through RobustnessWith with the
+// same options (the fallback estimate depends only on seed and feature
+// index, never on scheduling).
+func batchForcedDegraded(ctx context.Context, items []BatchItem, opt EvalOptions) ([]Robustness, []error) {
+	out := make([]Robustness, len(items))
+	errsOut := make([]error, len(items))
+	itemOpt := opt
+	itemOpt.Workers = 0 // parallelism is across items here, not features
+	runPool(batchWorkers(opt.Workers, len(items)), len(items), func(k int) {
+		switch {
+		case items[k].A == nil:
+			errsOut[k] = fmt.Errorf("core: batch item %d: nil Analysis", k)
+		case items[k].W == nil:
+			errsOut[k] = fmt.Errorf("core: batch item %d: nil Weighting", k)
+		default:
+			out[k], errsOut[k] = items[k].A.RobustnessWith(ctx, items[k].W, itemOpt)
+		}
+	})
+	return out, errsOut
 }
 
 // batchWorkers resolves the pool size for n units: ≤ 0 (the EvalOptions

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+// forcedTestAnalysis builds a healthy numeric-tier analysis whose exact
+// combined radius is known: φ = 2x over orig x = 1 with φ ≤ 4 gives a
+// normalized-P radius of exactly 1 (x may double before violating).
+func forcedTestAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := NewAnalysis(
+		[]Feature{{Name: "phi", Bounds: MaxOnly(4), Impact: func(vs []vec.V) float64 {
+			return 2 * vs[0][0]
+		}}},
+		[]Perturbation{{Name: "x", Unit: "s", Orig: vec.V{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestForceDegradedSkipsExactTiers(t *testing.T) {
+	a := forcedTestAnalysis(t)
+	opt := EvalOptions{ForceDegraded: true, DegradeSeed: 7}
+	rho, err := a.RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rho.Degraded {
+		t.Fatal("forced result not flagged Degraded")
+	}
+	for i, r := range rho.PerFeature {
+		if !r.Degraded {
+			t.Fatalf("per-feature radius %d not flagged Degraded", i)
+		}
+	}
+	// The Monte-Carlo fallback is an empirical lower-bound estimate of the
+	// true radius (1.0 here); it must land near it for this benign
+	// geometry (small sampling overshoot past the boundary is possible).
+	if rho.Value > 1.05 || rho.Value < 0.5 {
+		t.Fatalf("forced degraded rho = %g, want an estimate near 1", rho.Value)
+	}
+}
+
+func TestForceDegradedDeterministicAcrossPaths(t *testing.T) {
+	opt := EvalOptions{ForceDegraded: true, DegradeSeed: 42, DegradeSamples: 64}
+
+	a := forcedTestAnalysis(t)
+	serial, err := a.RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optConc := opt
+	optConc.Workers = 4
+	conc, err := forcedTestAnalysis(t).RobustnessWith(context.Background(), Normalized{}, optConc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items := []BatchItem{
+		{A: forcedTestAnalysis(t), W: Normalized{}},
+		{A: forcedTestAnalysis(t), W: Normalized{}},
+		{A: forcedTestAnalysis(t), W: Normalized{}},
+	}
+	batch, berrs := RobustnessBatch(context.Background(), items, opt)
+	for k, e := range berrs {
+		if e != nil {
+			t.Fatalf("batch item %d: %v", k, e)
+		}
+	}
+
+	for _, got := range append([]Robustness{conc}, batch...) {
+		if got.Value != serial.Value {
+			t.Fatalf("forced degraded value differs across paths: serial %v vs %v",
+				serial.Value, got.Value)
+		}
+		if !got.Degraded {
+			t.Fatal("forced batch/concurrent result not flagged Degraded")
+		}
+	}
+}
+
+func TestForceDegradedSurvivesHostileImpact(t *testing.T) {
+	// An impact that panics away from the operating point: the exact and
+	// numeric tiers would fail with ErrImpactPanic, but the forced
+	// Monte-Carlo fallback treats panics as violations and still reports a
+	// finite, conservative lower bound.
+	a, err := NewAnalysis(
+		[]Feature{{Name: "phi", Bounds: MaxOnly(4), Impact: func(vs []vec.V) float64 {
+			x := vs[0][0]
+			if x > 1.5 || x < 0.5 {
+				panic("hostile impact")
+			}
+			return 2 * x
+		}}},
+		[]Perturbation{{Name: "x", Unit: "s", Orig: vec.V{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := a.RobustnessWith(context.Background(), Normalized{},
+		EvalOptions{ForceDegraded: true, DegradeSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rho.Degraded {
+		t.Fatal("result not flagged Degraded")
+	}
+	if math.IsInf(rho.Value, 0) || rho.Value <= 0 || rho.Value > 0.55 {
+		t.Fatalf("forced degraded rho = %g, want a conservative estimate in (0, 0.55]", rho.Value)
+	}
+}
+
+func TestForceDegradedHonorsCancellation(t *testing.T) {
+	a := forcedTestAnalysis(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.RobustnessWith(ctx, Normalized{}, EvalOptions{ForceDegraded: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

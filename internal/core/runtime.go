@@ -42,7 +42,21 @@ type EvalOptions struct {
 	// bound of a feature is identical across the serial, concurrent, and
 	// batch evaluation paths for any worker count or scheduling order.
 	DegradeSeed int64
+	// ForceDegraded skips the exact and numeric tiers entirely and
+	// estimates every radius with the Monte-Carlo lower-bound fallback,
+	// flagged Degraded. It bounds the cost of one evaluation to the
+	// sampling budget regardless of how pathological the boundary geometry
+	// is — the escape hatch a circuit breaker uses once the numeric
+	// level-set tier has been failing for a scenario class (see
+	// internal/server). Forced results carry the same determinism
+	// guarantee as DegradeOnNumeric: the value depends only on
+	// (DegradeSeed, feature index), never on scheduling.
+	ForceDegraded bool
 }
+
+// errForcedDegrade marks a radius slot whose degradation was requested by
+// EvalOptions.ForceDegraded rather than caused by an observed failure.
+var errForcedDegrade = errors.New("core: degradation forced by EvalOptions.ForceDegraded")
 
 // RobustnessWith computes the robustness metric through the hardened
 // evaluation engine: per-feature radii run serially or on opt.Workers
@@ -60,6 +74,13 @@ func (a *Analysis) RobustnessWith(ctx context.Context, w Weighting, opt EvalOpti
 	errs := make([]error, n)
 	tolerable := func(err error) bool {
 		return err != nil && opt.DegradeOnNumeric && errors.Is(err, ErrNumeric)
+	}
+
+	if opt.ForceDegraded {
+		for i := range errs {
+			errs[i] = errForcedDegrade
+		}
+		return a.foldRobustness(ctx, w, opt, radii, errs)
 	}
 
 	if opt.Workers <= 1 || n <= 1 {
@@ -89,6 +110,12 @@ func (a *Analysis) foldRobustness(ctx context.Context, w Weighting, opt EvalOpti
 		if errs[i] != nil {
 			lb, derr := a.mcRadiusLowerBound(ctx, i, w, opt.DegradeSamples, deriveSeed(opt.DegradeSeed, i))
 			if derr != nil {
+				if errors.Is(errs[i], errForcedDegrade) {
+					// Nothing genuinely failed before the fallback; the
+					// fallback's own error (typically cancellation) is the
+					// one the caller must see typed.
+					return Robustness{}, fmt.Errorf("core: feature %d: forced degradation failed: %w", i, derr)
+				}
 				return Robustness{}, fmt.Errorf("core: feature %d: %w (Monte-Carlo fallback also failed: %v)", i, errs[i], derr)
 			}
 			radii[i] = Radius{Value: lb, Side: SideNone, Feature: i, Param: -1, Degraded: true}

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+// This file defines the versioned JSON document of a complete FePIA
+// analysis — perturbation parameters plus features over the four supported
+// impact families — shared by the fepiad evaluation daemon and any tool
+// that persists analyses. Linear and quadratic features build with their
+// analytic declarations (closed-form tiers); multiplicative and queueing
+// features are declarative nonlinearities that force the numeric level-set
+// tier. docs/operations.md documents the schema for API callers.
+
+// Impact family names accepted in AnalysisFeature.Impact.
+const (
+	ImpactLinear         = "linear"
+	ImpactQuadratic      = "quadratic"
+	ImpactMultiplicative = "multiplicative"
+	ImpactQueueing       = "queueing"
+)
+
+// AnalysisDoc is the JSON shape of a core.Analysis.
+type AnalysisDoc struct {
+	Version  int               `json:"version"`
+	Kind     string            `json:"kind"` // "fepia"
+	Params   []AnalysisParam   `json:"params"`
+	Features []AnalysisFeature `json:"features"`
+}
+
+// AnalysisParam is one perturbation parameter π_j.
+type AnalysisParam struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit,omitempty"`
+	Orig []float64 `json:"orig"`
+}
+
+// AnalysisFeature is one performance feature φ_i. Impact selects the
+// family ("" defaults to linear); exactly the fields of that family are
+// read. All block-shaped fields are indexed [param][elem] and must align
+// with the document's parameters. Omitted min/max mean one-sided bounds.
+type AnalysisFeature struct {
+	Name   string   `json:"name"`
+	Impact string   `json:"impact,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+
+	// Linear: φ = Const + Σ_j Coeffs[j]·π_j.
+	Coeffs [][]float64 `json:"coeffs,omitempty"`
+	Const  float64     `json:"const,omitempty"`
+
+	// Quadratic: φ = Const + Σ_j Σ_e Curv[j][e]·(π_je − Center[j][e])².
+	Curv   [][]float64 `json:"curv,omitempty"`
+	Center [][]float64 `json:"center,omitempty"`
+
+	// Multiplicative: φ = Const + Scale·Π_j Π_e |π_je|^Pows[j][e].
+	Scale float64     `json:"scale,omitempty"`
+	Pows  [][]float64 `json:"pows,omitempty"`
+
+	// Queueing: φ = Σ_j Σ_e Wgts[j][e] / max(Caps[j][e] − π_je, Eps).
+	Wgts [][]float64 `json:"wgts,omitempty"`
+	Caps [][]float64 `json:"caps,omitempty"`
+	Eps  float64     `json:"eps,omitempty"`
+}
+
+// family resolves the impact family, defaulting to linear.
+func (f AnalysisFeature) family() string {
+	if f.Impact == "" {
+		return ImpactLinear
+	}
+	return f.Impact
+}
+
+// NumericTier reports whether the feature has no closed-form tier and every
+// radius involving it runs the numeric level-set search — the expensive
+// path the daemon's admission costing and circuit breaker care about.
+func (f AnalysisFeature) NumericTier() bool {
+	switch f.family() {
+	case ImpactMultiplicative, ImpactQueueing:
+		return true
+	}
+	return false
+}
+
+// SaveAnalysis writes the document as indented JSON (stamping version and
+// kind) after checking that it builds.
+func SaveAnalysis(w io.Writer, doc AnalysisDoc) error {
+	if _, err := doc.Build(); err != nil {
+		return fmt.Errorf("scenario: refusing to save invalid analysis: %w", err)
+	}
+	doc.Version = Version
+	doc.Kind = "fepia"
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadAnalysis reads a document saved by SaveAnalysis (validation happens
+// in Build).
+func LoadAnalysis(r io.Reader) (AnalysisDoc, error) {
+	var doc AnalysisDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return AnalysisDoc{}, fmt.Errorf("scenario: %w", err)
+	}
+	if doc.Version != Version {
+		return AnalysisDoc{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, doc.Version, Version)
+	}
+	if doc.Kind != "fepia" {
+		return AnalysisDoc{}, fmt.Errorf("scenario: document kind %q, want %q", doc.Kind, "fepia")
+	}
+	return doc, nil
+}
+
+// Validate checks the document's shape — finite values, coefficient blocks
+// aligned with the parameters — without building. Build calls it first;
+// servers call it to reject malformed requests with a useful message
+// before spending anything on them.
+func (d AnalysisDoc) Validate() error {
+	if len(d.Params) == 0 {
+		return fmt.Errorf("scenario: analysis has no params")
+	}
+	if len(d.Features) == 0 {
+		return fmt.Errorf("scenario: analysis has no features")
+	}
+	for j, p := range d.Params {
+		if len(p.Orig) == 0 {
+			return fmt.Errorf("scenario: param %d (%q) has empty orig", j, p.Name)
+		}
+		for e, x := range p.Orig {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("scenario: param %d (%q) orig[%d] is not finite", j, p.Name, e)
+			}
+		}
+	}
+	for i, f := range d.Features {
+		if err := d.validateFeature(i, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateFeature checks one feature's family fields against the params.
+func (d AnalysisDoc) validateFeature(i int, f AnalysisFeature) error {
+	checkBlocks := func(field string, blocks [][]float64) error {
+		if len(blocks) != len(d.Params) {
+			return fmt.Errorf("scenario: feature %d (%q): %s has %d blocks, want %d (one per param)",
+				i, f.Name, field, len(blocks), len(d.Params))
+		}
+		for j, b := range blocks {
+			if len(b) != len(d.Params[j].Orig) {
+				return fmt.Errorf("scenario: feature %d (%q): %s[%d] has %d elements, want %d",
+					i, f.Name, field, j, len(b), len(d.Params[j].Orig))
+			}
+			for e, x := range b {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return fmt.Errorf("scenario: feature %d (%q): %s[%d][%d] is not finite", i, f.Name, field, j, e)
+				}
+			}
+		}
+		return nil
+	}
+	switch f.family() {
+	case ImpactLinear:
+		return checkBlocks("coeffs", f.Coeffs)
+	case ImpactQuadratic:
+		if err := checkBlocks("curv", f.Curv); err != nil {
+			return err
+		}
+		for j, b := range f.Curv {
+			for e, x := range b {
+				if x < 0 {
+					return fmt.Errorf("scenario: feature %d (%q): curv[%d][%d] negative (quadratic curvature must be >= 0)", i, f.Name, j, e)
+				}
+			}
+		}
+		return checkBlocks("center", f.Center)
+	case ImpactMultiplicative:
+		return checkBlocks("pows", f.Pows)
+	case ImpactQueueing:
+		if err := checkBlocks("wgts", f.Wgts); err != nil {
+			return err
+		}
+		if err := checkBlocks("caps", f.Caps); err != nil {
+			return err
+		}
+		if !(f.Eps > 0) || math.IsInf(f.Eps, 0) {
+			return fmt.Errorf("scenario: feature %d (%q): queueing eps must be finite and > 0", i, f.Name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: feature %d (%q): unknown impact family %q", i, f.Name, f.Impact)
+	}
+}
+
+// bounds converts the pointer bounds to core.Bounds.
+func (f AnalysisFeature) bounds() core.Bounds {
+	b := core.Bounds{Min: math.Inf(-1), Max: math.Inf(1)}
+	if f.Min != nil {
+		b.Min = *f.Min
+	}
+	if f.Max != nil {
+		b.Max = *f.Max
+	}
+	return b
+}
+
+// Build validates the document and assembles the core.Analysis: linear and
+// quadratic features carry their closed-form declarations, multiplicative
+// and queueing features their numeric impact closures. The closures copy
+// the document's blocks, so the returned analysis never aliases caller
+// memory.
+func (d AnalysisDoc) Build() (*core.Analysis, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	params := make([]core.Perturbation, len(d.Params))
+	for j, p := range d.Params {
+		params[j] = core.Perturbation{
+			Name: p.Name,
+			Unit: p.Unit,
+			Orig: vec.V(append([]float64(nil), p.Orig...)),
+		}
+	}
+	features := make([]core.Feature, len(d.Features))
+	for i, f := range d.Features {
+		cf := core.Feature{Name: f.Name, Bounds: f.bounds()}
+		switch f.family() {
+		case ImpactLinear:
+			coeffs := make([]vec.V, len(f.Coeffs))
+			for j, c := range f.Coeffs {
+				coeffs[j] = vec.V(append([]float64(nil), c...))
+			}
+			cf.Linear = &core.LinearImpact{Coeffs: coeffs, Const: f.Const}
+		case ImpactQuadratic:
+			q := &core.QuadImpact{Const: f.Const,
+				A: make([]vec.V, len(f.Curv)), C: make([]vec.V, len(f.Center))}
+			for j := range f.Curv {
+				q.A[j] = vec.V(append([]float64(nil), f.Curv[j]...))
+				q.C[j] = vec.V(append([]float64(nil), f.Center[j]...))
+			}
+			cf.Quad = q
+		case ImpactMultiplicative:
+			pows := copyBlocks(f.Pows)
+			c, scale := f.Const, f.Scale
+			cf.Impact = func(vs []vec.V) float64 {
+				p := scale
+				for j := range pows {
+					for e, pw := range pows[j] {
+						p *= math.Pow(math.Abs(vs[j][e]), pw)
+					}
+				}
+				return c + p
+			}
+		case ImpactQueueing:
+			wgts, caps := copyBlocks(f.Wgts), copyBlocks(f.Caps)
+			eps := f.Eps
+			cf.Impact = func(vs []vec.V) float64 {
+				s := 0.0
+				for j := range wgts {
+					for e, w := range wgts[j] {
+						gap := caps[j][e] - vs[j][e]
+						if gap < eps {
+							gap = eps
+						}
+						s += w / gap
+					}
+				}
+				return s
+			}
+		}
+		features[i] = cf
+	}
+	a, err := core.NewAnalysis(features, params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return a, nil
+}
+
+func copyBlocks(blocks [][]float64) [][]float64 {
+	out := make([][]float64, len(blocks))
+	for i, b := range blocks {
+		out[i] = append([]float64(nil), b...)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/vec"
+)
+
+type vecV = vec.V
+
+func f64(v float64) *float64 { return &v }
+
+// testDoc builds a two-parameter document with one feature per family.
+func testDoc() AnalysisDoc {
+	return AnalysisDoc{
+		Params: []AnalysisParam{
+			{Name: "exec", Unit: "s", Orig: []float64{1, 2}},
+			{Name: "msg", Unit: "bytes", Orig: []float64{4}},
+		},
+		Features: []AnalysisFeature{
+			{Name: "lat", Max: f64(42), Coeffs: [][]float64{{2, 3}, {5}}},
+			{Name: "quad", Impact: ImpactQuadratic, Max: f64(50),
+				Curv: [][]float64{{1, 1}, {0.5}}, Center: [][]float64{{0, 0}, {0}}},
+			{Name: "mult", Impact: ImpactMultiplicative, Max: f64(100),
+				Scale: 1, Pows: [][]float64{{1, 1}, {0.5}}},
+			{Name: "mm1", Impact: ImpactQueueing, Max: f64(10),
+				Wgts: [][]float64{{1, 1}, {1}}, Caps: [][]float64{{5, 5}, {8}}, Eps: 1e-6},
+		},
+	}
+}
+
+func TestAnalysisRoundTrip(t *testing.T) {
+	doc := testDoc()
+	var buf bytes.Buffer
+	if err := SaveAnalysis(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAnalysis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version || got.Kind != "fepia" {
+		t.Fatalf("version/kind = %d/%q", got.Version, got.Kind)
+	}
+	a, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Features) != 4 || len(a.Params) != 2 {
+		t.Fatalf("built %d features, %d params", len(a.Features), len(a.Params))
+	}
+	// Linear and quadratic carry closed-form declarations; the numeric
+	// families carry only impact closures.
+	if a.Features[0].Linear == nil || a.Features[1].Quad == nil {
+		t.Fatal("analytic declarations missing")
+	}
+	if a.Features[2].Impact == nil || a.Features[3].Impact == nil {
+		t.Fatal("numeric impact closures missing")
+	}
+	rho, err := a.RobustnessWith(context.Background(), core.Normalized{}, core.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rho.Value > 0) || math.IsInf(rho.Value, 0) {
+		t.Fatalf("rho = %g, want finite positive", rho.Value)
+	}
+}
+
+func TestAnalysisBuildMatchesDirectConstruction(t *testing.T) {
+	doc := AnalysisDoc{
+		Params: []AnalysisParam{
+			{Name: "t", Unit: "s", Orig: []float64{1, 2}},
+			{Name: "m", Unit: "b", Orig: []float64{4}},
+		},
+		Features: []AnalysisFeature{
+			{Name: "lat", Max: f64(42), Coeffs: [][]float64{{2, 3}, {5}}},
+		},
+	}
+	a, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.NewAnalysis(
+		[]core.Feature{{Name: "lat", Bounds: core.MaxOnly(42),
+			Linear: &core.LinearImpact{Coeffs: []vecV{{2, 3}, {5}}}}},
+		[]core.Perturbation{
+			{Name: "t", Unit: "s", Orig: vecV{1, 2}},
+			{Name: "m", Unit: "b", Orig: vecV{4}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Robustness(core.Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value {
+		t.Fatalf("doc-built rho = %v, direct rho = %v", got.Value, want.Value)
+	}
+}
+
+func TestAnalysisValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*AnalysisDoc)
+		frag   string
+	}{
+		{"no params", func(d *AnalysisDoc) { d.Params = nil }, "no params"},
+		{"no features", func(d *AnalysisDoc) { d.Features = nil }, "no features"},
+		{"empty orig", func(d *AnalysisDoc) { d.Params[0].Orig = nil }, "empty orig"},
+		{"nan orig", func(d *AnalysisDoc) { d.Params[0].Orig[0] = math.NaN() }, "not finite"},
+		{"block count", func(d *AnalysisDoc) { d.Features[0].Coeffs = d.Features[0].Coeffs[:1] }, "blocks"},
+		{"block shape", func(d *AnalysisDoc) { d.Features[0].Coeffs[0] = []float64{1} }, "elements"},
+		{"bad family", func(d *AnalysisDoc) { d.Features[0].Impact = "cubic" }, "unknown impact family"},
+		{"neg curv", func(d *AnalysisDoc) { d.Features[1].Curv[0][0] = -1 }, "negative"},
+		{"bad eps", func(d *AnalysisDoc) { d.Features[3].Eps = 0 }, "eps"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc := testDoc()
+			c.mutate(&doc)
+			err := doc.Validate()
+			if err == nil {
+				t.Fatal("malformed document validated")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("err = %v, want fragment %q", err, c.frag)
+			}
+			if _, berr := doc.Build(); berr == nil {
+				t.Fatal("malformed document built")
+			}
+		})
+	}
+}
+
+func TestAnalysisNumericTier(t *testing.T) {
+	doc := testDoc()
+	want := []bool{false, false, true, true}
+	for i, f := range doc.Features {
+		if got := f.NumericTier(); got != want[i] {
+			t.Fatalf("feature %d NumericTier = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestLoadAnalysisRejectsWrongKindAndVersion(t *testing.T) {
+	if _, err := LoadAnalysis(strings.NewReader(`{"version": 99, "kind": "fepia"}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := LoadAnalysis(strings.NewReader(`{"version": 1, "kind": "hiperd"}`)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := LoadAnalysis(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fepia/internal/scenario"
+)
+
+// This file is the admission controller: a cost-bounded work queue in front
+// of a fixed pool of evaluation slots. Every request is costed from its
+// scenario's size before any work is spent on it; when the reserved cost of
+// queued-plus-running work would exceed the bound, the request is shed with
+// 429 and a Retry-After estimated from the backlog and a running average of
+// observed per-unit service time. Shedding at the door — instead of letting
+// a queue grow without bound — is what keeps tail latency flat and drain
+// fast under overload.
+
+// admission is the cost-bounded queue + slot pool.
+type admission struct {
+	maxCost int64
+	slots   chan struct{} // buffered; len() = evaluations running
+
+	mu         sync.Mutex
+	reserved   int64   // cost units reserved (queued + running)
+	requests   int     // requests reserved (queued + running)
+	perUnitEMA float64 // EWMA of observed ns per cost unit
+}
+
+// initialPerUnitNanos seeds the service-time estimate before any request
+// has been observed (≈20µs per estimated impact evaluation).
+const initialPerUnitNanos = 20_000
+
+func newAdmission(maxConcurrent int, maxCost int64) *admission {
+	return &admission{
+		maxCost:    maxCost,
+		slots:      make(chan struct{}, maxConcurrent),
+		perUnitEMA: initialPerUnitNanos,
+	}
+}
+
+// reserve admits cost units into the bounded queue, or rejects. An
+// otherwise-idle queue admits any cost — a single scenario larger than the
+// whole budget must be servable when nothing else is waiting, just never
+// behind other work.
+func (ad *admission) reserve(cost int64) bool {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if ad.requests > 0 && ad.reserved+cost > ad.maxCost {
+		return false
+	}
+	ad.reserved += cost
+	ad.requests++
+	return true
+}
+
+// release returns a reservation (after the terminal response).
+func (ad *admission) release(cost int64) {
+	ad.mu.Lock()
+	ad.reserved -= cost
+	ad.requests--
+	ad.mu.Unlock()
+}
+
+// acquire waits for an evaluation slot; ctx aborts the wait (deadline while
+// queued, client gone, or drain cancellation).
+func (ad *admission) acquire(ctx context.Context) error {
+	select {
+	case ad.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseSlot frees an evaluation slot.
+func (ad *admission) releaseSlot() { <-ad.slots }
+
+// observe feeds one completed evaluation into the service-time EWMA.
+func (ad *admission) observe(cost int64, elapsed time.Duration) {
+	if cost <= 0 || elapsed <= 0 {
+		return
+	}
+	perUnit := float64(elapsed.Nanoseconds()) / float64(cost)
+	ad.mu.Lock()
+	ad.perUnitEMA = 0.8*ad.perUnitEMA + 0.2*perUnit
+	ad.mu.Unlock()
+}
+
+// retryAfter estimates how long a shed caller should wait before retrying:
+// the reserved backlog divided by the pool's estimated drain rate, clamped
+// to [1s, 60s] so the header is always actionable.
+func (ad *admission) retryAfter() time.Duration {
+	ad.mu.Lock()
+	backlog, perUnit := ad.reserved, ad.perUnitEMA
+	ad.mu.Unlock()
+	d := time.Duration(float64(backlog) * perUnit / float64(cap(ad.slots)))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// depths reports (requests queued or running, running, reserved cost).
+func (ad *admission) depths() (requests, running int, reservedCost int64) {
+	running = len(ad.slots)
+	ad.mu.Lock()
+	requests, reservedCost = ad.requests, ad.reserved
+	ad.mu.Unlock()
+	return requests, running, reservedCost
+}
+
+// Cost units for estimateCost: an analytic radius is a handful of
+// closed-form evaluations; a numeric level-set search costs hundreds of
+// impact evaluations and grows with the P-space dimension.
+const (
+	costAnalyticFeature = 4
+	costNumericBase     = 256
+	costNumericPerDim   = 64
+)
+
+// estimateCost prices one scenario in estimated impact evaluations — the
+// unit the admission queue is bounded in and the EWMA is keyed to. The
+// estimate only has to be proportionate, not exact: it decides how much
+// concurrent work the daemon bites off, not how results are computed.
+func estimateCost(doc scenario.AnalysisDoc) int64 {
+	dim := 0
+	for _, p := range doc.Params {
+		dim += len(p.Orig)
+	}
+	var cost int64
+	for _, f := range doc.Features {
+		if f.NumericTier() {
+			sides := int64(0)
+			if f.Min != nil {
+				sides++
+			}
+			if f.Max != nil {
+				sides++
+			}
+			if sides == 0 {
+				sides = 1 // unbounded features are detected nearly for free
+			}
+			cost += sides * int64(costNumericBase+costNumericPerDim*dim)
+		} else {
+			cost += costAnalyticFeature
+		}
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}

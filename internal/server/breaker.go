@@ -1,0 +1,239 @@
+package server
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fepia/internal/scenario"
+)
+
+// This file is the circuit breaker around the numeric level-set tier. The
+// daemon classifies every request by the structural signature of its
+// scenario (which numeric impact families it uses, how many P-space
+// dimensions) and keeps one breaker per class:
+//
+//   - closed: requests evaluate normally (numeric tier, with the
+//     Monte-Carlo degradation of observed numeric failures). Consecutive
+//     failures — ErrNumeric/ErrImpactPanic outcomes, per-request deadline
+//     blowouts, or results the numeric tier could only produce degraded —
+//     count toward the trip threshold; any clean success resets the count.
+//   - open: the numeric tier is skipped outright: requests evaluate with
+//     EvalOptions.ForceDegraded (Monte-Carlo lower bounds, flagged
+//     Degraded), keeping the class responsive at bounded cost while its
+//     numeric path is presumed broken.
+//   - half-open: once the backoff expires, exactly one request per class is
+//     let through the numeric tier as a probe. Success closes the breaker;
+//     failure re-opens it with doubled (jittered, capped) backoff.
+//
+// Cancellations caused by the client or by drain are neutral: they say
+// nothing about the health of the tier.
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breakerConfig tunes the breaker set; zero fields take defaults.
+type breakerConfig struct {
+	// threshold is the number of consecutive failures that trips a closed
+	// breaker.
+	threshold int
+	// backoff is the initial open interval; each failed probe doubles it
+	// up to maxBackoff. ±25% jitter decorrelates half-open probes of many
+	// daemons sharing a faulty downstream.
+	backoff    time.Duration
+	maxBackoff time.Duration
+	// now and rng are injectable for tests.
+	now func() time.Time
+	rng *rand.Rand
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.threshold <= 0 {
+		c.threshold = 5
+	}
+	if c.backoff <= 0 {
+		c.backoff = time.Second
+	}
+	if c.maxBackoff <= 0 {
+		c.maxBackoff = 2 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c
+}
+
+// breakerSet holds one breaker per scenario class.
+type breakerSet struct {
+	cfg breakerConfig
+
+	mu    sync.Mutex
+	m     map[string]*breaker
+	trips uint64
+}
+
+type breaker struct {
+	state   string
+	consec  int           // consecutive failures while closed
+	backoff time.Duration // current open interval
+	until   time.Time     // when an open breaker becomes half-open
+	probing bool          // a half-open probe is in flight
+}
+
+func newBreakerSet(cfg breakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker)}
+}
+
+// route decides how a request of the given class must be evaluated right
+// now: forced to the degraded tier, or through the numeric tier — possibly
+// as the class's half-open probe. It returns the state it decided under.
+func (bs *breakerSet) route(class string) (forceDegraded, probe bool, state string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[class]
+	if b == nil {
+		b = &breaker{state: BreakerClosed}
+		bs.m[class] = b
+	}
+	switch b.state {
+	case BreakerOpen:
+		if bs.cfg.now().Before(b.until) {
+			return true, false, BreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return false, true, BreakerHalfOpen
+		}
+		return true, false, BreakerHalfOpen
+	default:
+		return false, false, BreakerClosed
+	}
+}
+
+// record reports a request's terminal outcome back to its class's breaker.
+// probe must be the flag route returned for this request; neutral outcomes
+// (cancellation) must not be recorded at all.
+func (bs *breakerSet) record(class string, probe, failed bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[class]
+	if b == nil {
+		return
+	}
+	if probe {
+		b.probing = false
+		if failed {
+			bs.reopen(b)
+		} else {
+			b.state = BreakerClosed
+			b.consec = 0
+			b.backoff = 0
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		// Forced-degraded traffic says nothing about the numeric tier.
+		return
+	}
+	if !failed {
+		b.consec = 0
+		return
+	}
+	b.consec++
+	if b.consec >= bs.cfg.threshold {
+		bs.reopen(b)
+		bs.trips++
+	}
+}
+
+// reopen (re-)trips b, doubling the backoff with ±25% jitter.
+func (bs *breakerSet) reopen(b *breaker) {
+	if b.backoff <= 0 {
+		b.backoff = bs.cfg.backoff
+	} else {
+		b.backoff *= 2
+		if b.backoff > bs.cfg.maxBackoff {
+			b.backoff = bs.cfg.maxBackoff
+		}
+	}
+	jittered := time.Duration(float64(b.backoff) * (0.75 + 0.5*bs.cfg.rng.Float64()))
+	b.state = BreakerOpen
+	b.consec = 0
+	b.until = bs.cfg.now().Add(jittered)
+}
+
+// BreakerSnapshot is one class's state in /statz.
+type BreakerSnapshot struct {
+	Class               string `json:"class"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutiveFailures,omitempty"`
+	ReopenInMs          int64  `json:"reopenInMs,omitempty"`
+}
+
+// snapshot lists every known class, sorted for stable output, plus the
+// total trip count.
+func (bs *breakerSet) snapshot() ([]BreakerSnapshot, uint64) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	now := bs.cfg.now()
+	out := make([]BreakerSnapshot, 0, len(bs.m))
+	for class, b := range bs.m {
+		s := BreakerSnapshot{Class: class, State: b.state, ConsecutiveFailures: b.consec}
+		if b.state == BreakerOpen {
+			if d := b.until.Sub(now); d > 0 {
+				s.ReopenInMs = d.Milliseconds()
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out, bs.trips
+}
+
+// classify maps a scenario document to its breaker class: the distinct
+// numeric impact families it uses (or "analytic" when every feature has a
+// closed form), a power-of-two bucket of its total P-space dimension, and a
+// "+chaos" marker when test-only fault injection decorates the request —
+// chaos traffic must trip its own breakers, never production classes.
+func classify(doc scenario.AnalysisDoc, chaos bool) string {
+	fams := make(map[string]bool)
+	for _, f := range doc.Features {
+		if f.NumericTier() {
+			fams[f.Impact] = true
+		}
+	}
+	var parts []string
+	for fam := range fams {
+		parts = append(parts, fam)
+	}
+	sort.Strings(parts)
+	name := "analytic"
+	if len(parts) > 0 {
+		name = strings.Join(parts, "+")
+	}
+	if chaos {
+		name += "+chaos"
+	}
+	dim := 0
+	for _, p := range doc.Params {
+		dim += len(p.Orig)
+	}
+	bucket := 1
+	for bucket < dim {
+		bucket *= 2
+	}
+	return name + "/d" + strconv.Itoa(bucket)
+}

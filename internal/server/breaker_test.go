@@ -1,0 +1,196 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fepia/internal/scenario"
+)
+
+func queueingFeature() scenario.AnalysisFeature {
+	return scenario.AnalysisFeature{
+		Name: "mm1", Impact: scenario.ImpactQueueing, Max: f64(10),
+		Wgts: [][]float64{{1, 1}}, Caps: [][]float64{{5, 5}}, Eps: 1e-6,
+	}
+}
+
+func extraParam(name string, orig []float64) scenario.AnalysisParam {
+	return scenario.AnalysisParam{Name: name, Unit: "u", Orig: orig}
+}
+
+// testClock is the injectable time source for breaker unit tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreakers(threshold int) (*breakerSet, *testClock) {
+	clk := &testClock{t: time.Unix(0, 0)}
+	bs := newBreakerSet(breakerConfig{
+		threshold: threshold,
+		backoff:   time.Second,
+		now:       clk.now,
+		rng:       rand.New(rand.NewSource(1)),
+	})
+	return bs, clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	bs, _ := newTestBreakers(3)
+	const class = "queueing/d8"
+	for i := 0; i < 2; i++ {
+		if forced, _, _ := bs.route(class); forced {
+			t.Fatalf("forced before trip (failure %d)", i)
+		}
+		bs.record(class, false, true)
+	}
+	// A success in between resets the consecutive count.
+	bs.record(class, false, false)
+	for i := 0; i < 2; i++ {
+		bs.route(class)
+		bs.record(class, false, true)
+	}
+	if forced, _, state := bs.route(class); forced || state != BreakerClosed {
+		t.Fatalf("tripped after reset+2 failures: forced=%v state=%s", forced, state)
+	}
+	bs.record(class, false, true) // third consecutive: trip
+	forced, probe, state := bs.route(class)
+	if !forced || probe || state != BreakerOpen {
+		t.Fatalf("after trip: forced=%v probe=%v state=%s", forced, probe, state)
+	}
+	if _, trips := bs.snapshot(); trips != 1 {
+		t.Fatalf("trips = %d", trips)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	bs, clk := newTestBreakers(1)
+	const class = "multiplicative/d4"
+	bs.route(class)
+	bs.record(class, false, true) // trip at threshold 1
+
+	// Jitter is at most +25%, so 2× the base backoff is safely past it.
+	clk.advance(2 * time.Second)
+	forced, probe, state := bs.route(class)
+	if forced || !probe || state != BreakerHalfOpen {
+		t.Fatalf("first post-backoff route: forced=%v probe=%v state=%s", forced, probe, state)
+	}
+	// While the probe is in flight everyone else stays degraded.
+	forced, probe, _ = bs.route(class)
+	if !forced || probe {
+		t.Fatalf("concurrent route during probe: forced=%v probe=%v", forced, probe)
+	}
+	bs.record(class, true, false) // probe succeeds
+	forced, probe, state = bs.route(class)
+	if forced || probe || state != BreakerClosed {
+		t.Fatalf("after successful probe: forced=%v probe=%v state=%s", forced, probe, state)
+	}
+}
+
+func TestBreakerProbeFailureDoublesBackoff(t *testing.T) {
+	bs, clk := newTestBreakers(1)
+	const class = "queueing/d2"
+	bs.route(class)
+	bs.record(class, false, true) // trip; backoff 1s
+
+	clk.advance(2 * time.Second)
+	if _, probe, _ := bs.route(class); !probe {
+		t.Fatal("no probe offered after backoff")
+	}
+	bs.record(class, true, true) // probe fails; backoff doubles to 2s
+
+	// Less than the un-jittered doubled backoff (2s × 0.75 min jitter =
+	// 1.5s): must still be open with no probe.
+	clk.advance(time.Second)
+	forced, probe, state := bs.route(class)
+	if !forced || probe || state != BreakerOpen {
+		t.Fatalf("1s after failed probe: forced=%v probe=%v state=%s", forced, probe, state)
+	}
+	// Past the max jittered doubled backoff (2s × 1.25 = 2.5s).
+	clk.advance(2 * time.Second)
+	if _, probe, _ := bs.route(class); !probe {
+		t.Fatal("no probe after doubled backoff elapsed")
+	}
+}
+
+func TestBreakerClassesAreIndependent(t *testing.T) {
+	bs, _ := newTestBreakers(1)
+	bs.route("queueing/d2")
+	bs.record("queueing/d2", false, true)
+	if forced, _, _ := bs.route("queueing/d2"); !forced {
+		t.Fatal("failed class not tripped")
+	}
+	if forced, _, _ := bs.route("multiplicative/d2"); forced {
+		t.Fatal("healthy class tripped by sibling's failures")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	analytic := analyticDoc()
+	numeric := numericDoc()
+	queueing := analyticDoc()
+	queueing.Features = append(queueing.Features, queueingFeature())
+
+	cases := []struct {
+		name string
+		doc  func() string
+		want string
+	}{
+		{"analytic", func() string { return classify(analytic, false) }, "analytic/d2"},
+		{"numeric", func() string { return classify(numeric, false) }, "multiplicative/d2"},
+		{"chaos suffix", func() string { return classify(numeric, true) }, "multiplicative+chaos/d2"},
+		{"queueing", func() string { return classify(queueing, false) }, "queueing/d2"},
+	}
+	for _, c := range cases {
+		if got := c.doc(); got != c.want {
+			t.Fatalf("%s: classify = %q, want %q", c.name, got, c.want)
+		}
+	}
+
+	// Dimension buckets are powers of two: dims 3..4 share d4.
+	wide := analyticDoc()
+	wide.Params = append(wide.Params, extraParam("extra", []float64{1}))
+	wide.Features[0].Coeffs = [][]float64{{2, 3}, {1}}
+	if got := classify(wide, false); got != "analytic/d4" {
+		t.Fatalf("3-dim doc: classify = %q, want analytic/d4", got)
+	}
+}
+
+func TestEstimateCostOrdersWork(t *testing.T) {
+	an, num := estimateCost(analyticDoc()), estimateCost(numericDoc())
+	if an >= num {
+		t.Fatalf("analytic cost %d not cheaper than numeric cost %d", an, num)
+	}
+	wide := numericDoc()
+	wide.Params = append(wide.Params, extraParam("extra", []float64{1, 1, 1, 1}))
+	wide.Features[0].Coeffs = [][]float64{{2, 3}, {1, 1, 1, 1}}
+	wide.Features[1].Pows = [][]float64{{1, 1}, {1, 1, 1, 1}}
+	if w := estimateCost(wide); w <= num {
+		t.Fatalf("higher-dimensional numeric scenario cost %d not above %d", w, num)
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	ad := newAdmission(2, 1<<20)
+	if d := ad.retryAfter(); d != time.Second {
+		t.Fatalf("empty-queue retry-after = %v, want 1s floor", d)
+	}
+	ad.reserve(1 << 40) // absurd backlog
+	if d := ad.retryAfter(); d != time.Minute {
+		t.Fatalf("huge-backlog retry-after = %v, want 60s ceiling", d)
+	}
+}
+
+func TestAdmissionReserveSemantics(t *testing.T) {
+	ad := newAdmission(1, 100)
+	if !ad.reserve(1000) {
+		t.Fatal("idle queue rejected oversize request")
+	}
+	if ad.reserve(1) {
+		t.Fatal("overflowing queue admitted more work")
+	}
+	ad.release(1000)
+	if !ad.reserve(1) {
+		t.Fatal("released queue rejected small request")
+	}
+}

@@ -1,0 +1,704 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fepia/internal/chaos"
+	"fepia/internal/core"
+	"fepia/internal/scenario"
+)
+
+// maxBodyBytes bounds request bodies; a scenario that large is a client
+// bug, not a workload.
+const maxBodyBytes = 8 << 20
+
+// degradeSeed pins the Monte-Carlo fallback streams so degraded responses
+// are reproducible across requests, replicas, and restarts.
+const degradeSeed = 1
+
+// EvalRequest is the body of POST /v1/robustness.
+type EvalRequest struct {
+	Scenario scenario.AnalysisDoc `json:"scenario"`
+	// Weighting is "normalized" (default) or "sensitivity".
+	Weighting string `json:"weighting,omitempty"`
+	// Timeout is this request's wall-clock budget as a Go duration
+	// ("500ms", "10s"); empty uses the server default, and any value is
+	// clamped to the server maximum. The budget includes queue wait.
+	Timeout string `json:"timeout,omitempty"`
+	// Chaos decorates features with injected faults — accepted only when
+	// the daemon runs with chaos enabled (tests, smoke jobs).
+	Chaos []ChaosSpec `json:"chaos,omitempty"`
+}
+
+// RadiusRequest is the body of POST /v1/radius (single-kind radii, Eq. 1).
+type RadiusRequest struct {
+	Scenario scenario.AnalysisDoc `json:"scenario"`
+	// Param restricts the response to one perturbation parameter; nil
+	// computes every parameter's radius.
+	Param   *int        `json:"param,omitempty"`
+	Timeout string      `json:"timeout,omitempty"`
+	Chaos   []ChaosSpec `json:"chaos,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Items []BatchItemRequest `json:"items"`
+	// Weighting is the default for items that name none.
+	Weighting string `json:"weighting,omitempty"`
+	Timeout   string `json:"timeout,omitempty"`
+}
+
+// BatchItemRequest is one candidate of a batch.
+type BatchItemRequest struct {
+	Scenario  scenario.AnalysisDoc `json:"scenario"`
+	Weighting string               `json:"weighting,omitempty"`
+	Chaos     []ChaosSpec          `json:"chaos,omitempty"`
+}
+
+// ChaosSpec injects one fault into one feature (test-only; requires
+// Config.EnableChaos). Slow faults are cancellable: the injected latency is
+// bound to the request context, so cancellation frees the worker at once.
+type ChaosSpec struct {
+	Feature int `json:"feature"`
+	// Fault is one of none, panic, nan, +inf, -inf, slow, corrupt-dims.
+	Fault string `json:"fault"`
+	// DelayMs is the per-call latency of a slow fault.
+	DelayMs int `json:"delayMs,omitempty"`
+	// After passes the first After calls through unfaulted.
+	After int64 `json:"after,omitempty"`
+}
+
+// RadiusJSON serializes one robustness radius (JSON has no ±Inf: an
+// unreachable boundary is value null + unbounded true).
+type RadiusJSON struct {
+	Feature   int      `json:"feature"`
+	Name      string   `json:"name,omitempty"`
+	Param     int      `json:"param"`
+	Value     *float64 `json:"value"`
+	Unbounded bool     `json:"unbounded,omitempty"`
+	Side      string   `json:"side"`
+	Analytic  bool     `json:"analytic,omitempty"`
+	Degraded  bool     `json:"degraded,omitempty"`
+}
+
+// RobustnessJSON serializes the combined metric ρ with its breakdown.
+type RobustnessJSON struct {
+	Value      *float64     `json:"value"`
+	Unbounded  bool         `json:"unbounded,omitempty"`
+	Critical   int          `json:"critical"`
+	Weighting  string       `json:"weighting"`
+	Degraded   bool         `json:"degraded,omitempty"`
+	PerFeature []RadiusJSON `json:"perFeature"`
+}
+
+// EvalResponse is the success body of /v1/robustness.
+type EvalResponse struct {
+	Robustness RobustnessJSON `json:"robustness"`
+	// Class is the scenario's breaker class; Breaker the state the request
+	// was routed under ("open" means the numeric tier was skipped and the
+	// result is a forced Monte-Carlo estimate).
+	Class     string  `json:"class"`
+	Breaker   string  `json:"breaker"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// RadiusResponse is the success body of /v1/radius.
+type RadiusResponse struct {
+	Radii     []RadiusJSON `json:"radii"`
+	ElapsedMs float64      `json:"elapsedMs"`
+}
+
+// BatchItemResponse is one item's outcome in a BatchResponse: exactly one
+// of Robustness and Error is set.
+type BatchItemResponse struct {
+	Robustness *RobustnessJSON `json:"robustness,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Kind       string          `json:"kind,omitempty"`
+	Class      string          `json:"class"`
+	Breaker    string          `json:"breaker"`
+}
+
+// BatchResponse is the body of /v1/batch; Results is parallel to the
+// request's Items. The HTTP status is 200 whenever the batch itself ran —
+// per-item failures (including cancellation) are reported per item.
+type BatchResponse struct {
+	Results   []BatchItemResponse `json:"results"`
+	ElapsedMs float64             `json:"elapsedMs"`
+}
+
+// ErrorResponse is every non-200 body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind is the machine-readable class; docs/failure-semantics.md
+	// §server maps kinds to the engine's typed errors.
+	Kind         string `json:"kind,omitempty"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statz())
+}
+
+// badRequest rejects with 400 and counts it.
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.stats.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad-request"})
+}
+
+// requestTimeout resolves a request's deadline from its raw timeout field.
+func (s *Server) requestTimeout(raw string) (time.Duration, error) {
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid timeout %q: %w", raw, err)
+	}
+	if d <= 0 {
+		return s.cfg.DefaultTimeout, nil
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+func parseWeighting(raw string) (core.Weighting, error) {
+	switch raw {
+	case "", "normalized":
+		return core.Normalized{}, nil
+	case "sensitivity":
+		return core.Sensitivity{}, nil
+	default:
+		return nil, fmt.Errorf("unknown weighting %q (want normalized or sensitivity)", raw)
+	}
+}
+
+// checkChaos validates chaos decorations against the server policy and the
+// document shape.
+func (s *Server) checkChaos(specs []ChaosSpec, doc scenario.AnalysisDoc) (int, error) {
+	if len(specs) == 0 {
+		return 0, nil
+	}
+	if !s.cfg.EnableChaos {
+		return http.StatusForbidden, errors.New("chaos injection is disabled on this server")
+	}
+	for _, sp := range specs {
+		if sp.Feature < 0 || sp.Feature >= len(doc.Features) {
+			return http.StatusBadRequest, fmt.Errorf("chaos spec targets feature %d of %d", sp.Feature, len(doc.Features))
+		}
+		if _, err := chaosFault(sp.Fault); err != nil {
+			return http.StatusBadRequest, err
+		}
+	}
+	return 0, nil
+}
+
+func chaosFault(name string) (chaos.Fault, error) {
+	switch name {
+	case "", "none":
+		return chaos.None, nil
+	case "panic":
+		return chaos.PanicFault, nil
+	case "nan":
+		return chaos.NaNFault, nil
+	case "+inf", "inf":
+		return chaos.PosInfFault, nil
+	case "-inf":
+		return chaos.NegInfFault, nil
+	case "slow":
+		return chaos.SlowFault, nil
+	case "corrupt-dims":
+		return chaos.CorruptDimsFault, nil
+	default:
+		return chaos.None, fmt.Errorf("unknown chaos fault %q", name)
+	}
+}
+
+// applyChaos wraps the targeted features' impacts with fault injectors
+// bound to the request context. Faulted features lose their closed-form
+// declarations so the fault actually sits on the evaluated path (the
+// analytic tiers never call Impact).
+func applyChaos(a *core.Analysis, specs []ChaosSpec, ctx context.Context) error {
+	for _, sp := range specs {
+		fault, err := chaosFault(sp.Fault)
+		if err != nil {
+			return err
+		}
+		f := &a.Features[sp.Feature]
+		var base core.ImpactFunc
+		switch {
+		case f.Impact != nil:
+			base = f.Impact
+		case f.Linear != nil:
+			base = f.Linear.Eval
+		case f.Quad != nil:
+			base = f.Quad.Eval
+		default:
+			return fmt.Errorf("chaos spec targets feature %d with no impact", sp.Feature)
+		}
+		in := &chaos.Injector{
+			Fault: fault,
+			After: sp.After,
+			Delay: time.Duration(sp.DelayMs) * time.Millisecond,
+			Ctx:   ctx,
+		}
+		f.Impact = in.Wrap(base)
+		f.Linear, f.Quad = nil, nil
+	}
+	return nil
+}
+
+// admit runs the full admission sequence for one evaluation request: drain
+// gate, cost-bounded queue (429 + Retry-After on shed), deadline setup, and
+// the wait for an evaluation slot. On success it returns the request
+// context and a finish func to run after the terminal response; on failure
+// it has already written the response.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeout time.Duration) (context.Context, func(), bool) {
+	exit, ok := s.enter()
+	if !ok {
+		s.stats.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining", Kind: "draining"})
+		return nil, nil, false
+	}
+	if !s.adm.reserve(cost) {
+		exit()
+		s.stats.shed.Add(1)
+		ra := s.adm.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:        "admission queue full, request shed",
+			Kind:         "overloaded",
+			RetryAfterMs: ra.Milliseconds(),
+		})
+		return nil, nil, false
+	}
+	s.stats.accepted.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stopAfter := context.AfterFunc(s.base, cancel) // drain cancellation reaches in-flight work
+
+	if err := s.adm.acquire(ctx); err != nil {
+		stopAfter()
+		cancel()
+		s.adm.release(cost)
+		s.writeEvalError(w, fmt.Errorf("while queued for an evaluation slot: %w", err))
+		exit()
+		return nil, nil, false
+	}
+
+	start := time.Now()
+	finish := func() {
+		s.adm.releaseSlot()
+		s.adm.observe(cost, time.Since(start))
+		s.adm.release(cost)
+		stopAfter()
+		cancel()
+		exit()
+	}
+	return ctx, finish, true
+}
+
+// errKind maps an evaluation error to (HTTP status, machine kind).
+func errKind(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline-exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "cancelled"
+	case errors.Is(err, core.ErrImpactPanic):
+		return http.StatusInternalServerError, "impact-panic"
+	case errors.Is(err, core.ErrNumeric):
+		return http.StatusInternalServerError, "numeric"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeEvalError responds with the mapped status and counts the outcome.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	status, kind := errKind(err)
+	switch status {
+	case http.StatusGatewayTimeout:
+		s.stats.errDeadline.Add(1)
+	case http.StatusServiceUnavailable:
+		s.stats.errCancelled.Add(1)
+	default:
+		s.stats.errInternal.Add(1)
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+}
+
+// outcomeFailed classifies a terminal evaluation outcome for the breaker:
+// true means the numeric tier failed (error or silent degradation), false a
+// clean success; neutral (second return) means the outcome says nothing
+// about tier health (cancellation by client or drain).
+func outcomeFailed(res core.Robustness, err error, forced bool) (failed, neutral bool) {
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return false, true
+		}
+		return true, false
+	}
+	if forced {
+		// Forced-degraded results never touched the numeric tier.
+		return false, true
+	}
+	return res.Degraded, false
+}
+
+func floatPtr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func radiusJSON(a *core.Analysis, r core.Radius) RadiusJSON {
+	out := RadiusJSON{
+		Feature:   r.Feature,
+		Param:     r.Param,
+		Value:     floatPtr(r.Value),
+		Unbounded: math.IsInf(r.Value, 1),
+		Side:      r.Side.String(),
+		Analytic:  r.Analytic,
+		Degraded:  r.Degraded,
+	}
+	if r.Feature >= 0 && r.Feature < len(a.Features) {
+		out.Name = a.Features[r.Feature].Name
+	}
+	return out
+}
+
+func robustnessJSON(a *core.Analysis, res core.Robustness) RobustnessJSON {
+	out := RobustnessJSON{
+		Value:     floatPtr(res.Value),
+		Unbounded: math.IsInf(res.Value, 1),
+		Critical:  res.Critical,
+		Weighting: res.Weighting,
+		Degraded:  res.Degraded,
+	}
+	for _, r := range res.PerFeature {
+		out.PerFeature = append(out.PerFeature, radiusJSON(a, r))
+	}
+	return out
+}
+
+// evalOptions assembles the engine options for one request.
+func (s *Server) evalOptions(forced bool) core.EvalOptions {
+	return core.EvalOptions{
+		Workers:          s.cfg.Workers,
+		DegradeOnNumeric: true,
+		DegradeSamples:   s.cfg.DegradeSamples,
+		DegradeSeed:      degradeSeed,
+		ForceDegraded:    forced,
+	}
+}
+
+// buildAnalysis builds and decorates one scenario for evaluation.
+func (s *Server) buildAnalysis(doc scenario.AnalysisDoc, specs []ChaosSpec, ctx context.Context) (*core.Analysis, error) {
+	a, err := doc.Build()
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.CacheCap >= 0 {
+		a.EnableImpactCache(s.cfg.CacheCap)
+	}
+	if err := applyChaos(a, specs, ctx); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	weighting, err := parseWeighting(req.Weighting)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if status, err := s.checkChaos(req.Chaos, req.Scenario); err != nil {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos"})
+		return
+	}
+	cost := estimateCost(req.Scenario)
+
+	ctx, finish, ok := s.admit(w, r, cost, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	a, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	class := classify(req.Scenario, len(req.Chaos) > 0)
+	forced, probe, state := s.brk.route(class)
+
+	start := time.Now()
+	res, evalErr := a.RobustnessWith(ctx, weighting, s.evalOptions(forced))
+	elapsed := time.Since(start)
+	s.addCacheStats(a.CacheStats())
+
+	failed, neutral := outcomeFailed(res, evalErr, forced)
+	if !neutral || probe {
+		// A neutral probe outcome must still release the probe slot; it
+		// re-opens the breaker only on genuine failure.
+		if neutral && probe {
+			s.brk.record(class, true, false)
+		} else {
+			s.brk.record(class, probe, failed)
+		}
+	}
+
+	if evalErr != nil {
+		s.writeEvalError(w, evalErr)
+		return
+	}
+	if res.Degraded {
+		s.stats.completedDegr.Add(1)
+	} else {
+		s.stats.completedOK.Add(1)
+	}
+	writeJSON(w, http.StatusOK, EvalResponse{
+		Robustness: robustnessJSON(a, res),
+		Class:      class,
+		Breaker:    state,
+		ElapsedMs:  float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleRadius(w http.ResponseWriter, r *http.Request) {
+	var req RadiusRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if req.Param != nil && (*req.Param < 0 || *req.Param >= len(req.Scenario.Params)) {
+		s.badRequest(w, fmt.Errorf("param %d out of range (%d params)", *req.Param, len(req.Scenario.Params)))
+		return
+	}
+	if status, err := s.checkChaos(req.Chaos, req.Scenario); err != nil {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos"})
+		return
+	}
+	cost := estimateCost(req.Scenario)
+
+	ctx, finish, ok := s.admit(w, r, cost, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	a, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+
+	params := make([]int, 0, len(a.Params))
+	if req.Param != nil {
+		params = append(params, *req.Param)
+	} else {
+		for j := range a.Params {
+			params = append(params, j)
+		}
+	}
+	start := time.Now()
+	radii := make([]RadiusJSON, 0, len(params))
+	for _, j := range params {
+		rad, rerr := a.RobustnessSingleCtx(ctx, j)
+		if rerr != nil {
+			s.addCacheStats(a.CacheStats())
+			s.writeEvalError(w, fmt.Errorf("param %d: %w", j, rerr))
+			return
+		}
+		rj := radiusJSON(a, rad)
+		rj.Param = j
+		radii = append(radii, rj)
+	}
+	s.addCacheStats(a.CacheStats())
+	s.stats.completedOK.Add(1)
+	writeJSON(w, http.StatusOK, RadiusResponse{
+		Radii:     radii,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		s.badRequest(w, errors.New("batch has no items"))
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	var cost int64
+	weightings := make([]core.Weighting, len(req.Items))
+	for k, it := range req.Items {
+		if err := it.Scenario.Validate(); err != nil {
+			s.badRequest(w, fmt.Errorf("item %d: %w", k, err))
+			return
+		}
+		wname := it.Weighting
+		if wname == "" {
+			wname = req.Weighting
+		}
+		weightings[k], err = parseWeighting(wname)
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("item %d: %w", k, err))
+			return
+		}
+		if status, cerr := s.checkChaos(it.Chaos, it.Scenario); cerr != nil {
+			s.stats.badRequests.Add(1)
+			writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf("item %d: %v", k, cerr), Kind: "chaos"})
+			return
+		}
+		cost += estimateCost(it.Scenario)
+	}
+
+	ctx, finish, ok := s.admit(w, r, cost, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	n := len(req.Items)
+	analyses := make([]*core.Analysis, n)
+	classes := make([]string, n)
+	forcedFlags := make([]bool, n)
+	probeFlags := make([]bool, n)
+	states := make([]string, n)
+	for k, it := range req.Items {
+		a, berr := s.buildAnalysis(it.Scenario, it.Chaos, ctx)
+		if berr != nil {
+			s.badRequest(w, fmt.Errorf("item %d: %w", k, berr))
+			return
+		}
+		analyses[k] = a
+		classes[k] = classify(it.Scenario, len(it.Chaos) > 0)
+		forcedFlags[k], probeFlags[k], states[k] = s.brk.route(classes[k])
+	}
+
+	// Partition by breaker routing: open classes run the bounded
+	// Monte-Carlo path, everything else the full engine. Results merge
+	// back into request order.
+	var normalIdx, forcedIdx []int
+	for k, f := range forcedFlags {
+		if f {
+			forcedIdx = append(forcedIdx, k)
+		} else {
+			normalIdx = append(normalIdx, k)
+		}
+	}
+	results := make([]core.Robustness, n)
+	errs := make([]error, n)
+	start := time.Now()
+	runSubset := func(idx []int, forced bool) {
+		if len(idx) == 0 {
+			return
+		}
+		items := make([]core.BatchItem, len(idx))
+		for q, k := range idx {
+			items[q] = core.BatchItem{A: analyses[k], W: weightings[k]}
+		}
+		opt := s.evalOptions(forced)
+		opt.Workers = s.cfg.MaxConcurrent // the batch pool is the request's slot
+		sub, subErrs := core.RobustnessBatch(ctx, items, opt)
+		for q, k := range idx {
+			results[k], errs[k] = sub[q], subErrs[q]
+		}
+	}
+	runSubset(normalIdx, false)
+	runSubset(forcedIdx, true)
+	elapsed := time.Since(start)
+
+	out := BatchResponse{Results: make([]BatchItemResponse, n), ElapsedMs: float64(elapsed.Microseconds()) / 1000}
+	anyDegraded, allOK := false, true
+	for k := 0; k < n; k++ {
+		s.addCacheStats(analyses[k].CacheStats())
+		failed, neutral := outcomeFailed(results[k], errs[k], forcedFlags[k])
+		if !neutral || probeFlags[k] {
+			if neutral && probeFlags[k] {
+				s.brk.record(classes[k], true, false)
+			} else {
+				s.brk.record(classes[k], probeFlags[k], failed)
+			}
+		}
+		item := BatchItemResponse{Class: classes[k], Breaker: states[k]}
+		if errs[k] != nil {
+			allOK = false
+			_, kind := errKind(errs[k])
+			item.Error, item.Kind = errs[k].Error(), kind
+		} else {
+			rj := robustnessJSON(analyses[k], results[k])
+			item.Robustness = &rj
+			anyDegraded = anyDegraded || results[k].Degraded
+		}
+		out.Results[k] = item
+	}
+	if allOK && !anyDegraded {
+		s.stats.completedOK.Add(1)
+	} else {
+		s.stats.completedDegr.Add(1)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

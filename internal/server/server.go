@@ -1,0 +1,326 @@
+// Package server implements fepiad, the resilient robustness-evaluation
+// daemon: an HTTP JSON service exposing the engine's single-kind, combined,
+// and batch evaluations on top of the hardened Ctx/batch/cache tiers, built
+// to stay correct and responsive when its inputs and environment misbehave.
+//
+// The resilience mechanisms, in request order:
+//
+//   - Admission control (admission.go): every request is costed from its
+//     scenario size; a cost-bounded queue sheds excess load with 429 and a
+//     backlog-derived Retry-After instead of queuing without bound.
+//   - Deadlines: every request runs under a context deadline — its own
+//     requested timeout clamped to a server maximum, or the server default —
+//     threaded into the evaluation engine, which cancels within one
+//     impact-function evaluation.
+//   - Circuit breaking (breaker.go): consecutive numeric-tier failures for
+//     a scenario class trip that class to the Monte-Carlo degraded tier
+//     (EvalOptions.ForceDegraded) and recover through jittered-backoff
+//     half-open probes.
+//   - Graceful drain: BeginDrain flips /readyz to 503 and rejects new work;
+//     Drain then waits for in-flight requests, cancelling them at the
+//     deadline so every accepted request still gets a terminal response.
+//
+// /healthz, /readyz, and /statz expose liveness, readiness, and a counters
+// snapshot (queue depth, shed count, breaker states, cache hit rate).
+// docs/operations.md is the operator manual; docs/failure-semantics.md
+// §server maps HTTP statuses to the engine's typed errors.
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fepia/internal/core"
+)
+
+// Config tunes the daemon. The zero value serves with the defaults noted on
+// each field.
+type Config struct {
+	// DefaultTimeout applies when a request names no timeout (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps any requested timeout (default 2m).
+	MaxTimeout time.Duration
+	// MaxConcurrent is the number of evaluation slots (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueueCost bounds the admission queue in cost units — estimated
+	// impact evaluations of queued-plus-running work (default 1<<20).
+	MaxQueueCost int64
+	// Workers is the per-evaluation worker-pool size handed to the engine
+	// (default 1: concurrency comes from serving many requests).
+	Workers int
+	// DegradeSamples is the Monte-Carlo fallback's sampling budget per
+	// bisection round (default 256; tests shrink it).
+	DegradeSamples int
+	// CacheCap enables the per-analysis impact cache: >0 sets the entry
+	// capacity, 0 uses the engine default, <0 disables caching.
+	CacheCap int
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// class's breaker (default 5).
+	BreakerThreshold int
+	// BreakerBackoff / BreakerMaxBackoff shape the open interval: it
+	// starts at BreakerBackoff (default 1s) and doubles per failed probe
+	// up to BreakerMaxBackoff (default 2m), ±25% jitter.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// BreakerSeed seeds the jitter stream (0 = time-seeded).
+	BreakerSeed int64
+	// DrainGrace is how long Drain keeps waiting after cancelling
+	// in-flight work at its deadline (default 5s).
+	DrainGrace time.Duration
+	// EnableChaos accepts test-only fault-injection decorations on
+	// requests (see docs/operations.md §chaos). Never enable in
+	// production: it lets callers inject panics and latency.
+	EnableChaos bool
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueueCost <= 0 {
+		c.MaxQueueCost = 1 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the daemon's request-independent state. Create with New, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg Config
+	adm *admission
+	brk *breakerSet
+
+	// base is cancelled at the drain deadline to abort in-flight work; all
+	// request contexts are tied to it.
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	// In-flight accounting for drain. draining also gates admission.
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	idle     chan struct{}
+	idleOnce sync.Once
+
+	start time.Time
+	stats serverStats
+}
+
+// serverStats are the daemon's monotonic counters, all atomics: they are
+// bumped from request goroutines and read by /statz without locks.
+type serverStats struct {
+	accepted         atomic.Uint64 // requests admitted past the queue bound
+	shed             atomic.Uint64 // 429s from admission control
+	rejectedDraining atomic.Uint64 // 503s because drain had begun
+	badRequests      atomic.Uint64 // 400s (malformed/invalid scenarios)
+	completedOK      atomic.Uint64 // 200s with certified (non-degraded) results
+	completedDegr    atomic.Uint64 // 200s with at least one degraded radius
+	errDeadline      atomic.Uint64 // 504s
+	errCancelled     atomic.Uint64 // 503s (drain/client cancellation mid-flight)
+	errInternal      atomic.Uint64 // 500s (panic/numeric/unexpected)
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	bcfg := breakerConfig{
+		threshold:  cfg.BreakerThreshold,
+		backoff:    cfg.BreakerBackoff,
+		maxBackoff: cfg.BreakerMaxBackoff,
+	}
+	if cfg.BreakerSeed != 0 {
+		bcfg.rng = rand.New(rand.NewSource(cfg.BreakerSeed))
+	}
+	return &Server{
+		cfg:        cfg,
+		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueueCost),
+		brk:        newBreakerSet(bcfg),
+		base:       base,
+		baseCancel: cancel,
+		idle:       make(chan struct{}),
+		start:      time.Now(),
+	}
+}
+
+// Handler mounts the daemon's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("POST /v1/robustness", s.handleRobustness)
+	mux.HandleFunc("POST /v1/radius", s.handleRadius)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+// enter registers an accepted request for drain accounting; it fails once
+// draining has begun. The returned func must run exactly once, after the
+// request's terminal response.
+func (s *Server) enter() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight++
+	return func() {
+		s.mu.Lock()
+		s.inflight--
+		signal := s.draining && s.inflight == 0
+		s.mu.Unlock()
+		if signal {
+			s.signalIdle()
+		}
+	}, true
+}
+
+func (s *Server) signalIdle() { s.idleOnce.Do(func() { close(s.idle) }) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// BeginDrain stops admission: /readyz turns 503 and every new evaluation
+// request is rejected with 503. In-flight requests continue.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	idle := s.inflight == 0
+	s.mu.Unlock()
+	if !already {
+		s.cfg.Logf("server: drain started")
+	}
+	if idle {
+		s.signalIdle()
+	}
+}
+
+// Drain performs the graceful shutdown sequence: stop accepting, wait for
+// in-flight requests to reach their terminal responses, and — if ctx
+// expires first — cancel them (they abort within one impact evaluation and
+// still respond, with 503) and keep waiting up to DrainGrace. A nil error
+// means every accepted request got its terminal response.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	select {
+	case <-s.idle:
+		s.cfg.Logf("server: drain complete (all in-flight requests finished)")
+		return nil
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("server: drain deadline reached, cancelling in-flight work")
+	s.baseCancel()
+	select {
+	case <-s.idle:
+		s.cfg.Logf("server: drain complete (in-flight work cancelled)")
+		return nil
+	case <-time.After(s.cfg.DrainGrace):
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("server: %d request(s) still in flight %v after drain cancellation", n, s.cfg.DrainGrace)
+	}
+}
+
+// addCacheStats folds one analysis's impact-cache counters into the
+// daemon-wide aggregate (/statz cache hit rate).
+func (s *Server) addCacheStats(st core.CacheStats) {
+	s.stats.cacheHits.Add(st.Hits)
+	s.stats.cacheMisses.Add(st.Misses)
+}
+
+// Statz is the /statz document.
+type Statz struct {
+	UptimeMs int64 `json:"uptimeMs"`
+	Draining bool  `json:"draining"`
+
+	Inflight     int   `json:"inflight"`     // accepted, not yet responded
+	Running      int   `json:"running"`      // holding an evaluation slot
+	QueuedCost   int64 `json:"queuedCost"`   // reserved cost units
+	MaxQueueCost int64 `json:"maxQueueCost"` //
+	Slots        int   `json:"slots"`        // evaluation slot count
+
+	Accepted         uint64 `json:"accepted"`
+	Shed             uint64 `json:"shed"`
+	RejectedDraining uint64 `json:"rejectedDraining"`
+	BadRequests      uint64 `json:"badRequests"`
+	CompletedOK      uint64 `json:"completedOk"`
+	CompletedDegr    uint64 `json:"completedDegraded"`
+	ErrDeadline      uint64 `json:"deadlineExceeded"`
+	ErrCancelled     uint64 `json:"cancelled"`
+	ErrInternal      uint64 `json:"internalErrors"`
+
+	BreakerTrips uint64            `json:"breakerTrips"`
+	Breakers     []BreakerSnapshot `json:"breakers"`
+
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+}
+
+// statz assembles the snapshot.
+func (s *Server) statz() Statz {
+	_, running, cost := s.adm.depths()
+	breakers, trips := s.brk.snapshot()
+	s.mu.Lock()
+	inflight, draining := s.inflight, s.draining
+	s.mu.Unlock()
+	st := Statz{
+		UptimeMs:         time.Since(s.start).Milliseconds(),
+		Draining:         draining,
+		Inflight:         inflight,
+		Running:          running,
+		QueuedCost:       cost,
+		MaxQueueCost:     s.cfg.MaxQueueCost,
+		Slots:            cap(s.adm.slots),
+		Accepted:         s.stats.accepted.Load(),
+		Shed:             s.stats.shed.Load(),
+		RejectedDraining: s.stats.rejectedDraining.Load(),
+		BadRequests:      s.stats.badRequests.Load(),
+		CompletedOK:      s.stats.completedOK.Load(),
+		CompletedDegr:    s.stats.completedDegr.Load(),
+		ErrDeadline:      s.stats.errDeadline.Load(),
+		ErrCancelled:     s.stats.errCancelled.Load(),
+		ErrInternal:      s.stats.errInternal.Load(),
+		BreakerTrips:     trips,
+		Breakers:         breakers,
+		CacheHits:        s.stats.cacheHits.Load(),
+		CacheMisses:      s.stats.cacheMisses.Load(),
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"fepia/internal/core"
+	"fepia/internal/scenario"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// analyticDoc is the cheapest valid scenario: one linear feature over a
+// two-dimensional perturbation.
+func analyticDoc() scenario.AnalysisDoc {
+	return scenario.AnalysisDoc{
+		Params: []scenario.AnalysisParam{
+			{Name: "load", Unit: "jobs", Orig: []float64{1, 2}},
+		},
+		Features: []scenario.AnalysisFeature{
+			{Name: "lat", Max: f64(40), Coeffs: [][]float64{{2, 3}}},
+		},
+	}
+}
+
+// numericDoc adds a multiplicative feature, forcing the numeric level-set
+// tier (and giving the request a numeric breaker class).
+func numericDoc() scenario.AnalysisDoc {
+	doc := analyticDoc()
+	doc.Features = append(doc.Features, scenario.AnalysisFeature{
+		Name: "mult", Impact: scenario.ImpactMultiplicative,
+		Max: f64(100), Scale: 1, Pows: [][]float64{{1, 1}},
+	})
+	return doc
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getStatz(t *testing.T, ts *httptest.Server) Statz {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestHealthReadyStatz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz", "/statz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	s.BeginDrain()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestRobustnessMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: numericDoc()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var got EvalResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := numericDoc().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.RobustnessWith(context.Background(), core.Normalized{},
+		core.EvalOptions{Workers: 1, DegradeOnNumeric: true, DegradeSeed: degradeSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Robustness.Value == nil {
+		t.Fatalf("server returned unbounded rho: %s", body)
+	}
+	if *got.Robustness.Value != want.Value {
+		t.Fatalf("server rho = %v, library rho = %v", *got.Robustness.Value, want.Value)
+	}
+	if got.Robustness.Degraded || want.Degraded {
+		t.Fatalf("unexpected degradation: server %v library %v", got.Robustness.Degraded, want.Degraded)
+	}
+	if got.Class != "multiplicative/d2" {
+		t.Fatalf("class = %q", got.Class)
+	}
+	if got.Breaker != BreakerClosed {
+		t.Fatalf("breaker = %q", got.Breaker)
+	}
+	if len(got.Robustness.PerFeature) != 2 {
+		t.Fatalf("perFeature count = %d", len(got.Robustness.PerFeature))
+	}
+}
+
+func TestRadiusMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/radius", RadiusRequest{Scenario: analyticDoc()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var got RadiusResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Radii) != 1 {
+		t.Fatalf("radii count = %d", len(got.Radii))
+	}
+
+	a, err := analyticDoc().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.RobustnessSingleCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Radii[0].Value == nil || *got.Radii[0].Value != want.Value {
+		t.Fatalf("radius = %v, want %v", got.Radii[0].Value, want.Value)
+	}
+	if !got.Radii[0].Analytic {
+		t.Fatal("linear radius not flagged analytic")
+	}
+
+	// Out-of-range param selection is a 400, not a panic.
+	bad := 7
+	resp, body = postJSON(t, ts.URL+"/v1/radius", RadiusRequest{Scenario: analyticDoc(), Param: &bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range param: status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestBatchPreservesOrderAndWeighting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := BatchRequest{Items: []BatchItemRequest{
+		{Scenario: analyticDoc()},
+		{Scenario: numericDoc(), Weighting: "sensitivity"},
+		{Scenario: analyticDoc()},
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 3 {
+		t.Fatalf("results count = %d", len(got.Results))
+	}
+	for k, item := range got.Results {
+		if item.Error != "" || item.Robustness == nil {
+			t.Fatalf("item %d failed: %s / %s", k, item.Error, item.Kind)
+		}
+	}
+	if v0, v2 := got.Results[0].Robustness.Value, got.Results[2].Robustness.Value; *v0 != *v2 {
+		t.Fatalf("identical items disagree: %v vs %v", *v0, *v2)
+	}
+	if got.Results[1].Robustness.Weighting != "sensitivity" {
+		t.Fatalf("item 1 weighting = %q", got.Results[1].Robustness.Weighting)
+	}
+	if got.Results[0].Class != "analytic/d2" || got.Results[1].Class != "multiplicative/d2" {
+		t.Fatalf("classes = %q, %q", got.Results[0].Class, got.Results[1].Class)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // chaos disabled
+	noFeatures := analyticDoc()
+	noFeatures.Features = nil
+	cases := []struct {
+		name string
+		body any
+		raw  string
+		want int
+	}{
+		{"malformed json", nil, "{not json", http.StatusBadRequest},
+		{"invalid scenario", EvalRequest{Scenario: noFeatures}, "", http.StatusBadRequest},
+		{"unknown weighting", EvalRequest{Scenario: analyticDoc(), Weighting: "harmonic"}, "", http.StatusBadRequest},
+		{"bad timeout", EvalRequest{Scenario: analyticDoc(), Timeout: "soon"}, "", http.StatusBadRequest},
+		{"chaos disabled", EvalRequest{Scenario: analyticDoc(),
+			Chaos: []ChaosSpec{{Feature: 0, Fault: "nan"}}}, "", http.StatusForbidden},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if c.raw != "" {
+				r, err := http.Post(ts.URL+"/v1/robustness", "application/json", bytes.NewBufferString(c.raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ = io.ReadAll(r.Body)
+				r.Body.Close()
+				resp = r
+			} else {
+				resp, body = postJSON(t, ts.URL+"/v1/robustness", c.body)
+			}
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, c.want, body)
+			}
+		})
+	}
+	if st := getStatz(t, ts); st.BadRequests == 0 {
+		t.Fatal("bad requests not counted")
+	}
+}
+
+func TestUnknownChaosFaultRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableChaos: true})
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{
+		Scenario: analyticDoc(),
+		Chaos:    []ChaosSpec{{Feature: 0, Fault: "gamma-ray"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestSheddingReturns429WithRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxQueueCost: 8})
+	// Simulate a resident request holding most of the queue budget; the
+	// next reservation (cost ≥ 4) must then overflow the bound.
+	if !s.adm.reserve(6) {
+		t.Fatal("priming reservation rejected")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: analyticDoc()})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "overloaded" {
+		t.Fatalf("shed body = %s", body)
+	}
+	if st := getStatz(t, ts); st.Shed != 1 {
+		t.Fatalf("shed count = %d", st.Shed)
+	}
+
+	// Releasing the resident work reopens admission.
+	s.adm.release(6)
+	resp, body = postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: analyticDoc()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestOversizeScenarioAdmittedWhenIdle(t *testing.T) {
+	// A single scenario larger than the whole queue budget must still be
+	// servable when nothing else is queued.
+	_, ts := newTestServer(t, Config{MaxQueueCost: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: numericDoc()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestDeadlineExceededMapsTo504(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableChaos: true})
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{
+		Scenario: numericDoc(),
+		Timeout:  "150ms",
+		Chaos:    []ChaosSpec{{Feature: 1, Fault: "slow", DelayMs: 40}},
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "deadline-exceeded" {
+		t.Fatalf("body = %s", body)
+	}
+	if st := getStatz(t, ts); st.ErrDeadline != 1 {
+		t.Fatalf("deadline counter = %d", st.ErrDeadline)
+	}
+}
+
+func TestTimeoutClampedToMax(t *testing.T) {
+	// A huge requested timeout is clamped to MaxTimeout, so the slow
+	// request still terminates promptly with 504.
+	_, ts := newTestServer(t, Config{EnableChaos: true, MaxTimeout: 150 * time.Millisecond})
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{
+		Scenario: numericDoc(),
+		Timeout:  "10m",
+		Chaos:    []ChaosSpec{{Feature: 1, Fault: "slow", DelayMs: 40}},
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("clamped request took %v", elapsed)
+	}
+}
+
+func TestChaosPanicContainedAs500(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableChaos: true})
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{
+		Scenario: numericDoc(),
+		Chaos:    []ChaosSpec{{Feature: 1, Fault: "panic"}},
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "impact-panic" {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+func TestChaosNaNDegradesTo200(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableChaos: true, DegradeSamples: 64})
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{
+		Scenario: numericDoc(),
+		Chaos:    []ChaosSpec{{Feature: 1, Fault: "nan", After: 4}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var got EvalResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Robustness.Degraded {
+		t.Fatalf("NaN-faulted numeric feature did not degrade: %s", body)
+	}
+	if st := getStatz(t, ts); st.CompletedDegr != 1 {
+		t.Fatalf("degraded counter = %d", st.CompletedDegr)
+	}
+}
+
+// TestBreakerTripsToDegradedAndRecovers is the end-to-end chaos exercise of
+// the tentpole loop: injected panics fail a scenario class until its breaker
+// trips, tripped traffic is served degraded (200, Monte-Carlo lower bounds)
+// instead of erroring, and healthy probes close the breaker again.
+func TestBreakerTripsToDegradedAndRecovers(t *testing.T) {
+	threshold := 3
+	_, ts := newTestServer(t, Config{
+		EnableChaos:       true,
+		BreakerThreshold:  threshold,
+		BreakerBackoff:    300 * time.Millisecond,
+		BreakerMaxBackoff: 600 * time.Millisecond,
+		BreakerSeed:       7,
+		DegradeSamples:    32,
+	})
+	faulty := EvalRequest{
+		Scenario: numericDoc(),
+		Chaos:    []ChaosSpec{{Feature: 1, Fault: "panic"}},
+	}
+
+	// Phase 1: consecutive panics are 500s until the class trips.
+	for i := 0; i < threshold; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/robustness", faulty)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("pre-trip request %d: status = %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Phase 2: the breaker is open — the same faulty request now succeeds
+	// degraded, because the forced Monte-Carlo path contains the panic.
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", faulty)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-trip status = %d, body %s", resp.StatusCode, body)
+	}
+	var got EvalResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Robustness.Degraded {
+		t.Fatalf("post-trip result not degraded: %s", body)
+	}
+	if got.Breaker != BreakerOpen {
+		t.Fatalf("post-trip breaker = %q, want open", got.Breaker)
+	}
+	if st := getStatz(t, ts); st.BreakerTrips < 1 {
+		t.Fatalf("breakerTrips = %d", st.BreakerTrips)
+	}
+
+	// Phase 3: once the fault clears, a half-open probe through the numeric
+	// tier closes the breaker and certified results resume.
+	healthy := EvalRequest{
+		Scenario: numericDoc(),
+		Chaos:    []ChaosSpec{{Feature: 1, Fault: "none"}}, // same class, no fault
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered")
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/robustness", healthy)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recovery request: status = %d, body %s", resp.StatusCode, body)
+		}
+		// Decode into a fresh struct: omitted omitempty fields must not
+		// inherit phase 2's values.
+		var cur EvalResponse
+		if err := json.Unmarshal(body, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.Breaker == BreakerClosed && !cur.Robustness.Degraded {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCacheStatsSurfaceInStatz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: numericDoc()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+	}
+	st := getStatz(t, ts)
+	if st.CacheHits+st.CacheMisses == 0 {
+		t.Fatal("impact cache saw no traffic")
+	}
+	if st.CacheHitRate < 0 || st.CacheHitRate > 1 {
+		t.Fatalf("cache hit rate = %v", st.CacheHitRate)
+	}
+	if st.Accepted != 3 || st.CompletedOK != 3 {
+		t.Fatalf("accepted/completed = %d/%d", st.Accepted, st.CompletedOK)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: analyticDoc()})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "draining" {
+		t.Fatalf("body = %s", body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+}
+
+func TestStatzClassSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if _, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: numericDoc()}); len(body) == 0 {
+		t.Fatal("empty response")
+	}
+	st := getStatz(t, ts)
+	if len(st.Breakers) != 1 || st.Breakers[0].Class != "multiplicative/d2" {
+		t.Fatalf("breakers = %+v", st.Breakers)
+	}
+	if st.Breakers[0].State != BreakerClosed {
+		t.Fatalf("state = %q", st.Breakers[0].State)
+	}
+}
+
+// failingImpactExample documents the typed-error contract end to end: the
+// table in docs/failure-semantics.md §server is backed by these assertions.
+func TestErrorKindMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+	}{
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline-exceeded"},
+		{context.Canceled, http.StatusServiceUnavailable, "cancelled"},
+		{fmt.Errorf("wrap: %w", core.ErrImpactPanic), http.StatusInternalServerError, "impact-panic"},
+		{fmt.Errorf("wrap: %w", core.ErrNumeric), http.StatusInternalServerError, "numeric"},
+		{fmt.Errorf("novel"), http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		status, kind := errKind(c.err)
+		if status != c.status || kind != c.kind {
+			t.Fatalf("errKind(%v) = (%d, %q), want (%d, %q)", c.err, status, kind, c.status, c.kind)
+		}
+	}
+}
