@@ -101,6 +101,10 @@ func BenchmarkHeterogeneitySweep(b *testing.B) { benchExperiment(b, "E14") }
 // forms and runs the capacity-planning sweep (E15).
 func BenchmarkQueueingTier(b *testing.B) { benchExperiment(b, "E15") }
 
+// BenchmarkClusterScatterGather pushes the same request stream through a
+// bare daemon and through 1- and 3-worker cluster coordinators (E16).
+func BenchmarkClusterScatterGather(b *testing.B) { benchExperiment(b, "E16") }
+
 // --- micro-benchmarks of the core engine -----------------------------------
 
 // BenchmarkRadiusAnalytic measures the exact hyperplane tier at growing

@@ -1,0 +1,145 @@
+// Command fepiactl is a small operator CLI for fepiad daemons (workers and
+// coordinators alike — they speak the same API).
+//
+// Usage:
+//
+//	fepiactl [-addr http://localhost:8080] [-timeout 2m] [-request-id ID] <command> [args]
+//
+// Commands:
+//
+//	health               GET /healthz
+//	ready                GET /readyz (exit 1 when not ready)
+//	statz                GET /statz
+//	robustness [-f FILE] POST /v1/robustness with the request JSON from FILE ("-" = stdin)
+//	radius     [-f FILE] POST /v1/radius
+//	batch      [-f FILE] POST /v1/batch
+//
+// The response body is pretty-printed to stdout. Exit status is 0 for a 2xx
+// response, 1 otherwise (the error body still prints, so the typed error kind
+// and request ID are visible).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fepia/internal/server"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] health|ready|statz|robustness|radius|batch [-f FILE]\n")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "daemon base URL")
+	timeout := flag.Duration("timeout", 2*time.Minute, "HTTP client timeout")
+	requestID := flag.String("request-id", "", "X-Request-ID to stamp on the call (one is generated server-side if empty)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	var resp *http.Response
+	var err error
+	cmd := flag.Arg(0)
+	switch cmd {
+	case "health", "ready", "statz":
+		paths := map[string]string{"health": "/healthz", "ready": "/readyz", "statz": "/statz"}
+		resp, err = get(client, base+paths[cmd], *requestID)
+	case "robustness", "radius", "batch":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		file := fs.String("f", "-", "request JSON file (\"-\" = stdin)")
+		fs.Parse(flag.Args()[1:])
+		body, rerr := readRequest(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		resp, err = post(client, base+"/v1/"+cmd, body, *requestID)
+	default:
+		fmt.Fprintf(os.Stderr, "fepiactl: unknown command %q\n", cmd)
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	printJSON(data)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "fepiactl: %s %s\n", resp.Status, resp.Header.Get(server.HeaderRequestID))
+		os.Exit(1)
+	}
+}
+
+func readRequest(file string) ([]byte, error) {
+	var data []byte
+	var err error
+	if file == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Fail on malformed JSON locally rather than shipping it to the daemon.
+	if !json.Valid(data) {
+		return nil, fmt.Errorf("%s: not valid JSON", file)
+	}
+	return data, nil
+}
+
+func get(client *http.Client, url, rid string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rid != "" {
+		req.Header.Set(server.HeaderRequestID, rid)
+	}
+	return client.Do(req)
+}
+
+func post(client *http.Client, url string, body []byte, rid string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set(server.HeaderRequestID, rid)
+	}
+	return client.Do(req)
+}
+
+func printJSON(data []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(data), "", "  "); err != nil {
+		os.Stdout.Write(data) // not JSON (e.g. a plain "ok"); pass through
+		fmt.Println()
+		return
+	}
+	fmt.Println(buf.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fepiactl: %v\n", err)
+	os.Exit(1)
+}

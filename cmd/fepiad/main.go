@@ -3,18 +3,34 @@
 // evaluations with admission control, per-request deadlines, circuit-breaking
 // degradation, and graceful drain on SIGTERM/SIGINT.
 //
-// Usage:
+// It runs in one of two modes:
+//
+//   - -mode=worker (default): evaluate scenarios locally. -workers is the
+//     per-evaluation worker pool size handed to the engine (an integer).
+//   - -mode=coordinator: scatter evaluations over a fleet of worker daemons
+//     and merge the shards into bit-identical single-node responses.
+//     -workers is the comma-separated list of worker base URLs.
+//
+// Usage (worker):
 //
 //	fepiad [-addr :8080] [-default-timeout 30s] [-max-timeout 2m]
 //	       [-max-concurrent N] [-queue-cost 1048576] [-workers 1]
-//	       [-cache 0] [-breaker-threshold 5] [-breaker-backoff 1s]
-//	       [-breaker-max-backoff 2m] [-drain-timeout 20s] [-chaos]
+//	       [-cache 0] [-scenario-cache 0] [-breaker-threshold 5]
+//	       [-breaker-backoff 1s] [-breaker-max-backoff 2m]
+//	       [-drain-timeout 20s] [-chaos]
 //
-// Endpoints: GET /healthz, /readyz, /statz; POST /v1/robustness, /v1/radius,
-// /v1/batch. docs/operations.md documents the request/response schemas, the
-// shedding and breaker semantics, and the shutdown sequence;
-// docs/failure-semantics.md §server maps HTTP statuses to the engine's typed
-// errors.
+// Usage (coordinator):
+//
+//	fepiad -mode=coordinator -workers http://h1:8080,http://h2:8080 \
+//	       [-addr :8080] [-health-interval 2s] [-probe-timeout 1s]
+//	       [-max-inflight 32] [-scatter-budget 250ms] [-hedge-after 0]
+//	       [-max-attempts 3] [-breaker-threshold 5] [-drain-timeout 20s]
+//
+// Endpoints (both modes): GET /healthz, /readyz, /statz; POST /v1/robustness,
+// /v1/radius, /v1/batch. docs/operations.md documents the request/response
+// schemas, the shedding and breaker semantics, the shutdown sequence, and how
+// to run a fleet; docs/failure-semantics.md §server maps HTTP statuses to the
+// engine's typed errors.
 //
 // On SIGTERM (or SIGINT) the daemon stops accepting work, lets in-flight
 // requests finish — cancelling them at -drain-timeout so every accepted
@@ -30,46 +46,102 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"fepia/internal/cluster"
 	"fepia/internal/server"
 )
 
 func main() {
+	mode := flag.String("mode", "worker", "worker (evaluate locally) or coordinator (scatter over a worker fleet)")
 	addr := flag.String("addr", ":8080", "listen address")
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests that name no timeout")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "hard cap on any requested timeout")
-	maxConcurrent := flag.Int("max-concurrent", 0, "evaluation slots (0 = GOMAXPROCS)")
-	queueCost := flag.Int64("queue-cost", 1<<20, "admission queue bound in cost units (estimated impact evaluations)")
-	workers := flag.Int("workers", 1, "per-evaluation worker pool handed to the engine")
-	cacheCap := flag.Int("cache", 0, "impact cache entries per analysis (>0 capacity, 0 engine default, <0 disabled)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "worker: evaluation slots (0 = GOMAXPROCS)")
+	queueCost := flag.Int64("queue-cost", 1<<20, "worker: admission queue bound in cost units (estimated impact evaluations)")
+	workers := flag.String("workers", "1", "worker: per-evaluation pool size; coordinator: comma-separated worker base URLs")
+	cacheCap := flag.Int("cache", 0, "worker: impact cache entries per analysis (>0 capacity, 0 engine default, <0 disabled)")
+	scenarioCache := flag.Int("scenario-cache", 0, "worker: built-scenario LRU capacity (0 = disabled)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive numeric-tier failures that trip a scenario class")
 	breakerBackoff := flag.Duration("breaker-backoff", time.Second, "initial open interval of a tripped breaker")
 	breakerMaxBackoff := flag.Duration("breaker-max-backoff", 2*time.Minute, "cap on the doubled breaker backoff")
 	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "how long drain waits before cancelling in-flight work")
 	enableChaos := flag.Bool("chaos", false, "accept test-only fault-injection decorations on requests (never in production)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "coordinator: /readyz probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "coordinator: deadline for one health probe")
+	maxInflight := flag.Int("max-inflight", 32, "coordinator: concurrent requests per worker")
+	scatterBudget := flag.Duration("scatter-budget", 250*time.Millisecond, "coordinator: deadline slack reserved for scatter/gather overhead")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: re-issue a shard after this long (0 = adaptive, 3x worker latency)")
+	maxAttempts := flag.Int("max-attempts", 3, "coordinator: workers one shard may be sent to, counting the hedge")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "fepiad: ", log.LstdFlags)
 
-	s := server.New(server.Config{
-		DefaultTimeout:    *defaultTimeout,
-		MaxTimeout:        *maxTimeout,
-		MaxConcurrent:     *maxConcurrent,
-		MaxQueueCost:      *queueCost,
-		Workers:           *workers,
-		CacheCap:          *cacheCap,
-		BreakerThreshold:  *breakerThreshold,
-		BreakerBackoff:    *breakerBackoff,
-		BreakerMaxBackoff: *breakerMaxBackoff,
-		EnableChaos:       *enableChaos,
-		Logf:              logger.Printf,
-	})
+	// drainer is the piece of either mode that participates in graceful
+	// shutdown; the HTTP plumbing around it is identical.
+	var handler http.Handler
+	var drain func(context.Context) error
+
+	switch *mode {
+	case "worker":
+		pool, err := strconv.Atoi(strings.TrimSpace(*workers))
+		if err != nil || pool < 0 {
+			logger.Fatalf("-workers must be a non-negative integer in worker mode, got %q", *workers)
+		}
+		s := server.New(server.Config{
+			DefaultTimeout:    *defaultTimeout,
+			MaxTimeout:        *maxTimeout,
+			MaxConcurrent:     *maxConcurrent,
+			MaxQueueCost:      *queueCost,
+			Workers:           pool,
+			CacheCap:          *cacheCap,
+			ScenarioCacheCap:  *scenarioCache,
+			BreakerThreshold:  *breakerThreshold,
+			BreakerBackoff:    *breakerBackoff,
+			BreakerMaxBackoff: *breakerMaxBackoff,
+			EnableChaos:       *enableChaos,
+			Logf:              logger.Printf,
+		})
+		handler, drain = s.Handler(), s.Drain
+
+	case "coordinator":
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		c, err := cluster.New(cluster.Config{
+			Workers:              urls,
+			HealthInterval:       *healthInterval,
+			ProbeTimeout:         *probeTimeout,
+			MaxInflightPerWorker: *maxInflight,
+			ScatterBudget:        *scatterBudget,
+			DefaultTimeout:       *defaultTimeout,
+			MaxTimeout:           *maxTimeout,
+			HedgeAfter:           *hedgeAfter,
+			MaxAttempts:          *maxAttempts,
+			BreakerThreshold:     *breakerThreshold,
+			BreakerBackoff:       *breakerBackoff,
+			BreakerMaxBackoff:    *breakerMaxBackoff,
+			EnableChaos:          *enableChaos,
+			Logf:                 logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("%v (coordinator mode needs -workers as a comma-separated URL list)", err)
+		}
+		handler, drain = c.Handler(), c.Drain
+
+	default:
+		logger.Fatalf("unknown -mode %q (want worker or coordinator)", *mode)
+	}
 
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: s.Handler(),
+		Handler: handler,
 		// Defense against slowloris clients; evaluation time is governed by
 		// the per-request deadlines, not these.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -80,7 +152,7 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	logger.Printf("listening on %s (chaos=%v)", *addr, *enableChaos)
+	logger.Printf("listening on %s (mode=%s chaos=%v)", *addr, *mode, *enableChaos)
 
 	select {
 	case err := <-serveErr:
@@ -95,7 +167,7 @@ func main() {
 	// a terminal response before the server goes away.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	drainErr := s.Drain(drainCtx)
+	drainErr := drain(drainCtx)
 
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

@@ -93,7 +93,10 @@
 // daemon over these entry points with admission control and load shedding,
 // per-request deadlines, a per-scenario-class circuit breaker that degrades
 // to the Monte-Carlo tier instead of failing, and graceful drain on
-// SIGTERM. See docs/operations.md.
+// SIGTERM. Beyond one machine, fepiad -mode=coordinator scatters each
+// evaluation over a fleet of worker daemons and min-folds the shards back
+// into bit-identical single-node results (internal/cluster). See
+// docs/operations.md, in particular its "Running a fleet" section.
 package fepia
 
 import (

@@ -1,0 +1,298 @@
+// Package cluster implements the fepiad coordinator: an HTTP front-end that
+// fans one robustness evaluation out over a fleet of fepiad workers and
+// merges the shards back into exactly the response a single node would have
+// produced.
+//
+// The decomposition is exact because the metric is (see internal/core
+// shard.go): ρ_μ(Φ, P) = min_i r_μ(φ_i, P) is a min-fold over per-feature
+// radii that share no state, and shards evaluate features under their global
+// indices, so degraded Monte-Carlo streams and error strings are identical
+// to the single-node ones. The coordinator's job is therefore pure
+// plumbing — and the plumbing is where the resilience lives:
+//
+//   - membership (membership.go): per-worker health from active /readyz
+//     probes and passive scatter-path observations, with generation-counted
+//     up/down/draining transitions;
+//   - placement (hash.go): a consistent-hash ring keyed by scenario class
+//     keeps a class's traffic on the worker whose caches are warm for it,
+//     with rendezvous-ordered fallback when that worker is out;
+//   - scatter (scatter.go): bounded in-flight per worker, per-shard
+//     deadlines derived from the request deadline minus a scatter budget,
+//     and hedged retries that re-issue a slow shard to the next candidate
+//     and take whichever response arrives first — safe because shard
+//     results are deterministic;
+//   - gather (handlers.go): radii merge back into feature order, the
+//     lowest-index error wins (the same tie-break as the single-node
+//     engine), and every shard's provenance (worker, attempts, hedged,
+//     degraded tier) rides along in the response.
+//
+// Scattered shards bypass the workers' circuit breakers (/v1/shard evaluates
+// exactly what it is told), so the coordinator runs its own per-class
+// breaker set with single-node semantics and passes its verdict down as
+// ForceDegraded.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fepia/internal/server"
+)
+
+// Config tunes the coordinator. Workers is required; every other zero field
+// takes the default noted on it.
+type Config struct {
+	// Workers are the base URLs of the fepiad worker fleet (e.g.
+	// "http://10.0.0.7:8080"). The list is static for the coordinator's
+	// lifetime; health state is discovered, membership is not.
+	Workers []string
+
+	// HealthInterval is the /readyz probe period (default 2s); ProbeTimeout
+	// bounds one probe (default 1s).
+	HealthInterval time.Duration
+	ProbeTimeout   time.Duration
+
+	// MaxInflightPerWorker bounds concurrent requests per worker (default 32).
+	MaxInflightPerWorker int
+
+	// ScatterBudget is reserved out of each request's deadline for the
+	// scatter/gather overhead: workers get the request deadline minus this
+	// (default 250ms).
+	ScatterBudget time.Duration
+
+	// DefaultTimeout / MaxTimeout mirror the worker daemon's request
+	// deadline policy (defaults 30s / 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// HedgeAfter is how long a shard may run before it is re-issued to the
+	// next candidate worker (first response wins). 0 means adaptive: 3× the
+	// primary's smoothed latency, clamped to [20ms, 2s].
+	HedgeAfter time.Duration
+
+	// MaxAttempts bounds how many workers one shard may be sent to,
+	// counting the hedge (default 3).
+	MaxAttempts int
+
+	// VNodes is the virtual-node count per worker on the placement ring
+	// (default 64).
+	VNodes int
+
+	// Breaker* mirror the worker daemon's per-class breaker tuning; the
+	// coordinator runs its own breaker set for scattered traffic.
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	BreakerSeed       int64
+
+	// EnableChaos forwards test-only chaos decorations to the workers
+	// (which must also run with chaos enabled). Never in production.
+	EnableChaos bool
+
+	// Client is the HTTP client for worker traffic (default: a dedicated
+	// client with sane connection pooling and no global timeout — per-shard
+	// contexts carry the deadlines).
+	Client *http.Client
+
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.MaxInflightPerWorker <= 0 {
+		c.MaxInflightPerWorker = 32
+	}
+	if c.ScatterBudget <= 0 {
+		c.ScatterBudget = 250 * time.Millisecond
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator is the scatter-gather front-end. Create with New, mount
+// Handler on an http.Server, and call Drain (or Close) on shutdown.
+type Coordinator struct {
+	cfg     Config
+	client  *http.Client
+	members []*member
+	ring    *ring
+	brk     *server.Breakers
+
+	// base is cancelled at shutdown: it stops the probe loop and aborts
+	// in-flight scatter work at the drain deadline.
+	base       context.Context
+	baseCancel context.CancelFunc
+	probeWG    sync.WaitGroup
+
+	// In-flight accounting for drain, mirroring the worker daemon.
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	idle     chan struct{}
+	idleOnce sync.Once
+
+	start time.Time
+	stats coordStats
+}
+
+// coordStats are the coordinator's monotonic counters (see /statz).
+type coordStats struct {
+	accepted         atomic.Uint64
+	rejectedDraining atomic.Uint64
+	badRequests      atomic.Uint64
+	completed        atomic.Uint64
+	failed           atomic.Uint64
+
+	shards       atomic.Uint64 // shard calls launched (incl. retries/hedges)
+	hedges       atomic.Uint64 // shards re-issued by the hedge timer
+	retries      atomic.Uint64 // shards re-routed after a retryable failure
+	workerErrors atomic.Uint64 // transport-level worker failures
+}
+
+// New builds a Coordinator and starts its health-probe loop.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = cfg.MaxInflightPerWorker
+		client = &http.Client{Transport: t}
+	}
+	base, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		client:     client,
+		ring:       newRing(cfg.Workers, cfg.VNodes),
+		brk:        server.NewBreakers(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff, cfg.BreakerSeed),
+		base:       base,
+		baseCancel: cancel,
+		idle:       make(chan struct{}),
+		start:      time.Now(),
+	}
+	for idx, url := range cfg.Workers {
+		c.members = append(c.members, newMember(url, idx, cfg.MaxInflightPerWorker))
+	}
+	c.probeWG.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Handler mounts the coordinator's routes behind the request-ID middleware.
+// The API is the worker daemon's: /v1/robustness and /v1/batch scatter,
+// /v1/radius forwards whole to the class's home worker (its sequential
+// parameter sweep shares one impact cache, which per-parameter scatter
+// would not reproduce bit-identically).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /statz", c.handleStatz)
+	mux.HandleFunc("POST /v1/robustness", c.handleRobustness)
+	mux.HandleFunc("POST /v1/radius", c.handleRadius)
+	mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	return server.WithRequestID(mux)
+}
+
+// enter registers an accepted request for drain accounting (see the worker
+// daemon's identical scheme).
+func (c *Coordinator) enter() (func(), bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, false
+	}
+	c.inflight++
+	return func() {
+		c.mu.Lock()
+		c.inflight--
+		signal := c.draining && c.inflight == 0
+		c.mu.Unlock()
+		if signal {
+			c.signalIdle()
+		}
+	}, true
+}
+
+func (c *Coordinator) signalIdle() { c.idleOnce.Do(func() { close(c.idle) }) }
+
+// Draining reports whether BeginDrain has been called.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// BeginDrain stops admission: /readyz turns 503 and new evaluation requests
+// are rejected. In-flight scatters continue.
+func (c *Coordinator) BeginDrain() {
+	c.mu.Lock()
+	already := c.draining
+	c.draining = true
+	idle := c.inflight == 0
+	c.mu.Unlock()
+	if !already {
+		c.cfg.Logf("cluster: drain started")
+	}
+	if idle {
+		c.signalIdle()
+	}
+}
+
+// Drain gracefully shuts down: stop accepting, wait for in-flight requests,
+// and cancel them if ctx expires first. The probe loop stops either way.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.BeginDrain()
+	var err error
+	select {
+	case <-c.idle:
+		c.cfg.Logf("cluster: drain complete (all in-flight requests finished)")
+	case <-ctx.Done():
+		c.cfg.Logf("cluster: drain deadline reached, cancelling in-flight work")
+		c.baseCancel()
+		select {
+		case <-c.idle:
+			c.cfg.Logf("cluster: drain complete (in-flight work cancelled)")
+		case <-time.After(5 * time.Second):
+			c.mu.Lock()
+			n := c.inflight
+			c.mu.Unlock()
+			err = fmt.Errorf("cluster: %d request(s) still in flight after drain cancellation", n)
+		}
+	}
+	c.baseCancel()
+	c.probeWG.Wait()
+	return err
+}
+
+// Close releases the coordinator without draining (tests).
+func (c *Coordinator) Close() {
+	c.baseCancel()
+	c.probeWG.Wait()
+}

@@ -1,0 +1,658 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"fepia/internal/core"
+	"fepia/internal/server"
+)
+
+// The gather half of the coordinator. Merge rules, all chosen to make a
+// scattered evaluation indistinguishable from a single-node one:
+//
+//   - radii merge back into global feature order, and ρ is the strict-min
+//     fold over them (lowest-index feature wins ties — foldRobustness's
+//     tie-break);
+//   - the lowest-index per-feature evaluation error wins and is relayed
+//     with the status a single-node daemon would have chosen for it;
+//   - an infrastructure failure (a shard no worker could serve) outranks
+//     evaluation errors — the coordinator will not fabricate a complete
+//     result from an incomplete gather;
+//   - per-shard provenance (worker, attempts, hedged, degraded tier) is
+//     attached under "cluster", a field single-node responses simply lack.
+
+// maxBodyBytes mirrors the worker daemon's request-body bound.
+const maxBodyBytes = 8 << 20
+
+// ShardInfo is one shard's provenance in a coordinator response.
+type ShardInfo struct {
+	// Item is the batch item the shard belongs to (0 for single requests).
+	Item  int `json:"item,omitempty"`
+	Shard int `json:"shard"`
+	// Worker is the URL of the worker whose response was used.
+	Worker   string `json:"worker,omitempty"`
+	Features []int  `json:"features,omitempty"`
+	// Attempts counts workers this shard was sent to (retries + hedges).
+	Attempts int `json:"attempts"`
+	// Hedged marks that the winning response came from a hedge re-issue.
+	Hedged bool `json:"hedged,omitempty"`
+	// Degraded marks that at least one radius in the shard came from the
+	// Monte-Carlo degraded tier.
+	Degraded  bool    `json:"degraded,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// Provenance is the "cluster" block of a coordinator response.
+type Provenance struct {
+	Shards []ShardInfo `json:"shards"`
+}
+
+// EvalResponse is the coordinator's /v1/robustness body: the worker daemon's
+// response plus scatter provenance.
+type EvalResponse struct {
+	server.EvalResponse
+	Cluster *Provenance `json:"cluster,omitempty"`
+}
+
+// BatchResponse is the coordinator's /v1/batch body.
+type BatchResponse struct {
+	server.BatchResponse
+	Cluster *Provenance `json:"cluster,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) badRequest(w http.ResponseWriter, r *http.Request, err error) {
+	rid := server.RequestIDFrom(r.Context())
+	c.stats.badRequests.Add(1)
+	c.cfg.Logf("cluster: rid=%s bad request: %v", rid, err)
+	writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error(), Kind: "bad-request", RequestID: rid})
+}
+
+// requestTimeout mirrors the worker daemon's deadline policy.
+func (c *Coordinator) requestTimeout(raw string) (time.Duration, error) {
+	if raw == "" {
+		return c.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid timeout %q: %w", raw, err)
+	}
+	if d <= 0 {
+		return c.cfg.DefaultTimeout, nil
+	}
+	if d > c.cfg.MaxTimeout {
+		d = c.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// workerTimeout is the deadline handed to workers: the request's budget
+// minus the scatter budget, never less than half the budget.
+func (c *Coordinator) workerTimeout(timeout time.Duration) time.Duration {
+	d := timeout - c.cfg.ScatterBudget
+	if d < timeout/2 {
+		d = timeout / 2
+	}
+	return d
+}
+
+func weightingName(raw string) (string, error) {
+	switch raw {
+	case "", "normalized":
+		return "normalized", nil
+	case "sensitivity":
+		return "sensitivity", nil
+	default:
+		return "", fmt.Errorf("unknown weighting %q (want normalized or sensitivity)", raw)
+	}
+}
+
+// chaosGate mirrors the worker's policy check; fault validation itself is
+// the worker's job.
+func (c *Coordinator) chaosGate(w http.ResponseWriter, r *http.Request, specs []server.ChaosSpec) bool {
+	if len(specs) == 0 || c.cfg.EnableChaos {
+		return true
+	}
+	rid := server.RequestIDFrom(r.Context())
+	c.stats.badRequests.Add(1)
+	writeJSON(w, http.StatusForbidden, server.ErrorResponse{Error: "chaos injection is disabled on this server", Kind: "chaos", RequestID: rid})
+	return false
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if c.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	up := 0
+	for _, m := range c.members {
+		if m.up() {
+			up++
+		}
+	}
+	if up == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no-workers"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// Statz is the coordinator's /statz document.
+type Statz struct {
+	UptimeMs int64 `json:"uptimeMs"`
+	Draining bool  `json:"draining"`
+	Inflight int   `json:"inflight"`
+
+	Workers []WorkerStatz `json:"workers"`
+
+	Accepted         uint64 `json:"accepted"`
+	RejectedDraining uint64 `json:"rejectedDraining"`
+	BadRequests      uint64 `json:"badRequests"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+
+	Shards       uint64 `json:"shards"`
+	Hedges       uint64 `json:"hedges"`
+	Retries      uint64 `json:"retries"`
+	WorkerErrors uint64 `json:"workerErrors"`
+
+	BreakerTrips uint64                   `json:"breakerTrips"`
+	Breakers     []server.BreakerSnapshot `json:"breakers"`
+}
+
+// WorkerStatz is one fleet member's health in /statz.
+type WorkerStatz struct {
+	URL string `json:"url"`
+	// State is up, draining, or down; Generation counts state transitions.
+	State      string  `json:"state"`
+	Generation uint64  `json:"generation"`
+	EwmaMs     float64 `json:"ewmaMs,omitempty"`
+	Inflight   int     `json:"inflight"`
+}
+
+func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	breakers, trips := c.brk.Snapshot()
+	c.mu.Lock()
+	inflight, draining := c.inflight, c.draining
+	c.mu.Unlock()
+	st := Statz{
+		UptimeMs:         time.Since(c.start).Milliseconds(),
+		Draining:         draining,
+		Inflight:         inflight,
+		Accepted:         c.stats.accepted.Load(),
+		RejectedDraining: c.stats.rejectedDraining.Load(),
+		BadRequests:      c.stats.badRequests.Load(),
+		Completed:        c.stats.completed.Load(),
+		Failed:           c.stats.failed.Load(),
+		Shards:           c.stats.shards.Load(),
+		Hedges:           c.stats.hedges.Load(),
+		Retries:          c.stats.retries.Load(),
+		WorkerErrors:     c.stats.workerErrors.Load(),
+		BreakerTrips:     trips,
+		Breakers:         breakers,
+	}
+	for _, m := range c.members {
+		st.Workers = append(st.Workers, WorkerStatz{
+			URL:        m.url,
+			State:      stateName(m.state.Load()),
+			Generation: m.gen.Load(),
+			EwmaMs:     float64(m.ewmaNs.Load()) / 1e6,
+			Inflight:   len(m.sem),
+		})
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// admitCoordinator runs the coordinator's light admission: drain gate plus
+// deadline setup. (Worker-side admission control prices the actual work.)
+func (c *Coordinator) admit(w http.ResponseWriter, r *http.Request, timeout time.Duration) (context.Context, func(), bool) {
+	rid := server.RequestIDFrom(r.Context())
+	exit, ok := c.enter()
+	if !ok {
+		c.stats.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, server.ErrorResponse{Error: "server is draining", Kind: "draining", RequestID: rid})
+		return nil, nil, false
+	}
+	c.stats.accepted.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stopAfter := context.AfterFunc(c.base, cancel)
+	finish := func() {
+		stopAfter()
+		cancel()
+		exit()
+	}
+	return ctx, finish, true
+}
+
+// relayFailure is an infrastructure failure gathered from the scatter: a
+// worker's non-200 response to relay, or a transport error after every
+// candidate was tried.
+type relayFailure struct {
+	status int // 0 = transport-level
+	body   []byte
+	err    error
+}
+
+// errorResponse converts the failure to (status, body), mapping context
+// errors to the single-node kinds and everything else to 502 "upstream".
+func (f *relayFailure) errorResponse(rid string) (int, server.ErrorResponse) {
+	if f.status != 0 {
+		var er server.ErrorResponse
+		if json.Unmarshal(f.body, &er) != nil || er.Error == "" {
+			er = server.ErrorResponse{Error: fmt.Sprintf("worker returned status %d", f.status), Kind: "upstream"}
+		}
+		er.RequestID = rid
+		return f.status, er
+	}
+	switch {
+	case errors.Is(f.err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, server.ErrorResponse{Error: f.err.Error(), Kind: "deadline-exceeded", RequestID: rid}
+	case errors.Is(f.err, context.Canceled):
+		return http.StatusServiceUnavailable, server.ErrorResponse{Error: f.err.Error(), Kind: "cancelled", RequestID: rid}
+	default:
+		return http.StatusBadGateway, server.ErrorResponse{Error: "no worker could serve the request: " + f.err.Error(), Kind: "upstream", RequestID: rid}
+	}
+}
+
+// gathered is one scenario's merged scatter outcome.
+type gathered struct {
+	results []server.ShardFeatureResult // indexed by global feature
+	prov    []ShardInfo
+	fail    *relayFailure
+}
+
+// scatterShards fans one scenario's shard requests out (keys[i] places
+// shardSets[i]) and gathers the per-feature results back into global feature
+// order.
+func (c *Coordinator) scatterShards(ctx context.Context, rid string, base server.ShardRequest, shardSets [][]int, keys []string) gathered {
+	n := len(base.Scenario.Features)
+	g := gathered{results: make([]server.ShardFeatureResult, n), prov: make([]ShardInfo, len(shardSets))}
+	ress := make([]shardResult, len(shardSets))
+	var wg sync.WaitGroup
+	for i := range shardSets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sreq := base
+			sreq.Features = shardSets[i]
+			body, err := json.Marshal(sreq)
+			if err != nil {
+				ress[i] = shardResult{err: err}
+				return
+			}
+			ress[i] = c.doShard(ctx, keys[i], "/v1/shard", body, rid)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range ress {
+		g.prov[i] = ShardInfo{
+			Shard:     i,
+			Worker:    res.worker,
+			Features:  shardSets[i],
+			Attempts:  res.attempts,
+			Hedged:    res.hedged,
+			ElapsedMs: float64(res.elapsed.Microseconds()) / 1000,
+		}
+		switch {
+		case res.err != nil:
+			if g.fail == nil {
+				g.fail = &relayFailure{err: res.err}
+			}
+		case res.status != http.StatusOK:
+			if g.fail == nil {
+				g.fail = &relayFailure{status: res.status, body: res.body}
+			}
+		default:
+			var sh server.ShardResponse
+			if err := json.Unmarshal(res.body, &sh); err != nil {
+				if g.fail == nil {
+					g.fail = &relayFailure{err: fmt.Errorf("decoding shard response from %s: %w", res.worker, err)}
+				}
+				continue
+			}
+			degraded := false
+			for _, fr := range sh.Results {
+				if fr.Feature >= 0 && fr.Feature < n {
+					g.results[fr.Feature] = fr
+				}
+				if fr.Radius != nil && fr.Radius.Degraded {
+					degraded = true
+				}
+			}
+			g.prov[i].Degraded = degraded
+		}
+	}
+	if g.fail == nil {
+		for _, feats := range shardSets {
+			for _, i := range feats {
+				if fr := g.results[i]; fr.Radius == nil && fr.Error == "" {
+					g.fail = &relayFailure{err: fmt.Errorf("incomplete shard response: feature %d missing", i)}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// merge folds a complete gather into the single-node response pieces: the
+// combined metric, or the lowest-index evaluation error.
+func merge(weighting string, results []server.ShardFeatureResult) (rj server.RobustnessJSON, errStr, errKind string) {
+	for _, fr := range results {
+		if fr.Error != "" {
+			return rj, fr.Error, fr.Kind
+		}
+	}
+	rj = server.RobustnessJSON{Value: nil, Critical: -1, Weighting: weighting}
+	value := math.Inf(1)
+	for _, fr := range results {
+		r := *fr.Radius
+		rj.PerFeature = append(rj.PerFeature, r)
+		rj.Degraded = rj.Degraded || r.Degraded
+		v := math.Inf(1)
+		if r.Value != nil {
+			v = *r.Value
+		}
+		if v < value {
+			value, rj.Critical = v, r.Feature
+		}
+	}
+	if math.IsInf(value, 1) {
+		rj.Unbounded = true
+	} else {
+		rj.Value = &value
+	}
+	return rj, "", ""
+}
+
+// recordOutcome reports a terminal outcome to the coordinator's breaker with
+// the single-node semantics (neutral outcomes only release probe slots).
+func (c *Coordinator) recordOutcome(class string, probe, failed, neutral bool) {
+	if !neutral && !probe {
+		c.brk.Record(class, false, failed)
+		return
+	}
+	if probe {
+		if neutral {
+			c.brk.Record(class, true, false)
+		} else {
+			c.brk.Record(class, true, failed)
+		}
+	}
+}
+
+func (c *Coordinator) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	var req server.EvalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	wname, err := weightingName(req.Weighting)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	timeout, err := c.requestTimeout(req.Timeout)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	if !c.chaosGate(w, r, req.Chaos) {
+		return
+	}
+
+	ctx, finish, ok := c.admit(w, r, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	class := server.Classify(req.Scenario, len(req.Chaos) > 0)
+	forced, probe, state := c.brk.Route(class)
+
+	n := len(req.Scenario.Features)
+	shardSets := core.ShardFeatures(n, len(c.members))
+	keys := make([]string, len(shardSets))
+	for i := range keys {
+		keys[i] = class + "/s" + strconv.Itoa(i)
+	}
+	base := server.ShardRequest{
+		Scenario:      req.Scenario,
+		Weighting:     req.Weighting,
+		Timeout:       c.workerTimeout(timeout).String(),
+		Chaos:         req.Chaos,
+		ForceDegraded: forced,
+	}
+	start := time.Now()
+	g := c.scatterShards(ctx, rid, base, shardSets, keys)
+	elapsed := time.Since(start)
+
+	if g.fail != nil {
+		status, er := g.fail.errorResponse(rid)
+		c.stats.failed.Add(1)
+		c.recordOutcome(class, probe, false, true) // infrastructure says nothing about the numeric tier
+		c.cfg.Logf("cluster: rid=%s robustness class=%s failed upstream: %s", rid, class, er.Error)
+		writeJSON(w, status, er)
+		return
+	}
+	rj, errStr, errKind := merge(wname, g.results)
+	if errStr != "" {
+		neutral := errKind == "cancelled"
+		c.stats.failed.Add(1)
+		c.recordOutcome(class, probe, !neutral, neutral)
+		c.cfg.Logf("cluster: rid=%s robustness class=%s failed (%s): %s", rid, class, errKind, errStr)
+		writeJSON(w, server.StatusForKind(errKind), server.ErrorResponse{Error: errStr, Kind: errKind, RequestID: rid})
+		return
+	}
+	c.stats.completed.Add(1)
+	c.recordOutcome(class, probe, rj.Degraded && !forced, forced)
+	c.cfg.Logf("cluster: rid=%s robustness class=%s shards=%d elapsed=%.1fms", rid, class, len(shardSets), float64(elapsed.Microseconds())/1000)
+	writeJSON(w, http.StatusOK, EvalResponse{
+		EvalResponse: server.EvalResponse{
+			Robustness: rj,
+			Class:      class,
+			Breaker:    state,
+			RequestID:  rid,
+			ElapsedMs:  float64(elapsed.Microseconds()) / 1000,
+		},
+		Cluster: &Provenance{Shards: g.prov},
+	})
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	var req server.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		c.badRequest(w, r, errors.New("batch has no items"))
+		return
+	}
+	timeout, err := c.requestTimeout(req.Timeout)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	wnames := make([]string, len(req.Items))
+	for k, it := range req.Items {
+		if err := it.Scenario.Validate(); err != nil {
+			c.badRequest(w, r, fmt.Errorf("item %d: %w", k, err))
+			return
+		}
+		wraw := it.Weighting
+		if wraw == "" {
+			wraw = req.Weighting
+		}
+		if wnames[k], err = weightingName(wraw); err != nil {
+			c.badRequest(w, r, fmt.Errorf("item %d: %w", k, err))
+			return
+		}
+		if !c.chaosGate(w, r, it.Chaos) {
+			return
+		}
+	}
+
+	ctx, finish, ok := c.admit(w, r, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	// Each item scatters as one whole-scenario shard placed by its bare
+	// class — item-level placement keeps every item's impact-cache reuse on
+	// a single worker, exactly as on a single node.
+	n := len(req.Items)
+	classes := make([]string, n)
+	forcedFlags := make([]bool, n)
+	probeFlags := make([]bool, n)
+	states := make([]string, n)
+	gathers := make([]gathered, n)
+	workerTimeout := c.workerTimeout(timeout).String()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k, it := range req.Items {
+		classes[k] = server.Classify(it.Scenario, len(it.Chaos) > 0)
+		forcedFlags[k], probeFlags[k], states[k] = c.brk.Route(classes[k])
+		wg.Add(1)
+		go func(k int, it server.BatchItemRequest) {
+			defer wg.Done()
+			all := make([]int, len(it.Scenario.Features))
+			for i := range all {
+				all[i] = i
+			}
+			base := server.ShardRequest{
+				Scenario:      it.Scenario,
+				Weighting:     wnames[k],
+				Timeout:       workerTimeout,
+				Chaos:         it.Chaos,
+				ForceDegraded: forcedFlags[k],
+			}
+			gathers[k] = c.scatterShards(ctx, rid, base, [][]int{all}, []string{classes[k]})
+		}(k, it)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := BatchResponse{
+		BatchResponse: server.BatchResponse{
+			Results:   make([]server.BatchItemResponse, n),
+			RequestID: rid,
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		},
+		Cluster: &Provenance{},
+	}
+	for k := 0; k < n; k++ {
+		item := server.BatchItemResponse{Class: classes[k], Breaker: states[k]}
+		g := gathers[k]
+		for i := range g.prov {
+			info := g.prov[i]
+			info.Item = k
+			out.Cluster.Shards = append(out.Cluster.Shards, info)
+		}
+		if g.fail != nil {
+			_, er := g.fail.errorResponse(rid)
+			item.Error, item.Kind = er.Error, er.Kind
+			c.recordOutcome(classes[k], probeFlags[k], false, true)
+		} else {
+			rj, errStr, errKind := merge(wnames[k], g.results)
+			if errStr != "" {
+				item.Error, item.Kind = errStr, errKind
+				neutral := errKind == "cancelled"
+				c.recordOutcome(classes[k], probeFlags[k], !neutral, neutral)
+			} else {
+				item.Robustness = &rj
+				c.recordOutcome(classes[k], probeFlags[k], rj.Degraded && !forcedFlags[k], forcedFlags[k])
+			}
+		}
+		out.Results[k] = item
+	}
+	c.stats.completed.Add(1)
+	c.cfg.Logf("cluster: rid=%s batch items=%d elapsed=%.1fms", rid, n, out.ElapsedMs)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRadius forwards the whole request to the class's home worker. The
+// sequential parameter sweep of /v1/radius shares one impact cache across
+// parameters on a single node; scattering parameters over workers would
+// split that cache and change low-order bits, so the coordinator keeps the
+// request intact and only chooses which warm worker runs it.
+func (c *Coordinator) handleRadius(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	var req server.RadiusRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	timeout, err := c.requestTimeout(req.Timeout)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	if req.Param != nil && (*req.Param < 0 || *req.Param >= len(req.Scenario.Params)) {
+		c.badRequest(w, r, fmt.Errorf("param %d out of range (%d params)", *req.Param, len(req.Scenario.Params)))
+		return
+	}
+	if !c.chaosGate(w, r, req.Chaos) {
+		return
+	}
+
+	ctx, finish, ok := c.admit(w, r, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	class := server.Classify(req.Scenario, len(req.Chaos) > 0)
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	res := c.doShard(ctx, class, "/v1/radius", body, rid)
+	if res.err != nil {
+		f := relayFailure{err: res.err}
+		status, er := f.errorResponse(rid)
+		c.stats.failed.Add(1)
+		c.cfg.Logf("cluster: rid=%s radius class=%s failed upstream: %s", rid, class, er.Error)
+		writeJSON(w, status, er)
+		return
+	}
+	if res.status == http.StatusOK {
+		c.stats.completed.Add(1)
+	} else {
+		c.stats.failed.Add(1)
+	}
+	c.cfg.Logf("cluster: rid=%s radius class=%s worker=%s status=%d", rid, class, res.worker, res.status)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Fepia-Worker", res.worker)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}

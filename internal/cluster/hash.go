@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Placement: which worker should serve a given shard. Two requirements pull
+// in different directions.
+//
+// Stability: the same key should land on the same worker run after run, so a
+// worker's impact and scenario caches stay warm for the classes it serves.
+// A consistent-hash ring with virtual nodes gives that, and adding a worker
+// to the configured list only moves the keys adjacent to its vnodes.
+//
+// Availability: when the preferred worker is down or draining, the key needs
+// a deterministic fallback order over the remaining workers — ideally one
+// that spreads a dead worker's keys evenly instead of dumping them all on
+// the ring's next neighbour. Rendezvous (highest-random-weight) hashing
+// gives exactly that: every (key, worker) pair gets an independent score,
+// and the fallback order is the workers sorted by score.
+//
+// So: the ring picks the home; rendezvous order picks the understudies.
+
+// ring is a consistent-hash ring over worker indices with vnodes virtual
+// points per worker.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// fnv64 hashes a string and finalizes with a 64-bit avalanche mix: raw
+// FNV-1a of short, similar strings ("http://a#0", "http://a#1", …) clusters
+// badly on the ring, and the finalizer spreads those clusters uniformly.
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func newRing(workers []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*vnodes)}
+	for idx, url := range workers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv64(url + "#" + strconv.Itoa(v)), idx: idx})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].idx < r.points[j].idx
+	})
+	return r
+}
+
+// primary returns the worker index owning the key: the first vnode clockwise
+// from the key's hash.
+func (r *ring) primary(key string) int {
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].idx
+}
+
+// rendezvousOrder returns all worker indices sorted by descending
+// rendezvous score for the key — the deterministic fallback order.
+func rendezvousOrder(key string, n int) []int {
+	type scored struct {
+		score uint64
+		idx   int
+	}
+	s := make([]scored, n)
+	for i := 0; i < n; i++ {
+		s[i] = scored{score: fnv64(key + "|" + strconv.Itoa(i)), idx: i}
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].score != s[j].score {
+			return s[i].score > s[j].score
+		}
+		return s[i].idx < s[j].idx
+	})
+	out := make([]int, n)
+	for i, sc := range s {
+		out[i] = sc.idx
+	}
+	return out
+}
+
+// candidates returns the ordered workers to try for a key: the ring's
+// primary if it is up, then every other up worker in rendezvous order. When
+// no worker is up at all it returns the full rendezvous order anyway —
+// health state may be stale, and trying beats failing without a request.
+func (c *Coordinator) candidates(key string) []*member {
+	out := make([]*member, 0, len(c.members))
+	prim := c.ring.primary(key)
+	if c.members[prim].up() {
+		out = append(out, c.members[prim])
+	}
+	for _, idx := range rendezvousOrder(key, len(c.members)) {
+		if idx != prim && c.members[idx].up() {
+			out = append(out, c.members[idx])
+		}
+	}
+	if len(out) == 0 {
+		for _, idx := range rendezvousOrder(key, len(c.members)) {
+			out = append(out, c.members[idx])
+		}
+	}
+	return out
+}

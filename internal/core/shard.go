@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the shard-slicing layer of the batch evaluation engine: the
+// primitives a distributed coordinator (internal/cluster) uses to split one
+// robustness evaluation into per-feature shards, evaluate each shard on a
+// different machine, and min-fold the shards back into the exact result a
+// single node would have produced.
+//
+// The decomposition is exact because the metric is: ρ_μ(Φ, P) =
+// min_i r_μ(φ_i, P) is a min-fold over per-feature radii that never share
+// state — each radius depends only on its own feature's impact function,
+// bounds, and scales. The one subtlety is indexing: degraded Monte-Carlo
+// fallbacks derive their sample streams from (DegradeSeed, feature index)
+// and error messages carry the feature index, so a shard MUST evaluate
+// features under their original (global) indices. RobustnessShardCtx
+// therefore takes a subset of indices into the full analysis rather than a
+// re-numbered sub-analysis; building a smaller Analysis out of a feature
+// subset would silently change every degraded value and error string.
+
+// ShardFeatures partitions the feature indices 0…n−1 into at most `shards`
+// contiguous, size-balanced slices (sizes differ by at most one, earlier
+// shards take the extra features). It never returns empty shards: fewer
+// features than shards yields one single-feature shard per feature.
+// The partition is deterministic — same (n, shards) in, same slices out —
+// which is what makes shard-to-worker placement stable across retries.
+func ShardFeatures(n, shards int) [][]int {
+	if n <= 0 || shards <= 0 {
+		return nil
+	}
+	if shards > n {
+		shards = n
+	}
+	out := make([][]int, 0, shards)
+	base, extra := n/shards, n%shards
+	next := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		shard := make([]int, size)
+		for q := range shard {
+			shard[q] = next
+			next++
+		}
+		out = append(out, shard)
+	}
+	return out
+}
+
+// RobustnessShardCtx evaluates only the listed features of the analysis and
+// returns their radii and errors (both parallel to features, exactly one
+// set per slot). Feature indices are global: radii carry them in
+// Radius.Feature, degraded Monte-Carlo fallbacks derive their streams from
+// deriveSeed(opt.DegradeSeed, global index), and errors are wrapped
+// "core: feature %d" with the global index — so a shard's slot q is
+// bit-identical (value and error string) to what RobustnessWith over the
+// full analysis would have produced for feature features[q], and min-folding
+// any partition of shards reproduces the single-node result exactly
+// (FoldRadii). Unlike RobustnessWith there is no cross-feature early stop:
+// every listed feature reports its own outcome, which is what a gather layer
+// needs to pick the lowest-index error deterministically.
+func (a *Analysis) RobustnessShardCtx(ctx context.Context, features []int, w Weighting, opt EvalOptions) ([]Radius, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	radii := make([]Radius, len(features))
+	errs := make([]error, len(features))
+
+	degrade := func(q, i int, cause error) {
+		lb, derr := a.mcRadiusLowerBound(ctx, i, w, opt.DegradeSamples, deriveSeed(opt.DegradeSeed, i))
+		switch {
+		case derr == nil:
+			radii[q] = Radius{Value: lb, Side: SideNone, Feature: i, Param: -1, Degraded: true}
+		case cause == nil:
+			errs[q] = fmt.Errorf("core: feature %d: forced degradation failed: %w", i, derr)
+		default:
+			errs[q] = fmt.Errorf("core: feature %d: %w (Monte-Carlo fallback also failed: %v)", i, cause, derr)
+		}
+	}
+
+	if opt.ForceDegraded {
+		for q, i := range features {
+			if i < 0 || i >= len(a.Features) {
+				errs[q] = fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
+				continue
+			}
+			degrade(q, i, nil)
+		}
+		return radii, errs
+	}
+
+	rr, ee := a.CombinedRadiusBatchCtx(ctx, w, features, opt)
+	if err := ctxErr(ctx); err != nil {
+		// The caller's own cancellation dominates per-feature fallout, as in
+		// RobustnessBatch: report it raw on every slot.
+		for q := range errs {
+			errs[q] = err
+		}
+		return radii, errs
+	}
+	for q, i := range features {
+		switch {
+		case ee[q] == nil:
+			radii[q] = rr[q]
+		case opt.DegradeOnNumeric && errors.Is(ee[q], ErrNumeric):
+			degrade(q, i, ee[q])
+		default:
+			errs[q] = fmt.Errorf("core: feature %d: %w", i, ee[q])
+		}
+	}
+	return radii, errs
+}
+
+// FoldRadii reassembles the system-level Robustness from a complete set of
+// per-feature radii ordered by feature index — the gather half of a
+// scatter/gather evaluation, once every shard's radii have been merged back
+// into feature order. It replicates foldRobustness's tie-breaking exactly:
+// strict less-than, so the lowest-index feature attaining the minimum is
+// Critical, and Critical is −1 when every radius is infinite. Degraded is
+// set when any radius was produced by the Monte-Carlo fallback.
+func FoldRadii(weighting string, radii []Radius) Robustness {
+	out := Robustness{Value: math.Inf(1), Critical: -1, Weighting: weighting, PerFeature: radii}
+	for i := range radii {
+		if radii[i].Degraded {
+			out.Degraded = true
+		}
+		if radii[i].Value < out.Value {
+			out.Value, out.Critical = radii[i].Value, i
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+// shardTestAnalysis builds a mixed-tier analysis: an analytic linear
+// feature, an analytic quadratic feature, and a numeric multiplicative
+// feature, over two perturbation parameters.
+func shardTestAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := NewAnalysis(
+		[]Feature{
+			{
+				Name:   "lat",
+				Bounds: MaxOnly(40),
+				Linear: &LinearImpact{Coeffs: []vec.V{{2, 3}, {1}}, Const: 1},
+			},
+			{
+				Name:   "quad",
+				Bounds: Band(0, 30),
+				Quad: &QuadImpact{
+					A: []vec.V{{1, 0.5}, {2}},
+					C: []vec.V{{0.5, 1}, {1.5}},
+				},
+			},
+			{
+				Name:   "mult",
+				Bounds: MaxOnly(90),
+				Impact: func(vs []vec.V) float64 {
+					return 1 + 2*math.Abs(vs[0][0])*math.Abs(vs[0][1])*math.Abs(vs[1][0])
+				},
+			},
+		},
+		[]Perturbation{
+			{Name: "exec", Unit: "s", Orig: vec.V{1, 2}},
+			{Name: "load", Unit: "req", Orig: vec.V{3}},
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	return a
+}
+
+func TestShardFeatures(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      [][]int
+	}{
+		{0, 3, nil},
+		{3, 0, nil},
+		{1, 1, [][]int{{0}}},
+		{2, 5, [][]int{{0}, {1}}},
+		{5, 2, [][]int{{0, 1, 2}, {3, 4}}},
+		{6, 3, [][]int{{0, 1}, {2, 3}, {4, 5}}},
+		{7, 3, [][]int{{0, 1, 2}, {3, 4}, {5, 6}}},
+	}
+	for _, c := range cases {
+		got := ShardFeatures(c.n, c.shards)
+		if len(got) != len(c.want) {
+			t.Fatalf("ShardFeatures(%d, %d) = %v, want %v", c.n, c.shards, got, c.want)
+		}
+		for s := range got {
+			if len(got[s]) != len(c.want[s]) {
+				t.Fatalf("ShardFeatures(%d, %d)[%d] = %v, want %v", c.n, c.shards, s, got[s], c.want[s])
+			}
+			for q := range got[s] {
+				if got[s][q] != c.want[s][q] {
+					t.Fatalf("ShardFeatures(%d, %d) = %v, want %v", c.n, c.shards, got, c.want)
+				}
+			}
+		}
+	}
+	// Every partition must cover 0…n−1 exactly once, in order.
+	for n := 1; n <= 9; n++ {
+		for shards := 1; shards <= 5; shards++ {
+			next := 0
+			for _, sh := range ShardFeatures(n, shards) {
+				if len(sh) == 0 {
+					t.Fatalf("ShardFeatures(%d, %d) has an empty shard", n, shards)
+				}
+				for _, i := range sh {
+					if i != next {
+						t.Fatalf("ShardFeatures(%d, %d) skips/duplicates: saw %d, want %d", n, shards, i, next)
+					}
+					next++
+				}
+			}
+			if next != n {
+				t.Fatalf("ShardFeatures(%d, %d) covers %d features", n, shards, next)
+			}
+		}
+	}
+}
+
+// shardAndFold evaluates the analysis sliced into `shards` shards and folds
+// the result; fresh analyses per shard mimic independent worker processes.
+func shardAndFold(t *testing.T, build func() *Analysis, w Weighting, opt EvalOptions, shards int) (Robustness, []error) {
+	t.Helper()
+	ref := build()
+	n := len(ref.Features)
+	radii := make([]Radius, n)
+	errs := make([]error, n)
+	for _, sh := range ShardFeatures(n, shards) {
+		a := build() // each shard evaluates on its own analysis (own cache)
+		rr, ee := a.RobustnessShardCtx(context.Background(), sh, w, opt)
+		for q, i := range sh {
+			radii[i], errs[i] = rr[q], ee[q]
+		}
+	}
+	return FoldRadii(w.Name(), radii), errs
+}
+
+// assertSameRobustness requires bit-identical values, criticals, and flags.
+func assertSameRobustness(t *testing.T, got, want Robustness) {
+	t.Helper()
+	if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+		t.Fatalf("Value = %v (bits %x), want %v (bits %x)",
+			got.Value, math.Float64bits(got.Value), want.Value, math.Float64bits(want.Value))
+	}
+	if got.Critical != want.Critical {
+		t.Fatalf("Critical = %d, want %d", got.Critical, want.Critical)
+	}
+	if got.Degraded != want.Degraded {
+		t.Fatalf("Degraded = %v, want %v", got.Degraded, want.Degraded)
+	}
+	if got.Weighting != want.Weighting {
+		t.Fatalf("Weighting = %q, want %q", got.Weighting, want.Weighting)
+	}
+	if len(got.PerFeature) != len(want.PerFeature) {
+		t.Fatalf("PerFeature has %d radii, want %d", len(got.PerFeature), len(want.PerFeature))
+	}
+	for i := range want.PerFeature {
+		g, w := got.PerFeature[i], want.PerFeature[i]
+		if math.Float64bits(g.Value) != math.Float64bits(w.Value) ||
+			g.Feature != w.Feature || g.Side != w.Side || g.Degraded != w.Degraded {
+			t.Fatalf("PerFeature[%d] = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestShardEquivalence(t *testing.T) {
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSeed: 1}
+	for _, w := range []Weighting{Normalized{}, Sensitivity{}} {
+		want, err := shardTestAnalysis(t).RobustnessWith(context.Background(), w, opt)
+		if err != nil {
+			t.Fatalf("RobustnessWith(%s): %v", w.Name(), err)
+		}
+		for shards := 1; shards <= 4; shards++ {
+			got, errs := shardAndFold(t, func() *Analysis { return shardTestAnalysis(t) }, w, opt, shards)
+			for i, e := range errs {
+				if e != nil {
+					t.Fatalf("%s/%d shards: feature %d: %v", w.Name(), shards, i, e)
+				}
+			}
+			assertSameRobustness(t, got, want)
+		}
+	}
+}
+
+func TestShardEquivalenceWithCache(t *testing.T) {
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSeed: 1}
+	build := func() *Analysis {
+		a := shardTestAnalysis(t)
+		a.EnableImpactCache(0)
+		return a
+	}
+	ref := build()
+	want, err := ref.RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatalf("RobustnessWith: %v", err)
+	}
+	got, errs := shardAndFold(t, build, Normalized{}, opt, 3)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("feature %d: %v", i, e)
+		}
+	}
+	assertSameRobustness(t, got, want)
+}
+
+// poisonedShardAnalysis wraps the numeric feature's impact to return NaN, so
+// it fails with ErrNumeric and degrades to the Monte-Carlo fallback.
+func poisonedShardAnalysis(t *testing.T) *Analysis {
+	a := shardTestAnalysis(t)
+	inner := a.Features[2].Impact
+	a.Features[2].Impact = func(vs []vec.V) float64 {
+		if v := inner(vs); v < 60 {
+			return v
+		}
+		return math.NaN()
+	}
+	return a
+}
+
+func TestShardDegradedEquivalence(t *testing.T) {
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSamples: 64, DegradeSeed: 7}
+	want, err := poisonedShardAnalysis(t).RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatalf("RobustnessWith: %v", err)
+	}
+	if !want.Degraded {
+		t.Fatalf("reference result is not degraded; the poison did not bite")
+	}
+	for shards := 1; shards <= 3; shards++ {
+		got, errs := shardAndFold(t, func() *Analysis { return poisonedShardAnalysis(t) }, Normalized{}, opt, shards)
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("%d shards: feature %d: %v", shards, i, e)
+			}
+		}
+		assertSameRobustness(t, got, want)
+	}
+}
+
+func TestShardForceDegradedEquivalence(t *testing.T) {
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSamples: 64, DegradeSeed: 3, ForceDegraded: true}
+	want, err := shardTestAnalysis(t).RobustnessWith(context.Background(), Normalized{}, opt)
+	if err != nil {
+		t.Fatalf("RobustnessWith: %v", err)
+	}
+	got, errs := shardAndFold(t, func() *Analysis { return shardTestAnalysis(t) }, Normalized{}, opt, 2)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("feature %d: %v", i, e)
+		}
+	}
+	assertSameRobustness(t, got, want)
+}
+
+func TestShardErrorParity(t *testing.T) {
+	build := func() *Analysis {
+		a := shardTestAnalysis(t)
+		a.Features[2].Impact = func([]vec.V) float64 { panic("boom") }
+		return a
+	}
+	opt := EvalOptions{DegradeOnNumeric: true, DegradeSeed: 1}
+	_, wantErr := build().RobustnessWith(context.Background(), Normalized{}, opt)
+	if wantErr == nil {
+		t.Fatalf("reference evaluation did not fail")
+	}
+	a := build()
+	rr, ee := a.RobustnessShardCtx(context.Background(), []int{2}, Normalized{}, opt)
+	if ee[0] == nil {
+		t.Fatalf("shard evaluation did not fail; radius %+v", rr[0])
+	}
+	if ee[0].Error() != wantErr.Error() {
+		t.Fatalf("shard error %q, want %q", ee[0].Error(), wantErr.Error())
+	}
+	// The other features still answer on their own shard.
+	rr, ee = a.RobustnessShardCtx(context.Background(), []int{0, 1}, Normalized{}, opt)
+	for q := range rr {
+		if ee[q] != nil {
+			t.Fatalf("healthy feature %d failed: %v", q, ee[q])
+		}
+		if rr[q].Feature != q {
+			t.Fatalf("radius carries feature %d, want %d", rr[q].Feature, q)
+		}
+	}
+}
+
+func TestFoldRadiiTieBreaking(t *testing.T) {
+	radii := []Radius{
+		{Value: 2, Feature: 0},
+		{Value: 1, Feature: 1},
+		{Value: 1, Feature: 2}, // tie: the lower index must win
+	}
+	res := FoldRadii("normalized", radii)
+	if res.Critical != 1 || res.Value != 1 {
+		t.Fatalf("fold = (value %v, critical %d), want (1, 1)", res.Value, res.Critical)
+	}
+	inf := []Radius{
+		{Value: math.Inf(1), Feature: 0},
+		{Value: math.Inf(1), Feature: 1},
+	}
+	res = FoldRadii("normalized", inf)
+	if res.Critical != -1 || !math.IsInf(res.Value, 1) {
+		t.Fatalf("all-infinite fold = (value %v, critical %d), want (+Inf, -1)", res.Value, res.Critical)
+	}
+	deg := []Radius{{Value: 3, Feature: 0}, {Value: 5, Feature: 1, Degraded: true}}
+	if res := FoldRadii("normalized", deg); !res.Degraded {
+		t.Fatalf("fold of a degraded radius is not flagged Degraded")
+	}
+}

@@ -1,0 +1,234 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/report"
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+	"fepia/internal/stats"
+)
+
+// RunE16 measures the scatter-gather overhead of the cluster coordinator:
+// the same request stream is pushed through a coordinator fronting one
+// in-process worker and through one fronting three, and through a bare
+// single-node daemon as the reference. The experiment's checks are equality
+// checks — every setup must return bit-identical robustness bodies (the
+// exact-decomposition contract of internal/cluster) — and the timings are
+// recorded as a table plus notes, not asserted: wall-clock on shared CI
+// runners is advisory (docs/performance.md).
+func RunE16(cfg Config) (*Result, error) {
+	res := &Result{ID: "E16", Title: "Cluster scatter-gather overhead: 1 vs 3 in-process workers"}
+
+	// --- Workload: a deterministic mix of analytic and numeric scenarios ---
+	nDocs := cfg.size(12, 4)
+	rounds := cfg.size(4, 2)
+	docs := make([]scenario.AnalysisDoc, nDocs)
+	for i := range docs {
+		docs[i] = e16Doc(cfg.Seed, i)
+	}
+
+	// --- Fixtures ---------------------------------------------------------
+	newWorker := func() *httptest.Server {
+		return httptest.NewServer(server.New(server.Config{}).Handler())
+	}
+	workers := make([]*httptest.Server, 3)
+	urls := make([]string, 3)
+	for i := range workers {
+		workers[i] = newWorker()
+		defer workers[i].Close()
+		urls[i] = workers[i].URL
+	}
+	single := newWorker()
+	defer single.Close()
+
+	newCoord := func(ws []string) (*httptest.Server, func(), error) {
+		c, err := cluster.New(cluster.Config{Workers: ws, HealthInterval: 100 * time.Millisecond})
+		if err != nil {
+			return nil, nil, err
+		}
+		front := httptest.NewServer(c.Handler())
+		return front, func() { front.Close(); c.Close() }, nil
+	}
+	coord1, close1, err := newCoord(urls[:1])
+	if err != nil {
+		return nil, err
+	}
+	defer close1()
+	coord3, close3, err := newCoord(urls)
+	if err != nil {
+		return nil, err
+	}
+	defer close3()
+
+	// --- Equality: every setup returns the same bodies --------------------
+	// (Run before the timed rounds; this also warms connections so the
+	// timings compare steady-state scatter cost, not TCP setup.)
+	refBodies := make([]string, nDocs)
+	for i, doc := range docs {
+		ref, err := e16Eval(single.URL, doc)
+		if err != nil {
+			return nil, err
+		}
+		refBodies[i] = ref
+		for _, front := range []struct {
+			name string
+			url  string
+		}{{"coordinator/1", coord1.URL}, {"coordinator/3", coord3.URL}} {
+			got, err := e16Eval(front.url, doc)
+			if err != nil {
+				return nil, err
+			}
+			if got != ref {
+				res.check("every coordinator setup is bit-identical to the single node", false,
+					"doc %d via %s:\n  got  %s\n  want %s", i, front.name, got, ref)
+				return res, nil
+			}
+		}
+	}
+	res.check("every coordinator setup is bit-identical to the single node",
+		true, "%d scenarios x {single, coordinator/1, coordinator/3}", nDocs)
+
+	// --- Timed rounds ------------------------------------------------------
+	run := func(url string) (time.Duration, error) {
+		start := time.Now()
+		var firstErr error
+		var mu sync.Mutex
+		for r := 0; r < rounds; r++ {
+			parallelFor(nDocs, func(i int) {
+				if _, err := e16Eval(url, docs[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			})
+		}
+		return time.Since(start), firstErr
+	}
+	setups := []struct {
+		name string
+		url  string
+	}{
+		{"single node", single.URL},
+		{"coordinator, 1 worker", coord1.URL},
+		{"coordinator, 3 workers", coord3.URL},
+	}
+	total := rounds * nDocs
+	tb := report.NewTable("E16: wall time for the same request stream per setup",
+		"setup", "requests", "total (ms)", "per request (ms)")
+	durs := make([]time.Duration, len(setups))
+	for s, setup := range setups {
+		d, err := run(setup.url)
+		if err != nil {
+			return nil, err
+		}
+		durs[s] = d
+		tb.AddRow(setup.name, total, float64(d.Milliseconds()),
+			float64(d.Microseconds())/1000/float64(total))
+	}
+	res.Tables = append(res.Tables, tb)
+	res.check("all timed rounds completed", true, "%d requests per setup", total)
+	if durs[0] > 0 {
+		res.note("Scatter-gather overhead (advisory, not asserted): coordinator/1 is %.2fx and coordinator/3 is %.2fx the single-node wall time on this run. The 1-worker coordinator isolates the pure HTTP+merge tax; the 3-worker ratio additionally reflects parallel shard wins on multi-feature scenarios minus the extra hop.",
+			float64(durs[1])/float64(durs[0]), float64(durs[2])/float64(durs[0]))
+	}
+	return res, nil
+}
+
+// e16Doc builds the i-th workload scenario: alternating analytic (linear +
+// quadratic, exercising the closed-form tiers end to end) and numeric
+// (multiplicative) features over one or two parameter kinds, with sizes
+// varied by index so the three-worker setup genuinely spreads classes.
+func e16Doc(seed int64, i int) scenario.AnalysisDoc {
+	src := stats.Named(seed, fmt.Sprintf("e16-doc-%d", i))
+	nParams := 1 + i%2
+	doc := scenario.AnalysisDoc{Version: scenario.Version, Kind: "fepia"}
+	for j := 0; j < nParams; j++ {
+		dim := 1 + (i+j)%2
+		orig := make([]float64, dim)
+		for e := range orig {
+			orig[e] = src.Uniform(1, 4)
+		}
+		doc.Params = append(doc.Params, scenario.AnalysisParam{
+			Name: fmt.Sprintf("pi_%d", j+1), Orig: orig,
+		})
+	}
+	blocks := func(draw func() float64) [][]float64 {
+		out := make([][]float64, len(doc.Params))
+		for j, p := range doc.Params {
+			out[j] = make([]float64, len(p.Orig))
+			for e := range out[j] {
+				out[j][e] = draw()
+			}
+		}
+		return out
+	}
+	lin := scenario.AnalysisFeature{
+		Name: "lat", Coeffs: blocks(func() float64 { return src.Uniform(0.5, 2) }),
+	}
+	linMax := 20 + src.Uniform(5, 20)
+	lin.Max = &linMax
+	quad := scenario.AnalysisFeature{
+		Name: "jitter", Impact: "quadratic",
+		Curv:   blocks(func() float64 { return src.Uniform(0.2, 1) }),
+		Center: blocks(func() float64 { return src.Uniform(0, 1) }),
+	}
+	quadMax := 30 + src.Uniform(5, 15)
+	quad.Max = &quadMax
+	doc.Features = append(doc.Features, lin, quad)
+	if i%2 == 0 {
+		mult := scenario.AnalysisFeature{
+			Name: "tput", Impact: "multiplicative", Scale: 1,
+			Pows: blocks(func() float64 { return []float64{0.5, 1}[src.Intn(2)] }),
+		}
+		multMax := 50 + src.Uniform(10, 50)
+		mult.Max = &multMax
+		doc.Features = append(doc.Features, mult)
+	}
+	return doc
+}
+
+// e16Eval posts one robustness evaluation and returns the response body
+// normalized for comparison (requestId, elapsedMs, and cluster provenance
+// stripped — everything else must match bit for bit).
+func e16Eval(base string, doc scenario.AnalysisDoc) (string, error) {
+	body, err := json.Marshal(server.EvalRequest{Scenario: doc})
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/v1/robustness", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("e16: %s: status %d: %s", base, resp.StatusCode, data)
+	}
+	var full struct {
+		Robustness json.RawMessage `json:"robustness"`
+		Class      string          `json:"class"`
+		Breaker    string          `json:"breaker"`
+	}
+	if err := json.Unmarshal(data, &full); err != nil {
+		return "", err
+	}
+	norm, err := json.Marshal(full)
+	if err != nil {
+		return "", err
+	}
+	return string(norm), nil
+}

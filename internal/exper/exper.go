@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"E13", "Mixed-kind makespan: execution times + input sizes on the TPDS substrate", "Section 3 scenario on the TPDS'04 system (extension)", RunE13},
 		{"E14", "Robustness vs requirement tightness and workload heterogeneity", "evaluation-methodology sweep (extension)", RunE14},
 		{"E15", "Queueing tier: demand and capacity as perturbation kinds", "nonlinear-impact validation + capacity planning (extension)", RunE15},
+		{"E16", "Cluster scatter-gather overhead: 1 vs 3 in-process workers", "distributed-evaluation equivalence + overhead (extension)", RunE16},
 	}
 }
 

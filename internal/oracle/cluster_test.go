@@ -1,0 +1,350 @@
+package oracle
+
+// The cluster differential: a coordinator fronting a fleet of in-process
+// fepiad workers must be bit-identical to a single-node daemon — same radii
+// down to the last float bit, same typed errors, same breaker classes — on
+// generated instances, on batches, under injected chaos faults, and while a
+// worker is killed mid-batch. The decomposition argument (internal/core
+// shard.go) says the scatter-gather is exact; this test holds it to that.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+)
+
+// specToAnalysisDoc converts a generated Spec to the daemon's wire document.
+// The field blocks map 1:1; only the bound encoding differs (the spec's
+// (Has, value) pairs become the document's optional pointers).
+func specToAnalysisDoc(s Spec) scenario.AnalysisDoc {
+	doc := scenario.AnalysisDoc{Version: scenario.Version, Kind: "fepia"}
+	for _, p := range s.Params {
+		doc.Params = append(doc.Params, scenario.AnalysisParam{
+			Name: p.Name,
+			Orig: append([]float64(nil), p.Orig...),
+		})
+	}
+	for _, f := range s.Features {
+		af := scenario.AnalysisFeature{
+			Name:   f.Name,
+			Impact: string(f.Kind),
+			Coeffs: deepCopy(f.Coeffs),
+			Const:  f.Const,
+			Curv:   deepCopy(f.Curv),
+			Center: deepCopy(f.Center),
+			Scale:  f.Scale,
+			Pows:   deepCopy(f.Pows),
+			Wgts:   deepCopy(f.Wgts),
+			Caps:   deepCopy(f.Caps),
+			Eps:    f.Eps,
+		}
+		if f.HasMin {
+			v := f.Min
+			af.Min = &v
+		}
+		if f.HasMax {
+			v := f.Max
+			af.Max = &v
+		}
+		doc.Features = append(doc.Features, af)
+	}
+	return doc
+}
+
+// clusterWorkerConfig is the one config both sides of the differential run:
+// any divergence (degrade sample count, cache policy) would be a test bug,
+// not an engine bug.
+func clusterWorkerConfig() server.Config {
+	return server.Config{EnableChaos: true}
+}
+
+type clusterFixture struct {
+	workers []*httptest.Server
+	coord   *cluster.Coordinator
+	front   *httptest.Server // coordinator
+	ref     *httptest.Server // single-node reference
+}
+
+func newClusterFixture(t *testing.T, nWorkers int) *clusterFixture {
+	t.Helper()
+	fx := &clusterFixture{}
+	urls := make([]string, nWorkers)
+	for i := range urls {
+		ws := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(ws.Close)
+		fx.workers = append(fx.workers, ws)
+		urls[i] = ws.URL
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers:        urls,
+		EnableChaos:    true,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	fx.coord = coord
+	fx.front = httptest.NewServer(coord.Handler())
+	t.Cleanup(fx.front.Close)
+	fx.ref = httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+	t.Cleanup(fx.ref.Close)
+	return fx
+}
+
+func clusterPost(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// bitEq compares float64 pointers by bit pattern — the differential's claim
+// is bit-identity, not closeness.
+func bitEq(a, b *float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || math.Float64bits(*a) == math.Float64bits(*b)
+}
+
+func sameRobustness(t *testing.T, tag string, got, want RobustnessLike) {
+	t.Helper()
+	if !bitEq(got.Value, want.Value) || got.Unbounded != want.Unbounded ||
+		got.Critical != want.Critical || got.Weighting != want.Weighting ||
+		got.Degraded != want.Degraded {
+		t.Fatalf("%s: robustness header differs:\n  got  %+v\n  want %+v", tag, got, want)
+	}
+	if len(got.PerFeature) != len(want.PerFeature) {
+		t.Fatalf("%s: perFeature length %d vs %d", tag, len(got.PerFeature), len(want.PerFeature))
+	}
+	for i := range got.PerFeature {
+		g, w := got.PerFeature[i], want.PerFeature[i]
+		if !bitEq(g.Value, w.Value) {
+			t.Fatalf("%s: perFeature[%d] value differs:\n  got  %+v\n  want %+v", tag, i, g, w)
+		}
+		g.Value, w.Value = nil, nil // compared above; the rest is comparable
+		if g != w {
+			t.Fatalf("%s: perFeature[%d] differs:\n  got  %+v\n  want %+v", tag, i, g, w)
+		}
+	}
+}
+
+// RobustnessLike lets the eval and batch bodies share one comparator.
+type RobustnessLike = server.RobustnessJSON
+
+// compareEval posts one EvalRequest to the coordinator and the single node
+// and requires identical status and identical bodies up to requestId /
+// elapsedMs / cluster provenance.
+func compareEval(t *testing.T, fx *clusterFixture, tag string, req server.EvalRequest) {
+	t.Helper()
+	cs, cb := clusterPost(t, fx.front.URL+"/v1/robustness", req)
+	rs, rb := clusterPost(t, fx.ref.URL+"/v1/robustness", req)
+	if cs != rs {
+		t.Fatalf("%s: status %d (cluster) vs %d (single)\ncluster: %s\nsingle: %s", tag, cs, rs, cb, rb)
+	}
+	if cs != http.StatusOK {
+		var ce, re server.ErrorResponse
+		if err := json.Unmarshal(cb, &ce); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if err := json.Unmarshal(rb, &re); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if ce.Error != re.Error || ce.Kind != re.Kind {
+			t.Fatalf("%s: error differs:\n  cluster %q kind %q\n  single  %q kind %q", tag, ce.Error, ce.Kind, re.Error, re.Kind)
+		}
+		return
+	}
+	var ce cluster.EvalResponse
+	var re server.EvalResponse
+	if err := json.Unmarshal(cb, &ce); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	if err := json.Unmarshal(rb, &re); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	if ce.Class != re.Class || ce.Breaker != re.Breaker {
+		t.Fatalf("%s: class/breaker %q/%q vs %q/%q", tag, ce.Class, ce.Breaker, re.Class, re.Breaker)
+	}
+	sameRobustness(t, tag, ce.Robustness, re.Robustness)
+}
+
+// TestOracleClusterDifferential is the scatter-gather correctness gate: a
+// 3-worker cluster must be indistinguishable (bit-identical bodies, same
+// typed errors) from a single node across generated instances, chaos
+// faults, batches, and a worker killed mid-batch.
+func TestOracleClusterDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster differential is not short")
+	}
+
+	t.Run("robustness", func(t *testing.T) {
+		fx := newClusterFixture(t, 3)
+		weightings := []string{"", "sensitivity"}
+		for seed := int64(1); seed <= 110; seed++ {
+			doc := specToAnalysisDoc(Generate(seed))
+			req := server.EvalRequest{Scenario: doc, Weighting: weightings[seed%2]}
+			compareEval(t, fx, "seed "+itoa(seed), req)
+		}
+	})
+
+	t.Run("chaos", func(t *testing.T) {
+		fx := newClusterFixture(t, 3)
+		for seed := int64(1); seed <= 8; seed++ {
+			spec := Generate(seed)
+			doc := specToAnalysisDoc(spec)
+			// Fault a middle feature so the merge's lowest-index-error rule
+			// is exercised across shard boundaries.
+			target := len(spec.Features) / 2
+			for _, fault := range []string{"nan", "panic"} {
+				req := server.EvalRequest{
+					Scenario: doc,
+					Chaos:    []server.ChaosSpec{{Feature: target, Fault: fault}},
+				}
+				compareEval(t, fx, "seed "+itoa(seed)+" chaos "+fault, req)
+			}
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		fx := newClusterFixture(t, 3)
+		for base := int64(200); base < 230; base += 3 {
+			var req server.BatchRequest
+			for k := int64(0); k < 3; k++ {
+				req.Items = append(req.Items, server.BatchItemRequest{
+					Scenario: specToAnalysisDoc(Generate(base + k)),
+				})
+			}
+			// One chaos item per batch keeps the per-item error path hot.
+			req.Items[1].Chaos = []server.ChaosSpec{{Feature: 0, Fault: "nan"}}
+			compareBatch(t, fx, "base "+itoa(base), req)
+		}
+	})
+
+	t.Run("killed-worker-mid-batch", func(t *testing.T) {
+		// The workers get 400ms of added HTTP latency on the shard endpoint —
+		// outside the evaluation, so results are untouched — which guarantees
+		// the kill below lands while shards are genuinely in flight.
+		const delay = 400 * time.Millisecond
+		workers := make([]*httptest.Server, 3)
+		urls := make([]string, 3)
+		for i := range urls {
+			h := server.New(clusterWorkerConfig()).Handler()
+			ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/shard" {
+					time.Sleep(delay)
+				}
+				h.ServeHTTP(w, r)
+			}))
+			t.Cleanup(ws.Close)
+			workers[i] = ws
+			urls[i] = ws.URL
+		}
+		coord, err := cluster.New(cluster.Config{
+			Workers:        urls,
+			EnableChaos:    true,
+			HealthInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(coord.Close)
+		front := httptest.NewServer(coord.Handler())
+		t.Cleanup(front.Close)
+		ref := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(ref.Close)
+
+		var req server.BatchRequest
+		for k := int64(0); k < 6; k++ {
+			req.Items = append(req.Items, server.BatchItemRequest{
+				Scenario: specToAnalysisDoc(Generate(300 + k)),
+			})
+		}
+
+		type out struct {
+			status int
+			body   []byte
+		}
+		ch := make(chan out, 1)
+		go func() {
+			s, b := clusterPost(t, front.URL+"/v1/batch", req)
+			ch <- out{s, b}
+		}()
+		// Kill two of the three workers while their shards sleep in flight;
+		// everything must re-route to the survivor and the merged batch must
+		// still be bit-identical to the single node.
+		time.Sleep(150 * time.Millisecond)
+		for _, w := range workers[:2] {
+			w.CloseClientConnections()
+			w.Close()
+		}
+		got := <-ch
+
+		rs, rb := clusterPost(t, ref.URL+"/v1/batch", req)
+		if got.status != rs {
+			t.Fatalf("status %d (cluster) vs %d (single)\ncluster: %s", got.status, rs, got.body)
+		}
+		sameBatchBodies(t, "killed-worker", got.body, rb, len(req.Items))
+	})
+}
+
+func compareBatch(t *testing.T, fx *clusterFixture, tag string, req server.BatchRequest) {
+	t.Helper()
+	cs, cb := clusterPost(t, fx.front.URL+"/v1/batch", req)
+	rs, rb := clusterPost(t, fx.ref.URL+"/v1/batch", req)
+	if cs != rs {
+		t.Fatalf("%s: status %d (cluster) vs %d (single)\ncluster: %s\nsingle: %s", tag, cs, rs, cb, rb)
+	}
+	sameBatchBodies(t, tag, cb, rb, len(req.Items))
+}
+
+func sameBatchBodies(t *testing.T, tag string, clusterBody, singleBody []byte, nItems int) {
+	t.Helper()
+	var cr cluster.BatchResponse
+	var rr server.BatchResponse
+	if err := json.Unmarshal(clusterBody, &cr); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	if err := json.Unmarshal(singleBody, &rr); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	if len(cr.Results) != nItems || len(rr.Results) != nItems {
+		t.Fatalf("%s: result lengths %d / %d, want %d", tag, len(cr.Results), len(rr.Results), nItems)
+	}
+	for k := range cr.Results {
+		c, r := cr.Results[k], rr.Results[k]
+		if c.Error != r.Error || c.Kind != r.Kind || c.Class != r.Class || c.Breaker != r.Breaker {
+			t.Fatalf("%s item %d: meta differs:\n  cluster %+v\n  single  %+v", tag, k, c, r)
+		}
+		if (c.Robustness == nil) != (r.Robustness == nil) {
+			t.Fatalf("%s item %d: robustness presence differs", tag, k)
+		}
+		if c.Robustness != nil {
+			sameRobustness(t, tag+" item "+itoa(int64(k)), *c.Robustness, *r.Robustness)
+		}
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

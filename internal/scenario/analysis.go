@@ -3,8 +3,10 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
+	"strconv"
 
 	"fepia/internal/core"
 	"fepia/internal/vec"
@@ -67,6 +69,22 @@ type AnalysisFeature struct {
 	Wgts [][]float64 `json:"wgts,omitempty"`
 	Caps [][]float64 `json:"caps,omitempty"`
 	Eps  float64     `json:"eps,omitempty"`
+}
+
+// Fingerprint returns a stable content hash of the document: two documents
+// fingerprint equally iff their canonical JSON forms are byte-identical
+// (encoding/json emits struct fields in declaration order, so the encoding
+// is deterministic). The daemon's cross-request scenario cache and the
+// cluster coordinator's provenance both key on it. The hash is not
+// cryptographic — it identifies, it does not authenticate.
+func (d AnalysisDoc) Fingerprint() (string, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return "", fmt.Errorf("scenario: fingerprint: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return strconv.FormatUint(h.Sum64(), 16), nil
 }
 
 // family resolves the impact family, defaulting to linear.

@@ -128,12 +128,29 @@ const (
 // estimate only has to be proportionate, not exact: it decides how much
 // concurrent work the daemon bites off, not how results are computed.
 func estimateCost(doc scenario.AnalysisDoc) int64 {
+	return estimateCostFeatures(doc, nil)
+}
+
+// estimateCostFeatures prices a feature subset of one scenario — the
+// admission cost of a /v1/shard request, which evaluates only the listed
+// features. nil means all features (= estimateCost).
+func estimateCostFeatures(doc scenario.AnalysisDoc, features []int) int64 {
 	dim := 0
 	for _, p := range doc.Params {
 		dim += len(p.Orig)
 	}
+	if features == nil {
+		features = make([]int, len(doc.Features))
+		for i := range features {
+			features[i] = i
+		}
+	}
 	var cost int64
-	for _, f := range doc.Features {
+	for _, i := range features {
+		if i < 0 || i >= len(doc.Features) {
+			continue // rejected later by validation; don't price it
+		}
+		f := doc.Features[i]
 		if f.NumericTier() {
 			sides := int64(0)
 			if f.Min != nil {

@@ -88,6 +88,7 @@ type breaker struct {
 	backoff time.Duration // current open interval
 	until   time.Time     // when an open breaker becomes half-open
 	probing bool          // a half-open probe is in flight
+	trips   uint64        // times this class tripped closed → open
 }
 
 func newBreakerSet(cfg breakerConfig) *breakerSet {
@@ -156,6 +157,7 @@ func (bs *breakerSet) record(class string, probe, failed bool) {
 	if b.consec >= bs.cfg.threshold {
 		bs.reopen(b)
 		bs.trips++
+		b.trips++
 	}
 }
 
@@ -181,6 +183,10 @@ type BreakerSnapshot struct {
 	State               string `json:"state"`
 	ConsecutiveFailures int    `json:"consecutiveFailures,omitempty"`
 	ReopenInMs          int64  `json:"reopenInMs,omitempty"`
+	// Trips counts how many times this class tripped closed → open (failed
+	// half-open probes re-open without counting as new trips, matching the
+	// daemon-wide breakerTrips counter).
+	Trips uint64 `json:"trips,omitempty"`
 }
 
 // snapshot lists every known class, sorted for stable output, plus the
@@ -191,7 +197,7 @@ func (bs *breakerSet) snapshot() ([]BreakerSnapshot, uint64) {
 	now := bs.cfg.now()
 	out := make([]BreakerSnapshot, 0, len(bs.m))
 	for class, b := range bs.m {
-		s := BreakerSnapshot{Class: class, State: b.state, ConsecutiveFailures: b.consec}
+		s := BreakerSnapshot{Class: class, State: b.state, ConsecutiveFailures: b.consec, Trips: b.trips}
 		if b.state == BreakerOpen {
 			if d := b.until.Sub(now); d > 0 {
 				s.ReopenInMs = d.Milliseconds()
@@ -202,6 +208,42 @@ func (bs *breakerSet) snapshot() ([]BreakerSnapshot, uint64) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
 	return out, bs.trips
 }
+
+// Classify is the exported scenario-class key: the cluster coordinator uses
+// the same classification as the daemon's circuit breaker for its
+// consistent-hash placement, so repeated traffic for a class lands on the
+// worker whose impact cache is already warm for it.
+func Classify(doc scenario.AnalysisDoc, chaos bool) string { return classify(doc, chaos) }
+
+// Breakers is the exported handle on a per-class breaker set. The cluster
+// coordinator runs one for the requests it serves — scattered shards bypass
+// the workers' own breakers (workers evaluate exactly what they are told),
+// so the coordinator must make the degrade-don't-fail decision itself, with
+// the same semantics as a single-node daemon.
+type Breakers struct{ bs *breakerSet }
+
+// NewBreakers builds a breaker set with the given trip threshold and
+// backoff shape; zero values take the daemon defaults, seed 0 time-seeds
+// the jitter stream.
+func NewBreakers(threshold int, backoff, maxBackoff time.Duration, seed int64) *Breakers {
+	cfg := breakerConfig{threshold: threshold, backoff: backoff, maxBackoff: maxBackoff}
+	if seed != 0 {
+		cfg.rng = rand.New(rand.NewSource(seed))
+	}
+	return &Breakers{bs: newBreakerSet(cfg)}
+}
+
+// Route decides how a request of the class must be evaluated right now; see
+// breakerSet.route.
+func (b *Breakers) Route(class string) (forceDegraded, probe bool, state string) {
+	return b.bs.route(class)
+}
+
+// Record reports a request's terminal outcome; see breakerSet.record.
+func (b *Breakers) Record(class string, probe, failed bool) { b.bs.record(class, probe, failed) }
+
+// Snapshot lists every known class plus the total trip count.
+func (b *Breakers) Snapshot() ([]BreakerSnapshot, uint64) { return b.bs.snapshot() }
 
 // classify maps a scenario document to its breaker class: the distinct
 // numeric impact families it uses (or "analytic" when every feature has a

@@ -104,14 +104,18 @@ type EvalResponse struct {
 	// Class is the scenario's breaker class; Breaker the state the request
 	// was routed under ("open" means the numeric tier was skipped and the
 	// result is a forced Monte-Carlo estimate).
-	Class     string  `json:"class"`
-	Breaker   string  `json:"breaker"`
+	Class   string `json:"class"`
+	Breaker string `json:"breaker"`
+	// RequestID is the request's correlation ID (also in the X-Request-ID
+	// response header).
+	RequestID string  `json:"requestId,omitempty"`
 	ElapsedMs float64 `json:"elapsedMs"`
 }
 
 // RadiusResponse is the success body of /v1/radius.
 type RadiusResponse struct {
 	Radii     []RadiusJSON `json:"radii"`
+	RequestID string       `json:"requestId,omitempty"`
 	ElapsedMs float64      `json:"elapsedMs"`
 }
 
@@ -130,6 +134,7 @@ type BatchItemResponse struct {
 // per-item failures (including cancellation) are reported per item.
 type BatchResponse struct {
 	Results   []BatchItemResponse `json:"results"`
+	RequestID string              `json:"requestId,omitempty"`
 	ElapsedMs float64             `json:"elapsedMs"`
 }
 
@@ -139,7 +144,27 @@ type ErrorResponse struct {
 	// Kind is the machine-readable class; docs/failure-semantics.md
 	// §server maps kinds to the engine's typed errors.
 	Kind         string `json:"kind,omitempty"`
+	RequestID    string `json:"requestId,omitempty"`
 	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
+// StatusForKind is the inverse of errKind's status mapping: the HTTP status
+// a response of the given machine kind carries. The cluster coordinator uses
+// it to relay a worker-reported evaluation failure with the same status a
+// single-node daemon would have chosen.
+func StatusForKind(kind string) int {
+	switch kind {
+	case "deadline-exceeded":
+		return http.StatusGatewayTimeout
+	case "cancelled", "draining":
+		return http.StatusServiceUnavailable
+	case "overloaded":
+		return http.StatusTooManyRequests
+	case "bad-request":
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -164,10 +189,12 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.statz())
 }
 
-// badRequest rejects with 400 and counts it.
-func (s *Server) badRequest(w http.ResponseWriter, err error) {
+// badRequest rejects with 400, counts it, and logs it under the request ID.
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, err error) {
+	rid := RequestIDFrom(r.Context())
 	s.stats.badRequests.Add(1)
-	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad-request"})
+	s.cfg.Logf("server: rid=%s bad request: %v", rid, err)
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad-request", RequestID: rid})
 }
 
 // requestTimeout resolves a request's deadline from its raw timeout field.
@@ -280,20 +307,24 @@ func applyChaos(a *core.Analysis, specs []ChaosSpec, ctx context.Context) error 
 // context and a finish func to run after the terminal response; on failure
 // it has already written the response.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeout time.Duration) (context.Context, func(), bool) {
+	rid := RequestIDFrom(r.Context())
 	exit, ok := s.enter()
 	if !ok {
 		s.stats.rejectedDraining.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining", Kind: "draining"})
+		s.cfg.Logf("server: rid=%s rejected: draining", rid)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining", Kind: "draining", RequestID: rid})
 		return nil, nil, false
 	}
 	if !s.adm.reserve(cost) {
 		exit()
 		s.stats.shed.Add(1)
 		ra := s.adm.retryAfter()
+		s.cfg.Logf("server: rid=%s shed: queue full (cost %d, retry in %v)", rid, cost, ra)
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:        "admission queue full, request shed",
 			Kind:         "overloaded",
+			RequestID:    rid,
 			RetryAfterMs: ra.Milliseconds(),
 		})
 		return nil, nil, false
@@ -307,7 +338,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeo
 		stopAfter()
 		cancel()
 		s.adm.release(cost)
-		s.writeEvalError(w, fmt.Errorf("while queued for an evaluation slot: %w", err))
+		s.writeEvalError(w, r, fmt.Errorf("while queued for an evaluation slot: %w", err))
 		exit()
 		return nil, nil, false
 	}
@@ -340,8 +371,10 @@ func errKind(err error) (int, string) {
 	}
 }
 
-// writeEvalError responds with the mapped status and counts the outcome.
-func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+// writeEvalError responds with the mapped status, counts the outcome, and
+// logs it under the request ID.
+func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, err error) {
+	rid := RequestIDFrom(r.Context())
 	status, kind := errKind(err)
 	switch status {
 	case http.StatusGatewayTimeout:
@@ -351,7 +384,8 @@ func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
 	default:
 		s.stats.errInternal.Add(1)
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+	s.cfg.Logf("server: rid=%s evaluation failed (%s): %v", rid, kind, err)
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
 }
 
 // outcomeFailed classifies a terminal evaluation outcome for the breaker:
@@ -420,44 +454,58 @@ func (s *Server) evalOptions(forced bool) core.EvalOptions {
 	}
 }
 
-// buildAnalysis builds and decorates one scenario for evaluation.
-func (s *Server) buildAnalysis(doc scenario.AnalysisDoc, specs []ChaosSpec, ctx context.Context) (*core.Analysis, error) {
+// buildAnalysis builds and decorates one scenario for evaluation. When the
+// scenario cache is enabled and the request carries no chaos decorations
+// (which mutate features in place), the analysis may be a shared cached one;
+// the returned entry is non-nil in that case and must be passed to
+// reportCache for delta accounting.
+func (s *Server) buildAnalysis(doc scenario.AnalysisDoc, specs []ChaosSpec, ctx context.Context) (*core.Analysis, *scacheEntry, error) {
+	if s.scache != nil && len(specs) == 0 {
+		a, e, err := s.lookupScenario(doc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if a != nil {
+			return a, e, nil
+		}
+	}
 	a, err := doc.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if s.cfg.CacheCap >= 0 {
 		a.EnableImpactCache(s.cfg.CacheCap)
 	}
 	if err := applyChaos(a, specs, ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return a, nil
+	return a, nil, nil
 }
 
 func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
 	var req EvalRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if err := req.Scenario.Validate(); err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	weighting, err := parseWeighting(req.Weighting)
 	if err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	timeout, err := s.requestTimeout(req.Timeout)
 	if err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	if status, err := s.checkChaos(req.Chaos, req.Scenario); err != nil {
 		s.stats.badRequests.Add(1)
-		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos"})
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos", RequestID: rid})
 		return
 	}
 	cost := estimateCost(req.Scenario)
@@ -468,9 +516,9 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 	}
 	defer finish()
 
-	a, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
+	a, entry, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
 	if err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	class := classify(req.Scenario, len(req.Chaos) > 0)
@@ -479,7 +527,7 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, evalErr := a.RobustnessWith(ctx, weighting, s.evalOptions(forced))
 	elapsed := time.Since(start)
-	s.addCacheStats(a.CacheStats())
+	s.reportCache(class, a, entry)
 
 	failed, neutral := outcomeFailed(res, evalErr, forced)
 	if !neutral || probe {
@@ -493,7 +541,7 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if evalErr != nil {
-		s.writeEvalError(w, evalErr)
+		s.writeEvalError(w, r, evalErr)
 		return
 	}
 	if res.Degraded {
@@ -501,36 +549,39 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.stats.completedOK.Add(1)
 	}
+	s.cfg.Logf("server: rid=%s robustness class=%s breaker=%s elapsed=%.1fms", rid, class, state, float64(elapsed.Microseconds())/1000)
 	writeJSON(w, http.StatusOK, EvalResponse{
 		Robustness: robustnessJSON(a, res),
 		Class:      class,
 		Breaker:    state,
+		RequestID:  rid,
 		ElapsedMs:  float64(elapsed.Microseconds()) / 1000,
 	})
 }
 
 func (s *Server) handleRadius(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
 	var req RadiusRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if err := req.Scenario.Validate(); err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	timeout, err := s.requestTimeout(req.Timeout)
 	if err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	if req.Param != nil && (*req.Param < 0 || *req.Param >= len(req.Scenario.Params)) {
-		s.badRequest(w, fmt.Errorf("param %d out of range (%d params)", *req.Param, len(req.Scenario.Params)))
+		s.badRequest(w, r, fmt.Errorf("param %d out of range (%d params)", *req.Param, len(req.Scenario.Params)))
 		return
 	}
 	if status, err := s.checkChaos(req.Chaos, req.Scenario); err != nil {
 		s.stats.badRequests.Add(1)
-		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos"})
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos", RequestID: rid})
 		return
 	}
 	cost := estimateCost(req.Scenario)
@@ -541,11 +592,12 @@ func (s *Server) handleRadius(w http.ResponseWriter, r *http.Request) {
 	}
 	defer finish()
 
-	a, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
+	a, entry, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
 	if err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
+	class := classify(req.Scenario, len(req.Chaos) > 0)
 
 	params := make([]int, 0, len(a.Params))
 	if req.Param != nil {
@@ -560,42 +612,44 @@ func (s *Server) handleRadius(w http.ResponseWriter, r *http.Request) {
 	for _, j := range params {
 		rad, rerr := a.RobustnessSingleCtx(ctx, j)
 		if rerr != nil {
-			s.addCacheStats(a.CacheStats())
-			s.writeEvalError(w, fmt.Errorf("param %d: %w", j, rerr))
+			s.reportCache(class, a, entry)
+			s.writeEvalError(w, r, fmt.Errorf("param %d: %w", j, rerr))
 			return
 		}
 		rj := radiusJSON(a, rad)
 		rj.Param = j
 		radii = append(radii, rj)
 	}
-	s.addCacheStats(a.CacheStats())
+	s.reportCache(class, a, entry)
 	s.stats.completedOK.Add(1)
 	writeJSON(w, http.StatusOK, RadiusResponse{
 		Radii:     radii,
+		RequestID: rid,
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
 	var req BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(req.Items) == 0 {
-		s.badRequest(w, errors.New("batch has no items"))
+		s.badRequest(w, r, errors.New("batch has no items"))
 		return
 	}
 	timeout, err := s.requestTimeout(req.Timeout)
 	if err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	var cost int64
 	weightings := make([]core.Weighting, len(req.Items))
 	for k, it := range req.Items {
 		if err := it.Scenario.Validate(); err != nil {
-			s.badRequest(w, fmt.Errorf("item %d: %w", k, err))
+			s.badRequest(w, r, fmt.Errorf("item %d: %w", k, err))
 			return
 		}
 		wname := it.Weighting
@@ -604,12 +658,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		weightings[k], err = parseWeighting(wname)
 		if err != nil {
-			s.badRequest(w, fmt.Errorf("item %d: %w", k, err))
+			s.badRequest(w, r, fmt.Errorf("item %d: %w", k, err))
 			return
 		}
 		if status, cerr := s.checkChaos(it.Chaos, it.Scenario); cerr != nil {
 			s.stats.badRequests.Add(1)
-			writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf("item %d: %v", k, cerr), Kind: "chaos"})
+			writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf("item %d: %v", k, cerr), Kind: "chaos", RequestID: rid})
 			return
 		}
 		cost += estimateCost(it.Scenario)
@@ -623,17 +677,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	n := len(req.Items)
 	analyses := make([]*core.Analysis, n)
+	entries := make([]*scacheEntry, n)
 	classes := make([]string, n)
 	forcedFlags := make([]bool, n)
 	probeFlags := make([]bool, n)
 	states := make([]string, n)
 	for k, it := range req.Items {
-		a, berr := s.buildAnalysis(it.Scenario, it.Chaos, ctx)
+		a, entry, berr := s.buildAnalysis(it.Scenario, it.Chaos, ctx)
 		if berr != nil {
-			s.badRequest(w, fmt.Errorf("item %d: %w", k, berr))
+			s.badRequest(w, r, fmt.Errorf("item %d: %w", k, berr))
 			return
 		}
-		analyses[k] = a
+		analyses[k], entries[k] = a, entry
 		classes[k] = classify(it.Scenario, len(it.Chaos) > 0)
 		forcedFlags[k], probeFlags[k], states[k] = s.brk.route(classes[k])
 	}
@@ -671,10 +726,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	runSubset(forcedIdx, true)
 	elapsed := time.Since(start)
 
-	out := BatchResponse{Results: make([]BatchItemResponse, n), ElapsedMs: float64(elapsed.Microseconds()) / 1000}
+	out := BatchResponse{Results: make([]BatchItemResponse, n), RequestID: rid, ElapsedMs: float64(elapsed.Microseconds()) / 1000}
 	anyDegraded, allOK := false, true
 	for k := 0; k < n; k++ {
-		s.addCacheStats(analyses[k].CacheStats())
+		s.reportCache(classes[k], analyses[k], entries[k])
 		failed, neutral := outcomeFailed(results[k], errs[k], forcedFlags[k])
 		if !neutral || probeFlags[k] {
 			if neutral && probeFlags[k] {
@@ -700,5 +755,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.stats.completedDegr.Add(1)
 	}
+	s.cfg.Logf("server: rid=%s batch items=%d elapsed=%.1fms", rid, n, out.ElapsedMs)
 	writeJSON(w, http.StatusOK, out)
 }

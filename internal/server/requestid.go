@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Request-ID propagation: every request handled by fepiad (worker or
+// coordinator) carries a correlation ID — taken from the client's
+// X-Request-ID header, or generated when absent — that appears in the
+// response header, in every JSON response and error body (the "requestId"
+// field), and in every log line about the request. The cluster coordinator
+// forwards the same ID on its worker hops, so one evaluation can be
+// followed across nodes with a single grep.
+
+// HeaderRequestID is the correlation header, read from requests and echoed
+// on every response.
+const HeaderRequestID = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// maxRequestIDLen bounds accepted client-supplied IDs; longer values are
+// replaced, not truncated, so logs never carry attacker-sized strings.
+const maxRequestIDLen = 128
+
+// NewRequestID generates a fresh 16-hex-char correlation ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is practically unreachable; a fixed fallback
+		// still yields a valid (if non-unique) ID rather than an error path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID is the middleware that resolves the request's correlation
+// ID (header or generated), stores it in the request context, and sets the
+// response header. Shared by the worker daemon and the cluster coordinator.
+func WithRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(HeaderRequestID)
+		if rid == "" || len(rid) > maxRequestIDLen {
+			rid = NewRequestID()
+		}
+		w.Header().Set(HeaderRequestID, rid)
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid)))
+	})
+}
+
+// RequestIDFrom returns the correlation ID stored by WithRequestID ("" when
+// the middleware did not run).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(requestIDKey{}).(string)
+	return rid
+}

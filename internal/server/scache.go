@@ -1,0 +1,142 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"fepia/internal/core"
+	"fepia/internal/scenario"
+)
+
+// This file is the cross-request scenario cache: a bounded LRU of built
+// analyses keyed by scenario fingerprint, so repeated traffic for the same
+// scenario reuses one *core.Analysis — and with it a *warm impact cache* —
+// instead of rebuilding from scratch per request. This is what makes the
+// cluster coordinator's class-affinity placement pay off: radii of a class
+// keep landing on the worker whose caches already hold that class's impact
+// evaluations.
+//
+// Correctness constraints:
+//
+//   - The cache is OFF by default (Config.ScenarioCacheCap 0). Sharing an
+//     impact cache across requests makes a request's exact low-order bits
+//     depend on what ran before it (cached values are quantized-input
+//     lookups); per-request caches keep results a pure function of the
+//     request. Enable it on fleets where throughput on repetitive traffic
+//     matters more than cross-request bit-stability.
+//   - Chaos-decorated requests always bypass it: applyChaos mutates the
+//     analysis's features in place, which must never touch a shared one.
+//   - A cached analysis is frozen (built once, then read-only); the impact
+//     cache inside it is thread-safe, so concurrent requests may share it.
+//
+// Per-request cache-hit accounting still works through snapshot deltas:
+// each entry remembers the counter state it last reported, and reportCache
+// charges only the delta since then to the requesting class.
+
+// scenarioCache is the bounded LRU of built analyses.
+type scenarioCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+// scacheEntry is one cached analysis plus its delta-accounting state.
+type scacheEntry struct {
+	key string
+	a   *core.Analysis
+
+	mu   sync.Mutex
+	last core.CacheStats // counters as of the last reportCache delta
+}
+
+// delta returns the impact-cache counter growth since the last call,
+// advancing the watermark. Concurrent requests sharing the entry split the
+// growth between them approximately — fine for statistics, which is all
+// this feeds.
+func (e *scacheEntry) delta() core.CacheStats {
+	now := e.a.CacheStats()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := core.CacheStats{
+		Hits:        now.Hits - e.last.Hits,
+		Misses:      now.Misses - e.last.Misses,
+		Stores:      now.Stores - e.last.Stores,
+		Evictions:   now.Evictions - e.last.Evictions,
+		Entries:     now.Entries,
+		ScaleHits:   now.ScaleHits - e.last.ScaleHits,
+		ScaleMisses: now.ScaleMisses - e.last.ScaleMisses,
+	}
+	e.last = now
+	return d
+}
+
+func newScenarioCache(capacity int) *scenarioCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &scenarioCache{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		ll:  list.New(),
+	}
+}
+
+// get returns the cached entry for the fingerprint, refreshing recency.
+func (c *scenarioCache) get(fp string) (*scacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[fp]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*scacheEntry), true
+	}
+	return nil, false
+}
+
+// put stores a built analysis, evicting the least-recently-used entry at
+// capacity. A racing earlier store for the same fingerprint wins (the two
+// analyses are interchangeable; keeping the first preserves its warm
+// cache).
+func (c *scenarioCache) put(fp string, a *core.Analysis) *scacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[fp]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*scacheEntry)
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*scacheEntry).key)
+	}
+	e := &scacheEntry{key: fp, a: a}
+	c.m[fp] = c.ll.PushFront(e)
+	return e
+}
+
+// lookupScenario resolves a scenario through the cache: a hit returns the
+// shared analysis, a miss builds (and decorates with the impact cache),
+// stores, and returns it. Callers must bypass this for chaos-decorated
+// requests. The second return is the entry for delta accounting (nil when
+// the cache is disabled or the fingerprint failed).
+func (s *Server) lookupScenario(doc scenario.AnalysisDoc) (*core.Analysis, *scacheEntry, error) {
+	if s.scache == nil {
+		return nil, nil, nil
+	}
+	fp, err := doc.Fingerprint()
+	if err != nil {
+		return nil, nil, nil // un-fingerprintable: fall back to a fresh build
+	}
+	if e, ok := s.scache.get(fp); ok {
+		return e.a, e, nil
+	}
+	a, err := doc.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.cfg.CacheCap >= 0 {
+		a.EnableImpactCache(s.cfg.CacheCap)
+	}
+	e := s.scache.put(fp, a)
+	return e.a, e, nil
+}

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,13 @@ type Config struct {
 	// CacheCap enables the per-analysis impact cache: >0 sets the entry
 	// capacity, 0 uses the engine default, <0 disables caching.
 	CacheCap int
+	// ScenarioCacheCap enables the cross-request scenario cache: >0 keeps
+	// that many built analyses — with their warm impact caches — in an LRU
+	// keyed by scenario fingerprint, so repeated traffic for a scenario
+	// skips the rebuild and starts cache-warm. 0 (the default) disables it;
+	// see scache.go for the bit-stability trade-off. Chaos-decorated
+	// requests always bypass it.
+	ScenarioCacheCap int
 	// BreakerThreshold is the consecutive-failure count that trips a
 	// class's breaker (default 5).
 	BreakerThreshold int
@@ -109,9 +117,15 @@ func (c Config) withDefaults() Config {
 // Server is the daemon's request-independent state. Create with New, mount
 // Handler on an http.Server, and call Drain on shutdown.
 type Server struct {
-	cfg Config
-	adm *admission
-	brk *breakerSet
+	cfg    Config
+	adm    *admission
+	brk    *breakerSet
+	scache *scenarioCache
+
+	// Per-class impact-cache counters for /statz (classMu guards the map;
+	// classes are few — one per structural scenario signature).
+	classMu    sync.Mutex
+	classCache map[string]*classCacheCounters
 
 	// base is cancelled at the drain deadline to abort in-flight work; all
 	// request contexts are tied to it.
@@ -162,6 +176,8 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueueCost),
 		brk:        newBreakerSet(bcfg),
+		scache:     newScenarioCache(cfg.ScenarioCacheCap),
+		classCache: make(map[string]*classCacheCounters),
 		base:       base,
 		baseCancel: cancel,
 		idle:       make(chan struct{}),
@@ -169,7 +185,7 @@ func New(cfg Config) *Server {
 	}
 }
 
-// Handler mounts the daemon's routes.
+// Handler mounts the daemon's routes behind the request-ID middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -178,7 +194,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/robustness", s.handleRobustness)
 	mux.HandleFunc("POST /v1/radius", s.handleRadius)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	return mux
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
+	return WithRequestID(mux)
 }
 
 // enter registers an accepted request for drain accounting; it fails once
@@ -254,11 +271,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// addCacheStats folds one analysis's impact-cache counters into the
-// daemon-wide aggregate (/statz cache hit rate).
-func (s *Server) addCacheStats(st core.CacheStats) {
+// classCacheCounters are one class's impact-cache counters for /statz.
+type classCacheCounters struct{ hits, misses uint64 }
+
+// reportCache charges one request's impact-cache activity to the daemon-wide
+// aggregate and to its scenario class. For analyses shared through the
+// scenario cache, only the growth since the entry's last report is charged
+// (the entry's delta watermark); fresh per-request analyses report their
+// whole counters.
+func (s *Server) reportCache(class string, a *core.Analysis, e *scacheEntry) {
+	var st core.CacheStats
+	if e != nil {
+		st = e.delta()
+	} else {
+		st = a.CacheStats()
+	}
 	s.stats.cacheHits.Add(st.Hits)
 	s.stats.cacheMisses.Add(st.Misses)
+	if class == "" {
+		return
+	}
+	s.classMu.Lock()
+	c := s.classCache[class]
+	if c == nil {
+		c = &classCacheCounters{}
+		s.classCache[class] = c
+	}
+	c.hits += st.Hits
+	c.misses += st.Misses
+	s.classMu.Unlock()
 }
 
 // Statz is the /statz document.
@@ -288,6 +329,22 @@ type Statz struct {
 	CacheHits    uint64  `json:"cacheHits"`
 	CacheMisses  uint64  `json:"cacheMisses"`
 	CacheHitRate float64 `json:"cacheHitRate"`
+
+	// Classes breaks the cache and breaker counters down per scenario class
+	// (the same classification the breaker and the cluster coordinator key
+	// on), sorted by class name.
+	Classes []ClassStatz `json:"classes,omitempty"`
+}
+
+// ClassStatz is one scenario class's row in /statz: its impact-cache hit
+// rate and its circuit-breaker history.
+type ClassStatz struct {
+	Class        string  `json:"class"`
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	BreakerState string  `json:"breakerState,omitempty"`
+	BreakerTrips uint64  `json:"breakerTrips,omitempty"`
 }
 
 // statz assembles the snapshot.
@@ -322,5 +379,37 @@ func (s *Server) statz() Statz {
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(total)
 	}
+	st.Classes = s.classStatz(breakers)
 	return st
+}
+
+// classStatz joins the per-class cache counters with the breaker snapshot:
+// one row per class known to either side, sorted by name.
+func (s *Server) classStatz(breakers []BreakerSnapshot) []ClassStatz {
+	rows := make(map[string]*ClassStatz)
+	s.classMu.Lock()
+	for class, c := range s.classCache {
+		rows[class] = &ClassStatz{Class: class, CacheHits: c.hits, CacheMisses: c.misses}
+	}
+	s.classMu.Unlock()
+	for _, b := range breakers {
+		row := rows[b.Class]
+		if row == nil {
+			row = &ClassStatz{Class: b.Class}
+			rows[b.Class] = row
+		}
+		row.BreakerState, row.BreakerTrips = b.State, b.Trips
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]ClassStatz, 0, len(rows))
+	for _, row := range rows {
+		if total := row.CacheHits + row.CacheMisses; total > 0 {
+			row.CacheHitRate = float64(row.CacheHits) / float64(total)
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
 }

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fepia/internal/scenario"
+)
+
+// POST /v1/shard is the worker half of the cluster's scatter-gather path: it
+// evaluates the combined radii of an explicit subset of a scenario's
+// features, identified by their GLOBAL indices in the full document. The
+// coordinator always ships the complete scenario and only narrows the
+// feature list — global indices are what keep a scattered evaluation
+// bit-identical to a single-node one (degraded Monte-Carlo seeds and error
+// strings are derived from the feature index).
+//
+// The endpoint deliberately bypasses the worker's own circuit breaker: a
+// shard request is not an independent decision point. The coordinator owns
+// classification and breaker routing for scattered traffic and passes its
+// verdict down in ForceDegraded; the worker evaluates exactly what it is
+// told. Admission control and drain gating still apply — an overloaded or
+// draining worker sheds the shard and the coordinator re-routes it.
+//
+// The response is 200 whenever the shard itself ran; per-feature failures
+// ride inside the body (error string + machine kind) so the coordinator can
+// merge them positionally and re-raise the lowest-index one with single-node
+// semantics.
+
+// ShardRequest is the body of POST /v1/shard.
+type ShardRequest struct {
+	Scenario scenario.AnalysisDoc `json:"scenario"`
+	// Features lists the global feature indices to evaluate; empty means
+	// every feature.
+	Features  []int  `json:"features,omitempty"`
+	Weighting string `json:"weighting,omitempty"`
+	Timeout   string `json:"timeout,omitempty"`
+	// Chaos decorations apply to the whole scenario (global feature
+	// indices); only faults landing on evaluated features matter here.
+	Chaos []ChaosSpec `json:"chaos,omitempty"`
+	// ForceDegraded is the coordinator's breaker verdict: evaluate every
+	// feature on the Monte-Carlo degraded tier.
+	ForceDegraded bool `json:"forceDegraded,omitempty"`
+}
+
+// ShardFeatureResult is one feature's outcome: exactly one of Radius and
+// Error is set.
+type ShardFeatureResult struct {
+	Feature int         `json:"feature"`
+	Radius  *RadiusJSON `json:"radius,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	Kind    string      `json:"kind,omitempty"`
+}
+
+// ShardResponse is the body of a completed shard evaluation; Results is
+// parallel to the request's feature list.
+type ShardResponse struct {
+	Results   []ShardFeatureResult `json:"results"`
+	Class     string               `json:"class"`
+	RequestID string               `json:"requestId,omitempty"`
+	ElapsedMs float64              `json:"elapsedMs"`
+}
+
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
+	var req ShardRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	features := req.Features
+	if len(features) == 0 {
+		features = make([]int, len(req.Scenario.Features))
+		for i := range features {
+			features[i] = i
+		}
+	}
+	for _, i := range features {
+		if i < 0 || i >= len(req.Scenario.Features) {
+			s.badRequest(w, r, fmt.Errorf("feature index %d out of range (%d features)", i, len(req.Scenario.Features)))
+			return
+		}
+	}
+	weighting, err := parseWeighting(req.Weighting)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	if status, err := s.checkChaos(req.Chaos, req.Scenario); err != nil {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: "chaos", RequestID: rid})
+		return
+	}
+	cost := estimateCostFeatures(req.Scenario, features)
+
+	ctx, finish, ok := s.admit(w, r, cost, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	a, entry, err := s.buildAnalysis(req.Scenario, req.Chaos, ctx)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	class := classify(req.Scenario, len(req.Chaos) > 0)
+
+	start := time.Now()
+	radii, errs := a.RobustnessShardCtx(ctx, features, weighting, s.evalOptions(req.ForceDegraded))
+	elapsed := time.Since(start)
+	s.reportCache(class, a, entry)
+
+	resp := ShardResponse{
+		Results:   make([]ShardFeatureResult, len(features)),
+		Class:     class,
+		RequestID: rid,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	var firstErr error
+	degraded := false
+	for q, i := range features {
+		out := ShardFeatureResult{Feature: i}
+		if errs[q] != nil {
+			out.Error = errs[q].Error()
+			_, out.Kind = errKind(errs[q])
+			if firstErr == nil {
+				firstErr = errs[q]
+			}
+		} else {
+			rj := radiusJSON(a, radii[q])
+			out.Radius = &rj
+			degraded = degraded || radii[q].Degraded
+		}
+		resp.Results[q] = out
+	}
+	// The outcome counters see one terminal per shard, classified like a
+	// whole-request outcome would be (lowest-index failure wins).
+	switch {
+	case firstErr == nil && !degraded:
+		s.stats.completedOK.Add(1)
+	case firstErr == nil:
+		s.stats.completedDegr.Add(1)
+	}
+	if firstErr != nil {
+		switch status, _ := errKind(firstErr); status {
+		case http.StatusGatewayTimeout:
+			s.stats.errDeadline.Add(1)
+		case http.StatusServiceUnavailable:
+			s.stats.errCancelled.Add(1)
+		default:
+			s.stats.errInternal.Add(1)
+		}
+		s.cfg.Logf("server: rid=%s shard class=%s features=%d failed: %v", rid, class, len(features), firstErr)
+	} else {
+		s.cfg.Logf("server: rid=%s shard class=%s features=%d elapsed=%.1fms", rid, class, len(features), resp.ElapsedMs)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// sameRadiusJSON compares two serialized radii bit-exactly (pointers by
+// pointee, floats by bits).
+func sameRadiusJSON(t *testing.T, got, want RadiusJSON) {
+	t.Helper()
+	if got.Feature != want.Feature || got.Param != want.Param || got.Side != want.Side ||
+		got.Name != want.Name || got.Analytic != want.Analytic || got.Degraded != want.Degraded ||
+		got.Unbounded != want.Unbounded {
+		t.Fatalf("radius mismatch: got %+v, want %+v", got, want)
+	}
+	switch {
+	case got.Value == nil && want.Value == nil:
+	case got.Value == nil || want.Value == nil:
+		t.Fatalf("radius value mismatch: got %+v, want %+v", got, want)
+	case math.Float64bits(*got.Value) != math.Float64bits(*want.Value):
+		t.Fatalf("radius value bits differ: got %v, want %v", *got.Value, *want.Value)
+	}
+}
+
+// TestShardEquivalence scatters a scenario's features over two /v1/shard
+// requests and checks the merged radii are bit-identical to the whole
+// /v1/robustness evaluation — the invariant the cluster coordinator rests
+// on.
+func TestShardEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := numericDoc()
+
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: doc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("robustness status = %d, body %s", resp.StatusCode, body)
+	}
+	var whole EvalResponse
+	if err := json.Unmarshal(body, &whole); err != nil {
+		t.Fatal(err)
+	}
+
+	perFeature := make(map[int]RadiusJSON)
+	for _, features := range [][]int{{0}, {1}} {
+		resp, body := postJSON(t, ts.URL+"/v1/shard", ShardRequest{Scenario: doc, Features: features})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard status = %d, body %s", resp.StatusCode, body)
+		}
+		var sh ShardResponse
+		if err := json.Unmarshal(body, &sh); err != nil {
+			t.Fatal(err)
+		}
+		if sh.Class != whole.Class {
+			t.Fatalf("shard class = %q, robustness class = %q", sh.Class, whole.Class)
+		}
+		if len(sh.Results) != len(features) {
+			t.Fatalf("shard returned %d results for %d features", len(sh.Results), len(features))
+		}
+		for _, res := range sh.Results {
+			if res.Error != "" {
+				t.Fatalf("shard feature %d failed: %s (%s)", res.Feature, res.Error, res.Kind)
+			}
+			perFeature[res.Feature] = *res.Radius
+		}
+	}
+
+	if len(whole.Robustness.PerFeature) != len(perFeature) {
+		t.Fatalf("whole evaluation has %d per-feature radii, shards produced %d",
+			len(whole.Robustness.PerFeature), len(perFeature))
+	}
+	for _, want := range whole.Robustness.PerFeature {
+		got, ok := perFeature[want.Feature]
+		if !ok {
+			t.Fatalf("no shard result for feature %d", want.Feature)
+		}
+		sameRadiusJSON(t, got, want)
+	}
+}
+
+// TestShardErrorReporting checks a failing feature rides inside a 200 shard
+// response with the same error string a whole evaluation reports, while
+// healthy features in the same shard still answer.
+func TestShardErrorReporting(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableChaos: true})
+	doc := numericDoc()
+	chaos := []ChaosSpec{{Feature: 1, Fault: "panic"}}
+
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: doc, Chaos: chaos})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("robustness status = %d, body %s", resp.StatusCode, body)
+	}
+	var whole ErrorResponse
+	if err := json.Unmarshal(body, &whole); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/shard", ShardRequest{Scenario: doc, Chaos: chaos})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard status = %d, body %s", resp.StatusCode, body)
+	}
+	var sh ShardResponse
+	if err := json.Unmarshal(body, &sh); err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(sh.Results))
+	}
+	if sh.Results[0].Error != "" || sh.Results[0].Radius == nil {
+		t.Fatalf("healthy feature 0 did not answer: %+v", sh.Results[0])
+	}
+	if sh.Results[1].Error != whole.Error {
+		t.Fatalf("shard error %q, whole-evaluation error %q", sh.Results[1].Error, whole.Error)
+	}
+	if sh.Results[1].Kind != whole.Kind {
+		t.Fatalf("shard kind %q, whole-evaluation kind %q", sh.Results[1].Kind, whole.Kind)
+	}
+	if StatusForKind(sh.Results[1].Kind) != http.StatusInternalServerError {
+		t.Fatalf("StatusForKind(%q) = %d", sh.Results[1].Kind, StatusForKind(sh.Results[1].Kind))
+	}
+}
+
+func TestShardBadFeatureIndex(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/shard", ShardRequest{Scenario: analyticDoc(), Features: []int{7}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestRequestIDPropagation checks the correlation ID round-trip: echoed when
+// supplied, generated when absent, present in the response header, success
+// bodies, and error bodies alike.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderRequestID, "trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(HeaderRequestID); got != "trace-42" {
+		t.Fatalf("echoed request ID = %q, want trace-42", got)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: analyticDoc()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var ok EvalResponse
+	if err := json.Unmarshal(body, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.RequestID == "" || ok.RequestID != resp.Header.Get(HeaderRequestID) {
+		t.Fatalf("success body requestId %q, header %q", ok.RequestID, resp.Header.Get(HeaderRequestID))
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/robustness", EvalRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var bad ErrorResponse
+	if err := json.Unmarshal(body, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.RequestID == "" || bad.RequestID != resp.Header.Get(HeaderRequestID) {
+		t.Fatalf("error body requestId %q, header %q", bad.RequestID, resp.Header.Get(HeaderRequestID))
+	}
+}
+
+// TestStatzClasses checks /statz breaks cache counters down per scenario
+// class and joins in breaker state.
+func TestStatzClasses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: numericDoc()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+	}
+	st := getStatz(t, ts)
+	if len(st.Classes) == 0 {
+		t.Fatal("statz has no per-class rows")
+	}
+	var row *ClassStatz
+	for i := range st.Classes {
+		if st.Classes[i].Class == "multiplicative/d2" {
+			row = &st.Classes[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("no multiplicative/d2 row in %+v", st.Classes)
+	}
+	if row.CacheHits+row.CacheMisses == 0 {
+		t.Fatalf("class row has no cache activity: %+v", row)
+	}
+	if row.BreakerState != BreakerClosed {
+		t.Fatalf("breaker state = %q, want closed", row.BreakerState)
+	}
+	if row.CacheHits != st.CacheHits || row.CacheMisses != st.CacheMisses {
+		t.Fatalf("single-class counters should match totals: row %+v, totals %d/%d",
+			row, st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestScenarioCacheReuse checks the cross-request scenario cache: with it
+// enabled, a repeated scenario is served from a warm analysis (impact-cache
+// hits on the second request) and still returns identical radii.
+func TestScenarioCacheReuse(t *testing.T) {
+	_, ts := newTestServer(t, Config{ScenarioCacheCap: 4})
+	doc := numericDoc()
+
+	var first, second EvalResponse
+	for i, out := range []*EvalResponse{&first, &second} {
+		resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: doc})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status = %d, body %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range first.Robustness.PerFeature {
+		sameRadiusJSON(t, second.Robustness.PerFeature[i], first.Robustness.PerFeature[i])
+	}
+	st := getStatz(t, ts)
+	if st.CacheHits == 0 {
+		t.Fatalf("expected warm-cache hits on the repeated scenario, statz %+v", st)
+	}
+}
