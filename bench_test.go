@@ -105,6 +105,11 @@ func BenchmarkQueueingTier(b *testing.B) { benchExperiment(b, "E15") }
 // bare daemon and through 1- and 3-worker cluster coordinators (E16).
 func BenchmarkClusterScatterGather(b *testing.B) { benchExperiment(b, "E16") }
 
+// BenchmarkStoreWarmStart serves a scenario stream cold, restarts over the
+// persistent store, and times the warm-started restart against a storeless
+// one (E17).
+func BenchmarkStoreWarmStart(b *testing.B) { benchExperiment(b, "E17") }
+
 // --- micro-benchmarks of the core engine -----------------------------------
 
 // BenchmarkRadiusAnalytic measures the exact hyperplane tier at growing

@@ -3,20 +3,34 @@
 //
 // Usage:
 //
-//	fepiactl [-addr http://localhost:8080] [-timeout 2m] [-request-id ID] <command> [args]
+//	fepiactl [-addr http://localhost:8080] [-timeout 2m] [-request-id ID]
+//	         [-tenant NAME] <command> [args]
 //
 // Commands:
 //
 //	health               GET /healthz
 //	ready                GET /readyz (exit 1 when not ready)
 //	statz                GET /statz
+//	metrics              GET /metrics (Prometheus text format)
+//	tenants              the per-tenant admission section of /statz
 //	robustness [-f FILE] POST /v1/robustness with the request JSON from FILE ("-" = stdin)
 //	radius     [-f FILE] POST /v1/radius
 //	batch      [-f FILE] POST /v1/batch
+//	ring status          GET /admin/ring (coordinator only)
+//	ring join URL        POST /admin/ring/join — probe URL, then cut it into the ring
+//	ring leave URL       POST /admin/ring/leave — drain URL, then cut it out
 //
-// The response body is pretty-printed to stdout. Exit status is 0 for a 2xx
-// response, 1 otherwise (the error body still prints, so the typed error kind
-// and request ID are visible).
+// The response body is pretty-printed to stdout. Exit status:
+//
+//	0  2xx response
+//	1  transport failure or any other non-2xx status
+//	2  usage error
+//	3  429 — shed by admission control (global bound or tenant quota); the
+//	   server's Retry-After is echoed in the error line
+//	4  503 — draining or otherwise unavailable; retry against another node
+//
+// The split lets retry loops distinguish "back off and retry here" (3) from
+// "this node is going away" (4) without parsing bodies.
 package main
 
 import (
@@ -33,16 +47,26 @@ import (
 	"fepia/internal/server"
 )
 
+// Exit codes for scriptability; see the package comment.
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+	exitShed  = 3 // 429: admission shed, Retry-After applies
+	exitDrain = 4 // 503: draining/unavailable, try another node
+)
+
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] health|ready|statz|robustness|radius|batch [-f FILE]\n")
+	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] [-tenant NAME] health|ready|statz|metrics|tenants|robustness|radius|batch|ring [args]\n")
 	flag.PrintDefaults()
-	os.Exit(2)
+	os.Exit(exitUsage)
 }
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "daemon base URL")
 	timeout := flag.Duration("timeout", 2*time.Minute, "HTTP client timeout")
 	requestID := flag.String("request-id", "", "X-Request-ID to stamp on the call (one is generated server-side if empty)")
+	tenant := flag.String("tenant", "", "X-Tenant identity to charge the request to (empty = the daemon's default tenant)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -51,14 +75,18 @@ func main() {
 
 	base := strings.TrimRight(*addr, "/")
 	client := &http.Client{Timeout: *timeout}
+	hdr := headers{requestID: *requestID, tenant: *tenant}
 
 	var resp *http.Response
 	var err error
 	cmd := flag.Arg(0)
 	switch cmd {
-	case "health", "ready", "statz":
-		paths := map[string]string{"health": "/healthz", "ready": "/readyz", "statz": "/statz"}
-		resp, err = get(client, base+paths[cmd], *requestID)
+	case "health", "ready", "statz", "metrics":
+		paths := map[string]string{"health": "/healthz", "ready": "/readyz", "statz": "/statz", "metrics": "/metrics"}
+		resp, err = get(client, base+paths[cmd], hdr)
+	case "tenants":
+		runTenants(client, base, hdr)
+		return
 	case "robustness", "radius", "batch":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		file := fs.String("f", "-", "request JSON file (\"-\" = stdin)")
@@ -67,7 +95,9 @@ func main() {
 		if rerr != nil {
 			fatal(rerr)
 		}
-		resp, err = post(client, base+"/v1/"+cmd, body, *requestID)
+		resp, err = post(client, base+"/v1/"+cmd, body, hdr)
+	case "ring":
+		resp, err = runRing(client, base, hdr, flag.Args()[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "fepiactl: unknown command %q\n", cmd)
 		usage()
@@ -75,16 +105,101 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer resp.Body.Close()
+	finish(resp)
+}
 
+// runRing dispatches the ring subcommands against the coordinator's admin
+// endpoints.
+func runRing(client *http.Client, base string, hdr headers, args []string) (*http.Response, error) {
+	if len(args) < 1 {
+		fmt.Fprintf(os.Stderr, "fepiactl: usage: ring status | ring join URL | ring leave URL\n")
+		os.Exit(exitUsage)
+	}
+	switch sub := args[0]; sub {
+	case "status":
+		return get(client, base+"/admin/ring", hdr)
+	case "join", "leave":
+		if len(args) != 2 {
+			fmt.Fprintf(os.Stderr, "fepiactl: usage: ring %s URL\n", sub)
+			os.Exit(exitUsage)
+		}
+		body, err := json.Marshal(map[string]string{"url": args[1]})
+		if err != nil {
+			return nil, err
+		}
+		return post(client, base+"/admin/ring/"+sub, body, hdr)
+	default:
+		fmt.Fprintf(os.Stderr, "fepiactl: unknown ring subcommand %q (want status, join, or leave)\n", sub)
+		os.Exit(exitUsage)
+		return nil, nil
+	}
+}
+
+// runTenants prints the per-tenant admission section of /statz, so an
+// operator can read quota pressure without wading through the full document.
+func runTenants(client *http.Client, base string, hdr headers) {
+	resp, err := get(client, base+"/statz", hdr)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		printJSON(data)
+		exitForStatus(resp)
+	}
+	var st struct {
+		Tenants []server.TenantStatz `json:"tenants"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatal(err)
+	}
+	out, err := json.MarshalIndent(st.Tenants, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// finish prints the response body and exits with the status-mapped code.
+func finish(resp *http.Response) {
+	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		fatal(err)
 	}
 	printJSON(data)
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		fmt.Fprintf(os.Stderr, "fepiactl: %s %s\n", resp.Status, resp.Header.Get(server.HeaderRequestID))
-		os.Exit(1)
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		return
+	}
+	exitForStatus(resp)
+}
+
+// exitForStatus maps a non-2xx response onto the CLI's exit codes, surfacing
+// Retry-After for sheds so operators and scripts see the backoff hint
+// without parsing the body.
+func exitForStatus(resp *http.Response) {
+	rid := resp.Header.Get(server.HeaderRequestID)
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		msg := fmt.Sprintf("fepiactl: %s %s", resp.Status, rid)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			msg += fmt.Sprintf(" (retry after %ss)", ra)
+		}
+		if ten := resp.Header.Get(server.HeaderTenant); ten != "" {
+			msg += fmt.Sprintf(" [tenant %s]", ten)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(exitShed)
+	case http.StatusServiceUnavailable:
+		fmt.Fprintf(os.Stderr, "fepiactl: %s %s (draining or unavailable; try another node)\n", resp.Status, rid)
+		os.Exit(exitDrain)
+	default:
+		fmt.Fprintf(os.Stderr, "fepiactl: %s %s\n", resp.Status, rid)
+		os.Exit(exitError)
 	}
 }
 
@@ -106,26 +221,37 @@ func readRequest(file string) ([]byte, error) {
 	return data, nil
 }
 
-func get(client *http.Client, url, rid string) (*http.Response, error) {
+// headers are the optional identity headers stamped on every call.
+type headers struct {
+	requestID string
+	tenant    string
+}
+
+func (h headers) apply(req *http.Request) {
+	if h.requestID != "" {
+		req.Header.Set(server.HeaderRequestID, h.requestID)
+	}
+	if h.tenant != "" {
+		req.Header.Set(server.HeaderTenant, h.tenant)
+	}
+}
+
+func get(client *http.Client, url string, hdr headers) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
-	if rid != "" {
-		req.Header.Set(server.HeaderRequestID, rid)
-	}
+	hdr.apply(req)
 	return client.Do(req)
 }
 
-func post(client *http.Client, url string, body []byte, rid string) (*http.Response, error) {
+func post(client *http.Client, url string, body []byte, hdr headers) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if rid != "" {
-		req.Header.Set(server.HeaderRequestID, rid)
-	}
+	hdr.apply(req)
 	return client.Do(req)
 }
 
@@ -141,5 +267,5 @@ func printJSON(data []byte) {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "fepiactl: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }

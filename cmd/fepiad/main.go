@@ -15,22 +15,31 @@
 //
 //	fepiad [-addr :8080] [-default-timeout 30s] [-max-timeout 2m]
 //	       [-max-concurrent N] [-queue-cost 1048576] [-workers 1]
-//	       [-cache 0] [-scenario-cache 0] [-breaker-threshold 5]
-//	       [-breaker-backoff 1s] [-breaker-max-backoff 2m]
-//	       [-drain-timeout 20s] [-chaos]
+//	       [-cache 0] [-scenario-cache 0] [-store-dir DIR]
+//	       [-tenant-quota 0] [-tenant-weights a=2,b=0.5]
+//	       [-breaker-threshold 5] [-breaker-backoff 1s]
+//	       [-breaker-max-backoff 2m] [-drain-timeout 20s] [-chaos]
 //
 // Usage (coordinator):
 //
 //	fepiad -mode=coordinator -workers http://h1:8080,http://h2:8080 \
 //	       [-addr :8080] [-health-interval 2s] [-probe-timeout 1s]
 //	       [-max-inflight 32] [-scatter-budget 250ms] [-hedge-after 0]
-//	       [-max-attempts 3] [-breaker-threshold 5] [-drain-timeout 20s]
+//	       [-max-attempts 3] [-vnodes 64] [-breaker-threshold 5]
+//	       [-drain-timeout 20s]
 //
-// Endpoints (both modes): GET /healthz, /readyz, /statz; POST /v1/robustness,
-// /v1/radius, /v1/batch. docs/operations.md documents the request/response
-// schemas, the shedding and breaker semantics, the shutdown sequence, and how
-// to run a fleet; docs/failure-semantics.md §server maps HTTP statuses to the
-// engine's typed errors.
+// Endpoints (both modes): GET /healthz, /readyz, /statz, /metrics (Prometheus
+// text format); POST /v1/robustness, /v1/radius, /v1/batch. The coordinator
+// additionally serves GET /admin/ring and POST /admin/ring/join,
+// /admin/ring/leave for live fleet membership. docs/operations.md documents
+// the request/response schemas, the shedding and breaker semantics, the
+// shutdown sequence, and how to run a fleet; docs/failure-semantics.md
+// §server maps HTTP statuses to the engine's typed errors.
+//
+// With -store-dir the worker persists every scenario it builds
+// (content-addressed, atomic, checksummed) and reloads the store into its
+// scenario cache before serving, so a restart starts warm. Requires
+// -scenario-cache > 0.
 //
 // On SIGTERM (or SIGINT) the daemon stops accepting work, lets in-flight
 // requests finish — cancelling them at -drain-timeout so every accepted
@@ -65,6 +74,9 @@ func main() {
 	workers := flag.String("workers", "1", "worker: per-evaluation pool size; coordinator: comma-separated worker base URLs")
 	cacheCap := flag.Int("cache", 0, "worker: impact cache entries per analysis (>0 capacity, 0 engine default, <0 disabled)")
 	scenarioCache := flag.Int("scenario-cache", 0, "worker: built-scenario LRU capacity (0 = disabled)")
+	storeDir := flag.String("store-dir", "", "worker: persistent scenario store directory (warm-starts the scenario cache; needs -scenario-cache > 0)")
+	tenantQuota := flag.Int64("tenant-quota", 0, "worker: per-tenant reserved-cost ceiling at weight 1 (0 = queue-cost/4, <0 = disabled)")
+	tenantWeights := flag.String("tenant-weights", "", "worker: per-tenant fair-queue weights as name=weight[,name=weight...] (unlisted tenants weigh 1)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive numeric-tier failures that trip a scenario class")
 	breakerBackoff := flag.Duration("breaker-backoff", time.Second, "initial open interval of a tripped breaker")
 	breakerMaxBackoff := flag.Duration("breaker-max-backoff", 2*time.Minute, "cap on the doubled breaker backoff")
@@ -76,6 +88,7 @@ func main() {
 	scatterBudget := flag.Duration("scatter-budget", 250*time.Millisecond, "coordinator: deadline slack reserved for scatter/gather overhead")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: re-issue a shard after this long (0 = adaptive, 3x worker latency)")
 	maxAttempts := flag.Int("max-attempts", 3, "coordinator: workers one shard may be sent to, counting the hedge")
+	vnodes := flag.Int("vnodes", 64, "coordinator: virtual nodes per worker on the placement ring")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "fepiad: ", log.LstdFlags)
@@ -91,20 +104,34 @@ func main() {
 		if err != nil || pool < 0 {
 			logger.Fatalf("-workers must be a non-negative integer in worker mode, got %q", *workers)
 		}
+		weights, err := parseWeights(*tenantWeights)
+		if err != nil {
+			logger.Fatalf("-tenant-weights: %v", err)
+		}
+		if *storeDir != "" && *scenarioCache <= 0 {
+			logger.Fatalf("-store-dir needs -scenario-cache > 0 (the store warm-starts the scenario cache)")
+		}
 		s := server.New(server.Config{
 			DefaultTimeout:    *defaultTimeout,
 			MaxTimeout:        *maxTimeout,
 			MaxConcurrent:     *maxConcurrent,
 			MaxQueueCost:      *queueCost,
+			TenantQuotaCost:   *tenantQuota,
+			TenantWeights:     weights,
 			Workers:           pool,
 			CacheCap:          *cacheCap,
 			ScenarioCacheCap:  *scenarioCache,
+			StoreDir:          *storeDir,
 			BreakerThreshold:  *breakerThreshold,
 			BreakerBackoff:    *breakerBackoff,
 			BreakerMaxBackoff: *breakerMaxBackoff,
 			EnableChaos:       *enableChaos,
 			Logf:              logger.Printf,
 		})
+		if *storeDir != "" {
+			loaded, skippedN := s.WarmStart()
+			logger.Printf("warm start: %d scenario(s) loaded, %d skipped", loaded, skippedN)
+		}
 		handler, drain = s.Handler(), s.Drain
 
 	case "coordinator":
@@ -124,6 +151,7 @@ func main() {
 			MaxTimeout:           *maxTimeout,
 			HedgeAfter:           *hedgeAfter,
 			MaxAttempts:          *maxAttempts,
+			VNodes:               *vnodes,
 			BreakerThreshold:     *breakerThreshold,
 			BreakerBackoff:       *breakerBackoff,
 			BreakerMaxBackoff:    *breakerMaxBackoff,
@@ -183,4 +211,26 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Printf("drain complete, exiting")
+}
+
+// parseWeights parses "name=weight[,name=weight...]" into a tenant weight
+// map. Empty input means no overrides.
+func parseWeights(s string) (map[string]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad entry %q (want name=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want a positive number)", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

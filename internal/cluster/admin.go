@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"fepia/internal/server"
+)
+
+// Admin API for live ring rebalancing:
+//
+//	GET  /admin/ring        — current topology (generation, members, ring share)
+//	POST /admin/ring/join   — {"url": "..."}: probe-then-cutover AddWorker
+//	POST /admin/ring/leave  — {"url": "..."}: drain-then-cutover RemoveWorker
+//
+// Join and leave run under the caller's request deadline: a join that cannot
+// observe the worker ready in time fails without touching the topology; a
+// leave whose drain outlives the deadline still completes the cutover and
+// reports 200 with drained=false.
+
+// RingMember is one worker's row in a RingStatus.
+type RingMember struct {
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Leaving bool   `json:"leaving,omitempty"`
+	// RingShare is the fraction of the hash space whose primary is this
+	// worker (≈1/active for a balanced ring; 0 while leaving).
+	RingShare float64 `json:"ringShare"`
+	Inflight  int     `json:"inflight"`
+}
+
+// RingStatus is the GET /admin/ring document.
+type RingStatus struct {
+	Generation uint64       `json:"generation"`
+	VNodes     int          `json:"vnodes"`
+	Active     int          `json:"active"`
+	Joins      uint64       `json:"joins"`
+	Leaves     uint64       `json:"leaves"`
+	Members    []RingMember `json:"members"`
+}
+
+// ringStatus assembles the document from one snapshot.
+func (c *Coordinator) ringStatus(t *topology) RingStatus {
+	st := RingStatus{
+		Generation: t.gen,
+		VNodes:     c.cfg.VNodes,
+		Active:     len(t.active),
+		Joins:      c.stats.joins.Load(),
+		Leaves:     c.stats.leaves.Load(),
+	}
+	// Each ring point owns the arc back to its predecessor; summing arc
+	// lengths per member gives the share of the key space it is primary for.
+	share := make(map[*member]uint64, len(t.active))
+	pts := t.ring.points
+	for i, p := range pts {
+		var arc uint64
+		if i == 0 {
+			arc = p.hash + (^uint64(0) - pts[len(pts)-1].hash) + 1
+		} else {
+			arc = p.hash - pts[i-1].hash
+		}
+		share[p.m] += arc
+	}
+	for _, m := range t.members {
+		st.Members = append(st.Members, RingMember{
+			URL:       m.url,
+			State:     stateName(m.state.Load()),
+			Leaving:   m.leaving.Load(),
+			RingShare: float64(share[m]) / float64(^uint64(0)),
+			Inflight:  len(m.sem),
+		})
+	}
+	return st
+}
+
+func (c *Coordinator) handleRingStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.ringStatus(c.topology()))
+}
+
+// ringChangeRequest is the body of the join/leave endpoints.
+type ringChangeRequest struct {
+	URL string `json:"url"`
+}
+
+// RingChangeResponse is the join/leave success body.
+type RingChangeResponse struct {
+	Generation uint64 `json:"generation"`
+	// Drained is false when a leave's drain wait hit the request deadline
+	// (the cutover still happened; in-flight shards finish on their own).
+	Drained bool       `json:"drained"`
+	Ring    RingStatus `json:"ring"`
+}
+
+func decodeRingChange(w http.ResponseWriter, r *http.Request, c *Coordinator) (string, bool) {
+	rid := server.RequestIDFrom(r.Context())
+	var req ringChangeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		c.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: "decoding request: " + err.Error(), Kind: "bad-request", RequestID: rid})
+		return "", false
+	}
+	url := strings.TrimRight(strings.TrimSpace(req.URL), "/")
+	if url == "" {
+		c.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: "missing worker url", Kind: "bad-request", RequestID: rid})
+		return "", false
+	}
+	return url, true
+}
+
+func (c *Coordinator) handleRingJoin(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	url, ok := decodeRingChange(w, r, c)
+	if !ok {
+		return
+	}
+	gen, err := c.AddWorker(r.Context(), url)
+	if err != nil {
+		status := http.StatusBadGateway // could not observe the worker ready
+		kind := "join-failed"
+		if strings.Contains(err.Error(), "already a member") {
+			status, kind = http.StatusConflict, "already-member"
+		} else if r.Context().Err() != nil {
+			status, kind = http.StatusGatewayTimeout, "join-timeout"
+		}
+		writeJSON(w, status, server.ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
+		return
+	}
+	c.cfg.Logf("cluster: rid=%s admin join %s -> generation %d", rid, url, gen)
+	writeJSON(w, http.StatusOK, RingChangeResponse{Generation: gen, Drained: true, Ring: c.ringStatus(c.topology())})
+}
+
+func (c *Coordinator) handleRingLeave(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	url, ok := decodeRingChange(w, r, c)
+	if !ok {
+		return
+	}
+	gen, err := c.RemoveWorker(r.Context(), url)
+	if err != nil && gen == 0 {
+		status, kind := http.StatusNotFound, "not-a-member"
+		if strings.Contains(err.Error(), "last active worker") {
+			status, kind = http.StatusConflict, "last-worker"
+		}
+		writeJSON(w, status, server.ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
+		return
+	}
+	drained := err == nil
+	if !drained {
+		c.cfg.Logf("cluster: rid=%s admin leave %s: %v", rid, url, err)
+	}
+	c.cfg.Logf("cluster: rid=%s admin leave %s -> generation %d (drained=%v)", rid, url, gen, drained)
+	writeJSON(w, http.StatusOK, RingChangeResponse{Generation: gen, Drained: drained, Ring: c.ringStatus(c.topology())})
+}
+

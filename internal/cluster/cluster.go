@@ -13,6 +13,10 @@
 //   - membership (membership.go): per-worker health from active /readyz
 //     probes and passive scatter-path observations, with generation-counted
 //     up/down/draining transitions;
+//   - rebalancing (topology.go): the fleet itself changes live — workers
+//     join (probe-then-cutover) and leave (drain-then-cutover) through
+//     generation-bumped immutable topology snapshots, re-homing scenario
+//     classes without a restart;
 //   - placement (hash.go): a consistent-hash ring keyed by scenario class
 //     keeps a class's traffic on the worker whose caches are warm for it,
 //     with rendezvous-ordered fallback when that worker is out;
@@ -46,9 +50,10 @@ import (
 // Config tunes the coordinator. Workers is required; every other zero field
 // takes the default noted on it.
 type Config struct {
-	// Workers are the base URLs of the fepiad worker fleet (e.g.
-	// "http://10.0.0.7:8080"). The list is static for the coordinator's
-	// lifetime; health state is discovered, membership is not.
+	// Workers are the base URLs of the fepiad worker fleet at startup (e.g.
+	// "http://10.0.0.7:8080"). They seed the initial topology; workers may
+	// join and leave live afterwards through AddWorker/RemoveWorker (POST
+	// /admin/ring/join, /admin/ring/leave).
 	Workers []string
 
 	// HealthInterval is the /readyz probe period (default 2s); ProbeTimeout
@@ -136,11 +141,14 @@ func (c Config) withDefaults() Config {
 // Coordinator is the scatter-gather front-end. Create with New, mount
 // Handler on an http.Server, and call Drain (or Close) on shutdown.
 type Coordinator struct {
-	cfg     Config
-	client  *http.Client
-	members []*member
-	ring    *ring
-	brk     *server.Breakers
+	cfg    Config
+	client *http.Client
+	brk    *server.Breakers
+
+	// topo is the current fleet snapshot (see topology.go); request paths
+	// load it once and never lock. topoMu serializes AddWorker/RemoveWorker.
+	topo   atomic.Pointer[topology]
+	topoMu sync.Mutex
 
 	// base is cancelled at shutdown: it stops the probe loop and aborts
 	// in-flight scatter work at the drain deadline.
@@ -171,6 +179,9 @@ type coordStats struct {
 	hedges       atomic.Uint64 // shards re-issued by the hedge timer
 	retries      atomic.Uint64 // shards re-routed after a retryable failure
 	workerErrors atomic.Uint64 // transport-level worker failures
+
+	joins  atomic.Uint64 // workers joined via AddWorker
+	leaves atomic.Uint64 // workers drained out via RemoveWorker
 }
 
 // New builds a Coordinator and starts its health-probe loop.
@@ -189,16 +200,17 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:        cfg,
 		client:     client,
-		ring:       newRing(cfg.Workers, cfg.VNodes),
 		brk:        server.NewBreakers(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff, cfg.BreakerSeed),
 		base:       base,
 		baseCancel: cancel,
 		idle:       make(chan struct{}),
 		start:      time.Now(),
 	}
+	members := make([]*member, 0, len(cfg.Workers))
 	for idx, url := range cfg.Workers {
-		c.members = append(c.members, newMember(url, idx, cfg.MaxInflightPerWorker))
+		members = append(members, newMember(url, idx, cfg.MaxInflightPerWorker))
 	}
+	c.topo.Store(newTopology(1, members, cfg.VNodes))
 	c.probeWG.Add(1)
 	go c.probeLoop()
 	return c, nil
@@ -214,9 +226,13 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
 	mux.HandleFunc("GET /statz", c.handleStatz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("POST /v1/robustness", c.handleRobustness)
 	mux.HandleFunc("POST /v1/radius", c.handleRadius)
 	mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	mux.HandleFunc("GET /admin/ring", c.handleRingStatus)
+	mux.HandleFunc("POST /admin/ring/join", c.handleRingJoin)
+	mux.HandleFunc("POST /admin/ring/leave", c.handleRingLeave)
 	return server.WithRequestID(mux)
 }
 

@@ -137,52 +137,87 @@ func singleNode(t *testing.T, req server.EvalRequest) server.EvalResponse {
 	return out
 }
 
+// testMembers builds a standalone member list for ring/rendezvous tests.
+func testMembers(urls ...string) []*member {
+	out := make([]*member, len(urls))
+	for i, u := range urls {
+		out[i] = newMember(u, i, 1)
+	}
+	return out
+}
+
 func TestRingDeterministicAndBalanced(t *testing.T) {
-	workers := []string{"http://a", "http://b", "http://c"}
-	r1, r2 := newRing(workers, 64), newRing(workers, 64)
-	counts := map[int]int{}
+	mems := testMembers("http://a", "http://b", "http://c")
+	r1, r2 := newRing(mems, 64), newRing(mems, 64)
+	counts := map[string]int{}
 	for i := 0; i < 1000; i++ {
 		key := "class/d4/s" + string(rune('a'+i%26)) + string(rune('a'+i/26))
 		p := r1.primary(key)
 		if p != r2.primary(key) {
 			t.Fatalf("ring placement not deterministic for %q", key)
 		}
-		counts[p]++
+		counts[p.url]++
 	}
-	for idx, n := range counts {
+	for url, n := range counts {
 		if n < 100 {
-			t.Fatalf("worker %d got only %d/1000 keys — ring badly unbalanced: %v", idx, n, counts)
+			t.Fatalf("worker %s got only %d/1000 keys — ring badly unbalanced: %v", url, n, counts)
 		}
 	}
 }
 
 func TestRendezvousOrderCoversAll(t *testing.T) {
-	order := rendezvousOrder("some/class", 5)
-	seen := map[int]bool{}
-	for _, idx := range order {
-		seen[idx] = true
+	mems := testMembers("http://a", "http://b", "http://c", "http://d", "http://e")
+	order := rendezvousOrder("some/class", mems)
+	seen := map[string]bool{}
+	for _, m := range order {
+		seen[m.url] = true
 	}
 	if len(seen) != 5 {
-		t.Fatalf("rendezvous order %v does not cover all workers", order)
+		t.Fatalf("rendezvous order does not cover all workers: %v", seen)
+	}
+}
+
+// TestRendezvousStableAcrossLeave checks the URL-keyed property live
+// rebalancing relies on: removing one member must not reorder the survivors'
+// fallback ranking for any key.
+func TestRendezvousStableAcrossLeave(t *testing.T) {
+	all := testMembers("http://a", "http://b", "http://c", "http://d")
+	without := all[:3] // drop http://d
+	for i := 0; i < 50; i++ {
+		key := "class/d8/s" + string(rune('a'+i))
+		full := rendezvousOrder(key, all)
+		sub := rendezvousOrder(key, without)
+		filtered := make([]*member, 0, 3)
+		for _, m := range full {
+			if m != all[3] {
+				filtered = append(filtered, m)
+			}
+		}
+		for j := range sub {
+			if sub[j] != filtered[j] {
+				t.Fatalf("key %q: survivor order changed after leave", key)
+			}
+		}
 	}
 }
 
 func TestCandidatesSkipDownWorkers(t *testing.T) {
 	_, coord, _ := newFleet(t, 3, nil)
 	key := "multiplicative/d4/s0"
-	prim := coord.ring.primary(key)
-	coord.members[prim].setState(stateDown, coord.cfg.Logf)
-	for _, m := range coord.candidates(key) {
-		if m.idx == prim {
-			t.Fatalf("down worker %d still offered as candidate", prim)
+	topo := coord.topology()
+	prim := topo.ring.primary(key)
+	prim.setState(stateDown, coord.cfg.Logf)
+	for _, m := range topo.candidates(key) {
+		if m == prim {
+			t.Fatalf("down worker %s still offered as candidate", prim.url)
 		}
 	}
 	// All down: candidates must still offer the full fleet (stale-health
 	// optimism) rather than none.
-	for _, m := range coord.members {
+	for _, m := range topo.members {
 		m.setState(stateDown, coord.cfg.Logf)
 	}
-	if len(coord.candidates(key)) != 3 {
+	if len(topo.candidates(key)) != 3 {
 		t.Fatalf("all-down fleet should fall back to trying everyone")
 	}
 }
@@ -252,10 +287,11 @@ func TestCoordinatorReroutesAroundDeadWorker(t *testing.T) {
 	}
 	sameEval(t, got.EvalResponse, singleNode(t, req))
 	coord.ProbeNow(context.Background())
-	if coord.members[1].state.Load() != stateDown {
+	dead := coord.topology().members[1]
+	if dead.state.Load() != stateDown {
 		t.Fatalf("dead worker not marked down after probe")
 	}
-	if gen := coord.members[1].gen.Load(); gen == 0 {
+	if gen := dead.gen.Load(); gen == 0 {
 		t.Fatalf("dead worker's generation did not advance")
 	}
 }

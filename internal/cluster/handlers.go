@@ -142,7 +142,7 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	up := 0
-	for _, m := range c.members {
+	for _, m := range c.topology().active {
 		if m.up() {
 			up++
 		}
@@ -159,6 +159,12 @@ type Statz struct {
 	UptimeMs int64 `json:"uptimeMs"`
 	Draining bool  `json:"draining"`
 	Inflight int   `json:"inflight"`
+
+	// RingGeneration counts topology publishes (initial topology = 1);
+	// Joins/Leaves count live rebalance events since startup.
+	RingGeneration uint64 `json:"ringGeneration"`
+	Joins          uint64 `json:"joins"`
+	Leaves         uint64 `json:"leaves"`
 
 	Workers []WorkerStatz `json:"workers"`
 
@@ -185,10 +191,15 @@ type WorkerStatz struct {
 	Generation uint64  `json:"generation"`
 	EwmaMs     float64 `json:"ewmaMs,omitempty"`
 	Inflight   int     `json:"inflight"`
+	// Leaving marks a member draining out of the ring (RemoveWorker in
+	// progress): it takes no new shards but still appears here until its
+	// in-flight work finishes.
+	Leaving bool `json:"leaving,omitempty"`
 }
 
 func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	breakers, trips := c.brk.Snapshot()
+	t := c.topology()
 	c.mu.Lock()
 	inflight, draining := c.inflight, c.draining
 	c.mu.Unlock()
@@ -196,6 +207,9 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		UptimeMs:         time.Since(c.start).Milliseconds(),
 		Draining:         draining,
 		Inflight:         inflight,
+		RingGeneration:   t.gen,
+		Joins:            c.stats.joins.Load(),
+		Leaves:           c.stats.leaves.Load(),
 		Accepted:         c.stats.accepted.Load(),
 		RejectedDraining: c.stats.rejectedDraining.Load(),
 		BadRequests:      c.stats.badRequests.Load(),
@@ -208,13 +222,14 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		BreakerTrips:     trips,
 		Breakers:         breakers,
 	}
-	for _, m := range c.members {
+	for _, m := range t.members {
 		st.Workers = append(st.Workers, WorkerStatz{
 			URL:        m.url,
 			State:      stateName(m.state.Load()),
 			Generation: m.gen.Load(),
 			EwmaMs:     float64(m.ewmaNs.Load()) / 1e6,
 			Inflight:   len(m.sem),
+			Leaving:    m.leaving.Load(),
 		})
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -280,8 +295,8 @@ type gathered struct {
 
 // scatterShards fans one scenario's shard requests out (keys[i] places
 // shardSets[i]) and gathers the per-feature results back into global feature
-// order.
-func (c *Coordinator) scatterShards(ctx context.Context, rid string, base server.ShardRequest, shardSets [][]int, keys []string) gathered {
+// order. Every shard runs against the caller's one topology snapshot.
+func (c *Coordinator) scatterShards(ctx context.Context, t *topology, rid string, base server.ShardRequest, shardSets [][]int, keys []string) gathered {
 	n := len(base.Scenario.Features)
 	g := gathered{results: make([]server.ShardFeatureResult, n), prov: make([]ShardInfo, len(shardSets))}
 	ress := make([]shardResult, len(shardSets))
@@ -297,7 +312,7 @@ func (c *Coordinator) scatterShards(ctx context.Context, rid string, base server
 				ress[i] = shardResult{err: err}
 				return
 			}
-			ress[i] = c.doShard(ctx, keys[i], "/v1/shard", body, rid)
+			ress[i] = c.doShard(ctx, t, keys[i], "/v1/shard", body, rid)
 		}(i)
 	}
 	wg.Wait()
@@ -432,8 +447,11 @@ func (c *Coordinator) handleRobustness(w http.ResponseWriter, r *http.Request) {
 	class := server.Classify(req.Scenario, len(req.Chaos) > 0)
 	forced, probe, state := c.brk.Route(class)
 
+	// One topology snapshot for the whole request: shard count and shard
+	// placement stay coherent under a concurrent rebalance.
+	t := c.topology()
 	n := len(req.Scenario.Features)
-	shardSets := core.ShardFeatures(n, len(c.members))
+	shardSets := core.ShardFeatures(n, len(t.active))
 	keys := make([]string, len(shardSets))
 	for i := range keys {
 		keys[i] = class + "/s" + strconv.Itoa(i)
@@ -446,7 +464,7 @@ func (c *Coordinator) handleRobustness(w http.ResponseWriter, r *http.Request) {
 		ForceDegraded: forced,
 	}
 	start := time.Now()
-	g := c.scatterShards(ctx, rid, base, shardSets, keys)
+	g := c.scatterShards(ctx, t, rid, base, shardSets, keys)
 	elapsed := time.Since(start)
 
 	if g.fail != nil {
@@ -525,6 +543,7 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Each item scatters as one whole-scenario shard placed by its bare
 	// class — item-level placement keeps every item's impact-cache reuse on
 	// a single worker, exactly as on a single node.
+	t := c.topology()
 	n := len(req.Items)
 	classes := make([]string, n)
 	forcedFlags := make([]bool, n)
@@ -551,7 +570,7 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Chaos:         it.Chaos,
 				ForceDegraded: forcedFlags[k],
 			}
-			gathers[k] = c.scatterShards(ctx, rid, base, [][]int{all}, []string{classes[k]})
+			gathers[k] = c.scatterShards(ctx, t, rid, base, [][]int{all}, []string{classes[k]})
 		}(k, it)
 	}
 	wg.Wait()
@@ -636,7 +655,7 @@ func (c *Coordinator) handleRadius(w http.ResponseWriter, r *http.Request) {
 		c.badRequest(w, r, err)
 		return
 	}
-	res := c.doShard(ctx, class, "/v1/radius", body, rid)
+	res := c.doShard(ctx, c.topology(), class, "/v1/radius", body, rid)
 	if res.err != nil {
 		f := relayFailure{err: res.err}
 		status, er := f.errorResponse(rid)

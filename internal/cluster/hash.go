@@ -12,7 +12,7 @@ import (
 // Stability: the same key should land on the same worker run after run, so a
 // worker's impact and scenario caches stay warm for the classes it serves.
 // A consistent-hash ring with virtual nodes gives that, and adding a worker
-// to the configured list only moves the keys adjacent to its vnodes.
+// to the fleet only moves the keys adjacent to its vnodes.
 //
 // Availability: when the preferred worker is down or draining, the key needs
 // a deterministic fallback order over the remaining workers — ideally one
@@ -22,16 +22,19 @@ import (
 // and the fallback order is the workers sorted by score.
 //
 // So: the ring picks the home; rendezvous order picks the understudies.
+// Both are keyed by worker URL, not list position, so a join or leave only
+// perturbs the keys that actually re-home — every other (key, worker)
+// score is unchanged.
 
-// ring is a consistent-hash ring over worker indices with vnodes virtual
-// points per worker.
+// ring is a consistent-hash ring over fleet members with vnodes virtual
+// points per member.
 type ring struct {
 	points []ringPoint // sorted by hash
 }
 
 type ringPoint struct {
 	hash uint64
-	idx  int
+	m    *member
 }
 
 // fnv64 hashes a string and finalizes with a 64-bit avalanche mix: raw
@@ -52,76 +55,60 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-func newRing(workers []string, vnodes int) *ring {
-	r := &ring{points: make([]ringPoint, 0, len(workers)*vnodes)}
-	for idx, url := range workers {
+// newRing builds the ring over the given members (the topology's active
+// set).
+func newRing(members []*member, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
 		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{hash: fnv64(url + "#" + strconv.Itoa(v)), idx: idx})
+			r.points = append(r.points, ringPoint{hash: fnv64(m.url + "#" + strconv.Itoa(v)), m: m})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
 			return r.points[i].hash < r.points[j].hash
 		}
-		return r.points[i].idx < r.points[j].idx
+		return r.points[i].m.url < r.points[j].m.url
 	})
 	return r
 }
 
-// primary returns the worker index owning the key: the first vnode clockwise
-// from the key's hash.
-func (r *ring) primary(key string) int {
+// primary returns the member owning the key: the first vnode clockwise from
+// the key's hash. Nil only on an empty ring.
+func (r *ring) primary(key string) *member {
+	if len(r.points) == 0 {
+		return nil
+	}
 	h := fnv64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
-	return r.points[i].idx
+	return r.points[i].m
 }
 
-// rendezvousOrder returns all worker indices sorted by descending
-// rendezvous score for the key — the deterministic fallback order.
-func rendezvousOrder(key string, n int) []int {
+// rendezvousOrder returns the members sorted by descending rendezvous score
+// for the key — the deterministic fallback order. Scores are keyed by URL,
+// so the relative order of two surviving members never changes when a third
+// joins or leaves.
+func rendezvousOrder(key string, members []*member) []*member {
 	type scored struct {
 		score uint64
-		idx   int
+		m     *member
 	}
-	s := make([]scored, n)
-	for i := 0; i < n; i++ {
-		s[i] = scored{score: fnv64(key + "|" + strconv.Itoa(i)), idx: i}
+	s := make([]scored, len(members))
+	for i, m := range members {
+		s[i] = scored{score: fnv64(key + "|" + m.url), m: m}
 	}
 	sort.Slice(s, func(i, j int) bool {
 		if s[i].score != s[j].score {
 			return s[i].score > s[j].score
 		}
-		return s[i].idx < s[j].idx
+		return s[i].m.url < s[j].m.url
 	})
-	out := make([]int, n)
+	out := make([]*member, len(members))
 	for i, sc := range s {
-		out[i] = sc.idx
-	}
-	return out
-}
-
-// candidates returns the ordered workers to try for a key: the ring's
-// primary if it is up, then every other up worker in rendezvous order. When
-// no worker is up at all it returns the full rendezvous order anyway —
-// health state may be stale, and trying beats failing without a request.
-func (c *Coordinator) candidates(key string) []*member {
-	out := make([]*member, 0, len(c.members))
-	prim := c.ring.primary(key)
-	if c.members[prim].up() {
-		out = append(out, c.members[prim])
-	}
-	for _, idx := range rendezvousOrder(key, len(c.members)) {
-		if idx != prim && c.members[idx].up() {
-			out = append(out, c.members[idx])
-		}
-	}
-	if len(out) == 0 {
-		for _, idx := range rendezvousOrder(key, len(c.members)) {
-			out = append(out, c.members[idx])
-		}
+		out[i] = sc.m
 	}
 	return out
 }

@@ -48,11 +48,12 @@ func stateName(s int32) string {
 // member is one worker in the fleet.
 type member struct {
 	url string
-	idx int // position in the configured worker list
+	idx int // position in the worker list at the time it was added
 
-	state  atomic.Int32
-	gen    atomic.Uint64 // state transitions observed
-	ewmaNs atomic.Int64  // smoothed request latency, 0 = no sample yet
+	state   atomic.Int32
+	gen     atomic.Uint64 // state transitions observed
+	ewmaNs  atomic.Int64  // smoothed request latency, 0 = no sample yet
+	leaving atomic.Bool   // RemoveWorker drain in progress: excluded from the ring
 
 	sem chan struct{} // bounds in-flight requests to this worker
 }
@@ -99,10 +100,11 @@ func (m *member) observe(elapsed time.Duration) {
 	}
 }
 
-// probeOnce sweeps every member's /readyz once.
+// probeOnce sweeps every member's /readyz once (against the topology
+// current at sweep start; a mid-sweep rebalance is picked up next sweep).
 func (c *Coordinator) probeOnce(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, m := range c.members {
+	for _, m := range c.topology().members {
 		wg.Add(1)
 		go func(m *member) {
 			defer wg.Done()

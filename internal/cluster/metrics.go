@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"fepia/internal/server"
+)
+
+// handleMetrics renders the coordinator's counters in the Prometheus text
+// exposition format (same hand-rolled writer the worker daemon uses).
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	t := c.topology()
+	breakers, trips := c.brk.Snapshot()
+	c.mu.Lock()
+	inflight, draining := c.inflight, c.draining
+	c.mu.Unlock()
+
+	var p server.PromBuf
+	p.Header("fepiac_uptime_seconds", "gauge", "Coordinator uptime.")
+	p.Metric("fepiac_uptime_seconds", time.Since(c.start).Seconds())
+	p.Header("fepiac_draining", "gauge", "1 while graceful drain is in progress.")
+	v := 0.0
+	if draining {
+		v = 1
+	}
+	p.Metric("fepiac_draining", v)
+	p.Header("fepiac_inflight", "gauge", "Accepted requests not yet answered.")
+	p.Metric("fepiac_inflight", float64(inflight))
+
+	p.Header("fepiac_ring_generation", "gauge", "Topology generation (bumped by every join/leave publish).")
+	p.Metric("fepiac_ring_generation", float64(t.gen))
+	p.Header("fepiac_ring_active_workers", "gauge", "Workers currently on the placement ring.")
+	p.Metric("fepiac_ring_active_workers", float64(len(t.active)))
+	p.Header("fepiac_joins_total", "counter", "Workers joined live via AddWorker.")
+	p.Metric("fepiac_joins_total", float64(c.stats.joins.Load()))
+	p.Header("fepiac_leaves_total", "counter", "Workers drained out live via RemoveWorker.")
+	p.Metric("fepiac_leaves_total", float64(c.stats.leaves.Load()))
+
+	p.Header("fepiac_accepted_total", "counter", "Requests accepted.")
+	p.Metric("fepiac_accepted_total", float64(c.stats.accepted.Load()))
+	p.Header("fepiac_rejected_draining_total", "counter", "Requests rejected because drain had begun.")
+	p.Metric("fepiac_rejected_draining_total", float64(c.stats.rejectedDraining.Load()))
+	p.Header("fepiac_bad_requests_total", "counter", "Malformed or invalid requests (400).")
+	p.Metric("fepiac_bad_requests_total", float64(c.stats.badRequests.Load()))
+	p.Header("fepiac_completed_total", "counter", "Requests answered 200.")
+	p.Metric("fepiac_completed_total", float64(c.stats.completed.Load()))
+	p.Header("fepiac_failed_total", "counter", "Requests answered with an error status.")
+	p.Metric("fepiac_failed_total", float64(c.stats.failed.Load()))
+
+	p.Header("fepiac_shards_total", "counter", "Shard calls launched (including retries and hedges).")
+	p.Metric("fepiac_shards_total", float64(c.stats.shards.Load()))
+	p.Header("fepiac_hedges_total", "counter", "Shards re-issued by the hedge timer.")
+	p.Metric("fepiac_hedges_total", float64(c.stats.hedges.Load()))
+	p.Header("fepiac_retries_total", "counter", "Shards re-routed after a retryable failure.")
+	p.Metric("fepiac_retries_total", float64(c.stats.retries.Load()))
+	p.Header("fepiac_worker_errors_total", "counter", "Transport-level worker failures.")
+	p.Metric("fepiac_worker_errors_total", float64(c.stats.workerErrors.Load()))
+
+	p.Header("fepiac_breaker_trips_total", "counter", "Coordinator breaker trips across all classes.")
+	p.Metric("fepiac_breaker_trips_total", float64(trips))
+	if len(breakers) > 0 {
+		p.Header("fepiac_class_breaker_trips_total", "counter", "Per-class coordinator breaker trips.")
+		for _, b := range breakers {
+			p.Metric("fepiac_class_breaker_trips_total", float64(b.Trips), "class", b.Class)
+		}
+	}
+
+	p.Header("fepiac_worker_up", "gauge", "1 when the worker's last observation was healthy.")
+	p.Header("fepiac_worker_leaving", "gauge", "1 while the worker drains out of the ring.")
+	p.Header("fepiac_worker_inflight", "gauge", "In-flight shards held by the worker.")
+	p.Header("fepiac_worker_generation", "counter", "Health-state transitions observed for the worker.")
+	for _, m := range t.members {
+		up := 0.0
+		if m.up() {
+			up = 1
+		}
+		leaving := 0.0
+		if m.leaving.Load() {
+			leaving = 1
+		}
+		p.Metric("fepiac_worker_up", up, "worker", m.url)
+		p.Metric("fepiac_worker_leaving", leaving, "worker", m.url)
+		p.Metric("fepiac_worker_inflight", float64(len(m.sem)), "worker", m.url)
+		p.Metric("fepiac_worker_generation", float64(m.gen.Load()), "worker", m.url)
+	}
+
+	p.WriteTo(w)
+}

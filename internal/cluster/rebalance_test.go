@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fepia/internal/server"
+)
+
+// getRing fetches GET /admin/ring.
+func getRing(t *testing.T, front string) RingStatus {
+	t.Helper()
+	resp, err := http.Get(front + "/admin/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /admin/ring = %d", resp.StatusCode)
+	}
+	var st RingStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRingJoinCutsOverAndStaysExact(t *testing.T) {
+	_, coord, front := newFleet(t, 2, nil)
+	req := server.EvalRequest{Scenario: testDoc()}
+	want := singleNode(t, req)
+
+	before := getRing(t, front.URL)
+	if before.Active != 2 || before.Generation != 1 {
+		t.Fatalf("initial ring: %+v", before)
+	}
+
+	// A third worker joins live.
+	s := server.New(workerConfig())
+	extra := httptest.NewServer(s.Handler())
+	t.Cleanup(extra.Close)
+	resp, body := postJSON(t, front.URL+"/admin/ring/join", ringChangeRequest{URL: extra.URL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join = %d, body %s", resp.StatusCode, body)
+	}
+	var ch RingChangeResponse
+	if err := json.Unmarshal(body, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Generation != 2 || ch.Ring.Active != 3 || ch.Ring.Joins != 1 {
+		t.Fatalf("join response: %+v", ch)
+	}
+	if got := coord.topology().gen; got != 2 {
+		t.Fatalf("topology generation = %d, want 2", got)
+	}
+
+	// Joining the same worker again conflicts.
+	resp, _ = postJSON(t, front.URL+"/admin/ring/join", ringChangeRequest{URL: extra.URL})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate join = %d, want 409", resp.StatusCode)
+	}
+
+	// Results across the re-homed ring stay bit-identical.
+	resp, body = postJSON(t, front.URL+"/v1/robustness", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-join robustness = %d, body %s", resp.StatusCode, body)
+	}
+	var got EvalResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	sameEval(t, got.EvalResponse, want)
+}
+
+func TestRingJoinUnreachableWorkerFails(t *testing.T) {
+	_, coord, front := newFleet(t, 2, func(c *Config) { c.ProbeTimeout = 50 * time.Millisecond })
+	resp, body := postJSON(t, front.URL+"/admin/ring/join", ringChangeRequest{URL: "http://127.0.0.1:1"})
+	if resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable join = %d, body %s", resp.StatusCode, body)
+	}
+	if got := coord.topology(); got.gen != 1 || len(got.active) != 2 {
+		t.Fatalf("failed join must not touch the topology: gen=%d active=%d", got.gen, len(got.active))
+	}
+}
+
+func TestRingLeaveDrainsThenCutsOver(t *testing.T) {
+	_, coord, front := newFleet(t, 3, nil)
+	victim := coord.topology().members[1].url
+
+	resp, body := postJSON(t, front.URL+"/admin/ring/leave", ringChangeRequest{URL: victim})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave = %d, body %s", resp.StatusCode, body)
+	}
+	var ch RingChangeResponse
+	if err := json.Unmarshal(body, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Drained || ch.Ring.Active != 2 || ch.Ring.Leaves != 1 {
+		t.Fatalf("leave response: %+v", ch)
+	}
+	if m := coord.topology().findMember(victim); m != nil {
+		t.Fatalf("left worker %s still in the topology", victim)
+	}
+
+	// Unknown member 404s; the fleet still serves exact results.
+	resp, _ = postJSON(t, front.URL+"/admin/ring/leave", ringChangeRequest{URL: "http://nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("leave unknown = %d, want 404", resp.StatusCode)
+	}
+	req := server.EvalRequest{Scenario: testDoc()}
+	resp, body = postJSON(t, front.URL+"/v1/robustness", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-leave robustness = %d, body %s", resp.StatusCode, body)
+	}
+	var got EvalResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	sameEval(t, got.EvalResponse, singleNode(t, req))
+}
+
+func TestRingLeaveRefusesLastWorker(t *testing.T) {
+	_, _, front := newFleet(t, 2, nil)
+	st := getRing(t, front.URL)
+	resp, _ := postJSON(t, front.URL+"/admin/ring/leave", ringChangeRequest{URL: st.Members[0].URL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first leave = %d", resp.StatusCode)
+	}
+	resp, body := postJSON(t, front.URL+"/admin/ring/leave", ringChangeRequest{URL: st.Members[1].URL})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("last-worker leave = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestRebalanceMidTrafficStaysExact hammers the fleet while a worker joins
+// and another drains out, checking every response against the single-node
+// reference. This is the hedging-safety + cutover-coherence stress.
+func TestRebalanceMidTrafficStaysExact(t *testing.T) {
+	_, coord, front := newFleet(t, 2, nil)
+	req := server.EvalRequest{Scenario: testDoc()}
+	want := singleNode(t, req)
+
+	s := server.New(workerConfig())
+	extra := httptest.NewServer(s.Handler())
+	t.Cleanup(extra.Close)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, body := postJSON(t, front.URL+"/v1/robustness", req)
+				if resp.StatusCode != http.StatusOK {
+					select {
+					case errCh <- &testErr{string(body)}:
+					default:
+					}
+					return
+				}
+				var got EvalResponse
+				if err := json.Unmarshal(body, &got); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				sameEval(t, got.EvalResponse, want)
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := coord.AddWorker(ctx, extra.URL); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	victim := coord.topology().members[0].url
+	if _, err := coord.RemoveWorker(ctx, victim); err != nil {
+		t.Fatalf("leave during traffic: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("request failed during rebalance: %v", err)
+	default:
+	}
+	if got := coord.topology(); got.gen < 4 || len(got.active) != 2 {
+		t.Fatalf("final topology: gen=%d active=%d", got.gen, len(got.active))
+	}
+}
+
+type testErr struct{ s string }
+
+func (e *testErr) Error() string { return e.s }

@@ -126,8 +126,11 @@ func (c *Coordinator) hedgeDelay(primary *member) time.Duration {
 // doShard races one shard's request across the key's candidate workers:
 // launch on the first candidate, hedge to the next after the hedge delay,
 // re-route on retryable failures, and return the first terminal response.
-func (c *Coordinator) doShard(ctx context.Context, key, path string, body []byte, rid string) shardResult {
-	cands := c.candidates(key)
+// The whole race runs against the caller's ONE topology snapshot — a
+// rebalance published mid-shard changes the next shard's placement, never
+// this one's candidate list (hedging stays coherent).
+func (c *Coordinator) doShard(ctx context.Context, t *topology, key, path string, body []byte, rid string) shardResult {
+	cands := t.candidates(key)
 	maxAttempts := c.cfg.MaxAttempts
 	if maxAttempts > len(cands) {
 		maxAttempts = len(cands)

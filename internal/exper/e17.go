@@ -1,0 +1,142 @@
+package exper
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"fepia/internal/report"
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+)
+
+// RunE17 measures the persistent scenario store's restart warm-start: a
+// daemon serves a scenario stream cold (populating the store), a
+// "restarted" daemon reloads the store into its scenario cache before
+// serving, and a control restart serves the same stream with no store. The
+// experiment's checks are correctness gates — the warm start must load the
+// whole store, the post-restart bodies must be bit-identical to the
+// pre-restart ones (the store round-trip may not perturb a single float
+// bit), and the warm daemon must actually serve from warm-started entries —
+// while the timings are recorded as a table plus an advisory note
+// (wall-clock on shared CI runners is not asserted; docs/performance.md).
+func RunE17(cfg Config) (*Result, error) {
+	res := &Result{ID: "E17", Title: "Scenario store: restart warm-start timing and bit-stability"}
+
+	// The E16 workload generator already produces a deterministic mix of
+	// analytic and numeric scenarios; reuse it under E17's own seed space.
+	nDocs := cfg.size(12, 4)
+	docs := make([]scenario.AnalysisDoc, nDocs)
+	for i := range docs {
+		docs[i] = e16Doc(cfg.Seed+1000, i)
+	}
+
+	dir, err := os.MkdirTemp("", "fepia-e17-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	storeCfg := server.Config{ScenarioCacheCap: nDocs, StoreDir: dir}
+
+	serveAll := func(url string) ([]string, time.Duration, error) {
+		bodies := make([]string, nDocs)
+		start := time.Now()
+		for i, doc := range docs {
+			body, err := e16Eval(url, doc)
+			if err != nil {
+				return nil, 0, err
+			}
+			bodies[i] = body
+		}
+		return bodies, time.Since(start), nil
+	}
+
+	// --- Phase 1: cold daemon, store filling as it serves ------------------
+	s1 := server.New(storeCfg)
+	ts1 := httptest.NewServer(s1.Handler())
+	refBodies, coldServe, err := serveAll(ts1.URL)
+	ts1.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Phase 2: restart over the same store, warm-started ----------------
+	s2 := server.New(storeCfg)
+	warmStart := time.Now()
+	loaded, skipped := s2.WarmStart()
+	warmLoad := time.Since(warmStart)
+	res.check("warm start reloads the whole store", loaded == nDocs && skipped == 0,
+		"loaded %d, skipped %d (want %d, 0)", loaded, skipped, nDocs)
+
+	ts2 := httptest.NewServer(s2.Handler())
+	warmBodies, warmServe, err := serveAll(ts2.URL)
+	if err != nil {
+		ts2.Close()
+		return nil, err
+	}
+	identical := true
+	for i := range refBodies {
+		if warmBodies[i] != refBodies[i] {
+			identical = false
+			res.check("post-restart bodies are bit-identical to pre-restart", false,
+				"doc %d:\n  got  %s\n  want %s", i, warmBodies[i], refBodies[i])
+			break
+		}
+	}
+	if identical {
+		res.check("post-restart bodies are bit-identical to pre-restart", true,
+			"%d scenarios round-tripped through the store", nDocs)
+	}
+	warmHits, err := e17WarmHits(ts2.URL)
+	ts2.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.check("post-restart requests hit warm-started cache entries",
+		warmHits == uint64(nDocs), "warm hits %d, want %d", warmHits, nDocs)
+
+	// --- Phase 3: control restart without a store (cold rebuild) -----------
+	s3 := server.New(server.Config{ScenarioCacheCap: nDocs})
+	ts3 := httptest.NewServer(s3.Handler())
+	_, coldRestart, err := serveAll(ts3.URL)
+	ts3.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	tb := report.NewTable("E17: first-touch serve time per restart strategy",
+		"phase", "requests", "total (ms)", "per request (ms)")
+	perReq := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / 1000 / float64(nDocs)
+	}
+	tb.AddRow("cold start, store filling", nDocs, float64(coldServe.Milliseconds()), perReq(coldServe))
+	tb.AddRow("warm-start load (no serving)", nDocs, float64(warmLoad.Milliseconds()), perReq(warmLoad))
+	tb.AddRow("restart + warm start, first serve", nDocs, float64(warmServe.Milliseconds()), perReq(warmServe))
+	tb.AddRow("restart without store, first serve", nDocs, float64(coldRestart.Milliseconds()), perReq(coldRestart))
+	res.Tables = append(res.Tables, tb)
+
+	if coldRestart > 0 {
+		res.note("Warm-start payoff (advisory, not asserted): reloading the store took %.1fms and made the first post-restart pass %.2fx the storeless restart's first pass. The warm entries skip the per-scenario rebuild; evaluation work itself is unchanged.",
+			float64(warmLoad.Microseconds())/1000, float64(warmServe)/float64(coldRestart))
+	}
+	return res, nil
+}
+
+// e17WarmHits reads the warm-started scenario-cache hit counter from /statz.
+func e17WarmHits(base string) (uint64, error) {
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var st server.Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	if st.Store == nil {
+		return 0, nil
+	}
+	return st.Store.WarmHits, nil
+}

@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"E14", "Robustness vs requirement tightness and workload heterogeneity", "evaluation-methodology sweep (extension)", RunE14},
 		{"E15", "Queueing tier: demand and capacity as perturbation kinds", "nonlinear-impact validation + capacity planning (extension)", RunE15},
 		{"E16", "Cluster scatter-gather overhead: 1 vs 3 in-process workers", "distributed-evaluation equivalence + overhead (extension)", RunE16},
+		{"E17", "Scenario store: restart warm-start timing and bit-stability", "persistent-store equivalence + restart cost (extension)", RunE17},
 	}
 }
 

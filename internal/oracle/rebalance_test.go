@@ -1,0 +1,195 @@
+package oracle
+
+// The rebalance differentials: live ring changes and worker restarts are
+// pure placement events — they move cache warmth around the fleet, never
+// results. A cluster that joins a worker and re-homes scenario classes
+// mid-batch, or restarts a worker that warm-starts from its persistent
+// scenario store, must stay bit-identical to the single-node reference.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/server"
+)
+
+// TestOracleRebalanceMidBatchDifferential joins a worker and drains one out
+// while a batch's shards are in flight (the shard endpoint carries added
+// HTTP latency so the membership changes land mid-scatter), then keeps
+// serving through the rebalanced ring. Every body must stay bit-identical
+// to the single node.
+func TestOracleRebalanceMidBatchDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster differential is not short")
+	}
+	const delay = 300 * time.Millisecond
+	slowWorker := func() *httptest.Server {
+		h := server.New(clusterWorkerConfig()).Handler()
+		ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard" {
+				time.Sleep(delay)
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ws.Close)
+		return ws
+	}
+	w0, w1 := slowWorker(), slowWorker()
+	coord, err := cluster.New(cluster.Config{
+		Workers:        []string{w0.URL, w1.URL},
+		EnableChaos:    true,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	front := httptest.NewServer(coord.Handler())
+	t.Cleanup(front.Close)
+	ref := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+	t.Cleanup(ref.Close)
+
+	var req server.BatchRequest
+	for k := int64(0); k < 6; k++ {
+		req.Items = append(req.Items, server.BatchItemRequest{
+			Scenario: specToAnalysisDoc(Generate(500 + k)),
+		})
+	}
+
+	type out struct {
+		status int
+		body   []byte
+	}
+	ch := make(chan out, 1)
+	go func() {
+		s, b := clusterPost(t, front.URL+"/v1/batch", req)
+		ch <- out{s, b}
+	}()
+
+	// While the batch's shards sleep in flight: a third worker joins and one
+	// original drains out. Both cutover paths run against live traffic.
+	time.Sleep(100 * time.Millisecond)
+	w2 := slowWorker()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := coord.AddWorker(ctx, w2.URL); err != nil {
+		t.Fatalf("join mid-batch: %v", err)
+	}
+	if gen, err := coord.RemoveWorker(ctx, w0.URL); err != nil {
+		t.Fatalf("leave mid-batch (gen %d): %v", gen, err)
+	}
+
+	got := <-ch
+	rs, rb := clusterPost(t, ref.URL+"/v1/batch", req)
+	if got.status != rs {
+		t.Fatalf("status %d (cluster) vs %d (single)\ncluster: %s", got.status, rs, got.body)
+	}
+	sameBatchBodies(t, "rebalance-mid-batch", got.body, rb, len(req.Items))
+
+	// The rebalanced ring (w1 + w2) keeps serving exactly: re-homed classes
+	// included, since w0's former keys now land elsewhere cold.
+	for seed := int64(500); seed < 512; seed++ {
+		fx := &clusterFixture{front: front, ref: ref}
+		compareEval(t, fx, "post-rebalance seed "+itoa(seed), server.EvalRequest{
+			Scenario: specToAnalysisDoc(Generate(seed)),
+		})
+	}
+}
+
+// TestOracleRestartWarmStartDifferential restarts a worker over its
+// persistent scenario store mid-fleet: the replacement warm-starts, rejoins
+// the ring, and must serve the same scenarios bit-identically to the
+// single-node reference (which kept its process-local caches the whole
+// time) — the store round-trip must not perturb a single float bit.
+func TestOracleRestartWarmStartDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster differential is not short")
+	}
+	storeDir := t.TempDir()
+	workerCfg := clusterWorkerConfig()
+	workerCfg.ScenarioCacheCap = 64
+
+	// Worker A persists its scenarios; worker B is a plain peer.
+	cfgA := workerCfg
+	cfgA.StoreDir = storeDir
+	wa := httptest.NewServer(server.New(cfgA).Handler())
+	wb := httptest.NewServer(server.New(workerCfg).Handler())
+	t.Cleanup(wb.Close)
+
+	coord, err := cluster.New(cluster.Config{
+		Workers:        []string{wa.URL, wb.URL},
+		EnableChaos:    true,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	front := httptest.NewServer(coord.Handler())
+	t.Cleanup(front.Close)
+
+	// The reference runs the same scenario-cache config so both sides see
+	// the same cache discipline across repeated rounds.
+	ref := httptest.NewServer(server.New(workerCfg).Handler())
+	t.Cleanup(ref.Close)
+	fx := &clusterFixture{front: front, ref: ref}
+
+	// Round 1: establish the differential and populate A's store.
+	seeds := []int64{601, 602, 603, 604, 605, 606, 607, 608}
+	for _, seed := range seeds {
+		compareEval(t, fx, "round1 seed "+itoa(seed), server.EvalRequest{
+			Scenario: specToAnalysisDoc(Generate(seed)),
+		})
+	}
+
+	// "Restart" A: kill the process, bring up a replacement over the same
+	// store directory, warm-start it, and swap it into the ring.
+	wa.CloseClientConnections()
+	wa.Close()
+	sa2 := server.New(cfgA)
+	loaded, skipped := sa2.WarmStart()
+	if loaded == 0 {
+		t.Fatalf("replacement warm-started nothing (skipped %d); store round-trip broken", skipped)
+	}
+	wa2 := httptest.NewServer(sa2.Handler())
+	t.Cleanup(wa2.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := coord.AddWorker(ctx, wa2.URL); err != nil {
+		t.Fatalf("replacement join: %v", err)
+	}
+	if _, err := coord.RemoveWorker(ctx, wa.URL); err != nil {
+		t.Fatalf("dead worker leave: %v", err)
+	}
+
+	// Round 2: the same scenarios through the rebuilt fleet. The replacement
+	// serves its homed classes from warm-started analyses.
+	for _, seed := range seeds {
+		compareEval(t, fx, "round2 seed "+itoa(seed), server.EvalRequest{
+			Scenario: specToAnalysisDoc(Generate(seed)),
+		})
+	}
+
+	// The warm start must actually have been exercised, or this test proves
+	// nothing: the replacement's statz shows warm-started cache hits.
+	resp, err := http.Get(wa2.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil || st.Store.WarmLoaded == 0 {
+		t.Fatalf("replacement store statz: %+v", st.Store)
+	}
+	if st.Store.WarmHits == 0 {
+		t.Fatalf("replacement served no warm-started scenarios: %+v", st.Store)
+	}
+}

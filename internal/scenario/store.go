@@ -1,0 +1,294 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the persistent content-addressed scenario store: fingerprint
+// → AnalysisDoc on disk, one file per document, so an evaluation daemon can
+// warm-start its scenario cache after a restart instead of cold-serving
+// every class until traffic rebuilds it.
+//
+// Durability rules, chosen so a crash mid-write can never poison a later
+// load:
+//
+//   - Writes are atomic: the envelope is written to a temp file in the same
+//     directory, fsynced, and renamed over the final name. Readers never see
+//     a half-written file under a final name.
+//   - Every file carries a checksum of its document bytes and the document's
+//     fingerprint. Load verifies BOTH — the checksum catches torn or
+//     bit-rotted payloads, the fingerprint catches a file whose content was
+//     swapped under its name.
+//   - Load is corruption-tolerant: a file that fails to decode, checksum,
+//     fingerprint-match, or validate is counted, (best-effort) deleted so the
+//     next Put rebuilds it cleanly, and skipped. A corrupt store degrades to
+//     a smaller warm-start; it never takes the daemon down.
+
+// storeKind and storeVersion stamp every store file.
+const (
+	storeKind    = "fepia-store"
+	storeVersion = 1
+)
+
+// storeEnvelope is the on-disk shape of one stored document.
+type storeEnvelope struct {
+	Kind        string          `json:"kind"`
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	// Checksum is FNV-1a/64 of the raw Doc bytes, hex-encoded.
+	Checksum string          `json:"checksum"`
+	Doc      json.RawMessage `json:"doc"`
+}
+
+// Store is a directory of content-addressed analysis documents. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats StoreStats
+}
+
+// StoreStats are the store's monotonic counters.
+type StoreStats struct {
+	// Puts counts successful writes, PutErrors failed ones (the daemon keeps
+	// serving either way; persistence is best-effort).
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"putErrors"`
+	// Loaded counts documents served by Load/Get; CorruptSkipped counts
+	// files Load refused (truncated, checksum/fingerprint mismatch,
+	// invalid document) and removed.
+	Loaded         uint64 `json:"loaded"`
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+}
+
+// OpenStore opens (creating if needed) a scenario store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("scenario: store dir is empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Stats snapshots the store's counters.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// Len counts the store files currently on disk (corrupt or not).
+func (st *Store) Len() int {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *Store) path(fp string) string { return filepath.Join(st.dir, fp+".json") }
+
+// checksumOf is the store's payload checksum: FNV-1a/64 over the raw bytes.
+func checksumOf(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Put persists a document under its fingerprint, atomically. Re-putting an
+// existing fingerprint rewrites the file — that is the self-healing path for
+// a file Load quarantined. Returns the fingerprint.
+func (st *Store) Put(doc AnalysisDoc) (string, error) {
+	doc.Version = Version
+	doc.Kind = "fepia"
+	fp, err := doc.Fingerprint()
+	if err != nil {
+		st.countPutErr()
+		return "", err
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		st.countPutErr()
+		return "", fmt.Errorf("scenario: store put: %w", err)
+	}
+	env := storeEnvelope{
+		Kind:        storeKind,
+		Version:     storeVersion,
+		Fingerprint: fp,
+		Checksum:    checksumOf(raw),
+		Doc:         raw,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		st.countPutErr()
+		return "", fmt.Errorf("scenario: store put: %w", err)
+	}
+	if err := st.writeAtomic(st.path(fp), data); err != nil {
+		st.countPutErr()
+		return "", err
+	}
+	st.mu.Lock()
+	st.stats.Puts++
+	st.mu.Unlock()
+	return fp, nil
+}
+
+func (st *Store) countPutErr() {
+	st.mu.Lock()
+	st.stats.PutErrors++
+	st.mu.Unlock()
+}
+
+// writeAtomic writes data via a same-directory temp file, fsync, and rename,
+// so a final-name file is always complete.
+func (st *Store) writeAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(st.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("scenario: store write: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if _, err := f.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("scenario: store write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("scenario: store write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("scenario: store write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("scenario: store write: %w", err)
+	}
+	return nil
+}
+
+// decodeEnvelope verifies one store file's bytes end to end: envelope shape,
+// checksum, fingerprint consistency, and document validity.
+func decodeEnvelope(data []byte, wantFP string) (AnalysisDoc, error) {
+	var env storeEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return AnalysisDoc{}, fmt.Errorf("scenario: store file: %w", err)
+	}
+	if env.Kind != storeKind || env.Version != storeVersion {
+		return AnalysisDoc{}, fmt.Errorf("scenario: store file kind/version %q/%d, want %q/%d", env.Kind, env.Version, storeKind, storeVersion)
+	}
+	if got := checksumOf(env.Doc); got != env.Checksum {
+		return AnalysisDoc{}, fmt.Errorf("scenario: store file checksum %s, recorded %s", got, env.Checksum)
+	}
+	var doc AnalysisDoc
+	if err := json.Unmarshal(env.Doc, &doc); err != nil {
+		return AnalysisDoc{}, fmt.Errorf("scenario: store file doc: %w", err)
+	}
+	fp, err := doc.Fingerprint()
+	if err != nil {
+		return AnalysisDoc{}, err
+	}
+	if fp != env.Fingerprint || (wantFP != "" && fp != wantFP) {
+		return AnalysisDoc{}, fmt.Errorf("scenario: store file fingerprint %s, recorded %s (name %s)", fp, env.Fingerprint, wantFP)
+	}
+	if err := doc.Validate(); err != nil {
+		return AnalysisDoc{}, err
+	}
+	return doc, nil
+}
+
+// Get loads one document by fingerprint. A corrupt file is quarantined
+// (removed) and reported as an error; the caller rebuilds from traffic.
+func (st *Store) Get(fp string) (AnalysisDoc, error) {
+	data, err := os.ReadFile(st.path(fp))
+	if err != nil {
+		return AnalysisDoc{}, err
+	}
+	doc, err := decodeEnvelope(data, fp)
+	if err != nil {
+		st.quarantine(st.path(fp))
+		return AnalysisDoc{}, err
+	}
+	st.mu.Lock()
+	st.stats.Loaded++
+	st.mu.Unlock()
+	return doc, nil
+}
+
+// quarantine removes a file Load refused, best-effort, and counts it. The
+// next Put of the same fingerprint rewrites it cleanly.
+func (st *Store) quarantine(path string) {
+	_ = os.Remove(path)
+	st.mu.Lock()
+	st.stats.CorruptSkipped++
+	st.mu.Unlock()
+}
+
+// LoadReport summarizes one Load sweep.
+type LoadReport struct {
+	Loaded  int // documents delivered to the callback
+	Skipped int // corrupt/truncated/foreign files refused (and removed)
+}
+
+// Load walks the store in deterministic (name) order, delivering every
+// intact document to fn; fn returning false stops the walk early (capacity
+// reached). Corrupt files are skipped, counted, and removed — Load never
+// fails on file content, only on an unreadable directory.
+func (st *Store) Load(fn func(fp string, doc AnalysisDoc) bool) (LoadReport, error) {
+	var rep LoadReport
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return rep, fmt.Errorf("scenario: store load: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(st.dir, name)
+		fp := strings.TrimSuffix(name, ".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			rep.Skipped++
+			st.quarantine(path)
+			continue
+		}
+		doc, err := decodeEnvelope(data, fp)
+		if err != nil {
+			rep.Skipped++
+			st.quarantine(path)
+			continue
+		}
+		st.mu.Lock()
+		st.stats.Loaded++
+		st.mu.Unlock()
+		rep.Loaded++
+		if !fn(fp, doc) {
+			break
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,269 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeDoc returns a second distinct document so multi-entry walks have more
+// than one fingerprint to order.
+func storeDoc2() AnalysisDoc {
+	d := testDoc()
+	d.Params[0].Orig = []float64{0.5, 1}
+	return d
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := st.Put(testDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+	got, err := st.Get(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFP, err := got.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != fp {
+		t.Fatalf("round-trip fingerprint %s, want %s", gotFP, fp)
+	}
+	if _, err := got.Build(); err != nil {
+		t.Fatalf("round-tripped doc does not build: %v", err)
+	}
+	if s := st.Stats(); s.Puts != 1 || s.Loaded != 1 || s.CorruptSkipped != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestStorePutIsIdempotentPerFingerprint(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := st.Put(testDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := st.Put(testDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("same doc, different fingerprints: %s vs %s", fp1, fp2)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d files, want 1", st.Len())
+	}
+}
+
+func TestStoreLoadWalksInNameOrder(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(testDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(storeDoc2()); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	rep, err := st.Load(func(fp string, _ AnalysisDoc) bool {
+		order = append(order, fp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 2 || rep.Skipped != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(order) != 2 || order[0] >= order[1] {
+		t.Fatalf("walk order not sorted: %v", order)
+	}
+
+	// Early stop: the callback's false return ends the walk after one doc.
+	n := 0
+	rep, err = st.Load(func(string, AnalysisDoc) bool { n++; return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || rep.Loaded != 1 {
+		t.Fatalf("early stop delivered %d docs (report %+v)", n, rep)
+	}
+}
+
+// corruptStoreFile mutates one stored file in place, returning its path.
+func corruptStoreFile(t *testing.T, st *Store, fp string, mutate func([]byte) []byte) string {
+	t.Helper()
+	path := filepath.Join(st.Dir(), fp+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStoreLoadSurvivesCorruption is the chaos matrix from the issue: a
+// truncated write, garbage bytes, a bit-flipped payload, a file renamed to
+// the wrong fingerprint, and an empty file must all be skipped, counted, and
+// quarantined — never crash the load, never surface a poisoned document.
+func TestStoreLoadSurvivesCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"garbage", func(b []byte) []byte { return []byte("not json at all \x00\xff") }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bit flip in payload", func(b []byte) []byte {
+			// Flip one digit inside the doc's numbers: still valid JSON, so
+			// only the checksum can catch it.
+			s := strings.Replace(string(b), `"orig":[1,2]`, `"orig":[1,3]`, 1)
+			if s == string(b) {
+				panic("payload pattern not found")
+			}
+			return []byte(s)
+		}},
+		{"checksum mismatch", func(b []byte) []byte {
+			var env map[string]json.RawMessage
+			if err := json.Unmarshal(b, &env); err != nil {
+				panic(err)
+			}
+			env["checksum"] = json.RawMessage(`"deadbeef"`)
+			out, err := json.Marshal(env)
+			if err != nil {
+				panic(err)
+			}
+			return out
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := st.Put(testDoc())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A second, intact document proves the walk continues past the
+			// corrupt file.
+			if _, err := st.Put(storeDoc2()); err != nil {
+				t.Fatal(err)
+			}
+			path := corruptStoreFile(t, st, fp, c.mutate)
+
+			rep, err := st.Load(func(gotFP string, doc AnalysisDoc) bool {
+				if gotFP == fp {
+					t.Errorf("corrupt document %s surfaced from Load", fp)
+				}
+				if _, berr := doc.Build(); berr != nil {
+					t.Errorf("Load surfaced unbuildable doc: %v", berr)
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatalf("Load failed outright: %v", err)
+			}
+			if rep.Loaded != 1 || rep.Skipped != 1 {
+				t.Fatalf("report: %+v", rep)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file not quarantined: stat err %v", err)
+			}
+			if s := st.Stats(); s.CorruptSkipped != 1 {
+				t.Fatalf("CorruptSkipped = %d, want 1", s.CorruptSkipped)
+			}
+
+			// Self-healing: re-putting the same document rebuilds the file
+			// and the next load delivers both documents again.
+			if _, err := st.Put(testDoc()); err != nil {
+				t.Fatal(err)
+			}
+			rep, err = st.Load(func(string, AnalysisDoc) bool { return true })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Loaded != 2 || rep.Skipped != 0 {
+				t.Fatalf("post-heal report: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestStoreGetQuarantinesWrongName(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := st.Put(testDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy the valid envelope under a different fingerprint's name: content
+	// was "swapped under the name", which the fingerprint check must catch.
+	data, err := os.ReadFile(filepath.Join(st.Dir(), fp+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := strings.Repeat("0", len(fp))
+	if err := os.WriteFile(filepath.Join(st.Dir(), wrong+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(wrong); err == nil {
+		t.Fatal("Get under the wrong name succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), wrong+".json")); !os.IsNotExist(err) {
+		t.Fatal("mis-named file not quarantined")
+	}
+	// The original is untouched.
+	if _, err := st.Get(fp); err != nil {
+		t.Fatalf("original damaged by quarantine: %v", err)
+	}
+}
+
+func TestStoreIgnoresTempAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(testDoc()); err != nil {
+		t.Fatal(err)
+	}
+	// A leftover temp from a crashed write and a non-store file must both be
+	// invisible to Load (temps carry no .json suffix by construction).
+	if err := os.WriteFile(filepath.Join(dir, ".put-12345"), []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a store file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Load(func(string, AnalysisDoc) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 1 || rep.Skipped != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".put-12345")); err != nil {
+		t.Fatal("temp file removed by Load; it should be ignored")
+	}
+}

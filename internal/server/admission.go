@@ -16,16 +16,26 @@ import (
 // observed per-unit service time. Shedding at the door — instead of letting
 // a queue grow without bound — is what keeps tail latency flat and drain
 // fast under overload.
+//
+// The per-tenant quota and the weighted-fair slot queue layered on top of
+// this live in tenant.go; this file keeps the aggregate bound, the cost
+// model, and the service-time EWMA.
 
-// admission is the cost-bounded queue + slot pool.
+// admission is the cost-bounded queue + weighted-fair slot pool.
 type admission struct {
-	maxCost int64
-	slots   chan struct{} // buffered; len() = evaluations running
+	maxCost     int64
+	slots       int   // evaluation slot count
+	tenantQuota int64 // per-tenant reserved-cost ceiling at weight 1 (<=0 disables)
 
 	mu         sync.Mutex
-	reserved   int64   // cost units reserved (queued + running)
-	requests   int     // requests reserved (queued + running)
-	perUnitEMA float64 // EWMA of observed ns per cost unit
+	running    int // evaluations holding a slot
+	waiters    waiterHeap
+	tenants    map[string]*tenantState
+	weights    map[string]float64 // configured per-tenant weights (nil = all 1)
+	reserved   int64              // cost units reserved (queued + running)
+	requests   int                // requests reserved (queued + running)
+	perUnitEMA float64            // EWMA of observed ns per cost unit
+	vclock     float64            // weighted-fair virtual clock
 }
 
 // initialPerUnitNanos seeds the service-time estimate before any request
@@ -35,47 +45,29 @@ const initialPerUnitNanos = 20_000
 func newAdmission(maxConcurrent int, maxCost int64) *admission {
 	return &admission{
 		maxCost:    maxCost,
-		slots:      make(chan struct{}, maxConcurrent),
+		slots:      maxConcurrent,
+		tenants:    make(map[string]*tenantState),
 		perUnitEMA: initialPerUnitNanos,
 	}
 }
 
-// reserve admits cost units into the bounded queue, or rejects. An
-// otherwise-idle queue admits any cost — a single scenario larger than the
-// whole budget must be servable when nothing else is waiting, just never
-// behind other work.
+// reserve admits cost units for the default tenant (tests and single-tenant
+// callers); see reserveFor. An otherwise-idle queue admits any cost — a
+// single scenario larger than the whole budget must be servable when nothing
+// else is waiting, just never behind other work.
 func (ad *admission) reserve(cost int64) bool {
-	ad.mu.Lock()
-	defer ad.mu.Unlock()
-	if ad.requests > 0 && ad.reserved+cost > ad.maxCost {
-		return false
-	}
-	ad.reserved += cost
-	ad.requests++
-	return true
+	return ad.reserveFor(DefaultTenant, cost) == shedNone
 }
 
-// release returns a reservation (after the terminal response).
-func (ad *admission) release(cost int64) {
-	ad.mu.Lock()
-	ad.reserved -= cost
-	ad.requests--
-	ad.mu.Unlock()
-}
+// release returns a default-tenant reservation (after the terminal
+// response).
+func (ad *admission) release(cost int64) { ad.releaseFor(DefaultTenant, cost) }
 
-// acquire waits for an evaluation slot; ctx aborts the wait (deadline while
-// queued, client gone, or drain cancellation).
+// acquire waits for an evaluation slot as the default tenant; ctx aborts the
+// wait (deadline while queued, client gone, or drain cancellation).
 func (ad *admission) acquire(ctx context.Context) error {
-	select {
-	case ad.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return ad.acquireFair(ctx, DefaultTenant, 1)
 }
-
-// releaseSlot frees an evaluation slot.
-func (ad *admission) releaseSlot() { <-ad.slots }
 
 // observe feeds one completed evaluation into the service-time EWMA.
 func (ad *admission) observe(cost int64, elapsed time.Duration) {
@@ -88,28 +80,15 @@ func (ad *admission) observe(cost int64, elapsed time.Duration) {
 	ad.mu.Unlock()
 }
 
-// retryAfter estimates how long a shed caller should wait before retrying:
-// the reserved backlog divided by the pool's estimated drain rate, clamped
-// to [1s, 60s] so the header is always actionable.
+// retryAfter is the global-scope shed estimate; see retryAfterFor.
 func (ad *admission) retryAfter() time.Duration {
-	ad.mu.Lock()
-	backlog, perUnit := ad.reserved, ad.perUnitEMA
-	ad.mu.Unlock()
-	d := time.Duration(float64(backlog) * perUnit / float64(cap(ad.slots)))
-	if d < time.Second {
-		d = time.Second
-	}
-	if d > time.Minute {
-		d = time.Minute
-	}
-	return d
+	return ad.retryAfterFor(DefaultTenant, shedGlobal)
 }
 
 // depths reports (requests queued or running, running, reserved cost).
 func (ad *admission) depths() (requests, running int, reservedCost int64) {
-	running = len(ad.slots)
 	ad.mu.Lock()
-	requests, reservedCost = ad.requests, ad.reserved
+	requests, running, reservedCost = ad.requests, ad.running, ad.reserved
 	ad.mu.Unlock()
 	return requests, running, reservedCost
 }

@@ -146,6 +146,9 @@ type ErrorResponse struct {
 	Kind         string `json:"kind,omitempty"`
 	RequestID    string `json:"requestId,omitempty"`
 	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+	// Tenant is the admission tenant a shed was charged to; "tenant-quota"
+	// kinds are scoped to it (other tenants are still being served).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // StatusForKind is the inverse of errKind's status mapping: the HTTP status
@@ -158,7 +161,7 @@ func StatusForKind(kind string) int {
 		return http.StatusGatewayTimeout
 	case "cancelled", "draining":
 		return http.StatusServiceUnavailable
-	case "overloaded":
+	case "overloaded", "tenant-quota":
 		return http.StatusTooManyRequests
 	case "bad-request":
 		return http.StatusBadRequest
@@ -302,12 +305,14 @@ func applyChaos(a *core.Analysis, specs []ChaosSpec, ctx context.Context) error 
 }
 
 // admit runs the full admission sequence for one evaluation request: drain
-// gate, cost-bounded queue (429 + Retry-After on shed), deadline setup, and
-// the wait for an evaluation slot. On success it returns the request
-// context and a finish func to run after the terminal response; on failure
-// it has already written the response.
+// gate, tenant quota and cost-bounded queue (429 + Retry-After on shed,
+// tenant-scoped when the tenant's own quota refused it), deadline setup, and
+// the weighted-fair wait for an evaluation slot. On success it returns the
+// request context and a finish func to run after the terminal response; on
+// failure it has already written the response.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeout time.Duration) (context.Context, func(), bool) {
 	rid := RequestIDFrom(r.Context())
+	tenant := TenantFrom(r, s.cfg.TenantHeader)
 	exit, ok := s.enter()
 	if !ok {
 		s.stats.rejectedDraining.Add(1)
@@ -315,18 +320,25 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeo
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining", Kind: "draining", RequestID: rid})
 		return nil, nil, false
 	}
-	if !s.adm.reserve(cost) {
+	if sc := s.adm.reserveFor(tenant, cost); sc != shedNone {
 		exit()
 		s.stats.shed.Add(1)
-		ra := s.adm.retryAfter()
-		s.cfg.Logf("server: rid=%s shed: queue full (cost %d, retry in %v)", rid, cost, ra)
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		ra := s.adm.retryAfterFor(tenant, sc)
+		er := ErrorResponse{
 			Error:        "admission queue full, request shed",
 			Kind:         "overloaded",
 			RequestID:    rid,
 			RetryAfterMs: ra.Milliseconds(),
-		})
+			Tenant:       tenant,
+		}
+		if sc == shedTenant {
+			er.Error = "tenant " + tenant + " over its admission quota, request shed"
+			er.Kind = "tenant-quota"
+		}
+		s.cfg.Logf("server: rid=%s shed (%s): tenant=%s cost=%d retry in %v", rid, er.Kind, tenant, cost, ra)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
+		w.Header().Set(s.cfg.TenantHeader, tenant)
+		writeJSON(w, http.StatusTooManyRequests, er)
 		return nil, nil, false
 	}
 	s.stats.accepted.Add(1)
@@ -334,10 +346,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeo
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	stopAfter := context.AfterFunc(s.base, cancel) // drain cancellation reaches in-flight work
 
-	if err := s.adm.acquire(ctx); err != nil {
+	if err := s.adm.acquireFair(ctx, tenant, cost); err != nil {
 		stopAfter()
 		cancel()
-		s.adm.release(cost)
+		s.adm.releaseFor(tenant, cost)
 		s.writeEvalError(w, r, fmt.Errorf("while queued for an evaluation slot: %w", err))
 		exit()
 		return nil, nil, false
@@ -347,7 +359,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost int64, timeo
 	finish := func() {
 		s.adm.releaseSlot()
 		s.adm.observe(cost, time.Since(start))
-		s.adm.release(cost)
+		s.adm.releaseFor(tenant, cost)
 		stopAfter()
 		cancel()
 		exit()

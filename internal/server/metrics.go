@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Prometheus exposition, hand-rolled. The daemon's observable state already
+// lives in the /statz JSON document; /metrics is the same counters rendered
+// in the text exposition format (version 0.0.4) so a Prometheus scraper can
+// consume them without a sidecar translator. No client library: the format
+// is a handful of lines, and keeping the dependency surface at zero is a
+// repo constraint.
+
+// PromContentType is the exposition-format content type.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromBuf accumulates text-format metrics; the cluster coordinator reuses
+// it for its own /metrics.
+type PromBuf struct {
+	b bytes.Buffer
+}
+
+// Header emits the # HELP / # TYPE preamble for a metric family.
+func (p *PromBuf) Header(name, typ, help string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Metric emits one sample. labels come as key, value pairs and are emitted
+// in the given order (callers pass them sorted or naturally stable).
+func (p *PromBuf) Metric(name string, value float64, labels ...string) {
+	p.b.WriteString(name)
+	if len(labels) > 0 {
+		p.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			fmt.Fprintf(&p.b, `%s="%s"`, labels[i], escapeLabel(labels[i+1]))
+		}
+		p.b.WriteByte('}')
+	}
+	fmt.Fprintf(&p.b, " %v\n", value)
+}
+
+// WriteTo sends the accumulated exposition body.
+func (p *PromBuf) WriteTo(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", PromContentType)
+	_, _ = w.Write(p.b.Bytes())
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// breakerStateValue maps a breaker state name onto a numeric gauge
+// (closed=0, half-open=1, open=2) for alerting thresholds.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// handleMetrics renders the /statz snapshot as Prometheus metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.statz()
+	var p PromBuf
+
+	p.Header("fepiad_uptime_seconds", "gauge", "Daemon uptime.")
+	p.Metric("fepiad_uptime_seconds", float64(st.UptimeMs)/1000)
+	p.Header("fepiad_draining", "gauge", "1 while graceful drain is in progress.")
+	p.Metric("fepiad_draining", b2f(st.Draining))
+
+	p.Header("fepiad_inflight", "gauge", "Accepted requests not yet answered.")
+	p.Metric("fepiad_inflight", float64(st.Inflight))
+	p.Header("fepiad_running", "gauge", "Requests holding an evaluation slot.")
+	p.Metric("fepiad_running", float64(st.Running))
+	p.Header("fepiad_queued_cost", "gauge", "Reserved admission cost units (queued + running).")
+	p.Metric("fepiad_queued_cost", float64(st.QueuedCost))
+	p.Header("fepiad_max_queue_cost", "gauge", "Admission queue cost bound.")
+	p.Metric("fepiad_max_queue_cost", float64(st.MaxQueueCost))
+	p.Header("fepiad_slots", "gauge", "Evaluation slot count.")
+	p.Metric("fepiad_slots", float64(st.Slots))
+
+	p.Header("fepiad_accepted_total", "counter", "Requests admitted past the queue bound.")
+	p.Metric("fepiad_accepted_total", float64(st.Accepted))
+	p.Header("fepiad_shed_total", "counter", "Requests shed with 429 (global bound and tenant quotas).")
+	p.Metric("fepiad_shed_total", float64(st.Shed))
+	p.Header("fepiad_rejected_draining_total", "counter", "Requests rejected because drain had begun.")
+	p.Metric("fepiad_rejected_draining_total", float64(st.RejectedDraining))
+	p.Header("fepiad_bad_requests_total", "counter", "Malformed or invalid requests (400).")
+	p.Metric("fepiad_bad_requests_total", float64(st.BadRequests))
+	p.Header("fepiad_completed_ok_total", "counter", "Certified (non-degraded) 200 responses.")
+	p.Metric("fepiad_completed_ok_total", float64(st.CompletedOK))
+	p.Header("fepiad_completed_degraded_total", "counter", "200 responses carrying at least one degraded radius.")
+	p.Metric("fepiad_completed_degraded_total", float64(st.CompletedDegr))
+	p.Header("fepiad_deadline_exceeded_total", "counter", "504 responses.")
+	p.Metric("fepiad_deadline_exceeded_total", float64(st.ErrDeadline))
+	p.Header("fepiad_cancelled_total", "counter", "503 responses from drain or client cancellation mid-flight.")
+	p.Metric("fepiad_cancelled_total", float64(st.ErrCancelled))
+	p.Header("fepiad_internal_errors_total", "counter", "500 responses.")
+	p.Metric("fepiad_internal_errors_total", float64(st.ErrInternal))
+
+	p.Header("fepiad_breaker_trips_total", "counter", "Circuit-breaker trips across all classes.")
+	p.Metric("fepiad_breaker_trips_total", float64(st.BreakerTrips))
+
+	p.Header("fepiad_cache_hits_total", "counter", "Impact-cache hits.")
+	p.Metric("fepiad_cache_hits_total", float64(st.CacheHits))
+	p.Header("fepiad_cache_misses_total", "counter", "Impact-cache misses.")
+	p.Metric("fepiad_cache_misses_total", float64(st.CacheMisses))
+	p.Header("fepiad_cache_hit_rate", "gauge", "Impact-cache hit rate (0 with no lookups).")
+	p.Metric("fepiad_cache_hit_rate", st.CacheHitRate)
+
+	if len(st.Tenants) > 0 {
+		p.Header("fepiad_tenant_weight", "gauge", "Tenant weight in the fair-admission discipline.")
+		p.Header("fepiad_tenant_quota_cost", "gauge", "Tenant reserved-cost quota.")
+		p.Header("fepiad_tenant_reserved_cost", "gauge", "Tenant cost units reserved (queued + running).")
+		p.Header("fepiad_tenant_accepted_total", "counter", "Requests admitted for the tenant.")
+		p.Header("fepiad_tenant_shed_total", "counter", "Requests shed against the tenant (quota or global bound).")
+		for _, ten := range st.Tenants {
+			p.Metric("fepiad_tenant_weight", ten.Weight, "tenant", ten.Tenant)
+			p.Metric("fepiad_tenant_quota_cost", float64(ten.QuotaCost), "tenant", ten.Tenant)
+			p.Metric("fepiad_tenant_reserved_cost", float64(ten.ReservedCost), "tenant", ten.Tenant)
+			p.Metric("fepiad_tenant_accepted_total", float64(ten.Accepted), "tenant", ten.Tenant)
+			p.Metric("fepiad_tenant_shed_total", float64(ten.Shed), "tenant", ten.Tenant)
+		}
+	}
+
+	if st.Store != nil {
+		p.Header("fepiad_store_puts_total", "counter", "Scenario documents persisted.")
+		p.Metric("fepiad_store_puts_total", float64(st.Store.Puts))
+		p.Header("fepiad_store_put_errors_total", "counter", "Failed persistence writes.")
+		p.Metric("fepiad_store_put_errors_total", float64(st.Store.PutErrors))
+		p.Header("fepiad_store_corrupt_skipped_total", "counter", "Corrupt store files skipped and quarantined.")
+		p.Metric("fepiad_store_corrupt_skipped_total", float64(st.Store.CorruptSkipped))
+		p.Header("fepiad_store_warm_loaded", "gauge", "Scenarios warm-started from the store at startup.")
+		p.Metric("fepiad_store_warm_loaded", float64(st.Store.WarmLoaded))
+		p.Header("fepiad_store_warm_skipped", "gauge", "Store files skipped during warm start.")
+		p.Metric("fepiad_store_warm_skipped", float64(st.Store.WarmSkipped))
+		p.Header("fepiad_store_warm_hits_total", "counter", "Scenario-cache hits served by warm-started entries.")
+		p.Metric("fepiad_store_warm_hits_total", float64(st.Store.WarmHits))
+		p.Header("fepiad_store_hit_rate", "gauge", "Warm-started share of scenario-cache lookups (0 with no lookups).")
+		p.Metric("fepiad_store_hit_rate", st.Store.HitRate)
+	}
+
+	if len(st.Classes) > 0 {
+		p.Header("fepiad_class_cache_hit_rate", "gauge", "Per-class impact-cache hit rate.")
+		p.Header("fepiad_class_breaker_state", "gauge", "Per-class breaker state (0 closed, 1 half-open, 2 open).")
+		p.Header("fepiad_class_breaker_trips_total", "counter", "Per-class breaker trips.")
+		for _, cl := range st.Classes {
+			p.Metric("fepiad_class_cache_hit_rate", cl.CacheHitRate, "class", cl.Class)
+			if cl.BreakerState != "" {
+				p.Metric("fepiad_class_breaker_state", breakerStateValue(cl.BreakerState), "class", cl.Class)
+				p.Metric("fepiad_class_breaker_trips_total", float64(cl.BreakerTrips), "class", cl.Class)
+			}
+		}
+	}
+
+	p.WriteTo(w)
+}

@@ -43,8 +43,9 @@ type scenarioCache struct {
 
 // scacheEntry is one cached analysis plus its delta-accounting state.
 type scacheEntry struct {
-	key string
-	a   *core.Analysis
+	key  string
+	a    *core.Analysis
+	warm bool // seeded by WarmStart from the persistent store
 
 	mu   sync.Mutex
 	last core.CacheStats // counters as of the last reportCache delta
@@ -96,8 +97,8 @@ func (c *scenarioCache) get(fp string) (*scacheEntry, bool) {
 // put stores a built analysis, evicting the least-recently-used entry at
 // capacity. A racing earlier store for the same fingerprint wins (the two
 // analyses are interchangeable; keeping the first preserves its warm
-// cache).
-func (c *scenarioCache) put(fp string, a *core.Analysis) *scacheEntry {
+// cache). warm marks entries seeded from the persistent store at startup.
+func (c *scenarioCache) put(fp string, a *core.Analysis, warm bool) *scacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[fp]; ok {
@@ -109,27 +110,40 @@ func (c *scenarioCache) put(fp string, a *core.Analysis) *scacheEntry {
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*scacheEntry).key)
 	}
-	e := &scacheEntry{key: fp, a: a}
+	e := &scacheEntry{key: fp, a: a, warm: warm}
 	c.m[fp] = c.ll.PushFront(e)
 	return e
 }
 
 // lookupScenario resolves a scenario through the cache: a hit returns the
 // shared analysis, a miss builds (and decorates with the impact cache),
-// stores, and returns it. Callers must bypass this for chaos-decorated
-// requests. The second return is the entry for delta accounting (nil when
-// the cache is disabled or the fingerprint failed).
+// stores — persisting to the scenario store when one is configured, so the
+// next restart warm-starts with it — and returns it. Callers must bypass
+// this for chaos-decorated requests. The second return is the entry for
+// delta accounting (nil when the cache is disabled or the fingerprint
+// failed).
 func (s *Server) lookupScenario(doc scenario.AnalysisDoc) (*core.Analysis, *scacheEntry, error) {
 	if s.scache == nil {
 		return nil, nil, nil
 	}
+	// Stamp the envelope fields the way the store's Put does before
+	// fingerprinting: a request doc (typically unversioned) and its stored
+	// form must share one fingerprint, or warm-started entries would never
+	// be hit.
+	doc.Version = scenario.Version
+	doc.Kind = "fepia"
 	fp, err := doc.Fingerprint()
 	if err != nil {
 		return nil, nil, nil // un-fingerprintable: fall back to a fresh build
 	}
 	if e, ok := s.scache.get(fp); ok {
+		s.stats.scenarioHits.Add(1)
+		if e.warm {
+			s.stats.storeWarmHits.Add(1)
+		}
 		return e.a, e, nil
 	}
+	s.stats.scenarioMisses.Add(1)
 	a, err := doc.Build()
 	if err != nil {
 		return nil, nil, err
@@ -137,6 +151,13 @@ func (s *Server) lookupScenario(doc scenario.AnalysisDoc) (*core.Analysis, *scac
 	if s.cfg.CacheCap >= 0 {
 		a.EnableImpactCache(s.cfg.CacheCap)
 	}
-	e := s.scache.put(fp, a)
+	e := s.scache.put(fp, a, false)
+	if s.store != nil {
+		// Best-effort persistence; a failed write costs the next warm
+		// start, not this request.
+		if _, perr := s.store.Put(doc); perr != nil {
+			s.cfg.Logf("server: scenario store put %s: %v", fp, perr)
+		}
+	}
 	return e.a, e, nil
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"fepia/internal/core"
+	"fepia/internal/scenario"
 )
 
 // Config tunes the daemon. The zero value serves with the defaults noted on
@@ -52,6 +53,17 @@ type Config struct {
 	// MaxQueueCost bounds the admission queue in cost units — estimated
 	// impact evaluations of queued-plus-running work (default 1<<20).
 	MaxQueueCost int64
+	// TenantHeader names the header carrying the tenant identity (default
+	// "X-Tenant"); requests without it are charged to the "default" tenant.
+	TenantHeader string
+	// TenantQuotaCost is the per-tenant reserved-cost ceiling at weight 1:
+	// a tenant over quota is shed with 429 and a tenant-scoped Retry-After
+	// even when the aggregate queue has room. 0 defaults to MaxQueueCost/4;
+	// <0 disables per-tenant quotas (only the aggregate bound applies).
+	TenantQuotaCost int64
+	// TenantWeights sets per-tenant weights for the weighted-fair slot
+	// queue and scales quotas; unlisted tenants weigh 1.
+	TenantWeights map[string]float64
 	// Workers is the per-evaluation worker-pool size handed to the engine
 	// (default 1: concurrency comes from serving many requests).
 	Workers int
@@ -68,6 +80,14 @@ type Config struct {
 	// see scache.go for the bit-stability trade-off. Chaos-decorated
 	// requests always bypass it.
 	ScenarioCacheCap int
+	// StoreDir enables the persistent scenario store: every scenario the
+	// cache builds is also written (content-addressed by fingerprint,
+	// atomic + checksummed) under this directory, and WarmStart reloads it
+	// after a restart so the scenario cache starts warm instead of cold.
+	// Requires ScenarioCacheCap > 0 to have any effect; empty disables
+	// persistence. Corrupt store files are skipped and rebuilt from
+	// traffic, never fatal.
+	StoreDir string
 	// BreakerThreshold is the consecutive-failure count that trips a
 	// class's breaker (default 5).
 	BreakerThreshold int
@@ -102,6 +122,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueueCost <= 0 {
 		c.MaxQueueCost = 1 << 20
 	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = HeaderTenant
+	}
+	if c.TenantQuotaCost == 0 {
+		c.TenantQuotaCost = c.MaxQueueCost / 4
+	}
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
@@ -121,6 +147,11 @@ type Server struct {
 	adm    *admission
 	brk    *breakerSet
 	scache *scenarioCache
+	store  *scenario.Store // nil unless Config.StoreDir is set and opened
+
+	// Warm-start outcome (set once by WarmStart, read by /statz).
+	warmLoaded  atomic.Int64
+	warmSkipped atomic.Int64
 
 	// Per-class impact-cache counters for /statz (classMu guards the map;
 	// classes are few — one per structural scenario signature).
@@ -158,6 +189,13 @@ type serverStats struct {
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// Scenario-cache lookups (distinct from the impact-cache counters
+	// above): a hit reuses a built analysis, a warm hit reuses one the
+	// store warm-started after a restart.
+	scenarioHits   atomic.Uint64
+	scenarioMisses atomic.Uint64
+	storeWarmHits  atomic.Uint64
 }
 
 // New builds a Server from cfg.
@@ -172,9 +210,14 @@ func New(cfg Config) *Server {
 	if cfg.BreakerSeed != 0 {
 		bcfg.rng = rand.New(rand.NewSource(cfg.BreakerSeed))
 	}
-	return &Server{
+	adm := newAdmission(cfg.MaxConcurrent, cfg.MaxQueueCost)
+	if cfg.TenantQuotaCost > 0 {
+		adm.tenantQuota = cfg.TenantQuotaCost
+	}
+	adm.weights = cfg.TenantWeights
+	s := &Server{
 		cfg:        cfg,
-		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueueCost),
+		adm:        adm,
 		brk:        newBreakerSet(bcfg),
 		scache:     newScenarioCache(cfg.ScenarioCacheCap),
 		classCache: make(map[string]*classCacheCounters),
@@ -183,6 +226,50 @@ func New(cfg Config) *Server {
 		idle:       make(chan struct{}),
 		start:      time.Now(),
 	}
+	if cfg.StoreDir != "" {
+		st, err := scenario.OpenStore(cfg.StoreDir)
+		if err != nil {
+			// Persistence is best-effort: a store that cannot open costs the
+			// warm start, never the daemon.
+			cfg.Logf("server: scenario store disabled: %v", err)
+		} else {
+			s.store = st
+		}
+	}
+	return s
+}
+
+// WarmStart reloads the persistent scenario store into the scenario cache,
+// so the first post-restart request for a known scenario is served from a
+// built analysis instead of a cold rebuild. Call it once, before serving.
+// Corrupt store files are skipped (and quarantined for rebuild); a document
+// that no longer builds under the current engine is skipped too. Returns
+// (loaded, skipped).
+func (s *Server) WarmStart() (loaded, skipped int) {
+	if s.store == nil || s.scache == nil {
+		return 0, 0
+	}
+	rep, err := s.store.Load(func(fp string, doc scenario.AnalysisDoc) bool {
+		a, err := doc.Build()
+		if err != nil {
+			skipped++
+			return true
+		}
+		if s.cfg.CacheCap >= 0 {
+			a.EnableImpactCache(s.cfg.CacheCap)
+		}
+		s.scache.put(fp, a, true)
+		loaded++
+		return loaded < s.cfg.ScenarioCacheCap
+	})
+	if err != nil {
+		s.cfg.Logf("server: warm start aborted: %v", err)
+	}
+	skipped += rep.Skipped
+	s.warmLoaded.Store(int64(loaded))
+	s.warmSkipped.Store(int64(skipped))
+	s.cfg.Logf("server: warm start loaded %d scenario(s), skipped %d", loaded, skipped)
+	return loaded, skipped
 }
 
 // Handler mounts the daemon's routes behind the request-ID middleware.
@@ -191,6 +278,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/robustness", s.handleRobustness)
 	mux.HandleFunc("POST /v1/radius", s.handleRadius)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -330,10 +418,58 @@ type Statz struct {
 	CacheMisses  uint64  `json:"cacheMisses"`
 	CacheHitRate float64 `json:"cacheHitRate"`
 
+	// Tenants breaks admission down per tenant (weight, quota, reserved
+	// backlog, accepted/shed counts), sorted by tenant name.
+	Tenants []TenantStatz `json:"tenants,omitempty"`
+
+	// Store reports the persistent scenario store, when configured.
+	Store *StoreStatz `json:"store,omitempty"`
+
 	// Classes breaks the cache and breaker counters down per scenario class
 	// (the same classification the breaker and the cluster coordinator key
 	// on), sorted by class name.
 	Classes []ClassStatz `json:"classes,omitempty"`
+}
+
+// StoreStatz is the persistent scenario store's section of /statz.
+type StoreStatz struct {
+	Dir string `json:"dir"`
+	// Puts / PutErrors count persistence writes since startup.
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"putErrors"`
+	// WarmLoaded / WarmSkipped are the WarmStart outcome: documents loaded
+	// into the scenario cache at startup vs files skipped as corrupt,
+	// truncated, or unbuildable.
+	WarmLoaded  int64 `json:"warmLoaded"`
+	WarmSkipped int64 `json:"warmSkipped"`
+	// CorruptSkipped counts store files refused (and quarantined) since
+	// startup, warm start included.
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+	// WarmHits counts scenario-cache hits served by warm-started entries;
+	// HitRate is WarmHits over all scenario-cache lookups (0 until there
+	// have been lookups).
+	WarmHits uint64  `json:"warmHits"`
+	HitRate  float64 `json:"hitRate"`
+}
+
+// storeStatz snapshots the store section; nil when no store is configured.
+func (s *Server) storeStatz() *StoreStatz {
+	if s.store == nil {
+		return nil
+	}
+	st := s.store.Stats()
+	lookups := s.stats.scenarioHits.Load() + s.stats.scenarioMisses.Load()
+	warmHits := s.stats.storeWarmHits.Load()
+	return &StoreStatz{
+		Dir:            s.store.Dir(),
+		Puts:           st.Puts,
+		PutErrors:      st.PutErrors,
+		WarmLoaded:     s.warmLoaded.Load(),
+		WarmSkipped:    s.warmSkipped.Load(),
+		CorruptSkipped: st.CorruptSkipped,
+		WarmHits:       warmHits,
+		HitRate:        safeRate(warmHits, lookups),
+	}
 }
 
 // ClassStatz is one scenario class's row in /statz: its impact-cache hit
@@ -361,7 +497,7 @@ func (s *Server) statz() Statz {
 		Running:          running,
 		QueuedCost:       cost,
 		MaxQueueCost:     s.cfg.MaxQueueCost,
-		Slots:            cap(s.adm.slots),
+		Slots:            s.adm.slots,
 		Accepted:         s.stats.accepted.Load(),
 		Shed:             s.stats.shed.Load(),
 		RejectedDraining: s.stats.rejectedDraining.Load(),
@@ -376,11 +512,21 @@ func (s *Server) statz() Statz {
 		CacheHits:        s.stats.cacheHits.Load(),
 		CacheMisses:      s.stats.cacheMisses.Load(),
 	}
-	if total := st.CacheHits + st.CacheMisses; total > 0 {
-		st.CacheHitRate = float64(st.CacheHits) / float64(total)
-	}
+	st.CacheHitRate = safeRate(st.CacheHits, st.CacheHits+st.CacheMisses)
+	st.Tenants = s.adm.tenantStatz()
+	st.Store = s.storeStatz()
 	st.Classes = s.classStatz(breakers)
 	return st
+}
+
+// safeRate is hits/total guarded against the zero-lookup case: JSON cannot
+// carry NaN/Inf (encoding/json errors out and the whole /statz body would be
+// lost), so a rate with no observations is reported as 0.
+func safeRate(hits, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 // classStatz joins the per-class cache counters with the breaker snapshot:
@@ -405,9 +551,7 @@ func (s *Server) classStatz(breakers []BreakerSnapshot) []ClassStatz {
 	}
 	out := make([]ClassStatz, 0, len(rows))
 	for _, row := range rows {
-		if total := row.CacheHits + row.CacheMisses; total > 0 {
-			row.CacheHitRate = float64(row.CacheHits) / float64(total)
-		}
+		row.CacheHitRate = safeRate(row.CacheHits, row.CacheHits+row.CacheMisses)
 		out = append(out, *row)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSanitizeTenant(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", DefaultTenant},
+		{"  ", DefaultTenant},
+		{"alice", "alice"},
+		{"team-a.prod_7", "team-a.prod_7"},
+		{"evil tenant\n{}", "evil_tenant___"},
+		{strings.Repeat("x", 100), strings.Repeat("x", maxTenantNameLen)},
+	}
+	for _, c := range cases {
+		if got := SanitizeTenant(c.in); got != c.want {
+			t.Errorf("SanitizeTenant(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTenantQuotaSheds(t *testing.T) {
+	ad := newAdmission(2, 1000)
+	ad.tenantQuota = 100
+
+	if sc := ad.reserveFor("a", 80); sc != shedNone {
+		t.Fatalf("first reservation shed: %v", sc)
+	}
+	// Over the tenant quota while the tenant has work in flight: shed
+	// tenant-scoped even though the global queue has room.
+	if sc := ad.reserveFor("a", 50); sc != shedTenant {
+		t.Fatalf("over-quota reservation = %v, want shedTenant", sc)
+	}
+	// Another tenant is unaffected.
+	if sc := ad.reserveFor("b", 50); sc != shedNone {
+		t.Fatalf("other tenant shed: %v", sc)
+	}
+	// Global bound still applies across tenants.
+	if sc := ad.reserveFor("c", 10_000); sc != shedGlobal {
+		t.Fatalf("global overflow = %v, want shedGlobal", sc)
+	}
+	ad.releaseFor("a", 80)
+	ad.releaseFor("b", 50)
+
+	// Tenant idle exception: a single scenario above the tenant quota is
+	// admitted when the tenant has nothing else in flight.
+	if sc := ad.reserveFor("a", 500); sc != shedNone {
+		t.Fatalf("idle oversize reservation shed: %v", sc)
+	}
+	ad.releaseFor("a", 500)
+
+	st := ad.tenantStatz()
+	if len(st) != 3 {
+		t.Fatalf("tenantStatz rows = %d, want 3", len(st))
+	}
+	for _, row := range st {
+		switch row.Tenant {
+		case "a":
+			if row.Accepted != 2 || row.Shed != 1 {
+				t.Fatalf("tenant a counters: %+v", row)
+			}
+		case "c":
+			if row.Shed != 1 {
+				t.Fatalf("tenant c counters: %+v", row)
+			}
+		}
+	}
+}
+
+func TestTenantQuotaScalesWithWeight(t *testing.T) {
+	ad := newAdmission(2, 1000)
+	ad.tenantQuota = 100
+	ad.weights = map[string]float64{"big": 3}
+	if sc := ad.reserveFor("big", 80); sc != shedNone {
+		t.Fatal("first reservation shed")
+	}
+	// 80+200 < 300 = quota × weight: still admitted.
+	if sc := ad.reserveFor("big", 200); sc != shedNone {
+		t.Fatalf("weighted tenant shed under its scaled quota")
+	}
+	if sc := ad.reserveFor("big", 50); sc != shedTenant {
+		t.Fatalf("weighted tenant not shed over its scaled quota")
+	}
+}
+
+// grantOrder enqueues waiters one at a time (so arrival order is fixed),
+// then releases the held slot and records the order grants cascade in.
+func grantOrder(t *testing.T, ad *admission, reqs []struct {
+	tenant string
+	cost   int64
+}) []string {
+	t.Helper()
+	if err := ad.acquireFair(context.Background(), "holder", 1); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, len(reqs))
+	for i, r := range reqs {
+		go func(tenant string, cost int64) {
+			if err := ad.acquireFair(context.Background(), tenant, cost); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- tenant
+			ad.releaseSlot()
+		}(r.tenant, r.cost)
+		// Wait until this waiter is queued before adding the next, so
+		// virtual finish stamps are assigned in a known order.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			ad.mu.Lock()
+			n := ad.waiters.Len()
+			ad.mu.Unlock()
+			if n == i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ad.releaseSlot() // grants cascade from here
+	got := make([]string, 0, len(reqs))
+	for range reqs {
+		select {
+		case name := <-order:
+			got = append(got, name)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("grant order stalled after %v", got)
+		}
+	}
+	return got
+}
+
+// TestWeightedFairQueueingInterleavesTenants is the discipline's core
+// property: a light tenant's request slots in ahead of a heavy tenant's
+// backlog instead of behind all of it (FIFO would return quiet last).
+func TestWeightedFairQueueingInterleavesTenants(t *testing.T) {
+	ad := newAdmission(1, 1<<20)
+	got := grantOrder(t, ad, []struct {
+		tenant string
+		cost   int64
+	}{
+		{"noisy", 100}, {"noisy", 100}, {"noisy", 100}, {"quiet", 100},
+	})
+	// noisy's three requests stamp virtual finishes 100, 200, 300; quiet
+	// arrives last but stamps ~101 — it must be granted second, not last.
+	if got[len(got)-1] == "quiet" {
+		t.Fatalf("fair queue degenerated to FIFO: %v", got)
+	}
+	if got[0] != "noisy" || got[1] != "quiet" {
+		t.Fatalf("grant order = %v, want noisy first then quiet", got)
+	}
+}
+
+// TestWeightedFairQueueingHonorsWeights doubles quiet's weight, halving its
+// virtual cost: it should overtake even noisy's first queued request.
+func TestWeightedFairQueueingHonorsWeights(t *testing.T) {
+	ad := newAdmission(1, 1<<20)
+	ad.weights = map[string]float64{"quiet": 4}
+	got := grantOrder(t, ad, []struct {
+		tenant string
+		cost   int64
+	}{
+		{"noisy", 100}, {"noisy", 100}, {"quiet", 100},
+	})
+	if got[0] != "quiet" {
+		t.Fatalf("grant order = %v, want quiet first (weight 4)", got)
+	}
+}
+
+func TestAcquireFairCancelWhileQueued(t *testing.T) {
+	ad := newAdmission(1, 1<<20)
+	if err := ad.acquireFair(context.Background(), "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- ad.acquireFair(ctx, "b", 1) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ad.mu.Lock()
+		n := ad.waiters.Len()
+		ad.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("cancelled acquire returned nil")
+	}
+	// The abandoned waiter must not leak a slot: the next acquire succeeds
+	// as soon as the holder releases.
+	ad.releaseSlot()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := ad.acquireFair(ctx2, "c", 1); err != nil {
+		t.Fatalf("slot leaked by cancelled waiter: %v", err)
+	}
+}
+
+func TestTenantQuotaShedOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantQuotaCost: 10})
+	// Fill alice's quota out of band, as the existing shedding test does for
+	// the global bound.
+	if sc := s.adm.reserveFor("alice", 9); sc != shedNone {
+		t.Fatal("setup reservation shed")
+	}
+	defer s.adm.releaseFor("alice", 9)
+
+	body, _ := json.Marshal(EvalRequest{Scenario: analyticDoc()})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/robustness", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderTenant, "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("tenant shed carries no Retry-After")
+	}
+	if resp.Header.Get(HeaderTenant) != "alice" {
+		t.Fatalf("tenant echo header = %q", resp.Header.Get(HeaderTenant))
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "tenant-quota" || er.Tenant != "alice" || er.RetryAfterMs < 1000 {
+		t.Fatalf("error body: %+v", er)
+	}
+
+	// The same request from another tenant sails through.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/robustness", bytes.NewReader(body))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(HeaderTenant, "bob")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status = %d, want 200", resp2.StatusCode)
+	}
+
+	st := getStatz(t, ts)
+	var alice, bob *TenantStatz
+	for i := range st.Tenants {
+		switch st.Tenants[i].Tenant {
+		case "alice":
+			alice = &st.Tenants[i]
+		case "bob":
+			bob = &st.Tenants[i]
+		}
+	}
+	if alice == nil || alice.Shed != 1 {
+		t.Fatalf("alice statz: %+v", st.Tenants)
+	}
+	if bob == nil || bob.Accepted != 1 || bob.Shed != 0 {
+		t.Fatalf("bob statz: %+v", st.Tenants)
+	}
+}
+
+// TestNoisyNeighborLatencyBounded is the two-tenant isolation end-to-end: a
+// flooding tenant saturates the daemon while a quiet tenant keeps sending;
+// the quiet tenant's latency must stay within 2× its solo baseline. Chaos
+// slow faults pin the service times, so the bound is deterministic up to
+// scheduler noise; FIFO queueing would blow it by queuing quiet behind the
+// whole flood.
+func TestNoisyNeighborLatencyBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent:   1,
+		EnableChaos:     true,
+		TenantQuotaCost: -1, // isolate the fairness effect from quota sheds
+	})
+	// The slow fault sleeps per impact call and the numeric radius search
+	// makes many calls, so single-digit millisecond delays already produce
+	// service times in the hundreds of milliseconds.
+	slowReq := func(delayMs int) []byte {
+		body, _ := json.Marshal(EvalRequest{
+			Scenario: analyticDoc(),
+			Chaos:    []ChaosSpec{{Feature: 0, Fault: "slow", DelayMs: delayMs}},
+		})
+		return body
+	}
+	send := func(tenant string, body []byte) (time.Duration, int) {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/robustness", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(HeaderTenant, tenant)
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return 0, 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return time.Since(start), resp.StatusCode
+	}
+
+	quietBody, noisyBody := slowReq(4), slowReq(1)
+
+	// Solo baseline for the quiet tenant.
+	baseline, code := send("quiet", quietBody)
+	if code != http.StatusOK {
+		t.Fatalf("baseline status %d", code)
+	}
+
+	// Flood from the noisy tenant: 4 goroutines, back to back.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					send("noisy", noisyBody)
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let the flood back up
+
+	worst, code := send("quiet", quietBody)
+	if code != http.StatusOK {
+		t.Fatalf("quiet request under load: status %d", code)
+	}
+	close(stop)
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+
+	if worst > 2*baseline {
+		t.Fatalf("quiet tenant latency %v under load exceeds 2x solo baseline %v", worst, baseline)
+	}
+}
+
+// TestStatzRatesFiniteWithZeroTraffic is the NaN/Inf regression guard: a
+// fresh daemon's /statz (and /metrics) must render with all rates finite —
+// encoding/json refuses NaN outright, which would lose the whole document.
+func TestStatzRatesFiniteWithZeroTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statz = %d", resp.StatusCode)
+	}
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("zero-traffic /statz does not decode: %v", err)
+	}
+	if st.CacheHitRate != 0 {
+		t.Fatalf("zero-lookup cache hit rate = %v, want 0", st.CacheHitRate)
+	}
+	if safeRate(0, 0) != 0 {
+		t.Fatal("safeRate(0,0) != 0")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", mresp.StatusCode)
+	}
+	text := string(raw)
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(text, bad) {
+			t.Fatalf("zero-traffic /metrics contains %s:\n%s", bad, text)
+		}
+	}
+	if !strings.Contains(text, "fepiad_cache_hit_rate 0") {
+		t.Fatalf("metrics missing zero hit rate:\n%s", text)
+	}
+}
+
+func TestMetricsExposesTenantCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantQuotaCost: 10})
+	if sc := s.adm.reserveFor("alice", 9); sc != shedNone {
+		t.Fatal("setup reservation shed")
+	}
+	body, _ := json.Marshal(EvalRequest{Scenario: analyticDoc()})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/robustness", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderTenant, "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.adm.releaseFor("alice", 9)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	text := string(raw)
+	if !strings.Contains(text, `fepiad_tenant_shed_total{tenant="alice"} 1`) {
+		t.Fatalf("metrics missing alice's quota shed:\n%s", text)
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fepia/internal/scenario"
+)
+
+// postEval posts one evaluation and returns the decoded success body.
+func postEval(t *testing.T, url string, doc any) EvalResponse {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/robustness", map[string]any{"scenario": doc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	return er
+}
+
+// sameRobustness compares the deterministic part of two evaluation
+// responses byte-for-byte (request IDs and timings excluded by shape).
+func sameRobustness(t *testing.T, a, b EvalResponse) {
+	t.Helper()
+	ja, err := json.Marshal(a.Robustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Robustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("robustness diverged:\n  %s\n  %s", ja, jb)
+	}
+}
+
+// TestWarmStartServesFromStore is the restart round-trip: traffic persists
+// the scenario, a fresh server over the same directory warm-starts it, and
+// the first post-restart request is a warm cache hit with a bit-identical
+// result.
+func TestWarmStartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{ScenarioCacheCap: 8, StoreDir: dir}
+
+	_, ts1 := newTestServer(t, cfg)
+	before := postEval(t, ts1.URL, numericDoc())
+	st1 := getStatz(t, ts1)
+	if st1.Store == nil || st1.Store.Puts != 1 {
+		t.Fatalf("first server did not persist the scenario: %+v", st1.Store)
+	}
+	ts1.Close()
+
+	// "Restart": a new server over the same store directory.
+	s2, ts2 := newTestServer(t, cfg)
+	loaded, skipped := s2.WarmStart()
+	if loaded != 1 || skipped != 0 {
+		t.Fatalf("WarmStart = (%d, %d), want (1, 0)", loaded, skipped)
+	}
+	after := postEval(t, ts2.URL, numericDoc())
+	sameRobustness(t, before, after)
+
+	st2 := getStatz(t, ts2)
+	if st2.Store == nil {
+		t.Fatal("store statz missing")
+	}
+	if st2.Store.WarmLoaded != 1 || st2.Store.WarmHits != 1 {
+		t.Fatalf("warm-start statz: %+v", st2.Store)
+	}
+	if st2.Store.HitRate <= 0 || st2.Store.HitRate > 1 {
+		t.Fatalf("store hit rate = %v", st2.Store.HitRate)
+	}
+}
+
+// TestWarmStartCapBoundsLoad verifies WarmStart never loads past the
+// scenario cache capacity.
+func TestWarmStartCapBoundsLoad(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{ScenarioCacheCap: 8, StoreDir: dir})
+	postEval(t, ts1.URL, analyticDoc())
+	postEval(t, ts1.URL, numericDoc())
+	ts1.Close()
+
+	s2, _ := newTestServer(t, Config{ScenarioCacheCap: 1, StoreDir: dir})
+	loaded, skipped := s2.WarmStart()
+	if loaded != 1 || skipped != 0 {
+		t.Fatalf("WarmStart over cap 1 = (%d, %d), want (1, 0)", loaded, skipped)
+	}
+}
+
+// TestWarmStartSkipsCorruptFileAndRebuilds: a corrupt store file costs the
+// warm start only; the daemon still serves the scenario and re-persists it.
+func TestWarmStartSkipsCorruptFileAndRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{ScenarioCacheCap: 8, StoreDir: dir}
+
+	_, ts1 := newTestServer(t, cfg)
+	before := postEval(t, ts1.URL, numericDoc())
+	ts1.Close()
+
+	// Truncate the stored file mid-envelope, as a crashed disk write would.
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("store files: %v (err %v)", names, err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(names[0], data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, cfg)
+	loaded, skipped := s2.WarmStart()
+	if loaded != 0 || skipped != 1 {
+		t.Fatalf("WarmStart over corrupt store = (%d, %d), want (0, 1)", loaded, skipped)
+	}
+	// The request still serves (cold) and is bit-identical; the miss
+	// re-persists a clean file.
+	after := postEval(t, ts2.URL, numericDoc())
+	sameRobustness(t, before, after)
+	st := getStatz(t, ts2)
+	if st.Store == nil || st.Store.Puts != 1 || st.Store.WarmSkipped != 1 {
+		t.Fatalf("store statz after heal: %+v", st.Store)
+	}
+	names, err = filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("store not healed: %v (err %v)", names, err)
+	}
+	if _, err := decodeEnvelopeFile(names[0]); err != nil {
+		t.Fatalf("healed file still corrupt: %v", err)
+	}
+}
+
+// decodeEnvelopeFile sanity-checks a healed store file by reading it back
+// through the store (name = fingerprint).
+func decodeEnvelopeFile(path string) (any, error) {
+	dir := filepath.Dir(path)
+	fp := filepath.Base(path)
+	fp = fp[:len(fp)-len(".json")]
+	st, err := scenario.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return st.Get(fp)
+}
