@@ -17,6 +17,7 @@ import (
 
 	"fepia"
 	"fepia/internal/exper"
+	"fepia/internal/scenario"
 	"fepia/internal/sched"
 	"fepia/internal/stats"
 	"fepia/internal/workload"
@@ -109,6 +110,11 @@ func BenchmarkClusterScatterGather(b *testing.B) { benchExperiment(b, "E16") }
 // persistent store, and times the warm-started restart against a storeless
 // one (E17).
 func BenchmarkStoreWarmStart(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkHardwareNumericTier runs the accelerated numeric tier's
+// equivalence-and-throughput experiment: sharded cache, warm start, and
+// k-probe kernels against the plain scalar search (E18).
+func BenchmarkHardwareNumericTier(b *testing.B) { benchExperiment(b, "E18") }
 
 // --- micro-benchmarks of the core engine -----------------------------------
 
@@ -424,6 +430,110 @@ func BenchmarkRobustnessBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// numericKernelAnalysis builds a numeric-tier analysis through the scenario
+// layer, so its features carry the vectorized ImpactK kernels the k-probe
+// path batches through.
+func numericKernelAnalysis(b *testing.B) *fepia.Analysis {
+	b.Helper()
+	mx := 60.0
+	doc := scenario.AnalysisDoc{
+		Params: []scenario.AnalysisParam{
+			{Name: "load", Orig: []float64{1.2, 0.8}},
+			{Name: "rate", Orig: []float64{0.9, 1.1, 1.3}},
+		},
+		Features: []scenario.AnalysisFeature{{
+			Name: "prod", Impact: scenario.ImpactMultiplicative, Max: &mx,
+			Scale: 1.5, Pows: [][]float64{{0.7, 1.1}, {0.5, 0.9, 0.6}},
+		}},
+	}
+	a, err := doc.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkWarmStartSearch contrasts repeated numeric boundary searches cold
+// and warm-started: the warm state replays memoized probe lines and
+// revalidated brackets, skipping most of the scan and solve while staying
+// bit-identical (the warm sub-benchmark measures the repeated-search regime
+// of service loops; the first, recording search costs the same as cold).
+func BenchmarkWarmStartSearch(b *testing.B) {
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			a := numericKernelAnalysis(b)
+			if warm {
+				a.EnableWarmStart()
+				if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+					b.Fatal(err) // record outside the timer
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedCache measures concurrent hit-path throughput of the
+// sharded impact cache: every goroutine re-runs the same (deterministic)
+// boundary search, so after the priming run nearly all evaluations are
+// cache reads. One shard forces every reader through one generation
+// structure; the sharded variants spread them (reads are lock-free in both,
+// the spread decides contention on the shard mutexes taken by writes).
+func BenchmarkShardedCache(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			a := expensiveQuadAnalysis(b)
+			a.EnableImpactCacheWith(fepia.CacheOptions{Shards: shards})
+			if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+				b.Fatal(err) // prime outside the timer
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := a.CombinedRadius(0, fepia.Normalized{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKProbeKernel contrasts the scalar numeric search with the k-probe
+// path, which evaluates whole probe blocks per call through the vectorized
+// family kernels (internal/vec). Radii are bit-identical; the win is
+// per-call overhead amortization on kernel-backed features.
+func BenchmarkKProbeKernel(b *testing.B) {
+	for _, k := range []int{0, 8} {
+		name := "scalar"
+		if k > 0 {
+			name = fmt.Sprintf("kprobe=%d", k)
+		}
+		b.Run(name, func(b *testing.B) {
+			a := numericKernelAnalysis(b)
+			opt := fepia.EvalOptions{KProbe: k}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CombinedRadiusWith(context.Background(), 0, fepia.Normalized{}, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkRobustnessConcurrent measures the worker-pool robustness

@@ -1,0 +1,219 @@
+// Command doccheck verifies that every relative markdown link in the
+// repository's documentation resolves: the target file must exist, and a
+// #fragment must name a real heading anchor in the target (GitHub-style
+// slugs). External links (http, https, mailto) are not fetched — CI must
+// stay hermetic — so only links the repository itself can break are
+// checked.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck [path ...]
+//
+// With no arguments it checks README.md and every .md file under docs/.
+// Exit status is 0 when all links resolve and 1 when any link is dead,
+// with one "file:line: message" diagnostic per dead link.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Images
+// ![alt](target) are matched too — a dead image path is just as broken as
+// a dead link. Code spans are stripped before matching so examples like
+// `[a](b)` inside backticks do not produce false positives.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// codeSpanRe strips inline code spans; fenced blocks are handled by state
+// in checkFile.
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+// headingRe matches ATX headings, whose slugs form the valid fragments.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// slugNonWord removes every rune GitHub's anchor slugger drops: anything
+// that is not a letter, digit, space, or hyphen.
+var slugNonWord = regexp.MustCompile(`[^\p{L}\p{N} \-]`)
+
+// slug converts a heading to its GitHub anchor: lowercase, punctuation
+// removed, spaces to hyphens.
+func slug(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	// Markdown formatting inside the heading does not survive into the
+	// anchor text.
+	s = strings.NewReplacer("`", "", "*", "", "_", "").Replace(s)
+	s = slugNonWord.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// anchors returns the set of valid fragment slugs for a markdown file,
+// numbering duplicates -1, -2, … the way GitHub does.
+func anchors(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			s := slug(m[1])
+			if n := counts[s]; n > 0 {
+				out[fmt.Sprintf("%s-%d", s, n)] = true
+			} else {
+				out[s] = true
+			}
+			counts[s]++
+		}
+	}
+	return out, sc.Err()
+}
+
+// external reports whether a link target points outside the repository.
+func external(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFile scans one markdown file and returns a diagnostic per dead
+// link.
+func checkFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var bad []string
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		line = codeSpanRe.ReplaceAllString(line, "")
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if external(target) {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(resolved); err != nil {
+					bad = append(bad, fmt.Sprintf("%s:%d: dead link %q: %s does not exist",
+						path, lineNo, target, resolved))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			// Fragments are only checkable inside markdown targets.
+			if !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			as, err := anchors(resolved)
+			if err != nil {
+				return nil, err
+			}
+			if !as[frag] {
+				bad = append(bad, fmt.Sprintf("%s:%d: dead anchor %q: no heading in %s slugs to #%s",
+					path, lineNo, target, resolved, frag))
+			}
+		}
+	}
+	return bad, sc.Err()
+}
+
+// expand turns the argument list into the set of markdown files to check.
+func expand(args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"README.md", "docs"}
+	}
+	var files []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: doccheck [path ...]\n\nChecks relative markdown links; defaults to README.md and docs/.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	files, err := expand(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, f := range files {
+		bad, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		for _, b := range bad {
+			fmt.Println(b)
+		}
+		total += len(bad)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d dead link(s) across %d file(s)\n", total, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) clean\n", len(files))
+}

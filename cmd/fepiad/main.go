@@ -73,6 +73,7 @@ func main() {
 	queueCost := flag.Int64("queue-cost", 1<<20, "worker: admission queue bound in cost units (estimated impact evaluations)")
 	workers := flag.String("workers", "1", "worker: per-evaluation pool size; coordinator: comma-separated worker base URLs")
 	cacheCap := flag.Int("cache", 0, "worker: impact cache entries per analysis (>0 capacity, 0 engine default, <0 disabled)")
+	cacheShards := flag.Int("cache-shards", 0, "worker: impact cache shard count, rounded up to a power of two (0 = derive from GOMAXPROCS)")
 	scenarioCache := flag.Int("scenario-cache", 0, "worker: built-scenario LRU capacity (0 = disabled)")
 	storeDir := flag.String("store-dir", "", "worker: persistent scenario store directory (warm-starts the scenario cache; needs -scenario-cache > 0)")
 	tenantQuota := flag.Int64("tenant-quota", 0, "worker: per-tenant reserved-cost ceiling at weight 1 (0 = queue-cost/4, <0 = disabled)")
@@ -120,6 +121,7 @@ func main() {
 			TenantWeights:     weights,
 			Workers:           pool,
 			CacheCap:          *cacheCap,
+			CacheShards:       *cacheShards,
 			ScenarioCacheCap:  *scenarioCache,
 			StoreDir:          *storeDir,
 			BreakerThreshold:  *breakerThreshold,

@@ -83,9 +83,25 @@
 // RobustnessBatch schedules every boundary search of every item on one
 // shared worker pool; Analysis.RobustnessBatchCtx and
 // Analysis.CombinedRadiusBatchCtx are the single-analysis conveniences. The
-// cache never stores faulty (NaN/Inf/panicking) evaluations, so the failure
-// semantics above are unchanged. See docs/architecture.md for the engine
-// layout and docs/performance.md for measured numbers and tuning guidance.
+// cache is sharded (lock-free reads; EnableImpactCacheWith tunes capacity
+// and shard count) and never stores faulty (NaN/Inf/panicking) evaluations,
+// so the failure semantics above are unchanged.
+//
+// Two further accelerations target the numeric level-set tier, and both are
+// exact — radii stay bit-identical to the plain scalar search:
+//
+//	a.EnableWarmStart() // reuse converged brackets across repeated searches
+//	rho, err := a.RobustnessWith(ctx, fepia.Normalized{}, fepia.EvalOptions{
+//		KProbe: 8, // evaluate probe blocks through Feature.ImpactK kernels
+//	})
+//
+// Warm starts record each boundary search's probe lines and converged
+// brackets and replay them — after bit-exact revalidation against the live
+// objective — on the next search of the same feature; EvalOptions.KProbe
+// batches boundary probes through vectorized impact kernels (features built
+// by the scenario layer carry kernels for all four analytic families). See
+// docs/architecture.md for the engine layout and docs/performance.md for
+// measured numbers and tuning guidance.
 //
 // # Serving
 //
@@ -103,6 +119,7 @@ import (
 	"context"
 
 	"fepia/internal/core"
+	"fepia/internal/optimize"
 	"fepia/internal/vec"
 )
 
@@ -208,6 +225,19 @@ type BatchItem = core.BatchItem
 // CacheStats is a snapshot of the impact cache's counters (see
 // Analysis.EnableImpactCache and Analysis.CacheStats).
 type CacheStats = core.CacheStats
+
+// CacheOptions configure the sharded impact cache
+// (Analysis.EnableImpactCacheWith): entry capacity and shard count.
+type CacheOptions = core.CacheOptions
+
+// CacheShardStats is one cache shard's counters
+// (Analysis.CacheShardStats); imbalanced shard hit rates signal probe-key
+// skew.
+type CacheShardStats = core.CacheShardStats
+
+// WarmStats count what warm-started boundary searches reused
+// (Analysis.EnableWarmStart and Analysis.WarmStats).
+type WarmStats = optimize.WarmStats
 
 // ImpactPanicError reports a panic recovered from a caller-supplied impact
 // function; it carries the feature index and the captured stack.

@@ -134,7 +134,7 @@ func RobustnessBatch(ctx context.Context, items []BatchItem, opt EvalOptions) ([
 		it := items[u.item]
 		ictx := ictxs[u.item]
 		if u.side == unitWhole {
-			r, err := it.A.CombinedRadiusCtx(ictx, u.feat, it.W)
+			r, err := it.A.CombinedRadiusWith(ictx, u.feat, it.W, opt)
 			radii[u.item][u.feat], ferrs[u.item][u.feat] = r, err
 			if err != nil && !tolerable(err) {
 				cancels[u.item]() // early stop: this item already failed
@@ -162,7 +162,7 @@ func RobustnessBatch(ctx context.Context, items []BatchItem, opt EvalOptions) ([
 		if u.side == unitMin {
 			beta, bside = f.Bounds.Min, SideMin
 		}
-		r, err := it.A.combinedNumericSide(ictx, u.feat, s.d, s.pOrig, beta, bside)
+		r, err := it.A.combinedNumericSide(ictx, u.feat, s.d, s.pOrig, beta, bside, opt)
 		s.r[u.side], s.err[u.side] = r, err
 		if err != nil && !tolerable(err) {
 			cancels[u.item]()
@@ -293,7 +293,7 @@ func (a *Analysis) CombinedRadiusBatchCtx(ctx context.Context, w Weighting, feat
 
 	exec := func(u batchUnit) {
 		if u.side == unitWhole {
-			radii[u.item], errs[u.item] = a.CombinedRadiusCtx(ctx, u.feat, w)
+			radii[u.item], errs[u.item] = a.CombinedRadiusWith(ctx, u.feat, w, opt)
 			return
 		}
 		s := slots[u.item]
@@ -316,7 +316,7 @@ func (a *Analysis) CombinedRadiusBatchCtx(ctx context.Context, w Weighting, feat
 		if u.side == unitMin {
 			beta, bside = f.Bounds.Min, SideMin
 		}
-		s.r[u.side], s.err[u.side] = a.combinedNumericSide(ctx, u.feat, s.d, s.pOrig, beta, bside)
+		s.r[u.side], s.err[u.side] = a.combinedNumericSide(ctx, u.feat, s.d, s.pOrig, beta, bside, opt)
 	}
 	runPool(batchWorkers(opt.Workers, len(units)), len(units), func(q int) { exec(units[q]) })
 

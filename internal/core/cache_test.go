@@ -37,38 +37,52 @@ func prodAnalysis(t testing.TB, n int, bound float64) *Analysis {
 	return a
 }
 
-func TestImpactCacheLRUEviction(t *testing.T) {
-	c := newImpactCache(4)
+// The sharded cache evicts by generation: when a shard's hot map fills, hot
+// freezes to g1, g1 to g2, and the old g2 is dropped. With one shard and
+// capacity 6 (hot generation of 2), six inserts fill all three generations
+// and the seventh pair drops the first.
+func TestImpactCacheGenerationalEviction(t *testing.T) {
+	c := newImpactCache(CacheOptions{Capacity: 6, Shards: 1})
 	key := func(i int) []byte {
 		return binary.LittleEndian.AppendUint64(nil, uint64(i))
 	}
-	for i := 0; i < 5; i++ {
+	for i := 0; i < 6; i++ {
 		c.put(key(i), float64(i))
 	}
 	st := c.statsLocked()
-	if st.Entries != 4 || st.Evictions != 1 || st.Stores != 5 {
-		t.Fatalf("after 5 puts into cap-4 cache: %+v", st)
+	// Three rotations: {0,1}→g1, then →g2, then dropped when {4,5} froze.
+	if st.Entries != 4 || st.Evictions != 2 || st.Stores != 6 {
+		t.Fatalf("after 6 puts into cap-6 single-shard cache: %+v", st)
 	}
-	// Key 0 was the least recently used and must be gone; key 4 must hit.
 	if _, ok := c.get(key(0)); ok {
-		t.Fatal("oldest entry survived eviction")
+		t.Fatal("oldest generation survived eviction")
 	}
-	if v, ok := c.get(key(4)); !ok || v != 4 {
-		t.Fatalf("get(4) = %v, %v", v, ok)
+	for _, i := range []int{2, 3, 4, 5} {
+		if v, ok := c.get(key(i)); !ok || v != float64(i) {
+			t.Fatalf("get(%d) = %v, %v; surviving generations should hit", i, v, ok)
+		}
 	}
-	// Touching key 1 must protect it from the next eviction.
-	c.get(key(1))
-	c.put(key(5), 5)
-	if _, ok := c.get(key(1)); !ok {
-		t.Fatal("recently used entry was evicted")
+	// An evicted key is re-stored on its next put and hits again.
+	c.put(key(0), 0)
+	if _, ok := c.get(key(0)); !ok {
+		t.Fatal("re-stored key missed")
 	}
-	if _, ok := c.get(key(2)); ok {
-		t.Fatal("LRU entry 2 should have been evicted after touching 1")
+	// The total never exceeds the configured capacity, no matter how many
+	// distinct keys pass through.
+	for i := 10; i < 110; i++ {
+		c.put(key(i), float64(i))
+	}
+	st = c.statsLocked()
+	if st.Entries > 6 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+	if st.Entries != int(st.Stores)-int(st.Evictions) {
+		t.Fatalf("entry bookkeeping inconsistent: %+v", st)
 	}
 }
 
 func TestImpactCacheNeverStoresNonFinite(t *testing.T) {
-	c := newImpactCache(8)
+	c := newImpactCache(CacheOptions{Capacity: 8, Shards: 1})
 	key := []byte("k")
 	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
 		c.put(key, v)
@@ -115,11 +129,11 @@ func TestCacheNeverCachesFaultyEvaluations(t *testing.T) {
 	}
 	// Whatever was cached (the finite evaluations near the origin) must be
 	// finite; the NaN region must never have been stored.
-	for e := a.cache.ll.Front(); e != nil; e = e.Next() {
-		if v := e.Value.(*cacheEntry).val; math.IsNaN(v) || math.IsInf(v, 0) {
+	a.cache.forEachValue(func(v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatalf("non-finite value %v found in cache", v)
 		}
-	}
+	})
 	if st.Entries != int(st.Stores)-int(st.Evictions) {
 		t.Fatalf("entry bookkeeping inconsistent: %+v", st)
 	}
@@ -423,5 +437,122 @@ func TestCachedNumericAgreesOnRandomizedImpacts(t *testing.T) {
 			}
 			a.DisableImpactCache()
 		}
+	}
+}
+
+// TestShardedCacheRaceHammer is the regression race test for the lock-free
+// read path (run under -race in CI): goroutines hammer gets and puts over a
+// shared keyspace with values derived from the key, interleaved with stats
+// snapshots. Every hit must return exactly the key's value — a torn read,
+// a reused map, or a publish without the atomic pointer would either trip
+// the race detector or return a mismatched value.
+func TestShardedCacheRaceHammer(t *testing.T) {
+	c := newImpactCache(CacheOptions{Capacity: 384, Shards: 4})
+	const keys = 200
+	key := func(i int) []byte {
+		return binary.LittleEndian.AppendUint64(nil, uint64(i)*2654435761)
+	}
+	val := func(i int) float64 { return float64(i)*1.5 + 0.25 }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 8)
+			for op := 0; op < 4000; op++ {
+				i := (op*7 + g*13) % keys
+				buf = append(buf[:0], key(i)...)
+				if v, ok := c.get(buf); ok {
+					if v != val(i) {
+						panic("cache hit returned a foreign value")
+					}
+				} else {
+					c.put(buf, val(i))
+				}
+				if op%512 == 0 {
+					c.statsLocked()
+					c.shardStats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.statsLocked()
+	if st.Hits+st.Misses != 8*4000 {
+		t.Fatalf("lookup counters lost updates: %+v", st)
+	}
+	if st.Entries != int(st.Stores)-int(st.Evictions) {
+		t.Fatalf("entry bookkeeping inconsistent after hammer: %+v", st)
+	}
+}
+
+// TestShardedCacheEvictionUnderConcurrentWriters drives generation rotation
+// from many concurrent writers on a deliberately tiny cache (satellite
+// coverage, run under -race): every shard must evict, the total must stay
+// within capacity, and the quiescent counters must reconcile.
+func TestShardedCacheEvictionUnderConcurrentWriters(t *testing.T) {
+	opt := CacheOptions{Capacity: 48, Shards: 2}
+	c := newImpactCache(opt)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 8)
+			for i := 0; i < 3000; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf[:0], uint64(g*100000+i))
+				c.put(buf, float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.statsLocked()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under write pressure: %+v", st)
+	}
+	if st.Entries > opt.Capacity {
+		t.Fatalf("capacity bound violated: %d entries > %d: %+v", st.Entries, opt.Capacity, st)
+	}
+	if st.Entries != int(st.Stores)-int(st.Evictions) {
+		t.Fatalf("entry bookkeeping inconsistent: %+v", st)
+	}
+	for i, sh := range c.shardStats() {
+		if sh.Evictions == 0 {
+			t.Errorf("shard %d never rotated: %+v", i, sh)
+		}
+	}
+}
+
+// Per-shard stats must sum to the aggregate, and shard counts round up to a
+// power of two.
+func TestCacheShardStatsAggregate(t *testing.T) {
+	a := prodAnalysis(t, 3, 4)
+	a.EnableImpactCacheWith(CacheOptions{Capacity: 1 << 12, Shards: 3})
+	if _, err := a.CombinedRadius(0, Normalized{}); err != nil {
+		t.Fatal(err)
+	}
+	shards := a.CacheShardStats()
+	if len(shards) != 4 {
+		t.Fatalf("shard count 3 should round up to 4, got %d", len(shards))
+	}
+	var sum CacheStats
+	for _, sh := range shards {
+		sum.Hits += sh.Hits
+		sum.Misses += sh.Misses
+		sum.Stores += sh.Stores
+		sum.Evictions += sh.Evictions
+		sum.Entries += sh.Entries
+	}
+	st := a.CacheStats()
+	if sum.Hits != st.Hits || sum.Misses != st.Misses || sum.Stores != st.Stores ||
+		sum.Evictions != st.Evictions || sum.Entries != st.Entries {
+		t.Fatalf("shard stats %+v do not sum to aggregate %+v", sum, st)
+	}
+	if a.CacheShardStats() == nil {
+		t.Fatal("enabled cache reported nil shard stats")
+	}
+	a.DisableImpactCache()
+	if a.CacheShardStats() != nil {
+		t.Fatal("disabled cache reported shard stats")
 	}
 }

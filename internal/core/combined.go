@@ -29,6 +29,15 @@ func (a *Analysis) CombinedRadius(i int, w Weighting) (Radius, error) {
 // Panics and non-finite values from the impact function are contained as
 // *ImpactPanicError / *NumericError.
 func (a *Analysis) CombinedRadiusCtx(ctx context.Context, i int, w Weighting) (Radius, error) {
+	return a.CombinedRadiusWith(ctx, i, w, EvalOptions{})
+}
+
+// CombinedRadiusWith is CombinedRadiusCtx with per-search evaluation
+// options: opt.MaxEvals bounds the numeric searches and opt.KProbe selects
+// the vectorized k-probe path for features that declare ImpactK. Other
+// EvalOptions fields (Workers, degradation) concern whole-analysis
+// evaluations and are ignored here.
+func (a *Analysis) CombinedRadiusWith(ctx context.Context, i int, w Weighting, opt EvalOptions) (Radius, error) {
 	if i < 0 || i >= len(a.Features) {
 		return Radius{}, fmt.Errorf("%w: feature %d of %d", ErrBadIndex, i, len(a.Features))
 	}
@@ -50,7 +59,7 @@ func (a *Analysis) CombinedRadiusCtx(ctx context.Context, i int, w Weighting) (R
 	if f.Quad != nil {
 		return a.combinedQuad(i, d, pOrig)
 	}
-	return a.combinedNumeric(ctx, i, d, pOrig)
+	return a.combinedNumeric(ctx, i, d, pOrig, opt)
 }
 
 // combinedLinear: in P-space, φ = Const + Σ (k_e / d_e)·P_e over flattened
@@ -91,7 +100,7 @@ func (a *Analysis) combinedLinear(i int, d, pOrig vec.V) (Radius, error) {
 // combinedNumeric runs the level-set search over P-space, one boundary
 // side at a time (the batch engine dispatches the same per-side units
 // independently across its worker pool — see batch.go).
-func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V) (Radius, error) {
+func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V, eo EvalOptions) (Radius, error) {
 	f := a.Features[i]
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: -1}
 	for _, side := range []struct {
@@ -101,7 +110,7 @@ func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V) (
 		if math.IsInf(side.beta, 0) {
 			continue
 		}
-		r, err := a.combinedNumericSide(ctx, i, d, pOrig, side.beta, side.side)
+		r, err := a.combinedNumericSide(ctx, i, d, pOrig, side.beta, side.side, eo)
 		if err != nil {
 			return Radius{}, err
 		}
@@ -118,7 +127,13 @@ func (a *Analysis) combinedNumeric(ctx context.Context, i int, d, pOrig vec.V) (
 // when enabled — the impact cache. Scratch vectors (the native point and
 // its per-parameter views) are allocated once per search, not per
 // evaluation, and the native buffer itself comes from the shared pool.
-func (a *Analysis) combinedNumericSide(ctx context.Context, i int, d, pOrig vec.V, beta float64, side BoundarySide) (Radius, error) {
+//
+// eo.MaxEvals bounds the search; eo.KProbe attaches the batched k-probe
+// objective when the feature declares ImpactK; and with EnableWarmStart the
+// feature's warm state is checked out of its atomic slot for the duration
+// of the search (both boundary sides share one side-independent state —
+// the WarmState keys its records per level).
+func (a *Analysis) combinedNumericSide(ctx context.Context, i int, d, pOrig vec.V, beta float64, side BoundarySide, eo EvalOptions) (Radius, error) {
 	f := a.Features[i]
 	g := &guard{feature: i, param: -1, op: "combined radius"}
 	impact := g.wrap(f.impact())
@@ -144,7 +159,20 @@ func (a *Analysis) combinedNumericSide(ctx context.Context, i int, d, pOrig vec.
 		}
 		return v
 	}
-	res, err := optimize.NearestOnLevelSet(inP, beta, pOrig, a.searchOpts(ctx))
+	opts := a.searchOpts(ctx)
+	if eo.MaxEvals > 0 {
+		opts.MaxEvals = eo.MaxEvals
+	}
+	if eo.KProbe > 0 && f.ImpactK != nil {
+		opts.FK = a.impactFK(g, i, d, 0, nil)
+		opts.KBlock = eo.KProbe
+	}
+	if a.warm != nil {
+		key := warmKey{feat: i, param: -1}
+		opts.Warm = a.warm.checkout(key, warmIdent(pOrig, d))
+		defer a.warm.publish(key, opts.Warm)
+	}
+	res, err := optimize.NearestOnLevelSet(inP, beta, pOrig, opts)
 	if err != nil && errors.Is(err, optimize.ErrNoBoundary) {
 		err = nil // unreachable bound: not a failure
 		res.Dist = math.Inf(1)

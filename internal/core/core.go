@@ -124,6 +124,19 @@ type Feature struct {
 	// QuadImpact) and unlocks the exact ellipsoid tier. At most one of
 	// Linear and Quad may be set.
 	Quad *QuadImpact
+	// ImpactK, when non-nil, evaluates the impact at a block of probe
+	// points in one call: out[p] = f(probes[p]), where probes[p] is the
+	// FULL concatenated native vector π_1 ⧺ π_2 ⧺ … (dimension TotalDim) —
+	// unlike Impact, which receives per-parameter blocks. The numeric tier
+	// uses it, when EvalOptions.KProbe is set, to evaluate whole scan
+	// windows and gradient stencils of the level-set search in one call
+	// (see internal/vec's k-probe kernels for the four analytic families).
+	//
+	// Contract: ImpactK must agree with Impact bit-for-bit at every point
+	// (same accumulation order, not merely approximately — Validate
+	// spot-checks this at π^orig), and must treat probes and their backing
+	// arrays as read-only, without retaining probes or out after returning.
+	ImpactK func(probes []vec.V, out []float64)
 }
 
 // impact returns the callable impact function, preferring the explicit one.
@@ -154,6 +167,10 @@ type Analysis struct {
 	// cache, when non-nil, memoizes impact evaluations and weighting
 	// scales across searches. See EnableImpactCache (cache.go).
 	cache *impactCache
+
+	// warm, when non-nil, holds per-(feature, parameter) warm-start slots
+	// for the numeric boundary searches. See EnableWarmStart (warm.go).
+	warm *warmReg
 }
 
 // NewAnalysis assembles and validates an analysis.
@@ -243,6 +260,16 @@ func (a *Analysis) Validate() error {
 		v, err := safeEval(i, f.impact(), orig)
 		if err != nil {
 			return fmt.Errorf("core: feature %q: %w", f.Name, err)
+		}
+		if f.ImpactK != nil {
+			var kv [1]float64
+			if err := safeEvalK(i, f.ImpactK, []vec.V{concat(orig)}, kv[:]); err != nil {
+				return fmt.Errorf("core: feature %q: %w", f.Name, err)
+			}
+			if math.Float64bits(kv[0]) != math.Float64bits(v) {
+				return fmt.Errorf("core: feature %q: ImpactK(π^orig)=%.17g disagrees bit-for-bit with the scalar impact %.17g",
+					f.Name, kv[0], v)
+			}
 		}
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("core: feature %q at the original operating point: %w",

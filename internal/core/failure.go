@@ -118,6 +118,39 @@ func (g *guard) wrap(f ImpactFunc) ImpactFunc {
 	}
 }
 
+// wrapK returns a batch impact evaluator with the same containment as wrap:
+// a panic is recorded once and every probe of the failing call yields NaN
+// (degrading the whole block, exactly as the scalar path degrades one
+// evaluation), and non-finite outputs are tracked per probe.
+func (g *guard) wrapK(fk func(probes []vec.V, out []float64)) func(probes []vec.V, out []float64) {
+	return func(probes []vec.V, out []float64) {
+		defer func() {
+			if r := recover(); r != nil {
+				if g.panicErr == nil {
+					g.panicErr = &ImpactPanicError{
+						Feature: g.feature,
+						Param:   g.param,
+						Value:   r,
+						Stack:   debug.Stack(),
+					}
+				}
+				for p := range probes {
+					out[p] = math.NaN()
+				}
+			}
+		}()
+		fk(probes, out)
+		if !g.sawBad {
+			for _, v := range out[:len(probes)] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					g.sawBad, g.nonFinite = true, v
+					break
+				}
+			}
+		}
+	}
+}
+
 // err folds the guard's observations into the enclosing computation's
 // outcome. A recovered panic dominates; any observed non-finite value turns
 // an otherwise-successful search into a *NumericError, because a NaN/Inf
@@ -142,4 +175,16 @@ func safeEval(feature int, f ImpactFunc, vals []vec.V) (v float64, err error) {
 		}
 	}()
 	return f(vals), nil
+}
+
+// safeEvalK evaluates a batch impact function with panic containment, for
+// call-once sites (validation) outside a search loop.
+func safeEvalK(feature int, fk func(probes []vec.V, out []float64), probes []vec.V, out []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ImpactPanicError{Feature: feature, Param: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fk(probes, out)
+	return nil
 }

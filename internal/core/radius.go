@@ -99,7 +99,7 @@ func (a *Analysis) RadiusSingleCtx(ctx context.Context, i, j int) (Radius, error
 	if f.Quad != nil {
 		return a.radiusSingleQuad(i, j)
 	}
-	return a.radiusSingleNumeric(ctx, i, j)
+	return a.radiusSingleNumeric(ctx, i, j, EvalOptions{})
 }
 
 // ctxErr reports a cancelled context as a wrapped error; a nil context means
@@ -166,8 +166,10 @@ func (a *Analysis) radiusSingleLinear(i, j int) (Radius, error) {
 // radius, and ctx cancels the search between evaluations. The full native
 // point (frozen blocks + the moving block j) lives in one pooled scratch
 // vector, so evaluations share cache entries with the combined-space
-// searches of the same feature and allocate nothing per call.
-func (a *Analysis) radiusSingleNumeric(ctx context.Context, i, j int) (Radius, error) {
+// searches of the same feature and allocate nothing per call. eo threads
+// the per-search evaluation options (budget, k-probe) and — with
+// EnableWarmStart — the per-(feature, parameter) warm state.
+func (a *Analysis) radiusSingleNumeric(ctx context.Context, i, j int, eo EvalOptions) (Radius, error) {
 	f := a.Features[i]
 	g := &guard{feature: i, param: j, op: "single-parameter radius"}
 	impact := g.wrap(f.impact())
@@ -196,6 +198,22 @@ func (a *Analysis) radiusSingleNumeric(ctx context.Context, i, j int) (Radius, e
 		return v
 	}
 	opts := a.searchOpts(ctx)
+	if eo.MaxEvals > 0 {
+		opts.MaxEvals = eo.MaxEvals
+	}
+	if eo.KProbe > 0 && f.ImpactK != nil {
+		blockOff := 0
+		for _, dim := range a.Dims()[:j] {
+			blockOff += dim
+		}
+		opts.FK = a.impactFK(g, i, nil, blockOff, native)
+		opts.KBlock = eo.KProbe
+	}
+	if a.warm != nil {
+		key := warmKey{feat: i, param: j}
+		opts.Warm = a.warm.checkout(key, a.Params[j].Orig)
+		defer a.warm.publish(key, opts.Warm)
+	}
 	best := Radius{Value: math.Inf(1), Side: SideNone, Feature: i, Param: j}
 	for _, side := range []struct {
 		beta float64

@@ -42,6 +42,21 @@ type EvalOptions struct {
 	// bound of a feature is identical across the serial, concurrent, and
 	// batch evaluation paths for any worker count or scheduling order.
 	DegradeSeed int64
+	// MaxEvals bounds the impact evaluations of each numeric boundary-side
+	// search; an exhausted budget fails that search with
+	// optimize.ErrEvalBudget. The budget error is not ErrNumeric, so it is
+	// never degraded away by DegradeOnNumeric — use MaxEvals to bound tail
+	// latency deliberately, not as a degradation trigger. 0 means
+	// unlimited. k-probe searches may overshoot by at most one probe block.
+	MaxEvals int
+	// KProbe enables the vectorized k-probe path for features that declare
+	// ImpactK: the level-set search hands the impact function blocks of up
+	// to KProbe probes per call (scan windows, gradient stencils) instead
+	// of one point at a time. Results are bit-identical to the scalar path;
+	// only the call count changes. 0 disables; features without ImpactK
+	// always use the scalar path. 8 is a good default width (see
+	// docs/performance.md §tuning).
+	KProbe int
 	// ForceDegraded skips the exact and numeric tiers entirely and
 	// estimates every radius with the Monte-Carlo lower-bound fallback,
 	// flagged Degraded. It bounds the cost of one evaluation to the
@@ -85,13 +100,13 @@ func (a *Analysis) RobustnessWith(ctx context.Context, w Weighting, opt EvalOpti
 
 	if opt.Workers <= 1 || n <= 1 {
 		for i := range a.Features {
-			radii[i], errs[i] = a.CombinedRadiusCtx(ctx, i, w)
+			radii[i], errs[i] = a.CombinedRadiusWith(ctx, i, w, opt)
 			if errs[i] != nil && !tolerable(errs[i]) {
 				return Robustness{}, fmt.Errorf("core: feature %d: %w", i, errs[i])
 			}
 		}
 	} else {
-		if err := a.radiiConcurrent(ctx, w, opt.Workers, radii, errs, tolerable); err != nil {
+		if err := a.radiiConcurrent(ctx, w, opt, radii, errs, tolerable); err != nil {
 			return Robustness{}, err
 		}
 	}
@@ -134,9 +149,10 @@ func (a *Analysis) foldRobustness(ctx context.Context, w Weighting, opt EvalOpti
 // are skipped. After the join, the lowest-index non-tolerable error is
 // returned (deterministic regardless of which worker observed its failure
 // first); errors caused by the early-stop cancellation itself are ignored.
-func (a *Analysis) radiiConcurrent(ctx context.Context, w Weighting, workers int,
+func (a *Analysis) radiiConcurrent(ctx context.Context, w Weighting, opt EvalOptions,
 	radii []Radius, errs []error, tolerable func(error) bool) error {
 	n := len(a.Features)
+	workers := opt.Workers
 	if workers > n {
 		workers = n
 	}
@@ -157,7 +173,7 @@ func (a *Analysis) radiiConcurrent(ctx context.Context, w Weighting, workers int
 					errs[i] = err
 					continue
 				}
-				radii[i], errs[i] = a.CombinedRadiusCtx(ictx, i, w)
+				radii[i], errs[i] = a.CombinedRadiusWith(ictx, i, w, opt)
 				if errs[i] != nil && !tolerable(errs[i]) {
 					cancel() // early stop: no point finishing the other radii
 				}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fepia/internal/optimize"
+	"fepia/internal/vec"
+)
+
+// Warm-start registry: per-(feature, parameter) slots holding the
+// optimize.WarmState of the most recent numeric boundary search. A
+// WarmState memoizes the probe directions, the raw impact values along
+// every scan ray, and the converged bracket of each (level, ray) pair; the
+// next search of the same feature revalidates and reuses them (see
+// internal/optimize/warm.go for the bit-identity contract).
+//
+// A WarmState is single-owner, so the registry hands states out through
+// atomic checkout: a search Swaps the slot to nil, runs with exclusive
+// ownership, and Stores the state back when done. Two concurrent searches
+// of the same feature race for the checkout; the loser sees nil, runs cold
+// (building a fresh state), and the last finisher's state wins the slot.
+// Results are identical either way — warm starts change cost, never values.
+
+type warmKey struct {
+	feat  int
+	param int // -1 for combined P-space searches
+}
+
+type warmSlot struct {
+	p atomic.Pointer[optimize.WarmState]
+}
+
+type warmReg struct {
+	mu    sync.Mutex
+	slots map[warmKey]*warmSlot
+}
+
+func (r *warmReg) slot(k warmKey) *warmSlot {
+	r.mu.Lock()
+	s := r.slots[k]
+	if s == nil {
+		s = &warmSlot{}
+		r.slots[k] = s
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// checkout takes exclusive ownership of the slot's state, discarding it for
+// a fresh one when the identity vector (everything the search objective
+// closes over: the origin point and, for combined searches, the weighting
+// scales) does not match bit-for-bit. Never returns nil.
+func (r *warmReg) checkout(k warmKey, ident []float64) *optimize.WarmState {
+	st := r.slot(k).p.Swap(nil)
+	if st == nil || !st.Valid(ident) {
+		st = optimize.NewWarmState(ident)
+	}
+	return st
+}
+
+// publish returns ownership of the state to the slot.
+func (r *warmReg) publish(k warmKey, st *optimize.WarmState) {
+	r.slot(k).p.Store(st)
+}
+
+// EnableWarmStart turns on warm-started boundary searches: the numeric
+// level-set tier records each feature's converged brackets, probe
+// directions, and raw impact values, and subsequent searches of the same
+// feature — the two boundary sides of one radius, repeated radii as a
+// service re-checks an operating point, co-scheduled units of the batch
+// engine — revalidate and reuse them instead of starting from scratch.
+//
+// Warm starts never change results: memoized values are the raw impact
+// values a cold search would compute at bit-identical probe positions, and
+// reused brackets are revalidated against the live objective (a mismatch —
+// e.g. a mutated analysis — discards the state and re-runs cold). Combined
+// with the impact cache, revalidation can observe quantized cache hits and
+// occasionally invalidate; that costs a cold re-run, not correctness.
+//
+// Like the impact cache, warm start assumes a frozen analysis. Enable it
+// from a single goroutine before concurrent use; searches then check states
+// in and out of per-feature atomic slots, so concurrent searches of the
+// same feature race for the state and losers simply run cold.
+func (a *Analysis) EnableWarmStart() {
+	a.warm = &warmReg{slots: make(map[warmKey]*warmSlot)}
+}
+
+// DisableWarmStart drops all recorded warm-start state.
+func (a *Analysis) DisableWarmStart() { a.warm = nil }
+
+// WarmStats aggregates the reuse counters of every currently checked-in
+// warm state (states owned by in-flight searches are not counted). Zero
+// when warm start is disabled.
+func (a *Analysis) WarmStats() optimize.WarmStats {
+	var out optimize.WarmStats
+	r := a.warm
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	slots := make([]*warmSlot, 0, len(r.slots))
+	for _, s := range r.slots {
+		slots = append(slots, s)
+	}
+	r.mu.Unlock()
+	for _, s := range slots {
+		if st := s.p.Load(); st != nil {
+			ws := st.Stats()
+			out.Searches += ws.Searches
+			out.MemoHits += ws.MemoHits
+			out.RayReuses += ws.RayReuses
+			out.Invalidations += ws.Invalidations
+		}
+	}
+	return out
+}
+
+// warmIdent builds the identity fingerprint of a combined search's
+// objective: the P-space origin concatenated with the weighting scales
+// (the two vectors the search closure closes over).
+func warmIdent(pOrig, d vec.V) []float64 {
+	out := make([]float64, 0, len(pOrig)+len(d))
+	out = append(out, pOrig...)
+	return append(out, d...)
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"fepia/internal/vec"
+)
+
+// quadNumericAnalysis builds a two-parameter analysis whose quadratic impact
+// is deliberately NOT declared Quad, so radii run through the numeric
+// level-set tier, with a matching ImpactK for the k-probe path.
+func quadNumericAnalysis(t testing.TB) *Analysis {
+	t.Helper()
+	curv := []vec.V{{1, 0.5}, {2}}
+	center := []vec.V{{0.1, -0.2}, {0.3}}
+	impact := func(vs []vec.V) float64 {
+		s := 0.5
+		for j := range curv {
+			for e := range curv[j] {
+				d := vs[j][e] - center[j][e]
+				s += curv[j][e] * d * d
+			}
+		}
+		return s
+	}
+	impactK := func(probes []vec.V, out []float64) {
+		for p, v := range probes {
+			s := 0.5
+			off := 0
+			for j := range curv {
+				for e := range curv[j] {
+					d := v[off+e] - center[j][e]
+					s += curv[j][e] * d * d
+				}
+				off += len(curv[j])
+			}
+			out[p] = s
+		}
+	}
+	a, err := NewAnalysis([]Feature{{
+		Name:    "quad",
+		Bounds:  MaxOnly(9),
+		Impact:  impact,
+		ImpactK: impactK,
+	}}, []Perturbation{
+		{Name: "u", Orig: vec.Of(1, 0.6)},
+		{Name: "v", Orig: vec.Of(0.9)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func radiiBitsEqual(a, b Robustness) bool {
+	if math.Float64bits(a.Value) != math.Float64bits(b.Value) || len(a.PerFeature) != len(b.PerFeature) {
+		return false
+	}
+	for i := range a.PerFeature {
+		if math.Float64bits(a.PerFeature[i].Value) != math.Float64bits(b.PerFeature[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Warm-started evaluations must be bit-identical to cold ones, and repeats
+// must actually reuse recorded rays.
+func TestWarmStartRobustnessBitIdentical(t *testing.T) {
+	cold := quadNumericAnalysis(t)
+	want, err := cold.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := quadNumericAnalysis(t)
+	a.EnableWarmStart()
+	for rep := 0; rep < 3; rep++ {
+		got, err := a.Robustness(Normalized{})
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if !radiiBitsEqual(got, want) {
+			t.Fatalf("rep %d: warm %.17g != cold %.17g", rep, got.Value, want.Value)
+		}
+	}
+	ws := a.WarmStats()
+	if ws.RayReuses == 0 || ws.MemoHits == 0 {
+		t.Fatalf("warm repeats reused nothing: %+v", ws)
+	}
+	if ws.Invalidations != 0 {
+		t.Fatalf("unexpected invalidations on a frozen analysis: %+v", ws)
+	}
+	// Single-parameter radii warm-start through their own slots.
+	r1, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.RadiusSingle(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(r1.Value) != math.Float64bits(r2.Value) {
+		t.Fatalf("repeated single radius diverged: %v vs %v", r1.Value, r2.Value)
+	}
+}
+
+// The k-probe path must return bit-identical radii to the scalar path, for
+// combined and single-parameter searches.
+func TestKProbeRadiiBitIdentical(t *testing.T) {
+	a := quadNumericAnalysis(t)
+	scalar, err := a.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 8} {
+		got, err := a.CombinedRadiusWith(context.Background(), 0, Normalized{}, EvalOptions{KProbe: k})
+		if err != nil {
+			t.Fatalf("KProbe=%d: %v", k, err)
+		}
+		if math.Float64bits(got.Value) != math.Float64bits(scalar.Value) {
+			t.Fatalf("KProbe=%d diverged: %.17g vs %.17g", k, got.Value, scalar.Value)
+		}
+	}
+	// KProbe on a feature without ImpactK silently uses the scalar path.
+	b := prodAnalysis(t, 2, 4)
+	sr, err := b.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := b.CombinedRadiusWith(context.Background(), 0, Normalized{}, EvalOptions{KProbe: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(kr.Value) != math.Float64bits(sr.Value) {
+		t.Fatalf("scalar fallback diverged: %v vs %v", kr.Value, sr.Value)
+	}
+}
+
+// Warm start, k-probe, and the impact cache compose across the serial,
+// concurrent, and batch engines without changing results beyond the cache's
+// documented 1e-9 agreement.
+func TestWarmKProbeCacheAcrossEngines(t *testing.T) {
+	cold := quadNumericAnalysis(t)
+	want, err := cold.Robustness(Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := quadNumericAnalysis(t)
+	a.EnableWarmStart()
+	a.EnableImpactCache(1 << 12)
+	opt := EvalOptions{KProbe: 8}
+	for rep := 0; rep < 2; rep++ {
+		got, err := a.RobustnessWith(context.Background(), Normalized{}, opt)
+		if err != nil {
+			t.Fatalf("serial rep %d: %v", rep, err)
+		}
+		if d := math.Abs(got.Value - want.Value); d > 1e-9 {
+			t.Fatalf("serial rep %d off by %g", rep, d)
+		}
+	}
+	copt := opt
+	copt.Workers = 4
+	got, err := a.RobustnessWith(context.Background(), Normalized{}, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got.Value - want.Value); d > 1e-9 {
+		t.Fatalf("concurrent off by %g", d)
+	}
+	outs, errs := a.RobustnessBatch([]Weighting{Normalized{}, Normalized{}}, copt)
+	for i, berr := range errs {
+		if berr != nil {
+			t.Fatalf("batch item %d: %v", i, berr)
+		}
+		if d := math.Abs(outs[i].Value - want.Value); d > 1e-9 {
+			t.Fatalf("batch item %d off by %g", i, d)
+		}
+	}
+}
+
+// Concurrent searches race for warm-state checkout; losers must run cold
+// and results must stay bit-identical (run under -race in CI).
+func TestWarmStartConcurrentCheckout(t *testing.T) {
+	cold := quadNumericAnalysis(t)
+	want, err := cold.CombinedRadius(0, Normalized{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := quadNumericAnalysis(t)
+	a.EnableWarmStart()
+	var wg sync.WaitGroup
+	results := make([]Radius, 16)
+	errs := make([]error, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = a.CombinedRadius(0, Normalized{})
+		}(g)
+	}
+	wg.Wait()
+	for g := range results {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if math.Float64bits(results[g].Value) != math.Float64bits(want.Value) {
+			t.Fatalf("goroutine %d diverged: %.17g vs %.17g", g, results[g].Value, want.Value)
+		}
+	}
+}
+
+// Validate must reject an ImpactK that disagrees with the scalar impact.
+func TestValidateImpactKMismatch(t *testing.T) {
+	_, err := NewAnalysis([]Feature{{
+		Name:   "bad",
+		Bounds: MaxOnly(10),
+		Impact: func(vs []vec.V) float64 { return vs[0][0] },
+		ImpactK: func(probes []vec.V, out []float64) {
+			for p, v := range probes {
+				out[p] = v[0] + 1e-12 // off by one ulp-scale nudge: must be caught
+			}
+		},
+	}}, []Perturbation{{Name: "x", Orig: vec.Of(1)}})
+	if err == nil {
+		t.Fatal("disagreeing ImpactK passed validation")
+	}
+}
+
+// MaxEvals must bound a numeric search through the public options.
+func TestEvalOptionsMaxEvals(t *testing.T) {
+	a := prodAnalysis(t, 3, 1e9) // far boundary: the search needs many probes
+	_, err := a.CombinedRadiusWith(context.Background(), 0, Normalized{}, EvalOptions{MaxEvals: 10})
+	if err == nil {
+		t.Fatal("a 10-evaluation budget satisfied a far-boundary search")
+	}
+}

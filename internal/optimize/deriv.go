@@ -4,6 +4,13 @@
 // level-set search, which is exactly the robustness radius of Eq. 1/Eq. 2
 // for impact functions with no closed form.
 //
+// The level-set search scans each probe ray over a fixed geometric grid, so
+// its evaluations can be batched k probes at a time through a FuncK
+// objective (vectorized impact kernels), memoized and replayed across
+// searches that share an origin (WarmState), and clamped at the current
+// third-best candidate distance — all without moving a single probe, which
+// is what keeps scalar, k-probe, and warm-started searches bit-identical.
+//
 // Everything here is standard library only and deterministic.
 package optimize
 
@@ -14,6 +21,14 @@ type Func func(x []float64) float64
 
 // Func1 is a scalar function of one variable.
 type Func1 func(x float64) float64
+
+// FuncK evaluates a scalar field at a block of points in one call, setting
+// out[p] = f(xs[p]) for every p < len(xs). It must agree pointwise with the
+// scalar objective it accompanies and must not retain xs or out. The
+// level-set search uses it to amortize per-call overhead (vectorized
+// kernels, batched cache probes); it never changes which points are
+// evaluated, only how they are grouped.
+type FuncK func(xs [][]float64, out []float64)
 
 // Gradient estimates ∇f(x) by central differences with per-coordinate steps
 // scaled to the magnitude of x_i. The returned slice is freshly allocated.
@@ -40,6 +55,28 @@ func GradientInto(g, probe []float64, f Func, x []float64) {
 		fm := f(xx)
 		xx[i] = orig
 		g[i] = (fp - fm) / (2 * h)
+	}
+}
+
+// gradientIntoK estimates ∇f(x) into g like GradientInto, but evaluates all
+// 2n central-difference probes through one FuncK call. xs must hold at
+// least 2·len(x) rows of length len(x) and out at least 2·len(x) values
+// (see searchFrame.ensureK). Probe points and the difference formula are
+// identical to the scalar path, so the two estimates are bit-equal.
+func gradientIntoK(g []float64, fk FuncK, x []float64, xs [][]float64, out []float64) {
+	n := len(x)
+	for i := 0; i < n; i++ {
+		h := stepFor(x[i])
+		p, m := xs[2*i], xs[2*i+1]
+		copy(p, x)
+		copy(m, x)
+		p[i] = x[i] + h
+		m[i] = x[i] - h
+	}
+	fk(xs[:2*n], out[:2*n])
+	for i := 0; i < n; i++ {
+		h := stepFor(x[i])
+		g[i] = (out[2*i] - out[2*i+1]) / (2 * h)
 	}
 }
 

@@ -10,19 +10,30 @@ import "sync"
 // impact functions. A search is single-goroutine, so one frame serves all
 // of its phases; frames are pooled across searches.
 type searchFrame struct {
-	ray   []float64 // line-evaluation point (shootRay)
+	ray   []float64 // line-evaluation point (shoot)
 	proj  []float64 // line-evaluation point (reprojectNormal)
-	dir   []float64 // direction scratch (projectThroughOrigin, reprojectNormal)
+	dir   []float64 // direction scratch (project, reprojectNormal)
 	r     []float64 // radial residual (tangentialDescent)
 	rt    []float64 // tangential residual (tangentialDescent)
 	trial []float64 // trial step (tangentialDescent)
-	grad  []float64 // gradient (tangentialDescent)
+	grad  []float64 // gradient (dirSet, tangentialDescent)
 	gtmp  []float64 // gradient probe scratch (GradientInto)
+
+	grid []float64 // canonical scan-grid positions (cold searches)
+	win  []float64 // probe-window values (gridVal/fillWindow)
+
+	dirBack []float64   // probe-direction backing rows (cold searches)
+	dirRows [][]float64 // probe-direction headers over dirBack
+
+	kback []float64   // k-probe point backing rows
+	kxs   [][]float64 // k-probe point headers over kback
+	kout  []float64   // k-probe output values
 }
 
 var framePool = sync.Pool{New: func() any { return new(searchFrame) }}
 
-// getFrame returns a frame whose buffers all have length n.
+// getFrame returns a frame whose core buffers all have length n. The
+// k-probe, direction, and grid buffers are sized lazily by their users.
 func getFrame(n int) *searchFrame {
 	fr := framePool.Get().(*searchFrame)
 	for _, b := range []*[]float64{&fr.ray, &fr.proj, &fr.dir, &fr.r, &fr.rt, &fr.trial, &fr.grad, &fr.gtmp} {
@@ -32,7 +43,29 @@ func getFrame(n int) *searchFrame {
 			*b = (*b)[:n]
 		}
 	}
+	fr.grid = fr.grid[:0]
+	fr.win = fr.win[:0]
 	return fr
+}
+
+// ensureK sizes the k-probe scratch for at least rows points of dimension n,
+// re-slicing the row headers over a single backing array.
+func (fr *searchFrame) ensureK(rows, n int) {
+	if cap(fr.kback) < rows*n {
+		fr.kback = make([]float64, rows*n)
+	}
+	fr.kback = fr.kback[:rows*n]
+	if cap(fr.kxs) < rows {
+		fr.kxs = make([][]float64, rows)
+	}
+	fr.kxs = fr.kxs[:rows]
+	for i := range fr.kxs {
+		fr.kxs[i] = fr.kback[i*n : (i+1)*n]
+	}
+	if cap(fr.kout) < rows {
+		fr.kout = make([]float64, rows)
+	}
+	fr.kout = fr.kout[:rows]
 }
 
 // putFrame recycles a frame; the caller must not touch it afterwards.

@@ -22,7 +22,7 @@ type LevelSetOptions struct {
 	// the deterministic ones (±eᵢ and ±∇f). Zero selects 4·n.
 	Directions int
 	// MaxSpan bounds how far rays are shot from the origin point. Zero
-	// selects 1e6·(1 + ‖x0‖∞).
+	// selects 1e6·(1 + ‖x0‖∞). Must be finite.
 	MaxSpan float64
 	// Tol is the boundary tolerance in f-units. Zero selects 1e-10.
 	Tol float64
@@ -36,14 +36,37 @@ type LevelSetOptions struct {
 	// impact functions) where tangential descent stalls.
 	SkipPolish bool
 	// Ctx, when non-nil, makes the search cooperatively cancellable: it is
-	// checked before every objective evaluation, so a cancelled or expired
-	// context aborts the search within one evaluation of the impact
-	// function. The returned error wraps ctx.Err().
+	// checked before every objective evaluation (once per block for k-probe
+	// evaluations), so a cancelled or expired context aborts the search
+	// within one evaluation — or one block — of the impact function. The
+	// returned error wraps ctx.Err().
 	Ctx context.Context
 	// MaxEvals, when positive, bounds the total number of objective
 	// evaluations; exceeding it aborts the search with ErrEvalBudget. Zero
-	// means unlimited.
+	// means unlimited. A k-probe block is admitted whenever the budget
+	// allows at least one more scalar evaluation, so a budgeted search may
+	// overshoot by up to KBlock−1 evaluations.
 	MaxEvals int
+	// FK, when non-nil, evaluates a block of probe points in one call and
+	// must agree with f pointwise: FK(xs, out) sets out[p] = f(xs[p]). The
+	// ray scan and gradient estimation then batch their probes through FK
+	// instead of calling f once per point, which lets vectorized impact
+	// kernels amortize per-call overhead. FK changes only how evaluations
+	// are grouped, never where the search probes: results are bit-identical
+	// with and without it.
+	FK FuncK
+	// KBlock is the number of ray-scan probes grouped per FK call. Zero
+	// selects 8 when FK is set. Ignored (forced to 1) without FK. Larger
+	// blocks amortize call overhead but over-evaluate more probes past a
+	// sign change; the result is identical for every value.
+	KBlock int
+	// Warm, when non-nil, carries state between searches that share the
+	// same objective and origin point: the probe direction set (and its
+	// gradient estimate), memoized objective values along the fixed scan
+	// grid, and per-level converged brackets. See WarmState for the reuse
+	// and validation contract. The state is mutated in place; the caller
+	// must not share it with a concurrent search.
+	Warm *WarmState
 }
 
 // searchAbort unwinds the search's deep call stacks (Brent brackets,
@@ -53,6 +76,20 @@ type LevelSetOptions struct {
 // package.
 type searchAbort struct{ err error }
 
+// warmInvalid unwinds the search when a reused warm record fails validation
+// against the live objective (the frozen-f contract was violated). It is
+// recovered inside NearestOnLevelSet, which discards the warm state and
+// re-runs the search cold.
+type warmInvalid struct{}
+
+// clampMargin pads the third-best-candidate scan clamp. Any crossing the
+// clamp discards lies strictly beyond d3·clampMargin, while candidate
+// distances track their ray roots to a relative error many orders of
+// magnitude below 1e-7 (directions are unit vectors), so clamped and
+// unclamped searches keep identical top-3 candidate sets — and therefore
+// identical results.
+const clampMargin = 1 + 1e-7
+
 // Result is the outcome of a nearest-boundary-point search.
 type Result struct {
 	// Point is the boundary point nearest to the origin point.
@@ -60,7 +97,10 @@ type Result struct {
 	// Dist is the Euclidean distance from the origin point to Point — the
 	// robustness radius when f is an impact function and level its bound.
 	Dist float64
-	// Evals counts objective evaluations spent.
+	// Evals counts objective evaluations spent (each point of a k-probe
+	// block counts as one). Warm-started searches spend fewer; k-probe
+	// blocks may spend slightly more past a sign change. The returned Point
+	// and Dist are unaffected by either.
 	Evals int
 }
 
@@ -74,9 +114,16 @@ type Result struct {
 // proceeds in three phases:
 //
 //  1. Ray shooting — cast rays from x0 along ± coordinate axes, ± the
-//     numerical gradient, and a deterministic set of random directions;
-//     bracket and solve the 1-D crossing with Brent's method. Every crossing
-//     is a feasible boundary point and an upper bound on the radius.
+//     numerical gradient, and a deterministic set of random directions. Each
+//     ray scans a fixed geometric probe grid (determined by x0 alone, so
+//     values are memoizable across searches — see WarmState), brackets the
+//     first sign change (golden-section-refining any stepped-over dip), and
+//     solves the 1-D crossing with Brent's method plus a first-crossing
+//     walk-back. Once three crossings are in hand, later rays stop scanning
+//     just past the third-best distance: a farther crossing can influence
+//     neither the best point nor the refinement set, so the clamp only
+//     removes dead evaluations. With FK set, scan probes and gradient
+//     estimates are evaluated in k-wide blocks.
 //  2. Tangential descent — from the best crossings, repeatedly remove the
 //     component of (x − x0) tangent to the boundary and re-project onto the
 //     boundary, shrinking the distance monotonically (first-order optimality
@@ -112,6 +159,11 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 	if opt.RefineIters <= 0 {
 		opt.RefineIters = 200
 	}
+	if opt.FK == nil {
+		opt.KBlock = 1
+	} else if opt.KBlock <= 0 {
+		opt.KBlock = 8
+	}
 
 	evals := 0
 	fr := getFrame(n)
@@ -126,7 +178,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		}
 	}()
 	// Every objective evaluation — ray shooting, gradients, the polish —
-	// flows through this wrapper, so cancellation and the budget are
+	// flows through these wrappers, so cancellation and the budget are
 	// enforced uniformly no matter which phase is running.
 	inner := f
 	f = func(x []float64) float64 {
@@ -141,27 +193,137 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		evals++
 		return inner(x)
 	}
-	g := func(x []float64) float64 {
-		return f(x) - level
+	var fk FuncK
+	if opt.FK != nil {
+		innerK := opt.FK
+		fk = func(xs [][]float64, out []float64) {
+			if opt.Ctx != nil {
+				if cerr := opt.Ctx.Err(); cerr != nil {
+					panic(searchAbort{fmt.Errorf("optimize: level-set search cancelled after %d evaluations: %w", evals, cerr)})
+				}
+			}
+			if opt.MaxEvals > 0 && evals >= opt.MaxEvals {
+				panic(searchAbort{fmt.Errorf("%w: %d evaluations", ErrEvalBudget, opt.MaxEvals)})
+			}
+			evals += len(xs)
+			innerK(xs, out)
+		}
 	}
 
-	g0 := g(x0)
+	f0 := f(x0)
+	g0 := f0 - level
 	fscale := 1 + math.Abs(level)
 	if math.Abs(g0) <= opt.Tol*fscale {
 		return Result{Point: append([]float64(nil), x0...), Dist: 0, Evals: evals}, nil
 	}
 
+	s := &lsSearch{
+		f: f, fk: fk,
+		level: level, fscale: fscale, g0: g0,
+		x0: x0, opt: &opt, fr: fr,
+		kblock: opt.KBlock,
+		step:   1e-3 * (1 + maxAbs(x0)),
+		n:      n,
+	}
+	s.grid = &fr.grid
+	if opt.Warm != nil {
+		opt.Warm.prepare(x0, s.step, opt.Seed, opt.Directions, opt.Tol)
+		s.st = opt.Warm
+		s.grid = &opt.Warm.grid
+	}
+
+	best, rerr, retry := s.runPhases()
+	if retry {
+		// A reused warm record contradicted the live objective: the caller
+		// violated the frozen-f contract. Drop everything the state learned
+		// and repeat the search cold — correctness is preserved at the cost
+		// of the evaluations already spent.
+		s.st.reset()
+		s.st.prepare(x0, s.step, opt.Seed, opt.Directions, opt.Tol)
+		s.coldOnly = true
+		best, rerr, _ = s.runPhases()
+	}
+	if rerr != nil {
+		return Result{Evals: evals}, rerr
+	}
+	best.Evals = evals
+	return best, nil
+}
+
+// lsSearch is the per-call state of one nearest-on-level-set search: the
+// budget-wrapped objective(s), the scan grid, the optional warm state, and
+// the frame of scratch buffers.
+type lsSearch struct {
+	f      Func  // budget-wrapped scalar objective
+	fk     FuncK // budget-wrapped k-probe objective (nil = scalar only)
+	level  float64
+	fscale float64
+	g0     float64 // f(x0) − level
+	x0     []float64
+	opt    *LevelSetOptions
+	fr     *searchFrame
+	st     *WarmState
+	lrec   *levelRec
+	grid   *[]float64
+	kblock int
+	step   float64
+	n      int
+
+	coldOnly  bool // retry after invalidation: never trust records
+	scanEpoch int  // invalidates the probe window between ray scans
+	winEpoch  int
+	winBase   int
+}
+
+// runPhases executes the three search phases. retry is set when a warm
+// record failed validation; the caller resets the state and calls again.
+func (s *lsSearch) runPhases() (best Result, err error, retry bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(warmInvalid); ok {
+				best, err, retry = Result{}, nil, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	opt, x0, n := s.opt, s.x0, s.n
+	g := func(x []float64) float64 { return s.f(x) - s.level }
+
 	// --- Phase 1: ray shooting -----------------------------------------
-	dirs := probeDirections(f, x0, opt)
-	best := Result{Dist: math.Inf(1)}
+	dirs := s.dirSet()
+	if s.st != nil {
+		s.lrec = s.st.level(s.level, len(dirs))
+	} else {
+		s.lrec = nil
+	}
+	best = Result{Dist: math.Inf(1)}
 	var candidates [][]float64
-	for _, d := range dirs {
-		pt, ok := shootRay(g, x0, d, opt.MaxSpan, opt.Tol*fscale, fr.ray)
+	// Three smallest candidate distances so far; d3 clamps later rays.
+	d1, d2, d3 := math.Inf(1), math.Inf(1), math.Inf(1)
+	for di, d := range dirs {
+		limit := opt.MaxSpan
+		if c := d3 * clampMargin; c < limit {
+			limit = c
+		}
+		t, ok := s.shoot(di, d, limit)
 		if !ok {
 			continue
 		}
+		pt := make([]float64, n)
+		for i := range pt {
+			pt[i] = x0[i] + t*d[i]
+		}
 		dist := euclid(pt, x0)
 		candidates = append(candidates, pt)
+		switch {
+		case dist < d1:
+			d1, d2, d3 = dist, d1, d2
+		case dist < d2:
+			d2, d3 = dist, d2
+		case dist < d3:
+			d3 = dist
+		}
 		if dist < best.Dist {
 			best = Result{Point: pt, Dist: dist}
 		}
@@ -173,7 +335,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		// itself; any opposite-sign point found defines a ray from x0 that
 		// is guaranteed to cross.
 		sgn := 1.0
-		if g0 < 0 {
+		if s.g0 < 0 {
 			sgn = -1
 		}
 		xm, _ := NelderMead(func(x []float64) float64 { return sgn * g(x) }, x0, NMOptions{
@@ -181,20 +343,20 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 			MaxEvals:    400 * n,
 		})
 		if sgn*g(xm) < 0 {
-			if pt, ok := projectThroughOrigin(g, x0, xm, opt.MaxSpan, opt.Tol*fscale, fr); ok {
+			if pt, ok := s.project(xm, math.Inf(1)); ok {
 				candidates = append(candidates, pt)
 				best = Result{Point: pt, Dist: euclid(pt, x0)}
 			}
 		}
 	}
 	if math.IsInf(best.Dist, 1) {
-		return Result{Evals: evals}, fmt.Errorf("%w within span %g of %v", ErrNoBoundary, opt.MaxSpan, x0)
+		return Result{}, fmt.Errorf("%w within span %g of %v", ErrNoBoundary, opt.MaxSpan, x0), false
 	}
 
 	// --- Phase 2: tangential descent from the few best crossings -------
 	refineFrom := topK(candidates, x0, 3)
 	for _, start := range refineFrom {
-		pt, dist := tangentialDescent(f, g, level, x0, start, opt, fr)
+		pt, dist := s.tangentialDescent(g, start)
 		if dist < best.Dist {
 			best = Result{Point: pt, Dist: dist}
 		}
@@ -202,10 +364,10 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 
 	// --- Phase 3: Nelder–Mead penalty polish ----------------------------
 	if !opt.SkipPolish {
-		w := 1e4 * (1 + best.Dist*best.Dist) / (fscale * fscale)
+		w := 1e4 * (1 + best.Dist*best.Dist) / (s.fscale * s.fscale)
 		penalty := func(x []float64) float64 {
 			dx := euclid(x, x0)
-			gv := f(x) - level
+			gv := s.f(x) - s.level
 			return dx*dx + w*gv*gv
 		}
 		px, _ := NelderMead(penalty, best.Point, NMOptions{
@@ -214,42 +376,82 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		})
 		// Re-project the polished point exactly onto the boundary along the
 		// line through x0, so feasibility is not sacrificed for distance.
-		if proj, ok := projectThroughOrigin(g, x0, px, opt.MaxSpan, opt.Tol*fscale, fr); ok {
+		if proj, ok := s.project(px, best.Dist); ok {
 			if d := euclid(proj, x0); d < best.Dist {
 				best = Result{Point: proj, Dist: d}
 			}
 		}
 	}
-
-	best.Evals = evals
-	return best, nil
+	return best, nil, false
 }
 
-// probeDirections builds the deterministic direction set: ± basis vectors,
-// ± the gradient direction, and pseudo-random unit vectors.
-func probeDirections(f Func, x0 []float64, opt LevelSetOptions) [][]float64 {
-	n := len(x0)
-	var dirs [][]float64
-	for i := 0; i < n; i++ {
-		dp := make([]float64, n)
-		dp[i] = 1
-		dm := make([]float64, n)
-		dm[i] = -1
-		dirs = append(dirs, dp, dm)
+// dirSet builds (or reuses from the warm state) the probe direction set:
+// ± basis vectors, ± the gradient direction, and pseudo-random unit vectors,
+// all rows of a single backing array.
+func (s *lsSearch) dirSet() [][]float64 {
+	if s.st != nil && s.st.dirs != nil {
+		return s.st.dirs
 	}
-	grad := Gradient(f, x0)
+	n, opt := s.n, s.opt
+	maxDirs := 2*n + 2 + opt.Directions
+	var backing []float64
+	var rows [][]float64
+	if s.st != nil {
+		// Warm directions outlive the pooled frame; give them their own
+		// backing.
+		backing = make([]float64, maxDirs*n)
+		rows = make([][]float64, 0, maxDirs)
+	} else {
+		fr := s.fr
+		if cap(fr.dirBack) < maxDirs*n {
+			fr.dirBack = make([]float64, maxDirs*n)
+		}
+		backing = fr.dirBack[:maxDirs*n]
+		if cap(fr.dirRows) < maxDirs {
+			fr.dirRows = make([][]float64, maxDirs)
+		}
+		rows = fr.dirRows[:0]
+	}
+	used := 0
+	row := func() []float64 {
+		r := backing[used*n : (used+1)*n : (used+1)*n]
+		return r
+	}
+	take := func(r []float64) {
+		rows = append(rows, r)
+		used++
+	}
+	for i := 0; i < n; i++ {
+		dp := row()
+		for j := range dp {
+			dp[j] = 0
+		}
+		dp[i] = 1
+		take(dp)
+		dm := row()
+		for j := range dm {
+			dm[j] = 0
+		}
+		dm[i] = -1
+		take(dm)
+	}
+	grad := s.fr.grad
+	s.gradInto(grad, s.x0)
 	if nrm := norm2(grad); nrm > 0 {
-		gp := make([]float64, n)
-		gm := make([]float64, n)
+		gp := row()
 		for i := range grad {
 			gp[i] = grad[i] / nrm
+		}
+		take(gp)
+		gm := row()
+		for i := range grad {
 			gm[i] = -grad[i] / nrm
 		}
-		dirs = append(dirs, gp, gm)
+		take(gm)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed1e7))
 	for k := 0; k < opt.Directions; k++ {
-		d := make([]float64, n)
+		d := row()
 		for i := range d {
 			d[i] = rng.NormFloat64()
 		}
@@ -257,36 +459,286 @@ func probeDirections(f Func, x0 []float64, opt LevelSetOptions) [][]float64 {
 			for i := range d {
 				d[i] /= nrm
 			}
-			dirs = append(dirs, d)
+			take(d)
 		}
 	}
-	return dirs
+	if s.st != nil {
+		s.st.dirs = rows
+	}
+	return rows
 }
 
-// shootRay locates the first crossing of g along x0 + t·d, t > 0. scratch is
-// the reusable line-evaluation point (length len(x0)); the returned crossing
-// is freshly allocated.
-func shootRay(g Func, x0, d []float64, maxSpan, tol float64, scratch []float64) ([]float64, bool) {
+// gradInto estimates ∇f into g, batching the 2n central-difference probes
+// through the k-probe objective when one is available. Both paths compute
+// bit-identical values.
+func (s *lsSearch) gradInto(g []float64, x []float64) {
+	if s.fk != nil {
+		s.fr.ensureK(2*s.n, s.n)
+		gradientIntoK(g, s.fk, x, s.fr.kxs, s.fr.kout)
+		return
+	}
+	GradientInto(g, s.fr.gtmp, s.f, x)
+}
+
+// shoot locates the first boundary crossing along x0 + t·d, t > 0, scanning
+// the canonical probe grid up to limit, then Brent-solving with a
+// first-crossing walk-back. di ≥ 0 identifies a grid direction eligible for
+// memoization and warm records; di < 0 is an ad-hoc direction (projection
+// rays). It returns the converged root t.
+func (s *lsSearch) shoot(di int, d []float64, limit float64) (float64, bool) {
+	tol := s.opt.Tol * s.fscale
 	line := func(t float64) float64 {
-		x := scratch
+		x := s.fr.ray
 		for i := range x {
-			x[i] = x0[i] + t*d[i]
+			x[i] = s.x0[i] + t*d[i]
 		}
-		return g(x)
+		return s.f(x) - s.level
 	}
-	a, b, err := BracketRoot(line, 0, 1e-3*(1+maxAbs(x0)), maxSpan)
-	if err != nil {
-		return nil, false
+	// Warm replay: a still-valid record skips the scan and solve outright.
+	if di >= 0 && s.lrec != nil && !s.coldOnly {
+		if t, ok, decided := s.replayRec(di, d, limit); decided {
+			return t, ok
+		}
 	}
+	a, b, kind, idx, found := s.scanGrid(di, d, line, limit)
+	if !found {
+		if di >= 0 && s.lrec != nil {
+			s.lrec.rays[di] = rayRec{kind: recNone, limit: limit}
+		}
+		return 0, false
+	}
+	t, ok := solveRay(line, a, b, tol)
+	if !ok {
+		if di >= 0 && s.lrec != nil {
+			s.lrec.rays[di] = rayRec{}
+		}
+		return 0, false
+	}
+	if di >= 0 && s.lrec != nil {
+		s.lrec.rays[di] = rayRec{kind: kind, idx: idx, lo: a, hi: b, t: t}
+	}
+	return t, true
+}
+
+// replayRec consults the warm record of ray di at the current level.
+// decided=false means no applicable record: run the full scan (its grid
+// probes will mostly hit the memo anyway). A record is reused only after
+// revalidation against the live objective: the recorded bracket must still
+// change sign, and live values at grid positions must bit-match the memo.
+// Any mismatch panics warmInvalid, discarding the whole state.
+// rawAt evaluates the raw objective at x0 + t·d, constructing the probe
+// point with the same arithmetic as the scan's line evaluations so the
+// result is bit-comparable with memoized values.
+func (s *lsSearch) rawAt(d []float64, t float64) float64 {
+	x := s.fr.ray
+	for i := range x {
+		x[i] = s.x0[i] + t*d[i]
+	}
+	return s.f(x)
+}
+
+func (s *lsSearch) replayRec(di int, d []float64, limit float64) (t float64, ok, decided bool) {
+	rec := &s.lrec.rays[di]
+	switch rec.kind {
+	case recGrid, recDip:
+		// The recording scan found this crossing at detection probe
+		// rec.idx; the replaying scan reaches that probe only if the
+		// position two probes back is inside today's limit (the scan's stop
+		// rule). Otherwise fall through to a real scan, which will stop
+		// early and record recNone — exactly what a cold search would do.
+		if int(rec.idx) >= 2 && s.gridPos(int(rec.idx)-2) >= limit {
+			return 0, false, false
+		}
+		// Evaluate raw f at the bracket ends: the memo stores raw values,
+		// and (f−level)+level does not round-trip bit-exactly for every
+		// magnitude pair, so the cross-check must compare raw against raw.
+		fa := s.rawAt(d, rec.lo)
+		fb := s.rawAt(d, rec.hi)
+		ga := fa - s.level
+		gb := fb - s.level
+		if rec.kind == recGrid && s.st != nil {
+			// lo/hi sit on the grid (lo may be the origin, t=0): cross-check
+			// the live values against the memo bit-for-bit.
+			m := s.st.memoFor(di, int(rec.idx)+1)
+			if rec.idx > 0 && !math.IsNaN(m[rec.idx-1]) &&
+				math.Float64bits(m[rec.idx-1]) != math.Float64bits(fa) {
+				panic(warmInvalid{})
+			}
+			if !math.IsNaN(m[rec.idx]) &&
+				math.Float64bits(m[rec.idx]) != math.Float64bits(fb) {
+				panic(warmInvalid{})
+			}
+		}
+		if ga != 0 && gb != 0 && (ga > 0) == (gb > 0) {
+			panic(warmInvalid{}) // sign change left the recorded window
+		}
+		s.st.stats.RayReuses++
+		return rec.t, true, true
+	case recNone:
+		if rec.limit > 0 && limit <= rec.limit {
+			// The recording scan already exhausted at least this much span
+			// without a crossing.
+			return 0, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// scanGrid hunts the first sign change of f−level along direction d over the
+// canonical probe grid, golden-section-refining any stepped-over |g| dip. It
+// mirrors BracketRoot's probe placement and stop rule exactly (positions are
+// a function of the origin-scaled step alone; limit only decides where the
+// scan stops, so clamped, memoized, and k-probe scans all see bit-identical
+// values). kind/idx describe the crossing for the warm record.
+func (s *lsSearch) scanGrid(di int, d []float64, line Func1, limit float64) (a, b float64, kind uint8, idx int32, found bool) {
+	s.scanEpoch++
+	prevT, prevG := 0.0, s.g0
+	prev2T, prev2G := math.NaN(), math.Inf(1)
+	for i := 0; ; i++ {
+		t := s.gridPos(i)
+		gx := s.gridVal(di, d, i) - s.level
+		if gx == 0 || (prevG > 0) != (gx > 0) {
+			return prevT, t, recGrid, int32(i), true
+		}
+		// g dipped between prev2 and t without changing sign at the probes:
+		// a crossing may hide inside the dip.
+		if !math.IsNaN(prev2T) && math.Abs(prevG) < math.Abs(prev2G) && math.Abs(prevG) < math.Abs(gx) {
+			if lo, hi, ok := refineDip(line, prev2T, prevT, t, prevG); ok {
+				return lo, hi, recDip, int32(i), true
+			}
+		}
+		if !math.IsNaN(prev2T) && prev2T >= limit {
+			return 0, 0, recNone, 0, false
+		}
+		prev2T, prev2G = prevT, prevG
+		prevT, prevG = t, gx
+	}
+}
+
+// gridPos returns scan-grid position i, extending the shared grid as
+// needed. Positions follow BracketRoot's recurrence with t0 = 0: geometric
+// spans step·1.8ᵇ, each subdivided into bracketSubdiv probes.
+func (s *lsSearch) gridPos(i int) float64 {
+	g := *s.grid
+	for len(g) <= i {
+		blk := len(g) / bracketSubdiv
+		span := s.step
+		for k := 0; k < blk; k++ {
+			span *= 1.8
+		}
+		prev := 0.0
+		if len(g) > 0 {
+			prev = g[len(g)-1]
+		}
+		next := span
+		for j := 1; j <= bracketSubdiv; j++ {
+			g = append(g, prev+(next-prev)*float64(j)/bracketSubdiv)
+		}
+	}
+	*s.grid = g
+	return g[i]
+}
+
+// gridVal returns the raw objective value at grid position i of direction
+// di, consulting (and feeding) the warm memo, and evaluating misses through
+// the k-probe objective a window at a time when one is available.
+func (s *lsSearch) gridVal(di int, d []float64, i int) float64 {
+	if s.st != nil && di >= 0 {
+		m := s.st.memoFor(di, i+1)
+		if v := m[i]; !math.IsNaN(v) {
+			s.st.stats.MemoHits++
+			return v
+		}
+	}
+	base := i - i%s.kblock
+	if s.winEpoch != s.scanEpoch || s.winBase != base {
+		s.fillWindow(di, d, base)
+	}
+	return s.fr.win[i-base]
+}
+
+// fillWindow evaluates the probe window [base, base+kblock) of direction d,
+// copying memo-known values and batching the misses through fk (falling back
+// to scalar evaluation). Windows are aligned to multiples of kblock, so the
+// set of points a k-probe search evaluates is independent of where any one
+// scan stops — over-evaluation past a sign change wastes at most a window,
+// never changes a value.
+func (s *lsSearch) fillWindow(di int, d []float64, base int) {
+	k := s.kblock
+	fr := s.fr
+	if cap(fr.win) < k {
+		fr.win = make([]float64, k)
+	}
+	fr.win = fr.win[:k]
+	var memo []float64
+	if s.st != nil && di >= 0 {
+		memo = s.st.memoFor(di, base+k)
+	}
+	miss := 0
+	for j := 0; j < k; j++ {
+		if memo != nil && !math.IsNaN(memo[base+j]) {
+			fr.win[j] = memo[base+j]
+		} else {
+			fr.win[j] = math.NaN()
+			miss++
+		}
+	}
+	if miss > 1 && s.fk != nil {
+		fr.ensureK(miss, s.n)
+		m := 0
+		for j := 0; j < k; j++ {
+			if !math.IsNaN(fr.win[j]) {
+				continue
+			}
+			t := s.gridPos(base + j)
+			row := fr.kxs[m]
+			for q := 0; q < s.n; q++ {
+				row[q] = s.x0[q] + t*d[q]
+			}
+			m++
+		}
+		s.fk(fr.kxs[:m], fr.kout[:m])
+		m = 0
+		for j := 0; j < k; j++ {
+			if !math.IsNaN(fr.win[j]) {
+				continue
+			}
+			fr.win[j] = fr.kout[m]
+			m++
+			if memo != nil {
+				memo[base+j] = fr.win[j]
+			}
+		}
+	} else if miss > 0 {
+		for j := 0; j < k; j++ {
+			if !math.IsNaN(fr.win[j]) {
+				continue
+			}
+			t := s.gridPos(base + j)
+			x := fr.ray
+			for q := range x {
+				x[q] = s.x0[q] + t*d[q]
+			}
+			fr.win[j] = s.f(x)
+			if memo != nil {
+				memo[base+j] = fr.win[j]
+			}
+		}
+	}
+	s.winEpoch, s.winBase = s.scanEpoch, base
+}
+
+// solveRay Brent-solves the bracket [a, b] and walks the root back to the
+// ray's first crossing. Brent converges to *a* root of the bracket, not
+// necessarily the one nearest x0: a wide (dip-refined) bracket can span a
+// whole sublevel window, and landing on its far edge overestimates the
+// radius. While a probe just below the current root still has the crossed
+// sign, an earlier crossing exists — re-solve in the earlier sub-bracket.
+func solveRay(line Func1, a, b, tol float64) (float64, bool) {
 	t, err := Brent(line, a, b, tol*1e-3)
 	if err != nil {
-		return nil, false
+		return 0, false
 	}
-	// Brent converges to *a* root of the bracket, not necessarily the one
-	// nearest x0: a wide (dip-refined) bracket can span a whole sublevel
-	// window, and landing on its far edge overestimates the radius. While a
-	// probe just below the current root still has the crossed sign, an
-	// earlier crossing exists — re-solve in the earlier sub-bracket.
 	ga := line(a)
 	for range make([]struct{}, 16) {
 		cut := t - 1e-6*(1+math.Abs(t))
@@ -307,19 +759,16 @@ func shootRay(g Func, x0, d []float64, maxSpan, tol float64, scratch []float64) 
 		}
 		t = t2
 	}
-	pt := make([]float64, len(x0))
-	for i := range pt {
-		pt[i] = x0[i] + t*d[i]
-	}
-	return pt, true
+	return t, true
 }
 
-// projectThroughOrigin re-projects x onto the boundary along the ray from x0
-// through x.
-func projectThroughOrigin(g Func, x0, x []float64, maxSpan, tol float64, fr *searchFrame) ([]float64, bool) {
-	d := fr.dir
+// project re-projects x onto the boundary along the ray from x0 through x.
+// distCap bounds the scan: a crossing beyond distCap·clampMargin could not
+// beat the caller's current best distance, so skipping it changes nothing.
+func (s *lsSearch) project(x []float64, distCap float64) ([]float64, bool) {
+	d := s.fr.dir
 	for i := range d {
-		d[i] = x[i] - x0[i]
+		d[i] = x[i] - s.x0[i]
 	}
 	nrm := norm2(d)
 	if nrm == 0 {
@@ -328,21 +777,33 @@ func projectThroughOrigin(g Func, x0, x []float64, maxSpan, tol float64, fr *sea
 	for i := range d {
 		d[i] /= nrm
 	}
-	return shootRay(g, x0, d, maxSpan, tol, fr.ray)
+	limit := s.opt.MaxSpan
+	if c := distCap * clampMargin; c < limit {
+		limit = c
+	}
+	t, ok := s.shoot(-1, d, limit)
+	if !ok {
+		return nil, false
+	}
+	pt := make([]float64, s.n)
+	for i := range pt {
+		pt[i] = s.x0[i] + t*d[i]
+	}
+	return pt, true
 }
 
 // tangentialDescent slides a boundary point along the level set toward x0.
 // At each step the tangential component of (x − x0) is removed and the point
 // is re-projected onto the boundary along the local normal (falling back to
 // the ray through x0).
-func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt LevelSetOptions, fr *searchFrame) ([]float64, float64) {
+func (s *lsSearch) tangentialDescent(g Func, start []float64) ([]float64, float64) {
+	opt, fr, x0 := s.opt, s.fr, s.x0
 	x := append([]float64(nil), start...)
 	dist := euclid(x, x0)
 	eta := 1.0
-	fscale := 1 + math.Abs(level)
 	for iter := 0; iter < opt.RefineIters; iter++ {
 		grad := fr.grad
-		GradientInto(grad, fr.gtmp, f, x)
+		s.gradInto(grad, x)
 		gn := norm2(grad)
 		if gn == 0 {
 			break
@@ -371,9 +832,9 @@ func tangentialDescent(f Func, g Func, level float64, x0, start []float64, opt L
 			for i := range trial {
 				trial[i] = x[i] - eta*rt[i]
 			}
-			proj, ok := reprojectNormal(g, trial, grad, gn, opt.MaxSpan, opt.Tol*fscale, fr)
+			proj, ok := reprojectNormal(g, trial, grad, gn, opt.MaxSpan, opt.Tol*s.fscale, fr)
 			if !ok {
-				proj, ok = projectThroughOrigin(g, x0, trial, opt.MaxSpan, opt.Tol*fscale, fr)
+				proj, ok = s.project(trial, dist)
 			}
 			if !ok {
 				continue

@@ -2,7 +2,7 @@ package optimize
 
 import (
 	"math"
-	"sort"
+	"sync"
 )
 
 // NMOptions configure the Nelder–Mead simplex search.
@@ -21,11 +21,64 @@ type NMOptions struct {
 	MaxEvals int
 }
 
+// nmScratch holds every buffer one Nelder–Mead run needs: the simplex
+// vertices as rows of a single backing array, their values, the sorted
+// order, and the four trial points. The level-set search runs Nelder–Mead
+// once or twice per boundary side (descent fallback + penalty polish), and
+// before this pool existed those per-call allocations — and a reflection-
+// based sort.Slice over the vertices — dominated the numeric tier's
+// profile.
+type nmScratch struct {
+	backing  []float64 // (n+1)×n vertex rows
+	simplex  [][]float64
+	fx       []float64
+	ord      []int // vertex indices, sorted by fx ascending
+	centroid []float64
+	xr       []float64
+	xe       []float64
+	xc       []float64
+}
+
+var nmPool = sync.Pool{New: func() any { return new(nmScratch) }}
+
+func getNM(n int) *nmScratch {
+	s := nmPool.Get().(*nmScratch)
+	if cap(s.backing) < (n+1)*n {
+		s.backing = make([]float64, (n+1)*n)
+	}
+	s.backing = s.backing[:(n+1)*n]
+	if cap(s.simplex) < n+1 {
+		s.simplex = make([][]float64, n+1)
+	}
+	s.simplex = s.simplex[:n+1]
+	for i := range s.simplex {
+		s.simplex[i] = s.backing[i*n : (i+1)*n]
+	}
+	for _, b := range []*[]float64{&s.fx, &s.centroid, &s.xr, &s.xe, &s.xc} {
+		if cap(*b) < n+1 {
+			*b = make([]float64, n+1)
+		}
+	}
+	s.fx = s.fx[:n+1]
+	s.centroid, s.xr, s.xe, s.xc = s.centroid[:n], s.xr[:n], s.xe[:n], s.xc[:n]
+	if cap(s.ord) < n+1 {
+		s.ord = make([]int, n+1)
+	}
+	s.ord = s.ord[:n+1]
+	return s
+}
+
+func putNM(s *nmScratch) { nmPool.Put(s) }
+
 // NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
 // simplex method with adaptive parameters (Gao & Han 2012) for robustness in
 // higher dimensions. It returns the best point found and its value. The
 // method is derivative-free, which matters because impact functions f_ij may
 // be piecewise (max over machines, max over paths) and hence non-smooth.
+//
+// The returned point is freshly allocated; all internal state is pooled.
+// Vertex ordering is maintained by a deterministic stable insertion, so two
+// runs over the same f and x0 follow bit-identical trajectories.
 func NelderMead(f Func, x0 []float64, opt NMOptions) ([]float64, float64) {
 	n := len(x0)
 	if n == 0 {
@@ -61,110 +114,130 @@ func NelderMead(f Func, x0 []float64, opt NMOptions) ([]float64, float64) {
 	gamma := 0.75 - 1/(2*nf) // contraction
 	delta := 1 - 1/nf        // shrink
 
-	type vertex struct {
-		x []float64
-		f float64
-	}
 	evals := 0
 	eval := func(x []float64) float64 {
 		evals++
 		return f(x)
 	}
 
-	simplex := make([]vertex, n+1)
-	simplex[0] = vertex{x: append([]float64(nil), x0...)}
-	simplex[0].f = eval(simplex[0].x)
+	s := getNM(n)
+	defer putNM(s)
+	simplex, fx, ord := s.simplex, s.fx, s.ord
+	copy(simplex[0], x0)
+	fx[0] = eval(simplex[0])
 	for i := 1; i <= n; i++ {
-		x := append([]float64(nil), x0...)
-		x[i-1] += step
-		simplex[i] = vertex{x: x, f: eval(x)}
+		copy(simplex[i], x0)
+		simplex[i][i-1] += step
+		fx[i] = eval(simplex[i])
+	}
+	for i := range ord {
+		ord[i] = i
+	}
+	// Stable insertion sort of the vertex order by value: n is small and
+	// after the initial sort each iteration disturbs at most one vertex.
+	sortOrd := func() {
+		for i := 1; i < len(ord); i++ {
+			for j := i; j > 0 && fx[ord[j]] < fx[ord[j-1]]; j-- {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
+			}
+		}
+	}
+	sortOrd()
+	// reinsert restores sorted order after the worst vertex (ord[n]) was
+	// replaced, preserving stability: the new value moves left past strictly
+	// greater values only.
+	reinsert := func() {
+		for j := n; j > 0 && fx[ord[j]] < fx[ord[j-1]]; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
 	}
 
-	centroid := make([]float64, n)
-	xr := make([]float64, n)
-	xe := make([]float64, n)
-	xc := make([]float64, n)
-
+	centroid, xr, xe, xc := s.centroid, s.xr, s.xe, s.xc
 	for evals < opt.MaxEvals {
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
-		best, worst := simplex[0], simplex[n]
+		best, worst := simplex[ord[0]], simplex[ord[n]]
+		fbest, fworst := fx[ord[0]], fx[ord[n]]
 
 		// Convergence: function spread and simplex diameter.
-		if math.Abs(worst.f-best.f) <= opt.TolF*(1+math.Abs(best.f)) {
+		if math.Abs(fworst-fbest) <= opt.TolF*(1+math.Abs(fbest)) {
 			diam := 0.0
 			for i := 1; i <= n; i++ {
 				for j := 0; j < n; j++ {
-					if d := math.Abs(simplex[i].x[j] - best.x[j]); d > diam {
+					if d := math.Abs(simplex[ord[i]][j] - best[j]); d > diam {
 						diam = d
 					}
 				}
 			}
-			if diam <= opt.TolX*(1+maxAbs(best.x)) {
+			if diam <= opt.TolX*(1+maxAbs(best)) {
 				break
 			}
 		}
 
 		// Centroid of all but the worst vertex.
 		for j := 0; j < n; j++ {
-			var s float64
+			var sum float64
 			for i := 0; i < n; i++ {
-				s += simplex[i].x[j]
+				sum += simplex[ord[i]][j]
 			}
-			centroid[j] = s / nf
+			centroid[j] = sum / nf
 		}
 
 		// Reflect.
 		for j := 0; j < n; j++ {
-			xr[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+			xr[j] = centroid[j] + alpha*(centroid[j]-worst[j])
 		}
 		fr := eval(xr)
 		switch {
-		case fr < best.f:
+		case fr < fbest:
 			// Expand.
 			for j := 0; j < n; j++ {
 				xe[j] = centroid[j] + beta*(xr[j]-centroid[j])
 			}
 			fe := eval(xe)
 			if fe < fr {
-				copy(simplex[n].x, xe)
-				simplex[n].f = fe
+				copy(worst, xe)
+				fx[ord[n]] = fe
 			} else {
-				copy(simplex[n].x, xr)
-				simplex[n].f = fr
+				copy(worst, xr)
+				fx[ord[n]] = fr
 			}
-		case fr < simplex[n-1].f:
-			copy(simplex[n].x, xr)
-			simplex[n].f = fr
+			reinsert()
+		case fr < fx[ord[n-1]]:
+			copy(worst, xr)
+			fx[ord[n]] = fr
+			reinsert()
 		default:
 			// Contract (outside if the reflected point improved on the
 			// worst, inside otherwise).
-			if fr < worst.f {
+			if fr < fworst {
 				for j := 0; j < n; j++ {
 					xc[j] = centroid[j] + gamma*(xr[j]-centroid[j])
 				}
 			} else {
 				for j := 0; j < n; j++ {
-					xc[j] = centroid[j] - gamma*(centroid[j]-worst.x[j])
+					xc[j] = centroid[j] - gamma*(centroid[j]-worst[j])
 				}
 			}
 			fc := eval(xc)
-			if fc < math.Min(fr, worst.f) {
-				copy(simplex[n].x, xc)
-				simplex[n].f = fc
+			if fc < math.Min(fr, fworst) {
+				copy(worst, xc)
+				fx[ord[n]] = fc
+				reinsert()
 			} else {
 				// Shrink toward the best vertex.
 				for i := 1; i <= n; i++ {
+					v := simplex[ord[i]]
 					for j := 0; j < n; j++ {
-						simplex[i].x[j] = best.x[j] + delta*(simplex[i].x[j]-best.x[j])
+						v[j] = best[j] + delta*(v[j]-best[j])
 					}
-					simplex[i].f = eval(simplex[i].x)
+					fx[ord[i]] = eval(v)
 				}
+				sortOrd()
 			}
 		}
 	}
 
-	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
-	return simplex[0].x, simplex[0].f
+	out := append([]float64(nil), simplex[ord[0]]...)
+	return out, fx[ord[0]]
 }
 
 func maxAbs(xs []float64) float64 {

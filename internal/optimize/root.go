@@ -118,18 +118,35 @@ func Brent(f Func1, a, b, tol float64) (float64, error) {
 	return b, nil
 }
 
+// bracketSubdiv is the number of probes per geometric expansion interval of
+// the bracketing scan. Exported indirectly through the probe grid contract:
+// see BracketRoot.
+const bracketSubdiv = 4
+
 // BracketRoot searches for a sign change of g on t ≥ t0, expanding the probed
-// span geometrically from the given initial step up to maxSpan. Each
-// expansion interval is subdivided, and any local-minimum triple in the
-// scanned |g| values is refined by golden-section search, so narrow crossings
-// (a level set entered and left again between two probes, e.g. a ray crossing
-// a small or distant ellipsoid with a short chord) are not stepped over. It
-// returns (a, b) with g(a)·g(b) ≤ 0.
+// span geometrically from the given initial step. Each expansion interval is
+// subdivided, and any local-minimum triple in the scanned |g| values is
+// refined by golden-section search, so narrow crossings (a level set entered
+// and left again between two probes, e.g. a ray crossing a small or distant
+// ellipsoid with a short chord) are not stepped over. It returns (a, b) with
+// g(a)·g(b) ≤ 0.
+//
+// Probe positions form a fixed geometric grid determined by t0 and step
+// alone — maxSpan decides only where the scan STOPS, never where it probes.
+// Two scans with different maxSpan therefore evaluate g at bit-identical
+// positions over their common range, which is what lets the level-set search
+// clamp late rays at the current third-best candidate distance (and lets a
+// warm-started search replay a memoized scan) without perturbing any result.
+// The scan continues until the position two probes back has passed maxSpan,
+// so a dip window straddling the stop is still refined.
+//
+// The error, when non-nil, is ErrNoBracket. It is returned unwrapped: the
+// level-set search discards it once per non-crossing ray, and wrapping it
+// with position detail showed up as an allocation hot spot.
 func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 	if step <= 0 {
 		step = 1e-3
 	}
-	const subdiv = 4
 	ga := g(t0)
 	if ga == 0 {
 		return t0, t0, nil
@@ -137,12 +154,9 @@ func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 	prev, gprev := t0, ga
 	prev2, gprev2 := math.NaN(), math.Inf(1)
 	for span := step; ; span *= 1.8 {
-		if span > maxSpan {
-			span = maxSpan
-		}
 		next := t0 + span
-		for i := 1; i <= subdiv; i++ {
-			x := prev + (next-prev)*float64(i)/subdiv
+		for i := 1; i <= bracketSubdiv; i++ {
+			x := prev + (next-prev)*float64(i)/bracketSubdiv
 			gx := g(x)
 			if gx == 0 || (gprev > 0) != (gx > 0) {
 				return prev, x, nil
@@ -154,14 +168,13 @@ func BracketRoot(g Func1, t0, step, maxSpan float64) (a, b float64, err error) {
 					return lo, hi, nil
 				}
 			}
+			if !math.IsNaN(prev2) && prev2-t0 >= maxSpan {
+				return 0, 0, ErrNoBracket
+			}
 			prev2, gprev2 = prev, gprev
 			prev, gprev = x, gx
 		}
-		if span >= maxSpan {
-			break
-		}
 	}
-	return 0, 0, fmt.Errorf("%w: no sign change within span %g from %g", ErrNoBracket, maxSpan, t0)
 }
 
 // refineDip golden-sections the local minimum of |g| inside [a, c] (with

@@ -1,0 +1,186 @@
+package optimize
+
+import "math"
+
+// Ray-record kinds stored per (level, direction) in a WarmState. The zero
+// value (recNone with limit 0) is inert: replay never trusts it, so a
+// partially filled record slice is always safe to consult.
+const (
+	recNone uint8 = iota // ray exhausted its scan limit without a crossing
+	recGrid              // crossing between consecutive grid probes
+	recDip               // crossing inside a golden-section-refined dip
+)
+
+// rayRec is the converged bracket of one probe ray at one boundary level:
+// enough to skip the ray's scan and root solve on the next search of the
+// same level, and enough to *validate* that skip against the live objective
+// first.
+type rayRec struct {
+	kind   uint8
+	idx    int32   // crossing probe's grid index (recGrid)
+	limit  float64 // scan limit the ray was exhausted at (recNone)
+	lo, hi float64 // dip bracket endpoints (recDip)
+	t      float64 // converged root after the first-crossing walk-back
+}
+
+// levelRec holds the per-ray records of one boundary level.
+type levelRec struct {
+	rays []rayRec
+}
+
+// WarmStats count what a WarmState saved (and when it had to be thrown
+// away). MemoHits are scan probes answered from the memoized line table
+// instead of a live objective evaluation; RayReuses are whole rays whose
+// converged bracket was revalidated and reused; Invalidations count resets
+// after a reused bracket failed validation.
+type WarmStats struct {
+	Searches      int
+	MemoHits      int
+	RayReuses     int
+	Invalidations int
+}
+
+// WarmState carries reusable state between NearestOnLevelSet calls that
+// share the same objective f and origin point x0 — typically the two
+// boundary sides ⟨β^min, β^max⟩ of one feature, or repeated searches of the
+// same boundary as a service re-checks an operating point. It memoizes what
+// is level-independent (the probe direction set, including the two gradient
+// directions and their 2n estimation evaluations; the raw objective values
+// along every scan ray, keyed by the fixed probe grid) and records per
+// (level, direction) the converged bracket and root, which a later search
+// of the same level revalidates against the live objective and reuses.
+//
+// Correctness contract: a WarmState is only meaningful while f is frozen —
+// the same determinism assumption the impact cache documents. Reuse is
+// validated (a reused bracket must still change sign on the live
+// objective, and memoized values are cross-checked where they overlap);
+// any mismatch discards the entire state and the search re-runs cold, so a
+// violated contract costs time, not correctness. Because memoized values
+// are the raw f values the cold search would have computed at bit-identical
+// probe positions, a warm search returns bit-identical results to a cold
+// one.
+//
+// A WarmState is owned by exactly one search at a time. It is not
+// internally synchronized: callers hand it to LevelSetOptions.Warm for the
+// duration of one NearestOnLevelSet call and must not share it
+// concurrently. internal/core checks states in and out of per-feature
+// atomic slots so that concurrent searches race for the state and losers
+// simply run cold.
+type WarmState struct {
+	ident    []float64 // caller identity (e.g. origin ⧺ scales), bit-compared
+	x0       []float64
+	step     float64
+	seed     int64
+	dirCount int
+	tol      float64
+	bound    bool
+	dirs     [][]float64
+	grid     []float64   // canonical scan-grid positions generated so far
+	memo     [][]float64 // raw f per (direction, grid index); NaN = unknown
+	levels   map[uint64]*levelRec
+
+	stats WarmStats
+}
+
+// maxWarmLevels bounds the per-level record map; searches over more levels
+// than this (a β sweep, say) drop the accumulated records and start over
+// rather than growing without bound. The line memo is unaffected — it is
+// level-independent and bounded by the scan grid.
+const maxWarmLevels = 32
+
+// NewWarmState returns an empty warm state bound to the given identity
+// vector. The identity is an opaque fingerprint of everything the objective
+// closes over (for the robustness engine: the origin point concatenated
+// with the weighting scales); Valid bit-compares it so a state is never
+// reused across objectives.
+func NewWarmState(ident []float64) *WarmState {
+	w := &WarmState{}
+	w.ident = append([]float64(nil), ident...)
+	return w
+}
+
+// Valid reports whether the state was built for this identity vector
+// (bit-exact comparison, so NaN payloads and signed zeros are respected).
+func (w *WarmState) Valid(ident []float64) bool {
+	if w == nil || len(w.ident) != len(ident) {
+		return false
+	}
+	return bitsEqual(w.ident, ident)
+}
+
+// Stats returns the state's reuse counters.
+func (w *WarmState) Stats() WarmStats { return w.stats }
+
+// reset drops everything the state has learned, keeping only its identity.
+func (w *WarmState) reset() {
+	w.x0, w.step, w.bound = nil, 0, false
+	w.dirs, w.grid, w.memo = nil, nil, nil
+	w.levels = nil
+	w.stats.Invalidations++
+}
+
+// prepare binds the state to a search configuration — origin point, scan
+// step, direction seed and count, and boundary tolerance (everything the
+// recorded brackets and memoized scans depend on) — resetting it first if
+// any of them differ bit-wise from the state's previous binding.
+func (w *WarmState) prepare(x0 []float64, step float64, seed int64, dirCount int, tol float64) {
+	w.stats.Searches++
+	if w.bound &&
+		(len(w.x0) != len(x0) || !bitsEqual(w.x0, x0) ||
+			math.Float64bits(w.step) != math.Float64bits(step) ||
+			w.seed != seed || w.dirCount != dirCount ||
+			math.Float64bits(w.tol) != math.Float64bits(tol)) {
+		w.reset()
+	}
+	if !w.bound {
+		w.x0 = append(w.x0[:0], x0...)
+		w.step, w.seed, w.dirCount, w.tol = step, seed, dirCount, tol
+		w.bound = true
+	}
+}
+
+// level returns (creating if needed) the per-ray record slice for a
+// boundary level, sized for nDirs rays.
+func (w *WarmState) level(lv float64, nDirs int) *levelRec {
+	if w.levels == nil {
+		w.levels = make(map[uint64]*levelRec)
+	}
+	key := math.Float64bits(lv)
+	lr := w.levels[key]
+	if lr == nil {
+		if len(w.levels) >= maxWarmLevels {
+			w.levels = make(map[uint64]*levelRec)
+		}
+		lr = &levelRec{}
+		w.levels[key] = lr
+	}
+	if len(lr.rays) < nDirs {
+		rays := make([]rayRec, nDirs)
+		copy(rays, lr.rays)
+		lr.rays = rays
+	}
+	return lr
+}
+
+// memoFor returns the raw-f line table of direction di, grown (with NaN
+// sentinels) to cover at least minLen grid positions.
+func (w *WarmState) memoFor(di, minLen int) []float64 {
+	for len(w.memo) <= di {
+		w.memo = append(w.memo, nil)
+	}
+	m := w.memo[di]
+	for len(m) < minLen {
+		m = append(m, math.NaN())
+	}
+	w.memo[di] = m
+	return m
+}
+
+func bitsEqual(a, b []float64) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

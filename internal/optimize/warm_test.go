@@ -1,0 +1,259 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// ellipsoid is a smooth test objective with a closed-form level set:
+// f(x) = Σ wᵢ·(xᵢ − cᵢ)².
+func ellipsoid(w, c []float64) Func {
+	return func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - c[i]
+			s += w[i] * d * d
+		}
+		return s
+	}
+}
+
+func countingFunc(f Func, n *int) Func {
+	return func(x []float64) float64 {
+		*n++
+		return f(x)
+	}
+}
+
+func fkFor(f Func) FuncK {
+	return func(xs [][]float64, out []float64) {
+		for p := range xs {
+			out[p] = f(xs[p])
+		}
+	}
+}
+
+func bitsSame(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// A warm-started repeat of the same search must return bit-identical
+// results while reusing recorded brackets and spending fewer evaluations.
+func TestWarmStartBitIdenticalAndCheaper(t *testing.T) {
+	f := ellipsoid([]float64{1, 2.5, 0.7}, []float64{0.3, -0.2, 1.1})
+	x0 := []float64{1.2, 0.8, -0.4}
+	level := 9.0
+
+	cold, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatalf("cold search: %v", err)
+	}
+
+	st := NewWarmState(x0)
+	opt := LevelSetOptions{Warm: st}
+	first, err := NearestOnLevelSet(f, level, x0, opt)
+	if err != nil {
+		t.Fatalf("first warm search: %v", err)
+	}
+	second, err := NearestOnLevelSet(f, level, x0, opt)
+	if err != nil {
+		t.Fatalf("second warm search: %v", err)
+	}
+
+	for name, r := range map[string]Result{"first-warm": first, "second-warm": second} {
+		if math.Float64bits(r.Dist) != math.Float64bits(cold.Dist) || !bitsSame(r.Point, cold.Point) {
+			t.Errorf("%s diverged from cold: dist %v vs %v, point %v vs %v",
+				name, r.Dist, cold.Dist, r.Point, cold.Point)
+		}
+	}
+	if second.Evals >= first.Evals {
+		t.Errorf("warm repeat did not save evaluations: %d vs %d", second.Evals, first.Evals)
+	}
+	stats := st.Stats()
+	if stats.RayReuses == 0 {
+		t.Errorf("warm repeat reused no ray records: %+v", stats)
+	}
+	if stats.MemoHits == 0 {
+		t.Errorf("warm repeat hit no memoized probes: %+v", stats)
+	}
+	if stats.Invalidations != 0 {
+		t.Errorf("unexpected invalidations: %+v", stats)
+	}
+}
+
+// One WarmState serving two levels of the same objective (the β^min/β^max
+// sides of a feature) must match cold searches of both levels.
+func TestWarmStartTwoLevels(t *testing.T) {
+	f := ellipsoid([]float64{1, 1}, []float64{0, 0})
+	x0 := []float64{0.5, 0.25}
+	st := NewWarmState(x0)
+	for _, level := range []float64{4, 9, 4, 9} {
+		cold, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+		if err != nil {
+			t.Fatalf("cold level %g: %v", level, err)
+		}
+		warm, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: st})
+		if err != nil {
+			t.Fatalf("warm level %g: %v", level, err)
+		}
+		if math.Float64bits(warm.Dist) != math.Float64bits(cold.Dist) || !bitsSame(warm.Point, cold.Point) {
+			t.Errorf("level %g: warm diverged: %v vs %v", level, warm.Dist, cold.Dist)
+		}
+	}
+	if st.Stats().Invalidations != 0 {
+		t.Errorf("unexpected invalidations: %+v", st.Stats())
+	}
+}
+
+// The warm-start fallback: when the objective changes underneath a
+// WarmState (violating the frozen-f contract) so the sign change moves
+// outside the reused bracket window, validation must catch it, discard the
+// state, and re-run cold — returning exactly what a fresh search returns.
+func TestWarmStartInvalidBracketFallsBackCold(t *testing.T) {
+	shift := 0.0
+	base := ellipsoid([]float64{1, 1.5}, []float64{0.1, -0.3})
+	f := func(x []float64) float64 { return base(x) + shift }
+	x0 := []float64{0.9, 0.7}
+	level := 16.0
+
+	st := NewWarmState(x0)
+	if _, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: st}); err != nil {
+		t.Fatalf("seeding warm search: %v", err)
+	}
+
+	// Shift the objective so every recorded bracket's crossing moves: the
+	// boundary {f = 16} pulls inward by a wide margin.
+	shift = 12.0
+	fresh, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatalf("fresh search on shifted objective: %v", err)
+	}
+	warm, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: st})
+	if err != nil {
+		t.Fatalf("warm search on shifted objective: %v", err)
+	}
+	if math.Float64bits(warm.Dist) != math.Float64bits(fresh.Dist) || !bitsSame(warm.Point, fresh.Point) {
+		t.Errorf("fallback result diverged from fresh cold search: %v vs %v", warm.Dist, fresh.Dist)
+	}
+	if st.Stats().Invalidations == 0 {
+		t.Errorf("expected an invalidation after the objective changed: %+v", st.Stats())
+	}
+	// The rebuilt state must serve the new objective bit-identically again.
+	warm2, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: st})
+	if err != nil {
+		t.Fatalf("post-fallback warm search: %v", err)
+	}
+	if math.Float64bits(warm2.Dist) != math.Float64bits(fresh.Dist) {
+		t.Errorf("post-fallback warm search diverged: %v vs %v", warm2.Dist, fresh.Dist)
+	}
+}
+
+// A WarmState bound to one search configuration must reset, not mislead,
+// when reused with another (different seed ⇒ different random rays).
+func TestWarmStartConfigChangeResets(t *testing.T) {
+	f := ellipsoid([]float64{1, 1}, []float64{0, 0})
+	x0 := []float64{0.5, 0.5}
+	st := NewWarmState(x0)
+	if _, err := NearestOnLevelSet(f, 4, x0, LevelSetOptions{Warm: st}); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NearestOnLevelSet(f, 4, x0, LevelSetOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NearestOnLevelSet(f, 4, x0, LevelSetOptions{Seed: 99, Warm: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(warm.Dist) != math.Float64bits(cold.Dist) || !bitsSame(warm.Point, cold.Point) {
+		t.Errorf("config change not honored: %v vs %v", warm.Dist, cold.Dist)
+	}
+}
+
+// WarmState.Valid must be a bit-exact identity check.
+func TestWarmStateValid(t *testing.T) {
+	st := NewWarmState([]float64{1, 2, 3})
+	if !st.Valid([]float64{1, 2, 3}) {
+		t.Error("identity should match")
+	}
+	if st.Valid([]float64{1, 2}) || st.Valid([]float64{1, 2, 4}) {
+		t.Error("wrong identity accepted")
+	}
+	var nilState *WarmState
+	if nilState.Valid([]float64{1}) {
+		t.Error("nil state claimed validity")
+	}
+}
+
+// k-probe evaluation groups probes; it must not move them. Every block
+// width must return bit-identical results to the scalar path.
+func TestKProbeBitIdenticalAcrossWidths(t *testing.T) {
+	f := ellipsoid([]float64{1, 0.5, 2, 1.2}, []float64{0.2, -0.1, 0.4, 0})
+	x0 := []float64{1, 1, -0.5, 0.8}
+	level := 25.0
+	scalar, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kb := range []int{1, 2, 3, 5, 8, 16} {
+		res, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{FK: fkFor(f), KBlock: kb})
+		if err != nil {
+			t.Fatalf("KBlock=%d: %v", kb, err)
+		}
+		if math.Float64bits(res.Dist) != math.Float64bits(scalar.Dist) || !bitsSame(res.Point, scalar.Point) {
+			t.Errorf("KBlock=%d diverged: %v vs %v", kb, res.Dist, scalar.Dist)
+		}
+	}
+}
+
+// Warm start and k-probe compose: warm+FK must equal scalar cold, and the
+// k-probe objective must absorb most scan probes (fewer scalar calls).
+func TestWarmStartWithKProbe(t *testing.T) {
+	f := ellipsoid([]float64{1, 2}, []float64{0.4, 0.1})
+	x0 := []float64{1.5, -0.7}
+	level := 12.0
+	scalar, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewWarmState(x0)
+	opt := LevelSetOptions{FK: fkFor(f), Warm: st}
+	for i := 0; i < 3; i++ {
+		res, err := NearestOnLevelSet(f, level, x0, opt)
+		if err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		if math.Float64bits(res.Dist) != math.Float64bits(scalar.Dist) || !bitsSame(res.Point, scalar.Point) {
+			t.Errorf("pass %d diverged: %v vs %v", i, res.Dist, scalar.Dist)
+		}
+	}
+	if st.Stats().Invalidations != 0 {
+		t.Errorf("unexpected invalidations: %+v", st.Stats())
+	}
+}
+
+// The evaluation budget must hold for k-probe searches too (within the
+// documented one-block overshoot).
+func TestKProbeRespectsMaxEvals(t *testing.T) {
+	calls := 0
+	f := countingFunc(ellipsoid([]float64{1, 1}, []float64{0, 0}), &calls)
+	x0 := []float64{3, 4}
+	const budget = 40
+	_, err := NearestOnLevelSet(f, 100, x0, LevelSetOptions{
+		FK: fkFor(f), KBlock: 8, MaxEvals: budget,
+	})
+	if err == nil {
+		t.Fatal("expected ErrEvalBudget")
+	}
+	if calls > budget+8 {
+		t.Errorf("budget overshot by more than one block: %d calls for budget %d", calls, budget)
+	}
+}

@@ -179,15 +179,65 @@ func (f FeatureSpec) impact() core.ImpactFunc {
 	}
 }
 
+// impactK builds the feature's batch (k-probe) evaluator, mirroring the
+// scalar closure of impact() probe by probe with the SAME accumulation
+// order — the ImpactK contract demands bit-identical values, so the linear
+// kind replicates the flat single-accumulator loop of its scalar closure by
+// hand (vec.LinearK reproduces core.LinearImpact's per-block partial dots,
+// a different summation nesting), while the other kinds reuse the vec
+// kernels, whose accumulation order matches these closures exactly.
+func (f FeatureSpec) impactK() func(probes []vec.V, out []float64) {
+	switch f.Kind {
+	case KindLinear:
+		coeffs := deepCopy(f.Coeffs)
+		c := f.Const
+		return func(probes []vec.V, out []float64) {
+			for p, v := range probes {
+				s := c
+				off := 0
+				for _, k := range coeffs {
+					for e, ke := range k {
+						s += ke * v[off+e]
+					}
+					off += len(k)
+				}
+				out[p] = s
+			}
+		}
+	case KindQuadratic:
+		curv, center := vecBlocks(f.Curv), vecBlocks(f.Center)
+		c := f.Const
+		return func(probes []vec.V, out []float64) {
+			vec.QuadK(out, c, curv, center, probes)
+		}
+	case KindMultiplicative:
+		pows := vecBlocks(f.Pows)
+		c, scale := f.Const, f.Scale
+		return func(probes []vec.V, out []float64) {
+			vec.PowProdK(out, c, scale, pows, probes)
+		}
+	case KindQueueing:
+		wgts, caps := vecBlocks(f.Wgts), vecBlocks(f.Caps)
+		eps := f.Eps
+		return func(probes []vec.V, out []float64) {
+			vec.QueueK(out, wgts, caps, eps, probes)
+		}
+	default:
+		return nil
+	}
+}
+
 // feature assembles the core.Feature; analytic selects whether linear and
 // quadratic kinds carry their closed-form declarations (the analytic tier)
-// or only the general impact closure (forcing the numeric tier).
+// or only the general impact closure (forcing the numeric tier). Every
+// feature carries its k-probe evaluator, so oracle runs exercise the
+// batched path whenever a check opts into EvalOptions.KProbe.
 func (f FeatureSpec) feature(analytic bool) (core.Feature, error) {
 	imp := f.impact()
 	if imp == nil {
 		return core.Feature{}, fmt.Errorf("oracle: feature %q has unknown kind %q", f.Name, f.Kind)
 	}
-	out := core.Feature{Name: f.Name, Bounds: f.bounds(), Impact: imp}
+	out := core.Feature{Name: f.Name, Bounds: f.bounds(), Impact: imp, ImpactK: f.impactK()}
 	if !analytic {
 		return out, nil
 	}
@@ -406,6 +456,7 @@ func (s Spec) Poisoned(overshoot float64) (*core.Analysis, error) {
 			}
 			return v
 		}
+		f.ImpactK = nil // the clean batch evaluator would bypass the poison
 	}
 	return a, nil
 }
@@ -417,6 +468,16 @@ func deepCopy(blocks [][]float64) [][]float64 {
 	out := make([][]float64, len(blocks))
 	for i, b := range blocks {
 		out[i] = append([]float64(nil), b...)
+	}
+	return out
+}
+
+// vecBlocks deep-copies spec blocks into the vec.V form the k-probe
+// kernels take.
+func vecBlocks(blocks [][]float64) []vec.V {
+	out := make([]vec.V, len(blocks))
+	for i, b := range blocks {
+		out[i] = vec.V(append([]float64(nil), b...))
 	}
 	return out
 }

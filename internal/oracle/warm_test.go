@@ -1,0 +1,131 @@
+package oracle
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+)
+
+// The warm-start / k-probe differential: for generated instances forced
+// through the numeric tier, every acceleration mode must return radii
+// BIT-IDENTICAL to the plain scalar search — warm starts and k-probe
+// batching reorganize who evaluates which probe when, but never move a
+// probe. The matrix crosses modes {base, warm (two passes), k-probe,
+// warm+k-probe} with engines {serial, concurrent, batch}, uncached (the
+// impact cache's quantized hits carry their own documented 1e-9 agreement
+// and are covered by the cache property tests).
+func TestWarmKProbeDifferentialBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	engines := []struct {
+		name string
+		run  func(a *core.Analysis, opt core.EvalOptions) (core.Robustness, error)
+	}{
+		{"serial", func(a *core.Analysis, opt core.EvalOptions) (core.Robustness, error) {
+			return a.RobustnessWith(ctx, core.Normalized{}, opt)
+		}},
+		{"concurrent", func(a *core.Analysis, opt core.EvalOptions) (core.Robustness, error) {
+			opt.Workers = 4
+			return a.RobustnessWith(ctx, core.Normalized{}, opt)
+		}},
+		{"batch", func(a *core.Analysis, opt core.EvalOptions) (core.Robustness, error) {
+			opt.Workers = 4
+			out, errs := a.RobustnessBatch([]core.Weighting{core.Normalized{}}, opt)
+			return out[0], errs[0]
+		}},
+	}
+	modes := []struct {
+		name   string
+		warm   bool
+		passes int
+		opt    core.EvalOptions
+	}{
+		{"warm", true, 2, core.EvalOptions{}},
+		// KBlock 5 is deliberately odd and unequal to the scan's bracket
+		// subdivision, so probe windows straddle refinement boundaries.
+		{"kprobe", false, 1, core.EvalOptions{KProbe: 5}},
+		{"warm+kprobe", true, 2, core.EvalOptions{KProbe: 5}},
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		spec := Generate(seed)
+		base, err := spec.BuildNumeric()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := base.RobustnessWith(ctx, core.Normalized{}, core.EvalOptions{})
+		if err != nil {
+			t.Fatalf("seed %d base: %v", seed, err)
+		}
+		for _, eng := range engines {
+			for _, mode := range modes {
+				a, err := spec.BuildNumeric()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if mode.warm {
+					a.EnableWarmStart()
+				}
+				for pass := 0; pass < mode.passes; pass++ {
+					got, err := eng.run(a, mode.opt)
+					if err != nil {
+						t.Fatalf("seed %d %s/%s pass %d: %v", seed, eng.name, mode.name, pass, err)
+					}
+					if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+						t.Fatalf("seed %d %s/%s pass %d: rho %.17g != base %.17g",
+							seed, eng.name, mode.name, pass, got.Value, want.Value)
+					}
+					for i := range want.PerFeature {
+						if math.Float64bits(got.PerFeature[i].Value) != math.Float64bits(want.PerFeature[i].Value) {
+							t.Fatalf("seed %d %s/%s pass %d feature %d: %.17g != %.17g",
+								seed, eng.name, mode.name, pass, i,
+								got.PerFeature[i].Value, want.PerFeature[i].Value)
+						}
+					}
+				}
+				if mode.warm {
+					if ws := a.WarmStats(); ws.Invalidations != 0 {
+						t.Errorf("seed %d %s/%s: invalidations on a frozen analysis: %+v",
+							seed, eng.name, mode.name, ws)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Single-parameter radii go through the same warm and k-probe machinery;
+// they must stay bit-identical too.
+func TestWarmKProbeSingleRadiiBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 6; seed++ {
+		spec := Generate(seed)
+		base, err := spec.BuildNumeric()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		warm, err := spec.BuildNumeric()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		warm.EnableWarmStart()
+		for i := range base.Features {
+			for j := range base.Params {
+				want, err := base.RadiusSingleCtx(ctx, i, j)
+				if err != nil {
+					t.Fatalf("seed %d (%d,%d): %v", seed, i, j, err)
+				}
+				for pass := 0; pass < 2; pass++ {
+					got, err := warm.RadiusSingleCtx(ctx, i, j)
+					if err != nil {
+						t.Fatalf("seed %d (%d,%d) warm pass %d: %v", seed, i, j, pass, err)
+					}
+					if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+						t.Fatalf("seed %d (%d,%d) warm pass %d: %.17g != %.17g",
+							seed, i, j, pass, got.Value, want.Value)
+					}
+				}
+			}
+		}
+	}
+}

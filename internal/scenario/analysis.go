@@ -231,9 +231,13 @@ func (f AnalysisFeature) bounds() core.Bounds {
 
 // Build validates the document and assembles the core.Analysis: linear and
 // quadratic features carry their closed-form declarations, multiplicative
-// and queueing features their numeric impact closures. The closures copy
-// the document's blocks, so the returned analysis never aliases caller
-// memory.
+// and queueing features their numeric impact closures. Every family also
+// attaches its vectorized k-probe kernel (internal/vec) as
+// core.Feature.ImpactK, so evaluations opted into EvalOptions.KProbe batch
+// whole probe blocks per call — the kernels replicate the scalar
+// accumulation order exactly, keeping radii bit-identical. The closures and
+// kernels copy the document's blocks, so the returned analysis never
+// aliases caller memory.
 func (d AnalysisDoc) Build() (*core.Analysis, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -251,19 +255,20 @@ func (d AnalysisDoc) Build() (*core.Analysis, error) {
 		cf := core.Feature{Name: f.Name, Bounds: f.bounds()}
 		switch f.family() {
 		case ImpactLinear:
-			coeffs := make([]vec.V, len(f.Coeffs))
-			for j, c := range f.Coeffs {
-				coeffs[j] = vec.V(append([]float64(nil), c...))
-			}
+			coeffs := copyBlocks(f.Coeffs)
 			cf.Linear = &core.LinearImpact{Coeffs: coeffs, Const: f.Const}
+			c := f.Const
+			cf.ImpactK = func(probes []vec.V, out []float64) {
+				vec.LinearK(out, c, coeffs, probes)
+			}
 		case ImpactQuadratic:
 			q := &core.QuadImpact{Const: f.Const,
-				A: make([]vec.V, len(f.Curv)), C: make([]vec.V, len(f.Center))}
-			for j := range f.Curv {
-				q.A[j] = vec.V(append([]float64(nil), f.Curv[j]...))
-				q.C[j] = vec.V(append([]float64(nil), f.Center[j]...))
-			}
+				A: copyBlocks(f.Curv), C: copyBlocks(f.Center)}
 			cf.Quad = q
+			c := f.Const
+			cf.ImpactK = func(probes []vec.V, out []float64) {
+				vec.QuadK(out, c, q.A, q.C, probes)
+			}
 		case ImpactMultiplicative:
 			pows := copyBlocks(f.Pows)
 			c, scale := f.Const, f.Scale
@@ -275,6 +280,9 @@ func (d AnalysisDoc) Build() (*core.Analysis, error) {
 					}
 				}
 				return c + p
+			}
+			cf.ImpactK = func(probes []vec.V, out []float64) {
+				vec.PowProdK(out, c, scale, pows, probes)
 			}
 		case ImpactQueueing:
 			wgts, caps := copyBlocks(f.Wgts), copyBlocks(f.Caps)
@@ -292,6 +300,9 @@ func (d AnalysisDoc) Build() (*core.Analysis, error) {
 				}
 				return s
 			}
+			cf.ImpactK = func(probes []vec.V, out []float64) {
+				vec.QueueK(out, wgts, caps, eps, probes)
+			}
 		}
 		features[i] = cf
 	}
@@ -302,10 +313,10 @@ func (d AnalysisDoc) Build() (*core.Analysis, error) {
 	return a, nil
 }
 
-func copyBlocks(blocks [][]float64) [][]float64 {
-	out := make([][]float64, len(blocks))
+func copyBlocks(blocks [][]float64) []vec.V {
+	out := make([]vec.V, len(blocks))
 	for i, b := range blocks {
-		out[i] = append([]float64(nil), b...)
+		out[i] = vec.V(append([]float64(nil), b...))
 	}
 	return out
 }

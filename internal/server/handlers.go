@@ -485,9 +485,7 @@ func (s *Server) buildAnalysis(doc scenario.AnalysisDoc, specs []ChaosSpec, ctx 
 	if err != nil {
 		return nil, nil, err
 	}
-	if s.cfg.CacheCap >= 0 {
-		a.EnableImpactCache(s.cfg.CacheCap)
-	}
+	s.enableImpactCache(a)
 	if err := applyChaos(a, specs, ctx); err != nil {
 		return nil, nil, err
 	}

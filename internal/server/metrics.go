@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -126,6 +127,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Metric("fepiad_cache_misses_total", float64(st.CacheMisses))
 	p.Header("fepiad_cache_hit_rate", "gauge", "Impact-cache hit rate (0 with no lookups).")
 	p.Metric("fepiad_cache_hit_rate", st.CacheHitRate)
+
+	if len(st.CacheShards) > 0 {
+		p.Header("fepiad_cache_shard_hits_total", "counter", "Per-shard impact-cache hits (scenario-cache analyses).")
+		p.Header("fepiad_cache_shard_misses_total", "counter", "Per-shard impact-cache misses (scenario-cache analyses).")
+		p.Header("fepiad_cache_shard_entries", "gauge", "Per-shard cached impact values.")
+		p.Header("fepiad_cache_shard_hit_rate", "gauge", "Per-shard hit rate; a lagging shard signals probe-key skew.")
+		for _, sh := range st.CacheShards {
+			label := strconv.Itoa(sh.Shard)
+			p.Metric("fepiad_cache_shard_hits_total", float64(sh.Hits), "shard", label)
+			p.Metric("fepiad_cache_shard_misses_total", float64(sh.Misses), "shard", label)
+			p.Metric("fepiad_cache_shard_entries", float64(sh.Entries), "shard", label)
+			p.Metric("fepiad_cache_shard_hit_rate", sh.HitRate, "shard", label)
+		}
+	}
 
 	if len(st.Tenants) > 0 {
 		p.Header("fepiad_tenant_weight", "gauge", "Tenant weight in the fair-admission discipline.")

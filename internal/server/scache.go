@@ -115,8 +115,20 @@ func (c *scenarioCache) put(fp string, a *core.Analysis, warm bool) *scacheEntry
 	return e
 }
 
+// entries snapshots the cached entries (order unspecified) for statistics.
+func (c *scenarioCache) entries() []*scacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*scacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*scacheEntry))
+	}
+	return out
+}
+
 // lookupScenario resolves a scenario through the cache: a hit returns the
-// shared analysis, a miss builds (and decorates with the impact cache),
+// shared analysis, a miss builds (and decorates with the impact cache and
+// warm-started searches),
 // stores — persisting to the scenario store when one is configured, so the
 // next restart warm-starts with it — and returns it. Callers must bypass
 // this for chaos-decorated requests. The second return is the entry for
@@ -148,9 +160,7 @@ func (s *Server) lookupScenario(doc scenario.AnalysisDoc) (*core.Analysis, *scac
 	if err != nil {
 		return nil, nil, err
 	}
-	if s.cfg.CacheCap >= 0 {
-		a.EnableImpactCache(s.cfg.CacheCap)
-	}
+	s.decorateCachedAnalysis(a)
 	e := s.scache.put(fp, a, false)
 	if s.store != nil {
 		// Best-effort persistence; a failed write costs the next warm

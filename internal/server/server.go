@@ -73,6 +73,11 @@ type Config struct {
 	// CacheCap enables the per-analysis impact cache: >0 sets the entry
 	// capacity, 0 uses the engine default, <0 disables caching.
 	CacheCap int
+	// CacheShards overrides the impact cache's shard count (rounded up to a
+	// power of two by the engine). 0 lets the engine derive it from
+	// GOMAXPROCS; raise it if /statz cacheShards shows contended shards on
+	// wide machines. Ignored when CacheCap < 0.
+	CacheShards int
 	// ScenarioCacheCap enables the cross-request scenario cache: >0 keeps
 	// that many built analyses — with their warm impact caches — in an LRU
 	// keyed by scenario fingerprint, so repeated traffic for a scenario
@@ -255,9 +260,7 @@ func (s *Server) WarmStart() (loaded, skipped int) {
 			skipped++
 			return true
 		}
-		if s.cfg.CacheCap >= 0 {
-			a.EnableImpactCache(s.cfg.CacheCap)
-		}
+		s.decorateCachedAnalysis(a)
 		s.scache.put(fp, a, true)
 		loaded++
 		return loaded < s.cfg.ScenarioCacheCap
@@ -270,6 +273,30 @@ func (s *Server) WarmStart() (loaded, skipped int) {
 	s.warmSkipped.Store(int64(skipped))
 	s.cfg.Logf("server: warm start loaded %d scenario(s), skipped %d", loaded, skipped)
 	return loaded, skipped
+}
+
+// enableImpactCache decorates a freshly built analysis with the sharded
+// impact cache per Config.CacheCap / Config.CacheShards; a no-op when
+// caching is disabled.
+func (s *Server) enableImpactCache(a *core.Analysis) {
+	if s.cfg.CacheCap < 0 {
+		return
+	}
+	a.EnableImpactCacheWith(core.CacheOptions{
+		Capacity: s.cfg.CacheCap,
+		Shards:   s.cfg.CacheShards,
+	})
+}
+
+// decorateCachedAnalysis prepares an analysis that will live in the
+// scenario cache and serve repeat traffic: the sharded impact cache plus
+// warm-started boundary searches (bit-exact replay of the previous
+// search's trajectory — see docs/performance.md). One-shot analyses (the
+// handlers' fresh-build fallback) get only the impact cache: warm state
+// there would be recorded and never reused.
+func (s *Server) decorateCachedAnalysis(a *core.Analysis) {
+	s.enableImpactCache(a)
+	a.EnableWarmStart()
 }
 
 // Handler mounts the daemon's routes behind the request-ID middleware.
@@ -418,6 +445,14 @@ type Statz struct {
 	CacheMisses  uint64  `json:"cacheMisses"`
 	CacheHitRate float64 `json:"cacheHitRate"`
 
+	// CacheShards breaks the impact-cache counters down per shard,
+	// aggregated across the scenario cache's long-lived analyses (the only
+	// ones whose caches outlive a request). A shard whose hit rate trails
+	// the others signals probe-key skew — see docs/operations.md
+	// §performance troubleshooting. Omitted when the scenario cache is
+	// empty or disabled.
+	CacheShards []ShardStatz `json:"cacheShards,omitempty"`
+
 	// Tenants breaks admission down per tenant (weight, quota, reserved
 	// backlog, accepted/shed counts), sorted by tenant name.
 	Tenants []TenantStatz `json:"tenants,omitempty"`
@@ -472,6 +507,47 @@ func (s *Server) storeStatz() *StoreStatz {
 	}
 }
 
+// ShardStatz is one impact-cache shard's row in /statz: absolute counters
+// summed index-wise over the scenario cache's analyses. Absolute, not
+// deltas: shard rows diagnose imbalance, and the per-class delta accounting
+// (reportCache) stays the source of request-attributed rates.
+type ShardStatz struct {
+	Shard     int     `json:"shard"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Stores    uint64  `json:"stores"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// cacheShardStatz aggregates per-shard impact-cache counters across the
+// scenario cache's entries. Analyses built under one Config share a shard
+// count, so index-wise summation lines up; nil when there is nothing to
+// report.
+func (s *Server) cacheShardStatz() []ShardStatz {
+	if s.scache == nil {
+		return nil
+	}
+	var rows []ShardStatz
+	for _, e := range s.scache.entries() {
+		for i, sh := range e.a.CacheShardStats() {
+			if i >= len(rows) {
+				rows = append(rows, ShardStatz{Shard: i})
+			}
+			rows[i].Hits += sh.Hits
+			rows[i].Misses += sh.Misses
+			rows[i].Stores += sh.Stores
+			rows[i].Evictions += sh.Evictions
+			rows[i].Entries += sh.Entries
+		}
+	}
+	for i := range rows {
+		rows[i].HitRate = safeRate(rows[i].Hits, rows[i].Hits+rows[i].Misses)
+	}
+	return rows
+}
+
 // ClassStatz is one scenario class's row in /statz: its impact-cache hit
 // rate and its circuit-breaker history.
 type ClassStatz struct {
@@ -513,6 +589,7 @@ func (s *Server) statz() Statz {
 		CacheMisses:      s.stats.cacheMisses.Load(),
 	}
 	st.CacheHitRate = safeRate(st.CacheHits, st.CacheHits+st.CacheMisses)
+	st.CacheShards = s.cacheShardStatz()
 	st.Tenants = s.adm.tenantStatz()
 	st.Store = s.storeStatz()
 	st.Classes = s.classStatz(breakers)

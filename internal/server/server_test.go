@@ -476,6 +476,66 @@ func TestCacheStatsSurfaceInStatz(t *testing.T) {
 	if st.Accepted != 3 || st.CompletedOK != 3 {
 		t.Fatalf("accepted/completed = %d/%d", st.Accepted, st.CompletedOK)
 	}
+	// Shard rows only aggregate over the scenario cache's shared analyses;
+	// with it disabled the section must be omitted, not zero-filled.
+	if st.CacheShards != nil {
+		t.Fatalf("cacheShards = %+v with the scenario cache disabled", st.CacheShards)
+	}
+}
+
+// TestCacheShardStatsSurfaceInStatz drives repeated traffic for one scenario
+// through the scenario cache and checks the per-shard breakdown: the shard
+// rows must sum back to the aggregate counters and surface in /metrics.
+func TestCacheShardStatsSurfaceInStatz(t *testing.T) {
+	_, ts := newTestServer(t, Config{ScenarioCacheCap: 4, CacheShards: 4})
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: numericDoc()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+	}
+	st := getStatz(t, ts)
+	if len(st.CacheShards) != 4 {
+		t.Fatalf("cacheShards has %d rows, want 4", len(st.CacheShards))
+	}
+	var hits, misses uint64
+	entries := 0
+	for i, sh := range st.CacheShards {
+		if sh.Shard != i {
+			t.Fatalf("row %d labelled shard %d", i, sh.Shard)
+		}
+		if sh.HitRate < 0 || sh.HitRate > 1 {
+			t.Fatalf("shard %d hit rate = %v", i, sh.HitRate)
+		}
+		hits += sh.Hits
+		misses += sh.Misses
+		entries += sh.Entries
+	}
+	// All traffic hit one shared analysis, so the shard rows must sum back
+	// to the request-attributed aggregate exactly.
+	if hits != st.CacheHits || misses != st.CacheMisses {
+		t.Fatalf("shard sums %d/%d != aggregate %d/%d", hits, misses, st.CacheHits, st.CacheMisses)
+	}
+	if entries == 0 {
+		t.Fatal("no shard holds any cached impact value after traffic")
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fepiad_cache_shard_hits_total{shard="0"}`,
+		`fepiad_cache_shard_hit_rate{shard="3"}`,
+	} {
+		if !bytes.Contains(mbody, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, mbody)
+		}
+	}
 }
 
 func TestDrainRejectsNewWork(t *testing.T) {

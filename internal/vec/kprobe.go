@@ -1,0 +1,96 @@
+package vec
+
+import "math"
+
+// k-probe kernels: evaluate one impact family at a block of probe points in
+// a single call. The level-set search's ray scan and batched gradients hand
+// the engine k probes at a time (optimize.FuncK); these kernels let the four
+// analytic families of the scenario schema answer the whole block without k
+// closure calls, k parameter splits, and k rounds of pointer chasing.
+//
+// Layout: probes[p] is the FULL perturbation vector — the per-parameter
+// blocks π_1 ⧺ π_2 ⧺ … concatenated in parameter order (what
+// core.Analysis.TotalDim describes) — while the coefficient arguments keep
+// their per-parameter block structure. Each kernel walks a probe with a
+// running offset in exactly the block and element order of its scalar
+// counterpart, with the same accumulator nesting (LinearK reproduces the
+// per-block partial dots of LinearImpact.Eval), so out[p] is bit-identical
+// to evaluating the scalar impact at the split probe. That bit-identity is
+// what lets the oracle differential assert that k-probe and scalar searches
+// return exactly equal radii.
+
+// LinearK evaluates φ = c + Σ_j coeffs[j]·π_j at every probe: out[p] =
+// φ(probes[p]). out must have at least len(probes) elements.
+func LinearK(out []float64, c float64, coeffs []V, probes []V) {
+	for p, v := range probes {
+		s := c
+		off := 0
+		for _, k := range coeffs {
+			var d float64
+			for e := range k {
+				d += k[e] * v[off+e]
+			}
+			s += d
+			off += len(k)
+		}
+		out[p] = s
+	}
+}
+
+// QuadK evaluates the separable quadratic φ = c + Σ_j Σ_e curv[j][e]·
+// (π_j[e] − center[j][e])² at every probe (core.QuadImpact semantics).
+func QuadK(out []float64, c float64, curv, center []V, probes []V) {
+	for p, v := range probes {
+		s := c
+		off := 0
+		for j := range curv {
+			a, ce := curv[j], center[j]
+			for e := range a {
+				d := v[off+e] - ce[e]
+				s += a[e] * d * d
+			}
+			off += len(a)
+		}
+		out[p] = s
+	}
+}
+
+// PowProdK evaluates the multiplicative family φ = c + scale·Π_j Π_e
+// |π_j[e]|^pows[j][e] at every probe (the scenario schema's
+// "multiplicative" impact).
+func PowProdK(out []float64, c, scale float64, pows []V, probes []V) {
+	for p, v := range probes {
+		pr := scale
+		off := 0
+		for j := range pows {
+			pw := pows[j]
+			for e := range pw {
+				pr *= math.Pow(math.Abs(v[off+e]), pw[e])
+			}
+			off += len(pw)
+		}
+		out[p] = c + pr
+	}
+}
+
+// QueueK evaluates the queueing family φ = Σ_j Σ_e wgts[j][e] /
+// max(caps[j][e] − π_j[e], eps) at every probe (the scenario schema's
+// "queueing" impact, an M/M/1-style load curve with a capacity guard).
+func QueueK(out []float64, wgts, caps []V, eps float64, probes []V) {
+	for p, v := range probes {
+		s := 0.0
+		off := 0
+		for j := range wgts {
+			w, cp := wgts[j], caps[j]
+			for e := range w {
+				gap := cp[e] - v[off+e]
+				if gap < eps {
+					gap = eps
+				}
+				s += w[e] / gap
+			}
+			off += len(w)
+		}
+		out[p] = s
+	}
+}

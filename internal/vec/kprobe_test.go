@@ -1,0 +1,166 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalar references replicating the engine's per-probe loop shapes
+// (core.LinearImpact.Eval, core.QuadImpact.Eval, and the scenario Build
+// closures) over a split probe.
+
+func scalarLinear(c float64, coeffs []V, blocks []V) float64 {
+	s := c
+	for j, k := range coeffs {
+		s += k.Dot(blocks[j])
+	}
+	return s
+}
+
+func scalarQuad(c float64, curv, center []V, blocks []V) float64 {
+	s := c
+	for j := range curv {
+		for e := range curv[j] {
+			d := blocks[j][e] - center[j][e]
+			s += curv[j][e] * d * d
+		}
+	}
+	return s
+}
+
+func scalarPowProd(c, scale float64, pows []V, blocks []V) float64 {
+	p := scale
+	for j := range pows {
+		for e, pw := range pows[j] {
+			p *= math.Pow(math.Abs(blocks[j][e]), pw)
+		}
+	}
+	return c + p
+}
+
+func scalarQueue(wgts, caps []V, eps float64, blocks []V) float64 {
+	s := 0.0
+	for j := range wgts {
+		for e, w := range wgts[j] {
+			gap := caps[j][e] - blocks[j][e]
+			if gap < eps {
+				gap = eps
+			}
+			s += w / gap
+		}
+	}
+	return s
+}
+
+// randBlocks builds a random block structure and k probes over it, returning
+// both the flat probes and their split views.
+func randBlocks(rng *rand.Rand, k int) (dims []int, flat []V, split [][]V) {
+	nb := 1 + rng.Intn(3)
+	dims = make([]int, nb)
+	total := 0
+	for j := range dims {
+		dims[j] = 1 + rng.Intn(3)
+		total += dims[j]
+	}
+	for p := 0; p < k; p++ {
+		v := make(V, total)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 3
+		}
+		flat = append(flat, v)
+		var blocks []V
+		off := 0
+		for _, d := range dims {
+			blocks = append(blocks, v[off:off+d])
+			off += d
+		}
+		split = append(split, blocks)
+	}
+	return dims, flat, split
+}
+
+func randCoeffs(rng *rand.Rand, dims []int, f func() float64) []V {
+	out := make([]V, len(dims))
+	for j, d := range dims {
+		out[j] = make(V, d)
+		for e := range out[j] {
+			out[j][e] = f()
+		}
+	}
+	return out
+}
+
+// Every kernel must return bit-identical values to its scalar counterpart
+// over the split probe, for every probe of every block width.
+func TestKProbeKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(9)
+		dims, flat, split := randBlocks(rng, k)
+		out := make([]float64, k)
+
+		c := rng.NormFloat64()
+		coeffs := randCoeffs(rng, dims, func() float64 { return rng.NormFloat64() })
+		LinearK(out, c, coeffs, flat)
+		for p := range flat {
+			if want := scalarLinear(c, coeffs, split[p]); math.Float64bits(out[p]) != math.Float64bits(want) {
+				t.Fatalf("trial %d LinearK probe %d: %v != %v", trial, p, out[p], want)
+			}
+		}
+
+		curv := randCoeffs(rng, dims, func() float64 { return math.Abs(rng.NormFloat64()) })
+		center := randCoeffs(rng, dims, func() float64 { return rng.NormFloat64() })
+		QuadK(out, c, curv, center, flat)
+		for p := range flat {
+			if want := scalarQuad(c, curv, center, split[p]); math.Float64bits(out[p]) != math.Float64bits(want) {
+				t.Fatalf("trial %d QuadK probe %d: %v != %v", trial, p, out[p], want)
+			}
+		}
+
+		scale := 0.5 + rng.Float64()
+		pows := randCoeffs(rng, dims, func() float64 { return []float64{0.5, 1, 2}[rng.Intn(3)] })
+		PowProdK(out, c, scale, pows, flat)
+		for p := range flat {
+			if want := scalarPowProd(c, scale, pows, split[p]); math.Float64bits(out[p]) != math.Float64bits(want) {
+				t.Fatalf("trial %d PowProdK probe %d: %v != %v", trial, p, out[p], want)
+			}
+		}
+
+		wgts := randCoeffs(rng, dims, func() float64 { return 0.5 + rng.Float64() })
+		caps := randCoeffs(rng, dims, func() float64 { return 5 + rng.Float64()*10 })
+		eps := 1e-6
+		QueueK(out, wgts, caps, eps, flat)
+		for p := range flat {
+			if want := scalarQueue(wgts, caps, eps, split[p]); math.Float64bits(out[p]) != math.Float64bits(want) {
+				t.Fatalf("trial %d QueueK probe %d: %v != %v", trial, p, out[p], want)
+			}
+		}
+	}
+}
+
+// The queueing guard must clamp saturated capacities exactly like the
+// scalar closure (gap < eps, not <=).
+func TestQueueKSaturationGuard(t *testing.T) {
+	wgts := []V{{2}}
+	caps := []V{{1}}
+	probes := []V{{1}, {5}, {0.999999999}}
+	out := make([]float64, len(probes))
+	QueueK(out, wgts, caps, 1e-6, probes)
+	for p, v := range probes {
+		want := scalarQueue(wgts, caps, 1e-6, [][]V{{v}}[0])
+		if math.Float64bits(out[p]) != math.Float64bits(want) {
+			t.Errorf("probe %d: %v != %v", p, out[p], want)
+		}
+	}
+	if out[1] != 2/1e-6 {
+		t.Errorf("saturated gap not clamped: %v", out[1])
+	}
+}
+
+func TestKProbeKernelsEmptyProbes(t *testing.T) {
+	LinearK(nil, 1, []V{{1}}, nil)
+	QuadK(nil, 1, []V{{1}}, []V{{0}}, nil)
+	PowProdK(nil, 1, 1, []V{{1}}, nil)
+	QueueK(nil, []V{{1}}, []V{{2}}, 1e-6, nil)
+}
