@@ -116,6 +116,11 @@ func BenchmarkStoreWarmStart(b *testing.B) { benchExperiment(b, "E17") }
 // k-probe kernels against the plain scalar search (E18).
 func BenchmarkHardwareNumericTier(b *testing.B) { benchExperiment(b, "E18") }
 
+// BenchmarkAllocationSearch runs the robustness-aware allocation search
+// experiment: annealing/GA searches scored through the batch engine
+// against the min-min baseline, with backend bit-identity checks (E19).
+func BenchmarkAllocationSearch(b *testing.B) { benchExperiment(b, "E19") }
+
 // --- micro-benchmarks of the core engine -----------------------------------
 
 // BenchmarkRadiusAnalytic measures the exact hyperplane tier at growing

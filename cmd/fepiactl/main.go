@@ -16,6 +16,12 @@
 //	robustness [-f FILE] POST /v1/robustness with the request JSON from FILE ("-" = stdin)
 //	radius     [-f FILE] POST /v1/radius
 //	batch      [-f FILE] POST /v1/batch
+//	search     [flags]   POST /v1/search — robustness-aware allocation search.
+//	                     Either -f FILE ships a full SearchRequest JSON, or
+//	                     -instance FILE (a makespan document, the format
+//	                     `rank -save` writes) composes one with -algo,
+//	                     -objective, -tau, -bound, -rho-min, -seed, -steps,
+//	                     -population, -generations, -search-id, -search-timeout
 //	ring status          GET /admin/ring (coordinator only)
 //	ring join URL        POST /admin/ring/join — probe URL, then cut it into the ring
 //	ring leave URL       POST /admin/ring/leave — drain URL, then cut it out
@@ -57,7 +63,7 @@ const (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] [-tenant NAME] health|ready|statz|metrics|tenants|robustness|radius|batch|ring [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] [-tenant NAME] health|ready|statz|metrics|tenants|robustness|radius|batch|search|ring [args]\n")
 	flag.PrintDefaults()
 	os.Exit(exitUsage)
 }
@@ -96,6 +102,12 @@ func main() {
 			fatal(rerr)
 		}
 		resp, err = post(client, base+"/v1/"+cmd, body, hdr)
+	case "search":
+		body, serr := searchBody(flag.Args()[1:])
+		if serr != nil {
+			fatal(serr)
+		}
+		resp, err = post(client, base+"/v1/search", body, hdr)
 	case "ring":
 		resp, err = runRing(client, base, hdr, flag.Args()[1:])
 	default:
@@ -106,6 +118,52 @@ func main() {
 		fatal(err)
 	}
 	finish(resp)
+}
+
+// searchBody assembles the /v1/search request: either -f ships a complete
+// SearchRequest document, or -instance names a makespan document and the
+// remaining flags compose the request around it.
+func searchBody(args []string) ([]byte, error) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	file := fs.String("f", "", "full SearchRequest JSON file (\"-\" = stdin); overrides the composing flags")
+	instance := fs.String("instance", "", "makespan document file (\"-\" = stdin), the format `rank -save` writes")
+	algo := fs.String("algo", "", "search algorithm: anneal or ga (default ga)")
+	objective := fs.String("objective", "", "search objective: max-rho (default) or min-makespan")
+	tau := fs.Float64("tau", 0, "requirement bound = tau x M(min-min); must be > 1 unless -bound is set")
+	bound := fs.Float64("bound", 0, "explicit makespan requirement (overrides -tau)")
+	rhoMin := fs.Float64("rho-min", 0, "robustness constraint for -objective min-makespan")
+	seed := fs.Int64("seed", 1, "search seed; equal seeds return bit-identical results")
+	steps := fs.Int("steps", 0, "annealing steps (0 = default)")
+	population := fs.Int("population", 0, "GA population (0 = default)")
+	generations := fs.Int("generations", 0, "GA generations (0 = default)")
+	searchID := fs.String("search-id", "", "name for the /statz progress row (default: the request ID)")
+	searchTimeout := fs.String("search-timeout", "", "server-side search deadline, e.g. 30s (a deadline mid-search returns the partial best)")
+	fs.Parse(args)
+	if *file != "" {
+		return readRequest(*file)
+	}
+	if *instance == "" {
+		return nil, fmt.Errorf("search: need -f FILE or -instance FILE")
+	}
+	inst, err := readRequest(*instance)
+	if err != nil {
+		return nil, err
+	}
+	req := server.SearchRequest{
+		Instance:    inst,
+		Algo:        *algo,
+		Objective:   *objective,
+		Tau:         *tau,
+		Bound:       *bound,
+		RhoMin:      *rhoMin,
+		Seed:        *seed,
+		Steps:       *steps,
+		Population:  *population,
+		Generations: *generations,
+		SearchID:    *searchID,
+		Timeout:     *searchTimeout,
+	}
+	return json.Marshal(req)
 }
 
 // runRing dispatches the ring subcommands against the coordinator's admin

@@ -29,7 +29,12 @@
 //	       [-drain-timeout 20s]
 //
 // Endpoints (both modes): GET /healthz, /readyz, /statz, /metrics (Prometheus
-// text format); POST /v1/robustness, /v1/radius, /v1/batch. The coordinator
+// text format); POST /v1/robustness, /v1/radius, /v1/batch, and /v1/search —
+// robustness-aware allocation search as a service: one request runs a whole
+// annealing/GA search whose generations are scored through the batch engine
+// (workers evaluate locally; the coordinator scatters each generation over
+// the fleet), with progress and the resumable best-so-far in /statz. The
+// coordinator
 // additionally serves GET /admin/ring and POST /admin/ring/join,
 // /admin/ring/leave for live fleet membership. docs/operations.md documents
 // the request/response schemas, the shedding and breaker semantics, the

@@ -9,7 +9,11 @@
 //	rank [-tasks 64] [-machines 8] [-cv 0.35] [-class inconsistent|partial|consistent]
 //	     [-tau 1.3] [-seed 1] [-load etc.json] [-save etc.json]
 //
-// -save writes the generated ETC matrix as JSON; -load replays a saved one.
+// -save writes the generated ETC matrix as JSON; -load replays a saved one
+// (the same makespan document POST /v1/search takes as its instance).
+// -meta adds the metaheuristic mappers (annealing, genetic), which run
+// through the engine-backed search (internal/sched Search): output is
+// byte-stable for a fixed seed.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -30,18 +35,34 @@ import (
 )
 
 func main() {
-	tasks := flag.Int("tasks", 64, "number of tasks")
-	machines := flag.Int("machines", 8, "number of machines")
-	cv := flag.Float64("cv", 0.35, "task and machine heterogeneity (CVB coefficient of variation)")
-	class := flag.String("class", "inconsistent", "ETC consistency class: inconsistent, partial, or consistent")
-	tau := flag.Float64("tau", 1.3, "robustness requirement multiplier (> 1)")
-	meta := flag.Bool("meta", false, "also run the metaheuristic mappers (annealing, genetic) — slower")
-	staging := flag.Bool("staging", false, "add input-data staging (bytes) as a second perturbation kind and report the combined dimensionless rho")
-	seed := flag.Int64("seed", 1, "instance seed")
-	loadPath := flag.String("load", "", "replay a saved ETC matrix instead of generating")
-	savePath := flag.String("save", "", "write the ETC matrix as JSON")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole ranking (0 = unlimited), e.g. 1m")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rank: %v\n", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "rank: the ranking exceeded -timeout; raise the budget or drop -meta/-staging")
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report out.
+// Everything it prints is a deterministic function of the arguments (no
+// timestamps, no map iteration), so tests can hold the output byte-stable.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+	tasks := fs.Int("tasks", 64, "number of tasks")
+	machines := fs.Int("machines", 8, "number of machines")
+	cv := fs.Float64("cv", 0.35, "task and machine heterogeneity (CVB coefficient of variation)")
+	class := fs.String("class", "inconsistent", "ETC consistency class: inconsistent, partial, or consistent")
+	tau := fs.Float64("tau", 1.3, "robustness requirement multiplier (> 1)")
+	meta := fs.Bool("meta", false, "also run the metaheuristic mappers (annealing, genetic) — slower")
+	staging := fs.Bool("staging", false, "add input-data staging (bytes) as a second perturbation kind and report the combined dimensionless rho")
+	seed := fs.Int64("seed", 1, "instance seed")
+	loadPath := fs.String("load", "", "replay a saved ETC matrix instead of generating")
+	savePath := fs.String("save", "", "write the ETC matrix as JSON")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole ranking (0 = unlimited), e.g. 1m")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -54,13 +75,13 @@ func main() {
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		var err2 error
 		m, _, err2 = scenario.LoadMakespan(f)
 		f.Close()
 		if err2 != nil {
-			fatal(err2)
+			return err2
 		}
 	} else {
 		src := stats.NewSource(*seed)
@@ -75,35 +96,35 @@ func main() {
 		case "inconsistent":
 			m, err = etc.CVB(p, src)
 		default:
-			fatal(fmt.Errorf("unknown class %q", *class))
+			return fmt.Errorf("unknown class %q", *class)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := scenario.SaveMakespan(f, m, nil); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		f.Close()
-		fmt.Printf("ETC matrix written to %s\n\n", *savePath)
+		fmt.Fprintf(stdout, "ETC matrix written to %s\n\n", *savePath)
 	}
 
-	fmt.Printf("instance: %d tasks x %d machines (%s), achieved task CV %.3f, machine CV %.3f\n\n",
+	fmt.Fprintf(stdout, "instance: %d tasks x %d machines (%s), achieved task CV %.3f, machine CV %.3f\n\n",
 		m.Tasks, m.Machines, m.Classify(), m.TaskCV(), m.MachineCV())
 
 	mmAlloc, err := sched.MinMin(m)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mmSys, err := makespan.New(m, mmAlloc)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	commonBound := *tau * mmSys.OrigMakespan()
 
@@ -132,33 +153,33 @@ func main() {
 	for _, h := range lineup {
 		alloc, err := h.Fn(m)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		s, err := makespan.New(m, alloc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		_, own, err := s.ClosedFormRadii(*tau)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		_, common, err := s.RadiiWithBound(commonBound)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r := row{name: h.Name, ms: s.OrigMakespan(), rhoOwn: own, rhoCommon: common}
 		if *staging {
 			ms, err := makespan.NewMixed(m, alloc, sizes, bws)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			a, err := ms.MixedAnalysis(*tau)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			rho, err := a.RobustnessCtx(ctx, fepia.Normalized{})
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			r.rhoMixed = rho.Value
 		}
@@ -178,16 +199,9 @@ func main() {
 		}
 		tb.AddRow(cells...)
 	}
-	tb.WriteText(os.Stdout)
-	fmt.Println("\nrho own-req.: tolerance to execution-time drift against the allocation's")
-	fmt.Println("own promise (tau x its estimate). rho common-req.: against one shared QoS")
-	fmt.Println("contract; negative means the allocation misses the contract outright.")
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "rank: %v\n", err)
-	if errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "rank: the ranking exceeded -timeout; raise the budget or drop -meta/-staging")
-	}
-	os.Exit(1)
+	tb.WriteText(stdout)
+	fmt.Fprintln(stdout, "\nrho own-req.: tolerance to execution-time drift against the allocation's")
+	fmt.Fprintln(stdout, "own promise (tau x its estimate). rho common-req.: against one shared QoS")
+	fmt.Fprintln(stdout, "contract; negative means the allocation misses the contract outright.")
+	return nil
 }

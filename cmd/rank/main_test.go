@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMetaOutputByteStable pins the determinism contract of the
+// metaheuristic mappers: two `rank -meta` runs with the same seed must
+// print byte-identical reports — the annealing and genetic searches now go
+// through the engine-backed sched.Search, whose trajectory depends only on
+// the seed, never on scheduling or backend.
+func TestMetaOutputByteStable(t *testing.T) {
+	args := []string{"-tasks", "24", "-machines", "5", "-meta", "-seed", "7"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("-meta output not byte-stable across runs:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+	if a.Len() == 0 {
+		t.Fatal("run printed nothing")
+	}
+}
+
+// TestSaveLoadRoundTrip: a saved instance replays to the identical report
+// (the -save document is also what POST /v1/search takes as its instance).
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/etc.json"
+	var gen bytes.Buffer
+	if err := run([]string{"-tasks", "12", "-machines", "3", "-seed", "3", "-save", path}, &gen); err != nil {
+		t.Fatal(err)
+	}
+	var replay bytes.Buffer
+	// -seed still drives the random heuristic's stream; only the instance
+	// comes from the file.
+	if err := run([]string{"-load", path, "-seed", "3"}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	// The generated run prints a "written to" banner first; the replayed
+	// report must match everything after it.
+	genOut := gen.Bytes()
+	idx := bytes.Index(genOut, []byte("instance:"))
+	if idx < 0 {
+		t.Fatalf("no instance header in output:\n%s", genOut)
+	}
+	if !bytes.Equal(genOut[idx:], replay.Bytes()) {
+		t.Fatalf("replayed report diverged:\n--- generated ---\n%s\n--- replayed ---\n%s", genOut[idx:], replay.String())
+	}
+}

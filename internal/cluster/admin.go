@@ -153,4 +153,3 @@ func (c *Coordinator) handleRingLeave(w http.ResponseWriter, r *http.Request) {
 	c.cfg.Logf("cluster: rid=%s admin leave %s -> generation %d (drained=%v)", rid, url, gen, drained)
 	writeJSON(w, http.StatusOK, RingChangeResponse{Generation: gen, Drained: drained, Ring: c.ringStatus(c.topology())})
 }
-

@@ -163,8 +163,9 @@ type Coordinator struct {
 	idle     chan struct{}
 	idleOnce sync.Once
 
-	start time.Time
-	stats coordStats
+	start    time.Time
+	stats    coordStats
+	searches *server.SearchTracker // allocation-search progress for /statz
 }
 
 // coordStats are the coordinator's monotonic counters (see /statz).
@@ -205,6 +206,7 @@ func New(cfg Config) (*Coordinator, error) {
 		baseCancel: cancel,
 		idle:       make(chan struct{}),
 		start:      time.Now(),
+		searches:   server.NewSearchTracker(64),
 	}
 	members := make([]*member, 0, len(cfg.Workers))
 	for idx, url := range cfg.Workers {
@@ -230,6 +232,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/robustness", c.handleRobustness)
 	mux.HandleFunc("POST /v1/radius", c.handleRadius)
 	mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	mux.HandleFunc("POST /v1/search", c.handleSearch)
 	mux.HandleFunc("GET /admin/ring", c.handleRingStatus)
 	mux.HandleFunc("POST /admin/ring/join", c.handleRingJoin)
 	mux.HandleFunc("POST /admin/ring/leave", c.handleRingLeave)

@@ -115,8 +115,10 @@ func weightingName(raw string) (string, error) {
 		return "normalized", nil
 	case "sensitivity":
 		return "sensitivity", nil
+	case "unweighted":
+		return "unweighted", nil
 	default:
-		return "", fmt.Errorf("unknown weighting %q (want normalized or sensitivity)", raw)
+		return "", fmt.Errorf("unknown weighting %q (want normalized, sensitivity, or unweighted)", raw)
 	}
 }
 
@@ -181,6 +183,10 @@ type Statz struct {
 
 	BreakerTrips uint64                   `json:"breakerTrips"`
 	Breakers     []server.BreakerSnapshot `json:"breakers"`
+
+	// Searches are the allocation searches the coordinator has run or is
+	// running (see POST /v1/search), newest rows last.
+	Searches []server.SearchStatz `json:"searches,omitempty"`
 }
 
 // WorkerStatz is one fleet member's health in /statz.
@@ -221,6 +227,7 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		WorkerErrors:     c.stats.workerErrors.Load(),
 		BreakerTrips:     trips,
 		Breakers:         breakers,
+		Searches:         c.searches.Snapshot(),
 	}
 	for _, m := range t.members {
 		st.Workers = append(st.Workers, WorkerStatz{

@@ -86,6 +86,35 @@ func (a *Analysis) EnableWarmStart() {
 	a.warm = &warmReg{slots: make(map[warmKey]*warmSlot)}
 }
 
+// WarmRegistry is an exported handle on a warm-start registry, letting a
+// caller detach the registry from one Analysis's lifetime and attach it to a
+// later rebuild of the *same* scenario (same features, parameters, and
+// origin point — e.g. keyed by AnalysisDoc.Fingerprint). Checked-out states
+// revalidate their identity vector bit-for-bit before reuse, so attaching a
+// registry to a mismatched analysis costs cold re-runs, never correctness.
+type WarmRegistry struct {
+	reg *warmReg
+}
+
+// NewWarmRegistry returns an empty registry for use with
+// EnableWarmStartWith.
+func NewWarmRegistry() *WarmRegistry {
+	return &WarmRegistry{reg: &warmReg{slots: make(map[warmKey]*warmSlot)}}
+}
+
+// EnableWarmStartWith is EnableWarmStart backed by a caller-owned registry,
+// so the recorded brackets, grid memos, and step scales survive this
+// Analysis being dropped and rebuilt: pass the same registry to the rebuilt
+// analysis and its searches start warm. A nil registry behaves like
+// EnableWarmStart. The same single-goroutine enabling rule applies.
+func (a *Analysis) EnableWarmStartWith(r *WarmRegistry) {
+	if r == nil || r.reg == nil {
+		a.EnableWarmStart()
+		return
+	}
+	a.warm = r.reg
+}
+
 // DisableWarmStart drops all recorded warm-start state.
 func (a *Analysis) DisableWarmStart() { a.warm = nil }
 

@@ -100,6 +100,35 @@ func (Normalized) Scales(a *Analysis, _ int) (vec.V, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Unweighted (identity) weighting — native units
+// ---------------------------------------------------------------------------
+
+// Unweighted is the identity weighting: P = concat(π), every scale is 1, so
+// radii come out in the parameters' native units. It exists for workloads
+// whose features share one parameter in one unit — the makespan family,
+// where the TPDS 2004 closed form (τ·M^orig − F_j)/√n_j is stated in native
+// execution-time units — and for those it makes the engine's combined radius
+// coincide exactly with the closed form (multiplying by a scale of 1.0 and
+// dividing by 1.0 are bit-exact identities in IEEE arithmetic). The
+// allocation-search service relies on that coincidence for its fast path.
+//
+// Never use it across parameters with incomparable units; that is precisely
+// the failure mode Section 3.2's normalized weighting exists to fix.
+type Unweighted struct{}
+
+// Name implements Weighting.
+func (Unweighted) Name() string { return "unweighted" }
+
+// Scales implements Weighting: the all-ones vector, feature-independent.
+func (Unweighted) Scales(a *Analysis, _ int) (vec.V, error) {
+	d := make(vec.V, a.TotalDim())
+	for i := range d {
+		d[i] = 1
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
 // Sensitivity weighting (Section 3.1 — the scheme shown to degenerate)
 // ---------------------------------------------------------------------------
 

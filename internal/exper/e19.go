@@ -1,0 +1,159 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/etc"
+	"fepia/internal/report"
+	"fepia/internal/sched"
+	"fepia/internal/stats"
+)
+
+// RunE19 closes the loop the ranking experiments (E7, E13) leave open:
+// instead of scoring allocations that makespan heuristics produced, the
+// robustness metric drives the allocation search itself. On CVB instances,
+// annealing and GA searches run under both objectives — maximize ρ, and
+// minimize makespan subject to ρ ≥ ρ_min — with every generation scored
+// through the batch engine, and the results are compared against the
+// min-min baseline. Along the way the experiment verifies the service
+// contract: the closed-form fast path, the serial engine, and the batch
+// engine return bit-identical trajectories for the same seed.
+func RunE19(cfg Config) (*Result, error) {
+	res := &Result{ID: "E19", Title: "Robustness-aware allocation search vs heuristic baselines"}
+	const tau = 1.4
+	instances := cfg.size(6, 2)
+	tasks := cfg.size(36, 16)
+	machines := cfg.size(8, 4)
+	gens := cfg.size(24, 6)
+	pop := cfg.size(32, 12)
+	steps := cfg.size(1200, 200)
+
+	type row struct {
+		algo, objective                string
+		rho, baseRho, makespan, baseMS float64
+		candidates                     int
+		radiusEvals                    int64
+	}
+	var rows []row
+	bitIdentical := true
+	searchBeatsBaseline := true
+	constraintHeld := true
+	var totalEvals int64
+
+	for inst := 0; inst < instances; inst++ {
+		src := stats.Named(cfg.Seed+1900, fmt.Sprintf("e19-instance-%d", inst))
+		m, err := etc.CVB(etc.CVBParams{Tasks: tasks, Machines: machines, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, src)
+		if err != nil {
+			return nil, err
+		}
+		mm, err := sched.MinMin(m)
+		if err != nil {
+			return nil, err
+		}
+		baseMS := allocMakespan(m, mm)
+
+		for _, opt := range []sched.SearchOptions{
+			{Algo: sched.AlgoAnneal, Objective: sched.ObjectiveMaxRho, Tau: tau, Seed: int64(inst + 1), Steps: steps},
+			{Algo: sched.AlgoGA, Objective: sched.ObjectiveMaxRho, Tau: tau, Seed: int64(inst + 1), Population: pop, Generations: gens},
+			{Algo: sched.AlgoGA, Objective: sched.ObjectiveMinMakespan, Tau: tau, RhoMin: 0.5, Seed: int64(inst + 1), Population: pop, Generations: gens},
+		} {
+			bound, err := sched.ResolveBound(m, opt)
+			if err != nil {
+				return nil, err
+			}
+			baseRho := sched.ClosedFormScore(m, mm, bound)
+			ctx := cfg.Context()
+
+			// The deliverable path: generations scored through the batch
+			// engine.
+			batch, err := sched.Search(ctx, m, &sched.EngineEvaluator{M: m, Bound: bound}, opt, nil)
+			if err != nil {
+				return nil, err
+			}
+			totalEvals += batch.RadiusEvals
+
+			// Differential legs on the first instance only (they re-run the
+			// whole search): closed-form fast path and serial engine must be
+			// bit-identical to the batch trajectory.
+			if inst == 0 {
+				fast, err := sched.Search(ctx, m, nil, opt, nil)
+				if err != nil {
+					return nil, err
+				}
+				serial, err := sched.Search(ctx, m, &sched.EngineEvaluator{M: m, Bound: bound, Serial: true}, opt, nil)
+				if err != nil {
+					return nil, err
+				}
+				for _, other := range []*sched.SearchResult{fast, serial} {
+					if !sameAlloc(batch.Best, other.Best) ||
+						math.Float64bits(batch.BestRho) != math.Float64bits(other.BestRho) {
+						bitIdentical = false
+					}
+				}
+			}
+
+			switch opt.Objective {
+			case sched.ObjectiveMaxRho:
+				if batch.BestRho < baseRho {
+					searchBeatsBaseline = false
+				}
+			case sched.ObjectiveMinMakespan:
+				if batch.BestFeasible && batch.BestRho >= opt.RhoMin && batch.BestMakespan > bound {
+					constraintHeld = false
+				}
+			}
+			rows = append(rows, row{
+				algo: opt.Algo, objective: opt.Objective,
+				rho: batch.BestRho, baseRho: baseRho,
+				makespan: batch.BestMakespan, baseMS: baseMS,
+				candidates: batch.Candidates, radiusEvals: batch.RadiusEvals,
+			})
+		}
+	}
+
+	tb := report.NewTable("E19: search outcomes vs min-min baseline (tau=1.40, per instance x algo x objective)",
+		"algo", "objective", "best rho", "min-min rho", "best makespan", "min-min makespan", "candidates", "radius evals")
+	for _, r := range rows {
+		tb.AddRow(r.algo, r.objective, r.rho, r.baseRho, r.makespan, r.baseMS, r.candidates, r.radiusEvals)
+	}
+	res.Tables = append(res.Tables, tb)
+
+	res.check("backends-bit-identical", bitIdentical,
+		"fast/serial/batch trajectories agree bitwise on instance 0")
+	res.check("search-beats-min-min", searchBeatsBaseline,
+		"max-rho search never falls below the min-min baseline rho (heuristic seeds + elitism guarantee it)")
+	res.check("min-makespan-respects-bound", constraintHeld,
+		"feasible min-makespan winners stay within the requirement bound")
+	res.check("radius-evals-batched", totalEvals >= int64(cfg.size(10000, 1000)),
+		"%d per-feature radius evaluations went through the batch engine", totalEvals)
+	res.note("one /v1/search request on the full-size configuration drives the same pipeline: see BenchmarkAllocationSearch")
+	return res, nil
+}
+
+// allocMakespan is the max machine load of an allocation.
+func allocMakespan(m *etc.Matrix, alloc []int) float64 {
+	loads := make([]float64, m.Machines)
+	for t, j := range alloc {
+		loads[j] += m.At(t, j)
+	}
+	ms := 0.0
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+func sameAlloc(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -26,6 +26,7 @@ import (
 
 	"fepia/internal/core"
 	"fepia/internal/etc"
+	"fepia/internal/scenario"
 	"fepia/internal/vec"
 )
 
@@ -172,12 +173,21 @@ func (s *System) Analysis(tau float64) (*core.Analysis, error) {
 	if tau <= 1 {
 		return nil, fmt.Errorf("makespan: tau = %g, want > 1", tau)
 	}
-	orig := s.OrigTimes()
-	f, err := s.FinishTimes(orig)
-	if err != nil {
-		return nil, err
+	return s.AnalysisWithBound(tau * s.OrigMakespan())
+}
+
+// AnalysisWithBound is Analysis against an explicit makespan requirement,
+// independent of this allocation's own makespan — the form the allocation
+// search uses, where every candidate allocation of one instance is scored
+// under a single shared bound. The allocation must be feasible in the weak
+// sense that at least one machine is non-empty; the bound itself may already
+// be violated (the engine then reports the distance to the requirement
+// boundary, which search feasibility handling must interpret).
+func (s *System) AnalysisWithBound(bound float64) (*core.Analysis, error) {
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return nil, fmt.Errorf("makespan: bound = %g, want finite > 0", bound)
 	}
-	bound := tau * f.Max()
+	orig := s.OrigTimes()
 	param := core.Perturbation{Name: "exec-times", Unit: "s", Orig: orig}
 	var features []core.Feature
 	for j := 0; j < s.ETC.Machines; j++ {
@@ -198,4 +208,42 @@ func (s *System) Analysis(tau float64) (*core.Analysis, error) {
 		return nil, errors.New("makespan: no machine has any task")
 	}
 	return core.NewAnalysis(features, []core.Perturbation{param})
+}
+
+// AnalysisDoc renders the same analysis as a versioned scenario document —
+// the wire form the allocation-search service scatters to fepiad workers.
+// A worker's scenario.Build of this document and a local AnalysisWithBound
+// produce engines that agree bit-for-bit: the document carries the very
+// float64 values (JSON round-trips them exactly), the features in the same
+// machine order, and the same linear impact family.
+func (s *System) AnalysisDoc(bound float64) (scenario.AnalysisDoc, error) {
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return scenario.AnalysisDoc{}, fmt.Errorf("makespan: bound = %g, want finite > 0", bound)
+	}
+	orig := s.OrigTimes()
+	doc := scenario.AnalysisDoc{
+		Version: scenario.Version,
+		Kind:    "fepia",
+		Params:  []scenario.AnalysisParam{{Name: "exec-times", Unit: "s", Orig: orig}},
+	}
+	for j := 0; j < s.ETC.Machines; j++ {
+		if len(s.TasksOn(j)) == 0 {
+			continue
+		}
+		k := make([]float64, s.ETC.Tasks)
+		for _, t := range s.TasksOn(j) {
+			k[t] = 1
+		}
+		b := bound
+		doc.Features = append(doc.Features, scenario.AnalysisFeature{
+			Name:   fmt.Sprintf("finish(machine-%d)", j),
+			Impact: scenario.ImpactLinear,
+			Max:    &b,
+			Coeffs: [][]float64{k},
+		})
+	}
+	if len(doc.Features) == 0 {
+		return scenario.AnalysisDoc{}, errors.New("makespan: no machine has any task")
+	}
+	return doc, nil
 }

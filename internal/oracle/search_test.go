@@ -1,0 +1,179 @@
+package oracle
+
+// The allocation-search differential: a fixed-seed search must return the
+// bit-identical best allocation no matter which backend scores its
+// generations — the serial per-candidate engine, the single-node batch
+// engine, or a coordinator scattering generations over a 3-worker fleet —
+// and the cluster answer must survive a worker being killed mid-generation.
+// The search trajectory depends only on the seed and the returned scores,
+// and every backend computes the same scores bit-for-bit (unweighted
+// engine radii coincide with the closed form), so any divergence here is
+// an engine or transport bug, not noise.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/etc"
+	"fepia/internal/scenario"
+	"fepia/internal/sched"
+	"fepia/internal/server"
+	"fepia/internal/stats"
+)
+
+func searchOracleMatrix(t *testing.T, tasks, machines int, seed int64) *etc.Matrix {
+	t.Helper()
+	m, err := etc.CVB(etc.CVBParams{Tasks: tasks, Machines: machines, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, stats.NewSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// searchVia runs the search in-process against the given evaluator.
+func searchVia(t *testing.T, m *etc.Matrix, ev sched.Evaluator, opt sched.SearchOptions) *sched.SearchResult {
+	t.Helper()
+	res, err := sched.Search(context.Background(), m, ev, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// postSearch runs the search over HTTP against a daemon or coordinator.
+func postSearch(t *testing.T, url string, m *etc.Matrix, opt sched.SearchOptions) server.SearchResponse {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := scenario.SaveMakespan(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	req := server.SearchRequest{
+		Instance:    buf.Bytes(),
+		Algo:        opt.Algo,
+		Objective:   opt.Objective,
+		Tau:         opt.Tau,
+		RhoMin:      opt.RhoMin,
+		Seed:        opt.Seed,
+		Steps:       opt.Steps,
+		Population:  opt.Population,
+		Generations: opt.Generations,
+	}
+	status, body := clusterPost(t, url+"/v1/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/search = %d: %s", status, body)
+	}
+	var out server.SearchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameSearchOutcome(t *testing.T, tag string, want *sched.SearchResult, alloc []int, rho, makespan float64, radiusEvals int64) {
+	t.Helper()
+	if len(alloc) != len(want.Best) {
+		t.Fatalf("%s: alloc length %d vs %d", tag, len(alloc), len(want.Best))
+	}
+	for i := range alloc {
+		if alloc[i] != want.Best[i] {
+			t.Fatalf("%s: best allocation diverged at task %d:\n%v\n%v", tag, i, alloc, want.Best)
+		}
+	}
+	if math.Float64bits(rho) != math.Float64bits(want.BestRho) {
+		t.Fatalf("%s: best rho bits %x vs %x (%v vs %v)", tag, math.Float64bits(rho), math.Float64bits(want.BestRho), rho, want.BestRho)
+	}
+	if math.Float64bits(makespan) != math.Float64bits(want.BestMakespan) {
+		t.Fatalf("%s: best makespan %v vs %v", tag, makespan, want.BestMakespan)
+	}
+	if radiusEvals != want.RadiusEvals {
+		t.Fatalf("%s: radius evals %d vs %d (backends scored different candidate sets)", tag, radiusEvals, want.RadiusEvals)
+	}
+}
+
+// TestOracleSearchDifferential proves the fixed-seed search returns the
+// bit-identical best allocation serial vs. batch vs. 3-worker cluster —
+// including with a worker killed mid-generation.
+func TestOracleSearchDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search differential is not short")
+	}
+	m := searchOracleMatrix(t, 24, 6, 41)
+	grid := []sched.SearchOptions{
+		{Algo: sched.AlgoGA, Objective: sched.ObjectiveMaxRho, Tau: 1.4, Seed: 1, Population: 16, Generations: 10},
+		{Algo: sched.AlgoAnneal, Objective: sched.ObjectiveMaxRho, Tau: 1.4, Seed: 1, Steps: 400},
+		{Algo: sched.AlgoGA, Objective: sched.ObjectiveMinMakespan, Tau: 1.4, RhoMin: 0.4, Seed: 1, Population: 16, Generations: 10},
+	}
+
+	fx := newClusterFixture(t, 3)
+	for _, opt := range grid {
+		tag := opt.Algo + "/" + opt.Objective
+		bound, err := sched.ResolveBound(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := searchVia(t, m, &sched.EngineEvaluator{M: m, Bound: bound, Serial: true}, opt)
+		batch := searchVia(t, m, &sched.EngineEvaluator{M: m, Bound: bound, Workers: 4}, opt)
+		sameSearchOutcome(t, tag+" batch-vs-serial", serial, batch.Best, batch.BestRho, batch.BestMakespan, batch.RadiusEvals)
+
+		clusterRes := postSearch(t, fx.front.URL, m, opt)
+		sameSearchOutcome(t, tag+" cluster-vs-serial", serial, clusterRes.Best.Alloc, clusterRes.Best.Rho, clusterRes.Best.Makespan, clusterRes.RadiusEvals)
+	}
+
+	t.Run("killed-worker-mid-generation", func(t *testing.T) {
+		// 60ms of added HTTP latency on the workers' batch endpoint —
+		// outside the evaluation, so scores are untouched — keeps chunks in
+		// flight long enough that the kill lands mid-generation.
+		const delay = 60 * time.Millisecond
+		workers := make([]*httptest.Server, 3)
+		urls := make([]string, 3)
+		for i := range urls {
+			h := server.New(clusterWorkerConfig()).Handler()
+			ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/batch" {
+					time.Sleep(delay)
+				}
+				h.ServeHTTP(w, r)
+			}))
+			t.Cleanup(ws.Close)
+			workers[i] = ws
+			urls[i] = ws.URL
+		}
+		coord, err := cluster.New(cluster.Config{
+			Workers:        urls,
+			HealthInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(coord.Close)
+		front := httptest.NewServer(coord.Handler())
+		t.Cleanup(front.Close)
+
+		opt := sched.SearchOptions{Algo: sched.AlgoGA, Tau: 1.4, Seed: 1, Population: 16, Generations: 10}
+		bound, err := sched.ResolveBound(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := searchVia(t, m, &sched.EngineEvaluator{M: m, Bound: bound, Serial: true}, opt)
+
+		ch := make(chan server.SearchResponse, 1)
+		go func() {
+			ch <- postSearch(t, front.URL, m, opt)
+		}()
+		// Kill one worker while generation chunks sleep in flight; its
+		// chunks must re-route to the survivors with scores unchanged.
+		time.Sleep(150 * time.Millisecond)
+		workers[0].CloseClientConnections()
+		workers[0].Close()
+		got := <-ch
+
+		sameSearchOutcome(t, "killed-worker", serial, got.Best.Alloc, got.Best.Rho, got.Best.Makespan, got.RadiusEvals)
+	})
+}

@@ -40,9 +40,9 @@ const (
 
 // storeEnvelope is the on-disk shape of one stored document.
 type storeEnvelope struct {
-	Kind        string          `json:"kind"`
-	Version     int             `json:"version"`
-	Fingerprint string          `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
 	// Checksum is FNV-1a/64 of the raw Doc bytes, hex-encoded.
 	Checksum string          `json:"checksum"`
 	Doc      json.RawMessage `json:"doc"`

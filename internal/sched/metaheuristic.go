@@ -1,41 +1,18 @@
 package sched
 
 import (
-	"fmt"
-	"math"
+	"context"
 
 	"fepia/internal/etc"
-	"fepia/internal/stats"
 )
 
-// This file adds the two metaheuristic mappers customary in the
-// heterogeneous-computing evaluation methodology (simulated annealing and a
-// genetic algorithm), configured to optimize the FePIA robustness radius
-// directly. They trade runtime for solution quality beyond what the greedy
-// and hill-climbing mappers reach, and serve as the "how much robustness is
-// attainable" reference in ranking experiments.
-
-// objective scores an allocation: the closed-form robustness radius under a
-// fixed bound, with a strong penalty when some machine exceeds the bound
-// outright (negative radius).
-func objective(m *etc.Matrix, alloc []int, bound float64) float64 {
-	load := make([]float64, m.Machines)
-	count := make([]int, m.Machines)
-	for t, j := range alloc {
-		load[j] += m.At(t, j)
-		count[j]++
-	}
-	rho := math.Inf(1)
-	for j := 0; j < m.Machines; j++ {
-		if count[j] == 0 {
-			continue
-		}
-		if r := (bound - load[j]) / math.Sqrt(float64(count[j])); r < rho {
-			rho = r
-		}
-	}
-	return rho
-}
+// This file keeps the two metaheuristic mappers' historical Heuristic-shaped
+// entry points (simulated annealing and a genetic algorithm, the mappers
+// customary in the heterogeneous-computing evaluation methodology). Both are
+// thin wrappers over Search (search.go) with the ClosedFormEvaluator fast
+// path — the hand-rolled private objective() they used to carry is gone;
+// candidate scoring now shares the search service's arithmetic, which
+// TestClosedFormScoreMatchesEngine proves bit-identical to the engine.
 
 // AnnealOptions configure the simulated-annealing mapper.
 type AnnealOptions struct {
@@ -53,57 +30,21 @@ type AnnealOptions struct {
 // Anneal returns a simulated-annealing heuristic that maximizes the
 // robustness radius under the fixed bound τ·M(min-min), starting from the
 // Min-Min allocation and proposing single-task moves with a geometric
-// cooling schedule. Deterministic for a fixed seed.
+// cooling schedule. Deterministic for a fixed seed. Rejects a non-finite or
+// ≤ 1 Tau with ErrBadTau.
 func Anneal(opt AnnealOptions) Heuristic {
 	return func(m *etc.Matrix) ([]int, error) {
-		if err := check(m); err != nil {
-			return nil, err
-		}
-		if opt.Tau <= 1 {
-			return nil, fmt.Errorf("sched: Anneal tau = %g, want > 1", opt.Tau)
-		}
-		src := stats.NewSource(opt.Seed ^ 0xa22ea1)
-		cur, err := MinMin(m)
+		res, err := Search(context.Background(), m, nil, SearchOptions{
+			Algo:  AlgoAnneal,
+			Tau:   opt.Tau,
+			Steps: opt.Steps,
+			T0:    opt.T0,
+			Seed:  opt.Seed,
+		}, nil)
 		if err != nil {
 			return nil, err
 		}
-		bound := opt.Tau * makespanOf(m, cur)
-		steps := opt.Steps
-		if steps <= 0 {
-			steps = 200 * m.Tasks
-		}
-		curScore := objective(m, cur, bound)
-		best := append([]int(nil), cur...)
-		bestScore := curScore
-		temp := opt.T0
-		if temp <= 0 {
-			temp = math.Max(1e-3, 0.1*math.Abs(curScore))
-		}
-		cooling := math.Pow(1e-3, 1/float64(steps)) // temp → 0.1% of T0
-		for s := 0; s < steps; s++ {
-			t := src.Intn(m.Tasks)
-			from := cur[t]
-			to := src.Intn(m.Machines)
-			if to == from {
-				temp *= cooling
-				continue
-			}
-			cur[t] = to
-			next := objective(m, cur, bound)
-			accept := next >= curScore ||
-				src.Float64() < math.Exp((next-curScore)/temp)
-			if accept {
-				curScore = next
-				if next > bestScore {
-					bestScore = next
-					copy(best, cur)
-				}
-			} else {
-				cur[t] = from
-			}
-			temp *= cooling
-		}
-		return best, nil
+		return res.Best, nil
 	}
 }
 
@@ -115,7 +56,8 @@ type GAOptions struct {
 	Population int
 	// Generations (default 100).
 	Generations int
-	// MutationRate is the per-gene mutation probability (default 2/tasks).
+	// MutationRate is the per-gene mutation probability (default
+	// min(1, 2/tasks); explicit values must be finite in (0, 1]).
 	MutationRate float64
 	// Seed drives the evolutionary stream.
 	Seed int64
@@ -125,97 +67,22 @@ type GAOptions struct {
 // under the fixed bound τ·M(min-min). The population is seeded with the
 // classical heuristics plus random allocations, uses tournament selection,
 // single-point crossover, per-gene mutation, and elitism of one.
-// Deterministic for a fixed seed.
+// Deterministic for a fixed seed. Rejects a non-finite or ≤ 1 Tau with
+// ErrBadTau and a non-finite or out-of-(0,1] mutation rate with
+// ErrBadMutationRate.
 func Genetic(opt GAOptions) Heuristic {
 	return func(m *etc.Matrix) ([]int, error) {
-		if err := check(m); err != nil {
-			return nil, err
-		}
-		if opt.Tau <= 1 {
-			return nil, fmt.Errorf("sched: Genetic tau = %g, want > 1", opt.Tau)
-		}
-		src := stats.NewSource(opt.Seed ^ 0x9e4e71c)
-		pop := opt.Population
-		if pop <= 0 {
-			pop = 40
-		}
-		gens := opt.Generations
-		if gens <= 0 {
-			gens = 100
-		}
-		mut := opt.MutationRate
-		if mut <= 0 {
-			mut = 2 / float64(m.Tasks)
-		}
-
-		mmAlloc, err := MinMin(m)
+		res, err := Search(context.Background(), m, nil, SearchOptions{
+			Algo:         AlgoGA,
+			Tau:          opt.Tau,
+			Population:   opt.Population,
+			Generations:  opt.Generations,
+			MutationRate: opt.MutationRate,
+			Seed:         opt.Seed,
+		}, nil)
 		if err != nil {
 			return nil, err
 		}
-		bound := opt.Tau * makespanOf(m, mmAlloc)
-
-		// Seed population: known heuristics + random fill.
-		var population [][]int
-		for _, h := range []Heuristic{MinMin, MaxMin, MCT, OLB, RoundRobin} {
-			alloc, err := h(m)
-			if err != nil {
-				return nil, err
-			}
-			population = append(population, alloc)
-		}
-		for len(population) < pop {
-			alloc := make([]int, m.Tasks)
-			for t := range alloc {
-				alloc[t] = src.Intn(m.Machines)
-			}
-			population = append(population, alloc)
-		}
-		population = population[:pop]
-
-		scores := make([]float64, pop)
-		evaluate := func() (bestIdx int) {
-			for i, a := range population {
-				scores[i] = objective(m, a, bound)
-				if scores[i] > scores[bestIdx] {
-					bestIdx = i
-				}
-			}
-			return bestIdx
-		}
-		tournament := func() []int {
-			a, b := src.Intn(pop), src.Intn(pop)
-			if scores[a] >= scores[b] {
-				return population[a]
-			}
-			return population[b]
-		}
-
-		bestIdx := evaluate()
-		elite := append([]int(nil), population[bestIdx]...)
-		eliteScore := scores[bestIdx]
-		for g := 0; g < gens; g++ {
-			next := make([][]int, 0, pop)
-			next = append(next, append([]int(nil), elite...))
-			for len(next) < pop {
-				p1, p2 := tournament(), tournament()
-				cut := src.Intn(m.Tasks)
-				child := make([]int, m.Tasks)
-				copy(child, p1[:cut])
-				copy(child[cut:], p2[cut:])
-				for t := range child {
-					if src.Float64() < mut {
-						child[t] = src.Intn(m.Machines)
-					}
-				}
-				next = append(next, child)
-			}
-			population = next
-			bestIdx = evaluate()
-			if scores[bestIdx] > eliteScore {
-				eliteScore = scores[bestIdx]
-				copy(elite, population[bestIdx])
-			}
-		}
-		return elite, nil
+		return res.Best, nil
 	}
 }

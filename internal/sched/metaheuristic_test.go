@@ -7,14 +7,14 @@ import (
 	"fepia/internal/stats"
 )
 
-func TestObjectiveKnown(t *testing.T) {
+func TestClosedFormScoreKnown(t *testing.T) {
 	m := tiny() // t0: [1,10], t1: [10,1], t2: [2,2]
 	// alloc {0,1,0}: loads (3, 1), counts (2, 1). bound 5:
 	// m0: (5-3)/sqrt(2) = 1.414, m1: (5-1)/1 = 4 → rho = 1.414.
-	got := objective(m, []int{0, 1, 0}, 5)
+	got := ClosedFormScore(m, []int{0, 1, 0}, 5)
 	want := 2 / sqrt2
 	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
-		t.Errorf("objective = %v, want %v", got, want)
+		t.Errorf("ClosedFormScore = %v, want %v", got, want)
 	}
 }
 
@@ -38,7 +38,7 @@ func TestAnnealImprovesOrMatchesMinMin(t *testing.T) {
 			t.Fatal(err)
 		}
 		validAlloc(t, m, sa, nil)
-		if objective(m, sa, bound) < objective(m, mm, bound)-1e-9 {
+		if ClosedFormScore(m, sa, bound) < ClosedFormScore(m, mm, bound)-1e-9 {
 			t.Fatalf("instance %d: annealing below its own starting point", i)
 		}
 	}
@@ -88,7 +88,7 @@ func TestGeneticImprovesOrMatchesMinMin(t *testing.T) {
 		validAlloc(t, m, ga, nil)
 		// Min-Min is in the seed population with elitism: the GA result can
 		// never be worse.
-		if objective(m, ga, bound) < objective(m, mm, bound)-1e-9 {
+		if ClosedFormScore(m, ga, bound) < ClosedFormScore(m, mm, bound)-1e-9 {
 			t.Fatalf("instance %d: GA lost to a seed individual", i)
 		}
 	}
@@ -152,7 +152,7 @@ func TestMetaheuristicsBeatGreedyOnAverage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if objective(m, sa, bound) >= objective(m, hc, bound)-1e-9 {
+		if ClosedFormScore(m, sa, bound) >= ClosedFormScore(m, hc, bound)-1e-9 {
 			wins++
 		}
 	}

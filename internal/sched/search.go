@@ -1,0 +1,681 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/etc"
+	"fepia/internal/makespan"
+	"fepia/internal/stats"
+)
+
+// This file is the robustness-aware allocation search: simulated annealing
+// and a generational GA whose candidate allocations are scored by a
+// pluggable Evaluator — the engine's batch tier on a single node, the
+// cluster scatter path behind a coordinator, or the documented closed-form
+// fast path (ClosedFormScore, proven bit-equal to the engine on the
+// makespan family). One search turns into thousands of radius evaluations:
+// every generation is handed to the evaluator as one batch.
+//
+// Determinism contract: for a fixed SearchOptions (including Seed and
+// ProposalBlock) the search's random stream, candidate sequence, and result
+// depend only on the options and the evaluator's *values* — and every
+// shipped evaluator returns bit-identical scores for the same candidates
+// (the oracle differential proves serial == batch == 3-worker cluster).
+// Fixed seed therefore means bit-identical best allocation on any backend.
+
+// Search algorithms.
+const (
+	// AlgoAnneal is simulated annealing over single-task moves.
+	AlgoAnneal = "anneal"
+	// AlgoGA is the generational genetic algorithm.
+	AlgoGA = "ga"
+)
+
+// Search objectives.
+const (
+	// ObjectiveMaxRho maximizes the robustness radius ρ under the fixed
+	// makespan bound (infeasible allocations are driven back toward
+	// feasibility by their signed closed-form score).
+	ObjectiveMaxRho = "max-rho"
+	// ObjectiveMinMakespan minimizes the makespan subject to ρ ≥ RhoMin.
+	// Candidates violating the constraint rank strictly below every
+	// satisfying one, ordered by how far they are from satisfying it.
+	ObjectiveMinMakespan = "min-makespan"
+)
+
+// Typed validation errors.
+var (
+	// ErrBadTau rejects a non-finite or ≤ 1 robustness requirement. (A τ of
+	// NaN slips through a naive `tau <= 1` check and used to propagate NaN
+	// objectives through a whole search.)
+	ErrBadTau = errors.New("sched: tau must be finite and > 1")
+	// ErrBadMutationRate rejects an explicit GA mutation rate that is not a
+	// finite probability in (0, 1].
+	ErrBadMutationRate = errors.New("sched: mutation rate must be finite in (0, 1]")
+	// ErrBadSearch reports an invalid SearchOptions field not covered by a
+	// more specific error.
+	ErrBadSearch = errors.New("sched: invalid search options")
+)
+
+// Evaluator scores candidate allocations under the search's fixed makespan
+// bound, returning the engine robustness radius ρ of each (one call per
+// generation or proposal block). Callers only pass feasible allocations —
+// ones whose makespan does not exceed the bound — because a robustness
+// radius is a distance and cannot express "already violating"; the search
+// scores infeasible candidates itself with the signed closed form.
+//
+// Implementations must be deterministic: the same allocations under the
+// same bound return bit-identical scores, regardless of internal
+// parallelism or placement.
+type Evaluator interface {
+	Scores(ctx context.Context, allocs [][]int) ([]float64, error)
+}
+
+// SearchOptions configure a robustness-aware allocation search.
+type SearchOptions struct {
+	// Algo selects AlgoAnneal or AlgoGA (default AlgoGA).
+	Algo string
+	// Objective selects ObjectiveMaxRho (default) or ObjectiveMinMakespan.
+	Objective string
+	// Tau sets the robustness requirement: bound = Tau · M(min-min).
+	Tau float64
+	// Bound, when > 0, is the explicit makespan requirement and overrides
+	// Tau. Must be finite.
+	Bound float64
+	// RhoMin is the robustness constraint for ObjectiveMinMakespan
+	// (values ≤ 0 mean "merely feasible").
+	RhoMin float64
+	// Seed drives every random draw of the search.
+	Seed int64
+
+	// Steps is the annealing proposal budget (default 200·tasks).
+	Steps int
+	// T0 is the initial annealing temperature in fitness units (default:
+	// 10% of the initial fitness magnitude, floored at 1e-3).
+	T0 float64
+	// ProposalBlock is how many annealing proposals are drawn and scored
+	// per evaluator call (default 16). Part of the deterministic trajectory:
+	// accepting a proposal discards the rest of its block, so the block
+	// size shapes the walk and must match across backends being compared.
+	ProposalBlock int
+
+	// Population size for AlgoGA (default 40).
+	Population int
+	// Generations for AlgoGA (default 100).
+	Generations int
+	// MutationRate is the GA per-gene mutation probability. Zero selects
+	// the default min(1, 2/tasks); explicit values must be finite in
+	// (0, 1].
+	MutationRate float64
+
+	// Resume, when non-nil, seeds the search with a previous best
+	// allocation: annealing starts from it, the GA injects it into the
+	// initial population. Lets an operator continue a deadline-truncated
+	// search from the partial best reported in /statz.
+	Resume []int
+}
+
+// Progress is a snapshot handed to the progress callback after every scored
+// generation (GA) or proposal block (annealing).
+type Progress struct {
+	Generation   int // completed generations / blocks
+	Generations  int // planned total
+	Best         []int
+	BestFitness  float64
+	BestRho      float64
+	BestMakespan float64
+	BestFeasible bool
+	Candidates   int   // candidates scored so far (engine + closed-form-only)
+	RadiusEvals  int64 // per-feature radius evaluations driven through the evaluator
+}
+
+// SearchResult is the outcome of a Search.
+type SearchResult struct {
+	// Best is the best allocation found.
+	Best []int
+	// BestFitness is Best's objective fitness (ρ for ObjectiveMaxRho).
+	BestFitness float64
+	// BestRho is Best's robustness radius under Bound; negative (the signed
+	// closed-form score) when Best violates the bound.
+	BestRho float64
+	// BestMakespan is Best's estimated makespan.
+	BestMakespan float64
+	// BestFeasible reports BestMakespan ≤ Bound.
+	BestFeasible bool
+	// Bound is the resolved makespan requirement the search ran under.
+	Bound float64
+	// Generations counts completed generations (GA) or proposal blocks
+	// (annealing).
+	Generations int
+	// Candidates counts every scored candidate allocation.
+	Candidates int
+	// EngineCandidates counts the candidates scored through the Evaluator.
+	EngineCandidates int
+	// RadiusEvals counts per-feature radius evaluations driven through the
+	// Evaluator: one per non-empty machine of each engine-scored candidate.
+	RadiusEvals int64
+	// Partial reports the search stopped early (context cancelled or
+	// deadline exceeded) and Best is the best of the completed part.
+	Partial bool
+}
+
+// ResolveBound resolves the search's fixed makespan requirement: an explicit
+// finite opt.Bound wins; otherwise Tau (validated against ErrBadTau) times
+// the min-min makespan of the instance.
+func ResolveBound(m *etc.Matrix, opt SearchOptions) (float64, error) {
+	if opt.Bound != 0 {
+		if !(opt.Bound > 0) || math.IsInf(opt.Bound, 0) {
+			return 0, fmt.Errorf("%w: bound = %g, want finite > 0", ErrBadSearch, opt.Bound)
+		}
+		return opt.Bound, nil
+	}
+	if math.IsNaN(opt.Tau) || math.IsInf(opt.Tau, 0) || opt.Tau <= 1 {
+		return 0, fmt.Errorf("%w (got %g)", ErrBadTau, opt.Tau)
+	}
+	mm, err := MinMin(m)
+	if err != nil {
+		return 0, err
+	}
+	return opt.Tau * makespanOf(m, mm), nil
+}
+
+// ClosedFormScore is the documented fast path for the makespan family: the
+// signed robustness radius of the allocation under the fixed bound,
+//
+//	min over non-empty machines j of ((bound − F_j)/n_j) · √n_j,
+//
+// negative when some machine already exceeds the bound. For feasible
+// allocations this replicates the engine's arithmetic operation for
+// operation — the combined linear radius under core.Unweighted is
+// |(B − K·C)/(K·K)| · √(K·K) with K·K = n_j exactly and K·C accumulating
+// bit-identically to FinishTimes — so fast-path and engine scores are
+// bitwise equal (TestClosedFormScoreMatchesEngine pins this). The naive
+// one-rounding form (bound−F)/√n is NOT bit-identical and is what this
+// replaces.
+func ClosedFormScore(m *etc.Matrix, alloc []int, bound float64) float64 {
+	load := make([]float64, m.Machines)
+	count := make([]int, m.Machines)
+	for t, j := range alloc {
+		load[j] += m.At(t, j)
+		count[j]++
+	}
+	rho := math.Inf(1)
+	for j := 0; j < m.Machines; j++ {
+		if count[j] == 0 {
+			continue
+		}
+		n := float64(count[j])
+		t := (bound - load[j]) / n
+		if r := t * math.Sqrt(n); r < rho {
+			rho = r
+		}
+	}
+	return rho
+}
+
+// ClosedFormEvaluator scores candidates with ClosedFormScore — the in-process
+// fast path used by the Anneal/Genetic heuristic wrappers and cmd/rank.
+// Bit-identical to EngineEvaluator on the (feasible) candidates a Search
+// passes to its evaluator.
+type ClosedFormEvaluator struct {
+	M     *etc.Matrix
+	Bound float64
+}
+
+// Scores implements Evaluator.
+func (e ClosedFormEvaluator) Scores(ctx context.Context, allocs [][]int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(allocs))
+	for i, a := range allocs {
+		out[i] = ClosedFormScore(e.M, a, e.Bound)
+	}
+	return out, nil
+}
+
+// EngineEvaluator scores candidates through the generic engine: each
+// allocation becomes a makespan analysis under the shared bound and the
+// whole generation runs through core.RobustnessBatch under the unweighted
+// (native-units) weighting. Serial selects the one-at-a-time
+// RobustnessWith reference backend instead (the oracle's baseline).
+type EngineEvaluator struct {
+	M     *etc.Matrix
+	Bound float64
+	// Workers sizes the batch pool (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Serial scores candidates one by one on one goroutine.
+	Serial bool
+}
+
+// Scores implements Evaluator.
+func (e *EngineEvaluator) Scores(ctx context.Context, allocs [][]int) ([]float64, error) {
+	out := make([]float64, len(allocs))
+	if e.Serial {
+		for i, alloc := range allocs {
+			a, err := e.analysis(alloc)
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.RobustnessWith(ctx, core.Unweighted{}, core.EvalOptions{})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Value
+		}
+		return out, nil
+	}
+	items := make([]core.BatchItem, len(allocs))
+	for i, alloc := range allocs {
+		a, err := e.analysis(alloc)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = core.BatchItem{A: a, W: core.Unweighted{}}
+	}
+	results, errs := core.RobustnessBatch(ctx, items, core.EvalOptions{Workers: e.Workers})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sched: engine evaluator candidate %d: %w", i, err)
+		}
+		out[i] = results[i].Value
+	}
+	return out, nil
+}
+
+func (e *EngineEvaluator) analysis(alloc []int) (*core.Analysis, error) {
+	sys := &makespan.System{ETC: e.M, Alloc: alloc}
+	return sys.AnalysisWithBound(e.Bound)
+}
+
+// scored is one candidate allocation with everything the search needs.
+type scored struct {
+	alloc    []int
+	ms       float64 // estimated makespan
+	rho      float64 // engine radius if feasible, signed closed form if not
+	feasible bool
+	fit      float64
+	feats    int // non-empty machines = per-feature evaluations when engine-scored
+}
+
+// searchRun carries one Search invocation's fixed state.
+type searchRun struct {
+	m      *etc.Matrix
+	ev     Evaluator
+	bound  float64
+	obj    string
+	rhoMin float64
+
+	candidates int
+	engine     int
+	radius     int64
+}
+
+// scoreBatch scores one generation: closed form for everyone (feasibility +
+// makespan), evaluator for the feasible subset, fitness per the objective.
+func (r *searchRun) scoreBatch(ctx context.Context, allocs [][]int) ([]scored, error) {
+	out := make([]scored, len(allocs))
+	var feasIdx []int
+	var feasAllocs [][]int
+	for i, alloc := range allocs {
+		load := make([]float64, r.m.Machines)
+		count := make([]int, r.m.Machines)
+		for t, j := range alloc {
+			load[j] += r.m.At(t, j)
+			count[j]++
+		}
+		ms, feats := 0.0, 0
+		fast := math.Inf(1)
+		for j := 0; j < r.m.Machines; j++ {
+			if load[j] > ms {
+				ms = load[j]
+			}
+			if count[j] == 0 {
+				continue
+			}
+			feats++
+			n := float64(count[j])
+			t := (r.bound - load[j]) / n
+			if v := t * math.Sqrt(n); v < fast {
+				fast = v
+			}
+		}
+		out[i] = scored{alloc: alloc, ms: ms, rho: fast, feasible: fast >= 0, feats: feats}
+		if out[i].feasible {
+			feasIdx = append(feasIdx, i)
+			feasAllocs = append(feasAllocs, alloc)
+		}
+	}
+	if len(feasAllocs) > 0 {
+		scores, err := r.ev.Scores(ctx, feasAllocs)
+		if err != nil {
+			return nil, err
+		}
+		if len(scores) != len(feasAllocs) {
+			return nil, fmt.Errorf("sched: evaluator returned %d scores for %d candidates", len(scores), len(feasAllocs))
+		}
+		for k, i := range feasIdx {
+			out[i].rho = scores[k]
+			r.radius += int64(out[i].feats)
+		}
+		r.engine += len(feasAllocs)
+	}
+	for i := range out {
+		c := &out[i]
+		switch r.obj {
+		case ObjectiveMinMakespan:
+			if c.feasible && c.rho >= r.rhoMin {
+				c.fit = -c.ms
+			} else {
+				// Rank strictly below every satisfying candidate (those
+				// have fit ≥ −bound since feasible ⇒ ms ≤ bound), ordered
+				// by makespan and by distance from the ρ constraint.
+				c.fit = -c.ms - 2*r.bound - (r.rhoMin - c.rho)
+			}
+		default: // ObjectiveMaxRho
+			c.fit = c.rho
+		}
+	}
+	r.candidates += len(allocs)
+	return out, nil
+}
+
+// Search runs a robustness-aware allocation search over m, scoring
+// candidates through ev (nil selects the in-process ClosedFormEvaluator
+// fast path). progress, when non-nil, is called after every scored
+// generation or proposal block.
+//
+// On context cancellation or deadline after at least one completed
+// generation, Search returns the best-so-far result with Partial set
+// alongside the context error; callers that want the partial result must
+// check both returns. Before the first completed generation it returns only
+// the error.
+func Search(ctx context.Context, m *etc.Matrix, ev Evaluator, opt SearchOptions, progress func(Progress)) (*SearchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	algo := opt.Algo
+	if algo == "" {
+		algo = AlgoGA
+	}
+	obj := opt.Objective
+	if obj == "" {
+		obj = ObjectiveMaxRho
+	}
+	switch obj {
+	case ObjectiveMaxRho, ObjectiveMinMakespan:
+	default:
+		return nil, fmt.Errorf("%w: unknown objective %q", ErrBadSearch, opt.Objective)
+	}
+	if math.IsNaN(opt.RhoMin) || math.IsInf(opt.RhoMin, 0) {
+		return nil, fmt.Errorf("%w: rhoMin = %g, want finite", ErrBadSearch, opt.RhoMin)
+	}
+	rhoMin := opt.RhoMin
+	if rhoMin < 0 {
+		rhoMin = 0
+	}
+	b, err := ResolveBound(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Resume != nil {
+		if len(opt.Resume) != m.Tasks {
+			return nil, fmt.Errorf("%w: resume allocation has %d tasks, want %d", ErrBadSearch, len(opt.Resume), m.Tasks)
+		}
+		for t, j := range opt.Resume {
+			if j < 0 || j >= m.Machines {
+				return nil, fmt.Errorf("%w: resume task %d on machine %d of %d", ErrBadSearch, t, j, m.Machines)
+			}
+		}
+	}
+	if ev == nil {
+		ev = ClosedFormEvaluator{M: m, Bound: b}
+	}
+	run := &searchRun{m: m, ev: ev, bound: b, obj: obj, rhoMin: rhoMin}
+	switch algo {
+	case AlgoAnneal:
+		return run.anneal(ctx, opt, progress)
+	case AlgoGA:
+		return run.genetic(ctx, opt, progress)
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadSearch, opt.Algo)
+	}
+}
+
+// result assembles the final SearchResult around the best candidate.
+func (r *searchRun) result(best scored, gens int, partial bool) *SearchResult {
+	return &SearchResult{
+		Best:             append([]int(nil), best.alloc...),
+		BestFitness:      best.fit,
+		BestRho:          best.rho,
+		BestMakespan:     best.ms,
+		BestFeasible:     best.feasible,
+		Bound:            r.bound,
+		Generations:      gens,
+		Candidates:       r.candidates,
+		EngineCandidates: r.engine,
+		RadiusEvals:      r.radius,
+		Partial:          partial,
+	}
+}
+
+func (r *searchRun) report(progress func(Progress), best scored, gen, total int) {
+	if progress == nil {
+		return
+	}
+	progress(Progress{
+		Generation:   gen,
+		Generations:  total,
+		Best:         append([]int(nil), best.alloc...),
+		BestFitness:  best.fit,
+		BestRho:      best.rho,
+		BestMakespan: best.ms,
+		BestFeasible: best.feasible,
+		Candidates:   r.candidates,
+		RadiusEvals:  r.radius,
+	})
+}
+
+// anneal is simulated annealing over single-task moves, batched: each block
+// of proposals is drawn up front (consuming the random stream
+// deterministically), scored in one evaluator call, then walked in order
+// with the usual Metropolis acceptance; an accepted move invalidates the
+// rest of its block (those proposals were relative to the pre-move
+// allocation), so the block is discarded and the next one drawn.
+func (r *searchRun) anneal(ctx context.Context, opt SearchOptions, progress func(Progress)) (*SearchResult, error) {
+	m := r.m
+	src := stats.NewSource(opt.Seed ^ 0xa22ea1)
+	cur, err := MinMin(m)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Resume != nil {
+		cur = append([]int(nil), opt.Resume...)
+	}
+	init, err := r.scoreBatch(ctx, [][]int{append([]int(nil), cur...)})
+	if err != nil {
+		return nil, err
+	}
+	curC := init[0]
+	best := curC
+	steps := opt.Steps
+	if steps <= 0 {
+		steps = 200 * m.Tasks
+	}
+	block := opt.ProposalBlock
+	if block <= 0 {
+		block = 16
+	}
+	totalBlocks := (steps + block - 1) / block
+	if m.Machines == 1 {
+		// No move exists; the start allocation is the only allocation.
+		r.report(progress, best, 0, 0)
+		return r.result(best, 0, false), nil
+	}
+	temp := opt.T0
+	if temp <= 0 {
+		temp = math.Max(1e-3, 0.1*math.Abs(curC.fit))
+	}
+	cooling := math.Pow(1e-3, 1/float64(steps)) // temp → 0.1% of T0
+	type prop struct{ t, to int }
+	processed, blocks := 0, 0
+	for processed < steps {
+		if err := ctx.Err(); err != nil {
+			return r.result(best, blocks, true), err
+		}
+		k := block
+		if rem := steps - processed; k > rem {
+			k = rem
+		}
+		props := make([]prop, k)
+		allocs := make([][]int, k)
+		for i := 0; i < k; i++ {
+			t := src.Intn(m.Tasks)
+			// Resample the target among the other machines: a self-move
+			// (to == from) used to consume a step and cool the temperature
+			// while proposing nothing — on 2 machines, half the budget.
+			to := src.Intn(m.Machines - 1)
+			if to >= cur[t] {
+				to++
+			}
+			props[i] = prop{t, to}
+			cand := append([]int(nil), cur...)
+			cand[t] = to
+			allocs[i] = cand
+		}
+		cands, err := r.scoreBatch(ctx, allocs)
+		if err != nil {
+			return r.result(best, blocks, true), err
+		}
+		for i := range props {
+			c := cands[i]
+			accept := c.fit >= curC.fit ||
+				src.Float64() < math.Exp((c.fit-curC.fit)/temp)
+			processed++
+			temp *= cooling
+			if accept {
+				cur[props[i].t] = props[i].to
+				curC = c
+				if c.fit > best.fit {
+					best = c
+				}
+				break // the rest of the block proposed against the old cur
+			}
+		}
+		blocks++
+		r.report(progress, best, blocks, totalBlocks)
+	}
+	return r.result(best, blocks, false), nil
+}
+
+// genetic is the generational GA: heuristic-seeded population, tournament
+// selection, single-point crossover, per-gene mutation, elitism of one —
+// with the whole population scored per generation in one evaluator call.
+func (r *searchRun) genetic(ctx context.Context, opt SearchOptions, progress func(Progress)) (*SearchResult, error) {
+	m := r.m
+	src := stats.NewSource(opt.Seed ^ 0x9e4e71c)
+	pop := opt.Population
+	if pop <= 0 {
+		pop = 40
+	}
+	gens := opt.Generations
+	if gens <= 0 {
+		gens = 100
+	}
+	mut := opt.MutationRate
+	switch {
+	case mut == 0:
+		// The old default 2/tasks exceeds 1 when tasks < 2; clamp it.
+		mut = math.Min(1, 2/float64(m.Tasks))
+	case math.IsNaN(mut) || math.IsInf(mut, 0) || mut < 0 || mut > 1:
+		return nil, fmt.Errorf("%w (got %g)", ErrBadMutationRate, opt.MutationRate)
+	}
+
+	// Seed population: resumed best first, then known heuristics, then
+	// random fill.
+	var population [][]int
+	if opt.Resume != nil {
+		population = append(population, append([]int(nil), opt.Resume...))
+	}
+	for _, h := range []Heuristic{MinMin, MaxMin, MCT, OLB, RoundRobin} {
+		alloc, err := h(m)
+		if err != nil {
+			return nil, err
+		}
+		population = append(population, alloc)
+	}
+	for len(population) < pop {
+		alloc := make([]int, m.Tasks)
+		for t := range alloc {
+			alloc[t] = src.Intn(m.Machines)
+		}
+		population = append(population, alloc)
+	}
+	population = population[:pop]
+
+	cands, err := r.scoreBatch(ctx, population)
+	if err != nil {
+		return nil, err
+	}
+	bestIdx := 0
+	for i := range cands {
+		if cands[i].fit > cands[bestIdx].fit {
+			bestIdx = i
+		}
+	}
+	elite := cands[bestIdx]
+	elite.alloc = append([]int(nil), elite.alloc...)
+	r.report(progress, elite, 0, gens)
+
+	tournament := func() []int {
+		a, b := src.Intn(pop), src.Intn(pop)
+		if cands[a].fit >= cands[b].fit {
+			return population[a]
+		}
+		return population[b]
+	}
+	for g := 0; g < gens; g++ {
+		if err := ctx.Err(); err != nil {
+			return r.result(elite, g, true), err
+		}
+		next := make([][]int, 0, pop)
+		next = append(next, append([]int(nil), elite.alloc...))
+		for len(next) < pop {
+			p1, p2 := tournament(), tournament()
+			cut := src.Intn(m.Tasks)
+			child := make([]int, m.Tasks)
+			copy(child, p1[:cut])
+			copy(child[cut:], p2[cut:])
+			for t := range child {
+				if src.Float64() < mut {
+					child[t] = src.Intn(m.Machines)
+				}
+			}
+			next = append(next, child)
+		}
+		population = next
+		cands, err = r.scoreBatch(ctx, population)
+		if err != nil {
+			return r.result(elite, g, true), err
+		}
+		bestIdx = 0
+		for i := range cands {
+			if cands[i].fit > cands[bestIdx].fit {
+				bestIdx = i
+			}
+		}
+		if cands[bestIdx].fit > elite.fit {
+			elite = cands[bestIdx]
+			elite.alloc = append([]int(nil), elite.alloc...)
+		}
+		r.report(progress, elite, g+1, gens)
+	}
+	return r.result(elite, gens, false), nil
+}

@@ -224,8 +224,12 @@ func parseWeighting(raw string) (core.Weighting, error) {
 		return core.Normalized{}, nil
 	case "sensitivity":
 		return core.Sensitivity{}, nil
+	case "unweighted":
+		// Native units: what the allocation-search scatter path requests so
+		// worker radii match the closed-form makespan arithmetic bit-for-bit.
+		return core.Unweighted{}, nil
 	default:
-		return nil, fmt.Errorf("unknown weighting %q (want normalized or sensitivity)", raw)
+		return nil, fmt.Errorf("unknown weighting %q (want normalized, sensitivity, or unweighted)", raw)
 	}
 }
 

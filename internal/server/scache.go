@@ -126,6 +126,56 @@ func (c *scenarioCache) entries() []*scacheEntry {
 	return out
 }
 
+// warmRegCache keeps warm-start registries alive across scenario-cache
+// *generations*: the scache bounds built analyses, and before this cache
+// existed an eviction also dropped the evicted analysis's warm-start state,
+// so the next rebuild of the same document searched cold (ROADMAP
+// "warm-state sharing across scenario-cache generations"). Registries are
+// tiny relative to built analyses (brackets, grid memos, step scales — no
+// impact cache), so this LRU is sized to several scache generations and a
+// rebuilt analysis almost always finds its old registry waiting.
+type warmRegCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type warmRegEntry struct {
+	key string
+	reg *core.WarmRegistry
+}
+
+func newWarmRegCache(capacity int) *warmRegCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &warmRegCache{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		ll:  list.New(),
+	}
+}
+
+// get returns the registry for the fingerprint, creating it on first use
+// and evicting the least-recently-used registry at capacity.
+func (c *warmRegCache) get(fp string) *core.WarmRegistry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[fp]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*warmRegEntry).reg
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*warmRegEntry).key)
+	}
+	e := &warmRegEntry{key: fp, reg: core.NewWarmRegistry()}
+	c.m[fp] = c.ll.PushFront(e)
+	return e.reg
+}
+
 // lookupScenario resolves a scenario through the cache: a hit returns the
 // shared analysis, a miss builds (and decorates with the impact cache and
 // warm-started searches),
@@ -160,7 +210,7 @@ func (s *Server) lookupScenario(doc scenario.AnalysisDoc) (*core.Analysis, *scac
 	if err != nil {
 		return nil, nil, err
 	}
-	s.decorateCachedAnalysis(a)
+	s.decorateCachedAnalysis(fp, a)
 	e := s.scache.put(fp, a, false)
 	if s.store != nil {
 		// Best-effort persistence; a failed write costs the next warm

@@ -1,0 +1,359 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fepia/internal/etc"
+	"fepia/internal/scenario"
+	"fepia/internal/sched"
+)
+
+// POST /v1/search — robustness-aware allocation search as a service: the
+// rDLB-style closed loop where the robustness engine drives the allocation
+// instead of merely scoring it. One request runs a whole
+// annealing/GA search whose generations are scored through the batch
+// engine (10⁴–10⁵ radius evaluations per request), so admission costs it
+// by the generation in flight, the deadline is enforced between evaluator
+// calls, and a deadline mid-search returns the best-so-far as a partial
+// result instead of wasting the completed generations. Progress (and the
+// partial best, for resuming) is visible in /statz while the search runs.
+
+// SearchRequest is the body of POST /v1/search.
+type SearchRequest struct {
+	// Instance is the ETC instance as a scenario makespan document
+	// ({"version":1,"kind":"makespan","etc":[[...]]}) — the exact format
+	// `rank -save` writes. A document-level alloc, if present, is ignored:
+	// the search produces the allocation.
+	Instance json.RawMessage `json:"instance"`
+	// Algo is sched.AlgoAnneal or sched.AlgoGA (default "ga").
+	Algo string `json:"algo,omitempty"`
+	// Objective is "max-rho" (default) or "min-makespan".
+	Objective string `json:"objective,omitempty"`
+	// Tau sets the makespan requirement bound = Tau·M(min-min); Bound > 0
+	// overrides it with an explicit requirement.
+	Tau   float64 `json:"tau,omitempty"`
+	Bound float64 `json:"bound,omitempty"`
+	// RhoMin is the robustness constraint for objective "min-makespan".
+	RhoMin float64 `json:"rhoMin,omitempty"`
+	// Seed fixes the search trajectory; equal seeds return bit-identical
+	// results on any backend.
+	Seed int64 `json:"seed"`
+
+	// Annealing knobs (see sched.SearchOptions).
+	Steps         int `json:"steps,omitempty"`
+	ProposalBlock int `json:"proposalBlock,omitempty"`
+	// GA knobs.
+	Population   int     `json:"population,omitempty"`
+	Generations  int     `json:"generations,omitempty"`
+	MutationRate float64 `json:"mutationRate,omitempty"`
+
+	// Resume seeds the search with a previous (possibly partial) best
+	// allocation, e.g. the bestAlloc of a truncated search's /statz row.
+	Resume []int `json:"resume,omitempty"`
+	// SearchID names the search in /statz (default: the request ID).
+	SearchID string `json:"searchId,omitempty"`
+	// Timeout bounds the whole search (e.g. "30s"); server limits apply.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// SearchBest describes one allocation and its scores under the search bound.
+type SearchBest struct {
+	Alloc []int `json:"alloc"`
+	// Rho is the robustness radius; negative (signed closed form) when the
+	// allocation violates the bound.
+	Rho      float64 `json:"rho"`
+	Makespan float64 `json:"makespan"`
+	Feasible bool    `json:"feasible"`
+}
+
+// SearchResponse is the body of a successful (or partial) search.
+type SearchResponse struct {
+	SearchID  string     `json:"searchId"`
+	Algo      string     `json:"algo"`
+	Objective string     `json:"objective"`
+	Bound     float64    `json:"bound"`
+	Best      SearchBest `json:"best"`
+	// Baseline is the min-min allocation scored under the same bound — the
+	// paper's point in one response: how much robustness the search bought
+	// over the makespan-greedy mapping.
+	Baseline SearchBest `json:"baseline"`
+	// Generations completed; Candidates scored; EngineCandidates of those
+	// through the engine; RadiusEvals per-feature radius evaluations.
+	Generations      int   `json:"generations"`
+	Candidates       int   `json:"candidates"`
+	EngineCandidates int   `json:"engineCandidates"`
+	RadiusEvals      int64 `json:"radiusEvals"`
+	// Partial marks a deadline-truncated search: Best is the best of the
+	// completed generations (resume via Resume to continue).
+	Partial   bool    `json:"partial,omitempty"`
+	RequestID string  `json:"requestId,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// SearchStatz is one allocation search's row in /statz.
+type SearchStatz struct {
+	ID           string  `json:"id"`
+	Algo         string  `json:"algo"`
+	Objective    string  `json:"objective"`
+	State        string  `json:"state"` // running | done | partial | failed
+	Generation   int     `json:"generation"`
+	Generations  int     `json:"generations"`
+	BestRho      float64 `json:"bestRho"`
+	BestMakespan float64 `json:"bestMakespan"`
+	// BestAlloc is the best allocation so far — what a client passes as
+	// resume after a truncation.
+	BestAlloc   []int   `json:"bestAlloc,omitempty"`
+	Candidates  int     `json:"candidates"`
+	RadiusEvals int64   `json:"radiusEvals"`
+	ElapsedMs   float64 `json:"elapsedMs"`
+}
+
+// SearchTracker is a bounded registry of search progress rows, shared by
+// the worker server and the cluster coordinator (both expose it in /statz).
+// At capacity the oldest row is evicted; an in-flight search's row is
+// updated in place on every progress callback.
+type SearchTracker struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	rows  map[string]*SearchStatz
+}
+
+// NewSearchTracker returns a tracker bounded to capacity rows (minimum 1).
+func NewSearchTracker(capacity int) *SearchTracker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SearchTracker{cap: capacity, rows: make(map[string]*SearchStatz)}
+}
+
+// Update upserts a row by ID.
+func (t *SearchTracker) Update(row SearchStatz) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rows[row.ID]; !ok {
+		if len(t.order) >= t.cap {
+			delete(t.rows, t.order[0])
+			t.order = t.order[1:]
+		}
+		t.order = append(t.order, row.ID)
+	}
+	t.rows[row.ID] = &row
+}
+
+// Snapshot returns the rows, oldest first.
+func (t *SearchTracker) Snapshot() []SearchStatz {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SearchStatz, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, *t.rows[id])
+	}
+	return out
+}
+
+// ParseSearchRequest validates the request body and resolves it into the
+// instance matrix and search options (bound already resolved into
+// opt.Bound). Errors are client errors (HTTP 400).
+func ParseSearchRequest(req SearchRequest) (*etc.Matrix, sched.SearchOptions, error) {
+	var opt sched.SearchOptions
+	if len(req.Instance) == 0 {
+		return nil, opt, errors.New("missing instance (a scenario makespan document)")
+	}
+	m, _, err := scenario.LoadMakespan(bytes.NewReader(req.Instance))
+	if err != nil {
+		return nil, opt, fmt.Errorf("instance: %w", err)
+	}
+	opt = sched.SearchOptions{
+		Algo:          req.Algo,
+		Objective:     req.Objective,
+		Tau:           req.Tau,
+		Bound:         req.Bound,
+		RhoMin:        req.RhoMin,
+		Seed:          req.Seed,
+		Steps:         req.Steps,
+		ProposalBlock: req.ProposalBlock,
+		Population:    req.Population,
+		Generations:   req.Generations,
+		MutationRate:  req.MutationRate,
+		Resume:        req.Resume,
+	}
+	bound, err := sched.ResolveBound(m, opt)
+	if err != nil {
+		return nil, opt, err
+	}
+	opt.Bound = bound
+	return m, opt, nil
+}
+
+// SearchCost is the admission cost of a search: the generation in flight
+// at any moment (the batch the engine actually holds), costed like a batch
+// of per-machine analytic features. The whole search is far more work, but
+// admission protects instantaneous memory/CPU, and a search between
+// generations holds nothing. Exported for the cluster coordinator, which
+// admits searches with the same pricing.
+func SearchCost(m *etc.Matrix, opt sched.SearchOptions) int64 {
+	gen := opt.Population
+	if opt.Algo == sched.AlgoAnneal {
+		gen = opt.ProposalBlock
+		if gen <= 0 {
+			gen = 16
+		}
+	} else if gen <= 0 {
+		gen = 40
+	}
+	cost := int64(gen) * int64(m.Machines) * costAnalyticFeature
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
+// ExecuteSearch runs the search with progress mirrored into the tracker and
+// assembles the response. On a context error after ≥ 1 completed
+// generation it returns the partial response and no error; earlier or
+// non-context failures return the error (the partial response too when one
+// exists, for the tracker's benefit).
+func ExecuteSearch(ctx context.Context, m *etc.Matrix, opt sched.SearchOptions, ev sched.Evaluator, tracker *SearchTracker, id, rid string) (*SearchResponse, error) {
+	start := time.Now()
+	algo := opt.Algo
+	if algo == "" {
+		algo = sched.AlgoGA
+	}
+	obj := opt.Objective
+	if obj == "" {
+		obj = sched.ObjectiveMaxRho
+	}
+	row := func(state string, p sched.Progress) SearchStatz {
+		return SearchStatz{
+			ID: id, Algo: algo, Objective: obj, State: state,
+			Generation: p.Generation, Generations: p.Generations,
+			BestRho: p.BestRho, BestMakespan: p.BestMakespan,
+			BestAlloc: p.Best, Candidates: p.Candidates, RadiusEvals: p.RadiusEvals,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		}
+	}
+	var progress func(sched.Progress)
+	if tracker != nil {
+		tracker.Update(SearchStatz{ID: id, Algo: algo, Objective: obj, State: "running"})
+		progress = func(p sched.Progress) { tracker.Update(row("running", p)) }
+	}
+	res, err := sched.Search(ctx, m, ev, opt, progress)
+	finalProgress := func(r *sched.SearchResult) sched.Progress {
+		return sched.Progress{
+			Generation: r.Generations, Generations: r.Generations,
+			Best: r.Best, BestRho: r.BestRho, BestMakespan: r.BestMakespan,
+			Candidates: r.Candidates, RadiusEvals: r.RadiusEvals,
+		}
+	}
+	if err != nil && (res == nil || !res.Partial || res.Generations == 0 ||
+		!(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))) {
+		if tracker != nil {
+			state := SearchStatz{ID: id, Algo: algo, Objective: obj, State: "failed",
+				ElapsedMs: float64(time.Since(start).Microseconds()) / 1000}
+			if res != nil {
+				state = row("failed", finalProgress(res))
+			}
+			tracker.Update(state)
+		}
+		return nil, err
+	}
+	state := "done"
+	if res.Partial {
+		state = "partial"
+	}
+	if tracker != nil {
+		tracker.Update(row(state, finalProgress(res)))
+	}
+	// Score the min-min baseline under the same bound with the same fast
+	// path the search used for feasibility (bit-identical to the engine on
+	// feasible allocations).
+	out := &SearchResponse{
+		SearchID:  id,
+		Algo:      algo,
+		Objective: obj,
+		Bound:     res.Bound,
+		Best: SearchBest{
+			Alloc: res.Best, Rho: res.BestRho,
+			Makespan: res.BestMakespan, Feasible: res.BestFeasible,
+		},
+		Generations:      res.Generations,
+		Candidates:       res.Candidates,
+		EngineCandidates: res.EngineCandidates,
+		RadiusEvals:      res.RadiusEvals,
+		Partial:          res.Partial,
+		RequestID:        rid,
+		ElapsedMs:        float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if mm, mmErr := sched.MinMin(m); mmErr == nil {
+		rho := sched.ClosedFormScore(m, mm, res.Bound)
+		ms := 0.0
+		loads := make([]float64, m.Machines)
+		for t, j := range mm {
+			loads[j] += m.At(t, j)
+		}
+		for _, l := range loads {
+			if l > ms {
+				ms = l
+			}
+		}
+		out.Baseline = SearchBest{Alloc: mm, Rho: rho, Makespan: ms, Feasible: rho >= 0}
+	}
+	return out, nil
+}
+
+// SearchBadRequest reports whether the error is a client error (bad search
+// options rather than an evaluation failure).
+func SearchBadRequest(err error) bool {
+	return errors.Is(err, sched.ErrBadTau) ||
+		errors.Is(err, sched.ErrBadMutationRate) ||
+		errors.Is(err, sched.ErrBadSearch)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
+	var req SearchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	m, opt, err := ParseSearchRequest(req)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	ctx, finish, ok := s.admit(w, r, SearchCost(m, opt), timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	id := req.SearchID
+	if id == "" {
+		id = rid
+	}
+	ev := &sched.EngineEvaluator{M: m, Bound: opt.Bound, Workers: s.cfg.MaxConcurrent}
+	res, err := ExecuteSearch(ctx, m, opt, ev, s.searches, id, rid)
+	if err != nil {
+		if SearchBadRequest(err) {
+			s.badRequest(w, r, err)
+			return
+		}
+		s.writeEvalError(w, r, err)
+		return
+	}
+	s.stats.completedOK.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}

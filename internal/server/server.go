@@ -148,11 +148,13 @@ func (c Config) withDefaults() Config {
 // Server is the daemon's request-independent state. Create with New, mount
 // Handler on an http.Server, and call Drain on shutdown.
 type Server struct {
-	cfg    Config
-	adm    *admission
-	brk    *breakerSet
-	scache *scenarioCache
-	store  *scenario.Store // nil unless Config.StoreDir is set and opened
+	cfg      Config
+	adm      *admission
+	brk      *breakerSet
+	scache   *scenarioCache
+	store    *scenario.Store // nil unless Config.StoreDir is set and opened
+	warmRegs *warmRegCache   // warm-start registries that outlive scache evictions
+	searches *SearchTracker  // allocation-search progress for /statz
 
 	// Warm-start outcome (set once by WarmStart, read by /statz).
 	warmLoaded  atomic.Int64
@@ -225,6 +227,8 @@ func New(cfg Config) *Server {
 		adm:        adm,
 		brk:        newBreakerSet(bcfg),
 		scache:     newScenarioCache(cfg.ScenarioCacheCap),
+		warmRegs:   newWarmRegCache(4 * cfg.ScenarioCacheCap),
+		searches:   NewSearchTracker(64),
 		classCache: make(map[string]*classCacheCounters),
 		base:       base,
 		baseCancel: cancel,
@@ -260,7 +264,7 @@ func (s *Server) WarmStart() (loaded, skipped int) {
 			skipped++
 			return true
 		}
-		s.decorateCachedAnalysis(a)
+		s.decorateCachedAnalysis(fp, a)
 		s.scache.put(fp, a, true)
 		loaded++
 		return loaded < s.cfg.ScenarioCacheCap
@@ -294,9 +298,21 @@ func (s *Server) enableImpactCache(a *core.Analysis) {
 // search's trajectory — see docs/performance.md). One-shot analyses (the
 // handlers' fresh-build fallback) get only the impact cache: warm state
 // there would be recorded and never reused.
-func (s *Server) decorateCachedAnalysis(a *core.Analysis) {
+//
+// The warm-start registry is keyed by the scenario fingerprint and owned by
+// the server, not the analysis: when a scenario-cache eviction later forces
+// a rebuild of the same document, the rebuilt analysis re-attaches the
+// registry and its boundary searches start warm instead of cold (warm
+// states self-validate bit-for-bit, so a stale registry only ever costs a
+// cold re-run). An empty fingerprint (un-fingerprintable document) falls
+// back to a private registry.
+func (s *Server) decorateCachedAnalysis(fp string, a *core.Analysis) {
 	s.enableImpactCache(a)
-	a.EnableWarmStart()
+	if fp == "" || s.warmRegs == nil {
+		a.EnableWarmStart()
+		return
+	}
+	a.EnableWarmStartWith(s.warmRegs.get(fp))
 }
 
 // Handler mounts the daemon's routes behind the request-ID middleware.
@@ -310,6 +326,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/radius", s.handleRadius)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/shard", s.handleShard)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	return WithRequestID(mux)
 }
 
@@ -464,6 +481,12 @@ type Statz struct {
 	// (the same classification the breaker and the cluster coordinator key
 	// on), sorted by class name.
 	Classes []ClassStatz `json:"classes,omitempty"`
+
+	// Searches lists recent and in-flight allocation searches (bounded,
+	// oldest evicted). A deadline-truncated search's row carries the
+	// partial best allocation, which a client can pass back as the next
+	// request's resume field.
+	Searches []SearchStatz `json:"searches,omitempty"`
 }
 
 // StoreStatz is the persistent scenario store's section of /statz.
@@ -593,6 +616,7 @@ func (s *Server) statz() Statz {
 	st.Tenants = s.adm.tenantStatz()
 	st.Store = s.storeStatz()
 	st.Classes = s.classStatz(breakers)
+	st.Searches = s.searches.Snapshot()
 	return st
 }
 

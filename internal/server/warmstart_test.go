@@ -151,3 +151,63 @@ func decodeEnvelopeFile(path string) (any, error) {
 	}
 	return st.Get(fp)
 }
+
+// TestWarmRegistryCarriesAcrossEvictions is the fix for warm starts going
+// cold when the scenario cache turns over: the warm-start registry is keyed
+// by document fingerprint and owned by the server, so a scache eviction and
+// rebuild of the same document re-attaches the old registry and the rebuilt
+// analysis's searches continue warm instead of restarting cold.
+func TestWarmRegistryCarriesAcrossEvictions(t *testing.T) {
+	s, ts := newTestServer(t, Config{ScenarioCacheCap: 1})
+
+	docA := numericDoc()
+	// Stamp the envelope the way lookupScenario does before fingerprinting.
+	stamped := docA
+	stamped.Version = scenario.Version
+	stamped.Kind = "fepia"
+	fpA, err := stamped.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: evaluate A twice so the cached analysis records warm state
+	// and demonstrably reuses it.
+	first := postEval(t, ts.URL, docA)
+	postEval(t, ts.URL, docA)
+	e1, ok := s.scache.get(fpA)
+	if !ok {
+		t.Fatal("doc A not in the scenario cache after round 1")
+	}
+	w1 := e1.a.WarmStats()
+	if w1.Searches == 0 || w1.RayReuses+w1.MemoHits == 0 {
+		t.Fatalf("round 1 recorded no warm state: %+v", w1)
+	}
+
+	// Evict A: a different document fills the cap-1 cache.
+	docB := numericDoc()
+	docB.Params[0].Orig = []float64{3, 4}
+	postEval(t, ts.URL, docB)
+	if _, ok := s.scache.get(fpA); ok {
+		t.Fatal("doc A survived eviction from a cap-1 cache")
+	}
+
+	// Round 2: the rebuilt analysis must re-attach the same registry —
+	// counters continue from round 1 instead of restarting at zero — and
+	// its first search must already reuse round-1 state.
+	again := postEval(t, ts.URL, docA)
+	sameRobustness(t, first, again)
+	e2, ok := s.scache.get(fpA)
+	if !ok {
+		t.Fatal("doc A not rebuilt into the scenario cache")
+	}
+	if e2.a == e1.a {
+		t.Fatal("fixture broken: doc A was never evicted (same analysis)")
+	}
+	w2 := e2.a.WarmStats()
+	if w2.Searches <= w1.Searches {
+		t.Fatalf("warm registry did not carry over: round-2 Searches %d <= round-1 %d (fresh registry)", w2.Searches, w1.Searches)
+	}
+	if w2.RayReuses+w2.MemoHits <= w1.RayReuses+w1.MemoHits {
+		t.Fatalf("rebuilt analysis searched cold: reuse %d -> %d", w1.RayReuses+w1.MemoHits, w2.RayReuses+w2.MemoHits)
+	}
+}
