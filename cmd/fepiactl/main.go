@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fepiactl [-addr http://localhost:8080] [-timeout 2m] [-request-id ID]
-//	         [-tenant NAME] <command> [args]
+//	         [-tenant NAME] [-retries 2] <command> [args]
 //
 // Commands:
 //
@@ -21,7 +21,10 @@
 //	                     -instance FILE (a makespan document, the format
 //	                     `rank -save` writes) composes one with -algo,
 //	                     -objective, -tau, -bound, -rho-min, -seed, -steps,
-//	                     -population, -generations, -search-id, -search-timeout
+//	                     -population, -generations, -search-id, -search-timeout.
+//	                     -resume ID instead continues a checkpointed search on
+//	                     a -state-dir daemon (only -search-timeout may ride
+//	                     along, overriding the stored deadline)
 //	ring status          GET /admin/ring (coordinator only)
 //	ring join URL        POST /admin/ring/join — probe URL, then cut it into the ring
 //	ring leave URL       POST /admin/ring/leave — drain URL, then cut it out
@@ -37,6 +40,13 @@
 //
 // The split lets retry loops distinguish "back off and retry here" (3) from
 // "this node is going away" (4) without parsing bodies.
+//
+// Transient failures — dial errors and 5xx responses — are retried up to
+// -retries extra times (default 2) with jittered exponential backoff before
+// the exit code above applies. Ring join and leave are never retried: they
+// mutate the ring, and a blind re-send after an ambiguous failure could
+// apply the change twice. 429 is not retried either; its Retry-After is the
+// server telling the caller when, which a fixed backoff would ignore.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -73,6 +84,7 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "HTTP client timeout")
 	requestID := flag.String("request-id", "", "X-Request-ID to stamp on the call (one is generated server-side if empty)")
 	tenant := flag.String("tenant", "", "X-Tenant identity to charge the request to (empty = the daemon's default tenant)")
+	retries := flag.Int("retries", 2, "extra attempts after a dial failure or 5xx, with jittered exponential backoff (never for ring join/leave)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -80,7 +92,11 @@ func main() {
 	}
 
 	base := strings.TrimRight(*addr, "/")
-	client := &http.Client{Timeout: *timeout}
+	client := &transport{
+		client:  &http.Client{Timeout: *timeout},
+		retries: *retries,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	hdr := headers{requestID: *requestID, tenant: *tenant}
 
 	var resp *http.Response
@@ -138,12 +154,21 @@ func searchBody(args []string) ([]byte, error) {
 	generations := fs.Int("generations", 0, "GA generations (0 = default)")
 	searchID := fs.String("search-id", "", "name for the /statz progress row (default: the request ID)")
 	searchTimeout := fs.String("search-timeout", "", "server-side search deadline, e.g. 30s (a deadline mid-search returns the partial best)")
+	resume := fs.String("resume", "", "resume the checkpointed search with this id (a -state-dir daemon; /statz lists them as \"resumable\")")
 	fs.Parse(args)
+	if *resume != "" {
+		if *file != "" || *instance != "" {
+			return nil, fmt.Errorf("search: -resume continues the stored request; it takes no -f or -instance (only -search-timeout may override)")
+		}
+		// The stored request keeps its original deadline, including the one
+		// that truncated it; -search-timeout is the one overridable field.
+		return json.Marshal(server.SearchRequest{ResumeID: *resume, Timeout: *searchTimeout})
+	}
 	if *file != "" {
 		return readRequest(*file)
 	}
 	if *instance == "" {
-		return nil, fmt.Errorf("search: need -f FILE or -instance FILE")
+		return nil, fmt.Errorf("search: need -f FILE, -instance FILE, or -resume ID")
 	}
 	inst, err := readRequest(*instance)
 	if err != nil {
@@ -167,8 +192,9 @@ func searchBody(args []string) ([]byte, error) {
 }
 
 // runRing dispatches the ring subcommands against the coordinator's admin
-// endpoints.
-func runRing(client *http.Client, base string, hdr headers, args []string) (*http.Response, error) {
+// endpoints. join and leave mutate the ring, so they get exactly one
+// attempt — a retry after an ambiguous failure could re-apply the change.
+func runRing(client *transport, base string, hdr headers, args []string) (*http.Response, error) {
 	if len(args) < 1 {
 		fmt.Fprintf(os.Stderr, "fepiactl: usage: ring status | ring join URL | ring leave URL\n")
 		os.Exit(exitUsage)
@@ -185,7 +211,7 @@ func runRing(client *http.Client, base string, hdr headers, args []string) (*htt
 		if err != nil {
 			return nil, err
 		}
-		return post(client, base+"/admin/ring/"+sub, body, hdr)
+		return post(client.once(), base+"/admin/ring/"+sub, body, hdr)
 	default:
 		fmt.Fprintf(os.Stderr, "fepiactl: unknown ring subcommand %q (want status, join, or leave)\n", sub)
 		os.Exit(exitUsage)
@@ -195,7 +221,7 @@ func runRing(client *http.Client, base string, hdr headers, args []string) (*htt
 
 // runTenants prints the per-tenant admission section of /statz, so an
 // operator can read quota pressure without wading through the full document.
-func runTenants(client *http.Client, base string, hdr headers) {
+func runTenants(client *transport, base string, hdr headers) {
 	resp, err := get(client, base+"/statz", hdr)
 	if err != nil {
 		fatal(err)
@@ -294,23 +320,76 @@ func (h headers) apply(req *http.Request) {
 	}
 }
 
-func get(client *http.Client, url string, hdr headers) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	hdr.apply(req)
-	return client.Do(req)
+// transport is the HTTP client plus a bounded retry budget for transient
+// failures: dial/transport errors and 5xx responses. Each retry waits a
+// jittered exponential backoff (200ms base, doubled, ±50% jitter, capped at
+// 5s). Non-5xx responses — including 429 sheds, whose Retry-After belongs to
+// the caller — are returned as-is, so the exit-code contract is unchanged;
+// retries only buy extra attempts before the usual mapping applies.
+type transport struct {
+	client  *http.Client
+	retries int
+	rng     *rand.Rand
 }
 
-func post(client *http.Client, url string, body []byte, hdr headers) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+// once returns a copy with no retry budget, for mutating admin calls (ring
+// join/leave) where a blind re-send could repeat a topology change.
+func (t *transport) once() *transport {
+	return &transport{client: t.client, retries: 0, rng: t.rng}
+}
+
+// do runs build → Do up to 1+retries times. build is invoked per attempt so
+// each retry gets a fresh request body.
+func (t *transport) do(build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := 200 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := t.client.Do(req)
+		transient := err != nil || resp.StatusCode >= 500
+		if !transient || attempt >= t.retries {
+			return resp, err
+		}
+		what := fmt.Sprintf("%v", err)
+		if err == nil {
+			what = resp.Status
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		wait := backoff/2 + time.Duration(t.rng.Int63n(int64(backoff)))
+		fmt.Fprintf(os.Stderr, "fepiactl: transient failure (%s), retrying in %v (%d attempt(s) left)\n",
+			what, wait.Round(time.Millisecond), t.retries-attempt)
+		time.Sleep(wait)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	hdr.apply(req)
-	return client.Do(req)
+}
+
+func get(t *transport, url string, hdr headers) (*http.Response, error) {
+	return t.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		hdr.apply(req)
+		return req, nil
+	})
+}
+
+func post(t *transport, url string, body []byte, hdr headers) (*http.Response, error) {
+	return t.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		hdr.apply(req)
+		return req, nil
+	})
 }
 
 func printJSON(data []byte) {

@@ -16,6 +16,7 @@
 //	fepiad [-addr :8080] [-default-timeout 30s] [-max-timeout 2m]
 //	       [-max-concurrent N] [-queue-cost 1048576] [-workers 1]
 //	       [-cache 0] [-scenario-cache 0] [-store-dir DIR]
+//	       [-store-max-bytes 0] [-state-dir DIR]
 //	       [-tenant-quota 0] [-tenant-weights a=2,b=0.5]
 //	       [-breaker-threshold 5] [-breaker-backoff 1s]
 //	       [-breaker-max-backoff 2m] [-drain-timeout 20s] [-chaos]
@@ -23,7 +24,8 @@
 // Usage (coordinator):
 //
 //	fepiad -mode=coordinator -workers http://h1:8080,http://h2:8080 \
-//	       [-addr :8080] [-health-interval 2s] [-probe-timeout 1s]
+//	       [-addr :8080] [-state-dir DIR] [-recovery-timeout 15s]
+//	       [-health-interval 2s] [-probe-timeout 1s]
 //	       [-max-inflight 32] [-scatter-budget 250ms] [-hedge-after 0]
 //	       [-max-attempts 3] [-vnodes 64] [-breaker-threshold 5]
 //	       [-drain-timeout 20s]
@@ -44,7 +46,20 @@
 // With -store-dir the worker persists every scenario it builds
 // (content-addressed, atomic, checksummed) and reloads the store into its
 // scenario cache before serving, so a restart starts warm. Requires
-// -scenario-cache > 0.
+// -scenario-cache > 0. -store-max-bytes bounds the store on disk; past the
+// bound the coldest entries are evicted LRU-by-access, never one pinned by
+// an in-flight evaluation.
+//
+// With -state-dir the daemon is durable across crashes. Both modes
+// checkpoint every /v1/search generation there (temp+fsync+rename), so a
+// killed search can be resumed bit-identically — POST /v1/search with
+// {"resumeId": ID} (or fepiactl search -resume ID) after a restart; /statz
+// lists recovered checkpoints as "resumable". The coordinator additionally
+// journals every ring membership change (join/leave, checksummed,
+// generation-stamped) and on boot replays the journal, preferring the
+// journaled fleet over -workers; /readyz reports "recovering" (503) until
+// a journaled member answers a probe or -recovery-timeout lapses.
+// docs/operations.md §"Coordinator crash and recovery" is the runbook.
 //
 // On SIGTERM (or SIGINT) the daemon stops accepting work, lets in-flight
 // requests finish — cancelling them at -drain-timeout so every accepted
@@ -95,6 +110,9 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: re-issue a shard after this long (0 = adaptive, 3x worker latency)")
 	maxAttempts := flag.Int("max-attempts", 3, "coordinator: workers one shard may be sent to, counting the hedge")
 	vnodes := flag.Int("vnodes", 64, "coordinator: virtual nodes per worker on the placement ring")
+	stateDir := flag.String("state-dir", "", "durable state directory: search checkpoints (both modes) and the ring membership journal (coordinator)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "worker: scenario store size bound; coldest unpinned entries are evicted past it (0 = unbounded)")
+	recoveryTimeout := flag.Duration("recovery-timeout", 15*time.Second, "coordinator: how long /readyz may report recovering while re-probing journaled members")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "fepiad: ", log.LstdFlags)
@@ -129,6 +147,8 @@ func main() {
 			CacheShards:       *cacheShards,
 			ScenarioCacheCap:  *scenarioCache,
 			StoreDir:          *storeDir,
+			StoreMaxBytes:     *storeMaxBytes,
+			StateDir:          *stateDir,
 			BreakerThreshold:  *breakerThreshold,
 			BreakerBackoff:    *breakerBackoff,
 			BreakerMaxBackoff: *breakerMaxBackoff,
@@ -138,6 +158,11 @@ func main() {
 		if *storeDir != "" {
 			loaded, skippedN := s.WarmStart()
 			logger.Printf("warm start: %d scenario(s) loaded, %d skipped", loaded, skippedN)
+		}
+		if *stateDir != "" {
+			if n := s.LoadResumableSearches(); n > 0 {
+				logger.Printf("recovered %d resumable search(es) from %s", n, *stateDir)
+			}
 		}
 		handler, drain = s.Handler(), s.Drain
 
@@ -163,10 +188,12 @@ func main() {
 			BreakerBackoff:       *breakerBackoff,
 			BreakerMaxBackoff:    *breakerMaxBackoff,
 			EnableChaos:          *enableChaos,
+			StateDir:             *stateDir,
+			RecoveryTimeout:      *recoveryTimeout,
 			Logf:                 logger.Printf,
 		})
 		if err != nil {
-			logger.Fatalf("%v (coordinator mode needs -workers as a comma-separated URL list)", err)
+			logger.Fatalf("%v (coordinator mode needs -workers as a comma-separated URL list, or a -state-dir whose ring journal names the fleet)", err)
 		}
 		handler, drain = c.Handler(), c.Drain
 

@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,6 +99,22 @@ type Config struct {
 	// (which must also run with chaos enabled). Never in production.
 	EnableChaos bool
 
+	// StateDir, when set, makes the coordinator durable: ring membership
+	// changes are journaled under it (see journal.go) and replayed on the
+	// next start — a restarted coordinator serves the admin-configured
+	// fleet, not the static Workers list — and search checkpoints are
+	// persisted under <StateDir>/searches so POST /v1/search can resume a
+	// crashed run bit-identically. Empty disables both (the pre-durability
+	// behavior).
+	StateDir string
+
+	// RecoveryTimeout bounds the post-restart convergence window: a
+	// coordinator that recovered its ring from the journal answers /readyz
+	// 503 "recovering" until at least one journaled member probes up, or
+	// this long has passed (default 15s). Evaluation traffic is still
+	// served during recovery — the gate is advisory, for load balancers.
+	RecoveryTimeout time.Duration
+
 	// Client is the HTTP client for worker traffic (default: a dedicated
 	// client with sane connection pooling and no global timeout — per-shard
 	// contexts carry the deadlines).
@@ -131,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VNodes <= 0 {
 		c.VNodes = 64
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 15 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -166,6 +186,12 @@ type Coordinator struct {
 	start    time.Time
 	stats    coordStats
 	searches *server.SearchTracker // allocation-search progress for /statz
+
+	// Durability (nil / immediately-converged without Config.StateDir).
+	journal     *Journal                // ring membership log, or nil
+	ckpts       *server.CheckpointStore // search checkpoints, or nil
+	fromJournal bool                    // topology was recovered from the journal
+	recovered   atomic.Bool             // /readyz gate: ring converged after restart
 }
 
 // coordStats are the coordinator's monotonic counters (see /statz).
@@ -185,11 +211,12 @@ type coordStats struct {
 	leaves atomic.Uint64 // workers drained out via RemoveWorker
 }
 
-// New builds a Coordinator and starts its health-probe loop.
+// New builds a Coordinator and starts its health-probe loop. With
+// Config.StateDir set, the ring journal is replayed first: a journaled
+// membership overrides the static Workers list, and the coordinator answers
+// /readyz "recovering" until the recovered ring converges (one member probes
+// up) or RecoveryTimeout lapses.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("cluster: no workers configured")
-	}
 	cfg = cfg.withDefaults()
 	client := cfg.Client
 	if client == nil {
@@ -208,14 +235,111 @@ func New(cfg Config) (*Coordinator, error) {
 		start:      time.Now(),
 		searches:   server.NewSearchTracker(64),
 	}
-	members := make([]*member, 0, len(cfg.Workers))
-	for idx, url := range cfg.Workers {
+
+	// The journaled membership, when present, is the truth: it reflects
+	// every join/leave the fleet went through, which the static flag list
+	// does not.
+	workers := cfg.Workers
+	gen := uint64(1)
+	if cfg.StateDir != "" {
+		j, err := OpenJournal(cfg.StateDir, cfg.Logf)
+		if err != nil {
+			cfg.Logf("cluster: ring journaling disabled: %v", err)
+		} else {
+			c.journal = j
+			if recovered, jgen, ok := j.Recovered(); ok {
+				workers = recovered
+				if jgen > gen {
+					gen = jgen
+				}
+				c.fromJournal = true
+				cfg.Logf("cluster: recovered %d worker(s) at generation %d from %s", len(recovered), jgen, j.Path())
+			}
+		}
+	}
+	if len(workers) == 0 {
+		if c.journal != nil {
+			_ = c.journal.Close()
+		}
+		cancel()
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	members := make([]*member, 0, len(workers))
+	for idx, url := range workers {
 		members = append(members, newMember(url, idx, cfg.MaxInflightPerWorker))
 	}
-	c.topo.Store(newTopology(1, members, cfg.VNodes))
+	c.topo.Store(newTopology(gen, members, cfg.VNodes))
+	if c.journal != nil && !c.fromJournal {
+		if err := c.journal.AppendSnapshot(workers, gen); err != nil {
+			cfg.Logf("cluster: journaling initial membership: %v", err)
+		}
+	}
+
+	if cfg.StateDir != "" {
+		ckpts, err := server.OpenCheckpointStore(filepath.Join(cfg.StateDir, "searches"))
+		if err != nil {
+			cfg.Logf("cluster: search checkpointing disabled: %v", err)
+		} else {
+			c.ckpts = ckpts
+			if recs := ckpts.List(); len(recs) > 0 {
+				for _, rec := range recs {
+					c.searches.Update(rec.ResumableRow())
+				}
+				cfg.Logf("cluster: %d resumable search(es) on disk", len(recs))
+			}
+		}
+	}
+
+	if c.fromJournal {
+		c.probeWG.Add(1)
+		go c.recoveryLoop()
+	} else {
+		c.recovered.Store(true)
+	}
 	c.probeWG.Add(1)
 	go c.probeLoop()
 	return c, nil
+}
+
+// recoveryLoop re-probes the journal-recovered membership until at least one
+// member answers up (ring converged with reality) or RecoveryTimeout lapses,
+// then lifts the /readyz "recovering" gate either way. Recovery never blocks
+// evaluation traffic — a stale-but-journaled ring still routes, and the
+// scatter path's retries absorb members that stayed dead.
+func (c *Coordinator) recoveryLoop() {
+	defer c.probeWG.Done()
+	deadline := time.NewTimer(c.cfg.RecoveryTimeout)
+	defer deadline.Stop()
+	for {
+		c.probeOnce(c.base)
+		for _, m := range c.topology().active {
+			if m.up() {
+				c.recovered.Store(true)
+				c.cfg.Logf("cluster: recovery converged (worker %s is up)", m.url)
+				return
+			}
+		}
+		select {
+		case <-c.base.Done():
+			return
+		case <-deadline.C:
+			c.recovered.Store(true)
+			c.cfg.Logf("cluster: recovery timeout (%s) lapsed with no journaled worker up; serving anyway", c.cfg.RecoveryTimeout)
+			return
+		case <-time.After(c.cfg.ProbeTimeout / 2):
+		}
+	}
+}
+
+// journalAppend best-effort logs one membership event; a failed append costs
+// durability of that event, never the rebalance itself.
+func (c *Coordinator) journalAppend(op, url string, gen uint64) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.Append(op, url, gen); err != nil {
+		c.cfg.Logf("cluster: journaling %s of %s: %v", op, url, err)
+	}
 }
 
 // Handler mounts the coordinator's routes behind the request-ID middleware.
@@ -307,11 +431,18 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	}
 	c.baseCancel()
 	c.probeWG.Wait()
+	if c.journal != nil {
+		_ = c.journal.Close()
+	}
 	return err
 }
 
-// Close releases the coordinator without draining (tests).
+// Close releases the coordinator without draining (tests, and the crash
+// analog in the recovery differential).
 func (c *Coordinator) Close() {
 	c.baseCancel()
 	c.probeWG.Wait()
+	if c.journal != nil {
+		_ = c.journal.Close()
+	}
 }

@@ -143,6 +143,13 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if !c.recovered.Load() {
+		// Post-restart: the ring came from the journal and no journaled
+		// member has probed up yet (see recoveryLoop). Load balancers should
+		// hold traffic; requests sent anyway are still served.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
+	}
 	up := 0
 	for _, m := range c.topology().active {
 		if m.up() {
@@ -162,11 +169,18 @@ type Statz struct {
 	Draining bool  `json:"draining"`
 	Inflight int   `json:"inflight"`
 
-	// RingGeneration counts topology publishes (initial topology = 1);
-	// Joins/Leaves count live rebalance events since startup.
+	// RingGeneration counts topology publishes (initial topology = 1, or
+	// the journal-recovered generation after a restart); Joins/Leaves count
+	// live rebalance events since startup.
 	RingGeneration uint64 `json:"ringGeneration"`
 	Joins          uint64 `json:"joins"`
 	Leaves         uint64 `json:"leaves"`
+
+	// Recovering is true between a journal-recovered restart and ring
+	// convergence (see /readyz "recovering"). Journal, present when a state
+	// dir is configured, is the ring journal's health.
+	Recovering bool          `json:"recovering,omitempty"`
+	Journal    *JournalStatz `json:"journal,omitempty"`
 
 	Workers []WorkerStatz `json:"workers"`
 
@@ -227,6 +241,8 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		WorkerErrors:     c.stats.workerErrors.Load(),
 		BreakerTrips:     trips,
 		Breakers:         breakers,
+		Recovering:       !c.recovered.Load(),
+		Journal:          c.journalStatz(),
 		Searches:         c.searches.Snapshot(),
 	}
 	for _, m := range t.members {

@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"fepia/internal/durable"
+)
+
+// The ring journal makes topology administration durable: every join, leave,
+// and snapshot is appended — checksummed and generation-stamped — to
+// <state-dir>/ring.journal, and a restarted coordinator replays the file to
+// recover the admin-configured fleet instead of falling back to the static
+// -workers flag.
+//
+// Format: one JSON object per line, each wrapping a record with a kind tag,
+// a format version, and an FNV-1a/64 checksum of the record bytes. A line
+// that fails any check (shape, checksum, kind, unparseable record) marks the
+// start of a corrupt tail: the tail's bytes are moved to
+// ring.journal.quarantined (best-effort, for post-mortem), its lines are
+// counted, and the journal is immediately compacted so the next boot reads a
+// clean file. Records whose generation does not advance past the fold's
+// (duplicates from a crashed append, replayed lines) are counted stale and
+// skipped. Corruption is never fatal — the worst case is recovering an older
+// ring, which the recovery probe loop then reconciles against reality.
+//
+// Compaction rewrites the file as a single snapshot line via the shared
+// atomic-write discipline (internal/durable) once the live file grows past
+// journalCompactAfter lines, so the journal's size is bounded by churn rate,
+// not uptime.
+
+const (
+	journalKind    = "fepia-ring-journal"
+	journalVersion = 1
+	journalFile    = "ring.journal"
+
+	// journal operations
+	opJoin     = "join"
+	opLeave    = "leave"
+	opSnapshot = "snapshot"
+
+	// journalCompactAfter is the live-line count that triggers an automatic
+	// compaction on the next append.
+	journalCompactAfter = 256
+)
+
+// journalLine is the on-disk shape of one journal entry.
+type journalLine struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	// Sum is FNV-1a/64 of the raw Rec bytes, hex-encoded.
+	Sum string          `json:"sum"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// journalRecord is one topology admin event.
+type journalRecord struct {
+	// Seq orders records within the file; Gen is the topology generation the
+	// event produced (the fold skips records that do not advance it).
+	Seq uint64 `json:"seq"`
+	Gen uint64 `json:"gen"`
+	// Op is join, leave, or snapshot.
+	Op string `json:"op"`
+	// URL is the worker joining/leaving (empty for snapshot).
+	URL string `json:"url,omitempty"`
+	// Members is the full membership (snapshot only).
+	Members []string `json:"members,omitempty"`
+}
+
+// JournalStats are the journal's monotonic counters.
+type JournalStats struct {
+	Appends        uint64 `json:"appends"`
+	AppendErrors   uint64 `json:"appendErrors"`
+	Compactions    uint64 `json:"compactions"`
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+	StaleSkipped   uint64 `json:"staleSkipped"`
+	Replayed       uint64 `json:"replayed"`
+}
+
+// Journal is the durable ring-membership log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	path string
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	f         *os.File // O_APPEND handle; nil after Close
+	closed    bool
+	seq       uint64
+	gen       uint64
+	members   []string
+	lines     int  // live lines on disk, for the compaction trigger
+	recovered bool // replay applied at least one record
+	stats     JournalStats
+}
+
+// OpenJournal opens (creating if needed) the ring journal under dir and
+// replays it. Corrupt content is quarantined and compacted away; only an
+// unusable directory or file handle is an error.
+func OpenJournal(dir string, logf func(format string, args ...any)) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: journal dir is empty")
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: opening journal: %w", err)
+	}
+	// Sweep temp files left by a crash mid-compaction; they were never the
+	// live journal.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), ".journal-") {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	j := &Journal{path: filepath.Join(dir, journalFile), logf: logf}
+	corrupt := j.replay()
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening journal: %w", err)
+	}
+	j.f = f
+	if corrupt {
+		// Rewrite a clean single-snapshot file so the next boot replays no
+		// quarantine path.
+		j.mu.Lock()
+		if err := j.compactLocked(); err != nil {
+			logf("cluster: journal compaction after quarantine failed: %v", err)
+		}
+		j.mu.Unlock()
+	}
+	return j, nil
+}
+
+// replay folds the on-disk journal into memory. Returns whether a corrupt
+// tail was found (and quarantined).
+func (j *Journal) replay() bool {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return false // no file yet (or unreadable: treated as empty)
+	}
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		end := len(data)
+		if nl >= 0 {
+			end = offset + nl
+		}
+		line := bytes.TrimSpace(data[offset:end])
+		if len(line) == 0 {
+			offset = end + 1
+			continue
+		}
+		rec, err := decodeJournalLine(line)
+		if err != nil {
+			j.quarantineTail(data[offset:])
+			return true
+		}
+		j.stats.Replayed++
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		if j.recovered && rec.Gen <= j.gen {
+			// A duplicate generation (torn re-append, replayed line) must not
+			// rewind or re-apply membership.
+			j.stats.StaleSkipped++
+			j.lines++
+			offset = end + 1
+			continue
+		}
+		j.apply(rec)
+		j.lines++
+		offset = end + 1
+	}
+	return false
+}
+
+// decodeJournalLine verifies one line end to end.
+func decodeJournalLine(line []byte) (journalRecord, error) {
+	var jl journalLine
+	var rec journalRecord
+	if err := json.Unmarshal(line, &jl); err != nil {
+		return rec, fmt.Errorf("cluster: journal line: %w", err)
+	}
+	if jl.Kind != journalKind || jl.Version != journalVersion {
+		return rec, fmt.Errorf("cluster: journal line kind/version %q/%d, want %q/%d", jl.Kind, jl.Version, journalKind, journalVersion)
+	}
+	if got := durable.Checksum(jl.Rec); got != jl.Sum {
+		return rec, fmt.Errorf("cluster: journal line checksum %s, recorded %s", got, jl.Sum)
+	}
+	if err := json.Unmarshal(jl.Rec, &rec); err != nil {
+		return rec, fmt.Errorf("cluster: journal record: %w", err)
+	}
+	switch rec.Op {
+	case opJoin, opLeave:
+		if rec.URL == "" {
+			return rec, fmt.Errorf("cluster: journal %s record without url", rec.Op)
+		}
+	case opSnapshot:
+	default:
+		return rec, fmt.Errorf("cluster: journal record op %q unknown", rec.Op)
+	}
+	return rec, nil
+}
+
+// apply folds one verified record into the membership.
+func (j *Journal) apply(rec journalRecord) {
+	switch rec.Op {
+	case opSnapshot:
+		j.members = append([]string(nil), rec.Members...)
+	case opJoin:
+		for _, u := range j.members {
+			if u == rec.URL {
+				j.stats.StaleSkipped++
+				j.gen = rec.Gen
+				j.recovered = true
+				return
+			}
+		}
+		j.members = append(j.members, rec.URL)
+	case opLeave:
+		kept := j.members[:0]
+		found := false
+		for _, u := range j.members {
+			if u == rec.URL {
+				found = true
+				continue
+			}
+			kept = append(kept, u)
+		}
+		j.members = kept
+		if !found {
+			j.stats.StaleSkipped++
+		}
+	}
+	j.gen = rec.Gen
+	j.recovered = true
+}
+
+// quarantineTail moves the corrupt suffix to <journal>.quarantined
+// (appending, best-effort) and counts its lines.
+func (j *Journal) quarantineTail(tail []byte) {
+	for _, line := range bytes.Split(tail, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			j.stats.CorruptSkipped++
+		}
+	}
+	q, err := os.OpenFile(j.path+".quarantined", os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err == nil {
+		_, _ = q.Write(tail)
+		_ = q.Close()
+	}
+	j.logf("cluster: journal: quarantined %d corrupt line(s)", j.stats.CorruptSkipped)
+}
+
+// Recovered reports the replayed membership and generation; ok is false when
+// the journal had no applied records (fresh state dir).
+func (j *Journal) Recovered() (members []string, gen uint64, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.recovered {
+		return nil, 0, false
+	}
+	return append([]string(nil), j.members...), j.gen, true
+}
+
+// Members returns the current membership fold.
+func (j *Journal) Members() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.members...)
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably logs one join/leave event at the given generation and folds
+// it into the in-memory membership. The write is fsynced before Append
+// returns; once the file crosses the compaction threshold it is rewritten as
+// a single snapshot.
+func (j *Journal) Append(op, url string, gen uint64) error {
+	return j.append(journalRecord{Op: op, URL: url, Gen: gen})
+}
+
+// AppendSnapshot durably logs the full membership at the given generation.
+func (j *Journal) AppendSnapshot(members []string, gen uint64) error {
+	return j.append(journalRecord{Op: opSnapshot, Members: append([]string(nil), members...), Gen: gen})
+}
+
+func (j *Journal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("cluster: journal is closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	line, err := encodeJournalLine(rec)
+	if err != nil {
+		j.stats.AppendErrors++
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.stats.AppendErrors++
+		return fmt.Errorf("cluster: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.stats.AppendErrors++
+		return fmt.Errorf("cluster: journal append: %w", err)
+	}
+	j.stats.Appends++
+	j.apply(rec)
+	j.lines++
+	if j.lines > journalCompactAfter {
+		if err := j.compactLocked(); err != nil {
+			j.logf("cluster: journal auto-compaction failed: %v", err)
+		}
+	}
+	return nil
+}
+
+func encodeJournalLine(rec journalRecord) ([]byte, error) {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: journal append: %w", err)
+	}
+	line, err := json.Marshal(journalLine{
+		Kind:    journalKind,
+		Version: journalVersion,
+		Sum:     durable.Checksum(raw),
+		Rec:     raw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: journal append: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// Compact rewrites the journal as a single snapshot of the current fold.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("cluster: journal is closed")
+	}
+	return j.compactLocked()
+}
+
+// compactLocked atomically replaces the file with one snapshot line and
+// swaps the append handle onto it. Caller holds j.mu.
+func (j *Journal) compactLocked() error {
+	j.seq++
+	line, err := encodeJournalLine(journalRecord{
+		Seq:     j.seq,
+		Gen:     j.gen,
+		Op:      opSnapshot,
+		Members: append([]string(nil), j.members...),
+	})
+	if err != nil {
+		return err
+	}
+	if err := durable.WriteFileAtomic(j.path, line, ".journal-*"); err != nil {
+		return fmt.Errorf("cluster: journal compaction: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: journal compaction: %w", err)
+	}
+	if j.f != nil {
+		_ = j.f.Close()
+	}
+	j.f = f
+	j.lines = 1
+	j.stats.Compactions++
+	return nil
+}
+
+// JournalStatz is the ring journal's section of the coordinator's /statz.
+type JournalStatz struct {
+	Path           string `json:"path"`
+	Generation     uint64 `json:"generation"`
+	Members        int    `json:"members"`
+	Appends        uint64 `json:"appends"`
+	AppendErrors   uint64 `json:"appendErrors"`
+	Compactions    uint64 `json:"compactions"`
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+	StaleSkipped   uint64 `json:"staleSkipped"`
+	Replayed       uint64 `json:"replayed"`
+}
+
+// journalStatz snapshots the journal section; nil when no state dir is
+// configured.
+func (c *Coordinator) journalStatz() *JournalStatz {
+	j := c.journal
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JournalStatz{
+		Path:           j.path,
+		Generation:     j.gen,
+		Members:        len(j.members),
+		Appends:        j.stats.Appends,
+		AppendErrors:   j.stats.AppendErrors,
+		Compactions:    j.stats.Compactions,
+		CorruptSkipped: j.stats.CorruptSkipped,
+		StaleSkipped:   j.stats.StaleSkipped,
+		Replayed:       j.stats.Replayed,
+	}
+}
+
+// Close releases the append handle. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f != nil {
+		err := j.f.Close()
+		j.f = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fepia/internal/server"
+)
+
+// buildJournal writes a known event sequence and closes the journal:
+// snapshot {a,b}@1, join c@2, leave a@3. Final fold: {b,c} at generation 3.
+func buildJournal(t *testing.T, dir string) {
+	t.Helper()
+	j, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSnapshot([]string{"http://a", "http://b"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(opJoin, "http://c", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(opLeave, "http://a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameMembers(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("members: got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("members: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	buildJournal(t, dir)
+	j, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	members, gen, ok := j.Recovered()
+	if !ok {
+		t.Fatal("journal with records reported nothing recovered")
+	}
+	sameMembers(t, members, []string{"http://b", "http://c"})
+	if gen != 3 {
+		t.Fatalf("generation: got %d, want 3", gen)
+	}
+	st := j.Stats()
+	if st.Replayed != 3 || st.CorruptSkipped != 0 || st.StaleSkipped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestJournalEmptyRecoversNothing(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, _, ok := j.Recovered(); ok {
+		t.Fatal("empty journal claimed a recovered membership")
+	}
+}
+
+// TestJournalSurvivesCorruption is the chaos matrix from the issue: every
+// mutation must quarantine (count, never fail open) and recover the intact
+// prefix.
+func TestJournalSurvivesCorruption(t *testing.T) {
+	cases := []struct {
+		name        string
+		mutate      func(t *testing.T, dir string, data []byte) []byte
+		wantMembers []string
+		wantGen     uint64
+		wantCorrupt uint64 // minimum corrupt-skipped count
+		wantStale   uint64
+	}{
+		{
+			// Chop the file mid-way through the final line: the leave is
+			// lost, the prefix (snapshot + join) survives.
+			name: "truncated tail",
+			mutate: func(t *testing.T, _ string, data []byte) []byte {
+				return data[:len(data)-10]
+			},
+			wantMembers: []string{"http://a", "http://b", "http://c"},
+			wantGen:     2,
+			wantCorrupt: 1,
+		},
+		{
+			// Flip one checksum hex digit on the last line: valid JSON, only
+			// the checksum catches it.
+			name: "flipped checksum byte",
+			mutate: func(t *testing.T, _ string, data []byte) []byte {
+				lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'})
+				last := string(lines[len(lines)-1])
+				i := strings.Index(last, `"sum":"`)
+				if i < 0 {
+					t.Fatal("no sum field in journal line")
+				}
+				b := []byte(last)
+				pos := i + len(`"sum":"`)
+				if b[pos] == '0' {
+					b[pos] = '1'
+				} else {
+					b[pos] = '0'
+				}
+				lines[len(lines)-1] = b
+				return append(bytes.Join(lines, []byte{'\n'}), '\n')
+			},
+			wantMembers: []string{"http://a", "http://b", "http://c"},
+			wantGen:     2,
+			wantCorrupt: 1,
+		},
+		{
+			// Re-append the final line verbatim (a torn retry): same
+			// generation must not re-apply.
+			name: "duplicate generation",
+			mutate: func(t *testing.T, _ string, data []byte) []byte {
+				lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'})
+				dup := lines[len(lines)-1]
+				return append(append(data, dup...), '\n')
+			},
+			wantMembers: []string{"http://b", "http://c"},
+			wantGen:     3,
+			wantStale:   1,
+		},
+		{
+			// A crash mid-compaction: a stray temp file holds a partial
+			// snapshot line and garbage trails the live journal. The temp is
+			// swept, the garbage quarantined, the fold intact.
+			name: "interleaved partial compaction",
+			mutate: func(t *testing.T, dir string, data []byte) []byte {
+				temp := filepath.Join(dir, ".journal-123456")
+				if err := os.WriteFile(temp, data[:len(data)/3], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return append(data, []byte(`{"kind":"fepia-ring-jo`)...)
+			},
+			wantMembers: []string{"http://b", "http://c"},
+			wantGen:     3,
+			wantCorrupt: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildJournal(t, dir)
+			path := filepath.Join(dir, journalFile)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mutate(t, dir, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j, err := OpenJournal(dir, t.Logf)
+			if err != nil {
+				t.Fatalf("corruption was fatal: %v", err)
+			}
+			members, gen, ok := j.Recovered()
+			if !ok {
+				t.Fatal("nothing recovered")
+			}
+			sameMembers(t, members, c.wantMembers)
+			if gen != c.wantGen {
+				t.Fatalf("generation: got %d, want %d", gen, c.wantGen)
+			}
+			st := j.Stats()
+			if st.CorruptSkipped < c.wantCorrupt {
+				t.Fatalf("corruptSkipped: got %d, want >= %d", st.CorruptSkipped, c.wantCorrupt)
+			}
+			if st.StaleSkipped != c.wantStale {
+				t.Fatalf("staleSkipped: got %d, want %d", st.StaleSkipped, c.wantStale)
+			}
+			if c.wantCorrupt > 0 {
+				if _, err := os.Stat(path + ".quarantined"); err != nil {
+					t.Fatalf("quarantine file: %v", err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// No temp files survive an open.
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasPrefix(e.Name(), ".journal-") {
+					t.Fatalf("stray temp file %s survived", e.Name())
+				}
+			}
+
+			// The post-quarantine compaction left a clean file: a third open
+			// replays with zero corruption and the same fold.
+			j2, err := OpenJournal(dir, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			members2, gen2, ok := j2.Recovered()
+			if !ok {
+				t.Fatal("nothing recovered on second reopen")
+			}
+			sameMembers(t, members2, c.wantMembers)
+			if gen2 != c.wantGen {
+				t.Fatalf("second reopen generation: got %d, want %d", gen2, c.wantGen)
+			}
+			if st2 := j2.Stats(); st2.CorruptSkipped != 0 {
+				t.Fatalf("second reopen still corrupt: %+v", st2)
+			}
+		})
+	}
+}
+
+func TestJournalAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSnapshot([]string{"http://a"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Alternate joins and leaves of a churning member to cross the
+	// compaction threshold without growing the membership.
+	gen := uint64(1)
+	for i := 0; i < journalCompactAfter+10; i += 2 {
+		gen++
+		if err := j.Append(opJoin, "http://churn", gen); err != nil {
+			t.Fatal(err)
+		}
+		gen++
+		if err := j.Append(opLeave, "http://churn", gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d appends: %+v", st.Appends, st)
+	}
+	if j.lines > journalCompactAfter+1 {
+		t.Fatalf("journal still holds %d live lines after compaction", j.lines)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	members, gotGen, ok := j2.Recovered()
+	if !ok {
+		t.Fatal("nothing recovered after compaction")
+	}
+	sameMembers(t, members, []string{"http://a"})
+	if gotGen != gen {
+		t.Fatalf("generation: got %d, want %d", gotGen, gen)
+	}
+}
+
+// TestCoordinatorRecoversJournaledRing proves the tentpole behavior end to
+// end at the cluster layer: a coordinator restarted with the same state dir
+// serves the journaled (post-join) ring even when started with a different
+// static worker list, gates /readyz on convergence, and lifts the gate once
+// a journaled member probes up.
+func TestCoordinatorRecoversJournaledRing(t *testing.T) {
+	stateDir := t.TempDir()
+	workers, coord, _ := newFleet(t, 2, func(cfg *Config) {
+		cfg.StateDir = stateDir
+	})
+
+	// Grow the fleet live so the journal diverges from the static list.
+	extra := newTestWorker(t)
+	ctx, cancel := contextWithTestTimeout(t)
+	defer cancel()
+	if _, err := coord.AddWorker(ctx, extra.URL); err != nil {
+		t.Fatal(err)
+	}
+	wantGen := coord.topology().gen
+	coord.Close() // crash analog: no drain, no cleanup
+
+	// Restart with the stale static list: the journal must win.
+	cfg := Config{
+		Workers:        []string{workers[0].URL}, // stale
+		StateDir:       stateDir,
+		EnableChaos:    true,
+		HealthInterval: 50 * time.Millisecond,
+		ProbeTimeout:   200 * time.Millisecond,
+	}
+	coord2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	if !coord2.fromJournal {
+		t.Fatal("restarted coordinator ignored the journal")
+	}
+	topo := coord2.topology()
+	if topo.gen != wantGen {
+		t.Fatalf("recovered generation: got %d, want %d", topo.gen, wantGen)
+	}
+	var urls []string
+	for _, m := range topo.members {
+		urls = append(urls, m.url)
+	}
+	sameMembers(t, urls, []string{workers[0].URL, workers[1].URL, extra.URL})
+
+	// The gate lifts once recovery converges (workers are live).
+	waitForRecovery(t, coord2)
+}
+
+// TestCoordinatorRecoveryGate pins /readyz 503 "recovering" while every
+// journaled member is unreachable, through to the RecoveryTimeout lapse.
+func TestCoordinatorRecoveryGate(t *testing.T) {
+	stateDir := t.TempDir()
+	// Journal a fleet of one unreachable worker.
+	j, err := OpenJournal(stateDir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSnapshot([]string{"http://127.0.0.1:1"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := New(Config{
+		StateDir:        stateDir,
+		HealthInterval:  50 * time.Millisecond,
+		ProbeTimeout:    50 * time.Millisecond,
+		RecoveryTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during recovery: got %d, want 503", resp.StatusCode)
+	}
+
+	waitForRecovery(t, coord) // the timeout lapse lifts the gate anyway
+}
+
+func newTestWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(workerConfig())
+	w := httptest.NewServer(s.Handler())
+	t.Cleanup(w.Close)
+	return w
+}
+
+func contextWithTestTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+func waitForRecovery(t *testing.T, c *Coordinator) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.recovered.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery gate never lifted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

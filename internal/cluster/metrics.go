@@ -30,12 +30,33 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	p.Header("fepiac_ring_generation", "gauge", "Topology generation (bumped by every join/leave publish).")
 	p.Metric("fepiac_ring_generation", float64(t.gen))
+	p.Header("fepiac_recovering", "gauge", "1 between a journal-recovered restart and ring convergence.")
+	rec := 0.0
+	if !c.recovered.Load() {
+		rec = 1
+	}
+	p.Metric("fepiac_recovering", rec)
 	p.Header("fepiac_ring_active_workers", "gauge", "Workers currently on the placement ring.")
 	p.Metric("fepiac_ring_active_workers", float64(len(t.active)))
 	p.Header("fepiac_joins_total", "counter", "Workers joined live via AddWorker.")
 	p.Metric("fepiac_joins_total", float64(c.stats.joins.Load()))
 	p.Header("fepiac_leaves_total", "counter", "Workers drained out live via RemoveWorker.")
 	p.Metric("fepiac_leaves_total", float64(c.stats.leaves.Load()))
+
+	if js := c.journalStatz(); js != nil {
+		p.Header("fepiac_journal_appends_total", "counter", "Ring journal records durably appended.")
+		p.Metric("fepiac_journal_appends_total", float64(js.Appends))
+		p.Header("fepiac_journal_append_errors_total", "counter", "Failed ring journal appends.")
+		p.Metric("fepiac_journal_append_errors_total", float64(js.AppendErrors))
+		p.Header("fepiac_journal_compactions_total", "counter", "Ring journal compactions.")
+		p.Metric("fepiac_journal_compactions_total", float64(js.Compactions))
+		p.Header("fepiac_journal_corrupt_skipped_total", "counter", "Corrupt ring journal lines quarantined at replay.")
+		p.Metric("fepiac_journal_corrupt_skipped_total", float64(js.CorruptSkipped))
+		p.Header("fepiac_journal_stale_skipped_total", "counter", "Ring journal records skipped as stale (non-advancing generation).")
+		p.Metric("fepiac_journal_stale_skipped_total", float64(js.StaleSkipped))
+		p.Header("fepiac_journal_replayed_total", "counter", "Ring journal records replayed at the last boot.")
+		p.Metric("fepiac_journal_replayed_total", float64(js.Replayed))
+	}
 
 	p.Header("fepiac_accepted_total", "counter", "Requests accepted.")
 	p.Metric("fepiac_accepted_total", float64(c.stats.accepted.Load()))

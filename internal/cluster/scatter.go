@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -131,6 +132,12 @@ func (c *Coordinator) hedgeDelay(primary *member) time.Duration {
 // this one's candidate list (hedging stays coherent).
 func (c *Coordinator) doShard(ctx context.Context, t *topology, key, path string, body []byte, rid string) shardResult {
 	cands := t.candidates(key)
+	if len(cands) == 0 {
+		// A snapshot published while the last active worker drains out has
+		// an empty ring; a request holding it must fail cleanly, not index
+		// into an empty candidate list.
+		return shardResult{err: fmt.Errorf("no candidate worker for key %q (ring is empty)", key)}
+	}
 	maxAttempts := c.cfg.MaxAttempts
 	if maxAttempts > len(cands) {
 		maxAttempts = len(cands)

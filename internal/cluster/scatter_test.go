@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestDoShardEmptyRingFailsCleanly pins the empty-candidate guard: a
+// topology snapshot with no ring-eligible member (published while the last
+// active worker drained out) must fail the shard, not panic indexing an
+// empty candidate list.
+func TestDoShardEmptyRingFailsCleanly(t *testing.T) {
+	_, coord, _ := newFleet(t, 1, nil)
+	empty := newTopology(2, nil, coord.cfg.VNodes)
+	res := coord.doShard(context.Background(), empty, "class-x", "/v1/shard", []byte(`{}`), "rid")
+	if res.err == nil {
+		t.Fatalf("empty-ring shard returned no error: %+v", res)
+	}
+}
+
+// TestLeaveDuringHedgeKeepsSnapshot is the regression for the
+// leave-vs-hedge race: a request's whole attempt sequence — primary AND the
+// hedge re-issue — must run against the one topology snapshot it took, even
+// when /admin/ring/leave removes the hedge target from the live topology
+// mid-request. The hedge target here is the last (and only) in-flight
+// holder, so the leave's drain wait is racing exactly the hedge.
+func TestLeaveDuringHedgeKeepsSnapshot(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		_, _ = w.Write([]byte(`{"who":"slow"}`))
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"who":"fast"}`))
+	}))
+	defer fast.Close()
+
+	coord, err := New(Config{
+		Workers:        []string{slow.URL, fast.URL},
+		HedgeAfter:     20 * time.Millisecond,
+		HealthInterval: time.Hour, // no background probes mid-test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Pick a key whose primary is the slow worker, so the hedge goes to the
+	// fast one.
+	t0 := coord.topology()
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := "k" + strconv.Itoa(i)
+		if cands := t0.candidates(k); len(cands) > 1 && cands[0].url == slow.URL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key routed to the slow worker")
+	}
+
+	// Concurrent leave of the hedge target, racing the hedge re-issue.
+	leaveDone := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, err := coord.RemoveWorker(ctx, fast.URL)
+		leaveDone <- err
+	}()
+
+	res := coord.doShard(context.Background(), t0, key, "/x", []byte(`{}`), "rid")
+	if res.err != nil {
+		t.Fatalf("shard failed: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("shard status %d", res.status)
+	}
+	// The winner must come from the snapshot's candidate list; whichever it
+	// is, the request saw one coherent topology throughout.
+	if res.worker != slow.URL && res.worker != fast.URL {
+		t.Fatalf("winning worker %q not in the request's snapshot", res.worker)
+	}
+	if err := <-leaveDone; err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if m := coord.topology().findMember(fast.URL); m != nil {
+		t.Fatal("left worker still in the live topology")
+	}
+	// The old snapshot still names it — that is the point.
+	if m := t0.findMember(fast.URL); m == nil {
+		t.Fatal("request snapshot lost the hedge target")
+	}
+}

@@ -163,12 +163,18 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	m, opt, err := server.ParseSearchRequest(req)
+	m, opt, id, persist, err := server.ResolveSearchRequest(req, c.ckpts)
 	if err != nil {
+		if status, kind, ok := server.ResumeFailure(err); ok {
+			c.stats.badRequests.Add(1)
+			c.cfg.Logf("cluster: rid=%s search resume %q refused: %v", rid, req.ResumeID, err)
+			writeJSON(w, status, server.ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
+			return
+		}
 		c.badRequest(w, r, err)
 		return
 	}
-	timeout, err := c.requestTimeout(req.Timeout)
+	timeout, err := c.requestTimeout(persist.Timeout)
 	if err != nil {
 		c.badRequest(w, r, err)
 		return
@@ -180,7 +186,9 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer finish()
 
-	id := req.SearchID
+	if id == "" {
+		id = req.SearchID
+	}
 	if id == "" {
 		id = rid
 	}
@@ -193,8 +201,13 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		workerTimeout: c.workerTimeout(timeout),
 	}
 	start := time.Now()
-	res, err := server.ExecuteSearch(ctx, m, opt, ev, c.searches, id, rid)
+	res, err := server.ExecuteSearch(ctx, m, opt, ev, c.searches, id, rid, c.ckpts, persist)
 	if err != nil {
+		if status, kind, ok := server.ResumeFailure(err); ok {
+			c.stats.failed.Add(1)
+			writeJSON(w, status, server.ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
+			return
+		}
 		if server.SearchBadRequest(err) {
 			c.badRequest(w, r, err)
 			return

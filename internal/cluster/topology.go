@@ -160,6 +160,7 @@ func (c *Coordinator) AddWorker(ctx context.Context, url string) (uint64, error)
 	members := append(append([]*member{}, cur.members...), m)
 	next := c.publish(members)
 	c.stats.joins.Add(1)
+	c.journalAppend(opJoin, url, next.gen)
 	c.cfg.Logf("cluster: worker %s joined (generation %d, %d active)", url, next.gen, len(next.active))
 	return next.gen, nil
 }
@@ -209,6 +210,7 @@ func (c *Coordinator) RemoveWorker(ctx context.Context, url string) (uint64, err
 	}
 	next := c.publish(members)
 	c.stats.leaves.Add(1)
+	c.journalAppend(opLeave, url, next.gen)
 	c.cfg.Logf("cluster: worker %s left (generation %d, %d active)", url, next.gen, len(next.active))
 	return next.gen, drainErr
 }

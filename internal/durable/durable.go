@@ -1,0 +1,58 @@
+// Package durable provides the shared durability primitives the
+// repository's persistent pieces build on: atomic file replacement and a
+// cheap payload checksum. The scenario store, the coordinator's ring
+// journal, and the search checkpoint store all follow the same two rules —
+// a file under a final name is always complete (same-directory temp file +
+// fsync + rename), and every payload carries a checksum so a torn or
+// bit-rotted file is detected at read time instead of trusted. Corruption
+// handling stays with the callers (each quarantines and counts in its own
+// way); this package only guarantees writes land whole and reads can tell.
+package durable
+
+import (
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Checksum is FNV-1a/64 over the bytes, hex-encoded. Not cryptographic —
+// it detects truncation and bit rot, which is the threat model for files
+// only the daemon itself writes.
+func Checksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// WriteFileAtomic writes data to path via a temp file in path's directory,
+// fsync, and rename, so a reader never observes a half-written file under
+// the final name. tmpPattern names the temp files (os.CreateTemp pattern,
+// e.g. ".put-*"); dot-prefix it so directory scans skip leftovers from a
+// crash mid-write.
+func WriteFileAtomic(path string, data []byte, tmpPattern string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), tmpPattern)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package oracle
+
+// The crash-recovery differential, the durability analog of the search
+// differential: a durable coordinator is hard-killed mid-generation, a new
+// coordinator is booted from nothing but the state dir (the ring journal
+// supplies the fleet, the checkpoint store the search), the search is
+// resumed — and the final best must be byte-for-byte the one an
+// uninterrupted coordinator produces, which in turn is bit-identical to the
+// serial single-process engine. Checkpointed state is only real state if a
+// resumed trajectory cannot be told apart from an undisturbed one.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/scenario"
+	"fepia/internal/sched"
+	"fepia/internal/server"
+)
+
+func TestOracleCoordinatorCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery differential is not short")
+	}
+	// Workers with added latency on /v1/batch — outside the evaluation, so
+	// scores are untouched — so generations take long enough that the kill
+	// deadline reliably lands mid-search.
+	const delay = 40 * time.Millisecond
+	urls := make([]string, 2)
+	for i := range urls {
+		h := server.New(clusterWorkerConfig()).Handler()
+		ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/batch" {
+				time.Sleep(delay)
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ws.Close)
+		urls[i] = ws.URL
+	}
+
+	m := searchOracleMatrix(t, 24, 6, 41)
+	opt := sched.SearchOptions{Algo: sched.AlgoGA, Objective: sched.ObjectiveMaxRho, Tau: 1.4, Seed: 1, Population: 16, Generations: 10}
+	bound, err := sched.ResolveBound(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := searchVia(t, m, &sched.EngineEvaluator{M: m, Bound: bound, Serial: true}, opt)
+
+	var inst bytes.Buffer
+	if err := scenario.SaveMakespan(&inst, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	req := server.SearchRequest{
+		Instance:    inst.Bytes(),
+		Algo:        opt.Algo,
+		Objective:   opt.Objective,
+		Tau:         opt.Tau,
+		Seed:        opt.Seed,
+		Population:  opt.Population,
+		Generations: opt.Generations,
+		SearchID:    "crash",
+	}
+
+	// Control: the same search on an uninterrupted coordinator.
+	ctrl, err := cluster.New(cluster.Config{Workers: urls, HealthInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	ctrlFront := httptest.NewServer(ctrl.Handler())
+	t.Cleanup(ctrlFront.Close)
+	status, body := clusterPost(t, ctrlFront.URL+"/v1/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("control search = %d: %s", status, body)
+	}
+	var controlRes server.SearchResponse
+	if err := json.Unmarshal(body, &controlRes); err != nil {
+		t.Fatal(err)
+	}
+	sameSearchOutcome(t, "control-vs-serial", serial, controlRes.Best.Alloc, controlRes.Best.Rho, controlRes.Best.Makespan, controlRes.RadiusEvals)
+
+	// Interrupted: a durable coordinator, killed mid-generation. The
+	// deadline lands ~4 batch rounds in (10 generations need ~11), so the
+	// search is guaranteed truncated with at least the initial checkpoint
+	// durably on disk.
+	stateDir := t.TempDir()
+	c1, err := cluster.New(cluster.Config{
+		Workers:        urls,
+		StateDir:       stateDir,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front1 := httptest.NewServer(c1.Handler())
+	killed := req
+	killed.Timeout = (4 * delay).String()
+	status, body = clusterPost(t, front1.URL+"/v1/search", killed)
+	switch status {
+	case http.StatusOK:
+		var partial server.SearchResponse
+		if err := json.Unmarshal(body, &partial); err != nil {
+			t.Fatal(err)
+		}
+		if !partial.Partial {
+			t.Fatalf("interrupted search completed %d generations inside %s", partial.Generations, killed.Timeout)
+		}
+	case http.StatusGatewayTimeout, http.StatusBadGateway:
+		// The deadline fired between generations (504) or mid-scatter (502,
+		// the in-flight chunk died with the context — the closest in-process
+		// analog of a hard kill). Either way the last completed generation's
+		// checkpoint is already durable.
+	default:
+		t.Fatalf("interrupted search = %d: %s", status, body)
+	}
+	front1.CloseClientConnections()
+	front1.Close()
+	c1.Close() // crash analog: no drain, no admin teardown
+
+	// Recover: a coordinator booted from the state dir alone — no static
+	// worker list; the ring journal must supply the fleet.
+	c2, err := cluster.New(cluster.Config{
+		StateDir:        stateDir,
+		HealthInterval:  50 * time.Millisecond,
+		RecoveryTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("restart from state dir: %v", err)
+	}
+	t.Cleanup(c2.Close)
+	front2 := httptest.NewServer(c2.Handler())
+	t.Cleanup(front2.Close)
+
+	// The restarted coordinator advertises the search as resumable.
+	resp, err := http.Get(front2.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, row := range st.Searches {
+		if row.ID == "crash" && row.State == "resumable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no resumable 'crash' row in restarted /statz: %+v", st.Searches)
+	}
+	if len(st.Workers) != len(urls) {
+		t.Fatalf("journal recovered %d workers, want %d", len(st.Workers), len(urls))
+	}
+
+	// Resume, overriding the truncating deadline, and diff the final best
+	// byte-for-byte against the uninterrupted control.
+	status, body = clusterPost(t, front2.URL+"/v1/search", server.SearchRequest{ResumeID: "crash", Timeout: "2m"})
+	if status != http.StatusOK {
+		t.Fatalf("resume = %d: %s", status, body)
+	}
+	var resumed server.SearchResponse
+	if err := json.Unmarshal(body, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Resumed {
+		t.Fatal("resumed response not marked Resumed")
+	}
+	if resumed.Partial {
+		t.Fatal("resumed run still partial")
+	}
+	sameSearchOutcome(t, "resumed-vs-serial", serial, resumed.Best.Alloc, resumed.Best.Rho, resumed.Best.Makespan, resumed.RadiusEvals)
+	gotBest, err := json.Marshal(resumed.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBest, err := json.Marshal(controlRes.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBest, wantBest) {
+		t.Fatalf("resumed best differs byte-for-byte:\n%s\n%s", gotBest, wantBest)
+	}
+
+	// The clean completion consumed the checkpoint: resuming again is 404.
+	status, body = clusterPost(t, front2.URL+"/v1/search", server.SearchRequest{ResumeID: "crash"})
+	if status != http.StatusNotFound {
+		t.Fatalf("second resume = %d, want 404: %s", status, body)
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "resume-not-found" {
+		t.Fatalf("kind = %q, want resume-not-found", er.Kind)
+	}
+}

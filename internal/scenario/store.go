@@ -3,13 +3,13 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
+
+	"fepia/internal/durable"
 )
 
 // This file is the persistent content-addressed scenario store: fingerprint
@@ -18,7 +18,8 @@ import (
 // every class until traffic rebuilds it.
 //
 // Durability rules, chosen so a crash mid-write can never poison a later
-// load:
+// load (the write/checksum primitives live in internal/durable, shared with
+// the ring journal and search checkpoint store):
 //
 //   - Writes are atomic: the envelope is written to a temp file in the same
 //     directory, fsynced, and renamed over the final name. Readers never see
@@ -31,6 +32,13 @@ import (
 //     fingerprint-match, or validate is counted, (best-effort) deleted so the
 //     next Put rebuilds it cleanly, and skipped. A corrupt store degrades to
 //     a smaller warm-start; it never takes the daemon down.
+//
+// The store is additionally bounded: SetMaxBytes arms an LRU-by-access
+// eviction that runs after every Put, so a long-lived daemon's store stops
+// growing without operator cron jobs. Recency is a logical clock (bumped on
+// every Put/Get/Load touch), not wall-clock atime — most filesystems mount
+// noatime, and a logical clock keeps tests deterministic. Entries pinned via
+// Pin (a running search's instance document) are never evicted.
 
 // storeKind and storeVersion stamp every store file.
 const (
@@ -53,8 +61,14 @@ type storeEnvelope struct {
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	stats StoreStats
+	mu       sync.Mutex
+	stats    StoreStats
+	maxBytes int64
+	total    int64
+	clock    uint64
+	sizes    map[string]int64  // fingerprint → file size on disk
+	atimes   map[string]uint64 // fingerprint → logical last-access tick
+	pins     map[string]int    // fingerprint → pin count (never evicted while > 0)
 }
 
 // StoreStats are the store's monotonic counters.
@@ -68,9 +82,13 @@ type StoreStats struct {
 	// invalid document) and removed.
 	Loaded         uint64 `json:"loaded"`
 	CorruptSkipped uint64 `json:"corruptSkipped"`
+	// Evictions counts entries removed by the size bound's LRU sweep.
+	Evictions uint64 `json:"evictions"`
 }
 
-// OpenStore opens (creating if needed) a scenario store rooted at dir.
+// OpenStore opens (creating if needed) a scenario store rooted at dir. The
+// existing files are indexed by size and modification order so the eviction
+// bound (SetMaxBytes) sees pre-restart entries as the coldest.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("scenario: store dir is empty")
@@ -78,7 +96,86 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("scenario: opening store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	st := &Store{
+		dir:    dir,
+		sizes:  make(map[string]int64),
+		atimes: make(map[string]uint64),
+		pins:   make(map[string]int),
+	}
+	st.indexExisting()
+	return st, nil
+}
+
+// indexExisting seeds the size/recency index from files already on disk,
+// oldest-modified first so they evict before anything touched this run.
+func (st *Store) indexExisting() {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	type onDisk struct {
+		fp   string
+		size int64
+		mod  int64
+	}
+	var files []onDisk
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, onDisk{
+			fp:   strings.TrimSuffix(e.Name(), ".json"),
+			size: info.Size(),
+			mod:  info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].fp < files[j].fp
+	})
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, f := range files {
+		st.clock++
+		st.sizes[f.fp] = f.size
+		st.atimes[f.fp] = st.clock
+		st.total += f.size
+	}
+}
+
+// SetMaxBytes arms (or, with n ≤ 0, disarms) the store's size bound and
+// immediately sweeps if already over it.
+func (st *Store) SetMaxBytes(n int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.maxBytes = n
+	st.evictLocked("")
+}
+
+// Pin marks a fingerprint as non-evictable (a running search depends on
+// it). Pins nest; call Unpin once per Pin.
+func (st *Store) Pin(fp string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pins[fp]++
+}
+
+// Unpin releases one Pin. Once the count reaches zero the entry is ordinary
+// LRU fodder again.
+func (st *Store) Unpin(fp string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pins[fp] <= 1 {
+		delete(st.pins, fp)
+	} else {
+		st.pins[fp]--
+	}
 }
 
 // Dir returns the store's root directory.
@@ -89,6 +186,13 @@ func (st *Store) Stats() StoreStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.stats
+}
+
+// SizeBytes reports the indexed on-disk footprint of the store.
+func (st *Store) SizeBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
 }
 
 // Len counts the store files currently on disk (corrupt or not).
@@ -107,13 +211,6 @@ func (st *Store) Len() int {
 }
 
 func (st *Store) path(fp string) string { return filepath.Join(st.dir, fp+".json") }
-
-// checksumOf is the store's payload checksum: FNV-1a/64 over the raw bytes.
-func checksumOf(b []byte) string {
-	h := fnv.New64a()
-	h.Write(b)
-	return strconv.FormatUint(h.Sum64(), 16)
-}
 
 // Put persists a document under its fingerprint, atomically. Re-putting an
 // existing fingerprint rewrites the file — that is the self-healing path for
@@ -135,7 +232,7 @@ func (st *Store) Put(doc AnalysisDoc) (string, error) {
 		Kind:        storeKind,
 		Version:     storeVersion,
 		Fingerprint: fp,
-		Checksum:    checksumOf(raw),
+		Checksum:    durable.Checksum(raw),
 		Doc:         raw,
 	}
 	data, err := json.Marshal(env)
@@ -143,12 +240,16 @@ func (st *Store) Put(doc AnalysisDoc) (string, error) {
 		st.countPutErr()
 		return "", fmt.Errorf("scenario: store put: %w", err)
 	}
-	if err := st.writeAtomic(st.path(fp), data); err != nil {
+	if err := durable.WriteFileAtomic(st.path(fp), data, ".put-*"); err != nil {
 		st.countPutErr()
-		return "", err
+		return "", fmt.Errorf("scenario: store write: %w", err)
 	}
 	st.mu.Lock()
 	st.stats.Puts++
+	st.total += int64(len(data)) - st.sizes[fp]
+	st.sizes[fp] = int64(len(data))
+	st.touchLocked(fp)
+	st.evictLocked(fp)
 	st.mu.Unlock()
 	return fp, nil
 }
@@ -159,32 +260,47 @@ func (st *Store) countPutErr() {
 	st.mu.Unlock()
 }
 
-// writeAtomic writes data via a same-directory temp file, fsync, and rename,
-// so a final-name file is always complete.
-func (st *Store) writeAtomic(path string, data []byte) error {
-	f, err := os.CreateTemp(st.dir, ".put-*")
-	if err != nil {
-		return fmt.Errorf("scenario: store write: %w", err)
+// touchLocked bumps fp's logical access time. Caller holds st.mu.
+func (st *Store) touchLocked(fp string) {
+	st.clock++
+	st.atimes[fp] = st.clock
+}
+
+// evictLocked removes least-recently-used unpinned entries until the store
+// fits its bound. keep (the fingerprint just written, if any) is never a
+// victim even when unpinned — evicting the entry we just persisted would
+// make the bound a Put veto rather than a GC. Caller holds st.mu.
+func (st *Store) evictLocked(keep string) {
+	if st.maxBytes <= 0 {
+		return
 	}
-	tmp := f.Name()
-	cleanup := func() { f.Close(); os.Remove(tmp) }
-	if _, err := f.Write(data); err != nil {
-		cleanup()
-		return fmt.Errorf("scenario: store write: %w", err)
+	for st.total > st.maxBytes {
+		victim := ""
+		var oldest uint64
+		for fp := range st.sizes {
+			if fp == keep || st.pins[fp] > 0 {
+				continue
+			}
+			if victim == "" || st.atimes[fp] < oldest ||
+				(st.atimes[fp] == oldest && fp < victim) {
+				victim = fp
+				oldest = st.atimes[fp]
+			}
+		}
+		if victim == "" {
+			return // everything left is pinned or just-written
+		}
+		_ = os.Remove(st.path(victim))
+		st.dropLocked(victim)
+		st.stats.Evictions++
 	}
-	if err := f.Sync(); err != nil {
-		cleanup()
-		return fmt.Errorf("scenario: store write: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("scenario: store write: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("scenario: store write: %w", err)
-	}
-	return nil
+}
+
+// dropLocked forgets fp's index entries. Caller holds st.mu.
+func (st *Store) dropLocked(fp string) {
+	st.total -= st.sizes[fp]
+	delete(st.sizes, fp)
+	delete(st.atimes, fp)
 }
 
 // decodeEnvelope verifies one store file's bytes end to end: envelope shape,
@@ -197,7 +313,7 @@ func decodeEnvelope(data []byte, wantFP string) (AnalysisDoc, error) {
 	if env.Kind != storeKind || env.Version != storeVersion {
 		return AnalysisDoc{}, fmt.Errorf("scenario: store file kind/version %q/%d, want %q/%d", env.Kind, env.Version, storeKind, storeVersion)
 	}
-	if got := checksumOf(env.Doc); got != env.Checksum {
+	if got := durable.Checksum(env.Doc); got != env.Checksum {
 		return AnalysisDoc{}, fmt.Errorf("scenario: store file checksum %s, recorded %s", got, env.Checksum)
 	}
 	var doc AnalysisDoc
@@ -231,6 +347,7 @@ func (st *Store) Get(fp string) (AnalysisDoc, error) {
 	}
 	st.mu.Lock()
 	st.stats.Loaded++
+	st.touchLocked(fp)
 	st.mu.Unlock()
 	return doc, nil
 }
@@ -239,8 +356,10 @@ func (st *Store) Get(fp string) (AnalysisDoc, error) {
 // next Put of the same fingerprint rewrites it cleanly.
 func (st *Store) quarantine(path string) {
 	_ = os.Remove(path)
+	fp := strings.TrimSuffix(filepath.Base(path), ".json")
 	st.mu.Lock()
 	st.stats.CorruptSkipped++
+	st.dropLocked(fp)
 	st.mu.Unlock()
 }
 
@@ -284,6 +403,7 @@ func (st *Store) Load(fn func(fp string, doc AnalysisDoc) bool) (LoadReport, err
 		}
 		st.mu.Lock()
 		st.stats.Loaded++
+		st.touchLocked(fp)
 		st.mu.Unlock()
 		rep.Loaded++
 		if !fn(fp, doc) {

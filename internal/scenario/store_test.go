@@ -267,3 +267,93 @@ func TestStoreIgnoresTempAndForeignFiles(t *testing.T) {
 		t.Fatal("temp file removed by Load; it should be ignored")
 	}
 }
+
+// storeDocN returns a distinct document per index, for GC tests that need a
+// population of entries.
+func storeDocN(i int) AnalysisDoc {
+	d := testDoc()
+	d.Params[0].Orig = []float64{1, float64(i + 2)}
+	return d
+}
+
+func TestStoreGCEvictsLRU(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make([]string, 4)
+	for i := range fps {
+		if fps[i], err = st.Put(storeDocN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest entry so it is no longer the LRU victim.
+	if _, err := st.Get(fps[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Bound the store to roughly two entries: the coldest (fps[1], then
+	// fps[2]) must go, the re-touched fps[0] and the newest fps[3] stay.
+	total := st.SizeBytes()
+	st.SetMaxBytes(total / 2)
+
+	s := st.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions under a half-size bound: %+v", s)
+	}
+	if st.SizeBytes() > total/2 {
+		t.Fatalf("size %d still above bound %d", st.SizeBytes(), total/2)
+	}
+	if _, err := st.Get(fps[0]); err != nil {
+		t.Fatalf("recently-used entry evicted: %v", err)
+	}
+	if _, err := st.Get(fps[3]); err != nil {
+		t.Fatalf("newest entry evicted: %v", err)
+	}
+	if _, err := st.Get(fps[1]); err == nil {
+		t.Fatal("coldest entry survived the sweep")
+	}
+
+	// New puts keep the bound: inserting re-evicts the now-coldest entry.
+	before := st.Stats().Evictions
+	if _, err := st.Put(storeDocN(10)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Evictions == before && st.SizeBytes() > total/2 {
+		t.Fatalf("put left the store over its bound without evicting")
+	}
+}
+
+func TestStoreGCNeverEvictsPinned(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make([]string, 3)
+	for i := range fps {
+		if fps[i], err = st.Put(storeDocN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin the coldest entry — the sweep must pass over it and take the next
+	// coldest instead, even though the pinned one is the LRU victim.
+	st.Pin(fps[0])
+	one := st.SizeBytes() / 3
+	st.SetMaxBytes(one + one/2) // room for ~one entry
+
+	if _, err := st.Get(fps[0]); err != nil {
+		t.Fatalf("pinned entry evicted: %v", err)
+	}
+	if _, err := st.Get(fps[1]); err == nil {
+		t.Fatal("unpinned cold entry survived while a pinned one was spared")
+	}
+
+	// Unpinning re-arms eviction for it on the next sweep.
+	st.Unpin(fps[0])
+	st.SetMaxBytes(1)
+	if _, err := st.Get(fps[0]); err == nil {
+		t.Fatal("unpinned entry survived a 1-byte bound")
+	}
+	if s := st.Stats(); s.Evictions == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

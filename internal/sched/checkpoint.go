@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+
+	"fepia/internal/etc"
+)
+
+// This file is the search's crash-recovery surface. A Search configured with
+// an OnCheckpoint callback hands out a Checkpoint after the initial scoring
+// and after every completed generation (GA) or proposal block (annealing);
+// a Search configured with SearchOptions.Checkpoint restores that state and
+// continues the trajectory. Because the search's only mutable state is the
+// candidate set, the best-so-far, the counters, and the position in the
+// seeded random stream, a restored run consumes the exact same draws and
+// scores the exact same candidates as the uninterrupted one — resumed and
+// uninterrupted results are bit-identical (the oracle differential kills a
+// coordinator mid-generation and proves it).
+
+// ErrCheckpointMismatch reports a checkpoint that does not belong to the
+// search being resumed: different algorithm, instance, tuning, or a
+// structurally invalid payload. Mapped to a conflict at the API layer.
+var ErrCheckpointMismatch = errors.New("sched: checkpoint does not match search options")
+
+// CandidateScore is one scored allocation in serializable form. All float
+// fields are finite, so JSON round-trips them bit-exactly (Go emits the
+// shortest representation that parses back to the same float64).
+type CandidateScore struct {
+	Alloc    []int   `json:"alloc"`
+	Makespan float64 `json:"makespan"`
+	Rho      float64 `json:"rho"`
+	Feasible bool    `json:"feasible"`
+	Fitness  float64 `json:"fitness"`
+	Feats    int     `json:"feats"`
+}
+
+func toScore(c scored) CandidateScore {
+	return CandidateScore{
+		Alloc:    append([]int(nil), c.alloc...),
+		Makespan: c.ms,
+		Rho:      c.rho,
+		Feasible: c.feasible,
+		Fitness:  c.fit,
+		Feats:    c.feats,
+	}
+}
+
+func fromScore(c CandidateScore) scored {
+	return scored{
+		alloc:    append([]int(nil), c.Alloc...),
+		ms:       c.Makespan,
+		rho:      c.Rho,
+		feasible: c.Feasible,
+		fit:      c.Fitness,
+		feats:    c.Feats,
+	}
+}
+
+// Checkpoint is the complete resumable state of a search after a completed
+// generation (GA) or proposal block (annealing).
+type Checkpoint struct {
+	// Identity: the checkpoint only resumes a search with the same
+	// algorithm and the same OptionsSum (a hash of the instance and every
+	// trajectory-shaping option).
+	Algo       string `json:"algo"`
+	Objective  string `json:"objective"`
+	OptionsSum string `json:"optionsSum"`
+	Seed       int64  `json:"seed"`
+
+	// Generation counts completed generations (GA) or blocks (annealing);
+	// it matches Progress.Generation at emission time.
+	Generation int `json:"generation"`
+	// RNGPos is the seeded stream's position (raw generator steps consumed).
+	RNGPos uint64 `json:"rngPos"`
+
+	// Counters, restored so a resumed run's totals equal the uninterrupted
+	// run's.
+	Candidates       int   `json:"candidates"`
+	EngineCandidates int   `json:"engineCandidates"`
+	RadiusEvals      int64 `json:"radiusEvals"`
+
+	Best CandidateScore `json:"best"`
+
+	// Population is the GA's current scored population (nil for annealing).
+	Population []CandidateScore `json:"population,omitempty"`
+
+	// Annealing walk state (nil/zero for the GA).
+	Current   *CandidateScore `json:"current,omitempty"`
+	Temp      float64         `json:"temp,omitempty"`
+	Processed int             `json:"processed,omitempty"`
+}
+
+// checkpointSum fingerprints everything that shapes the search trajectory:
+// the instance values and every resolved option the random stream or the
+// scoring depends on. Two searches with equal sums walk identical
+// trajectories, so a checkpoint from one resumes the other.
+func checkpointSum(m *etc.Matrix, algo, obj string, seed int64, floats []float64, ints []int) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	putU := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(algo))
+	h.Write([]byte{0})
+	h.Write([]byte(obj))
+	h.Write([]byte{0})
+	putU(uint64(seed))
+	putU(uint64(m.Tasks))
+	putU(uint64(m.Machines))
+	for t := 0; t < m.Tasks; t++ {
+		for j := 0; j < m.Machines; j++ {
+			putU(math.Float64bits(m.At(t, j)))
+		}
+	}
+	for _, f := range floats {
+		putU(math.Float64bits(f))
+	}
+	for _, n := range ints {
+		putU(uint64(n))
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// allocWellFormed reports whether alloc is a well-formed assignment for m.
+func allocWellFormed(m *etc.Matrix, alloc []int) bool {
+	if len(alloc) != m.Tasks {
+		return false
+	}
+	for _, j := range alloc {
+		if j < 0 || j >= m.Machines {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCheckpoint validates the parts common to both algorithms.
+func checkCheckpoint(m *etc.Matrix, cp *Checkpoint, algo, sum string) error {
+	if cp.Algo != algo {
+		return fmt.Errorf("%w: checkpoint algo %q, search algo %q", ErrCheckpointMismatch, cp.Algo, algo)
+	}
+	if cp.OptionsSum != sum {
+		return fmt.Errorf("%w: options sum %s, want %s", ErrCheckpointMismatch, cp.OptionsSum, sum)
+	}
+	if !allocWellFormed(m, cp.Best.Alloc) {
+		return fmt.Errorf("%w: best allocation malformed", ErrCheckpointMismatch)
+	}
+	if cp.Generation < 0 || cp.Candidates < 0 || cp.EngineCandidates < 0 || cp.RadiusEvals < 0 {
+		return fmt.Errorf("%w: negative progress counters", ErrCheckpointMismatch)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"fepia/internal/etc"
+	"fepia/internal/stats"
+)
+
+// These tests pin the crash-recovery contract: a search killed after any
+// completed generation and resumed from its last checkpoint produces a
+// result bit-identical to the uninterrupted run — same best allocation,
+// same float bits, same counters.
+
+func ckptMatrix(t *testing.T) *etc.Matrix {
+	t.Helper()
+	m, err := etc.CVB(etc.CVBParams{Tasks: 18, Machines: 4, MeanTask: 10, TaskCV: 0.4, MachineCV: 0.4}, stats.NewSource(7))
+	if err != nil {
+		t.Fatalf("CVB: %v", err)
+	}
+	return m
+}
+
+// killingEvaluator cancels the context after a fixed number of Scores
+// calls, simulating a crash mid-generation.
+type killingEvaluator struct {
+	inner  Evaluator
+	calls  int
+	killAt int
+	cancel context.CancelFunc
+}
+
+func (e *killingEvaluator) Scores(ctx context.Context, allocs [][]int) ([]float64, error) {
+	e.calls++
+	if e.calls > e.killAt {
+		e.cancel()
+		return nil, ctx.Err()
+	}
+	return e.inner.Scores(ctx, allocs)
+}
+
+func sameResult(t *testing.T, label string, got, want *SearchResult) {
+	t.Helper()
+	if len(got.Best) != len(want.Best) {
+		t.Fatalf("%s: best length %d, want %d", label, len(got.Best), len(want.Best))
+	}
+	for i := range got.Best {
+		if got.Best[i] != want.Best[i] {
+			t.Fatalf("%s: best[%d] = %d, want %d", label, i, got.Best[i], want.Best[i])
+		}
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"fitness", got.BestFitness, want.BestFitness},
+		{"rho", got.BestRho, want.BestRho},
+		{"makespan", got.BestMakespan, want.BestMakespan},
+		{"bound", got.Bound, want.Bound},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Fatalf("%s: %s = %x, want %x", label, f.name, math.Float64bits(f.got), math.Float64bits(f.want))
+		}
+	}
+	if got.Generations != want.Generations || got.Candidates != want.Candidates ||
+		got.EngineCandidates != want.EngineCandidates || got.RadiusEvals != want.RadiusEvals ||
+		got.Partial != want.Partial {
+		t.Fatalf("%s: counters %+v, want %+v", label, got, want)
+	}
+}
+
+// runInterrupted runs the search with a context-killing evaluator, collects
+// the last checkpoint before death, then resumes from it (round-tripped
+// through JSON, like the on-disk path) and returns the resumed result.
+func runInterrupted(t *testing.T, m *etc.Matrix, opt SearchOptions, killAt int) *SearchResult {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint
+	kopt := opt
+	kopt.OnCheckpoint = func(cp *Checkpoint) { last = cp }
+	ev := &killingEvaluator{
+		inner:  ClosedFormEvaluator{M: m, Bound: opt.Bound},
+		killAt: killAt,
+		cancel: cancel,
+	}
+	res, err := Search(ctx, m, ev, kopt, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted search: err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("interrupted search: result %+v, want partial", res)
+	}
+	if last == nil {
+		t.Fatal("interrupted search died before any checkpoint")
+	}
+	raw, err := json.Marshal(last)
+	if err != nil {
+		t.Fatalf("marshal checkpoint: %v", err)
+	}
+	var restored Checkpoint
+	if err := json.Unmarshal(raw, &restored); err != nil {
+		t.Fatalf("unmarshal checkpoint: %v", err)
+	}
+	ropt := opt
+	ropt.Checkpoint = &restored
+	resumed, err := Search(context.Background(), m, nil, ropt, nil)
+	if err != nil {
+		t.Fatalf("resumed search: %v", err)
+	}
+	return resumed
+}
+
+func TestGeneticResumeBitIdentical(t *testing.T) {
+	m := ckptMatrix(t)
+	opt := SearchOptions{
+		Algo:        AlgoGA,
+		Bound:       180,
+		Seed:        41,
+		Population:  12,
+		Generations: 9,
+	}
+	control, err := Search(context.Background(), m, nil, opt, nil)
+	if err != nil {
+		t.Fatalf("control search: %v", err)
+	}
+	// Kill after the initial scoring call and after every generation's call.
+	for killAt := 1; killAt <= 9; killAt += 2 {
+		resumed := runInterrupted(t, m, opt, killAt)
+		sameResult(t, "ga resume", resumed, control)
+	}
+}
+
+func TestAnnealResumeBitIdentical(t *testing.T) {
+	m := ckptMatrix(t)
+	opt := SearchOptions{
+		Algo:          AlgoAnneal,
+		Bound:         180,
+		Seed:          41,
+		Steps:         96,
+		ProposalBlock: 8,
+	}
+	control, err := Search(context.Background(), m, nil, opt, nil)
+	if err != nil {
+		t.Fatalf("control search: %v", err)
+	}
+	for killAt := 1; killAt <= 9; killAt += 2 {
+		resumed := runInterrupted(t, m, opt, killAt)
+		sameResult(t, "anneal resume", resumed, control)
+	}
+}
+
+func TestResumeCompleteCheckpointReturnsFinal(t *testing.T) {
+	m := ckptMatrix(t)
+	opt := SearchOptions{Algo: AlgoGA, Bound: 180, Seed: 5, Population: 8, Generations: 4}
+	var last *Checkpoint
+	opt.OnCheckpoint = func(cp *Checkpoint) { last = cp }
+	control, err := Search(context.Background(), m, nil, opt, nil)
+	if err != nil {
+		t.Fatalf("control search: %v", err)
+	}
+	if last == nil || last.Generation != 4 {
+		t.Fatalf("final checkpoint %+v, want generation 4", last)
+	}
+	ropt := opt
+	ropt.OnCheckpoint = nil
+	ropt.Checkpoint = last
+	resumed, err := Search(context.Background(), m, nil, ropt, nil)
+	if err != nil {
+		t.Fatalf("resume of complete run: %v", err)
+	}
+	sameResult(t, "complete resume", resumed, control)
+}
+
+func TestResumeMismatchRejected(t *testing.T) {
+	m := ckptMatrix(t)
+	opt := SearchOptions{Algo: AlgoGA, Bound: 180, Seed: 5, Population: 8, Generations: 4}
+	var last *Checkpoint
+	opt.OnCheckpoint = func(cp *Checkpoint) { last = cp }
+	if _, err := Search(context.Background(), m, nil, opt, nil); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	cases := map[string]SearchOptions{
+		"different seed":       {Algo: AlgoGA, Bound: 180, Seed: 6, Population: 8, Generations: 4},
+		"different algo":       {Algo: AlgoAnneal, Bound: 180, Seed: 5},
+		"different bound":      {Algo: AlgoGA, Bound: 181, Seed: 5, Population: 8, Generations: 4},
+		"different population": {Algo: AlgoGA, Bound: 180, Seed: 5, Population: 10, Generations: 4},
+	}
+	for name, ropt := range cases {
+		ropt.Checkpoint = last
+		if _, err := Search(context.Background(), m, nil, ropt, nil); !errors.Is(err, ErrCheckpointMismatch) {
+			t.Fatalf("%s: err = %v, want ErrCheckpointMismatch", name, err)
+		}
+	}
+	// A structurally broken checkpoint is rejected too.
+	bad := *last
+	bad.Best.Alloc = []int{99}
+	ropt := opt
+	ropt.OnCheckpoint = nil
+	ropt.Checkpoint = &bad
+	if _, err := Search(context.Background(), m, nil, ropt, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("malformed best: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestSourcePosSkipRoundTrip(t *testing.T) {
+	a := stats.NewSource(99)
+	for i := 0; i < 57; i++ {
+		a.Float64()
+		if i%5 == 0 {
+			a.Intn(17)
+		}
+		if i%7 == 0 {
+			a.Normal(0, 1)
+		}
+	}
+	pos := a.Pos()
+	b := stats.NewSource(99)
+	b.Skip(pos)
+	if b.Pos() != pos {
+		t.Fatalf("Pos after Skip = %d, want %d", b.Pos(), pos)
+	}
+	for i := 0; i < 100; i++ {
+		x, y := a.Float64(), b.Float64()
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Fatalf("draw %d: %x != %x", i, math.Float64bits(x), math.Float64bits(y))
+		}
+	}
+}

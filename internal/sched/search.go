@@ -117,6 +117,20 @@ type SearchOptions struct {
 	// initial population. Lets an operator continue a deadline-truncated
 	// search from the partial best reported in /statz.
 	Resume []int
+
+	// Checkpoint, when non-nil, restores serialized search state (a prior
+	// OnCheckpoint emission) and continues the trajectory exactly where it
+	// stopped: candidate set, best-so-far, counters, and random-stream
+	// position. Unlike Resume — which merely seeds a fresh trajectory — a
+	// checkpointed resume is bit-identical to the uninterrupted run.
+	// Overrides Resume. Returns ErrCheckpointMismatch when the checkpoint
+	// belongs to a different search (algorithm, instance, or tuning).
+	Checkpoint *Checkpoint
+	// OnCheckpoint, when non-nil, is called synchronously after the initial
+	// scoring and after every completed generation (GA) or proposal block
+	// (annealing) with the state needed to resume. The callback owns the
+	// pointee.
+	OnCheckpoint func(*Checkpoint)
 }
 
 // Progress is a snapshot handed to the progress callback after every scored
@@ -492,19 +506,6 @@ func (r *searchRun) report(progress func(Progress), best scored, gen, total int)
 func (r *searchRun) anneal(ctx context.Context, opt SearchOptions, progress func(Progress)) (*SearchResult, error) {
 	m := r.m
 	src := stats.NewSource(opt.Seed ^ 0xa22ea1)
-	cur, err := MinMin(m)
-	if err != nil {
-		return nil, err
-	}
-	if opt.Resume != nil {
-		cur = append([]int(nil), opt.Resume...)
-	}
-	init, err := r.scoreBatch(ctx, [][]int{append([]int(nil), cur...)})
-	if err != nil {
-		return nil, err
-	}
-	curC := init[0]
-	best := curC
 	steps := opt.Steps
 	if steps <= 0 {
 		steps = 200 * m.Tasks
@@ -514,18 +515,64 @@ func (r *searchRun) anneal(ctx context.Context, opt SearchOptions, progress func
 		block = 16
 	}
 	totalBlocks := (steps + block - 1) / block
-	if m.Machines == 1 {
-		// No move exists; the start allocation is the only allocation.
-		r.report(progress, best, 0, 0)
-		return r.result(best, 0, false), nil
-	}
-	temp := opt.T0
-	if temp <= 0 {
-		temp = math.Max(1e-3, 0.1*math.Abs(curC.fit))
+	sum := checkpointSum(m, AlgoAnneal, r.obj, opt.Seed,
+		[]float64{r.bound, r.rhoMin, opt.T0}, []int{steps, block})
+
+	var cur []int
+	var curC, best scored
+	var temp float64
+	processed, blocks := 0, 0
+	if cp := opt.Checkpoint; cp != nil {
+		if err := checkCheckpoint(m, cp, AlgoAnneal, sum); err != nil {
+			return nil, err
+		}
+		if cp.Current == nil || !allocWellFormed(m, cp.Current.Alloc) {
+			return nil, fmt.Errorf("%w: current allocation malformed", ErrCheckpointMismatch)
+		}
+		if !(cp.Temp > 0) || math.IsInf(cp.Temp, 0) {
+			return nil, fmt.Errorf("%w: temperature %g", ErrCheckpointMismatch, cp.Temp)
+		}
+		curC = fromScore(*cp.Current)
+		cur = curC.alloc
+		best = fromScore(cp.Best)
+		temp = cp.Temp
+		processed, blocks = cp.Processed, cp.Generation
+		r.candidates, r.engine, r.radius = cp.Candidates, cp.EngineCandidates, cp.RadiusEvals
+		src.Skip(cp.RNGPos)
+		if processed >= steps {
+			return r.result(best, blocks, false), nil
+		}
+	} else {
+		var err error
+		cur, err = MinMin(m)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Resume != nil {
+			cur = append([]int(nil), opt.Resume...)
+		}
+		init, err := r.scoreBatch(ctx, [][]int{append([]int(nil), cur...)})
+		if err != nil {
+			return nil, err
+		}
+		curC = init[0]
+		best = curC
+		if m.Machines == 1 {
+			// No move exists; the start allocation is the only allocation.
+			r.report(progress, best, 0, 0)
+			return r.result(best, 0, false), nil
+		}
+		temp = opt.T0
+		if temp <= 0 {
+			temp = math.Max(1e-3, 0.1*math.Abs(curC.fit))
+		}
+		if opt.OnCheckpoint != nil {
+			cp := r.annealCheckpoint(sum, opt.Seed, blocks, processed, src.Pos(), temp, cur, curC, best)
+			opt.OnCheckpoint(&cp)
+		}
 	}
 	cooling := math.Pow(1e-3, 1/float64(steps)) // temp → 0.1% of T0
 	type prop struct{ t, to int }
-	processed, blocks := 0, 0
 	for processed < steps {
 		if err := ctx.Err(); err != nil {
 			return r.result(best, blocks, true), err
@@ -571,8 +618,34 @@ func (r *searchRun) anneal(ctx context.Context, opt SearchOptions, progress func
 		}
 		blocks++
 		r.report(progress, best, blocks, totalBlocks)
+		if opt.OnCheckpoint != nil {
+			cp := r.annealCheckpoint(sum, opt.Seed, blocks, processed, src.Pos(), temp, cur, curC, best)
+			opt.OnCheckpoint(&cp)
+		}
 	}
 	return r.result(best, blocks, false), nil
+}
+
+// annealCheckpoint captures the walk after a completed block. cur is the
+// authoritative current allocation (curC.alloc may alias it).
+func (r *searchRun) annealCheckpoint(sum string, seed int64, blocks, processed int, pos uint64, temp float64, cur []int, curC, best scored) Checkpoint {
+	current := toScore(curC)
+	current.Alloc = append([]int(nil), cur...)
+	return Checkpoint{
+		Algo:             AlgoAnneal,
+		Objective:        r.obj,
+		OptionsSum:       sum,
+		Seed:             seed,
+		Generation:       blocks,
+		RNGPos:           pos,
+		Candidates:       r.candidates,
+		EngineCandidates: r.engine,
+		RadiusEvals:      r.radius,
+		Best:             toScore(best),
+		Current:          &current,
+		Temp:             temp,
+		Processed:        processed,
+	}
 }
 
 // genetic is the generational GA: heuristic-seeded population, tournament
@@ -598,41 +671,77 @@ func (r *searchRun) genetic(ctx context.Context, opt SearchOptions, progress fun
 		return nil, fmt.Errorf("%w (got %g)", ErrBadMutationRate, opt.MutationRate)
 	}
 
-	// Seed population: resumed best first, then known heuristics, then
-	// random fill.
+	sum := checkpointSum(m, AlgoGA, r.obj, opt.Seed,
+		[]float64{r.bound, r.rhoMin, mut}, []int{pop, gens})
+
 	var population [][]int
-	if opt.Resume != nil {
-		population = append(population, append([]int(nil), opt.Resume...))
-	}
-	for _, h := range []Heuristic{MinMin, MaxMin, MCT, OLB, RoundRobin} {
-		alloc, err := h(m)
+	var cands []scored
+	var elite scored
+	start := 0
+	if cp := opt.Checkpoint; cp != nil {
+		if err := checkCheckpoint(m, cp, AlgoGA, sum); err != nil {
+			return nil, err
+		}
+		if len(cp.Population) != pop {
+			return nil, fmt.Errorf("%w: population %d, want %d", ErrCheckpointMismatch, len(cp.Population), pop)
+		}
+		population = make([][]int, pop)
+		cands = make([]scored, pop)
+		for i, cs := range cp.Population {
+			if !allocWellFormed(m, cs.Alloc) {
+				return nil, fmt.Errorf("%w: population member %d malformed", ErrCheckpointMismatch, i)
+			}
+			cands[i] = fromScore(cs)
+			population[i] = cands[i].alloc
+		}
+		elite = fromScore(cp.Best)
+		r.candidates, r.engine, r.radius = cp.Candidates, cp.EngineCandidates, cp.RadiusEvals
+		src.Skip(cp.RNGPos)
+		start = cp.Generation
+		if start >= gens {
+			return r.result(elite, gens, false), nil
+		}
+	} else {
+		// Seed population: resumed best first, then known heuristics, then
+		// random fill.
+		if opt.Resume != nil {
+			population = append(population, append([]int(nil), opt.Resume...))
+		}
+		for _, h := range []Heuristic{MinMin, MaxMin, MCT, OLB, RoundRobin} {
+			alloc, err := h(m)
+			if err != nil {
+				return nil, err
+			}
+			population = append(population, alloc)
+		}
+		for len(population) < pop {
+			alloc := make([]int, m.Tasks)
+			for t := range alloc {
+				alloc[t] = src.Intn(m.Machines)
+			}
+			population = append(population, alloc)
+		}
+		population = population[:pop]
+
+		var err error
+		cands, err = r.scoreBatch(ctx, population)
 		if err != nil {
 			return nil, err
 		}
-		population = append(population, alloc)
-	}
-	for len(population) < pop {
-		alloc := make([]int, m.Tasks)
-		for t := range alloc {
-			alloc[t] = src.Intn(m.Machines)
+		bestIdx := 0
+		for i := range cands {
+			if cands[i].fit > cands[bestIdx].fit {
+				bestIdx = i
+			}
 		}
-		population = append(population, alloc)
-	}
-	population = population[:pop]
-
-	cands, err := r.scoreBatch(ctx, population)
-	if err != nil {
-		return nil, err
-	}
-	bestIdx := 0
-	for i := range cands {
-		if cands[i].fit > cands[bestIdx].fit {
-			bestIdx = i
+		elite = cands[bestIdx]
+		elite.alloc = append([]int(nil), elite.alloc...)
+		r.report(progress, elite, 0, gens)
+		if opt.OnCheckpoint != nil {
+			cp := r.gaCheckpoint(sum, opt.Seed, 0, src.Pos(), cands, elite)
+			opt.OnCheckpoint(&cp)
 		}
 	}
-	elite := cands[bestIdx]
-	elite.alloc = append([]int(nil), elite.alloc...)
-	r.report(progress, elite, 0, gens)
 
 	tournament := func() []int {
 		a, b := src.Intn(pop), src.Intn(pop)
@@ -641,7 +750,7 @@ func (r *searchRun) genetic(ctx context.Context, opt SearchOptions, progress fun
 		}
 		return population[b]
 	}
-	for g := 0; g < gens; g++ {
+	for g := start; g < gens; g++ {
 		if err := ctx.Err(); err != nil {
 			return r.result(elite, g, true), err
 		}
@@ -661,11 +770,12 @@ func (r *searchRun) genetic(ctx context.Context, opt SearchOptions, progress fun
 			next = append(next, child)
 		}
 		population = next
+		var err error
 		cands, err = r.scoreBatch(ctx, population)
 		if err != nil {
 			return r.result(elite, g, true), err
 		}
-		bestIdx = 0
+		bestIdx := 0
 		for i := range cands {
 			if cands[i].fit > cands[bestIdx].fit {
 				bestIdx = i
@@ -676,6 +786,33 @@ func (r *searchRun) genetic(ctx context.Context, opt SearchOptions, progress fun
 			elite.alloc = append([]int(nil), elite.alloc...)
 		}
 		r.report(progress, elite, g+1, gens)
+		if opt.OnCheckpoint != nil {
+			cp := r.gaCheckpoint(sum, opt.Seed, g+1, src.Pos(), cands, elite)
+			opt.OnCheckpoint(&cp)
+		}
 	}
 	return r.result(elite, gens, false), nil
+}
+
+// gaCheckpoint captures the GA after a completed generation: the scored
+// population (allocations plus scores, so resume re-scores nothing), the
+// elite, the counters, and the stream position.
+func (r *searchRun) gaCheckpoint(sum string, seed int64, gen int, pos uint64, cands []scored, elite scored) Checkpoint {
+	popScores := make([]CandidateScore, len(cands))
+	for i, c := range cands {
+		popScores[i] = toScore(c)
+	}
+	return Checkpoint{
+		Algo:             AlgoGA,
+		Objective:        r.obj,
+		OptionsSum:       sum,
+		Seed:             seed,
+		Generation:       gen,
+		RNGPos:           pos,
+		Candidates:       r.candidates,
+		EngineCandidates: r.engine,
+		RadiusEvals:      r.radius,
+		Best:             toScore(elite),
+		Population:       popScores,
+	}
 }

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fepia/internal/durable"
+	"fepia/internal/sched"
+)
+
+// This file is the search checkpoint store: one file per search id under
+// <state-dir>/searches, each holding the original request plus the
+// sched.Checkpoint of the last completed generation. It follows the
+// scenario store's durability discipline (internal/durable): atomic
+// temp+fsync+rename writes, a checksum over the payload, and
+// quarantine-not-fatal reads — a corrupt checkpoint costs that search's
+// resumability, never the daemon. A restarted daemon lists the surviving
+// checkpoints as "resumable" rows in /statz, and POST /v1/search with
+// {"resumeId": <id>} continues the run bit-identically.
+
+const (
+	checkpointKind    = "fepia-search-checkpoint"
+	checkpointVersion = 1
+	checkpointSuffix  = ".ckpt.json"
+)
+
+// ErrNoCheckpoint reports a resume id with no loadable checkpoint — never
+// saved, already consumed, or quarantined as corrupt. Mapped to HTTP 404
+// kind "resume-not-found".
+var ErrNoCheckpoint = errors.New("server: no checkpoint for search id")
+
+// checkpointEnvelope is the on-disk shape of one checkpoint file.
+type checkpointEnvelope struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	// Checksum is FNV-1a/64 of the raw Payload bytes, hex-encoded.
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// CheckpointPayload is what a checkpoint file carries: the request that
+// started the search (so a bare resumeId reconstructs instance and options)
+// and the serialized search state.
+type CheckpointPayload struct {
+	Request SearchRequest    `json:"request"`
+	State   sched.Checkpoint `json:"state"`
+}
+
+// CheckpointStats are the checkpoint store's monotonic counters.
+type CheckpointStats struct {
+	Saves          uint64 `json:"saves"`
+	SaveErrors     uint64 `json:"saveErrors"`
+	Loaded         uint64 `json:"loaded"`
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+	Deletes        uint64 `json:"deletes"`
+}
+
+// CheckpointStore persists search checkpoints in a directory. All methods
+// are safe for concurrent use.
+type CheckpointStore struct {
+	dir string
+
+	mu    sync.Mutex
+	stats CheckpointStats
+}
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint store rooted
+// at dir.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: checkpoint dir is empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: opening checkpoint store: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (cs *CheckpointStore) Dir() string { return cs.dir }
+
+// Stats snapshots the store's counters.
+func (cs *CheckpointStore) Stats() CheckpointStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stats
+}
+
+// path names id's file: a hash of the id, so arbitrary client-chosen search
+// ids never become path components.
+func (cs *CheckpointStore) path(id string) string {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return filepath.Join(cs.dir, strconv.FormatUint(h.Sum64(), 16)+checkpointSuffix)
+}
+
+// Save atomically replaces id's checkpoint. Best-effort at the call sites:
+// a failed save costs resumability from this generation, not the search.
+func (cs *CheckpointStore) Save(id string, p CheckpointPayload) error {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		cs.countSaveErr()
+		return fmt.Errorf("server: checkpoint save: %w", err)
+	}
+	env := checkpointEnvelope{
+		Kind:     checkpointKind,
+		Version:  checkpointVersion,
+		ID:       id,
+		Checksum: durable.Checksum(raw),
+		Payload:  raw,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		cs.countSaveErr()
+		return fmt.Errorf("server: checkpoint save: %w", err)
+	}
+	if err := durable.WriteFileAtomic(cs.path(id), data, ".ckpt-*"); err != nil {
+		cs.countSaveErr()
+		return fmt.Errorf("server: checkpoint save: %w", err)
+	}
+	cs.mu.Lock()
+	cs.stats.Saves++
+	cs.mu.Unlock()
+	return nil
+}
+
+func (cs *CheckpointStore) countSaveErr() {
+	cs.mu.Lock()
+	cs.stats.SaveErrors++
+	cs.mu.Unlock()
+}
+
+// decodeCheckpoint verifies one checkpoint file end to end.
+func decodeCheckpoint(data []byte) (string, CheckpointPayload, error) {
+	var env checkpointEnvelope
+	var p CheckpointPayload
+	if err := json.Unmarshal(data, &env); err != nil {
+		return "", p, fmt.Errorf("server: checkpoint file: %w", err)
+	}
+	if env.Kind != checkpointKind || env.Version != checkpointVersion {
+		return "", p, fmt.Errorf("server: checkpoint file kind/version %q/%d, want %q/%d", env.Kind, env.Version, checkpointKind, checkpointVersion)
+	}
+	if got := durable.Checksum(env.Payload); got != env.Checksum {
+		return "", p, fmt.Errorf("server: checkpoint file checksum %s, recorded %s", got, env.Checksum)
+	}
+	if err := json.Unmarshal(env.Payload, &p); err != nil {
+		return "", p, fmt.Errorf("server: checkpoint payload: %w", err)
+	}
+	return env.ID, p, nil
+}
+
+// Load retrieves id's checkpoint. A missing file returns ErrNoCheckpoint; a
+// corrupt one is quarantined (removed, counted) and reported as
+// ErrNoCheckpoint too — the caller cannot resume either way.
+func (cs *CheckpointStore) Load(id string) (CheckpointPayload, error) {
+	path := cs.path(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return CheckpointPayload{}, fmt.Errorf("%w: %q", ErrNoCheckpoint, id)
+		}
+		return CheckpointPayload{}, fmt.Errorf("server: checkpoint load: %w", err)
+	}
+	gotID, p, err := decodeCheckpoint(data)
+	if err == nil && gotID != id {
+		err = fmt.Errorf("server: checkpoint file for id %q found under %q's name", gotID, id)
+	}
+	if err != nil {
+		cs.quarantine(path)
+		return CheckpointPayload{}, fmt.Errorf("%w: %q (%v)", ErrNoCheckpoint, id, err)
+	}
+	cs.mu.Lock()
+	cs.stats.Loaded++
+	cs.mu.Unlock()
+	return p, nil
+}
+
+// Delete removes id's checkpoint (a completed search needs no resume).
+func (cs *CheckpointStore) Delete(id string) {
+	if err := os.Remove(cs.path(id)); err != nil {
+		return
+	}
+	cs.mu.Lock()
+	cs.stats.Deletes++
+	cs.mu.Unlock()
+}
+
+// quarantine removes a file Load refused, best-effort, and counts it.
+func (cs *CheckpointStore) quarantine(path string) {
+	_ = os.Remove(path)
+	cs.mu.Lock()
+	cs.stats.CorruptSkipped++
+	cs.mu.Unlock()
+}
+
+// CheckpointRecord is one resumable search found on disk.
+type CheckpointRecord struct {
+	ID      string
+	Payload CheckpointPayload
+}
+
+// List returns every intact checkpoint, sorted by search id. Corrupt files
+// are quarantined and skipped, never fatal.
+func (cs *CheckpointStore) List() []CheckpointRecord {
+	entries, err := os.ReadDir(cs.dir)
+	if err != nil {
+		return nil
+	}
+	var out []CheckpointRecord
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointSuffix) {
+			continue
+		}
+		path := filepath.Join(cs.dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cs.quarantine(path)
+			continue
+		}
+		id, p, err := decodeCheckpoint(data)
+		if err != nil {
+			cs.quarantine(path)
+			continue
+		}
+		out = append(out, CheckpointRecord{ID: id, Payload: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CheckpointStatz is the checkpoint store's section of /statz.
+type CheckpointStatz struct {
+	Dir            string `json:"dir"`
+	Saves          uint64 `json:"saves"`
+	SaveErrors     uint64 `json:"saveErrors"`
+	Loaded         uint64 `json:"loaded"`
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+	Deletes        uint64 `json:"deletes"`
+}
+
+// checkpointStatz snapshots the checkpoint section; nil when no state dir
+// is configured.
+func checkpointStatz(cs *CheckpointStore) *CheckpointStatz {
+	if cs == nil {
+		return nil
+	}
+	st := cs.Stats()
+	return &CheckpointStatz{
+		Dir:            cs.dir,
+		Saves:          st.Saves,
+		SaveErrors:     st.SaveErrors,
+		Loaded:         st.Loaded,
+		CorruptSkipped: st.CorruptSkipped,
+		Deletes:        st.Deletes,
+	}
+}
+
+// ResumableRow converts one checkpoint record into its /statz row: state
+// "resumable", progress from the serialized state, best allocation included
+// so an operator can inspect (or fall back to plain resume seeding).
+func (rec CheckpointRecord) ResumableRow() SearchStatz {
+	st := rec.Payload.State
+	algo := st.Algo
+	obj := st.Objective
+	return SearchStatz{
+		ID:           rec.ID,
+		Algo:         algo,
+		Objective:    obj,
+		State:        "resumable",
+		Generation:   st.Generation,
+		BestRho:      st.Best.Rho,
+		BestMakespan: st.Best.Makespan,
+		BestAlloc:    append([]int(nil), st.Best.Alloc...),
+		Candidates:   st.Candidates,
+		RadiusEvals:  st.RadiusEvals,
+	}
+}

@@ -707,6 +707,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		forcedFlags[k], probeFlags[k], states[k] = s.brk.route(classes[k])
 	}
 
+	// Store entries in use stay pinned for the whole evaluation: a running
+	// search scores its generations through this path, and the size bound's
+	// LRU sweep must never evict a scenario out from under an in-flight
+	// generation (pins nest, so concurrent batches sharing a scenario are
+	// safe).
+	if s.store != nil {
+		for _, e := range entries {
+			if e != nil {
+				s.store.Pin(e.key)
+			}
+		}
+		defer func() {
+			for _, e := range entries {
+				if e != nil {
+					s.store.Unpin(e.key)
+				}
+			}
+		}()
+	}
+
 	// Partition by breaker routing: open classes run the bounded
 	// Monte-Carlo path, everything else the full engine. Results merge
 	// back into request order.

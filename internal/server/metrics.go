@@ -172,6 +172,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.Metric("fepiad_store_warm_hits_total", float64(st.Store.WarmHits))
 		p.Header("fepiad_store_hit_rate", "gauge", "Warm-started share of scenario-cache lookups (0 with no lookups).")
 		p.Metric("fepiad_store_hit_rate", st.Store.HitRate)
+		p.Header("fepiad_store_evictions_total", "counter", "Store entries evicted by the size bound's LRU sweep.")
+		p.Metric("fepiad_store_evictions_total", float64(st.Store.Evictions))
+		p.Header("fepiad_store_size_bytes", "gauge", "Indexed on-disk footprint of the scenario store.")
+		p.Metric("fepiad_store_size_bytes", float64(st.Store.SizeBytes))
+	}
+
+	if st.Checkpoints != nil {
+		p.Header("fepiad_checkpoint_saves_total", "counter", "Search checkpoints persisted.")
+		p.Metric("fepiad_checkpoint_saves_total", float64(st.Checkpoints.Saves))
+		p.Header("fepiad_checkpoint_save_errors_total", "counter", "Failed checkpoint writes.")
+		p.Metric("fepiad_checkpoint_save_errors_total", float64(st.Checkpoints.SaveErrors))
+		p.Header("fepiad_checkpoint_loaded_total", "counter", "Checkpoints loaded for resume.")
+		p.Metric("fepiad_checkpoint_loaded_total", float64(st.Checkpoints.Loaded))
+		p.Header("fepiad_checkpoint_corrupt_skipped_total", "counter", "Corrupt checkpoint files skipped and quarantined.")
+		p.Metric("fepiad_checkpoint_corrupt_skipped_total", float64(st.Checkpoints.CorruptSkipped))
+		p.Header("fepiad_checkpoint_deletes_total", "counter", "Checkpoints deleted after clean completion.")
+		p.Metric("fepiad_checkpoint_deletes_total", float64(st.Checkpoints.Deletes))
 	}
 
 	if len(st.Classes) > 0 {

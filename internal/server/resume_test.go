@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"fepia/internal/sched"
+)
+
+// sameSearchResult compares two completed search responses bit-exactly.
+func sameSearchResult(t *testing.T, got, want SearchResponse) {
+	t.Helper()
+	if !slicesEqual(got.Best.Alloc, want.Best.Alloc) {
+		t.Fatalf("best alloc: got %v, want %v", got.Best.Alloc, want.Best.Alloc)
+	}
+	if math.Float64bits(got.Best.Rho) != math.Float64bits(want.Best.Rho) {
+		t.Fatalf("best rho bits: %v vs %v", got.Best.Rho, want.Best.Rho)
+	}
+	if math.Float64bits(got.Best.Makespan) != math.Float64bits(want.Best.Makespan) {
+		t.Fatalf("best makespan bits: %v vs %v", got.Best.Makespan, want.Best.Makespan)
+	}
+	if got.Best.Feasible != want.Best.Feasible {
+		t.Fatalf("feasible: %v vs %v", got.Best.Feasible, want.Best.Feasible)
+	}
+	if got.Generations != want.Generations || got.Candidates != want.Candidates ||
+		got.EngineCandidates != want.EngineCandidates || got.RadiusEvals != want.RadiusEvals {
+		t.Fatalf("counters: got gens=%d cands=%d engine=%d evals=%d, want gens=%d cands=%d engine=%d evals=%d",
+			got.Generations, got.Candidates, got.EngineCandidates, got.RadiusEvals,
+			want.Generations, want.Candidates, want.EngineCandidates, want.RadiusEvals)
+	}
+}
+
+// TestSearchResumeAfterRestart is the worker-level crash/recovery flow: a
+// search interrupted by its deadline leaves a checkpoint; a NEW server over
+// the same state dir lists it resumable in /statz; resuming completes the
+// run bit-identically to an uninterrupted control; the consumed checkpoint
+// is gone afterwards.
+func TestSearchResumeAfterRestart(t *testing.T) {
+	inst := searchInstance(t, 48, 10, 7)
+	req := SearchRequest{
+		Instance:    inst,
+		Tau:         1.5,
+		Seed:        11,
+		Population:  24,
+		Generations: 400, // long enough that a 60ms deadline lands mid-run
+		SearchID:    "crashme",
+	}
+
+	// Control: the same search, uninterrupted.
+	_, control := newTestServer(t, Config{})
+	resp, body := postJSON(t, control.URL+"/v1/search", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control = %d: %s", resp.StatusCode, body)
+	}
+	var want SearchResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Partial {
+		t.Fatal("control run was partial")
+	}
+
+	// Interrupt: run with a deadline that truncates the search. The
+	// checkpoint of the last completed generation survives either outcome
+	// (200 partial, or 504 when not even one generation fit).
+	stateDir := t.TempDir()
+	_, ts := newTestServer(t, Config{StateDir: stateDir})
+	interrupted := false
+	timeout := "60ms"
+	for _, timeout = range []string{"60ms", "150ms", "400ms", "1s"} {
+		r := req
+		r.Timeout = timeout
+		resp, body = postJSON(t, ts.URL+"/v1/search", r)
+		if resp.StatusCode == http.StatusOK {
+			var out SearchResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !out.Partial {
+				t.Skip("search completed inside the interrupt window; nothing to resume")
+			}
+			interrupted = true
+			break
+		}
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("interrupted run = %d: %s", resp.StatusCode, body)
+		}
+	}
+	if !interrupted {
+		t.Fatalf("no timeout in the ladder truncated the search (last %s)", timeout)
+	}
+
+	// "Crash" and restart: a fresh server over the same state dir.
+	s2, ts2 := newTestServer(t, Config{StateDir: stateDir})
+	if n := s2.LoadResumableSearches(); n != 1 {
+		t.Fatalf("LoadResumableSearches = %d, want 1", n)
+	}
+	st := getStatz(t, ts2)
+	found := false
+	for _, row := range st.Searches {
+		if row.ID == "crashme" {
+			found = true
+			if row.State != "resumable" {
+				t.Fatalf("statz state = %q, want resumable", row.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no resumable row in /statz: %+v", st.Searches)
+	}
+
+	// Resume: bit-identical to the uninterrupted control. The stored request
+	// kept the truncating deadline, so the resume must override Timeout (the
+	// one field a resume request may change).
+	resp, body = postJSON(t, ts2.URL+"/v1/search", SearchRequest{ResumeID: "crashme", Timeout: "2m"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume = %d: %s", resp.StatusCode, body)
+	}
+	var got SearchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Resumed {
+		t.Fatal("resumed response not marked Resumed")
+	}
+	if got.Partial {
+		t.Fatal("resumed run still partial")
+	}
+	sameSearchResult(t, got, want)
+
+	// Clean completion consumed the checkpoint.
+	resp, body = postJSON(t, ts2.URL+"/v1/search", SearchRequest{ResumeID: "crashme"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second resume = %d, want 404: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "resume-not-found" {
+		t.Fatalf("kind = %q, want resume-not-found", er.Kind)
+	}
+}
+
+func TestSearchResumeUnknownAndUnconfigured(t *testing.T) {
+	// With a state dir: unknown id is 404 resume-not-found.
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	resp, body := postJSON(t, ts.URL+"/v1/search", SearchRequest{ResumeID: "never-saved"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown resume = %d: %s", resp.StatusCode, body)
+	}
+
+	// Without one: resume is also 404 (nothing could ever be loaded).
+	_, ts2 := newTestServer(t, Config{})
+	resp, body = postJSON(t, ts2.URL+"/v1/search", SearchRequest{ResumeID: "whatever"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unconfigured resume = %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "resume-not-found" {
+		t.Fatalf("kind = %q, want resume-not-found", er.Kind)
+	}
+}
+
+// TestSearchResumeMismatchRejected: a checkpoint whose state does not match
+// its stored request (here: a forged options sum) is refused with 409
+// resume-mismatch, not silently re-run.
+func TestSearchResumeMismatchRejected(t *testing.T) {
+	stateDir := t.TempDir()
+	cs, err := OpenCheckpointStore(filepath.Join(stateDir, "searches"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SearchRequest{
+		Instance:    searchInstance(t, 12, 4, 3),
+		Tau:         1.5,
+		Seed:        5,
+		Population:  8,
+		Generations: 4,
+	}
+	state := sched.Checkpoint{
+		Algo:       sched.AlgoGA,
+		Objective:  sched.ObjectiveMaxRho,
+		OptionsSum: "bogus",
+		Generation: 1,
+	}
+	if err := cs.Save("forged", CheckpointPayload{Request: req, State: state}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{StateDir: stateDir})
+	resp, body := postJSON(t, ts.URL+"/v1/search", SearchRequest{ResumeID: "forged"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("forged resume = %d, want 409: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "resume-mismatch" {
+		t.Fatalf("kind = %q, want resume-mismatch", er.Kind)
+	}
+}

@@ -57,6 +57,14 @@ type SearchRequest struct {
 	// Resume seeds the search with a previous (possibly partial) best
 	// allocation, e.g. the bestAlloc of a truncated search's /statz row.
 	Resume []int `json:"resume,omitempty"`
+	// ResumeID resumes a checkpointed search by its id: the stored request
+	// supplies the instance and options (every other field of this request
+	// except Timeout is ignored) and the search continues from its last
+	// completed generation, bit-identical to an uninterrupted run. Requires
+	// a server started with a state dir; unknown or corrupt checkpoints are
+	// 404 "resume-not-found", a checkpoint that no longer matches its
+	// stored options is 409 "resume-mismatch".
+	ResumeID string `json:"resumeId,omitempty"`
 	// SearchID names the search in /statz (default: the request ID).
 	SearchID string `json:"searchId,omitempty"`
 	// Timeout bounds the whole search (e.g. "30s"); server limits apply.
@@ -92,9 +100,13 @@ type SearchResponse struct {
 	RadiusEvals      int64 `json:"radiusEvals"`
 	// Partial marks a deadline-truncated search: Best is the best of the
 	// completed generations (resume via Resume to continue).
-	Partial   bool    `json:"partial,omitempty"`
-	RequestID string  `json:"requestId,omitempty"`
-	ElapsedMs float64 `json:"elapsedMs"`
+	Partial bool `json:"partial,omitempty"`
+	// Resumed marks a run continued from a checkpoint; ResumedFrom is the
+	// generation (GA) or block (annealing) count it restarted at.
+	Resumed     bool    `json:"resumed,omitempty"`
+	ResumedFrom int     `json:"resumedFrom,omitempty"`
+	RequestID   string  `json:"requestId,omitempty"`
+	ElapsedMs   float64 `json:"elapsedMs"`
 }
 
 // SearchStatz is one allocation search's row in /statz.
@@ -102,7 +114,7 @@ type SearchStatz struct {
 	ID           string  `json:"id"`
 	Algo         string  `json:"algo"`
 	Objective    string  `json:"objective"`
-	State        string  `json:"state"` // running | done | partial | failed
+	State        string  `json:"state"` // running | done | partial | failed | resumable
 	Generation   int     `json:"generation"`
 	Generations  int     `json:"generations"`
 	BestRho      float64 `json:"bestRho"`
@@ -193,6 +205,45 @@ func ParseSearchRequest(req SearchRequest) (*etc.Matrix, sched.SearchOptions, er
 	return m, opt, nil
 }
 
+// ResolveSearchRequest resolves a search request into the instance matrix,
+// the search options, and the request to persist in future checkpoints.
+// For a fresh request it delegates to ParseSearchRequest and returns id ""
+// (the caller picks SearchID or the request id). For a resume request
+// (ResumeID set) it loads the checkpoint, re-parses the *stored* request —
+// only the new request's Timeout, when set, overrides — and arms
+// opt.Checkpoint, so the continued trajectory is bit-identical to an
+// uninterrupted run. Returns ErrNoCheckpoint when the id has no loadable
+// checkpoint (including cs == nil: no state dir configured).
+func ResolveSearchRequest(req SearchRequest, cs *CheckpointStore) (*etc.Matrix, sched.SearchOptions, string, SearchRequest, error) {
+	if req.ResumeID == "" {
+		persist := req
+		persist.ResumeID = ""
+		m, opt, err := ParseSearchRequest(req)
+		return m, opt, "", persist, err
+	}
+	if cs == nil {
+		return nil, sched.SearchOptions{}, "", req, fmt.Errorf("%w: %q (no state dir configured)", ErrNoCheckpoint, req.ResumeID)
+	}
+	p, err := cs.Load(req.ResumeID)
+	if err != nil {
+		return nil, sched.SearchOptions{}, "", req, err
+	}
+	stored := p.Request
+	stored.ResumeID = ""
+	if req.Timeout != "" {
+		stored.Timeout = req.Timeout
+	}
+	m, opt, err := ParseSearchRequest(stored)
+	if err != nil {
+		// The stored request was valid when the checkpoint was written; if
+		// it no longer parses, the checkpoint does not match this server.
+		return nil, opt, "", stored, fmt.Errorf("%w: stored request: %v", sched.ErrCheckpointMismatch, err)
+	}
+	state := p.State
+	opt.Checkpoint = &state
+	return m, opt, req.ResumeID, stored, nil
+}
+
 // SearchCost is the admission cost of a search: the generation in flight
 // at any moment (the batch the engine actually holds), costed like a batch
 // of per-machine analytic features. The whole search is far more work, but
@@ -221,8 +272,28 @@ func SearchCost(m *etc.Matrix, opt sched.SearchOptions) int64 {
 // generation it returns the partial response and no error; earlier or
 // non-context failures return the error (the partial response too when one
 // exists, for the tracker's benefit).
-func ExecuteSearch(ctx context.Context, m *etc.Matrix, opt sched.SearchOptions, ev sched.Evaluator, tracker *SearchTracker, id, rid string) (*SearchResponse, error) {
+//
+// When cs is non-nil, every completed generation's checkpoint is persisted
+// under id together with persist (the request future resumes re-parse), and
+// a search that finishes cleanly deletes its checkpoint; a partial or
+// failed one keeps it, resumable via ResumeID. Checkpoint saves are
+// best-effort — a failed save is counted in the store's stats and costs
+// resumability from that generation, never the search.
+func ExecuteSearch(ctx context.Context, m *etc.Matrix, opt sched.SearchOptions, ev sched.Evaluator, tracker *SearchTracker, id, rid string, cs *CheckpointStore, persist SearchRequest) (*SearchResponse, error) {
 	start := time.Now()
+	resumedFrom, resumed := 0, false
+	if opt.Checkpoint != nil {
+		resumed, resumedFrom = true, opt.Checkpoint.Generation
+	}
+	if cs != nil && id != "" {
+		prev := opt.OnCheckpoint
+		opt.OnCheckpoint = func(cp *sched.Checkpoint) {
+			_ = cs.Save(id, CheckpointPayload{Request: persist, State: *cp})
+			if prev != nil {
+				prev(cp)
+			}
+		}
+	}
 	algo := opt.Algo
 	if algo == "" {
 		algo = sched.AlgoGA
@@ -268,6 +339,10 @@ func ExecuteSearch(ctx context.Context, m *etc.Matrix, opt sched.SearchOptions, 
 	state := "done"
 	if res.Partial {
 		state = "partial"
+	} else if cs != nil && id != "" {
+		// A finished search needs no resume; a partial one keeps its
+		// checkpoint so ResumeID can continue it after a restart too.
+		cs.Delete(id)
 	}
 	if tracker != nil {
 		tracker.Update(row(state, finalProgress(res)))
@@ -289,6 +364,8 @@ func ExecuteSearch(ctx context.Context, m *etc.Matrix, opt sched.SearchOptions, 
 		EngineCandidates: res.EngineCandidates,
 		RadiusEvals:      res.RadiusEvals,
 		Partial:          res.Partial,
+		Resumed:          resumed,
+		ResumedFrom:      resumedFrom,
 		RequestID:        rid,
 		ElapsedMs:        float64(time.Since(start).Microseconds()) / 1000,
 	}
@@ -324,12 +401,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	m, opt, err := ParseSearchRequest(req)
+	m, opt, id, persist, err := ResolveSearchRequest(req, s.ckpts)
 	if err != nil {
+		if status, kind, ok := ResumeFailure(err); ok {
+			writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
+			return
+		}
 		s.badRequest(w, r, err)
 		return
 	}
-	timeout, err := s.requestTimeout(req.Timeout)
+	timeout, err := s.requestTimeout(persist.Timeout)
 	if err != nil {
 		s.badRequest(w, r, err)
 		return
@@ -340,13 +421,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer finish()
 
-	id := req.SearchID
+	if id == "" {
+		id = req.SearchID
+	}
 	if id == "" {
 		id = rid
 	}
 	ev := &sched.EngineEvaluator{M: m, Bound: opt.Bound, Workers: s.cfg.MaxConcurrent}
-	res, err := ExecuteSearch(ctx, m, opt, ev, s.searches, id, rid)
+	res, err := ExecuteSearch(ctx, m, opt, ev, s.searches, id, rid, s.ckpts, persist)
 	if err != nil {
+		if status, kind, ok := ResumeFailure(err); ok {
+			writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, RequestID: rid})
+			return
+		}
 		if SearchBadRequest(err) {
 			s.badRequest(w, r, err)
 			return
@@ -356,4 +443,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.completedOK.Add(1)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// ResumeFailure maps checkpoint-resume errors to their HTTP status and
+// error kind: a missing/corrupt checkpoint is 404 "resume-not-found", a
+// checkpoint that does not match its search is 409 "resume-mismatch".
+// Shared with the cluster coordinator's /v1/search handler.
+func ResumeFailure(err error) (status int, kind string, ok bool) {
+	switch {
+	case errors.Is(err, ErrNoCheckpoint):
+		return http.StatusNotFound, "resume-not-found", true
+	case errors.Is(err, sched.ErrCheckpointMismatch):
+		return http.StatusConflict, "resume-mismatch", true
+	}
+	return 0, "", false
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -93,6 +94,19 @@ type Config struct {
 	// persistence. Corrupt store files are skipped and rebuilt from
 	// traffic, never fatal.
 	StoreDir string
+	// StoreMaxBytes bounds the persistent scenario store's on-disk
+	// footprint: after every write the least-recently-accessed unpinned
+	// entries are evicted until the store fits (fepiad_store_evictions_total
+	// counts them). Entries pinned by a running search are never evicted.
+	// ≤ 0 (the default) leaves the store unbounded.
+	StoreMaxBytes int64
+	// StateDir enables search checkpointing: every completed generation of
+	// a /v1/search run is persisted (atomic + checksummed) under
+	// <StateDir>/searches, surviving checkpoints appear as "resumable" rows
+	// in /statz after a restart (call LoadResumableSearches), and a request
+	// with resumeId continues the run bit-identically. Empty disables
+	// checkpointing. Corrupt checkpoint files are quarantined, never fatal.
+	StateDir string
 	// BreakerThreshold is the consecutive-failure count that trips a
 	// class's breaker (default 5).
 	BreakerThreshold int
@@ -152,9 +166,10 @@ type Server struct {
 	adm      *admission
 	brk      *breakerSet
 	scache   *scenarioCache
-	store    *scenario.Store // nil unless Config.StoreDir is set and opened
-	warmRegs *warmRegCache   // warm-start registries that outlive scache evictions
-	searches *SearchTracker  // allocation-search progress for /statz
+	store    *scenario.Store  // nil unless Config.StoreDir is set and opened
+	warmRegs *warmRegCache    // warm-start registries that outlive scache evictions
+	searches *SearchTracker   // allocation-search progress for /statz
+	ckpts    *CheckpointStore // nil unless Config.StateDir is set and opened
 
 	// Warm-start outcome (set once by WarmStart, read by /statz).
 	warmLoaded  atomic.Int64
@@ -243,9 +258,39 @@ func New(cfg Config) *Server {
 			cfg.Logf("server: scenario store disabled: %v", err)
 		} else {
 			s.store = st
+			if cfg.StoreMaxBytes > 0 {
+				st.SetMaxBytes(cfg.StoreMaxBytes)
+			}
+		}
+	}
+	if cfg.StateDir != "" {
+		cs, err := OpenCheckpointStore(filepath.Join(cfg.StateDir, "searches"))
+		if err != nil {
+			// Same best-effort stance: losing checkpointing costs resume,
+			// never the daemon.
+			cfg.Logf("server: search checkpointing disabled: %v", err)
+		} else {
+			s.ckpts = cs
 		}
 	}
 	return s
+}
+
+// LoadResumableSearches publishes every intact on-disk checkpoint as a
+// "resumable" /statz row, so a restarted daemon advertises what a client
+// can pass as resumeId. Call it once, before serving. Returns the count.
+func (s *Server) LoadResumableSearches() int {
+	if s.ckpts == nil {
+		return 0
+	}
+	recs := s.ckpts.List()
+	for _, rec := range recs {
+		s.searches.Update(rec.ResumableRow())
+	}
+	if len(recs) > 0 {
+		s.cfg.Logf("server: %d resumable search(es) on disk", len(recs))
+	}
+	return len(recs)
 }
 
 // WarmStart reloads the persistent scenario store into the scenario cache,
@@ -477,6 +522,10 @@ type Statz struct {
 	// Store reports the persistent scenario store, when configured.
 	Store *StoreStatz `json:"store,omitempty"`
 
+	// Checkpoints reports the search checkpoint store, when a state dir is
+	// configured.
+	Checkpoints *CheckpointStatz `json:"checkpoints,omitempty"`
+
 	// Classes breaks the cache and breaker counters down per scenario class
 	// (the same classification the breaker and the cluster coordinator key
 	// on), sorted by class name.
@@ -508,6 +557,10 @@ type StoreStatz struct {
 	// have been lookups).
 	WarmHits uint64  `json:"warmHits"`
 	HitRate  float64 `json:"hitRate"`
+	// Evictions counts entries removed by the size bound's LRU sweep
+	// (Config.StoreMaxBytes); SizeBytes is the current indexed footprint.
+	Evictions uint64 `json:"evictions"`
+	SizeBytes int64  `json:"sizeBytes"`
 }
 
 // storeStatz snapshots the store section; nil when no store is configured.
@@ -527,6 +580,8 @@ func (s *Server) storeStatz() *StoreStatz {
 		CorruptSkipped: st.CorruptSkipped,
 		WarmHits:       warmHits,
 		HitRate:        safeRate(warmHits, lookups),
+		Evictions:      st.Evictions,
+		SizeBytes:      s.store.SizeBytes(),
 	}
 }
 
@@ -615,6 +670,7 @@ func (s *Server) statz() Statz {
 	st.CacheShards = s.cacheShardStatz()
 	st.Tenants = s.adm.tenantStatz()
 	st.Store = s.storeStatz()
+	st.Checkpoints = checkpointStatz(s.ckpts)
 	st.Classes = s.classStatz(breakers)
 	st.Searches = s.searches.Snapshot()
 	return st

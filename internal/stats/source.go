@@ -15,11 +15,53 @@ import (
 // CVB heterogeneity model is not in the standard library).
 type Source struct {
 	rng *rand.Rand
+	src *countingSource
+}
+
+// countingSource wraps the underlying Source64 and counts state advances.
+// Every public rand.Rand draw bottoms out in one or more Source64 calls,
+// each advancing the generator exactly one step, and rand.Rand keeps no
+// other cross-call state on the paths Source exposes — so the step count IS
+// the stream position, and replaying N raw Uint64 draws on a fresh source
+// reproduces the stream suffix bit-exactly.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
 }
 
 // NewSource returns a stream seeded with the given seed.
 func NewSource(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{rng: rand.New(cs), src: cs}
+}
+
+// Pos returns the number of raw generator steps consumed so far. Together
+// with the seed it identifies a point in the stream: NewSource(seed)
+// followed by Skip(pos) continues the stream bit-identically.
+func (s *Source) Pos() uint64 { return s.src.n }
+
+// Skip advances the stream by n raw generator steps without producing
+// samples. It is the resume half of Pos.
+func (s *Source) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.src.Uint64()
+	}
+	s.src.n += n
 }
 
 // Named returns a stream whose seed is derived from a base seed and a string
