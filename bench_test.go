@@ -565,3 +565,51 @@ func BenchmarkRobustnessConcurrent(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDeltaUpdate contrasts a cold full evaluation of the three-kind
+// HiPer-D analysis (E9's instance, 47 features) with the incremental
+// re-evaluation behind /v1/watch updates: re-search only a dirty window of
+// n/8 features and splice the ancestor's radii for the rest
+// (Analysis.RobustnessDelta). Results are bit-identical by the min-fold
+// argument; the dirty window rotates with the iteration counter so the
+// reported time averages over every feature's cost instead of a lucky
+// cheap subset. E20 is the reproduction-checked form of this comparison.
+func BenchmarkDeltaUpdate(b *testing.B) {
+	sys, err := workload.HiPerD(workload.DefaultHiPerD(), stats.NewSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := sys.AnalysisWithLoad()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(a.Features)
+	opt := fepia.EvalOptions{}
+	prior, err := a.RobustnessWith(context.Background(), fepia.Normalized{}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.RobustnessWith(context.Background(), fepia.Normalized{}, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	k := n / 8
+	b.Run(fmt.Sprintf("dirty=%d", k), func(b *testing.B) {
+		dirty := make([]int, k)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range dirty {
+				dirty[j] = (i*k + j) % n
+			}
+			if _, err := a.RobustnessDelta(context.Background(), fepia.Normalized{}, opt, prior.PerFeature, dirty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -25,6 +25,18 @@
 //	                     -resume ID instead continues a checkpointed search on
 //	                     a -state-dir daemon (only -search-timeout may ride
 //	                     along, overriding the stored deadline)
+//	watch open [flags]   POST /v1/watch — open (or resubscribe to) a live
+//	                     watch and stream its SSE events to stdout verbatim.
+//	                     -f FILE ships the AnalysisDoc for a new watch
+//	                     ("-" = stdin); a bare -id ID resubscribes, with
+//	                     -after N skipping acknowledged events. -weighting
+//	                     picks the weighting for a new watch.
+//	watch update [flags] POST /v1/watch/update — -id ID plus -f FILE holding
+//	                     the absolute parameter origins ([][]float64).
+//	                     Updates are idempotent: re-sending one is an
+//	                     acknowledged no-op, so retries are safe.
+//	watch close -id ID   POST /v1/watch/close — end the watch and drop its
+//	                     checkpoint.
 //	ring status          GET /admin/ring (coordinator only)
 //	ring join URL        POST /admin/ring/join — probe URL, then cut it into the ring
 //	ring leave URL       POST /admin/ring/leave — drain URL, then cut it out
@@ -74,7 +86,7 @@ const (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] [-tenant NAME] health|ready|statz|metrics|tenants|robustness|radius|batch|search|ring [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: fepiactl [-addr URL] [-timeout D] [-request-id ID] [-tenant NAME] health|ready|statz|metrics|tenants|robustness|radius|batch|search|watch|ring [args]\n")
 	flag.PrintDefaults()
 	os.Exit(exitUsage)
 }
@@ -124,6 +136,9 @@ func main() {
 			fatal(serr)
 		}
 		resp, err = post(client, base+"/v1/search", body, hdr)
+	case "watch":
+		runWatch(client, base, hdr, flag.Args()[1:])
+		return
 	case "ring":
 		resp, err = runRing(client, base, hdr, flag.Args()[1:])
 	default:
@@ -233,7 +248,7 @@ func runTenants(client *transport, base string, hdr headers) {
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		printJSON(data)
-		exitForStatus(resp)
+		exitForStatus(resp, data)
 	}
 	var st struct {
 		Tenants []server.TenantStatz `json:"tenants"`
@@ -259,31 +274,53 @@ func finish(resp *http.Response) {
 	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
 		return
 	}
-	exitForStatus(resp)
+	exitForStatus(resp, data)
 }
 
-// exitForStatus maps a non-2xx response onto the CLI's exit codes, surfacing
-// Retry-After for sheds so operators and scripts see the backoff hint
-// without parsing the body.
-func exitForStatus(resp *http.Response) {
-	rid := resp.Header.Get(server.HeaderRequestID)
-	switch resp.StatusCode {
+// exitForStatus maps a non-2xx response onto the CLI's exit codes via
+// nonOKReport. Every subcommand funnels failures through here, so sheds
+// render their Retry-After hint identically everywhere.
+func exitForStatus(resp *http.Response, body []byte) {
+	msg, code := nonOKReport(resp.StatusCode, resp.Status, resp.Header, body)
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(code)
+}
+
+// nonOKReport is the one mapping from a failed response to the stderr line
+// and exit code. For 429 sheds the retry hint prefers the Retry-After
+// header and falls back to the body's retryAfterMs (rounded up to whole
+// seconds), and the tenant comes from the X-Tenant header or the body —
+// whichever the serving path populated — so search, watch, tenants, and the
+// plain POST subcommands all surface the same line.
+func nonOKReport(statusCode int, status string, hdr http.Header, body []byte) (string, int) {
+	var er server.ErrorResponse
+	_ = json.Unmarshal(body, &er) // best-effort: non-JSON bodies leave the zero value
+	rid := hdr.Get(server.HeaderRequestID)
+	if rid == "" {
+		rid = er.RequestID
+	}
+	switch statusCode {
 	case http.StatusTooManyRequests:
-		msg := fmt.Sprintf("fepiactl: %s %s", resp.Status, rid)
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
+		msg := fmt.Sprintf("fepiactl: %s %s", status, rid)
+		ra := hdr.Get("Retry-After")
+		if ra == "" && er.RetryAfterMs > 0 {
+			ra = fmt.Sprintf("%d", (er.RetryAfterMs+999)/1000)
+		}
+		if ra != "" {
 			msg += fmt.Sprintf(" (retry after %ss)", ra)
 		}
-		if ten := resp.Header.Get(server.HeaderTenant); ten != "" {
+		ten := hdr.Get(server.HeaderTenant)
+		if ten == "" {
+			ten = er.Tenant
+		}
+		if ten != "" {
 			msg += fmt.Sprintf(" [tenant %s]", ten)
 		}
-		fmt.Fprintln(os.Stderr, msg)
-		os.Exit(exitShed)
+		return msg, exitShed
 	case http.StatusServiceUnavailable:
-		fmt.Fprintf(os.Stderr, "fepiactl: %s %s (draining or unavailable; try another node)\n", resp.Status, rid)
-		os.Exit(exitDrain)
+		return fmt.Sprintf("fepiactl: %s %s (draining or unavailable; try another node)", status, rid), exitDrain
 	default:
-		fmt.Fprintf(os.Stderr, "fepiactl: %s %s\n", resp.Status, rid)
-		os.Exit(exitError)
+		return fmt.Sprintf("fepiactl: %s %s", status, rid), exitError
 	}
 }
 

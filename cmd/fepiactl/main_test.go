@@ -1,0 +1,117 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"fepia/internal/server"
+)
+
+// TestNonOKReport pins the one failure-rendering path every subcommand
+// shares: exit-code mapping, and the Retry-After hint on 429 regardless of
+// whether the serving path put it in the header, the body, or both.
+func TestNonOKReport(t *testing.T) {
+	// hdr builds a header with canonicalized keys (a literal map would
+	// bypass the canonicalization Get relies on).
+	hdr := func(kv ...string) http.Header {
+		h := http.Header{}
+		for i := 0; i < len(kv); i += 2 {
+			h.Set(kv[i], kv[i+1])
+		}
+		return h
+	}
+	cases := []struct {
+		name     string
+		status   int
+		text     string
+		hdr      http.Header
+		body     string
+		wantCode int
+		want     []string
+		wantNot  []string
+	}{
+		{
+			name:   "shed-header",
+			status: http.StatusTooManyRequests, text: "429 Too Many Requests",
+			hdr:      hdr("Retry-After", "2", server.HeaderRequestID, "rid-1", server.HeaderTenant, "acme"),
+			body:     `{"error":"overloaded","kind":"overloaded"}`,
+			wantCode: exitShed,
+			want:     []string{"retry after 2s", "[tenant acme]", "rid-1"},
+		},
+		{
+			name:   "shed-body-fallback",
+			status: http.StatusTooManyRequests, text: "429 Too Many Requests",
+			hdr:      http.Header{},
+			body:     `{"error":"tenant default over its watch quota","kind":"tenant-quota","requestId":"rid-2","retryAfterMs":1500,"tenant":"default"}`,
+			wantCode: exitShed,
+			want:     []string{"retry after 2s", "[tenant default]", "rid-2"},
+		},
+		{
+			name:   "shed-header-wins-over-body",
+			status: http.StatusTooManyRequests, text: "429 Too Many Requests",
+			hdr:      http.Header{"Retry-After": {"7"}},
+			body:     `{"retryAfterMs":1000,"tenant":"bulk"}`,
+			wantCode: exitShed,
+			want:     []string{"retry after 7s", "[tenant bulk]"},
+			wantNot:  []string{"retry after 1s"},
+		},
+		{
+			name:   "shed-no-hint",
+			status: http.StatusTooManyRequests, text: "429 Too Many Requests",
+			hdr:      http.Header{},
+			body:     `{"error":"overloaded"}`,
+			wantCode: exitShed,
+			wantNot:  []string{"retry after", "tenant"},
+		},
+		{
+			name:   "shed-non-json-body",
+			status: http.StatusTooManyRequests, text: "429 Too Many Requests",
+			hdr:      http.Header{"Retry-After": {"1"}},
+			body:     "slow down",
+			wantCode: exitShed,
+			want:     []string{"retry after 1s"},
+		},
+		{
+			name:   "draining",
+			status: http.StatusServiceUnavailable, text: "503 Service Unavailable",
+			hdr:      hdr(server.HeaderRequestID, "rid-3"),
+			body:     `{"error":"server is draining","kind":"draining"}`,
+			wantCode: exitDrain,
+			want:     []string{"try another node", "rid-3"},
+		},
+		{
+			name:   "server-error",
+			status: http.StatusInternalServerError, text: "500 Internal Server Error",
+			hdr:      http.Header{},
+			body:     `{"error":"boom","requestId":"rid-4"}`,
+			wantCode: exitError,
+			want:     []string{"rid-4"},
+		},
+		{
+			name:   "not-found",
+			status: http.StatusNotFound, text: "404 Not Found",
+			hdr:      http.Header{},
+			body:     `{"error":"unknown watch id","kind":"watch-not-found"}`,
+			wantCode: exitError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg, code := nonOKReport(tc.status, tc.text, tc.hdr, []byte(tc.body))
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (msg %q)", code, tc.wantCode, msg)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(msg, sub) {
+					t.Fatalf("message %q missing %q", msg, sub)
+				}
+			}
+			for _, sub := range tc.wantNot {
+				if strings.Contains(msg, sub) {
+					t.Fatalf("message %q must not contain %q", msg, sub)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+)
+
+// runWatch dispatches the watch subcommands. open streams the server's SSE
+// bytes to stdout verbatim — two captures of the same watch can be diffed
+// directly, which is how the resume contract is checked in CI.
+func runWatch(client *transport, base string, hdr headers, args []string) {
+	if len(args) < 1 {
+		fmt.Fprintf(os.Stderr, "fepiactl: usage: watch open|update|close [flags]\n")
+		os.Exit(exitUsage)
+	}
+	switch sub := args[0]; sub {
+	case "open":
+		watchOpen(client, base, hdr, args[1:])
+	case "update":
+		watchUpdate(client, base, hdr, args[1:])
+	case "close":
+		watchClose(client, base, hdr, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "fepiactl: unknown watch subcommand %q (want open, update, or close)\n", sub)
+		os.Exit(exitUsage)
+	}
+}
+
+// watchOpen creates a watch (-f carries the scenario) or resubscribes to an
+// existing one (bare -id, optionally -after), then streams until the server
+// or the operator ends it. The call gets exactly one attempt: a blind
+// re-send after an ambiguous create failure would collide with the watch
+// the first attempt may already have registered.
+func watchOpen(client *transport, base string, hdr headers, args []string) {
+	fs := flag.NewFlagSet("watch open", flag.ExitOnError)
+	id := fs.String("id", "", "watch id (required to resubscribe; a new watch defaults to its request id)")
+	file := fs.String("f", "", "scenario AnalysisDoc JSON file (\"-\" = stdin); omit to resubscribe to -id")
+	weighting := fs.String("weighting", "", "weighting for a new watch: normalized (default), unweighted, or sensitivity")
+	after := fs.Uint64("after", 0, "replay only events with seq greater than this (0 = the full journal)")
+	fs.Parse(args)
+
+	req := server.WatchRequest{ID: *id, Weighting: *weighting, After: *after}
+	if *file != "" {
+		raw, err := readRequest(*file)
+		if err != nil {
+			fatal(err)
+		}
+		var doc scenario.AnalysisDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w", *file, err))
+		}
+		req.Scenario = &doc
+	} else if *id == "" {
+		fmt.Fprintf(os.Stderr, "fepiactl: watch open needs -f FILE (create) or -id ID (resubscribe)\n")
+		os.Exit(exitUsage)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+
+	// A dedicated client: the global -timeout is a request budget, and a
+	// healthy stream is open indefinitely.
+	httpReq, err := http.NewRequest(http.MethodPost, base+"/v1/watch", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	hdr.apply(httpReq)
+	resp, err := (&http.Client{}).Do(httpReq)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		printJSON(data)
+		exitForStatus(resp, data)
+	}
+	// Pass the SSE bytes through untouched. A server-side close or drain
+	// ends the stream cleanly; anything else is a transport failure.
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fatal(err)
+	}
+}
+
+// watchUpdate posts one absolute parameter update. Updates carry absolute
+// origins and are idempotent, so the normal retry budget applies.
+func watchUpdate(client *transport, base string, hdr headers, args []string) {
+	fs := flag.NewFlagSet("watch update", flag.ExitOnError)
+	id := fs.String("id", "", "watch id (required)")
+	file := fs.String("f", "-", "absolute parameter origins as [][]float64 JSON (\"-\" = stdin)")
+	fs.Parse(args)
+	if *id == "" {
+		fmt.Fprintf(os.Stderr, "fepiactl: watch update needs -id ID\n")
+		os.Exit(exitUsage)
+	}
+	raw, err := readRequest(*file)
+	if err != nil {
+		fatal(err)
+	}
+	var params [][]float64
+	if err := json.Unmarshal(raw, &params); err != nil {
+		fatal(fmt.Errorf("%s: %w", *file, err))
+	}
+	body, err := json.Marshal(server.WatchUpdateRequest{Watch: *id, Params: params})
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := post(client, base+"/v1/watch/update", body, hdr)
+	if err != nil {
+		fatal(err)
+	}
+	finish(resp)
+}
+
+// watchClose ends a watch. One attempt: a retried close after a success
+// would read as a spurious not-found.
+func watchClose(client *transport, base string, hdr headers, args []string) {
+	fs := flag.NewFlagSet("watch close", flag.ExitOnError)
+	id := fs.String("id", "", "watch id (required)")
+	fs.Parse(args)
+	if *id == "" {
+		fmt.Fprintf(os.Stderr, "fepiactl: watch close needs -id ID\n")
+		os.Exit(exitUsage)
+	}
+	body, err := json.Marshal(server.WatchCloseRequest{Watch: *id})
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := post(client.once(), base+"/v1/watch/close", body, hdr)
+	if err != nil {
+		fatal(err)
+	}
+	finish(resp)
+}

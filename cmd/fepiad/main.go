@@ -112,6 +112,9 @@ func main() {
 	vnodes := flag.Int("vnodes", 64, "coordinator: virtual nodes per worker on the placement ring")
 	stateDir := flag.String("state-dir", "", "durable state directory: search checkpoints (both modes) and the ring membership journal (coordinator)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "worker: scenario store size bound; coldest unpinned entries are evicted past it (0 = unbounded)")
+	maxWatches := flag.Int("max-watches", 0, "live watch subscriptions kept in memory (0 = 64, <0 = unbounded)")
+	maxWatchesPerTenant := flag.Int("max-watches-per-tenant", 0, "worker: live watches one tenant may hold (0 = 8, <0 = unbounded)")
+	watchEventCap := flag.Int("watch-event-cap", 0, "events retained per watch for resume replay (0 = 1024, <0 = unbounded)")
 	recoveryTimeout := flag.Duration("recovery-timeout", 15*time.Second, "coordinator: how long /readyz may report recovering while re-probing journaled members")
 	flag.Parse()
 
@@ -136,24 +139,27 @@ func main() {
 			logger.Fatalf("-store-dir needs -scenario-cache > 0 (the store warm-starts the scenario cache)")
 		}
 		s := server.New(server.Config{
-			DefaultTimeout:    *defaultTimeout,
-			MaxTimeout:        *maxTimeout,
-			MaxConcurrent:     *maxConcurrent,
-			MaxQueueCost:      *queueCost,
-			TenantQuotaCost:   *tenantQuota,
-			TenantWeights:     weights,
-			Workers:           pool,
-			CacheCap:          *cacheCap,
-			CacheShards:       *cacheShards,
-			ScenarioCacheCap:  *scenarioCache,
-			StoreDir:          *storeDir,
-			StoreMaxBytes:     *storeMaxBytes,
-			StateDir:          *stateDir,
-			BreakerThreshold:  *breakerThreshold,
-			BreakerBackoff:    *breakerBackoff,
-			BreakerMaxBackoff: *breakerMaxBackoff,
-			EnableChaos:       *enableChaos,
-			Logf:              logger.Printf,
+			DefaultTimeout:      *defaultTimeout,
+			MaxTimeout:          *maxTimeout,
+			MaxConcurrent:       *maxConcurrent,
+			MaxQueueCost:        *queueCost,
+			TenantQuotaCost:     *tenantQuota,
+			TenantWeights:       weights,
+			Workers:             pool,
+			CacheCap:            *cacheCap,
+			CacheShards:         *cacheShards,
+			ScenarioCacheCap:    *scenarioCache,
+			StoreDir:            *storeDir,
+			StoreMaxBytes:       *storeMaxBytes,
+			StateDir:            *stateDir,
+			MaxWatches:          *maxWatches,
+			MaxWatchesPerTenant: *maxWatchesPerTenant,
+			WatchEventCap:       *watchEventCap,
+			BreakerThreshold:    *breakerThreshold,
+			BreakerBackoff:      *breakerBackoff,
+			BreakerMaxBackoff:   *breakerMaxBackoff,
+			EnableChaos:         *enableChaos,
+			Logf:                logger.Printf,
 		})
 		if *storeDir != "" {
 			loaded, skippedN := s.WarmStart()
@@ -189,6 +195,8 @@ func main() {
 			BreakerMaxBackoff:    *breakerMaxBackoff,
 			EnableChaos:          *enableChaos,
 			StateDir:             *stateDir,
+			MaxWatches:           *maxWatches,
+			WatchEventCap:        *watchEventCap,
 			RecoveryTimeout:      *recoveryTimeout,
 			Logf:                 logger.Printf,
 		})

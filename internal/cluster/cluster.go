@@ -108,6 +108,12 @@ type Config struct {
 	// behavior).
 	StateDir string
 
+	// MaxWatches bounds the live watches the coordinator keeps in memory
+	// (default 64; <0 disables the bound); WatchEventCap bounds each
+	// watch's event journal (default 1024; <0 unbounded). See watch.go.
+	MaxWatches    int
+	WatchEventCap int
+
 	// RecoveryTimeout bounds the post-restart convergence window: a
 	// coordinator that recovered its ring from the journal answers /readyz
 	// 503 "recovering" until at least one journaled member probes up, or
@@ -152,6 +158,12 @@ func (c Config) withDefaults() Config {
 	if c.RecoveryTimeout <= 0 {
 		c.RecoveryTimeout = 15 * time.Second
 	}
+	if c.MaxWatches == 0 {
+		c.MaxWatches = 64
+	}
+	if c.WatchEventCap == 0 {
+		c.WatchEventCap = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -187,6 +199,10 @@ type Coordinator struct {
 	stats    coordStats
 	searches *server.SearchTracker // allocation-search progress for /statz
 
+	// Live watches (watch.go); cwstore is nil without Config.StateDir.
+	cwatches *cwatchTracker
+	cwstore  *cwatchStore
+
 	// Durability (nil / immediately-converged without Config.StateDir).
 	journal     *Journal                // ring membership log, or nil
 	ckpts       *server.CheckpointStore // search checkpoints, or nil
@@ -209,6 +225,16 @@ type coordStats struct {
 
 	joins  atomic.Uint64 // workers joined via AddWorker
 	leaves atomic.Uint64 // workers drained out via RemoveWorker
+
+	// Live-watch lifecycle and dirty-shard scatter outcomes (watch.go).
+	watchCreated       atomic.Uint64
+	watchResumed       atomic.Uint64
+	watchClosed        atomic.Uint64
+	watchUpdates       atomic.Uint64
+	watchStructural    atomic.Uint64
+	watchEvents        atomic.Uint64
+	watchLagDrops      atomic.Uint64
+	watchShardsSkipped atomic.Uint64 // clean shards never scattered
 }
 
 // New builds a Coordinator and starts its health-probe loop. With
@@ -234,6 +260,7 @@ func New(cfg Config) (*Coordinator, error) {
 		idle:       make(chan struct{}),
 		start:      time.Now(),
 		searches:   server.NewSearchTracker(64),
+		cwatches:   newCWatchTracker(),
 	}
 
 	// The journaled membership, when present, is the truth: it reflects
@@ -276,6 +303,12 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 
 	if cfg.StateDir != "" {
+		ws, err := openCWatchStore(filepath.Join(cfg.StateDir, "watches"))
+		if err != nil {
+			cfg.Logf("cluster: watch checkpointing disabled: %v", err)
+		} else {
+			c.cwstore = ws
+		}
 		ckpts, err := server.OpenCheckpointStore(filepath.Join(cfg.StateDir, "searches"))
 		if err != nil {
 			cfg.Logf("cluster: search checkpointing disabled: %v", err)
@@ -357,6 +390,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/radius", c.handleRadius)
 	mux.HandleFunc("POST /v1/batch", c.handleBatch)
 	mux.HandleFunc("POST /v1/search", c.handleSearch)
+	mux.HandleFunc("POST /v1/watch", c.handleWatch)
+	mux.HandleFunc("POST /v1/watch/update", c.handleWatchUpdate)
+	mux.HandleFunc("POST /v1/watch/close", c.handleWatchClose)
 	mux.HandleFunc("GET /admin/ring", c.handleRingStatus)
 	mux.HandleFunc("POST /admin/ring/join", c.handleRingJoin)
 	mux.HandleFunc("POST /admin/ring/leave", c.handleRingLeave)
@@ -402,6 +438,9 @@ func (c *Coordinator) BeginDrain() {
 	c.mu.Unlock()
 	if !already {
 		c.cfg.Logf("cluster: drain started")
+		// End every watch stream; state is checkpointed and clients resume
+		// byte-identically after restart (see watch.go).
+		c.cwatches.closeAllSubs()
 	}
 	if idle {
 		c.signalIdle()

@@ -195,12 +195,44 @@ type Statz struct {
 	Retries      uint64 `json:"retries"`
 	WorkerErrors uint64 `json:"workerErrors"`
 
+	// Watches reports the live-watch subsystem: active streams, lifecycle
+	// counters, and WatchShardsSkipped — shards with no dirty feature that
+	// were never scattered (the dirty-shard optimization's direct savings).
+	Watches *WatchStatz `json:"watches,omitempty"`
+
 	BreakerTrips uint64                   `json:"breakerTrips"`
 	Breakers     []server.BreakerSnapshot `json:"breakers"`
 
 	// Searches are the allocation searches the coordinator has run or is
 	// running (see POST /v1/search), newest rows last.
 	Searches []server.SearchStatz `json:"searches,omitempty"`
+}
+
+// WatchStatz is the coordinator's live-watch section of /statz.
+type WatchStatz struct {
+	Active        int    `json:"active"`
+	Created       uint64 `json:"created"`
+	Resumed       uint64 `json:"resumed"`
+	Closed        uint64 `json:"closed"`
+	Updates       uint64 `json:"updates"`
+	Structural    uint64 `json:"structural"`
+	Events        uint64 `json:"events"`
+	LagDrops      uint64 `json:"lagDrops"`
+	ShardsSkipped uint64 `json:"shardsSkipped"`
+}
+
+func (c *Coordinator) watchStatz() *WatchStatz {
+	return &WatchStatz{
+		Active:        c.cwatches.count(),
+		Created:       c.stats.watchCreated.Load(),
+		Resumed:       c.stats.watchResumed.Load(),
+		Closed:        c.stats.watchClosed.Load(),
+		Updates:       c.stats.watchUpdates.Load(),
+		Structural:    c.stats.watchStructural.Load(),
+		Events:        c.stats.watchEvents.Load(),
+		LagDrops:      c.stats.watchLagDrops.Load(),
+		ShardsSkipped: c.stats.watchShardsSkipped.Load(),
+	}
 }
 
 // WorkerStatz is one fleet member's health in /statz.
@@ -244,6 +276,7 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Recovering:       !c.recovered.Load(),
 		Journal:          c.journalStatz(),
 		Searches:         c.searches.Snapshot(),
+		Watches:          c.watchStatz(),
 	}
 	for _, m := range t.members {
 		st.Workers = append(st.Workers, WorkerStatz{

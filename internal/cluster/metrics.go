@@ -78,6 +78,27 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Header("fepiac_worker_errors_total", "counter", "Transport-level worker failures.")
 	p.Metric("fepiac_worker_errors_total", float64(c.stats.workerErrors.Load()))
 
+	if ws := c.watchStatz(); ws != nil {
+		p.Header("fepiac_watch_active", "gauge", "Live watches with in-memory state.")
+		p.Metric("fepiac_watch_active", float64(ws.Active))
+		p.Header("fepiac_watch_created_total", "counter", "Watches created.")
+		p.Metric("fepiac_watch_created_total", float64(ws.Created))
+		p.Header("fepiac_watch_resumed_total", "counter", "Watches resumed from checkpoints after a restart.")
+		p.Metric("fepiac_watch_resumed_total", float64(ws.Resumed))
+		p.Header("fepiac_watch_closed_total", "counter", "Watches closed by clients.")
+		p.Metric("fepiac_watch_closed_total", float64(ws.Closed))
+		p.Header("fepiac_watch_updates_total", "counter", "Accepted watch updates.")
+		p.Metric("fepiac_watch_updates_total", float64(ws.Updates))
+		p.Header("fepiac_watch_structural_updates_total", "counter", "Updates that forced a full re-scatter.")
+		p.Metric("fepiac_watch_structural_updates_total", float64(ws.Structural))
+		p.Header("fepiac_watch_events_total", "counter", "Events journaled and fanned out.")
+		p.Metric("fepiac_watch_events_total", float64(ws.Events))
+		p.Header("fepiac_watch_lag_drops_total", "counter", "Subscriptions dropped for lagging behind the stream.")
+		p.Metric("fepiac_watch_lag_drops_total", float64(ws.LagDrops))
+		p.Header("fepiac_watch_shards_skipped_total", "counter", "Clean shards never scattered by delta updates.")
+		p.Metric("fepiac_watch_shards_skipped_total", float64(ws.ShardsSkipped))
+	}
+
 	p.Header("fepiac_breaker_trips_total", "counter", "Coordinator breaker trips across all classes.")
 	p.Metric("fepiac_breaker_trips_total", float64(trips))
 	if len(breakers) > 0 {

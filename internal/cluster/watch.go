@@ -1,0 +1,696 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"fepia/internal/core"
+	"fepia/internal/delta"
+	"fepia/internal/durable"
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+)
+
+// Cluster watches: the coordinator's half of the streaming incremental
+// re-evaluation subsystem. The coordinator keeps each watch's current
+// document and per-feature radii (as the exact RadiusJSON values its
+// responses are rendered from), and on every update scatters ONLY the
+// shards containing dirty features — placed by the same class+"/s"+index
+// keys a full evaluation would use, so a dirty shard lands on the worker
+// whose impact cache and warm-start registry are already hot for exactly
+// that feature range. Clean features' radii are spliced back verbatim;
+// shards with no dirty feature are never sent (watchShardsSkipped counts
+// the savings).
+//
+// Failure semantics inherit the scatter layer's: a shard that no worker
+// could serve fails the whole update with no commit — the watch stays at
+// its last good state, the stream carries no partial event, and a client
+// retry (absolute origins, idempotent) converges. A worker killed
+// mid-update is indistinguishable from a slow one: the shard re-routes and
+// the merged result is bit-identical, because shard evaluation is
+// deterministic.
+//
+// Like the server's watch path, updates bypass the coordinator's breaker:
+// forcing one update onto the degraded tier would break the chain's
+// bit-identity with a cold evaluation.
+
+// cwatchKind / cwatchVersion / cwatchSuffix shape the coordinator's watch
+// checkpoints under <StateDir>/watches.
+const (
+	cwatchKind    = "fepia-cluster-watch"
+	cwatchVersion = 1
+	cwatchSuffix  = ".watch.json"
+)
+
+// errNoCWatch reports a watch id with no live state and no checkpoint.
+var errNoCWatch = errors.New("cluster: unknown watch id")
+
+// cwatchEnvelope is the on-disk shape of one coordinator watch file.
+type cwatchEnvelope struct {
+	Kind     string          `json:"kind"`
+	Version  int             `json:"version"`
+	ID       string          `json:"id"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// cwatchPayload is a coordinator watch checkpoint. Radii are the rendered
+// RadiusJSON values (Go's shortest-round-trip float encoding makes their
+// JSON byte-stable), Events the rendered journal — together they let a
+// restarted coordinator resume both the delta chain and the subscription
+// stream byte-identically.
+type cwatchPayload struct {
+	ID        string                 `json:"id"`
+	Weighting string                 `json:"weighting"`
+	Doc       scenario.AnalysisDoc   `json:"doc"`
+	Seq       uint64                 `json:"seq"`
+	Radii     []server.RadiusJSON    `json:"radii"`
+	Events    []server.WatchEventRec `json:"events"`
+}
+
+// cwatchStore persists coordinator watch checkpoints, mirroring the worker
+// daemon's durability discipline (atomic writes, checksums, quarantine).
+type cwatchStore struct {
+	dir string
+
+	mu             sync.Mutex
+	saves          uint64
+	saveErrors     uint64
+	corruptSkipped uint64
+}
+
+func openCWatchStore(dir string) (*cwatchStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: opening watch store: %w", err)
+	}
+	return &cwatchStore{dir: dir}, nil
+}
+
+func (ws *cwatchStore) path(id string) string {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return filepath.Join(ws.dir, strconv.FormatUint(h.Sum64(), 16)+cwatchSuffix)
+}
+
+func (ws *cwatchStore) save(p cwatchPayload) error {
+	raw, err := json.Marshal(p)
+	if err == nil {
+		env := cwatchEnvelope{Kind: cwatchKind, Version: cwatchVersion, ID: p.ID, Checksum: durable.Checksum(raw), Payload: raw}
+		var data []byte
+		if data, err = json.Marshal(env); err == nil {
+			err = durable.WriteFileAtomic(ws.path(p.ID), data, ".watch-*")
+		}
+	}
+	ws.mu.Lock()
+	if err != nil {
+		ws.saveErrors++
+	} else {
+		ws.saves++
+	}
+	ws.mu.Unlock()
+	return err
+}
+
+func (ws *cwatchStore) load(id string) (cwatchPayload, error) {
+	path := ws.path(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cwatchPayload{}, fmt.Errorf("%w: %q", errNoCWatch, id)
+	}
+	var env cwatchEnvelope
+	var p cwatchPayload
+	decode := func() error {
+		if err := json.Unmarshal(data, &env); err != nil {
+			return err
+		}
+		if env.Kind != cwatchKind || env.Version != cwatchVersion {
+			return fmt.Errorf("kind/version %q/%d", env.Kind, env.Version)
+		}
+		if got := durable.Checksum(env.Payload); got != env.Checksum {
+			return fmt.Errorf("checksum %s, recorded %s", got, env.Checksum)
+		}
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return err
+		}
+		if p.ID != id {
+			return fmt.Errorf("payload id %q under %q's name", p.ID, id)
+		}
+		return nil
+	}
+	if derr := decode(); derr != nil {
+		_ = os.Remove(path) // quarantine: rebuilt from a fresh create, never fatal
+		ws.mu.Lock()
+		ws.corruptSkipped++
+		ws.mu.Unlock()
+		return cwatchPayload{}, fmt.Errorf("%w: %q (%v)", errNoCWatch, id, derr)
+	}
+	return p, nil
+}
+
+func (ws *cwatchStore) delete(id string) { _ = os.Remove(ws.path(id)) }
+
+// cwatch is one live coordinator watch. mu serializes updates (including
+// their scatters — updates to one watch are a chain, not concurrent work)
+// and guards all mutable state.
+type cwatch struct {
+	id        string
+	weighting string
+
+	mu     sync.Mutex
+	doc    scenario.AnalysisDoc
+	radii  []server.RadiusJSON
+	seq    uint64
+	events []server.WatchEventRec
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+// cwatchEventJSON is the deterministic payload of one coordinator SSE
+// event — same field set as the worker daemon's, carrying no provenance
+// (workers, attempts, latencies are per-request facts, and the journal must
+// replay byte-identically regardless of which workers served the update).
+type cwatchEventJSON struct {
+	Watch      string                `json:"watch"`
+	Seq        uint64                `json:"seq"`
+	Structural bool                  `json:"structural,omitempty"`
+	Dirty      []int                 `json:"dirty,omitempty"`
+	Robustness server.RobustnessJSON `json:"robustness"`
+}
+
+const cwatchSubBuf = 256
+
+func cwatchFrame(rec server.WatchEventRec) []byte {
+	return []byte(fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", rec.Seq, rec.Type, rec.Data))
+}
+
+func (wt *cwatch) appendEvent(rec server.WatchEventRec, cap int, dropped *uint64) {
+	wt.events = append(wt.events, rec)
+	if cap > 0 && len(wt.events) > cap {
+		wt.events = append(wt.events[:0:0], wt.events[len(wt.events)-cap:]...)
+	}
+	frame := cwatchFrame(rec)
+	for ch := range wt.subs {
+		select {
+		case ch <- frame:
+		default:
+			delete(wt.subs, ch)
+			close(ch)
+			*dropped++
+		}
+	}
+}
+
+func (wt *cwatch) closeSubs() {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	for ch := range wt.subs {
+		close(ch)
+	}
+	wt.subs = make(map[chan []byte]struct{})
+}
+
+// cwatchTracker is the coordinator's live watch set.
+type cwatchTracker struct {
+	mu sync.Mutex
+	m  map[string]*cwatch
+}
+
+func newCWatchTracker() *cwatchTracker { return &cwatchTracker{m: make(map[string]*cwatch)} }
+
+func (t *cwatchTracker) get(id string) *cwatch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+func (t *cwatchTracker) register(wt *cwatch, maxTotal int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[wt.id]; ok {
+		return fmt.Errorf("cluster: watch id %q already exists", wt.id)
+	}
+	if maxTotal > 0 && len(t.m) >= maxTotal {
+		return fmt.Errorf("cluster: watch capacity (%d) exhausted", maxTotal)
+	}
+	t.m[wt.id] = wt
+	return nil
+}
+
+func (t *cwatchTracker) remove(id string) *cwatch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wt := t.m[id]
+	delete(t.m, id)
+	return wt
+}
+
+func (t *cwatchTracker) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+func (t *cwatchTracker) closeAllSubs() {
+	t.mu.Lock()
+	all := make([]*cwatch, 0, len(t.m))
+	for _, wt := range t.m {
+		all = append(all, wt)
+	}
+	t.mu.Unlock()
+	for _, wt := range all {
+		wt.closeSubs()
+	}
+}
+
+// checkpointWatch persists wt under its lock; best-effort.
+func (c *Coordinator) checkpointWatch(wt *cwatch) {
+	if c.cwstore == nil {
+		return
+	}
+	p := cwatchPayload{ID: wt.id, Weighting: wt.weighting, Doc: wt.doc, Seq: wt.seq, Radii: wt.radii, Events: wt.events}
+	if err := c.cwstore.save(p); err != nil {
+		c.cfg.Logf("cluster: watch %s checkpoint: %v", wt.id, err)
+	}
+}
+
+// findWatch resolves a watch id, resuming from the checkpoint store after a
+// restart.
+func (c *Coordinator) findWatch(id string) (*cwatch, error) {
+	if wt := c.cwatches.get(id); wt != nil {
+		return wt, nil
+	}
+	if c.cwstore == nil {
+		return nil, fmt.Errorf("%w: %q", errNoCWatch, id)
+	}
+	p, err := c.cwstore.load(id)
+	if err != nil {
+		return nil, err
+	}
+	wt := &cwatch{
+		id:        p.ID,
+		weighting: p.Weighting,
+		doc:       p.Doc,
+		radii:     p.Radii,
+		seq:       p.Seq,
+		events:    p.Events,
+		subs:      make(map[chan []byte]struct{}),
+	}
+	if err := c.cwatches.register(wt, c.cfg.MaxWatches); err != nil {
+		if got := c.cwatches.get(id); got != nil {
+			return got, nil // lost a resume race: use the winner
+		}
+		return nil, err
+	}
+	c.stats.watchResumed.Add(1)
+	c.cfg.Logf("cluster: watch %s resumed from checkpoint at seq %d", id, p.Seq)
+	return wt, nil
+}
+
+// scatterEval runs one full or partial evaluation for a watch: shardSets
+// over the current topology, placed by class+"/s"+origIdx home keys, merged
+// against prior radii (nil prior means full evaluation — every feature must
+// come back from the scatter).
+func (c *Coordinator) scatterEval(r *http.Request, timeout time.Duration, rid string, doc scenario.AnalysisDoc, wname string, dirty []int, prior []server.RadiusJSON) (server.RobustnessJSON, []ShardInfo, *relayFailure, string, string, int) {
+	t := c.topology()
+	n := len(doc.Features)
+	class := server.Classify(doc, false)
+	full := core.ShardFeatures(n, len(t.active))
+
+	dirtySet := make(map[int]bool, len(dirty))
+	for _, i := range dirty {
+		dirtySet[i] = true
+	}
+	var sets [][]int
+	var keys []string
+	skipped := 0
+	for i, set := range full {
+		if prior != nil {
+			kept := set[:0:0]
+			for _, f := range set {
+				if dirtySet[f] {
+					kept = append(kept, f)
+				}
+			}
+			if len(kept) == 0 {
+				skipped++
+				continue
+			}
+			set = kept
+		}
+		sets = append(sets, set)
+		keys = append(keys, class+"/s"+strconv.Itoa(i))
+	}
+
+	var g gathered
+	if len(sets) > 0 {
+		base := server.ShardRequest{
+			Scenario:  doc,
+			Weighting: wname,
+			Timeout:   c.workerTimeout(timeout).String(),
+		}
+		g = c.scatterShards(r.Context(), t, rid, base, sets, keys)
+		if g.fail != nil {
+			return server.RobustnessJSON{}, g.prov, g.fail, "", "", skipped
+		}
+	} else {
+		g.results = make([]server.ShardFeatureResult, n)
+	}
+
+	// Splice: clean features keep the watch's prior radii verbatim.
+	results := make([]server.ShardFeatureResult, n)
+	for i := 0; i < n; i++ {
+		if prior != nil && !dirtySet[i] {
+			r := prior[i]
+			results[i] = server.ShardFeatureResult{Feature: i, Radius: &r}
+			continue
+		}
+		results[i] = g.results[i]
+	}
+	rj, errStr, errKind := merge(wname, results)
+	return rj, g.prov, nil, errStr, errKind, skipped
+}
+
+// handleWatch is the coordinator's POST /v1/watch: create (Scenario
+// present) or (re)subscribe (bare id), then stream SSE.
+func (c *Coordinator) handleWatch(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	var req server.WatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: "streaming unsupported by transport", Kind: "internal", RequestID: rid})
+		return
+	}
+
+	id := req.ID
+	var wt *cwatch
+	if id != "" {
+		if got, err := c.findWatch(id); err == nil {
+			wt = got
+		} else if req.Scenario == nil {
+			writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: err.Error(), Kind: "watch-not-found", RequestID: rid})
+			return
+		}
+	}
+	if wt == nil {
+		if req.Scenario == nil {
+			c.badRequest(w, r, errors.New("watch request needs a scenario (create) or an existing id (subscribe)"))
+			return
+		}
+		if id == "" {
+			id = rid
+		}
+		wt = c.createWatch(w, r, id, req)
+		if wt == nil {
+			return
+		}
+	}
+
+	wt.mu.Lock()
+	if len(wt.events) > 0 && req.After+1 < wt.events[0].Seq {
+		wt.mu.Unlock()
+		writeJSON(w, http.StatusGone, server.ErrorResponse{
+			Error:     fmt.Sprintf("events up to seq %d left the journal (requested after=%d)", wt.events[0].Seq-1, req.After),
+			Kind:      "resume-horizon",
+			RequestID: rid,
+		})
+		return
+	}
+	var replay [][]byte
+	for _, rec := range wt.events {
+		if rec.Seq > req.After {
+			replay = append(replay, cwatchFrame(rec))
+		}
+	}
+	if wt.closed {
+		wt.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: "watch is closed", Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	ch := make(chan []byte, cwatchSubBuf)
+	wt.subs[ch] = struct{}{}
+	wt.mu.Unlock()
+	defer func() {
+		wt.mu.Lock()
+		if _, live := wt.subs[ch]; live {
+			delete(wt.subs, ch)
+			close(ch)
+		}
+		wt.mu.Unlock()
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, frame := range replay {
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.base.Done():
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// createWatch scatters the initial full evaluation and registers the watch.
+// On failure it writes the response and returns nil.
+func (c *Coordinator) createWatch(w http.ResponseWriter, r *http.Request, id string, req server.WatchRequest) *cwatch {
+	rid := server.RequestIDFrom(r.Context())
+	doc := *req.Scenario
+	if err := doc.Validate(); err != nil {
+		c.badRequest(w, r, err)
+		return nil
+	}
+	wname, err := weightingName(req.Weighting)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return nil
+	}
+	timeout, err := c.requestTimeout(req.Timeout)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return nil
+	}
+	ctx, finish, ok := c.admit(w, r, timeout)
+	if !ok {
+		return nil
+	}
+	defer finish()
+	r = r.WithContext(ctx)
+
+	rj, _, fail, errStr, errKind, _ := c.scatterEval(r, timeout, rid, doc, wname, nil, nil)
+	if fail != nil {
+		status, er := fail.errorResponse(rid)
+		c.stats.failed.Add(1)
+		writeJSON(w, status, er)
+		return nil
+	}
+	if errStr != "" {
+		c.stats.failed.Add(1)
+		writeJSON(w, server.StatusForKind(errKind), server.ErrorResponse{Error: errStr, Kind: errKind, RequestID: rid})
+		return nil
+	}
+
+	radii := make([]server.RadiusJSON, len(rj.PerFeature))
+	copy(radii, rj.PerFeature)
+	wt := &cwatch{id: id, weighting: wname, doc: doc, radii: radii, seq: 1, subs: make(map[chan []byte]struct{})}
+	data, err := json.Marshal(cwatchEventJSON{Watch: id, Seq: 1, Robustness: rj})
+	if err != nil {
+		c.stats.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: err.Error(), Kind: "internal", RequestID: rid})
+		return nil
+	}
+	wt.events = []server.WatchEventRec{{Seq: 1, Type: "snapshot", Data: data}}
+	if err := c.cwatches.register(wt, c.cfg.MaxWatches); err != nil {
+		if got := c.cwatches.get(id); got != nil {
+			return got // lost a create race: subscribe to the winner
+		}
+		c.stats.failed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, server.ErrorResponse{Error: err.Error(), Kind: "overloaded", RequestID: rid, RetryAfterMs: 1000})
+		return nil
+	}
+	wt.mu.Lock()
+	c.checkpointWatch(wt)
+	wt.mu.Unlock()
+	c.stats.watchCreated.Add(1)
+	c.stats.watchEvents.Add(1)
+	c.stats.completed.Add(1)
+	c.cfg.Logf("cluster: rid=%s watch %s created (%d features)", rid, id, len(doc.Features))
+	return wt
+}
+
+// handleWatchUpdate is the coordinator's POST /v1/watch/update: classify,
+// scatter only the dirty shards to their home workers, splice, commit, fan
+// out.
+func (c *Coordinator) handleWatchUpdate(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	var req server.WatchUpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Watch == "" {
+		c.badRequest(w, r, errors.New("update needs a watch id"))
+		return
+	}
+	timeout, err := c.requestTimeout(req.Timeout)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	wt, err := c.findWatch(req.Watch)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: err.Error(), Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	ctx, finish, ok := c.admit(w, r, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+	r = r.WithContext(ctx)
+
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	if wt.closed {
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: "watch is closed", Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	successor, err := delta.ApplyParams(wt.doc, req.Params)
+	if err != nil {
+		c.badRequest(w, r, err)
+		return
+	}
+	diff := delta.Classify(wt.doc, successor, wt.weighting)
+
+	dirty := diff.Dirty
+	prior := wt.radii
+	if diff.Structural {
+		prior = nil // full re-evaluation: no radius survives a shape change
+	}
+	start := time.Now()
+	rj, prov, fail, errStr, errKind, skipped := c.scatterEval(r, timeout, rid, successor, wt.weighting, dirty, prior)
+	elapsed := time.Since(start)
+	if fail != nil {
+		status, er := fail.errorResponse(rid)
+		c.stats.failed.Add(1)
+		c.cfg.Logf("cluster: rid=%s watch %s update failed upstream: %s", rid, wt.id, er.Error)
+		writeJSON(w, status, er)
+		return
+	}
+	if errStr != "" {
+		c.stats.failed.Add(1)
+		writeJSON(w, server.StatusForKind(errKind), server.ErrorResponse{Error: errStr, Kind: errKind, RequestID: rid})
+		return
+	}
+
+	wt.doc = successor
+	wt.radii = make([]server.RadiusJSON, len(rj.PerFeature))
+	copy(wt.radii, rj.PerFeature)
+	wt.seq++
+	if dirty == nil {
+		dirty = []int{}
+	}
+	data, err := json.Marshal(cwatchEventJSON{Watch: wt.id, Seq: wt.seq, Structural: diff.Structural, Dirty: dirty, Robustness: rj})
+	if err != nil {
+		c.stats.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: err.Error(), Kind: "internal", RequestID: rid})
+		return
+	}
+	var dropped uint64
+	wt.appendEvent(server.WatchEventRec{Seq: wt.seq, Type: "delta", Data: data}, c.cfg.WatchEventCap, &dropped)
+	c.checkpointWatch(wt)
+	if dropped > 0 {
+		c.stats.watchLagDrops.Add(dropped)
+	}
+	c.stats.watchUpdates.Add(1)
+	if diff.Structural {
+		c.stats.watchStructural.Add(1)
+	}
+	c.stats.watchEvents.Add(1)
+	c.stats.watchShardsSkipped.Add(uint64(skipped))
+	c.stats.completed.Add(1)
+	c.cfg.Logf("cluster: rid=%s watch %s update seq=%d dirty=%d/%d shards-skipped=%d elapsed=%.1fms",
+		rid, wt.id, wt.seq, len(dirty), len(successor.Features), skipped, float64(elapsed.Microseconds())/1000)
+	writeJSON(w, http.StatusOK, struct {
+		server.WatchUpdateResponse
+		Cluster *Provenance `json:"cluster,omitempty"`
+	}{
+		WatchUpdateResponse: server.WatchUpdateResponse{
+			Watch:      wt.id,
+			Seq:        wt.seq,
+			Structural: diff.Structural,
+			Dirty:      dirty,
+			Clean:      diff.CleanCount(),
+			Robustness: rj,
+			RequestID:  rid,
+			ElapsedMs:  float64(elapsed.Microseconds()) / 1000,
+		},
+		Cluster: &Provenance{Shards: prov},
+	})
+}
+
+// handleWatchClose is the coordinator's POST /v1/watch/close.
+func (c *Coordinator) handleWatchClose(w http.ResponseWriter, r *http.Request) {
+	rid := server.RequestIDFrom(r.Context())
+	var req server.WatchCloseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		c.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	wt := c.cwatches.remove(req.Watch)
+	if wt == nil {
+		if c.cwstore != nil {
+			if _, err := c.cwstore.load(req.Watch); err == nil {
+				c.cwstore.delete(req.Watch)
+				c.stats.watchClosed.Add(1)
+				writeJSON(w, http.StatusOK, map[string]any{"watch": req.Watch, "closed": true, "requestId": rid})
+				return
+			}
+		}
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: "unknown watch id", Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	wt.mu.Lock()
+	wt.closed = true
+	for ch := range wt.subs {
+		close(ch)
+	}
+	wt.subs = make(map[chan []byte]struct{})
+	wt.mu.Unlock()
+	if c.cwstore != nil {
+		c.cwstore.delete(req.Watch)
+	}
+	c.stats.watchClosed.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"watch": req.Watch, "closed": true, "requestId": rid})
+}

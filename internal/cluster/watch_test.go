@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+)
+
+// cwatchDoc has four features that partition cleanly by parameter: features
+// 0 and 1 depend only on param 0, features 2 and 3 only on param 1. With
+// three workers the shard partition is [0,1],[2],[3], so a param-1 update
+// dirties exactly features 2 and 3 and must skip the first shard entirely.
+func cwatchDoc() scenario.AnalysisDoc {
+	return scenario.AnalysisDoc{
+		Params: []scenario.AnalysisParam{
+			{Name: "load", Unit: "jobs", Orig: []float64{1, 2}},
+			{Name: "mem", Unit: "gb", Orig: []float64{4}},
+		},
+		Features: []scenario.AnalysisFeature{
+			{Name: "lat", Max: f64(40), Coeffs: [][]float64{{2, 3}, {0}}},
+			{Name: "cpu", Max: f64(25), Coeffs: [][]float64{{1, 4}, {0}}},
+			{Name: "mult", Impact: scenario.ImpactMultiplicative,
+				Max: f64(100), Scale: 1, Pows: [][]float64{{0, 0}, {1}}},
+			{Name: "swap", Max: f64(60), Coeffs: [][]float64{{0, 0}, {3}}},
+		},
+	}
+}
+
+// cwSSE reads one open coordinator /v1/watch stream frame by frame.
+type cwSSE struct {
+	resp *http.Response
+	br   *bufio.Reader
+}
+
+func openCWatch(t *testing.T, baseURL string, req server.WatchRequest) *cwSSE {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/watch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("watch open = %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch stream content type %q", ct)
+	}
+	c := &cwSSE{resp: resp, br: bufio.NewReader(resp.Body)}
+	t.Cleanup(c.close)
+	return c
+}
+
+func (c *cwSSE) frame(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for {
+		line, err := c.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended mid-frame: %v (partial %q)", err, b.String())
+		}
+		b.WriteString(line)
+		if line == "\n" {
+			return b.String()
+		}
+	}
+}
+
+func (c *cwSSE) close() { c.resp.Body.Close() }
+
+func docPtr(d scenario.AnalysisDoc) *scenario.AnalysisDoc { return &d }
+
+// TestClusterWatchDeltaMatchesCold pins the coordinator's delta contract: a
+// partial update scatters only the dirty shards, yet the merged result is
+// bit-identical to a cold full evaluation of the successor document.
+func TestClusterWatchDeltaMatchesCold(t *testing.T) {
+	_, coord, front := newFleet(t, 3, nil)
+	c := openCWatch(t, front.URL, server.WatchRequest{ID: "cw-basic", Scenario: docPtr(cwatchDoc())})
+
+	if snap := c.frame(t); !strings.HasPrefix(snap, "id: 1\nevent: snapshot\n") {
+		t.Fatalf("first frame is not the snapshot: %q", snap)
+	}
+
+	// Move param 1 only: features 2 and 3 dirty, shard [0,1] never scattered.
+	resp, body := postJSON(t, front.URL+"/v1/watch/update", server.WatchUpdateRequest{
+		Watch: "cw-basic", Params: [][]float64{{1, 2}, {5}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update = %d, body %s", resp.StatusCode, body)
+	}
+	var up server.WatchUpdateResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Seq != 2 || up.Structural {
+		t.Fatalf("update seq=%d structural=%v, want seq=2 structural=false", up.Seq, up.Structural)
+	}
+	if len(up.Dirty) != 2 || up.Dirty[0] != 2 || up.Dirty[1] != 3 || up.Clean != 2 {
+		t.Fatalf("update dirty=%v clean=%d, want dirty=[2 3] clean=2", up.Dirty, up.Clean)
+	}
+
+	deltaFrame := c.frame(t)
+	if !strings.HasPrefix(deltaFrame, "id: 2\nevent: delta\n") {
+		t.Fatalf("second frame is not the delta: %q", deltaFrame)
+	}
+	if !strings.Contains(deltaFrame, `"dirty":[2,3]`) {
+		t.Fatalf("delta frame does not carry the dirty set: %q", deltaFrame)
+	}
+	if strings.Contains(deltaFrame, `"cluster"`) || strings.Contains(deltaFrame, `"workers"`) {
+		t.Fatalf("delta frame leaks provenance (breaks resume byte-identity): %q", deltaFrame)
+	}
+
+	succ := cwatchDoc()
+	succ.Params[1].Orig = []float64{5}
+	coldResp, coldBody := postJSON(t, front.URL+"/v1/robustness", server.EvalRequest{Scenario: succ})
+	if coldResp.StatusCode != http.StatusOK {
+		t.Fatalf("cold eval = %d, body %s", coldResp.StatusCode, coldBody)
+	}
+	var cold server.EvalResponse
+	if err := json.Unmarshal(coldBody, &cold); err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(up.Robustness)
+	jb, _ := json.Marshal(cold.Robustness)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("delta update diverged from cold cluster evaluation:\n%s\n%s", ja, jb)
+	}
+
+	ws := coord.watchStatz()
+	if ws.Active != 1 || ws.Created != 1 || ws.Updates != 1 {
+		t.Fatalf("watch statz: %+v", ws)
+	}
+	if ws.ShardsSkipped != 1 {
+		t.Fatalf("shards skipped = %d, want 1 (the clean [0,1] shard)", ws.ShardsSkipped)
+	}
+}
+
+// TestClusterWatchResumeByteIdentical restarts the coordinator (crash
+// analog: Close with no drain) against the same live workers and state dir;
+// a resumed subscription must replay the exact bytes of the uninterrupted
+// stream, and the chain keeps advancing afterwards.
+func TestClusterWatchResumeByteIdentical(t *testing.T) {
+	stateDir := t.TempDir()
+	workers, coord, front := newFleet(t, 3, func(cfg *Config) {
+		cfg.StateDir = stateDir
+	})
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.URL
+	}
+
+	c1 := openCWatch(t, front.URL, server.WatchRequest{ID: "cw-resume", Scenario: docPtr(cwatchDoc())})
+	var control []string
+	control = append(control, c1.frame(t))
+	for _, mem := range []float64{5, 4.5} {
+		resp, body := postJSON(t, front.URL+"/v1/watch/update", server.WatchUpdateRequest{
+			Watch: "cw-resume", Params: [][]float64{{1, 2}, {mem}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update = %d, body %s", resp.StatusCode, body)
+		}
+		control = append(control, c1.frame(t))
+	}
+	c1.close()
+	coord.Close()
+	front.Close()
+
+	coord2, err := New(Config{
+		Workers:        urls,
+		StateDir:       stateDir,
+		EnableChaos:    true,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForRecovery(t, coord2)
+	front2 := httptest.NewServer(coord2.Handler())
+	// LIFO cleanup: cancel the coordinator first so streaming handlers
+	// unblock before the httptest server waits them out.
+	t.Cleanup(front2.Close)
+	t.Cleanup(coord2.Close)
+
+	c2 := openCWatch(t, front2.URL, server.WatchRequest{ID: "cw-resume"})
+	for i, want := range control {
+		if got := c2.frame(t); got != want {
+			t.Fatalf("resumed frame %d differs:\n%q\n%q", i+1, got, want)
+		}
+	}
+	if ws := coord2.watchStatz(); ws.Resumed != 1 {
+		t.Fatalf("resume not counted: %+v", ws)
+	}
+
+	// The resumed chain keeps advancing: a new update reuses the resumed
+	// radii and fans out to the live subscription.
+	resp, body := postJSON(t, front2.URL+"/v1/watch/update", server.WatchUpdateRequest{
+		Watch: "cw-resume", Params: [][]float64{{1, 2}, {6}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-resume update = %d, body %s", resp.StatusCode, body)
+	}
+	if got := c2.frame(t); !strings.HasPrefix(got, "id: 4\nevent: delta\n") {
+		t.Fatalf("post-resume live frame: %q", got)
+	}
+}
+
+func TestClusterWatchClose(t *testing.T) {
+	_, _, front := newFleet(t, 2, nil)
+	c := openCWatch(t, front.URL, server.WatchRequest{ID: "cw-close", Scenario: docPtr(cwatchDoc())})
+	c.frame(t)
+
+	resp, body := postJSON(t, front.URL+"/v1/watch/close", server.WatchCloseRequest{Watch: "cw-close"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close = %d, body %s", resp.StatusCode, body)
+	}
+	if _, err := io.ReadAll(c.resp.Body); err != nil {
+		t.Fatalf("reading closed stream: %v", err)
+	}
+	resp, body = postJSON(t, front.URL+"/v1/watch/update", server.WatchUpdateRequest{
+		Watch: "cw-close", Params: [][]float64{{1, 2}, {5}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("update after close = %d, body %s", resp.StatusCode, body)
+	}
+}

@@ -166,6 +166,7 @@ func (a *Analysis) combinedNumericSide(ctx context.Context, i int, d, pOrig vec.
 	if eo.KProbe > 0 && f.ImpactK != nil {
 		opts.FK = a.impactFK(g, i, d, 0, nil)
 		opts.KBlock = eo.KProbe
+		opts.KBlockMax = eo.kprobeMax()
 	}
 	if a.warm != nil {
 		key := warmKey{feat: i, param: -1}

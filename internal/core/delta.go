@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"context"
+)
+
+// Incremental re-evaluation. The robustness metric is a min-fold over
+// per-feature radii that never share state (see shard.go for the full
+// argument), so when a new version of an analysis differs from an already
+// evaluated ancestor in ways that only affect a subset of features — the
+// "dirty" set — re-searching just those features and reusing the ancestor's
+// radii for the rest reproduces the cold full evaluation exactly.
+//
+// Deciding WHICH features are clean is the caller's job (internal/delta
+// classifies versioned AnalysisDocs structurally); this file only performs
+// the splice-and-fold, under the same global-index discipline as the shard
+// layer: dirty features are evaluated at their original indices, so degraded
+// Monte-Carlo streams (deriveSeed) and error strings are bit-identical to
+// what a full evaluation would produce for them.
+
+// RobustnessDelta computes the robustness metric incrementally: only the
+// features listed in dirty are re-evaluated (through the same engine as
+// RobustnessShardCtx, at their global indices); every other feature reuses
+// its radius from prior, which must hold a complete set of per-feature radii
+// from a successful ancestor evaluation under the same weighting (e.g. the
+// PerFeature slice of its Robustness). The spliced radii are min-folded with
+// FoldRadii, so the result — Value, Critical, Degraded, and each PerFeature
+// slot — is bit-identical to a cold RobustnessWith of this analysis,
+// PROVIDED the clean features' radii really are unchanged between the
+// ancestor and this analysis. That soundness condition is exactly what
+// internal/delta's conservative classification guarantees; passing an
+// understated dirty set silently reuses stale radii.
+//
+// Error reporting matches the engine's determinism contract: the
+// lowest-index dirty feature that fails non-tolerably is reported (wrapped
+// "core: feature %d"), and the caller's own cancellation dominates.
+func (a *Analysis) RobustnessDelta(ctx context.Context, w Weighting, opt EvalOptions, prior []Radius, dirty []int) (Robustness, error) {
+	n := len(a.Features)
+	if len(prior) != n {
+		return Robustness{}, fmt.Errorf("core: delta: prior has %d radii, want one per feature (%d)", len(prior), n)
+	}
+	ds := append([]int(nil), dirty...)
+	sort.Ints(ds)
+	m := 0
+	for _, i := range ds {
+		if i < 0 || i >= n {
+			return Robustness{}, fmt.Errorf("%w: dirty feature %d of %d", ErrBadIndex, i, n)
+		}
+		if m > 0 && ds[m-1] == i {
+			continue
+		}
+		ds[m] = i
+		m++
+	}
+	ds = ds[:m]
+
+	radii := make([]Radius, n)
+	copy(radii, prior)
+	if len(ds) > 0 {
+		rr, errs := a.RobustnessShardCtx(ctx, ds, w, opt)
+		if err := ctxErr(ctx); err != nil {
+			return Robustness{}, err
+		}
+		// ds is sorted, so the first error seen is the lowest-index one —
+		// the same deterministic choice the full engine makes.
+		for q := range ds {
+			if errs[q] != nil {
+				return Robustness{}, errs[q]
+			}
+		}
+		for q, i := range ds {
+			radii[i] = rr[q]
+		}
+	}
+	return FoldRadii(w.Name(), radii), nil
+}

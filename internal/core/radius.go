@@ -208,6 +208,7 @@ func (a *Analysis) radiusSingleNumeric(ctx context.Context, i, j int, eo EvalOpt
 		}
 		opts.FK = a.impactFK(g, i, nil, blockOff, native)
 		opts.KBlock = eo.KProbe
+		opts.KBlockMax = eo.kprobeMax()
 	}
 	if a.warm != nil {
 		key := warmKey{feat: i, param: j}

@@ -57,6 +57,15 @@ type EvalOptions struct {
 	// always use the scalar path. 8 is a good default width (see
 	// docs/performance.md §tuning).
 	KProbe int
+	// KProbeMax caps the adaptive widening of the k-probe block: a ray
+	// scan that walks deep into the probe grid (a far-away boundary)
+	// doubles its block geometrically from KProbe up to this cap, cutting
+	// the number of ImpactK calls without moving a single probe — the
+	// blocks stay scan-stop independent, so widened results are
+	// bit-identical to fixed-block and scalar searches. Zero selects
+	// 8×KProbe; negative pins the block at KProbe (no widening). Ignored
+	// when KProbe is 0.
+	KProbeMax int
 	// ForceDegraded skips the exact and numeric tiers entirely and
 	// estimates every radius with the Monte-Carlo lower-bound fallback,
 	// flagged Degraded. It bounds the cost of one evaluation to the
@@ -67,6 +76,19 @@ type EvalOptions struct {
 	// guarantee as DegradeOnNumeric: the value depends only on
 	// (DegradeSeed, feature index), never on scheduling.
 	ForceDegraded bool
+}
+
+// kprobeMax resolves EvalOptions.KProbeMax: explicit cap, disabled (pinned
+// at KProbe), or the 8×KProbe default.
+func (eo EvalOptions) kprobeMax() int {
+	switch {
+	case eo.KProbeMax > 0:
+		return eo.KProbeMax
+	case eo.KProbeMax < 0:
+		return eo.KProbe
+	default:
+		return 8 * eo.KProbe
+	}
 }
 
 // errForcedDegrade marks a radius slot whose degradation was requested by

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -143,6 +146,78 @@ func (a *Analysis) WarmStats() optimize.WarmStats {
 		}
 	}
 	return out
+}
+
+// wireWarmRegistry is the serialized form of a WarmRegistry: one entry per
+// checked-in slot, sorted by (feat, param) so snapshots are deterministic.
+type wireWarmRegistry struct {
+	Slots []wireWarmSlot `json:"slots"`
+}
+
+type wireWarmSlot struct {
+	Feat  int             `json:"feat"`
+	Param int             `json:"param"`
+	State json.RawMessage `json:"state"`
+}
+
+// Snapshot serializes every checked-in warm state for later
+// RestoreWarmRegistry — the mechanism that carries warm-start state across
+// scenario-store reload generations (a daemon restart, a store GC and
+// rebuild). Each state is briefly checked out of its slot while serialized,
+// honoring the single-owner rule; states owned by in-flight searches are
+// skipped, costing those (feature, parameter) pairs a cold start after
+// restore, never correctness.
+func (r *WarmRegistry) Snapshot() ([]byte, error) {
+	if r == nil || r.reg == nil {
+		return json.Marshal(wireWarmRegistry{})
+	}
+	r.reg.mu.Lock()
+	keys := make([]warmKey, 0, len(r.reg.slots))
+	for k := range r.reg.slots {
+		keys = append(keys, k)
+	}
+	r.reg.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].feat != keys[j].feat {
+			return keys[i].feat < keys[j].feat
+		}
+		return keys[i].param < keys[j].param
+	})
+	var wire wireWarmRegistry
+	for _, k := range keys {
+		slot := r.reg.slot(k)
+		st := slot.p.Swap(nil)
+		if st == nil {
+			continue // checked out by a live search: skip
+		}
+		raw, err := st.Snapshot()
+		slot.p.Store(st)
+		if err != nil {
+			return nil, fmt.Errorf("core: warm registry snapshot (feature %d, param %d): %w", k.feat, k.param, err)
+		}
+		wire.Slots = append(wire.Slots, wireWarmSlot{Feat: k.feat, Param: k.param, State: raw})
+	}
+	return json.Marshal(wire)
+}
+
+// RestoreWarmRegistry rebuilds a registry from a Snapshot. Restored states
+// pass through the full checkout validation (bit-compared identity, bracket
+// revalidation against the live objective), so restoring a snapshot against
+// a changed scenario degrades to cold searches instead of wrong answers.
+func RestoreWarmRegistry(data []byte) (*WarmRegistry, error) {
+	var wire wireWarmRegistry
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("core: restoring warm registry: %w", err)
+	}
+	r := NewWarmRegistry()
+	for _, ws := range wire.Slots {
+		st, err := optimize.RestoreWarmState(ws.State)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring warm registry (feature %d, param %d): %w", ws.Feat, ws.Param, err)
+		}
+		r.reg.publish(warmKey{feat: ws.Feat, param: ws.Param}, st)
+	}
+	return r, nil
 }
 
 // warmIdent builds the identity fingerprint of a combined search's

@@ -1,0 +1,277 @@
+// Package delta classifies the difference between two versions of a
+// scenario.AnalysisDoc — an evaluated ancestor and its successor, keyed by
+// AnalysisDoc.Fingerprint ancestry — into a conservative per-feature dirty
+// set: the features whose radii must be re-searched for the successor, with
+// every feature outside the set guaranteed bit-identical to what a cold full
+// evaluation of the successor would produce. core.RobustnessDelta consumes
+// the set; the fepiad watch subsystem (internal/server, internal/cluster)
+// drives the pair end to end for streaming parameter updates.
+//
+// The soundness argument rests on three facts about the engine:
+//
+//  1. ρ_μ is a min-fold over per-feature radii with no cross-feature state
+//     (internal/core/shard.go), so reuse is decided feature by feature.
+//  2. A feature whose dependence block on a parameter is identically zero
+//     produces bit-identical impact values regardless of that parameter's
+//     origin: the zero coefficients contribute exact float zeros to every
+//     accumulation (0·x = ±0 and y + ±0 = y for y ≠ 0 in IEEE arithmetic,
+//     and math.Pow(x, 0) = 1), in both the scalar impacts and the k-probe
+//     kernels, which replicate the scalar accumulation order.
+//  3. Under the paper's normalized weighting the search runs in a P-space
+//     whose origin is the all-ones vector regardless of the parameter
+//     origins, so an origin drift in an independent dimension moves neither
+//     the probe positions (as seen by the feature, per fact 2) nor the
+//     reported boundary point. Under the unweighted and sensitivity
+//     weightings the P-space origin itself moves with the origins, so a
+//     parameter change dirties every feature there (values would still
+//     agree, but boundary Points and sensitivity scales would not, and the
+//     contract is bit-identity of the whole result).
+//
+// Everything the classifier is unsure about is dirty. Structural changes —
+// parameters added, removed, renamed, re-unit-ed, or resized; features
+// removed or reordered (feature indices seed the degraded Monte-Carlo
+// streams, so positional identity is the only identity) — dirty the entire
+// feature set; the delta path then degenerates to a full evaluation with no
+// correctness cliff.
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"fepia/internal/scenario"
+)
+
+// Class is the classification of one successor feature relative to the
+// ancestor document.
+type Class int
+
+const (
+	// Unchanged: the declaration is byte-identical and no parameter it
+	// depends on changed — the ancestor's radius is reused verbatim.
+	Unchanged Class = iota
+	// Perturbed: the declaration is unchanged but a parameter the feature
+	// depends on moved its origin — the radius is re-searched.
+	Perturbed
+	// Changed: the feature's own declaration differs from the ancestor's
+	// at the same index — the radius is re-searched.
+	Changed
+	// StructurallyNew: the feature index does not exist in the ancestor —
+	// there is no radius to reuse.
+	StructurallyNew
+)
+
+// String implements fmt.Stringer for logs and metrics labels.
+func (c Class) String() string {
+	switch c {
+	case Unchanged:
+		return "unchanged"
+	case Perturbed:
+		return "perturbed"
+	case Changed:
+		return "changed"
+	case StructurallyNew:
+		return "new"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Diff is the classified difference between an ancestor document and its
+// successor, sufficient to drive core.RobustnessDelta.
+type Diff struct {
+	// AncestorFP and SuccessorFP are the documents' fingerprints.
+	AncestorFP, SuccessorFP string
+	// Structural reports that the documents differ in shape (parameters or
+	// feature positions) and the whole feature set is dirty; Reason says
+	// why, for logs.
+	Structural bool
+	Reason     string
+	// ParamsChanged lists parameter indices whose origin vectors differ
+	// bit-for-bit (same shape). Empty when Structural.
+	ParamsChanged []int
+	// Features classifies each successor feature (parallel to
+	// successor.Features).
+	Features []Class
+	// Dirty is the sorted list of successor feature indices that must be
+	// re-searched; every index outside it is Unchanged and its ancestor
+	// radius (same index) is reusable bit-for-bit.
+	Dirty []int
+}
+
+// CleanCount returns the number of features whose radii are reused.
+func (d *Diff) CleanCount() int { return len(d.Features) - len(d.Dirty) }
+
+// Classify diffs successor against ancestor for an evaluation under the
+// named weighting ("normalized", "unweighted", "sensitivity", …) and returns
+// the conservative dirty set. Both documents should be valid (the caller
+// builds the successor anyway, which validates); shape problems degrade to a
+// Structural (all-dirty) diff rather than errors, because the delta path
+// must never refuse work a full evaluation would accept.
+func Classify(ancestor, successor scenario.AnalysisDoc, weighting string) *Diff {
+	d := &Diff{Features: make([]Class, len(successor.Features))}
+	d.AncestorFP, _ = ancestor.Fingerprint()
+	d.SuccessorFP, _ = successor.Fingerprint()
+
+	if reason := structuralReason(ancestor, successor); reason != "" {
+		d.Structural = true
+		d.Reason = reason
+		for i := range d.Features {
+			d.Features[i] = Changed
+			d.Dirty = append(d.Dirty, i)
+		}
+		return d
+	}
+
+	for j := range successor.Params {
+		if !sameVector(ancestor.Params[j].Orig, successor.Params[j].Orig) {
+			d.ParamsChanged = append(d.ParamsChanged, j)
+		}
+	}
+
+	// A moved origin is only invisible to independent features in the
+	// normalized P-space (package comment, fact 3) — and even there a zero
+	// origin element degenerates the weighting itself, so a change
+	// touching zero dirties everything (the successor may error where the
+	// ancestor did not, or vice versa).
+	paramsDirtyAll := false
+	if len(d.ParamsChanged) > 0 {
+		if weighting != "normalized" {
+			paramsDirtyAll = true
+		}
+		for _, j := range d.ParamsChanged {
+			for e := range successor.Params[j].Orig {
+				if ancestor.Params[j].Orig[e] == 0 || successor.Params[j].Orig[e] == 0 {
+					paramsDirtyAll = true
+				}
+			}
+		}
+	}
+
+	for i, f := range successor.Features {
+		switch {
+		case i >= len(ancestor.Features):
+			d.Features[i] = StructurallyNew
+		case !sameFeature(ancestor.Features[i], f):
+			d.Features[i] = Changed
+		case paramsDirtyAll && len(d.ParamsChanged) > 0:
+			d.Features[i] = Perturbed
+		default:
+			d.Features[i] = Unchanged
+			for _, j := range d.ParamsChanged {
+				if dependsOn(f, j) {
+					d.Features[i] = Perturbed
+					break
+				}
+			}
+		}
+		if d.Features[i] != Unchanged {
+			d.Dirty = append(d.Dirty, i)
+		}
+	}
+	return d
+}
+
+// structuralReason reports why the documents differ in shape, or "" when
+// positional feature identity and the parameter space are preserved.
+func structuralReason(ancestor, successor scenario.AnalysisDoc) string {
+	if len(successor.Params) != len(ancestor.Params) {
+		return fmt.Sprintf("param count %d -> %d", len(ancestor.Params), len(successor.Params))
+	}
+	for j := range successor.Params {
+		ap, sp := ancestor.Params[j], successor.Params[j]
+		if ap.Name != sp.Name || ap.Unit != sp.Unit {
+			return fmt.Sprintf("param %d identity %q/%q -> %q/%q", j, ap.Name, ap.Unit, sp.Name, sp.Unit)
+		}
+		if len(ap.Orig) != len(sp.Orig) {
+			return fmt.Sprintf("param %d dim %d -> %d", j, len(ap.Orig), len(sp.Orig))
+		}
+	}
+	if len(successor.Features) < len(ancestor.Features) {
+		// Removals shift (or delete) positional identities; appended
+		// features are handled per-index as StructurallyNew.
+		return fmt.Sprintf("feature count %d -> %d", len(ancestor.Features), len(successor.Features))
+	}
+	return ""
+}
+
+// sameVector compares two origin vectors bit-for-bit. Bitwise — not
+// numeric — equality is deliberate: −0 and +0 compare equal numerically but
+// can steer sign-sensitive accumulations differently.
+func sameVector(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFeature compares two feature declarations by canonical JSON
+// (encoding/json emits struct fields in declaration order, the same
+// determinism Fingerprint relies on).
+func sameFeature(a, b scenario.AnalysisFeature) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	if aerr != nil || berr != nil {
+		return false // unencodable: assume changed
+	}
+	return string(ab) == string(bb)
+}
+
+// dependsOn reports whether the feature's impact can depend on parameter j:
+// true unless the feature's dependence block on j is identically zero.
+// Unknown impact families report true (conservative).
+func dependsOn(f scenario.AnalysisFeature, j int) bool {
+	block := func(blocks [][]float64) bool {
+		if j >= len(blocks) {
+			return true // malformed: assume dependent
+		}
+		for _, x := range blocks[j] {
+			if x != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	switch f.Impact {
+	case "", scenario.ImpactLinear:
+		return block(f.Coeffs)
+	case scenario.ImpactQuadratic:
+		return block(f.Curv)
+	case scenario.ImpactMultiplicative:
+		return block(f.Pows)
+	case scenario.ImpactQueueing:
+		return block(f.Wgts)
+	}
+	return true
+}
+
+// ApplyParams returns a deep copy of doc with every parameter's origin
+// replaced by origs — the successor document of one streamed parameter
+// update. Origins are absolute, not relative: re-applying the same update is
+// a no-op diff, which is what makes watch updates idempotent across
+// retries and daemon restarts. The shape must match the document's.
+func ApplyParams(doc scenario.AnalysisDoc, origs [][]float64) (scenario.AnalysisDoc, error) {
+	if len(origs) != len(doc.Params) {
+		return scenario.AnalysisDoc{}, fmt.Errorf("delta: update has %d param vectors, scenario has %d", len(origs), len(doc.Params))
+	}
+	out := doc
+	out.Params = make([]scenario.AnalysisParam, len(doc.Params))
+	for j, p := range doc.Params {
+		if len(origs[j]) != len(p.Orig) {
+			return scenario.AnalysisDoc{}, fmt.Errorf("delta: update param %d has %d elements, scenario has %d", j, len(origs[j]), len(p.Orig))
+		}
+		for e, x := range origs[j] {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return scenario.AnalysisDoc{}, fmt.Errorf("delta: update param %d element %d is not finite", j, e)
+			}
+		}
+		out.Params[j] = p
+		out.Params[j].Orig = append([]float64(nil), origs[j]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package delta
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/scenario"
+)
+
+// testDoc builds a four-feature document over two parameters with a known
+// dependence structure: f0 (linear) and f3 (queueing) depend only on param
+// 0, f1 (quadratic) only on param 1, f2 (multiplicative) on both.
+func testDoc() scenario.AnalysisDoc {
+	fp := func(v float64) *float64 { return &v }
+	return scenario.AnalysisDoc{
+		Version: scenario.Version,
+		Kind:    "fepia",
+		Params: []scenario.AnalysisParam{
+			{Name: "load", Unit: "req/s", Orig: []float64{1.5, 2.0}},
+			{Name: "lat", Unit: "ms", Orig: []float64{3.0}},
+		},
+		Features: []scenario.AnalysisFeature{
+			{Name: "f0", Impact: scenario.ImpactLinear, Max: fp(7),
+				Coeffs: [][]float64{{0.8, -0.3}, {0}}, Const: 5},
+			{Name: "f1", Impact: scenario.ImpactQuadratic, Max: fp(3),
+				Curv: [][]float64{{0, 0}, {0.5}}, Center: [][]float64{{0, 0}, {3.0}}, Const: 1},
+			{Name: "f2", Impact: scenario.ImpactMultiplicative, Max: fp(10),
+				Pows: [][]float64{{0.5, 0}, {1}}, Scale: 0.1},
+			{Name: "f3", Impact: scenario.ImpactQueueing, Max: fp(2),
+				Wgts: [][]float64{{1, 0}, {0}}, Caps: [][]float64{{5, 5}, {5}}, Eps: 1e-6},
+		},
+	}
+}
+
+func classes(d *Diff) []Class { return d.Features }
+
+func wantClasses(t *testing.T, d *Diff, want ...Class) {
+	t.Helper()
+	if len(d.Features) != len(want) {
+		t.Fatalf("got %d feature classes, want %d", len(d.Features), len(want))
+	}
+	for i, c := range want {
+		if d.Features[i] != c {
+			t.Fatalf("feature %d classified %v, want %v (diff %+v)", i, d.Features[i], c, d)
+		}
+	}
+}
+
+func TestClassifyParamPerturbation(t *testing.T) {
+	anc := testDoc()
+	suc, err := ApplyParams(anc, [][]float64{{1.5, 2.0}, {3.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := Classify(anc, suc, "normalized")
+	wantClasses(t, d, Unchanged, Perturbed, Perturbed, Unchanged)
+	if got, want := d.Dirty, []int{1, 2}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("dirty = %v, want %v", got, want)
+	}
+	if d.Structural {
+		t.Fatalf("param perturbation misclassified structural: %+v", d)
+	}
+	if d.CleanCount() != 2 {
+		t.Fatalf("CleanCount = %d, want 2", d.CleanCount())
+	}
+
+	// Outside the normalized P-space the origin itself moves: everything
+	// is dirty.
+	d = Classify(anc, suc, "unweighted")
+	wantClasses(t, d, Perturbed, Perturbed, Perturbed, Perturbed)
+}
+
+func TestClassifyZeroOriginDirtiesAll(t *testing.T) {
+	anc := testDoc()
+	suc, err := ApplyParams(anc, [][]float64{{1.5, 0}, {3.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Classify(anc, suc, "normalized")
+	wantClasses(t, d, Perturbed, Perturbed, Perturbed, Perturbed)
+}
+
+func TestClassifyFeatureEditAndAppend(t *testing.T) {
+	anc := testDoc()
+	suc := anc
+	suc.Features = append([]scenario.AnalysisFeature(nil), anc.Features...)
+	suc.Features[0].Coeffs = [][]float64{{0.9, -0.3}, {0}}
+	extra := anc.Features[1]
+	extra.Name = "f4"
+	suc.Features = append(suc.Features, extra)
+
+	d := Classify(anc, suc, "normalized")
+	wantClasses(t, d, Changed, Unchanged, Unchanged, Unchanged, StructurallyNew)
+	if len(d.Dirty) != 2 || d.Dirty[0] != 0 || d.Dirty[1] != 4 {
+		t.Fatalf("dirty = %v, want [0 4]", d.Dirty)
+	}
+}
+
+func TestClassifyStructural(t *testing.T) {
+	anc := testDoc()
+
+	suc := anc
+	suc.Params = anc.Params[:1]
+	if d := Classify(anc, suc, "normalized"); !d.Structural || len(d.Dirty) != len(suc.Features) {
+		t.Fatalf("param removal not structural/all-dirty: %+v", d)
+	}
+
+	suc = anc
+	suc.Features = anc.Features[:2]
+	if d := Classify(anc, suc, "normalized"); !d.Structural {
+		t.Fatalf("feature removal not structural: %+v", d)
+	}
+
+	suc = anc
+	suc.Params = append([]scenario.AnalysisParam(nil), anc.Params...)
+	suc.Params[1].Unit = "s"
+	if d := Classify(anc, suc, "normalized"); !d.Structural {
+		t.Fatalf("unit change not structural: %+v", d)
+	}
+}
+
+func TestApplyParamsRejectsBadShapes(t *testing.T) {
+	doc := testDoc()
+	if _, err := ApplyParams(doc, [][]float64{{1}, {2}, {3}}); err == nil {
+		t.Fatal("wrong param count accepted")
+	}
+	if _, err := ApplyParams(doc, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("wrong element count accepted")
+	}
+	if _, err := ApplyParams(doc, [][]float64{{1.5, math.NaN()}, {3}}); err == nil {
+		t.Fatal("NaN origin accepted")
+	}
+	// The input must not alias the result.
+	in := [][]float64{{9, 9}, {9}}
+	out, err := ApplyParams(doc, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0][0] = -1
+	if out.Params[0].Orig[0] != 9 {
+		t.Fatal("ApplyParams aliases caller memory")
+	}
+}
+
+// sameRadius compares every field of two radii bit-for-bit.
+func sameRadius(a, b core.Radius) bool {
+	if math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
+		a.Side != b.Side || a.Feature != b.Feature || a.Param != b.Param ||
+		a.Analytic != b.Analytic || a.Degraded != b.Degraded ||
+		len(a.Point) != len(b.Point) {
+		return false
+	}
+	for i := range a.Point {
+		if math.Float64bits(a.Point[i]) != math.Float64bits(b.Point[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaBitIdentical drives the differ and core.RobustnessDelta end to
+// end: the incremental result of every update must equal a cold full
+// evaluation of the successor in every bit, for each weighting that admits
+// the scenario.
+func TestDeltaBitIdentical(t *testing.T) {
+	opt := core.EvalOptions{Workers: 2, DegradeOnNumeric: true, DegradeSamples: 32, DegradeSeed: 1, KProbe: 4}
+	weightings := []core.Weighting{core.Normalized{}, core.Unweighted{}}
+
+	anc := testDoc()
+	successors := []struct {
+		name  string
+		origs [][]float64
+		edit  func(*scenario.AnalysisDoc)
+	}{
+		{name: "param-shift", origs: [][]float64{{1.5, 2.0}, {3.2}}},
+		{name: "both-params", origs: [][]float64{{1.4, 2.1}, {2.9}}},
+		{name: "feature-edit", origs: nil, edit: func(d *scenario.AnalysisDoc) {
+			d.Features = append([]scenario.AnalysisFeature(nil), d.Features...)
+			d.Features[3].Wgts = [][]float64{{1.2, 0}, {0}}
+		}},
+		{name: "identity", origs: [][]float64{{1.5, 2.0}, {3.0}}},
+	}
+
+	for _, w := range weightings {
+		aAnc, err := anc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := aAnc.RobustnessWith(context.Background(), w, opt)
+		if err != nil {
+			t.Fatalf("%s: ancestor eval: %v", w.Name(), err)
+		}
+		for _, tc := range successors {
+			suc := anc
+			if tc.origs != nil {
+				if suc, err = ApplyParams(anc, tc.origs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.edit != nil {
+				tc.edit(&suc)
+			}
+			d := Classify(anc, suc, w.Name())
+
+			aCold, err := suc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := aCold.RobustnessWith(context.Background(), w, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: cold eval: %v", w.Name(), tc.name, err)
+			}
+
+			aDelta, err := suc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := aDelta.RobustnessDelta(context.Background(), w, opt, base.PerFeature, d.Dirty)
+			if err != nil {
+				t.Fatalf("%s/%s: delta eval: %v", w.Name(), tc.name, err)
+			}
+
+			if math.Float64bits(inc.Value) != math.Float64bits(cold.Value) ||
+				inc.Critical != cold.Critical || inc.Degraded != cold.Degraded ||
+				inc.Weighting != cold.Weighting {
+				t.Fatalf("%s/%s: delta %+v != cold %+v (dirty %v)", w.Name(), tc.name, inc, cold, d.Dirty)
+			}
+			for i := range cold.PerFeature {
+				if !sameRadius(inc.PerFeature[i], cold.PerFeature[i]) {
+					t.Fatalf("%s/%s: feature %d delta radius %+v != cold %+v (classified %v)",
+						w.Name(), tc.name, i, inc.PerFeature[i], cold.PerFeature[i], classes(d)[i])
+				}
+			}
+			if tc.name == "identity" && len(d.Dirty) != 0 {
+				t.Fatalf("identity update produced dirty set %v", d.Dirty)
+			}
+		}
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	doc := testDoc()
+	a, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.Normalized{}
+	r, err := a.RobustnessWith(context.Background(), w, core.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RobustnessDelta(context.Background(), w, core.EvalOptions{}, r.PerFeature[:2], nil); err == nil {
+		t.Fatal("short prior accepted")
+	}
+	if _, err := a.RobustnessDelta(context.Background(), w, core.EvalOptions{}, r.PerFeature, []int{7}); err == nil {
+		t.Fatal("out-of-range dirty index accepted")
+	}
+	// Duplicate dirty indices are tolerated (deduped).
+	inc, err := a.RobustnessDelta(context.Background(), w, core.EvalOptions{}, r.PerFeature, []int{1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(inc.Value) != math.Float64bits(r.Value) {
+		t.Fatalf("deduped delta %v != baseline %v", inc.Value, r.Value)
+	}
+}

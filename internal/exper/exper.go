@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"E17", "Scenario store: restart warm-start timing and bit-stability", "persistent-store equivalence + restart cost (extension)", RunE17},
 		{"E18", "Hardware-limited numeric tier: sharded cache, warm start, k-probe", "numeric-tier acceleration equivalence + throughput (extension)", RunE18},
 		{"E19", "Robustness-aware allocation search vs heuristic baselines", "metric-driven allocation search, closing the TPDS'04 loop (extension)", RunE19},
+		{"E20", "Incremental re-evaluation: dirty-subset deltas vs cold full evaluations", "streaming watch equivalence + update throughput (extension)", RunE20},
 	}
 }
 

@@ -9,8 +9,8 @@ func quickCfg() Config { return Config{Seed: 1, Quick: true} }
 
 func TestAllRegistryShape(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("experiment count = %d, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiment count = %d, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -91,6 +91,7 @@ func TestE16(t *testing.T) { runAndRequirePass(t, "E16") }
 func TestE17(t *testing.T) { runAndRequirePass(t, "E17") }
 func TestE18(t *testing.T) { runAndRequirePass(t, "E18") }
 func TestE19(t *testing.T) { runAndRequirePass(t, "E19") }
+func TestE20(t *testing.T) { runAndRequirePass(t, "E20") }
 
 func TestDeterministicResults(t *testing.T) {
 	// Same seed → identical tables (E3 exercises parallel sweeps).

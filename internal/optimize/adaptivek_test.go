@@ -1,0 +1,98 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAdaptiveKBlockBitIdentical pins the adaptive-widening contract: a
+// search whose ray scans walk deep into the probe grid (a boundary a
+// thousand origin-scaled steps out) must return bit-identical results with
+// the scalar path, a fixed k-probe block, and an adaptively widened block —
+// while the widened search spends strictly fewer FK calls than the fixed
+// one.
+func TestAdaptiveKBlockBitIdentical(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	var calls int
+	fk := func(xs [][]float64, out []float64) {
+		calls++
+		for p := range xs {
+			out[p] = f(xs[p])
+		}
+	}
+	x0 := []float64{0.5, 0.5}
+	const level = 1e6 // boundary at distance ~1000: a deep grid walk
+
+	base := LevelSetOptions{Seed: 7, MaxSpan: 1e7}
+	scalar, err := NearestOnLevelSet(f, level, x0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(kb, kmax int) (Result, int) {
+		t.Helper()
+		calls = 0
+		o := base
+		o.FK, o.KBlock, o.KBlockMax = fk, kb, kmax
+		r, err := NearestOnLevelSet(f, level, x0, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, calls
+	}
+	fixed, fixedCalls := run(4, 0)
+	adaptive, adaptiveCalls := run(4, 64)
+
+	for name, r := range map[string]Result{"fixed": fixed, "adaptive": adaptive} {
+		if math.Float64bits(r.Dist) != math.Float64bits(scalar.Dist) {
+			t.Fatalf("%s k-probe Dist %.17g != scalar %.17g", name, r.Dist, scalar.Dist)
+		}
+		if len(r.Point) != len(scalar.Point) {
+			t.Fatalf("%s point dim %d != %d", name, len(r.Point), len(scalar.Point))
+		}
+		for i := range r.Point {
+			if math.Float64bits(r.Point[i]) != math.Float64bits(scalar.Point[i]) {
+				t.Fatalf("%s point[%d] %.17g != scalar %.17g", name, i, r.Point[i], scalar.Point[i])
+			}
+		}
+	}
+	if adaptiveCalls >= fixedCalls {
+		t.Fatalf("adaptive widening spent %d FK calls, fixed block spent %d — widening never engaged",
+			adaptiveCalls, fixedCalls)
+	}
+	t.Logf("FK calls: fixed=%d adaptive=%d (evals: scalar=%d fixed=%d adaptive=%d)",
+		fixedCalls, adaptiveCalls, scalar.Evals, fixed.Evals, adaptive.Evals)
+}
+
+// TestAdaptiveKBlockShallowUnchanged checks the other half of the design: a
+// near boundary never reaches the widening threshold, so KBlockMax has no
+// effect at all — same result, same FK call count.
+func TestAdaptiveKBlockShallowUnchanged(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] + x[1] }
+	var calls int
+	fk := func(xs [][]float64, out []float64) {
+		calls++
+		for p := range xs {
+			out[p] = f(xs[p])
+		}
+	}
+	x0 := []float64{1, 1}
+	run := func(kmax int) (Result, int) {
+		t.Helper()
+		calls = 0
+		// MaxSpan keeps even the non-crossing rays under the widening
+		// threshold (kAdaptDepth blocks of 8).
+		o := LevelSetOptions{Seed: 3, FK: fk, KBlock: 8, KBlockMax: kmax, MaxSpan: 0.1}
+		r, err := NearestOnLevelSet(f, 2.05, x0, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, calls
+	}
+	plain, plainCalls := run(0)
+	wide, wideCalls := run(128)
+	if math.Float64bits(plain.Dist) != math.Float64bits(wide.Dist) || plainCalls != wideCalls {
+		t.Fatalf("shallow scan changed under KBlockMax: dist %.17g/%.17g, calls %d/%d",
+			plain.Dist, wide.Dist, plainCalls, wideCalls)
+	}
+}

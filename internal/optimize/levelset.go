@@ -45,7 +45,8 @@ type LevelSetOptions struct {
 	// evaluations; exceeding it aborts the search with ErrEvalBudget. Zero
 	// means unlimited. A k-probe block is admitted whenever the budget
 	// allows at least one more scalar evaluation, so a budgeted search may
-	// overshoot by up to KBlock−1 evaluations.
+	// overshoot by up to one block (KBlock−1 evaluations, or KBlockMax−1
+	// when adaptive widening is enabled).
 	MaxEvals int
 	// FK, when non-nil, evaluates a block of probe points in one call and
 	// must agree with f pointwise: FK(xs, out) sets out[p] = f(xs[p]). The
@@ -60,6 +61,16 @@ type LevelSetOptions struct {
 	// blocks amortize call overhead but over-evaluate more probes past a
 	// sign change; the result is identical for every value.
 	KBlock int
+	// KBlockMax, when greater than KBlock, lets deep ray scans widen the
+	// probe block adaptively: each scan starts at KBlock and doubles the
+	// block (up to KBlockMax) once the grid walk passes kAdaptDepth blocks
+	// of the current width, so far-away boundaries amortize ever more
+	// probes per FK call while short scans keep the small block's tight
+	// over-evaluation bound. Probe values depend only on the grid position,
+	// never on how probes are grouped (fillWindow), so every widening
+	// schedule is bit-identical to the fixed-block and scalar searches.
+	// Zero or KBlock disables widening. Ignored without FK.
+	KBlockMax int
 	// Warm, when non-nil, carries state between searches that share the
 	// same objective and origin point: the probe direction set (and its
 	// gradient estimate), memoized objective values along the fixed scan
@@ -160,9 +171,14 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		opt.RefineIters = 200
 	}
 	if opt.FK == nil {
-		opt.KBlock = 1
-	} else if opt.KBlock <= 0 {
-		opt.KBlock = 8
+		opt.KBlock, opt.KBlockMax = 1, 1
+	} else {
+		if opt.KBlock <= 0 {
+			opt.KBlock = 8
+		}
+		if opt.KBlockMax < opt.KBlock {
+			opt.KBlockMax = opt.KBlock
+		}
 	}
 
 	evals := 0
@@ -222,6 +238,7 @@ func NearestOnLevelSet(f Func, level float64, x0 []float64, opt LevelSetOptions)
 		level: level, fscale: fscale, g0: g0,
 		x0: x0, opt: &opt, fr: fr,
 		kblock: opt.KBlock,
+		kmax:   opt.KBlockMax,
 		step:   1e-3 * (1 + maxAbs(x0)),
 		n:      n,
 	}
@@ -265,7 +282,8 @@ type lsSearch struct {
 	st     *WarmState
 	lrec   *levelRec
 	grid   *[]float64
-	kblock int
+	kblock int // current probe-block width (widens up to kmax on deep scans)
+	kmax   int
 	step   float64
 	n      int
 
@@ -592,6 +610,7 @@ func (s *lsSearch) replayRec(di int, d []float64, limit float64) (t float64, ok,
 // values). kind/idx describe the crossing for the warm record.
 func (s *lsSearch) scanGrid(di int, d []float64, line Func1, limit float64) (a, b float64, kind uint8, idx int32, found bool) {
 	s.scanEpoch++
+	s.kblock = s.opt.KBlock // each scan re-earns its adaptive widening
 	prevT, prevG := 0.0, s.g0
 	prev2T, prev2G := math.NaN(), math.Inf(1)
 	for i := 0; ; i++ {
@@ -650,12 +669,35 @@ func (s *lsSearch) gridVal(di int, d []float64, i int) float64 {
 			return v
 		}
 	}
+	if s.kmax > s.kblock && i >= s.kblock*kAdaptDepth {
+		// Deep scan: the boundary is far out on this ray, so widen the
+		// probe block geometrically (matching the grid's geometric spans)
+		// to amortize more probes per FK call. Realigning the window to
+		// the new width only regroups future evaluations; the probe
+		// positions and values are untouched, so widening is bit-exact.
+		nk := s.kblock
+		for nk < s.kmax && i >= nk*kAdaptDepth {
+			nk *= 2
+		}
+		if nk > s.kmax {
+			nk = s.kmax
+		}
+		s.kblock = nk
+		s.winBase = -1 // force a refill under the new alignment
+	}
 	base := i - i%s.kblock
 	if s.winEpoch != s.scanEpoch || s.winBase != base {
 		s.fillWindow(di, d, base)
 	}
 	return s.fr.win[i-base]
 }
+
+// kAdaptDepth is the adaptive-widening trigger: once a scan's grid index
+// passes this many blocks of the current width, the block doubles (capped at
+// KBlockMax). 4 keeps short scans — the common case, boundaries within a few
+// origin-scaled spans — on the configured block while letting thousand-probe
+// walks reach the wide blocks within a few windows.
+const kAdaptDepth = 4
 
 // fillWindow evaluates the probe window [base, base+kblock) of direction d,
 // copying memo-known values and batching the misses through fk (falling back

@@ -1,0 +1,180 @@
+package optimize
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Warm-state serialization. A WarmState is pure numeric data — the probe
+// directions, the memoized raw objective values along every scan ray, and
+// the converged bracket of each (level, ray) pair — so it can be written to
+// disk and re-attached to a rebuilt objective. Every float64 is encoded as
+// its IEEE-754 bit pattern (a uint64), never as a decimal string: the warm
+// contract is *bit* identity (NaN memo sentinels, signed zeros, and the
+// bit-compared identity vector all survive the round trip exactly).
+//
+// The reuse counters (WarmStats) are deliberately not persisted — they are
+// per-process observability, and restoring them would make a restarted
+// daemon's /statz lie about work it never did.
+
+// wireState is the on-disk shape of one WarmState.
+type wireState struct {
+	Ident    []uint64    `json:"ident"`
+	Bound    bool        `json:"bound,omitempty"`
+	X0       []uint64    `json:"x0,omitempty"`
+	Step     uint64      `json:"step,omitempty"`
+	Seed     int64       `json:"seed,omitempty"`
+	DirCount int         `json:"dirCount,omitempty"`
+	Tol      uint64      `json:"tol,omitempty"`
+	Dirs     [][]uint64  `json:"dirs,omitempty"`
+	Grid     []uint64    `json:"grid,omitempty"`
+	Memo     [][]uint64  `json:"memo,omitempty"`
+	Levels   []wireLevel `json:"levels,omitempty"`
+}
+
+// wireLevel is one boundary level's ray records, keyed by the level's bit
+// pattern. Levels are sorted by key on encode so snapshots are
+// deterministic.
+type wireLevel struct {
+	Level uint64    `json:"level"`
+	Rays  []wireRay `json:"rays"`
+}
+
+// wireRay mirrors rayRec.
+type wireRay struct {
+	Kind  uint8  `json:"kind,omitempty"`
+	Idx   int32  `json:"idx,omitempty"`
+	Limit uint64 `json:"limit,omitempty"`
+	Lo    uint64 `json:"lo,omitempty"`
+	Hi    uint64 `json:"hi,omitempty"`
+	T     uint64 `json:"t,omitempty"`
+}
+
+func floatsToBits(fs []float64) []uint64 {
+	if fs == nil {
+		return nil
+	}
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}
+
+func bitsToFloats(bs []uint64) []float64 {
+	if bs == nil {
+		return nil
+	}
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = math.Float64frombits(b)
+	}
+	return out
+}
+
+// Snapshot serializes the state for later RestoreWarmState. The caller must
+// own the state (the usual single-owner rule); the snapshot is a deep copy,
+// so the state stays usable afterwards.
+func (w *WarmState) Snapshot() ([]byte, error) {
+	ws := wireState{
+		Ident:    floatsToBits(w.ident),
+		Bound:    w.bound,
+		X0:       floatsToBits(w.x0),
+		Step:     math.Float64bits(w.step),
+		Seed:     w.seed,
+		DirCount: w.dirCount,
+		Tol:      math.Float64bits(w.tol),
+		Grid:     floatsToBits(w.grid),
+	}
+	if w.dirs != nil {
+		ws.Dirs = make([][]uint64, len(w.dirs))
+		for i, d := range w.dirs {
+			ws.Dirs[i] = floatsToBits(d)
+		}
+	}
+	if w.memo != nil {
+		ws.Memo = make([][]uint64, len(w.memo))
+		for i, m := range w.memo {
+			ws.Memo[i] = floatsToBits(m)
+		}
+	}
+	if len(w.levels) > 0 {
+		ws.Levels = make([]wireLevel, 0, len(w.levels))
+		for key, lr := range w.levels {
+			wl := wireLevel{Level: key, Rays: make([]wireRay, len(lr.rays))}
+			for i, r := range lr.rays {
+				wl.Rays[i] = wireRay{
+					Kind:  r.kind,
+					Idx:   r.idx,
+					Limit: math.Float64bits(r.limit),
+					Lo:    math.Float64bits(r.lo),
+					Hi:    math.Float64bits(r.hi),
+					T:     math.Float64bits(r.t),
+				}
+			}
+			ws.Levels = append(ws.Levels, wl)
+		}
+		// Deterministic order: map iteration must not leak into the bytes.
+		for i := 1; i < len(ws.Levels); i++ {
+			for j := i; j > 0 && ws.Levels[j-1].Level > ws.Levels[j].Level; j-- {
+				ws.Levels[j-1], ws.Levels[j] = ws.Levels[j], ws.Levels[j-1]
+			}
+		}
+	}
+	return json.Marshal(ws)
+}
+
+// RestoreWarmState rebuilds a WarmState from a Snapshot. The restored state
+// is subject to the same validation as a live one — identity bit-compare on
+// checkout, bracket revalidation against the live objective on reuse — so a
+// stale or mismatched snapshot costs a cold re-run, never correctness.
+func RestoreWarmState(data []byte) (*WarmState, error) {
+	var ws wireState
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("optimize: restoring warm state: %w", err)
+	}
+	w := &WarmState{
+		ident:    bitsToFloats(ws.Ident),
+		bound:    ws.Bound,
+		x0:       bitsToFloats(ws.X0),
+		step:     math.Float64frombits(ws.Step),
+		seed:     ws.Seed,
+		dirCount: ws.DirCount,
+		tol:      math.Float64frombits(ws.Tol),
+		grid:     bitsToFloats(ws.Grid),
+	}
+	if ws.Dirs != nil {
+		w.dirs = make([][]float64, len(ws.Dirs))
+		for i, d := range ws.Dirs {
+			w.dirs[i] = bitsToFloats(d)
+		}
+	}
+	if ws.Memo != nil {
+		w.memo = make([][]float64, len(ws.Memo))
+		for i, m := range ws.Memo {
+			w.memo[i] = bitsToFloats(m)
+		}
+	}
+	if len(ws.Levels) > 0 {
+		w.levels = make(map[uint64]*levelRec, len(ws.Levels))
+		for _, wl := range ws.Levels {
+			lr := &levelRec{rays: make([]rayRec, len(wl.Rays))}
+			for i, r := range wl.Rays {
+				if r.Kind > recDip {
+					return nil, fmt.Errorf("optimize: restoring warm state: unknown ray kind %d", r.Kind)
+				}
+				lr.rays[i] = rayRec{
+					kind:  r.Kind,
+					idx:   r.Idx,
+					limit: math.Float64frombits(r.Limit),
+					lo:    math.Float64frombits(r.Lo),
+					hi:    math.Float64frombits(r.Hi),
+					t:     math.Float64frombits(r.T),
+				}
+			}
+			w.levels[wl.Level] = lr
+		}
+	}
+	return w, nil
+}

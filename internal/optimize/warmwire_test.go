@@ -1,0 +1,119 @@
+package optimize
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestWarmStateSnapshotRoundTrip pins the serialization contract: a
+// restored state must behave exactly like the original — a repeat search
+// through it returns bit-identical results, spends the same number of
+// evaluations as a repeat through the live state, and reuses recorded
+// brackets and memoized probes (proving the restored state is warm, not a
+// fresh shell that happens to validate).
+func TestWarmStateSnapshotRoundTrip(t *testing.T) {
+	f := ellipsoid([]float64{1, 2.5, 0.7}, []float64{0.3, -0.2, 1.1})
+	x0 := []float64{1.2, 0.8, -0.4}
+	level := 9.0
+
+	st := NewWarmState(x0)
+	first, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: st})
+	if err != nil {
+		t.Fatalf("first search: %v", err)
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	// Live repeat: the reference for what a warm repeat costs.
+	live, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: st})
+	if err != nil {
+		t.Fatalf("live repeat: %v", err)
+	}
+
+	restored, err := RestoreWarmState(snap)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !restored.Valid(x0) {
+		t.Fatal("restored state does not validate against its own identity")
+	}
+	if got := restored.Stats(); got != (WarmStats{}) {
+		t.Fatalf("restored state carries counters: %+v", got)
+	}
+	reply, err := NearestOnLevelSet(f, level, x0, LevelSetOptions{Warm: restored})
+	if err != nil {
+		t.Fatalf("restored repeat: %v", err)
+	}
+
+	if math.Float64bits(reply.Dist) != math.Float64bits(first.Dist) || !bitsSame(reply.Point, first.Point) {
+		t.Fatalf("restored repeat diverged: dist %v vs %v", reply.Dist, first.Dist)
+	}
+	if reply.Evals != live.Evals {
+		t.Fatalf("restored repeat cost %d evals, live repeat %d — snapshot lost state", reply.Evals, live.Evals)
+	}
+	stats := restored.Stats()
+	if stats.RayReuses == 0 || stats.MemoHits == 0 {
+		t.Fatalf("restored repeat ran cold: %+v", stats)
+	}
+	if stats.Invalidations != 0 {
+		t.Fatalf("restored state invalidated: %+v", stats)
+	}
+
+	// A second snapshot of the restored state (before its repeat mutated
+	// nothing but counters) must be byte-identical: deterministic encoding.
+	snap2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatalf("re-snapshot: %v", err)
+	}
+	if !bytes.Equal(snap, snap2) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+}
+
+// NaN memo sentinels and non-finite record fields must survive the round
+// trip bit-for-bit — they are load-bearing (NaN marks unknown probes).
+func TestWarmStateSnapshotPreservesNaN(t *testing.T) {
+	st := NewWarmState([]float64{math.NaN(), math.Copysign(0, -1)})
+	st.prepare([]float64{1, 2}, 0.5, 42, 6, 1e-9)
+	m := st.memoFor(0, 4)
+	m[1] = 3.25 // leaves m[0], m[2], m[3] as NaN sentinels
+	lr := st.level(7.5, 2)
+	lr.rays[0] = rayRec{kind: recNone, limit: math.Inf(1)}
+	lr.rays[1] = rayRec{kind: recDip, lo: 0.25, hi: 0.75, t: 0.5}
+
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	got, err := RestoreWarmState(snap)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !bitsSame(got.ident, st.ident) {
+		t.Fatalf("identity changed: %v vs %v", got.ident, st.ident)
+	}
+	gm := got.memoFor(0, 4)
+	for i := range m {
+		if math.Float64bits(gm[i]) != math.Float64bits(m[i]) {
+			t.Fatalf("memo[%d]: %v vs %v", i, gm[i], m[i])
+		}
+	}
+	glr := got.level(7.5, 2)
+	if glr.rays[0] != lr.rays[0] || glr.rays[1] != lr.rays[1] {
+		t.Fatalf("ray records changed: %+v vs %+v", glr.rays, lr.rays)
+	}
+}
+
+// Corrupt and structurally invalid snapshots must be refused, not half
+// restored.
+func TestRestoreWarmStateRejectsBad(t *testing.T) {
+	if _, err := RestoreWarmState([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := RestoreWarmState([]byte(`{"ident":[1],"levels":[{"level":1,"rays":[{"kind":9}]}]}`)); err == nil {
+		t.Fatal("unknown ray kind accepted")
+	}
+}

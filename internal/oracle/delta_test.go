@@ -1,0 +1,289 @@
+package oracle
+
+// The delta differential: a watch's incremental re-evaluation chain —
+// classify the parameter diff, re-search only the dirty features, splice the
+// reused radii — must be bit-identical to a cold full evaluation of every
+// successor document. The min-fold structure of rho_mu makes the reuse sound
+// (no cross-feature search state); this test holds the implementation to
+// that across generated instances on a single node, over long chained
+// update sequences, through a 3-worker coordinator scattering only dirty
+// shards, and with workers killed while a delta is in flight.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/delta"
+	"fepia/internal/scenario"
+	"fepia/internal/server"
+)
+
+// openDeltaWatch creates a watch and detaches from the stream: the create
+// response status is the only thing the differential needs (the per-update
+// radii ride on the update responses). Some generated instances are not
+// evaluable under the requested weighting (degenerate sensitivity weights);
+// those must fail creation with the same typed error a cold evaluation
+// reports, and the chain is skipped.
+func openDeltaWatch(t *testing.T, baseURL, refURL, id string, doc scenario.AnalysisDoc, weighting string) bool {
+	t.Helper()
+	raw, err := json.Marshal(server.WatchRequest{ID: id, Scenario: &doc, Weighting: weighting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/watch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return true
+	}
+	body, _ := io.ReadAll(resp.Body)
+	rs, rb := clusterPost(t, refURL+"/v1/robustness", server.EvalRequest{Scenario: doc, Weighting: weighting})
+	if rs != resp.StatusCode {
+		t.Fatalf("watch %s create = %d but cold eval = %d\ncreate: %s\ncold: %s", id, resp.StatusCode, rs, body, rb)
+	}
+	var ce, re server.ErrorResponse
+	if err := json.Unmarshal(body, &ce); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rb, &re); err != nil {
+		t.Fatal(err)
+	}
+	if ce.Error != re.Error || ce.Kind != re.Kind {
+		t.Fatalf("watch %s create error differs:\n  create %q kind %q\n  cold   %q kind %q", id, ce.Error, ce.Kind, re.Error, re.Kind)
+	}
+	return false
+}
+
+// perturbStep builds the step-th absolute parameter update for a document:
+// one vector element moves, everything else re-sends its current origin.
+// Stepping the target around the parameter list exercises every dirty
+// pattern the differ can produce — from single-feature to all-dirty.
+func perturbStep(doc scenario.AnalysisDoc, step int) [][]float64 {
+	out := make([][]float64, len(doc.Params))
+	for i, p := range doc.Params {
+		out[i] = append([]float64(nil), p.Orig...)
+	}
+	pi := step % len(out)
+	e := step % len(out[pi])
+	// Small moves: generated bounds sit 5-40% of the feature scale from
+	// phi^orig, so a large jump would mostly land successors outside their
+	// own bounds. Infeasible successors still occur and are checked for
+	// error parity in deltaStep.
+	out[pi][e] += 0.01 + 0.005*float64(step)
+	return out
+}
+
+// deltaStep posts one update and requires it bit-identical to a cold full
+// evaluation of the successor document on the reference daemon — including
+// the error path: an infeasible successor must fail both sides with the
+// same typed error, and the watch must not commit (the caller keeps the
+// ancestor). Returns the document the watch is left holding.
+func deltaStep(t *testing.T, tag, frontURL, refURL, id string, cur scenario.AnalysisDoc, weighting string, step int) scenario.AnalysisDoc {
+	t.Helper()
+	params := perturbStep(cur, step)
+	succ, err := delta.ApplyParams(cur, params)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+
+	us, ub := clusterPost(t, frontURL+"/v1/watch/update", server.WatchUpdateRequest{Watch: id, Params: params})
+	rs, rb := clusterPost(t, refURL+"/v1/robustness", server.EvalRequest{Scenario: succ, Weighting: weighting})
+	if us != rs {
+		t.Fatalf("%s: status %d (update) vs %d (cold)\nupdate: %s\ncold: %s", tag, us, rs, ub, rb)
+	}
+	if us != http.StatusOK {
+		var ue, re server.ErrorResponse
+		if err := json.Unmarshal(ub, &ue); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if err := json.Unmarshal(rb, &re); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if ue.Error != re.Error || ue.Kind != re.Kind {
+			t.Fatalf("%s: error differs:\n  update %q kind %q\n  cold   %q kind %q", tag, ue.Error, ue.Kind, re.Error, re.Kind)
+		}
+		return cur // no commit: the watch still holds the ancestor
+	}
+	var up server.WatchUpdateResponse
+	if err := json.Unmarshal(ub, &up); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	var cold server.EvalResponse
+	if err := json.Unmarshal(rb, &cold); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	sameRobustness(t, tag, up.Robustness, cold.Robustness)
+	if len(up.Dirty)+up.Clean != len(cur.Features) {
+		t.Fatalf("%s: dirty %d + clean %d does not cover %d features", tag, len(up.Dirty), up.Clean, len(cur.Features))
+	}
+	return succ
+}
+
+// closeDeltaWatch releases a watch's quota slot once its chain is done.
+func closeDeltaWatch(t *testing.T, baseURL, id string) {
+	t.Helper()
+	if s, b := clusterPost(t, baseURL+"/v1/watch/close", server.WatchCloseRequest{Watch: id}); s != http.StatusOK {
+		t.Fatalf("watch %s close = %d, body %s", id, s, b)
+	}
+}
+
+// TestOracleDeltaDifferential proves incremental re-evaluation bit-identical
+// to cold full evaluation: serially on one daemon, over chained update
+// batches, through a 3-worker cluster, and with workers killed mid-delta.
+func TestOracleDeltaDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delta differential is not short")
+	}
+
+	t.Run("serial", func(t *testing.T) {
+		// One daemon hosts the watches; a separate cold daemon is the
+		// reference, so no cache or warm state can leak between the sides.
+		host := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(host.Close)
+		ref := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(ref.Close)
+
+		weightings := []string{"", "sensitivity"}
+		for seed := int64(1); seed <= 30; seed++ {
+			doc := specToAnalysisDoc(Generate(seed))
+			w := weightings[seed%2]
+			id := "delta-serial-" + itoa(seed)
+			if !openDeltaWatch(t, host.URL, ref.URL, id, doc, w) {
+				continue
+			}
+			for step := 0; step < 3; step++ {
+				tag := "seed " + itoa(seed) + " step " + itoa(int64(step))
+				doc = deltaStep(t, tag, host.URL, ref.URL, id, doc, w, step)
+			}
+			closeDeltaWatch(t, host.URL, id)
+		}
+	})
+
+	t.Run("batch-chain", func(t *testing.T) {
+		// Long chains: ten updates deep, the accumulated splices must never
+		// drift a bit from a cold evaluation of the latest document.
+		host := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(host.Close)
+		ref := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(ref.Close)
+
+		for seed := int64(40); seed < 46; seed++ {
+			doc := specToAnalysisDoc(Generate(seed))
+			id := "delta-chain-" + itoa(seed)
+			if !openDeltaWatch(t, host.URL, ref.URL, id, doc, "") {
+				continue
+			}
+			for step := 0; step < 10; step++ {
+				tag := "chain " + itoa(seed) + " step " + itoa(int64(step))
+				doc = deltaStep(t, tag, host.URL, ref.URL, id, doc, "", step)
+			}
+			closeDeltaWatch(t, host.URL, id)
+		}
+	})
+
+	t.Run("cluster", func(t *testing.T) {
+		// The coordinator scatters only dirty shards and splices its stored
+		// radii for the rest; the reference is a cold single node.
+		fx := newClusterFixture(t, 3)
+		weightings := []string{"", "sensitivity"}
+		for seed := int64(60); seed < 80; seed++ {
+			doc := specToAnalysisDoc(Generate(seed))
+			w := weightings[seed%2]
+			id := "delta-cluster-" + itoa(seed)
+			if !openDeltaWatch(t, fx.front.URL, fx.ref.URL, id, doc, w) {
+				continue
+			}
+			for step := 0; step < 3; step++ {
+				tag := "cluster " + itoa(seed) + " step " + itoa(int64(step))
+				doc = deltaStep(t, tag, fx.front.URL, fx.ref.URL, id, doc, w, step)
+			}
+			closeDeltaWatch(t, fx.front.URL, id)
+		}
+	})
+
+	t.Run("killed-worker-mid-delta", func(t *testing.T) {
+		// Shard calls sleep 400ms of pure HTTP latency (outside evaluation),
+		// so the kill lands while the delta's dirty shards are in flight.
+		const delay = 400 * time.Millisecond
+		workers := make([]*httptest.Server, 3)
+		urls := make([]string, 3)
+		for i := range urls {
+			h := server.New(clusterWorkerConfig()).Handler()
+			ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/shard" {
+					time.Sleep(delay)
+				}
+				h.ServeHTTP(w, r)
+			}))
+			t.Cleanup(ws.Close)
+			workers[i] = ws
+			urls[i] = ws.URL
+		}
+		coord, err := cluster.New(cluster.Config{
+			Workers:        urls,
+			EnableChaos:    true,
+			HealthInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(coord.Close)
+		front := httptest.NewServer(coord.Handler())
+		t.Cleanup(front.Close)
+		ref := httptest.NewServer(server.New(clusterWorkerConfig()).Handler())
+		t.Cleanup(ref.Close)
+
+		doc := specToAnalysisDoc(Generate(90))
+		if !openDeltaWatch(t, front.URL, ref.URL, "delta-kill", doc, "") {
+			t.Fatal("kill scenario must be evaluable (pick another seed)")
+		}
+
+		params := perturbStep(doc, 0)
+		succ, err := delta.ApplyParams(doc, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type out struct {
+			status int
+			body   []byte
+		}
+		ch := make(chan out, 1)
+		go func() {
+			s, b := clusterPost(t, front.URL+"/v1/watch/update", server.WatchUpdateRequest{Watch: "delta-kill", Params: params})
+			ch <- out{s, b}
+		}()
+		// Kill two of the three workers while the dirty shards sleep in
+		// flight; the delta must re-route to the survivor and commit a
+		// result bit-identical to the cold single node.
+		time.Sleep(150 * time.Millisecond)
+		for _, w := range workers[:2] {
+			w.CloseClientConnections()
+			w.Close()
+		}
+		got := <-ch
+		if got.status != http.StatusOK {
+			t.Fatalf("update through kill = %d, body %s", got.status, got.body)
+		}
+		var up server.WatchUpdateResponse
+		if err := json.Unmarshal(got.body, &up); err != nil {
+			t.Fatal(err)
+		}
+		rs, rb := clusterPost(t, ref.URL+"/v1/robustness", server.EvalRequest{Scenario: succ})
+		if rs != http.StatusOK {
+			t.Fatalf("cold reference = %d, body %s", rs, rb)
+		}
+		var cold server.EvalResponse
+		if err := json.Unmarshal(rb, &cold); err != nil {
+			t.Fatal(err)
+		}
+		sameRobustness(t, "killed-worker", up.Robustness, cold.Robustness)
+	})
+}

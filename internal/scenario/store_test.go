@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -355,5 +356,73 @@ func TestStoreGCNeverEvictsPinned(t *testing.T) {
 	}
 	if s := st.Stats(); s.Evictions == 0 {
 		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestStoreGCRacesNestedPins drives the eviction sweep against concurrent
+// nested Pin/Unpin cycles. A server holds a base pin on the generation an
+// in-flight evaluation uses while shorter-lived work (shard evals, watch
+// updates) pins and unpins the same fingerprint underneath it; the sweep
+// must never observe a transiently-unpinned generation, no matter how the
+// inner releases interleave with Put-triggered GCs. Run under -race.
+func TestStoreGCRacesNestedPins(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := st.Put(storeDocN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound the store to roughly one entry so every churn Put below runs a
+	// sweep with the protected entry as the natural LRU victim.
+	st.Pin(protected) // the base pin: held for the whole test
+	st.SetMaxBytes(st.SizeBytes() + st.SizeBytes()/2)
+
+	const (
+		pinners   = 4
+		cycles    = 200
+		churnPuts = 200
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < pinners; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cycles; i++ {
+				st.Pin(protected)
+				st.Pin(protected) // nest two deep
+				st.Unpin(protected)
+				st.Unpin(protected)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= churnPuts; i++ {
+			if _, err := st.Put(storeDocN(i)); err != nil {
+				t.Errorf("churn put %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The base pin was never released: the protected generation must have
+	// survived every sweep the churn triggered.
+	if _, err := st.Get(protected); err != nil {
+		t.Fatalf("pinned generation evicted during churn: %v", err)
+	}
+	if s := st.Stats(); s.Evictions == 0 {
+		t.Fatalf("churn never triggered a sweep (stats %+v) — the race was not exercised", s)
+	}
+
+	// Releasing the base pin makes it ordinary LRU fodder again: the pin
+	// count balanced out to exactly the base pin, not zero or a leak.
+	st.Unpin(protected)
+	st.SetMaxBytes(1)
+	if _, err := st.Get(protected); err == nil {
+		t.Fatal("fully-unpinned generation survived a 1-byte bound: nested unpins leaked a pin")
 	}
 }

@@ -191,6 +191,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.Metric("fepiad_checkpoint_deletes_total", float64(st.Checkpoints.Deletes))
 	}
 
+	watchMetrics(&p, st.Watches)
+
 	if len(st.Classes) > 0 {
 		p.Header("fepiad_class_cache_hit_rate", "gauge", "Per-class impact-cache hit rate.")
 		p.Header("fepiad_class_breaker_state", "gauge", "Per-class breaker state (0 closed, 1 half-open, 2 open).")

@@ -176,6 +176,42 @@ func (c *warmRegCache) get(fp string) *core.WarmRegistry {
 	return e.reg
 }
 
+// snapshotRegs copies the cache's (fingerprint, registry) pairs, most
+// recently used first, for persistence.
+func (c *warmRegCache) snapshotRegs() []warmRegEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]warmRegEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*warmRegEntry)
+		out = append(out, warmRegEntry{key: e.key, reg: e.reg})
+	}
+	return out
+}
+
+// install places a restored registry under its fingerprint (as least
+// recently used, so live traffic outranks restored state in the LRU). A
+// fingerprint already present keeps its live registry — live state is never
+// displaced by a disk copy.
+func (c *warmRegCache) install(fp string, reg *core.WarmRegistry) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[fp]; ok {
+		return false
+	}
+	if c.ll.Len() >= c.cap {
+		return false // full of live registries: they win
+	}
+	c.m[fp] = c.ll.PushBack(&warmRegEntry{key: fp, reg: reg})
+	return true
+}
+
 // lookupScenario resolves a scenario through the cache: a hit returns the
 // shared analysis, a miss builds (and decorates with the impact cache and
 // warm-started searches),

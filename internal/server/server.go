@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -107,6 +108,17 @@ type Config struct {
 	// with resumeId continues the run bit-identically. Empty disables
 	// checkpointing. Corrupt checkpoint files are quarantined, never fatal.
 	StateDir string
+	// MaxWatches bounds the live watches the daemon keeps in memory
+	// (default 64; <0 disables the bound).
+	MaxWatches int
+	// MaxWatchesPerTenant bounds one tenant's live watches (default 8;
+	// <0 disables the per-tenant bound). Over-quota creates are shed with
+	// 429 kind "tenant-quota", mirroring admission.
+	MaxWatchesPerTenant int
+	// WatchEventCap bounds each watch's in-memory (and checkpointed) event
+	// journal; a subscriber resuming from before the journal's horizon gets
+	// 410 and must re-create its view (default 1024; <0 unbounded).
+	WatchEventCap int
 	// BreakerThreshold is the consecutive-failure count that trips a
 	// class's breaker (default 5).
 	BreakerThreshold int
@@ -153,6 +165,15 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 5 * time.Second
 	}
+	if c.MaxWatches == 0 {
+		c.MaxWatches = 64
+	}
+	if c.MaxWatchesPerTenant == 0 {
+		c.MaxWatchesPerTenant = 8
+	}
+	if c.WatchEventCap == 0 {
+		c.WatchEventCap = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -170,6 +191,12 @@ type Server struct {
 	warmRegs *warmRegCache    // warm-start registries that outlive scache evictions
 	searches *SearchTracker   // allocation-search progress for /statz
 	ckpts    *CheckpointStore // nil unless Config.StateDir is set and opened
+	watches  *watchTracker    // live watch subscriptions (watch.go)
+	wstore   *watchStore      // nil unless Config.StateDir is set and opened
+
+	// warmRegDir persists warm-start registries across restarts (see
+	// warmdisk.go); empty unless Config.StateDir is set and usable.
+	warmRegDir string
 
 	// Warm-start outcome (set once by WarmStart, read by /statz).
 	warmLoaded  atomic.Int64
@@ -218,6 +245,23 @@ type serverStats struct {
 	scenarioHits   atomic.Uint64
 	scenarioMisses atomic.Uint64
 	storeWarmHits  atomic.Uint64
+
+	// Warm-registry persistence outcomes (see warmdisk.go).
+	warmRegSaved      atomic.Uint64
+	warmRegSaveErrors atomic.Uint64
+	warmRegLoaded     atomic.Uint64
+	warmRegSkipped    atomic.Uint64
+
+	// Live-watch lifecycle and delta outcomes (see watch.go).
+	watchCreated       atomic.Uint64
+	watchResumed       atomic.Uint64
+	watchClosed        atomic.Uint64
+	watchUpdates       atomic.Uint64
+	watchStructural    atomic.Uint64
+	watchEvents        atomic.Uint64
+	watchLagDrops      atomic.Uint64
+	watchDirtyFeatures atomic.Uint64
+	watchCleanFeatures atomic.Uint64
 }
 
 // New builds a Server from cfg.
@@ -244,6 +288,7 @@ func New(cfg Config) *Server {
 		scache:     newScenarioCache(cfg.ScenarioCacheCap),
 		warmRegs:   newWarmRegCache(4 * cfg.ScenarioCacheCap),
 		searches:   NewSearchTracker(64),
+		watches:    newWatchTracker(),
 		classCache: make(map[string]*classCacheCounters),
 		base:       base,
 		baseCancel: cancel,
@@ -271,6 +316,18 @@ func New(cfg Config) *Server {
 			cfg.Logf("server: search checkpointing disabled: %v", err)
 		} else {
 			s.ckpts = cs
+		}
+		wdir := filepath.Join(cfg.StateDir, "warm")
+		if err := os.MkdirAll(wdir, 0o755); err != nil {
+			cfg.Logf("server: warm registry persistence disabled: %v", err)
+		} else {
+			s.warmRegDir = wdir
+		}
+		ws, err := openWatchStore(filepath.Join(cfg.StateDir, "watches"))
+		if err != nil {
+			cfg.Logf("server: watch checkpointing disabled: %v", err)
+		} else {
+			s.wstore = ws
 		}
 	}
 	return s
@@ -300,6 +357,10 @@ func (s *Server) LoadResumableSearches() int {
 // that no longer builds under the current engine is skipped too. Returns
 // (loaded, skipped).
 func (s *Server) WarmStart() (loaded, skipped int) {
+	// Restore persisted warm-start registries first: the analyses rebuilt
+	// below re-attach them through decorateCachedAnalysis, so their first
+	// boundary searches replay the previous process's recorded state.
+	s.loadWarmRegistries()
 	if s.store == nil || s.scache == nil {
 		return 0, 0
 	}
@@ -372,6 +433,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/watch", s.handleWatch)
+	mux.HandleFunc("POST /v1/watch/update", s.handleWatchUpdate)
+	mux.HandleFunc("POST /v1/watch/close", s.handleWatchClose)
 	return WithRequestID(mux)
 }
 
@@ -415,6 +479,10 @@ func (s *Server) BeginDrain() {
 	s.mu.Unlock()
 	if !already {
 		s.cfg.Logf("server: drain started")
+		// End every watch stream: subscriptions hold no admission slot, so
+		// drain would otherwise never see them. Watch state was checkpointed
+		// at its last update; clients resume byte-identically after restart.
+		s.watches.closeAllSubs()
 	}
 	if idle {
 		s.signalIdle()
@@ -427,6 +495,10 @@ func (s *Server) BeginDrain() {
 // still respond, with 503) and keep waiting up to DrainGrace. A nil error
 // means every accepted request got its terminal response.
 func (s *Server) Drain(ctx context.Context) error {
+	// Persist warm-start state whatever the drain outcome: states checked
+	// out by still-running searches are skipped inside the snapshot, so
+	// saving is safe even if the wait below times out.
+	defer s.SaveWarmRegistries()
 	s.BeginDrain()
 	select {
 	case <-s.idle:
@@ -525,6 +597,14 @@ type Statz struct {
 	// Checkpoints reports the search checkpoint store, when a state dir is
 	// configured.
 	Checkpoints *CheckpointStatz `json:"checkpoints,omitempty"`
+
+	// WarmRegistries reports warm-registry persistence (save at drain,
+	// restore at warm start), when a state dir is configured.
+	WarmRegistries *WarmRegStatz `json:"warmRegistries,omitempty"`
+
+	// Watches reports the live-watch subsystem (subscriptions, delta
+	// updates, checkpoint store).
+	Watches *WatchStatz `json:"watches,omitempty"`
 
 	// Classes breaks the cache and breaker counters down per scenario class
 	// (the same classification the breaker and the cluster coordinator key
@@ -671,6 +751,8 @@ func (s *Server) statz() Statz {
 	st.Tenants = s.adm.tenantStatz()
 	st.Store = s.storeStatz()
 	st.Checkpoints = checkpointStatz(s.ckpts)
+	st.WarmRegistries = s.warmRegStatz()
+	st.Watches = s.watchStatz()
 	st.Classes = s.classStatz(breakers)
 	st.Searches = s.searches.Snapshot()
 	return st

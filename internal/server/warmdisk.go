@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fepia/internal/core"
+	"fepia/internal/durable"
+)
+
+// Warm-registry persistence: the piece that carries warm-start state across
+// scenario-store *reload generations*. The warmRegCache already keeps
+// registries alive across in-process scenario-cache evictions; this file
+// extends the carry across a daemon restart (or any store-reload cycle):
+// Drain snapshots every fingerprint's registry into <StateDir>/warm, and
+// WarmStart restores them before reloading the store, so the rebuilt
+// analyses' first boundary searches replay recorded brackets and memoized
+// scans instead of starting cold.
+//
+// The usual durability discipline applies (internal/durable): atomic
+// writes, checksummed payloads, quarantine-not-fatal reads. And the usual
+// warm-start safety net applies on top: restored states revalidate their
+// identity bit-for-bit and their brackets against the live objective, so a
+// stale snapshot — a scenario edited on disk, an engine change — costs a
+// cold re-run, never a wrong radius.
+
+const (
+	warmRegKind    = "fepia-warm-registry"
+	warmRegVersion = 1
+	warmRegSuffix  = ".warm.json"
+)
+
+// warmRegEnvelope is the on-disk shape of one fingerprint's registry.
+type warmRegEnvelope struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	// ID is the scenario fingerprint the registry belongs to.
+	ID string `json:"id"`
+	// Checksum is FNV-1a/64 of the raw Payload bytes, hex-encoded.
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// SaveWarmRegistries snapshots every cached warm-start registry to the
+// state dir, one file per scenario fingerprint. Called by Drain; safe to
+// call at any time (states checked out by in-flight searches are skipped
+// inside the snapshot). Best-effort: a failed write costs the next
+// restart's warm searches for that scenario, never the shutdown. Returns
+// the number of registries persisted.
+func (s *Server) SaveWarmRegistries() int {
+	if s.warmRegDir == "" || s.warmRegs == nil {
+		return 0
+	}
+	saved := 0
+	for _, e := range s.warmRegs.snapshotRegs() {
+		raw, err := e.reg.Snapshot()
+		if err != nil {
+			s.stats.warmRegSaveErrors.Add(1)
+			s.cfg.Logf("server: warm registry snapshot %s: %v", e.key, err)
+			continue
+		}
+		env := warmRegEnvelope{
+			Kind:     warmRegKind,
+			Version:  warmRegVersion,
+			ID:       e.key,
+			Checksum: durable.Checksum(raw),
+			Payload:  raw,
+		}
+		data, err := json.Marshal(env)
+		if err != nil {
+			s.stats.warmRegSaveErrors.Add(1)
+			s.cfg.Logf("server: warm registry envelope %s: %v", e.key, err)
+			continue
+		}
+		path := filepath.Join(s.warmRegDir, e.key+warmRegSuffix)
+		if err := durable.WriteFileAtomic(path, data, ".warm-*"); err != nil {
+			s.stats.warmRegSaveErrors.Add(1)
+			s.cfg.Logf("server: warm registry write %s: %v", e.key, err)
+			continue
+		}
+		saved++
+	}
+	s.stats.warmRegSaved.Add(uint64(saved))
+	if saved > 0 {
+		s.cfg.Logf("server: persisted %d warm registr(ies)", saved)
+	}
+	return saved
+}
+
+// loadWarmRegistries restores persisted registries into the warm-registry
+// cache. Called by WarmStart before the store reload, so the analyses it
+// rebuilds attach their restored registries through the usual
+// decorateCachedAnalysis path. Corrupt or mismatched files are quarantined
+// (removed and counted) — they cost warm searches, never the start-up.
+func (s *Server) loadWarmRegistries() (loaded, skipped int) {
+	if s.warmRegDir == "" || s.warmRegs == nil {
+		return 0, 0
+	}
+	entries, err := os.ReadDir(s.warmRegDir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), warmRegSuffix) {
+			continue
+		}
+		path := filepath.Join(s.warmRegDir, de.Name())
+		reg, fp, err := decodeWarmRegFile(path)
+		if err != nil {
+			_ = os.Remove(path)
+			skipped++
+			s.cfg.Logf("server: warm registry file %s quarantined: %v", de.Name(), err)
+			continue
+		}
+		if s.warmRegs.install(fp, reg) {
+			loaded++
+		}
+	}
+	s.stats.warmRegLoaded.Add(uint64(loaded))
+	s.stats.warmRegSkipped.Add(uint64(skipped))
+	if loaded+skipped > 0 {
+		s.cfg.Logf("server: restored %d warm registr(ies), skipped %d", loaded, skipped)
+	}
+	return loaded, skipped
+}
+
+// decodeWarmRegFile verifies and decodes one registry file end to end.
+func decodeWarmRegFile(path string) (*core.WarmRegistry, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var env warmRegEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, "", fmt.Errorf("envelope: %w", err)
+	}
+	if env.Kind != warmRegKind || env.Version != warmRegVersion {
+		return nil, "", fmt.Errorf("kind/version %q/%d, want %q/%d", env.Kind, env.Version, warmRegKind, warmRegVersion)
+	}
+	if got := durable.Checksum(env.Payload); got != env.Checksum {
+		return nil, "", fmt.Errorf("checksum %s, recorded %s", got, env.Checksum)
+	}
+	base := strings.TrimSuffix(filepath.Base(path), warmRegSuffix)
+	if env.ID != base {
+		return nil, "", fmt.Errorf("registry for %q found under %q's name", env.ID, base)
+	}
+	reg, err := core.RestoreWarmRegistry(env.Payload)
+	if err != nil {
+		return nil, "", err
+	}
+	return reg, env.ID, nil
+}
+
+// WarmRegStatz is the warm-registry persistence section of /statz; nil
+// when no state dir is configured.
+type WarmRegStatz struct {
+	Dir string `json:"dir"`
+	// Saved / SaveErrors count registries persisted (at drain) since
+	// startup.
+	Saved      uint64 `json:"saved"`
+	SaveErrors uint64 `json:"saveErrors"`
+	// Loaded / CorruptSkipped are the restore outcome: registries restored
+	// into the cache at startup vs files quarantined as corrupt or
+	// mismatched.
+	Loaded         uint64 `json:"loaded"`
+	CorruptSkipped uint64 `json:"corruptSkipped"`
+}
+
+// warmRegStatz snapshots the warm-registry section.
+func (s *Server) warmRegStatz() *WarmRegStatz {
+	if s.warmRegDir == "" {
+		return nil
+	}
+	return &WarmRegStatz{
+		Dir:            s.warmRegDir,
+		Saved:          s.stats.warmRegSaved.Load(),
+		SaveErrors:     s.stats.warmRegSaveErrors.Load(),
+		Loaded:         s.stats.warmRegLoaded.Load(),
+		CorruptSkipped: s.stats.warmRegSkipped.Load(),
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -150,6 +151,123 @@ func decodeEnvelopeFile(path string) (any, error) {
 		return nil, err
 	}
 	return st.Get(fp)
+}
+
+// TestWarmRegistryCarriesAcrossStoreReload extends the generation carry to
+// a full scenario-store reload: drain persists every fingerprint's warm
+// registry into <StateDir>/warm, and the next process's WarmStart restores
+// them before rebuilding the store's documents — so the rebuilt analysis's
+// *first* search already replays the previous process's recorded brackets.
+// The assertion is differential against a control restart with no persisted
+// warm state: same bit-identical result, strictly more reuse.
+func TestWarmRegistryCarriesAcrossStoreReload(t *testing.T) {
+	storeDir, stateDir := t.TempDir(), t.TempDir()
+	cfg := Config{ScenarioCacheCap: 8, StoreDir: storeDir, StateDir: stateDir}
+
+	// Generation 1: build warm state, then drain (which persists it).
+	s1, ts1 := newTestServer(t, cfg)
+	before := postEval(t, ts1.URL, numericDoc())
+	postEval(t, ts1.URL, numericDoc())
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts1.Close()
+	files, err := filepath.Glob(filepath.Join(stateDir, "warm", "*"+warmRegSuffix))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted warm registries: %v (err %v)", files, err)
+	}
+
+	// Control restart: same store, but an empty state dir — the rebuilt
+	// analysis's first request searches with a fresh registry.
+	coldCfg := cfg
+	coldCfg.StateDir = t.TempDir()
+	sc, tsc := newTestServer(t, coldCfg)
+	if loaded, _ := sc.WarmStart(); loaded != 1 {
+		t.Fatalf("control warm start loaded %d", loaded)
+	}
+	control := postEval(t, tsc.URL, numericDoc())
+	sameRobustness(t, before, control)
+	ec := scacheEntryFor(t, sc, numericDoc())
+	coldStats := ec.a.WarmStats()
+
+	// Restored restart: the persisted registry must be found, re-attached,
+	// and actually used by the first request.
+	s2, ts2 := newTestServer(t, cfg)
+	if loaded, _ := s2.WarmStart(); loaded != 1 {
+		t.Fatalf("warm start loaded %d", loaded)
+	}
+	st := s2.statz()
+	if st.WarmRegistries == nil || st.WarmRegistries.Loaded != 1 || st.WarmRegistries.CorruptSkipped != 0 {
+		t.Fatalf("warm registry statz after restore: %+v", st.WarmRegistries)
+	}
+	after := postEval(t, ts2.URL, numericDoc())
+	sameRobustness(t, before, after)
+	e2 := scacheEntryFor(t, s2, numericDoc())
+	warmStats := e2.a.WarmStats()
+	if warmStats.Invalidations != 0 {
+		t.Fatalf("restored registry invalidated against live objective: %+v", warmStats)
+	}
+	if warmStats.RayReuses+warmStats.MemoHits <= coldStats.RayReuses+coldStats.MemoHits {
+		t.Fatalf("restored registry no warmer than cold restart: reuse %d (restored) vs %d (cold)",
+			warmStats.RayReuses+warmStats.MemoHits, coldStats.RayReuses+coldStats.MemoHits)
+	}
+	ts2.Close()
+	tsc.Close()
+}
+
+// TestWarmRegistryRestoreSkipsCorrupt: a torn warm-registry file costs the
+// warm searches only — quarantined and counted, with serving unaffected.
+func TestWarmRegistryRestoreSkipsCorrupt(t *testing.T) {
+	storeDir, stateDir := t.TempDir(), t.TempDir()
+	cfg := Config{ScenarioCacheCap: 8, StoreDir: storeDir, StateDir: stateDir}
+
+	s1, ts1 := newTestServer(t, cfg)
+	before := postEval(t, ts1.URL, numericDoc())
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts1.Close()
+	files, err := filepath.Glob(filepath.Join(stateDir, "warm", "*"+warmRegSuffix))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted warm registries: %v (err %v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, cfg)
+	s2.WarmStart()
+	st := s2.statz()
+	if st.WarmRegistries == nil || st.WarmRegistries.Loaded != 0 || st.WarmRegistries.CorruptSkipped != 1 {
+		t.Fatalf("warm registry statz after corrupt restore: %+v", st.WarmRegistries)
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatalf("corrupt warm file not quarantined: %v", err)
+	}
+	after := postEval(t, ts2.URL, numericDoc())
+	sameRobustness(t, before, after)
+	ts2.Close()
+}
+
+// scacheEntryFor fetches the scenario-cache entry of a request document the
+// way lookupScenario keys it.
+func scacheEntryFor(t *testing.T, s *Server, doc scenario.AnalysisDoc) *scacheEntry {
+	t.Helper()
+	doc.Version = scenario.Version
+	doc.Kind = "fepia"
+	fp, err := doc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.scache.get(fp)
+	if !ok {
+		t.Fatalf("document %s not in the scenario cache", fp)
+	}
+	return e
 }
 
 // TestWarmRegistryCarriesAcrossEvictions is the fix for warm starts going

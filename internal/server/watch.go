@@ -1,0 +1,827 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fepia/internal/core"
+	"fepia/internal/delta"
+	"fepia/internal/scenario"
+)
+
+// Live watches: the streaming half of the incremental re-evaluation
+// subsystem (internal/delta computes *what* changed; this file keeps
+// long-lived per-scenario state and streams *results* of those changes).
+//
+//   POST /v1/watch         opens (or resumes) a Server-Sent-Events stream
+//   POST /v1/watch/update  applies new parameter origins to a watch
+//   POST /v1/watch/close   tears a watch down and deletes its checkpoint
+//
+// A watch owns one scenario document and its latest per-feature radii.
+// Each update is diffed against the current document (delta.Classify);
+// only dirty features are re-searched (core.RobustnessDelta), seeded from
+// the watch's warm-start registry — one registry shared across the whole
+// update chain, keyed by the *ancestor* fingerprint, so state recorded at
+// one operating point is replayed when the parameters wobble back.
+// Admission prices an update by its dirty features only
+// (estimateCostFeatures), so a small perturbation of a large scenario is
+// admitted as the small evaluation it is.
+//
+// Determinism contract: event payloads carry no timestamps, request ids,
+// or other nondeterminism, and every event is journaled in the watch's
+// checkpoint — so a subscription resumed after a daemon restart (or a
+// SIGKILL mid-stream) replays byte-identical frames. Updates to one watch
+// are serialized (watch.mu); events are totally ordered by seq.
+//
+// Watch evaluations deliberately bypass the circuit breaker: like
+// /v1/shard, an update is not an independent decision point — forcing a
+// degraded Monte-Carlo result for one update would break the delta chain's
+// bit-identity with a cold evaluation.
+
+// WatchRequest is the body of POST /v1/watch. Scenario creates a new watch;
+// a bare ID (re)subscribes to an existing one, replaying journaled events
+// with seq > After before going live.
+type WatchRequest struct {
+	ID        string                `json:"id,omitempty"`
+	Scenario  *scenario.AnalysisDoc `json:"scenario,omitempty"`
+	Weighting string                `json:"weighting,omitempty"`
+	Timeout   string                `json:"timeout,omitempty"` // initial evaluation budget
+	After     uint64                `json:"after,omitempty"`
+}
+
+// WatchUpdateRequest is the body of POST /v1/watch/update: new ABSOLUTE
+// parameter origins (not deltas), outer slice parallel to the scenario's
+// params. Absolute origins make updates idempotent across client retries
+// and daemon restarts.
+type WatchUpdateRequest struct {
+	Watch   string      `json:"watch"`
+	Params  [][]float64 `json:"params"`
+	Timeout string      `json:"timeout,omitempty"`
+}
+
+// WatchUpdateResponse is the success body of /v1/watch/update.
+type WatchUpdateResponse struct {
+	Watch      string         `json:"watch"`
+	Seq        uint64         `json:"seq"`
+	Structural bool           `json:"structural,omitempty"`
+	Dirty      []int          `json:"dirty"`
+	Clean      int            `json:"clean"`
+	Robustness RobustnessJSON `json:"robustness"`
+	RequestID  string         `json:"requestId,omitempty"`
+	ElapsedMs  float64        `json:"elapsedMs"`
+}
+
+// WatchCloseRequest is the body of POST /v1/watch/close.
+type WatchCloseRequest struct {
+	Watch string `json:"watch"`
+}
+
+// watchEventJSON is the deterministic payload of one SSE event. Field
+// set and order are part of the byte-identity contract — do not add
+// request-scoped values here.
+type watchEventJSON struct {
+	Watch      string         `json:"watch"`
+	Seq        uint64         `json:"seq"`
+	Structural bool           `json:"structural,omitempty"`
+	Dirty      []int          `json:"dirty,omitempty"`
+	Robustness RobustnessJSON `json:"robustness"`
+}
+
+// watch is one live watch: current document, latest radii, the event
+// journal, and the fan-out set. mu serializes updates and guards all
+// mutable fields; the subscription channels decouple slow readers (a
+// subscriber that falls subscriberBuf frames behind is dropped, counted,
+// and must resume via After).
+type watch struct {
+	id         string
+	tenant     string
+	weighting  string
+	ancestorFP string
+
+	mu     sync.Mutex
+	doc    scenario.AnalysisDoc
+	a      *core.Analysis
+	reg    *core.WarmRegistry
+	radii  []core.Radius
+	seq    uint64
+	events []WatchEventRec
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+// subscriberBuf is each subscriber's frame buffer; a reader further behind
+// than this is dropped rather than allowed to stall updates.
+const subscriberBuf = 256
+
+// maxWatchIDLen bounds client-chosen watch ids (they appear in logs and
+// hash into checkpoint file names).
+const maxWatchIDLen = 128
+
+// sseFrame renders one journaled event as its SSE wire frame. The format
+// string is part of the byte-identity contract.
+func sseFrame(rec WatchEventRec) []byte {
+	return []byte(fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", rec.Seq, rec.Type, rec.Data))
+}
+
+// appendEvent journals an event under w.mu and fans it out.
+func (wt *watch) appendEvent(rec WatchEventRec, cap int, dropped *uint64) {
+	wt.events = append(wt.events, rec)
+	if cap > 0 && len(wt.events) > cap {
+		wt.events = append(wt.events[:0:0], wt.events[len(wt.events)-cap:]...)
+	}
+	frame := sseFrame(rec)
+	for ch := range wt.subs {
+		select {
+		case ch <- frame:
+		default:
+			delete(wt.subs, ch)
+			close(ch)
+			*dropped++
+		}
+	}
+}
+
+// closeSubs closes every subscription; the watch state itself survives
+// (checkpointed) unless the caller also removes it from the tracker.
+func (wt *watch) closeSubs() {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	for ch := range wt.subs {
+		close(ch)
+	}
+	wt.subs = make(map[chan []byte]struct{})
+}
+
+// watchTracker is the server's set of live watches with per-tenant
+// occupancy, enforcing Config.MaxWatches / Config.MaxWatchesPerTenant at
+// registration.
+type watchTracker struct {
+	mu        sync.Mutex
+	m         map[string]*watch
+	perTenant map[string]int
+}
+
+func newWatchTracker() *watchTracker {
+	return &watchTracker{m: make(map[string]*watch), perTenant: make(map[string]int)}
+}
+
+func (t *watchTracker) get(id string) *watch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+var (
+	errWatchExists = errors.New("watch id already exists")
+	errWatchQuota  = errors.New("tenant watch quota exhausted")
+	errWatchFull   = errors.New("watch capacity exhausted")
+)
+
+// register installs a watch, enforcing the global and per-tenant caps.
+func (t *watchTracker) register(wt *watch, maxTotal, maxPerTenant int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[wt.id]; ok {
+		return errWatchExists
+	}
+	if maxTotal > 0 && len(t.m) >= maxTotal {
+		return errWatchFull
+	}
+	if maxPerTenant > 0 && t.perTenant[wt.tenant] >= maxPerTenant {
+		return errWatchQuota
+	}
+	t.m[wt.id] = wt
+	t.perTenant[wt.tenant]++
+	return nil
+}
+
+// remove detaches a watch; the caller closes its subscriptions.
+func (t *watchTracker) remove(id string) *watch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wt := t.m[id]
+	if wt == nil {
+		return nil
+	}
+	delete(t.m, id)
+	if n := t.perTenant[wt.tenant]; n <= 1 {
+		delete(t.perTenant, wt.tenant)
+	} else {
+		t.perTenant[wt.tenant] = n - 1
+	}
+	return wt
+}
+
+// all snapshots the live watches.
+func (t *watchTracker) all() []*watch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*watch, 0, len(t.m))
+	for _, wt := range t.m {
+		out = append(out, wt)
+	}
+	return out
+}
+
+func (t *watchTracker) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// closeAllSubs ends every subscription stream (drain path). Watch state and
+// checkpoints survive for post-restart resume.
+func (t *watchTracker) closeAllSubs() {
+	for _, wt := range t.all() {
+		wt.closeSubs()
+	}
+}
+
+// decorateWatchAnalysis prepares a (re)built watch analysis: impact cache
+// plus the chain's shared warm-start registry.
+func (s *Server) decorateWatchAnalysis(a *core.Analysis, reg *core.WarmRegistry) {
+	s.enableImpactCache(a)
+	a.EnableWarmStartWith(reg)
+}
+
+// watchRegistry resolves the warm registry for a watch chain: the server's
+// fingerprint-keyed cache when available (so it participates in the
+// drain-time persistence of warmdisk.go), else a private registry.
+func (s *Server) watchRegistry(ancestorFP string) *core.WarmRegistry {
+	if ancestorFP != "" && s.warmRegs != nil {
+		return s.warmRegs.get(ancestorFP)
+	}
+	return core.NewWarmRegistry()
+}
+
+// checkpointWatch persists the watch's current state under its lock.
+// Best-effort: a failed save costs restart resume, not the stream.
+func (s *Server) checkpointWatch(wt *watch) {
+	if s.wstore == nil {
+		return
+	}
+	p := WatchPayload{
+		ID:         wt.id,
+		Tenant:     wt.tenant,
+		Weighting:  wt.weighting,
+		AncestorFP: wt.ancestorFP,
+		Doc:        wt.doc,
+		Seq:        wt.seq,
+		Events:     wt.events,
+	}
+	p.Radii = make([]radiusWire, len(wt.radii))
+	for i, r := range wt.radii {
+		p.Radii[i] = radiusToWire(r)
+	}
+	if err := s.wstore.Save(p); err != nil {
+		s.cfg.Logf("server: watch %s checkpoint: %v", wt.id, err)
+	}
+}
+
+// resumeWatch rebuilds a watch from its checkpoint after a restart. The
+// rebuilt analysis re-attaches the chain's warm registry (restored from
+// disk by loadWarmRegistries when the daemon drained cleanly).
+func (s *Server) resumeWatch(id string) (*watch, error) {
+	if s.wstore == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoWatch, id)
+	}
+	p, err := s.wstore.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.Doc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("server: watch %s checkpoint no longer builds: %w", id, err)
+	}
+	reg := s.watchRegistry(p.AncestorFP)
+	s.decorateWatchAnalysis(a, reg)
+	wt := &watch{
+		id:         p.ID,
+		tenant:     p.Tenant,
+		weighting:  p.Weighting,
+		ancestorFP: p.AncestorFP,
+		doc:        p.Doc,
+		a:          a,
+		reg:        reg,
+		seq:        p.Seq,
+		events:     p.Events,
+		subs:       make(map[chan []byte]struct{}),
+	}
+	wt.radii = make([]core.Radius, len(p.Radii))
+	for i, rw := range p.Radii {
+		wt.radii[i] = radiusFromWire(rw)
+	}
+	if err := s.watches.register(wt, s.cfg.MaxWatches, s.cfg.MaxWatchesPerTenant); err != nil {
+		if errors.Is(err, errWatchExists) {
+			// Lost a resume race: use the winner.
+			return s.watches.get(wt.id), nil
+		}
+		return nil, err
+	}
+	s.stats.watchResumed.Add(1)
+	s.cfg.Logf("server: watch %s resumed from checkpoint at seq %d", id, p.Seq)
+	return wt, nil
+}
+
+// findWatch resolves a watch id against the live set, falling back to the
+// checkpoint store.
+func (s *Server) findWatch(id string) (*watch, error) {
+	if wt := s.watches.get(id); wt != nil {
+		return wt, nil
+	}
+	return s.resumeWatch(id)
+}
+
+// writeWatchQuotaErr maps a tracker registration failure onto the admission
+// vocabulary (429 + Retry-After, tenant-scoped when the tenant's own quota
+// refused it).
+func (s *Server) writeWatchQuotaErr(w http.ResponseWriter, r *http.Request, tenant string, err error) {
+	rid := RequestIDFrom(r.Context())
+	if errors.Is(err, errWatchExists) {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: "watch id already exists (subscribe with {\"id\": ...} instead)", Kind: "watch-exists", RequestID: rid,
+		})
+		return
+	}
+	s.stats.shed.Add(1)
+	er := ErrorResponse{
+		Error:        "watch capacity exhausted",
+		Kind:         "overloaded",
+		RequestID:    rid,
+		RetryAfterMs: 1000,
+		Tenant:       tenant,
+	}
+	if errors.Is(err, errWatchQuota) {
+		er.Error = "tenant " + tenant + " over its watch quota"
+		er.Kind = "tenant-quota"
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set(s.cfg.TenantHeader, tenant)
+	writeJSON(w, http.StatusTooManyRequests, er)
+}
+
+// handleWatch is POST /v1/watch: create a watch (Scenario present) or
+// (re)subscribe to one (bare ID), then stream its events as SSE.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
+	var req WatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.ID) > maxWatchIDLen {
+		s.badRequest(w, r, fmt.Errorf("watch id longer than %d bytes", maxWatchIDLen))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "streaming unsupported by transport", Kind: "internal", RequestID: rid})
+		return
+	}
+
+	id := req.ID
+	var wt *watch
+	if id != "" {
+		if got, err := s.findWatch(id); err == nil {
+			wt = got
+		} else if req.Scenario == nil {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error(), Kind: "watch-not-found", RequestID: rid})
+			return
+		}
+	}
+	if wt == nil {
+		if req.Scenario == nil {
+			s.badRequest(w, r, errors.New("watch request needs a scenario (create) or an existing id (subscribe)"))
+			return
+		}
+		if id == "" {
+			id = rid
+		}
+		var err error
+		wt, err = s.createWatch(w, r, id, req)
+		if wt == nil {
+			if err != nil {
+				s.cfg.Logf("server: rid=%s watch create failed: %v", rid, err)
+			}
+			return // createWatch wrote the response
+		}
+	}
+
+	// Subscribe: replay journaled events past After, then go live. The
+	// replay snapshot and the registration happen under one lock so no
+	// event is missed or duplicated between replay and live frames.
+	wt.mu.Lock()
+	if len(wt.events) > 0 && req.After+1 < wt.events[0].Seq {
+		wt.mu.Unlock()
+		writeJSON(w, http.StatusGone, ErrorResponse{
+			Error:     fmt.Sprintf("events up to seq %d left the journal (requested after=%d)", wt.events[0].Seq-1, req.After),
+			Kind:      "resume-horizon",
+			RequestID: rid,
+		})
+		return
+	}
+	var replay [][]byte
+	for _, rec := range wt.events {
+		if rec.Seq > req.After {
+			replay = append(replay, sseFrame(rec))
+		}
+	}
+	if wt.closed {
+		wt.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "watch is closed", Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	ch := make(chan []byte, subscriberBuf)
+	wt.subs[ch] = struct{}{}
+	wt.mu.Unlock()
+	defer func() {
+		wt.mu.Lock()
+		if _, live := wt.subs[ch]; live {
+			delete(wt.subs, ch)
+			close(ch)
+		}
+		wt.mu.Unlock()
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, frame := range replay {
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.base.Done(): // drain: end the stream; the client resumes later
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return // dropped (lagging) or watch closed
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// createWatch runs the admission-gated initial evaluation and registers the
+// watch. On failure it writes the HTTP response and returns nil.
+func (s *Server) createWatch(w http.ResponseWriter, r *http.Request, id string, req WatchRequest) (*watch, error) {
+	doc := *req.Scenario
+	if err := doc.Validate(); err != nil {
+		s.badRequest(w, r, err)
+		return nil, nil
+	}
+	weighting, err := parseWeighting(req.Weighting)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return nil, nil
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return nil, nil
+	}
+	tenant := TenantFrom(r, s.cfg.TenantHeader)
+
+	ctx, finish, ok := s.admit(w, r, estimateCost(doc), timeout)
+	if !ok {
+		return nil, nil
+	}
+	// The admission slot covers only the initial evaluation; the stream
+	// itself holds no slot (it costs nothing but a goroutine and is ended
+	// by drain via s.base).
+	defer finish()
+
+	// Stamp and fingerprint the way lookupScenario does, so the watch
+	// chain's warm registry is shared with (and persisted alongside) the
+	// plain evaluation path's registries.
+	doc.Version = scenario.Version
+	doc.Kind = "fepia"
+	fp, _ := doc.Fingerprint()
+	reg := s.watchRegistry(fp)
+	a, err := doc.Build()
+	if err != nil {
+		s.badRequest(w, r, err)
+		return nil, nil
+	}
+	s.decorateWatchAnalysis(a, reg)
+
+	res, evalErr := a.RobustnessWith(ctx, weighting, s.evalOptions(false))
+	if evalErr != nil {
+		s.writeEvalError(w, r, evalErr)
+		return nil, nil
+	}
+
+	wt := &watch{
+		id:         id,
+		tenant:     tenant,
+		weighting:  weighting.Name(),
+		ancestorFP: fp,
+		doc:        doc,
+		a:          a,
+		reg:        reg,
+		radii:      res.PerFeature,
+		seq:        1,
+		subs:       make(map[chan []byte]struct{}),
+	}
+	data, err := json.Marshal(watchEventJSON{Watch: id, Seq: 1, Robustness: robustnessJSON(a, res)})
+	if err != nil {
+		s.writeEvalError(w, r, err)
+		return nil, nil
+	}
+	wt.events = []WatchEventRec{{Seq: 1, Type: "snapshot", Data: data}}
+
+	if err := s.watches.register(wt, s.cfg.MaxWatches, s.cfg.MaxWatchesPerTenant); err != nil {
+		if errors.Is(err, errWatchExists) {
+			// Lost a create race for this id: subscribe to the winner.
+			return s.watches.get(id), nil
+		}
+		s.writeWatchQuotaErr(w, r, tenant, err)
+		return nil, nil
+	}
+	wt.mu.Lock()
+	s.checkpointWatch(wt)
+	wt.mu.Unlock()
+	s.stats.watchCreated.Add(1)
+	s.stats.watchEvents.Add(1)
+	s.stats.completedOK.Add(1)
+	s.cfg.Logf("server: rid=%s watch %s created (tenant=%s, %d features)", RequestIDFrom(r.Context()), id, tenant, len(doc.Features))
+	return wt, nil
+}
+
+// handleWatchUpdate is POST /v1/watch/update.
+func (s *Server) handleWatchUpdate(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
+	var req WatchUpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Watch == "" || len(req.Watch) > maxWatchIDLen {
+		s.badRequest(w, r, errors.New("update needs a valid watch id"))
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	wt, err := s.findWatch(req.Watch)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error(), Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+
+	// Pre-admission costing: classify against a snapshot of the current
+	// document. The post-admission evaluation reclassifies under the watch
+	// lock; a concurrent update in the gap only shifts the price estimate,
+	// never correctness.
+	wt.mu.Lock()
+	curDoc := wt.doc
+	wt.mu.Unlock()
+	successor, err := delta.ApplyParams(curDoc, req.Params)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	preDiff := delta.Classify(curDoc, successor, wt.weighting)
+	cost := estimateCostFeatures(successor, preDiff.Dirty)
+
+	ctx, finish, ok := s.admit(w, r, cost, timeout)
+	if !ok {
+		return
+	}
+	defer finish()
+
+	weighting, err := parseWeighting(wt.weighting)
+	if err != nil {
+		s.writeEvalError(w, r, err)
+		return
+	}
+
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	if wt.closed {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "watch is closed", Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	successor, err = delta.ApplyParams(wt.doc, req.Params)
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	diff := delta.Classify(wt.doc, successor, wt.weighting)
+
+	a2, err := successor.Build()
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	s.decorateWatchAnalysis(a2, wt.reg)
+
+	start := time.Now()
+	var res core.Robustness
+	var evalErr error
+	if diff.Structural {
+		res, evalErr = a2.RobustnessWith(ctx, weighting, s.evalOptions(false))
+	} else {
+		res, evalErr = a2.RobustnessDelta(ctx, weighting, s.evalOptions(false), wt.radii, diff.Dirty)
+	}
+	elapsed := time.Since(start)
+	if evalErr != nil {
+		// No commit: the watch stays at its last good state, and the event
+		// stream carries no partial update (chaos-killed updates must be
+		// invisible).
+		s.writeEvalError(w, r, evalErr)
+		return
+	}
+
+	wt.doc = successor
+	wt.a = a2
+	wt.radii = res.PerFeature
+	wt.seq++
+	dirty := diff.Dirty
+	if dirty == nil {
+		dirty = []int{}
+	}
+	data, err := json.Marshal(watchEventJSON{
+		Watch:      wt.id,
+		Seq:        wt.seq,
+		Structural: diff.Structural,
+		Dirty:      dirty,
+		Robustness: robustnessJSON(a2, res),
+	})
+	if err != nil {
+		s.writeEvalError(w, r, err)
+		return
+	}
+	var droppedSubs uint64
+	wt.appendEvent(WatchEventRec{Seq: wt.seq, Type: "delta", Data: data}, s.cfg.WatchEventCap, &droppedSubs)
+	s.checkpointWatch(wt)
+	if droppedSubs > 0 {
+		s.stats.watchLagDrops.Add(droppedSubs)
+	}
+	s.stats.watchUpdates.Add(1)
+	if diff.Structural {
+		s.stats.watchStructural.Add(1)
+	}
+	s.stats.watchEvents.Add(1)
+	s.stats.watchDirtyFeatures.Add(uint64(len(diff.Dirty)))
+	s.stats.watchCleanFeatures.Add(uint64(diff.CleanCount()))
+	if res.Degraded {
+		s.stats.completedDegr.Add(1)
+	} else {
+		s.stats.completedOK.Add(1)
+	}
+	s.cfg.Logf("server: rid=%s watch %s update seq=%d dirty=%d/%d structural=%v elapsed=%.1fms",
+		rid, wt.id, wt.seq, len(diff.Dirty), len(wt.doc.Features), diff.Structural, float64(elapsed.Microseconds())/1000)
+	writeJSON(w, http.StatusOK, WatchUpdateResponse{
+		Watch:      wt.id,
+		Seq:        wt.seq,
+		Structural: diff.Structural,
+		Dirty:      dirty,
+		Clean:      diff.CleanCount(),
+		Robustness: robustnessJSON(a2, res),
+		RequestID:  rid,
+		ElapsedMs:  float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+// handleWatchClose is POST /v1/watch/close: end the streams, drop the live
+// state, and delete the checkpoint.
+func (s *Server) handleWatchClose(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFrom(r.Context())
+	var req WatchCloseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	wt := s.watches.remove(req.Watch)
+	if wt == nil {
+		// Not live; a checkpoint may still exist (e.g. never resumed).
+		if s.wstore != nil {
+			if _, err := s.wstore.Load(req.Watch); err == nil {
+				s.wstore.Delete(req.Watch)
+				s.stats.watchClosed.Add(1)
+				writeJSON(w, http.StatusOK, map[string]any{"watch": req.Watch, "closed": true, "requestId": rid})
+				return
+			}
+		}
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown watch id", Kind: "watch-not-found", RequestID: rid})
+		return
+	}
+	wt.mu.Lock()
+	wt.closed = true
+	for ch := range wt.subs {
+		close(ch)
+	}
+	wt.subs = make(map[chan []byte]struct{})
+	wt.mu.Unlock()
+	if s.wstore != nil {
+		s.wstore.Delete(req.Watch)
+	}
+	s.stats.watchClosed.Add(1)
+	s.cfg.Logf("server: rid=%s watch %s closed", rid, req.Watch)
+	writeJSON(w, http.StatusOK, map[string]any{"watch": req.Watch, "closed": true, "requestId": rid})
+}
+
+// WatchStatz is the live-watch section of /statz.
+type WatchStatz struct {
+	Active    int `json:"active"`
+	Resumable int `json:"resumable,omitempty"`
+	// Created / Resumed / Closed count watch lifecycle transitions.
+	Created uint64 `json:"created"`
+	Resumed uint64 `json:"resumed"`
+	Closed  uint64 `json:"closed"`
+	// Updates counts accepted /v1/watch/update calls; Structural the subset
+	// that forced a full re-evaluation.
+	Updates    uint64 `json:"updates"`
+	Structural uint64 `json:"structural"`
+	// Events counts journaled events; LagDrops subscriptions dropped for
+	// falling behind.
+	Events   uint64 `json:"events"`
+	LagDrops uint64 `json:"lagDrops"`
+	// DirtyFeatures / CleanFeatures sum the per-update diff outcome: clean
+	// features are searches the delta path never ran.
+	DirtyFeatures uint64 `json:"dirtyFeatures"`
+	CleanFeatures uint64 `json:"cleanFeatures"`
+	// Store reports the checkpoint files backing restart resume.
+	Store *WatchStoreStats `json:"store,omitempty"`
+}
+
+// watchStatz snapshots the watch section; nil when watches have never been
+// enabled (no tracker — cannot happen in practice, the tracker is always
+// built).
+func (s *Server) watchStatz() *WatchStatz {
+	st := &WatchStatz{
+		Active:        s.watches.count(),
+		Created:       s.stats.watchCreated.Load(),
+		Resumed:       s.stats.watchResumed.Load(),
+		Closed:        s.stats.watchClosed.Load(),
+		Updates:       s.stats.watchUpdates.Load(),
+		Structural:    s.stats.watchStructural.Load(),
+		Events:        s.stats.watchEvents.Load(),
+		LagDrops:      s.stats.watchLagDrops.Load(),
+		DirtyFeatures: s.stats.watchDirtyFeatures.Load(),
+		CleanFeatures: s.stats.watchCleanFeatures.Load(),
+	}
+	if s.wstore != nil {
+		stats := s.wstore.Stats()
+		st.Store = &stats
+		st.Resumable = len(s.wstore.List())
+	}
+	return st
+}
+
+// watchMetrics renders the fepiad_watch_* family into the exposition
+// buffer.
+func watchMetrics(p *PromBuf, st *WatchStatz) {
+	if st == nil {
+		return
+	}
+	p.Header("fepiad_watch_active", "gauge", "Live watches with in-memory state.")
+	p.Metric("fepiad_watch_active", float64(st.Active))
+	p.Header("fepiad_watch_created_total", "counter", "Watches created.")
+	p.Metric("fepiad_watch_created_total", float64(st.Created))
+	p.Header("fepiad_watch_resumed_total", "counter", "Watches resumed from checkpoints after a restart.")
+	p.Metric("fepiad_watch_resumed_total", float64(st.Resumed))
+	p.Header("fepiad_watch_closed_total", "counter", "Watches closed by clients.")
+	p.Metric("fepiad_watch_closed_total", float64(st.Closed))
+	p.Header("fepiad_watch_updates_total", "counter", "Accepted watch updates.")
+	p.Metric("fepiad_watch_updates_total", float64(st.Updates))
+	p.Header("fepiad_watch_structural_updates_total", "counter", "Updates that forced a full re-evaluation.")
+	p.Metric("fepiad_watch_structural_updates_total", float64(st.Structural))
+	p.Header("fepiad_watch_events_total", "counter", "Events journaled and fanned out.")
+	p.Metric("fepiad_watch_events_total", float64(st.Events))
+	p.Header("fepiad_watch_lag_drops_total", "counter", "Subscriptions dropped for lagging behind the stream.")
+	p.Metric("fepiad_watch_lag_drops_total", float64(st.LagDrops))
+	p.Header("fepiad_watch_dirty_features_total", "counter", "Features re-searched by delta updates.")
+	p.Metric("fepiad_watch_dirty_features_total", float64(st.DirtyFeatures))
+	p.Header("fepiad_watch_clean_features_total", "counter", "Features whose radii were reused without a search.")
+	p.Metric("fepiad_watch_clean_features_total", float64(st.CleanFeatures))
+	if st.Store != nil {
+		p.Header("fepiad_watch_checkpoint_saves_total", "counter", "Watch checkpoints persisted.")
+		p.Metric("fepiad_watch_checkpoint_saves_total", float64(st.Store.Saves))
+		p.Header("fepiad_watch_checkpoint_save_errors_total", "counter", "Failed watch checkpoint writes.")
+		p.Metric("fepiad_watch_checkpoint_save_errors_total", float64(st.Store.SaveErrors))
+		p.Header("fepiad_watch_checkpoint_corrupt_skipped_total", "counter", "Corrupt watch checkpoints skipped and quarantined.")
+		p.Metric("fepiad_watch_checkpoint_corrupt_skipped_total", float64(st.Store.CorruptSkipped))
+		p.Header("fepiad_watch_resumable", "gauge", "Intact watch checkpoints on disk.")
+		p.Metric("fepiad_watch_resumable", float64(st.Resumable))
+	}
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fepia/internal/scenario"
+)
+
+// watchDoc is a two-parameter scenario whose features partition cleanly:
+// "lat" depends only on param 0, "mult" only on param 1 — so a param-1
+// update must dirty exactly feature 1.
+func watchDoc() scenario.AnalysisDoc {
+	return scenario.AnalysisDoc{
+		Params: []scenario.AnalysisParam{
+			{Name: "load", Unit: "jobs", Orig: []float64{1, 2}},
+			{Name: "mem", Unit: "gb", Orig: []float64{4}},
+		},
+		Features: []scenario.AnalysisFeature{
+			{Name: "lat", Max: f64(40), Coeffs: [][]float64{{2, 3}, {0}}},
+			{Name: "mult", Impact: scenario.ImpactMultiplicative,
+				Max: f64(100), Scale: 1, Pows: [][]float64{{0, 0}, {1}}},
+		},
+	}
+}
+
+// sseClient reads one open /v1/watch stream frame by frame.
+type sseClient struct {
+	resp *http.Response
+	br   *bufio.Reader
+}
+
+// openWatch posts a watch request and expects a 200 SSE stream.
+func openWatch(t *testing.T, baseURL string, req WatchRequest) *sseClient {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/watch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("watch open = %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch stream content type %q", ct)
+	}
+	c := &sseClient{resp: resp, br: bufio.NewReader(resp.Body)}
+	t.Cleanup(c.close)
+	return c
+}
+
+// frame blocks until one full SSE frame ("\n\n"-terminated) arrives.
+func (c *sseClient) frame(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for {
+		line, err := c.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended mid-frame: %v (partial %q)", err, b.String())
+		}
+		b.WriteString(line)
+		if line == "\n" {
+			return b.String()
+		}
+	}
+}
+
+func (c *sseClient) close() { c.resp.Body.Close() }
+
+func TestWatchCreateUpdateStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	c := openWatch(t, ts.URL, WatchRequest{ID: "w-basic", Scenario: ptrDoc(watchDoc())})
+
+	snap := c.frame(t)
+	if !strings.HasPrefix(snap, "id: 1\nevent: snapshot\n") {
+		t.Fatalf("first frame is not the snapshot: %q", snap)
+	}
+
+	// Move param 1 only: feature 1 dirty, feature 0's radius reused.
+	resp, body := postJSON(t, ts.URL+"/v1/watch/update", WatchUpdateRequest{
+		Watch: "w-basic", Params: [][]float64{{1, 2}, {5}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update = %d, body %s", resp.StatusCode, body)
+	}
+	var up WatchUpdateResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Seq != 2 || up.Structural {
+		t.Fatalf("update seq=%d structural=%v, want seq=2 structural=false", up.Seq, up.Structural)
+	}
+	if len(up.Dirty) != 1 || up.Dirty[0] != 1 || up.Clean != 1 {
+		t.Fatalf("update dirty=%v clean=%d, want dirty=[1] clean=1", up.Dirty, up.Clean)
+	}
+
+	deltaFrame := c.frame(t)
+	if !strings.HasPrefix(deltaFrame, "id: 2\nevent: delta\n") {
+		t.Fatalf("second frame is not the delta: %q", deltaFrame)
+	}
+	if !strings.Contains(deltaFrame, `"dirty":[1]`) {
+		t.Fatalf("delta frame does not carry the dirty set: %q", deltaFrame)
+	}
+
+	// The delta result must be bit-identical to a cold full evaluation of
+	// the successor document.
+	succ := watchDoc()
+	succ.Params[1].Orig = []float64{5}
+	coldResp, coldBody := postJSON(t, ts.URL+"/v1/robustness", EvalRequest{Scenario: succ})
+	if coldResp.StatusCode != http.StatusOK {
+		t.Fatalf("cold eval = %d, body %s", coldResp.StatusCode, coldBody)
+	}
+	var cold EvalResponse
+	if err := json.Unmarshal(coldBody, &cold); err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(up.Robustness)
+	jb, _ := json.Marshal(cold.Robustness)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("delta update diverged from cold evaluation:\n%s\n%s", ja, jb)
+	}
+
+	st := s.statz()
+	if st.Watches == nil || st.Watches.Active != 1 || st.Watches.Updates != 1 {
+		t.Fatalf("watch statz: %+v", st.Watches)
+	}
+	if st.Watches.DirtyFeatures != 1 || st.Watches.CleanFeatures != 1 {
+		t.Fatalf("watch feature accounting: %+v", st.Watches)
+	}
+}
+
+func ptrDoc(d scenario.AnalysisDoc) *scenario.AnalysisDoc { return &d }
+
+// TestWatchResumeByteIdentical is the restart contract: after a drain and a
+// cold restart from the same state dir, a resumed subscription replays the
+// exact bytes of the uninterrupted stream.
+func TestWatchResumeByteIdentical(t *testing.T) {
+	stateDir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StateDir: stateDir})
+	c1 := openWatch(t, ts1.URL, WatchRequest{ID: "w-resume", Scenario: ptrDoc(watchDoc())})
+
+	var control []string
+	control = append(control, c1.frame(t))
+	for _, mem := range []float64{5, 4.5} {
+		resp, body := postJSON(t, ts1.URL+"/v1/watch/update", WatchUpdateRequest{
+			Watch: "w-resume", Params: [][]float64{{1, 2}, {mem}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update = %d, body %s", resp.StatusCode, body)
+		}
+		control = append(control, c1.frame(t))
+	}
+	c1.close()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{StateDir: stateDir})
+	c2 := openWatch(t, ts2.URL, WatchRequest{ID: "w-resume"})
+	for i, want := range control {
+		if got := c2.frame(t); got != want {
+			t.Fatalf("resumed frame %d differs:\n%q\n%q", i+1, got, want)
+		}
+	}
+	if got := s2.statz().Watches; got == nil || got.Resumed != 1 {
+		t.Fatalf("resume not counted: %+v", got)
+	}
+
+	// A partial resume skips acknowledged frames, and the chain keeps
+	// advancing: a new update fans out to the resumed subscription.
+	c3 := openWatch(t, ts2.URL, WatchRequest{ID: "w-resume", After: 2})
+	if got := c3.frame(t); got != control[2] {
+		t.Fatalf("after=2 resume replayed %q, want %q", got, control[2])
+	}
+	resp, body := postJSON(t, ts2.URL+"/v1/watch/update", WatchUpdateRequest{
+		Watch: "w-resume", Params: [][]float64{{1, 2}, {6}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-resume update = %d, body %s", resp.StatusCode, body)
+	}
+	if got := c3.frame(t); !strings.HasPrefix(got, "id: 4\nevent: delta\n") {
+		t.Fatalf("post-resume live frame: %q", got)
+	}
+}
+
+func TestWatchTenantQuota(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWatchesPerTenant: 1})
+	openWatch(t, ts.URL, WatchRequest{ID: "w-q1", Scenario: ptrDoc(watchDoc())})
+
+	resp, body := postJSON(t, ts.URL+"/v1/watch", WatchRequest{ID: "w-q2", Scenario: ptrDoc(watchDoc())})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota create = %d, body %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "tenant-quota" || er.Tenant != "default" {
+		t.Fatalf("over-quota error: %+v", er)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-quota response has no Retry-After")
+	}
+}
+
+func TestWatchResumeHorizon(t *testing.T) {
+	_, ts := newTestServer(t, Config{WatchEventCap: 2})
+	c := openWatch(t, ts.URL, WatchRequest{ID: "w-h", Scenario: ptrDoc(watchDoc())})
+	c.frame(t)
+	for _, mem := range []float64{5, 6} {
+		resp, body := postJSON(t, ts.URL+"/v1/watch/update", WatchUpdateRequest{
+			Watch: "w-h", Params: [][]float64{{1, 2}, {mem}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update = %d, body %s", resp.StatusCode, body)
+		}
+		c.frame(t)
+	}
+
+	// The journal holds seqs [2,3]; a subscriber needing seq 1 is behind the
+	// horizon.
+	resp, body := postJSON(t, ts.URL+"/v1/watch", WatchRequest{ID: "w-h"})
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("behind-horizon subscribe = %d, body %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "resume-horizon" {
+		t.Fatalf("behind-horizon kind %q", er.Kind)
+	}
+
+	// after=1 needs exactly the journal's oldest frame: still served.
+	c2 := openWatch(t, ts.URL, WatchRequest{ID: "w-h", After: 1})
+	if got := c2.frame(t); !strings.HasPrefix(got, "id: 2\nevent: delta\n") {
+		t.Fatalf("horizon-edge resume frame: %q", got)
+	}
+}
+
+func TestWatchClose(t *testing.T) {
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	c := openWatch(t, ts.URL, WatchRequest{ID: "w-close", Scenario: ptrDoc(watchDoc())})
+	c.frame(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/watch/close", WatchCloseRequest{Watch: "w-close"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close = %d, body %s", resp.StatusCode, body)
+	}
+	// The stream ends (channel closed) — reading past the snapshot fails.
+	if _, err := io.ReadAll(c.resp.Body); err != nil {
+		t.Fatalf("reading closed stream: %v", err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/watch/update", WatchUpdateRequest{
+		Watch: "w-close", Params: [][]float64{{1, 2}, {5}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("update after close = %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/watch", WatchRequest{ID: "w-close"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("subscribe after close = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestWatchUpdateIdempotent re-applies the same absolute origins: the diff
+// is empty, no feature is re-searched, and the event still advances the seq
+// (clients can treat it as an acknowledgement).
+func TestWatchUpdateIdempotent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	c := openWatch(t, ts.URL, WatchRequest{ID: "w-idem", Scenario: ptrDoc(watchDoc())})
+	c.frame(t)
+
+	var first WatchUpdateResponse
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/watch/update", WatchUpdateRequest{
+			Watch: "w-idem", Params: [][]float64{{1, 2}, {5}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d = %d, body %s", i, resp.StatusCode, body)
+		}
+		var up WatchUpdateResponse
+		if err := json.Unmarshal(body, &up); err != nil {
+			t.Fatal(err)
+		}
+		c.frame(t)
+		if i == 0 {
+			first = up
+			continue
+		}
+		if len(up.Dirty) != 0 || up.Clean != 2 {
+			t.Fatalf("repeat update dirty=%v clean=%d, want an empty diff", up.Dirty, up.Clean)
+		}
+		ja, _ := json.Marshal(first.Robustness)
+		jb, _ := json.Marshal(up.Robustness)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("repeat update changed the result:\n%s\n%s", ja, jb)
+		}
+	}
+}
